@@ -1,0 +1,35 @@
+//! # retina-baselines
+//!
+//! Architectural models of the monitors Retina is compared against in
+//! §6.2 (Figure 6): Zeek, Snort, and Suricata, each configured for the
+//! paper's task — log TLS connections matching a server name.
+//!
+//! These are *not* re-implementations of those codebases; they reproduce
+//! the architectural properties that determine their throughput on this
+//! task, all running the identical analysis ("match the SNI of HTTPS
+//! connections") so the comparison isolates pipeline design:
+//!
+//! - **full visibility**: every packet is inspected; there is no
+//!   subscription-aware early discard;
+//! - **copy-based reassembly**: payloads are copied into per-connection
+//!   stream buffers before parsing (vs. Retina's pass-through);
+//! - **[`ZeekLike`]**: events dispatched per packet into an interpreted
+//!   script engine (a small bytecode VM models the Zeek script
+//!   interpreter's per-event cost);
+//! - **[`SnortLike`]**: multi-pattern content matching runs over *every*
+//!   packet payload — the paper specifically notes Snort's "inability to
+//!   run the pattern matching algorithm on select packets only";
+//! - **[`SuricataLike`]**: a cheap single-pattern prefilter per packet,
+//!   full processing only for TLS-port traffic — faster than the other
+//!   two, still eager relative to Retina.
+//!
+//! All three are single-threaded (the Figure 6 setup restricts every
+//! system to one core).
+
+#![warn(missing_docs)]
+
+pub mod eager;
+pub mod monitors;
+pub mod scriptvm;
+
+pub use monitors::{BaselineReport, Monitor, SnortLike, SuricataLike, ZeekLike};

@@ -1,0 +1,158 @@
+//! A miniature bytecode interpreter modelling the per-event cost of an
+//! IDS script engine (Zeek's script interpreter).
+//!
+//! Zeek dispatches protocol events into interpreted scripts; the
+//! interpreter's dispatch-and-execute loop dominates its per-packet cost
+//! on high rates. This VM executes a fixed "event handler" program per
+//! event — table lookups, arithmetic, string-ish operations — with real
+//! data dependencies so the optimizer cannot remove it, and with a cost
+//! profile (tens of ops + a hash probe per event) resembling a small
+//! Zeek script.
+
+/// Bytecode operations.
+#[derive(Debug, Clone, Copy)]
+pub enum Op {
+    /// Push an immediate.
+    Push(u64),
+    /// Add top two.
+    Add,
+    /// Multiply top two.
+    Mul,
+    /// Xor top two.
+    Xor,
+    /// Rotate the top value.
+    Rot(u32),
+    /// Duplicate the top.
+    Dup,
+    /// Hash-table probe with the top value (simulated associative
+    /// lookup into the VM's state table).
+    Probe,
+    /// Pop into the accumulator.
+    PopAcc,
+}
+
+/// The interpreter with its persistent state table.
+pub struct ScriptVm {
+    program: Vec<Op>,
+    state: Vec<u64>,
+    acc: u64,
+}
+
+impl ScriptVm {
+    /// Builds the canonical "connection event handler" program.
+    pub fn event_handler() -> Self {
+        // ~200 ops with mixed arithmetic and table probes, modelling a
+        // realistic per-event script body (field accesses, table
+        // updates, conditionals).
+        let mut program = Vec::new();
+        for i in 0..16u64 {
+            program.push(Op::Push(0x9e3779b97f4a7c15 ^ i));
+            program.push(Op::Xor);
+            program.push(Op::Rot(13));
+            program.push(Op::Push(0xff51afd7ed558ccd));
+            program.push(Op::Mul);
+            program.push(Op::Dup);
+            program.push(Op::Probe);
+            program.push(Op::Add);
+            program.push(Op::Rot(31));
+            program.push(Op::Push(i + 1));
+            program.push(Op::Add);
+        }
+        program.push(Op::PopAcc);
+        ScriptVm {
+            program,
+            state: vec![0u64; 4096],
+            acc: 0,
+        }
+    }
+
+    /// Runs the handler for one event carrying `arg` (e.g. a packet
+    /// hash). Returns the accumulator so callers keep a data dependency.
+    pub fn run_event(&mut self, arg: u64) -> u64 {
+        let mut stack: [u64; 16] = [0; 16];
+        let mut sp = 0usize;
+        stack[0] = arg ^ self.acc;
+        sp += 1;
+        for op in &self.program {
+            match *op {
+                Op::Push(v) => {
+                    if sp < stack.len() {
+                        stack[sp] = v;
+                        sp += 1;
+                    }
+                }
+                Op::Add => {
+                    if sp >= 2 {
+                        stack[sp - 2] = stack[sp - 2].wrapping_add(stack[sp - 1]);
+                        sp -= 1;
+                    }
+                }
+                Op::Mul => {
+                    if sp >= 2 {
+                        stack[sp - 2] = stack[sp - 2].wrapping_mul(stack[sp - 1]);
+                        sp -= 1;
+                    }
+                }
+                Op::Xor => {
+                    if sp >= 2 {
+                        stack[sp - 2] ^= stack[sp - 1];
+                        sp -= 1;
+                    }
+                }
+                Op::Rot(r) => {
+                    if sp >= 1 {
+                        stack[sp - 1] = stack[sp - 1].rotate_left(r);
+                    }
+                }
+                Op::Dup => {
+                    if sp >= 1 && sp < stack.len() {
+                        stack[sp] = stack[sp - 1];
+                        sp += 1;
+                    }
+                }
+                Op::Probe => {
+                    if sp >= 1 {
+                        let idx = (stack[sp - 1] as usize) & (self.state.len() - 1);
+                        let v = self.state[idx];
+                        self.state[idx] = v.wrapping_add(stack[sp - 1] | 1);
+                        stack[sp - 1] ^= v;
+                    }
+                }
+                Op::PopAcc => {
+                    if sp >= 1 {
+                        sp -= 1;
+                        self.acc ^= stack[sp];
+                    }
+                }
+            }
+        }
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_is_deterministic_and_stateful() {
+        let mut a = ScriptVm::event_handler();
+        let mut b = ScriptVm::event_handler();
+        let ra: Vec<u64> = (0..50).map(|i| a.run_event(i)).collect();
+        let rb: Vec<u64> = (0..50).map(|i| b.run_event(i)).collect();
+        assert_eq!(ra, rb);
+        // State accumulates: same arg twice gives different results.
+        let x = a.run_event(42);
+        let y = a.run_event(42);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn vm_output_depends_on_arg() {
+        let mut vm = ScriptVm::event_handler();
+        let x = vm.run_event(1);
+        let mut vm2 = ScriptVm::event_handler();
+        let y = vm2.run_event(2);
+        assert_ne!(x, y);
+    }
+}

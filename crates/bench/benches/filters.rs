@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks: compiled (static codegen) vs interpreted
+//! filter execution — the per-call counterpart to Figure 12's end-to-end
+//! speedups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use retina_core::FilterFns;
+use retina_filter::compile;
+use retina_filtergen::filter;
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_wire::ParsedPacket;
+
+filter!(SPort, "tcp.port = 443");
+filter!(
+    SFig3,
+    "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http"
+);
+filter!(
+    SNetflix,
+    "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or \
+     ipv4.addr in 45.57.0.0/17 or ipv4.addr in 64.120.128.0/17 or \
+     ipv6.addr in 2620:10c:7000::/44 or tls.sni ~ 'netflix.com' or \
+     tls.sni ~ 'nflxvideo.net' or tls.sni ~ 'nflximg.net'"
+);
+
+fn packet_sample() -> Vec<Vec<u8>> {
+    generate(&CampusConfig {
+        target_packets: 4_000,
+        duration_secs: 4.0,
+        ..CampusConfig::small(0xBE7C)
+    })
+    .into_iter()
+    .map(|(frame, _)| frame.to_vec())
+    .collect()
+}
+
+fn bench_packet_filters(c: &mut Criterion) {
+    let frames = packet_sample();
+    let parsed: Vec<ParsedPacket> = frames
+        .iter()
+        .filter_map(|f| ParsedPacket::parse(f).ok())
+        .collect();
+
+    let mut group = c.benchmark_group("packet_filter");
+    group.throughput(criterion::Throughput::Elements(parsed.len() as u64));
+
+    for (name, static_f, src) in [
+        ("port443", &SPort as &dyn FilterFns, "tcp.port = 443"),
+        (
+            "figure3",
+            &SFig3 as &dyn FilterFns,
+            "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+        ),
+        (
+            "netflix8",
+            &SNetflix as &dyn FilterFns,
+            "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or \
+             ipv4.addr in 45.57.0.0/17 or ipv4.addr in 64.120.128.0/17 or \
+             ipv6.addr in 2620:10c:7000::/44 or tls.sni ~ 'netflix.com' or \
+             tls.sni ~ 'nflxvideo.net' or tls.sni ~ 'nflximg.net'",
+        ),
+    ] {
+        let interp = compile(src).unwrap();
+        group.bench_function(format!("{name}/compiled"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for pkt in &parsed {
+                    if static_f.packet_filter(black_box(pkt)).is_match() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function(format!("{name}/interpreted"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for pkt in &parsed {
+                    if interp.packet_filter(black_box(pkt)).is_match() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_compilation(c: &mut Criterion) {
+    // Cost of building a filter at runtime (parse → DNF → trie → tables);
+    // the static path pays this at build time instead.
+    c.bench_function("compile_figure3_filter", |b| {
+        b.iter_batched(
+            || (),
+            |_| compile("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http").unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_packet_filters, bench_filter_compilation);
+criterion_main!(benches);

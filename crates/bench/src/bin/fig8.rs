@@ -1,0 +1,119 @@
+//! Figure 8: connection-state memory over time under three timeout
+//! schemes — Retina's default (5 s establish + 5 min inactivity), a
+//! single 5-minute inactivity timeout, and no timeouts.
+//!
+//! Drives the connection tracker directly over a long simulated capture
+//! (scan-heavy arrivals, per Table 2's 65% single-SYN rate) and samples
+//! the number of resident connections and estimated state bytes each
+//! simulated 10 seconds.
+
+use std::sync::Arc;
+
+use retina_bench::{bench_args, rule};
+use retina_conntrack::TimeoutConfig;
+use retina_core::subscribables::ConnRecord;
+use retina_core::tracker::ConnTracker;
+use retina_core::{compile, CompiledFilter, FilterFns};
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_wire::ParsedPacket;
+
+const SAMPLE_EVERY_NS: u64 = 10_000_000_000; // 10 simulated seconds
+
+fn main() {
+    let args = bench_args();
+    // Long simulated window so the 5-minute timeout becomes visible.
+    let sim_secs = if args.quick { 420.0 } else { 900.0 };
+    println!(
+        "generating campus mix over {} simulated seconds (~{} packets)...",
+        sim_secs, args.packets
+    );
+    let packets = generate(&CampusConfig {
+        target_packets: args.packets,
+        duration_secs: sim_secs,
+        ..CampusConfig::default()
+    });
+
+    let schemes: [(&str, TimeoutConfig); 3] = [
+        (
+            "5s establish + 5m inactive (default)",
+            TimeoutConfig::retina_default(),
+        ),
+        ("5m inactive only", TimeoutConfig::inactivity_only()),
+        ("no timeouts", TimeoutConfig::none()),
+    ];
+
+    let mut series: Vec<(&str, Vec<(u64, usize, usize)>)> = Vec::new();
+    for (name, timeouts) in schemes {
+        let filter = Arc::new(compile("").unwrap());
+        let mut tracker: ConnTracker<ConnRecord, CompiledFilter> =
+            ConnTracker::new(Arc::clone(&filter), timeouts, 500, false);
+        let mut samples = Vec::new();
+        let mut next_sample = SAMPLE_EVERY_NS;
+        for (frame, ts) in &packets {
+            let Ok(pkt) = ParsedPacket::parse(frame) else {
+                continue;
+            };
+            let mut mbuf = retina_nic::Mbuf::from_bytes(frame.clone());
+            mbuf.timestamp_ns = *ts;
+            let result = filter.packet_filter(&pkt);
+            if result.is_match() {
+                tracker.process(&mbuf, &pkt, result);
+            }
+            let _ = tracker.take_outputs();
+            if *ts >= next_sample {
+                tracker.advance(*ts);
+                let _ = tracker.take_outputs();
+                samples.push((
+                    *ts / 1_000_000_000,
+                    tracker.connections(),
+                    tracker.state_bytes(),
+                ));
+                next_sample += SAMPLE_EVERY_NS;
+            }
+        }
+        series.push((name, samples));
+    }
+
+    println!("\nFigure 8: connections in memory over time (sampled every 10 sim-seconds)");
+    println!(
+        "{:>6} {:>22} {:>22} {:>22}",
+        "t(s)", "default (5s+5m)", "5m inactive", "no timeouts"
+    );
+    rule(76);
+    let rows = series.iter().map(|(_, s)| s.len()).min().unwrap_or(0);
+    for i in 0..rows {
+        // Print every other sample to keep the table readable.
+        if i % 2 != 0 {
+            continue;
+        }
+        let t = series[0].1[i].0;
+        print!("{t:>6}");
+        for (_, samples) in &series {
+            let (_, conns, bytes) = samples[i];
+            print!("{:>22}", format!("{conns} ({} KB)", bytes / 1024));
+        }
+        println!();
+    }
+
+    println!("\nsteady-state comparison (last sample):");
+    let mut last: Vec<(&str, usize, usize)> = Vec::new();
+    for (name, samples) in &series {
+        if let Some(&(_, conns, bytes)) = samples.last() {
+            last.push((name, conns, bytes));
+        }
+    }
+    for (name, conns, bytes) in &last {
+        println!("  {name:<40} {conns:>9} conns {:>12} KB", bytes / 1024);
+    }
+    if last.len() == 3 && last[0].1 > 0 {
+        println!(
+            "\nratios vs default: inactivity-only {:.1}x conns, no-timeout {:.1}x conns",
+            last[1].1 as f64 / last[0].1 as f64,
+            last[2].1 as f64 / last[0].1 as f64,
+        );
+        println!(
+            "paper: default tracked 7.7x fewer connections and used 6.4x less\n\
+             memory than 5m-inactivity-only; no-timeout exhausted 340 GB in ~11 min."
+        );
+    }
+}

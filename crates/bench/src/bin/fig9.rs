@@ -1,0 +1,96 @@
+//! Figure 9: CDF of byte counts up/down for video sessions from Netflix
+//! and YouTube (§7.3's feature-extraction application).
+//!
+//! Runs the video-features pipeline (TCP connection records filtered on
+//! the services' TLS server names, aggregated into sessions) over the
+//! streaming workload and prints the four CDFs. Byte volumes are scaled
+//! down ~10x from production values (see EXPERIMENTS.md); the
+//! distributional shape and Netflix-vs-YouTube ordering are preserved.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::{Arc, Mutex};
+
+use retina_bench::{bench_args, percentiles, rule};
+use retina_core::subscribables::ConnRecord;
+use retina_core::{compile, Runtime, RuntimeConfig};
+use retina_trafficgen::video::{VideoConfig, VideoWorkload};
+
+fn main() {
+    let args = bench_args();
+    let sessions = if args.quick { 40 } else { 150 };
+    println!("generating {sessions} Netflix + {sessions} YouTube sessions...");
+    let workload = VideoWorkload::generate(&VideoConfig {
+        netflix_sessions: sessions,
+        youtube_sessions: sessions,
+        ..VideoConfig::default()
+    });
+    println!("workload: {} packets\n", workload.packets.len());
+
+    let agg: Arc<Mutex<HashMap<(IpAddr, bool), (u64, u64)>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sink = Arc::clone(&agg);
+    let filter_src =
+        r"tcp.port = 443 and (tls.sni ~ '(.+?\.)?nflxvideo\.net' or tls.sni ~ 'googlevideo')";
+    let mut runtime = Runtime::<ConnRecord, _>::new(
+        RuntimeConfig::with_cores(1),
+        compile(filter_src).unwrap(),
+        move |rec: ConnRecord| {
+            let is_netflix = matches!(rec.tuple.resp.ip(), IpAddr::V4(v4) if v4.octets()[0] == 198);
+            let mut sessions = sink.lock().unwrap();
+            let e = sessions
+                .entry((rec.tuple.orig.ip(), is_netflix))
+                .or_insert((0, 0));
+            e.0 += rec.bytes_up;
+            e.1 += rec.bytes_down;
+        },
+    )
+    .expect("runtime");
+    let report = runtime.run(workload.source());
+
+    let agg = agg.lock().unwrap();
+    let mb = |b: u64| b as f64 / 1e6;
+    let mut nf_up = Vec::new();
+    let mut nf_down = Vec::new();
+    let mut yt_up = Vec::new();
+    let mut yt_down = Vec::new();
+    for ((_, is_netflix), (up, down)) in agg.iter() {
+        if *is_netflix {
+            nf_up.push(mb(*up));
+            nf_down.push(mb(*down));
+        } else {
+            yt_up.push(mb(*up));
+            yt_down.push(mb(*down));
+        }
+    }
+
+    println!(
+        "reconstructed {} netflix + {} youtube sessions (zero loss: {})\n",
+        nf_down.len(),
+        yt_down.len(),
+        report.zero_loss()
+    );
+    let pcts = [5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0];
+    println!("Figure 9: CDF of per-session MBytes (columns: percentile)");
+    print!("{:<16}", "series");
+    for p in pcts {
+        print!("{:>9}", format!("p{p:.0}"));
+    }
+    println!();
+    rule(16 + 9 * pcts.len());
+    for (name, values) in [
+        ("Netflix Up", nf_up),
+        ("YouTube Up", yt_up),
+        ("Netflix Down", nf_down),
+        ("YouTube Down", yt_down),
+    ] {
+        print!("{name:<16}");
+        for (_, v) in percentiles(values, &pcts) {
+            print!("{v:>9.3}");
+        }
+        println!();
+    }
+    println!(
+        "\nexpected shape (paper): Up curves sit 1-2 orders of magnitude left\n\
+         of Down curves; Netflix Down sits right of YouTube Down."
+    );
+}

@@ -1,0 +1,157 @@
+//! Table 2 / Figure 13 (Appendix C): campus traffic characteristics,
+//! measured — as in the paper — "through measurement applications
+//! developed using Retina itself": a connection-record subscription for
+//! the flow statistics and a raw-packet subscription for the packet-size
+//! distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use retina_bench::{bench_args, rule};
+use retina_core::subscribables::{ConnRecord, ZcFrame};
+use retina_core::{compile, Runtime, RuntimeConfig};
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_trafficgen::PreloadedSource;
+
+fn main() {
+    let args = bench_args();
+    println!("generating campus mix (~{} packets)...", args.packets);
+    let packets = generate(&CampusConfig {
+        target_packets: args.packets,
+        duration_secs: 60.0,
+        ..CampusConfig::default()
+    });
+    let source = PreloadedSource::new(packets);
+
+    // ---- packet-size distribution via a raw-packet subscription --------
+    const BUCKETS: usize = 10;
+    let histogram: Arc<Vec<AtomicU64>> =
+        Arc::new((0..BUCKETS).map(|_| AtomicU64::new(0)).collect());
+    let total_bytes = Arc::new(AtomicU64::new(0));
+    let (h2, b2) = (Arc::clone(&histogram), Arc::clone(&total_bytes));
+    let mut rt = Runtime::<ZcFrame, _>::new(
+        RuntimeConfig::with_cores(1),
+        compile("").unwrap(),
+        move |frame| {
+            let len = frame.mbuf.len();
+            b2.fetch_add(len as u64, Ordering::Relaxed);
+            // Figure 13's buckets: 56..1514 in equal steps.
+            let bucket = ((len.saturating_sub(56)) * BUCKETS / (1514 - 56 + 1)).min(BUCKETS - 1);
+            h2[bucket].fetch_add(1, Ordering::Relaxed);
+        },
+    )
+    .unwrap();
+    let report = rt.run(source.clone());
+    let pkt_count = report.cores.callbacks.runs;
+
+    // ---- flow statistics via a connection-record subscription ----------
+    #[derive(Default)]
+    struct FlowStats {
+        conns: u64,
+        tcp: u64,
+        udp: u64,
+        single_syn: u64,
+        incomplete: u64,
+        ooo_flows: u64,
+        tcp_bytes: u64,
+        all_bytes: u64,
+        pkts: u64,
+        data_flows: u64,
+    }
+    let stats = Arc::new(Mutex::new(FlowStats::default()));
+    let s2 = Arc::clone(&stats);
+    let mut rt = Runtime::<ConnRecord, _>::new(
+        RuntimeConfig::with_cores(1),
+        compile("").unwrap(),
+        move |rec: ConnRecord| {
+            let mut s = s2.lock().unwrap();
+            s.conns += 1;
+            s.pkts += rec.pkts_up + rec.pkts_down;
+            s.all_bytes += rec.total_bytes();
+            let is_tcp = rec.tuple.proto == 6;
+            if is_tcp {
+                s.tcp += 1;
+                s.tcp_bytes += rec.total_bytes();
+                if rec.single_syn {
+                    s.single_syn += 1;
+                }
+                if rec.established && !rec.terminated {
+                    s.incomplete += 1;
+                }
+                if rec.established {
+                    s.data_flows += 1;
+                    if rec.ooo_up + rec.ooo_down > 0 {
+                        s.ooo_flows += 1;
+                    }
+                }
+            } else if rec.tuple.proto == 17 {
+                s.udp += 1;
+            }
+        },
+    )
+    .unwrap();
+    let _ = rt.run(source);
+
+    let s = stats.lock().unwrap();
+    let pct = |num: u64, den: u64| 100.0 * num as f64 / den.max(1) as f64;
+    let avg_pkt = total_bytes.load(Ordering::Relaxed) as f64 / pkt_count.max(1) as f64;
+
+    println!("\nTable 2: campus traffic characteristics (measured with Retina itself)");
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "characteristic", "measured", "paper"
+    );
+    rule(66);
+    let rows: Vec<(&str, String, &str)> = vec![
+        ("Packet size (avg bytes)", format!("{avg_pkt:.0}"), "895"),
+        (
+            "Fraction of TCP connections (%)",
+            format!("{:.1}", pct(s.tcp, s.conns)),
+            "69.7",
+        ),
+        (
+            "Fraction of UDP connections (%)",
+            format!("{:.1}", pct(s.udp, s.conns)),
+            "29.8",
+        ),
+        (
+            "Fraction of TCP stream bytes (%)",
+            format!("{:.1}", pct(s.tcp_bytes, s.all_bytes)),
+            "72.4",
+        ),
+        (
+            "Fraction of single-SYN connections (% of TCP)",
+            format!("{:.1}", pct(s.single_syn, s.tcp)),
+            "65",
+        ),
+        (
+            "Fraction of incomplete flows (% of data flows)",
+            format!("{:.1}", pct(s.incomplete, s.data_flows)),
+            "4.6",
+        ),
+        (
+            "Fraction of out-of-order flows (% of data flows)",
+            format!("{:.1}", pct(s.ooo_flows, s.data_flows)),
+            "6",
+        ),
+        (
+            "Packets per connection (avg)",
+            format!("{:.0}", s.pkts as f64 / s.conns.max(1) as f64),
+            "121",
+        ),
+    ];
+    for (name, measured, paper) in rows {
+        println!("{name:<44} {measured:>10} {paper:>10}");
+    }
+
+    println!("\nFigure 13: packet-size distribution (fraction of packets)");
+    let total: u64 = histogram.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    for (i, counter) in histogram.iter().enumerate() {
+        let lo = 56 + i * (1514 - 56) / BUCKETS;
+        let hi = 56 + (i + 1) * (1514 - 56) / BUCKETS;
+        let frac = counter.load(Ordering::Relaxed) as f64 / total.max(1) as f64;
+        let bar = "#".repeat((frac * 120.0) as usize);
+        println!("{lo:>5}-{hi:<5} {frac:>7.3} {bar}");
+    }
+    println!("\nexpected shape: bimodal — a small-packet mode (ACKs/control) and a\nfull-MSS mode, as in the paper's Figure 13.");
+}

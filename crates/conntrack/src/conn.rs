@@ -1,0 +1,417 @@
+//! Per-connection TCP flow state and statistics.
+
+use retina_wire::{L4Header, ParsedPacket, TcpFlags};
+
+use crate::reassembly::{Reassembled, StreamReassembler};
+use crate::tuple::Dir;
+
+/// Per-direction flow bookkeeping.
+#[derive(Debug, Default)]
+pub struct DirStats {
+    /// Packets observed.
+    pub packets: u64,
+    /// L4 payload bytes observed.
+    pub bytes: u64,
+    /// Out-of-order arrivals.
+    pub ooo_packets: u64,
+    /// FIN seen in this direction.
+    pub fin: bool,
+}
+
+/// TCP (or UDP) flow state for one tracked connection.
+///
+/// For UDP "connections" only the counters are meaningful; the handshake
+/// and sequencing fields stay in their defaults.
+#[derive(Debug)]
+pub struct TcpFlow {
+    /// Originator → responder direction state and reassembler.
+    pub ctos: DirStats,
+    /// Responder → originator direction state and reassembler.
+    pub stoc: DirStats,
+    reasm_ctos: StreamReassembler,
+    reasm_stoc: StreamReassembler,
+    /// SYN observed from the originator.
+    pub syn_seen: bool,
+    /// SYN-ACK observed from the responder.
+    pub synack_seen: bool,
+    /// Three-way handshake completed (or data flowed both ways).
+    pub established: bool,
+    /// RST observed in either direction.
+    pub rst: bool,
+    /// Timestamp of the first packet.
+    pub first_seen_ns: u64,
+    /// Timestamp of the most recent packet.
+    pub last_seen_ns: u64,
+}
+
+/// What a packet did to the flow, from the reassembler's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowUpdate {
+    /// Reassembly outcome for the packet's payload.
+    pub reassembly: Reassembled,
+    /// The connection reached a terminal TCP state with this packet.
+    pub terminated: bool,
+}
+
+impl TcpFlow {
+    /// Creates flow state for a connection first seen at `now_ns`, with
+    /// the given out-of-order buffer capacity per direction.
+    pub fn new(now_ns: u64, ooo_capacity: usize) -> Self {
+        TcpFlow {
+            ctos: DirStats::default(),
+            stoc: DirStats::default(),
+            reasm_ctos: StreamReassembler::new(ooo_capacity),
+            reasm_stoc: StreamReassembler::new(ooo_capacity),
+            syn_seen: false,
+            synack_seen: false,
+            established: false,
+            rst: false,
+            first_seen_ns: now_ns,
+            last_seen_ns: now_ns,
+        }
+    }
+
+    /// Both directions' stats, selected by direction.
+    pub fn dir_stats(&self, dir: Dir) -> &DirStats {
+        match dir {
+            Dir::OrigToResp => &self.ctos,
+            Dir::RespToOrig => &self.stoc,
+        }
+    }
+
+    /// The reassembler for a direction.
+    pub fn reassembler(&mut self, dir: Dir) -> &mut StreamReassembler {
+        match dir {
+            Dir::OrigToResp => &mut self.reasm_ctos,
+            Dir::RespToOrig => &mut self.reasm_stoc,
+        }
+    }
+
+    /// Total packets across both directions.
+    pub fn total_packets(&self) -> u64 {
+        self.ctos.packets + self.stoc.packets
+    }
+
+    /// Total payload bytes across both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.ctos.bytes + self.stoc.bytes
+    }
+
+    /// True when the connection is a single unanswered SYN so far — the
+    /// dominant connection type on real networks (~65%, Appendix C).
+    pub fn is_single_syn(&self) -> bool {
+        self.syn_seen && !self.synack_seen && self.total_packets() == 1
+    }
+
+    /// True when TCP teardown completed (RST, or FINs both ways).
+    pub fn terminated(&self) -> bool {
+        self.rst || (self.ctos.fin && self.stoc.fin)
+    }
+
+    /// Accounts one packet into the flow; updates handshake state,
+    /// counters, and the direction's reassembler. `mbuf` is held by
+    /// reference if the segment must be buffered out of order.
+    ///
+    /// `stream_active` selects full reassembly (buffering out-of-order
+    /// segments for in-order delivery) vs. counting-only sequence
+    /// tracking — the §5.2 optimization of not reordering flows the
+    /// subscription no longer needs bytes from.
+    pub fn update(
+        &mut self,
+        pkt: &ParsedPacket,
+        mbuf: &retina_nic::Mbuf,
+        dir: Dir,
+        now_ns: u64,
+        stream_active: bool,
+    ) -> FlowUpdate {
+        self.last_seen_ns = now_ns;
+        let payload_len = pkt.payload_len() as u32;
+        let stats = match dir {
+            Dir::OrigToResp => &mut self.ctos,
+            Dir::RespToOrig => &mut self.stoc,
+        };
+        stats.packets += 1;
+        stats.bytes += u64::from(payload_len);
+
+        let L4Header::Tcp { flags, seq, .. } = pkt.l4 else {
+            // UDP/other: no sequencing; every datagram is "in order".
+            if stats.packets > 0 && self.ctos.packets > 0 && self.stoc.packets > 0 {
+                self.established = true;
+            }
+            return FlowUpdate {
+                reassembly: Reassembled::InOrder,
+                terminated: false,
+            };
+        };
+
+        let flags = TcpFlags(flags.0);
+        if flags.rst() {
+            self.rst = true;
+        }
+        if flags.syn() && !flags.ack() && dir == Dir::OrigToResp {
+            self.syn_seen = true;
+            self.reassembler(dir).init_seq(seq.wrapping_add(1));
+        } else if flags.syn() && flags.ack() && dir == Dir::RespToOrig {
+            self.synack_seen = true;
+            self.reassembler(dir).init_seq(seq.wrapping_add(1));
+        }
+        if self.syn_seen && self.synack_seen && flags.ack() && !flags.syn() {
+            self.established = true;
+        }
+        // Data in both directions also counts as established (mid-stream
+        // pickup without observed handshake).
+        if self.ctos.bytes > 0 && self.stoc.bytes > 0 {
+            self.established = true;
+        }
+
+        let fin_consumes = u32::from(flags.fin());
+        let consumed = payload_len + fin_consumes;
+        let reassembly = if consumed > 0 && !flags.syn() {
+            if stream_active {
+                self.reassembler(dir).offer(seq, consumed, mbuf)
+            } else {
+                self.reassembler(dir).track_only(seq, consumed)
+            }
+        } else {
+            Reassembled::InOrder
+        };
+        if reassembly == Reassembled::Buffered {
+            let stats = match dir {
+                Dir::OrigToResp => &mut self.ctos,
+                Dir::RespToOrig => &mut self.stoc,
+            };
+            stats.ooo_packets += 1;
+        }
+        if flags.fin() && reassembly != Reassembled::Duplicate {
+            match dir {
+                Dir::OrigToResp => self.ctos.fin = true,
+                Dir::RespToOrig => self.stoc.fin = true,
+            }
+        }
+        FlowUpdate {
+            reassembly,
+            terminated: self.terminated(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::FiveTuple;
+    use retina_wire::build::{build_tcp, TcpSpec};
+
+    fn pkt(src: &str, dst: &str, seq: u32, flags: u8, payload: &[u8]) -> ParsedPacket {
+        let frame = build_tcp(&TcpSpec {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            seq,
+            ack: 0,
+            flags,
+            window: 64,
+            ttl: 64,
+            payload,
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    fn mb() -> retina_nic::Mbuf {
+        retina_nic::Mbuf::from_bytes(bytes::Bytes::from_static(b"frame"))
+    }
+
+    const CLIENT: &str = "10.0.0.1:5000";
+    const SERVER: &str = "1.1.1.1:443";
+
+    fn handshake(flow: &mut TcpFlow) {
+        flow.update(
+            &pkt(CLIENT, SERVER, 100, TcpFlags::SYN, b""),
+            &mb(),
+            Dir::OrigToResp,
+            0, true,
+        );
+        flow.update(
+            &pkt(SERVER, CLIENT, 500, TcpFlags::SYN | TcpFlags::ACK, b""),
+            &mb(),
+            Dir::RespToOrig,
+            1, true,
+        );
+        flow.update(
+            &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b""),
+            &mb(),
+            Dir::OrigToResp,
+            2, true,
+        );
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let mut flow = TcpFlow::new(0, 500);
+        assert!(!flow.established);
+        flow.update(
+            &pkt(CLIENT, SERVER, 100, TcpFlags::SYN, b""),
+            &mb(),
+            Dir::OrigToResp,
+            0, true,
+        );
+        assert!(flow.syn_seen && !flow.established);
+        assert!(flow.is_single_syn());
+        flow.update(
+            &pkt(SERVER, CLIENT, 500, TcpFlags::SYN | TcpFlags::ACK, b""),
+            &mb(),
+            Dir::RespToOrig,
+            1, true,
+        );
+        assert!(flow.synack_seen && !flow.established);
+        flow.update(
+            &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b""),
+            &mb(),
+            Dir::OrigToResp,
+            2, true,
+        );
+        assert!(flow.established);
+        assert!(!flow.is_single_syn());
+        assert_eq!(flow.last_seen_ns, 2);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut flow = TcpFlow::new(0, 500);
+        handshake(&mut flow);
+        flow.update(
+            &pkt(CLIENT, SERVER, 101, TcpFlags::ACK | TcpFlags::PSH, b"hello"),
+            &mb(),
+            Dir::OrigToResp,
+            3, true,
+        );
+        flow.update(
+            &pkt(
+                SERVER,
+                CLIENT,
+                501,
+                TcpFlags::ACK | TcpFlags::PSH,
+                b"world!!!",
+            ),
+            &mb(),
+            Dir::RespToOrig,
+            4, true,
+        );
+        assert_eq!(flow.ctos.bytes, 5);
+        assert_eq!(flow.stoc.bytes, 8);
+        assert_eq!(flow.total_bytes(), 13);
+        assert_eq!(flow.total_packets(), 5);
+    }
+
+    #[test]
+    fn fin_teardown() {
+        let mut flow = TcpFlow::new(0, 500);
+        handshake(&mut flow);
+        let u = flow.update(
+            &pkt(CLIENT, SERVER, 101, TcpFlags::FIN | TcpFlags::ACK, b""),
+            &mb(),
+            Dir::OrigToResp,
+            3, true,
+        );
+        assert!(!u.terminated);
+        let u = flow.update(
+            &pkt(SERVER, CLIENT, 501, TcpFlags::FIN | TcpFlags::ACK, b""),
+            &mb(),
+            Dir::RespToOrig,
+            4, true,
+        );
+        assert!(u.terminated);
+        assert!(flow.terminated());
+    }
+
+    #[test]
+    fn rst_teardown() {
+        let mut flow = TcpFlow::new(0, 500);
+        handshake(&mut flow);
+        let u = flow.update(
+            &pkt(SERVER, CLIENT, 501, TcpFlags::RST, b""),
+            &mb(),
+            Dir::RespToOrig,
+            3, true,
+        );
+        assert!(u.terminated);
+    }
+
+    #[test]
+    fn out_of_order_counted() {
+        let mut flow = TcpFlow::new(0, 500);
+        handshake(&mut flow);
+        // Expected seq is 101; deliver 1561 first (one segment early).
+        let u = flow.update(
+            &pkt(CLIENT, SERVER, 1561, TcpFlags::ACK, &[0u8; 100]),
+            &mb(),
+            Dir::OrigToResp,
+            3, true,
+        );
+        assert_eq!(u.reassembly, Reassembled::Buffered);
+        assert_eq!(flow.ctos.ooo_packets, 1);
+        let u = flow.update(
+            &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, &[0u8; 1460]),
+            &mb(),
+            Dir::OrigToResp,
+            4, true,
+        );
+        assert_eq!(u.reassembly, Reassembled::InOrder);
+    }
+
+    #[test]
+    fn retransmission_is_duplicate() {
+        let mut flow = TcpFlow::new(0, 500);
+        handshake(&mut flow);
+        flow.update(
+            &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b"data"),
+            &mb(),
+            Dir::OrigToResp,
+            3, true,
+        );
+        let u = flow.update(
+            &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b"data"),
+            &mb(),
+            Dir::OrigToResp,
+            4, true,
+        );
+        assert_eq!(u.reassembly, Reassembled::Duplicate);
+    }
+
+    #[test]
+    fn udp_flow_counters() {
+        use retina_wire::build::{build_udp, UdpSpec};
+        let frame = build_udp(&UdpSpec {
+            src: CLIENT.parse().unwrap(),
+            dst: SERVER.parse().unwrap(),
+            ttl: 64,
+            payload: b"dns query bytes",
+        });
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        let tuple = FiveTuple::from_packet(&pkt);
+        let mut flow = TcpFlow::new(0, 500);
+        let dir = tuple.dir_of(&pkt).unwrap();
+        let u = flow.update(&pkt, &mb(), dir, 5, true);
+        assert_eq!(u.reassembly, Reassembled::InOrder);
+        assert_eq!(flow.ctos.bytes, 15);
+        assert!(!flow.established);
+    }
+
+    #[test]
+    fn mid_stream_establishment() {
+        // Data both ways without an observed handshake.
+        let mut flow = TcpFlow::new(0, 500);
+        flow.update(
+            &pkt(CLIENT, SERVER, 9000, TcpFlags::ACK, b"req"),
+            &mb(),
+            Dir::OrigToResp,
+            0, true,
+        );
+        assert!(!flow.established);
+        flow.update(
+            &pkt(SERVER, CLIENT, 77000, TcpFlags::ACK, b"resp"),
+            &mb(),
+            Dir::RespToOrig,
+            1, true,
+        );
+        assert!(flow.established);
+    }
+}

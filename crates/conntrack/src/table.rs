@@ -1,0 +1,433 @@
+//! The per-core connection table with timer-wheel expiration.
+//!
+//! Each worker core owns one `ConnTable`; symmetric RSS guarantees it
+//! only ever sees its own connections, so no synchronization is needed.
+//! Timeouts follow §5.2's two-level scheme: a short *establishment*
+//! timeout expires unanswered SYNs quickly (65% of connections!), and a
+//! longer *inactivity* timeout reclaims established-but-idle connections.
+//! Figure 8 reproduces the memory effect of these choices.
+
+use std::collections::HashMap;
+
+use crate::timerwheel::TimerWheel;
+use crate::tuple::{ConnKey, FiveTuple};
+
+/// Timeout configuration (nanoseconds). `None` disables a timeout — the
+/// configurations compared in Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutConfig {
+    /// Time allowed from first packet to establishment (default 5 s).
+    pub establish_ns: Option<u64>,
+    /// Maximum idle time for established connections (default 5 min).
+    pub inactivity_ns: Option<u64>,
+}
+
+impl Default for TimeoutConfig {
+    fn default() -> Self {
+        TimeoutConfig {
+            establish_ns: Some(5_000_000_000),
+            inactivity_ns: Some(300_000_000_000),
+        }
+    }
+}
+
+impl TimeoutConfig {
+    /// The paper's default: 5 s establish + 5 min inactivity.
+    pub fn retina_default() -> Self {
+        Self::default()
+    }
+
+    /// Single 5-minute inactivity timeout (Figure 8's middle line).
+    pub fn inactivity_only() -> Self {
+        TimeoutConfig {
+            establish_ns: None,
+            inactivity_ns: Some(300_000_000_000),
+        }
+    }
+
+    /// No timeouts at all (Figure 8's out-of-memory line).
+    pub fn none() -> Self {
+        TimeoutConfig {
+            establish_ns: None,
+            inactivity_ns: None,
+        }
+    }
+}
+
+/// A tracked connection: identity, liveness stamps, and caller state.
+#[derive(Debug)]
+pub struct ConnEntry<V> {
+    /// Oriented five-tuple (originator = first packet seen).
+    pub tuple: FiveTuple,
+    /// First-packet timestamp.
+    pub created_ns: u64,
+    /// Most recent packet timestamp. The table updates this on
+    /// packet processing; the wheel is *not* touched per packet.
+    pub last_seen_ns: u64,
+    /// Whether the connection is established (drives which timeout
+    /// applies).
+    pub established: bool,
+    /// Caller-owned per-connection state.
+    pub value: V,
+}
+
+/// Per-core connection hash table with lazy timer-wheel expiration.
+#[derive(Debug)]
+pub struct ConnTable<V> {
+    map: HashMap<ConnKey, ConnEntry<V>>,
+    wheel: TimerWheel,
+    config: TimeoutConfig,
+    scratch: Vec<(ConnKey, u64)>,
+}
+
+impl<V> ConnTable<V> {
+    /// Creates a table with the given timeout configuration.
+    ///
+    /// The wheel tick is 100 ms with 4096 slots (409 s horizon) — enough
+    /// for the default 5-minute inactivity timeout to schedule without
+    /// clamping in the common case.
+    pub fn new(config: TimeoutConfig) -> Self {
+        ConnTable {
+            map: HashMap::new(),
+            wheel: TimerWheel::new(100_000_000, 4096),
+            config,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of tracked connections.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns true when no connections are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The active timeout configuration.
+    pub fn config(&self) -> TimeoutConfig {
+        self.config
+    }
+
+    /// Looks up a connection.
+    pub fn get_mut(&mut self, key: &ConnKey) -> Option<&mut ConnEntry<V>> {
+        self.map.get_mut(key)
+    }
+
+    /// Returns the entry for `key`, inserting a new one (built by `init`)
+    /// on first sight. New connections are scheduled on the wheel.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: ConnKey,
+        now_ns: u64,
+        init: impl FnOnce() -> (FiveTuple, V),
+    ) -> &mut ConnEntry<V> {
+        let wheel = &mut self.wheel;
+        let config = &self.config;
+        self.map.entry(key).or_insert_with(|| {
+            let (tuple, value) = init();
+            if let Some(deadline) = initial_deadline(config, now_ns) {
+                wheel.schedule(key, deadline);
+            }
+            ConnEntry {
+                tuple,
+                created_ns: now_ns,
+                last_seen_ns: now_ns,
+                established: false,
+                value,
+            }
+        })
+    }
+
+    /// Removes a connection (e.g. on natural termination or an early
+    /// filter discard). Any wheel entry becomes a harmless tombstone.
+    pub fn remove(&mut self, key: &ConnKey) -> Option<ConnEntry<V>> {
+        self.map.remove(key)
+    }
+
+    /// Advances time, expiring connections whose applicable timeout has
+    /// elapsed. `on_expire` receives each expired entry.
+    pub fn advance(&mut self, now_ns: u64, mut on_expire: impl FnMut(ConnKey, ConnEntry<V>)) {
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        self.wheel.advance(now_ns, &mut candidates);
+        for (key, _) in candidates.drain(..) {
+            let Some(entry) = self.map.get(&key) else {
+                continue; // already removed: tombstone
+            };
+            match actual_deadline(&self.config, entry, now_ns) {
+                Some(deadline) if deadline <= now_ns => {
+                    let entry = self.map.remove(&key).expect("checked above");
+                    on_expire(key, entry);
+                }
+                Some(deadline) => self.wheel.schedule(key, deadline),
+                None => {
+                    // No applicable timeout (config disables it): do not
+                    // reschedule; the connection lives until termination.
+                }
+            }
+        }
+        self.scratch = candidates;
+    }
+
+    /// Iterates over all tracked entries (diagnostics / drain at exit).
+    pub fn iter(&self) -> impl Iterator<Item = (&ConnKey, &ConnEntry<V>)> {
+        self.map.iter()
+    }
+
+    /// Drains every tracked connection (used at shutdown to flush
+    /// partial sessions).
+    pub fn drain_all(&mut self) -> Vec<(ConnKey, ConnEntry<V>)> {
+        self.map.drain().collect()
+    }
+}
+
+fn initial_deadline(config: &TimeoutConfig, now_ns: u64) -> Option<u64> {
+    match (config.establish_ns, config.inactivity_ns) {
+        (Some(e), _) => Some(now_ns + e),
+        (None, Some(i)) => Some(now_ns + i),
+        (None, None) => None,
+    }
+}
+
+fn actual_deadline<V>(config: &TimeoutConfig, entry: &ConnEntry<V>, _now: u64) -> Option<u64> {
+    if entry.established {
+        config.inactivity_ns.map(|i| entry.last_seen_ns + i)
+    } else {
+        match (config.establish_ns, config.inactivity_ns) {
+            (Some(e), _) => Some(entry.created_ns + e),
+            (None, Some(i)) => Some(entry.last_seen_ns + i),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn key_tuple(n: u16) -> (ConnKey, FiveTuple) {
+        let orig: SocketAddr = format!("10.0.0.1:{n}").parse().unwrap();
+        let resp: SocketAddr = "1.1.1.1:443".parse().unwrap();
+        let tuple = FiveTuple {
+            orig,
+            resp,
+            proto: 6,
+        };
+        (tuple.key(), tuple)
+    }
+
+    fn insert(table: &mut ConnTable<u32>, n: u16, now: u64) -> ConnKey {
+        let (key, tuple) = key_tuple(n);
+        table.get_or_insert_with(key, now, || (tuple, 0));
+        key
+    }
+
+    #[test]
+    fn unanswered_syn_expires_at_establish_timeout() {
+        let mut table = ConnTable::new(TimeoutConfig::retina_default());
+        let key = insert(&mut table, 1, 0);
+        let mut expired = Vec::new();
+        table.advance(4 * SEC, |k, _| expired.push(k));
+        assert!(expired.is_empty());
+        table.advance(6 * SEC, |k, _| expired.push(k));
+        assert_eq!(expired, vec![key]);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn established_connection_uses_inactivity_timeout() {
+        let mut table = ConnTable::new(TimeoutConfig::retina_default());
+        let key = insert(&mut table, 1, 0);
+        {
+            let entry = table.get_mut(&key).unwrap();
+            entry.established = true;
+            entry.last_seen_ns = SEC;
+        }
+        let mut expired = Vec::new();
+        // Survives the establish horizon.
+        table.advance(10 * SEC, |k, _| expired.push(k));
+        assert!(
+            expired.is_empty(),
+            "established conn must not expire at 10s"
+        );
+        assert_eq!(table.len(), 1);
+        // Expires after 5 minutes of inactivity.
+        table.advance(302 * SEC, |k, _| expired.push(k));
+        assert_eq!(expired, vec![key]);
+    }
+
+    #[test]
+    fn activity_defers_expiration() {
+        let mut table = ConnTable::new(TimeoutConfig::retina_default());
+        let key = insert(&mut table, 1, 0);
+        {
+            let e = table.get_mut(&key).unwrap();
+            e.established = true;
+        }
+        let mut expired = Vec::new();
+        // Touch the connection every 100 s; it must survive well past the
+        // 300 s inactivity timeout measured from creation.
+        for t in 1..8u64 {
+            table.advance(t * 100 * SEC, |k, _| expired.push(k));
+            if let Some(e) = table.get_mut(&key) {
+                e.last_seen_ns = t * 100 * SEC;
+            }
+        }
+        assert!(expired.is_empty(), "active conn expired: {expired:?}");
+        // Now go idle.
+        table.advance(1200 * SEC, |k, _| expired.push(k));
+        assert_eq!(expired, vec![key]);
+    }
+
+    #[test]
+    fn removed_connection_is_tombstone() {
+        let mut table = ConnTable::new(TimeoutConfig::retina_default());
+        let key = insert(&mut table, 1, 0);
+        table.remove(&key).unwrap();
+        let mut expired = Vec::new();
+        table.advance(10 * SEC, |k, _| expired.push(k));
+        assert!(expired.is_empty());
+    }
+
+    #[test]
+    fn no_timeouts_never_expires() {
+        let mut table = ConnTable::new(TimeoutConfig::none());
+        insert(&mut table, 1, 0);
+        let mut expired = Vec::new();
+        table.advance(10_000 * SEC, |k, _| expired.push(k));
+        assert!(expired.is_empty());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn inactivity_only_keeps_syns_longer() {
+        // The Figure 8 comparison: without the establish timeout, a
+        // single-SYN connection lives the full 5 minutes.
+        let mut default_table = ConnTable::new(TimeoutConfig::retina_default());
+        let mut inact_table = ConnTable::new(TimeoutConfig::inactivity_only());
+        insert(&mut default_table, 1, 0);
+        insert(&mut inact_table, 1, 0);
+        let mut d_expired = 0;
+        let mut i_expired = 0;
+        default_table.advance(60 * SEC, |_, _| d_expired += 1);
+        inact_table.advance(60 * SEC, |_, _| i_expired += 1);
+        assert_eq!(d_expired, 1, "default expires the SYN at 5s");
+        assert_eq!(i_expired, 0, "inactivity-only keeps it");
+        inact_table.advance(301 * SEC, |_, _| i_expired += 1);
+        assert_eq!(i_expired, 1);
+    }
+
+    #[test]
+    fn many_connections_scale() {
+        let mut table = ConnTable::new(TimeoutConfig::retina_default());
+        for n in 0..10_000u16 {
+            insert(&mut table, n, (n as u64) * 1_000); // staggered µs
+        }
+        assert_eq!(table.len(), 10_000);
+        let mut expired = 0;
+        table.advance(6 * SEC, |_, _| expired += 1);
+        assert_eq!(expired, 10_000);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_is_idempotent() {
+        let mut table = ConnTable::new(TimeoutConfig::retina_default());
+        let (key, tuple) = key_tuple(1);
+        table.get_or_insert_with(key, 0, || (tuple, 41));
+        let e = table.get_or_insert_with(key, 99, || (tuple, 42));
+        assert_eq!(e.value, 41, "existing entry preserved");
+        assert_eq!(e.created_ns, 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn drain_all() {
+        let mut table = ConnTable::new(TimeoutConfig::retina_default());
+        insert(&mut table, 1, 0);
+        insert(&mut table, 2, 0);
+        let drained = table.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(table.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::net::SocketAddr;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random interleavings of inserts, touches, removals, and time
+        /// advances never lose a connection (expired + removed + resident
+        /// always equals inserted) and never expire a recently-active
+        /// established connection.
+        #[test]
+        fn conservation_and_no_premature_expiry(
+            ops in proptest::collection::vec((0u8..4, 0u16..64, 0u64..200), 1..400)
+        ) {
+            const SEC: u64 = 1_000_000_000;
+            let mut table: ConnTable<u8> = ConnTable::new(TimeoutConfig::retina_default());
+            let mut now = 0u64;
+            let mut inserted = std::collections::HashSet::new();
+            let mut removed = 0usize;
+            let mut expired = 0usize;
+            for (op, conn, dt) in ops {
+                now += dt * SEC / 10; // advance up to 20s per step
+                let orig: SocketAddr = format!("10.0.0.1:{}", 1000 + conn).parse().unwrap();
+                let resp: SocketAddr = "1.1.1.1:443".parse().unwrap();
+                let tuple = FiveTuple { orig, resp, proto: 6 };
+                let key = tuple.key();
+                match op {
+                    0 => {
+                        // Insert (or refresh existing).
+                        table.get_or_insert_with(key, now, || (tuple, 0));
+                        inserted.insert(key);
+                    }
+                    1 => {
+                        // Activity on an established connection.
+                        if let Some(e) = table.get_mut(&key) {
+                            e.established = true;
+                            e.last_seen_ns = now;
+                        }
+                    }
+                    2 => {
+                        if table.remove(&key).is_some() {
+                            removed += 1;
+                            inserted.remove(&key);
+                        }
+                    }
+                    _ => {
+                        let mut this_round = Vec::new();
+                        table.advance(now, |k, e| this_round.push((k, e)));
+                        for (k, e) in this_round {
+                            expired += 1;
+                            inserted.remove(&k);
+                            // No premature expiry: established conns must
+                            // have been idle past the inactivity timeout.
+                            if e.established {
+                                prop_assert!(
+                                    now >= e.last_seen_ns + 300 * SEC,
+                                    "premature expiry at {now}: last_seen {}",
+                                    e.last_seen_ns
+                                );
+                            } else {
+                                prop_assert!(now >= e.created_ns + 5 * SEC);
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), inserted.len());
+            let _ = (removed, expired);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Timer wheel for connection expiration (Varghese & Lauck style, §5.2).
+//!
+//! Design goals, following the paper and Girondi et al.: per-packet work
+//! stays O(1) — activity updates only touch the connection's
+//! `last_seen` stamp, never the wheel — and expiration work is amortized
+//! by lazy revalidation: entries whose deadline has passed are handed to
+//! the owner, which checks the connection's *actual* deadline and
+//! reschedules if it moved.
+//!
+//! Deadlines beyond the wheel horizon are clamped to the furthest slot;
+//! revalidation naturally reschedules them, giving unbounded range with a
+//! fixed-size wheel (the "hierarchical" behavior).
+
+use crate::tuple::ConnKey;
+
+/// A fixed-size timer wheel keyed by [`ConnKey`].
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick_ns: u64,
+    slots: Vec<Vec<(ConnKey, u64)>>,
+    /// The tick index up to which the wheel has been advanced.
+    current_tick: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel with `num_slots` slots of `tick_ns` nanoseconds.
+    ///
+    /// # Panics
+    /// Panics on a zero tick or slot count (configuration error).
+    pub fn new(tick_ns: u64, num_slots: usize) -> Self {
+        assert!(tick_ns > 0 && num_slots > 1, "invalid timer wheel config");
+        TimerWheel {
+            tick_ns,
+            slots: (0..num_slots).map(|_| Vec::new()).collect(),
+            current_tick: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true when no entries are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel horizon in nanoseconds (deadlines further out are clamped
+    /// and revalidated on expiry).
+    pub fn horizon_ns(&self) -> u64 {
+        self.tick_ns * (self.slots.len() as u64 - 1)
+    }
+
+    /// Schedules `key` to fire at `deadline_ns`. Deadlines in the past
+    /// fire on the next [`TimerWheel::advance`]; deadlines beyond the
+    /// horizon are clamped.
+    pub fn schedule(&mut self, key: ConnKey, deadline_ns: u64) {
+        let deadline_tick = deadline_ns / self.tick_ns;
+        // Never schedule into the current or past tick's slot: it would
+        // only fire after a full rotation.
+        let tick = deadline_tick
+            .max(self.current_tick + 1)
+            .min(self.current_tick + self.slots.len() as u64 - 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push((key, deadline_ns));
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now_ns`, collecting every entry whose slot
+    /// has come due. Entries are candidates — the owner must revalidate
+    /// against the connection's actual deadline.
+    pub fn advance(&mut self, now_ns: u64, expired: &mut Vec<(ConnKey, u64)>) {
+        let target_tick = now_ns / self.tick_ns;
+        // Bound the walk to one full rotation: beyond that every slot has
+        // been visited.
+        let steps = (target_tick.saturating_sub(self.current_tick)).min(self.slots.len() as u64);
+        for _ in 0..steps {
+            self.current_tick += 1;
+            let slot = (self.current_tick % self.slots.len() as u64) as usize;
+            self.len -= self.slots[slot].len();
+            expired.append(&mut self.slots[slot]);
+        }
+        self.current_tick = self.current_tick.max(target_tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+
+    fn key(n: u16) -> ConnKey {
+        let a: SocketAddr = format!("10.0.0.1:{n}").parse().unwrap();
+        let b: SocketAddr = "1.1.1.1:443".parse().unwrap();
+        ConnKey::new(a, b, 6)
+    }
+
+    #[test]
+    fn fires_at_deadline() {
+        let mut wheel = TimerWheel::new(1_000, 64); // 1µs ticks
+        wheel.schedule(key(1), 5_000);
+        let mut out = Vec::new();
+        wheel.advance(4_000, &mut out);
+        assert!(out.is_empty());
+        wheel.advance(6_000, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, key(1));
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn multiple_keys_same_slot() {
+        let mut wheel = TimerWheel::new(1_000, 8);
+        wheel.schedule(key(1), 3_000);
+        wheel.schedule(key(2), 3_500);
+        assert_eq!(wheel.len(), 2);
+        let mut out = Vec::new();
+        wheel.advance(4_000, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn beyond_horizon_clamped_not_lost() {
+        let mut wheel = TimerWheel::new(1_000, 8); // horizon 7µs
+        wheel.schedule(key(1), 1_000_000); // way out
+        let mut out = Vec::new();
+        wheel.advance(8_000, &mut out);
+        // Fires early (clamped); owner revalidates and reschedules.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 1_000_000, "original deadline preserved");
+    }
+
+    #[test]
+    fn past_deadline_fires_next_advance() {
+        let mut wheel = TimerWheel::new(1_000, 8);
+        let mut out = Vec::new();
+        wheel.advance(10_000, &mut out);
+        wheel.schedule(key(1), 1_000); // already past
+        wheel.advance(12_000, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn large_time_jump_bounded_walk() {
+        let mut wheel = TimerWheel::new(1_000, 8);
+        wheel.schedule(key(1), 2_000);
+        let mut out = Vec::new();
+        // Jump far ahead: the walk is bounded by one rotation but must
+        // still collect everything due.
+        wheel.advance(1_000_000_000, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_advance() {
+        let mut wheel = TimerWheel::new(1_000, 16);
+        let mut fired = Vec::new();
+        for i in 0..100u64 {
+            wheel.schedule(key(i as u16), (i + 2) * 1_000);
+            let mut out = Vec::new();
+            wheel.advance(i * 1_000, &mut out);
+            fired.extend(out);
+        }
+        let mut out = Vec::new();
+        wheel.advance(200_000, &mut out);
+        fired.extend(out);
+        assert_eq!(fired.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid timer wheel")]
+    fn zero_tick_panics() {
+        let _ = TimerWheel::new(0, 8);
+    }
+}

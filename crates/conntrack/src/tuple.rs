@@ -1,0 +1,204 @@
+//! Connection identity: five-tuples and canonical table keys.
+
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+
+use retina_wire::ParsedPacket;
+
+/// Packet direction relative to the connection originator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Originator → responder.
+    OrigToResp,
+    /// Responder → originator.
+    RespToOrig,
+}
+
+impl Dir {
+    /// Flips the direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::OrigToResp => Dir::RespToOrig,
+            Dir::RespToOrig => Dir::OrigToResp,
+        }
+    }
+}
+
+/// A connection five-tuple with originator/responder orientation.
+///
+/// The *originator* is whichever endpoint sent the first packet the
+/// framework observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    /// Originator endpoint.
+    pub orig: SocketAddr,
+    /// Responder endpoint.
+    pub resp: SocketAddr,
+    /// IP protocol number (6 = TCP, 17 = UDP, …).
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// Builds the tuple from a packet, treating its source as originator.
+    pub fn from_packet(pkt: &ParsedPacket) -> FiveTuple {
+        FiveTuple {
+            orig: SocketAddr::new(pkt.src_ip, pkt.src_port),
+            resp: SocketAddr::new(pkt.dst_ip, pkt.dst_port),
+            proto: pkt.protocol.into(),
+        }
+    }
+
+    /// The canonical, direction-independent table key.
+    pub fn key(&self) -> ConnKey {
+        ConnKey::new(self.orig, self.resp, self.proto)
+    }
+
+    /// The direction of a packet within this connection, or `None` if the
+    /// packet belongs to a different connection.
+    pub fn dir_of(&self, pkt: &ParsedPacket) -> Option<Dir> {
+        let src = SocketAddr::new(pkt.src_ip, pkt.src_port);
+        let dst = SocketAddr::new(pkt.dst_ip, pkt.dst_port);
+        if src == self.orig && dst == self.resp {
+            Some(Dir::OrigToResp)
+        } else if src == self.resp && dst == self.orig {
+            Some(Dir::RespToOrig)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {} (proto {})", self.orig, self.resp, self.proto)
+    }
+}
+
+/// Canonical connection key: the endpoint pair ordered so both directions
+/// of a connection hash identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnKey {
+    lo: SocketAddr,
+    hi: SocketAddr,
+    proto: u8,
+}
+
+impl ConnKey {
+    /// Builds a key from an endpoint pair.
+    pub fn new(a: SocketAddr, b: SocketAddr, proto: u8) -> ConnKey {
+        let (lo, hi) = if cmp_addr(&a, &b) <= std::cmp::Ordering::Equal {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        ConnKey { lo, hi, proto }
+    }
+
+    /// Builds the key for a packet's connection.
+    pub fn from_packet(pkt: &ParsedPacket) -> ConnKey {
+        ConnKey::new(
+            SocketAddr::new(pkt.src_ip, pkt.src_port),
+            SocketAddr::new(pkt.dst_ip, pkt.dst_port),
+            pkt.protocol.into(),
+        )
+    }
+
+    /// IP protocol number.
+    pub fn proto(&self) -> u8 {
+        self.proto
+    }
+}
+
+fn cmp_addr(a: &SocketAddr, b: &SocketAddr) -> std::cmp::Ordering {
+    fn ip_key(ip: &IpAddr) -> (u8, u128) {
+        match ip {
+            IpAddr::V4(v4) => (4, u128::from(u32::from(*v4))),
+            IpAddr::V6(v6) => (6, u128::from(*v6)),
+        }
+    }
+    ip_key(&a.ip())
+        .cmp(&ip_key(&b.ip()))
+        .then(a.port().cmp(&b.port()))
+}
+
+/// A placeholder address for empty slots (used by tests).
+pub fn unspecified() -> SocketAddr {
+    SocketAddr::new(IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retina_wire::build::{build_tcp, TcpSpec};
+    use retina_wire::TcpFlags;
+
+    fn pkt(src: &str, dst: &str) -> ParsedPacket {
+        let frame = build_tcp(&TcpSpec {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64,
+            ttl: 64,
+            payload: b"",
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    #[test]
+    fn key_is_direction_independent() {
+        let fwd = ConnKey::from_packet(&pkt("10.0.0.1:5000", "1.1.1.1:443"));
+        let rev = ConnKey::from_packet(&pkt("1.1.1.1:443", "10.0.0.1:5000"));
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.proto(), 6);
+    }
+
+    #[test]
+    fn different_connections_different_keys() {
+        let a = ConnKey::from_packet(&pkt("10.0.0.1:5000", "1.1.1.1:443"));
+        let b = ConnKey::from_packet(&pkt("10.0.0.1:5001", "1.1.1.1:443"));
+        let c = ConnKey::from_packet(&pkt("10.0.0.2:5000", "1.1.1.1:443"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn five_tuple_orientation() {
+        let first = pkt("10.0.0.1:5000", "1.1.1.1:443");
+        let tuple = FiveTuple::from_packet(&first);
+        assert_eq!(tuple.orig.port(), 5000);
+        assert_eq!(tuple.resp.port(), 443);
+        assert_eq!(tuple.dir_of(&first), Some(Dir::OrigToResp));
+        let reply = pkt("1.1.1.1:443", "10.0.0.1:5000");
+        assert_eq!(tuple.dir_of(&reply), Some(Dir::RespToOrig));
+        let other = pkt("9.9.9.9:1:".trim_end_matches(':'), "1.1.1.1:443");
+        assert_eq!(tuple.dir_of(&other), None);
+    }
+
+    #[test]
+    fn v6_and_v4_keys_disjoint() {
+        let v4 = ConnKey::from_packet(&pkt("10.0.0.1:5000", "1.1.1.1:443"));
+        let v6 = ConnKey::from_packet(&pkt("[2001:db8::1]:5000", "[2001:db8::2]:443"));
+        assert_ne!(v4, v6);
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::OrigToResp.flip(), Dir::RespToOrig);
+        assert_eq!(Dir::RespToOrig.flip(), Dir::OrigToResp);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn key_symmetry_property(
+            a in proptest::prelude::any::<u32>(),
+            b in proptest::prelude::any::<u32>(),
+            pa in proptest::prelude::any::<u16>(),
+            pb in proptest::prelude::any::<u16>(),
+        ) {
+            let sa = SocketAddr::new(IpAddr::V4(a.into()), pa);
+            let sb = SocketAddr::new(IpAddr::V4(b.into()), pb);
+            proptest::prop_assert_eq!(ConnKey::new(sa, sb, 6), ConnKey::new(sb, sa, 6));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Real-time run monitoring (§5.3).
+//!
+//! "Retina does provide logs and real-time monitoring of packet loss,
+//! throughput, and memory usage that can be used as feedback to adjust
+//! the filter or improve callback efficiency." This module implements
+//! that feedback loop: [`Monitor`] samples the NIC counters and runtime
+//! gauges on an interval and hands each [`MonitorSample`] to a sink
+//! (a logger, a CSV writer, an adaptive controller…).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use retina_nic::{PortStatsSnapshot, VirtualNic};
+
+use crate::runtime::RuntimeGauges;
+
+/// One monitoring sample.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorSample {
+    /// Wall-clock time since monitoring started.
+    pub elapsed: Duration,
+    /// Delivered throughput since the previous sample (Gbps).
+    pub gbps: f64,
+    /// Packets lost (ring overflow + mempool exhaustion) since the
+    /// previous sample.
+    pub lost: u64,
+    /// Packets dropped by hardware rules since the previous sample.
+    pub hw_dropped: u64,
+    /// Connections currently tracked across all cores.
+    pub connections: usize,
+    /// Estimated connection-state bytes across all cores.
+    pub state_bytes: usize,
+    /// Packet buffers currently held in the mempool.
+    pub mbufs_in_use: usize,
+    /// Simulation clock high-water mark (ns).
+    pub sim_clock_ns: u64,
+}
+
+impl MonitorSample {
+    /// Renders the sample as a single human-readable log line.
+    pub fn to_log_line(&self) -> String {
+        format!(
+            "[{:>8.1}s] {:>7.2} Gbps | lost {:>6} | hw-drop {:>8} | conns {:>8} ({} KB) | mbufs {:>7}",
+            self.elapsed.as_secs_f64(),
+            self.gbps,
+            self.lost,
+            self.hw_dropped,
+            self.connections,
+            self.state_bytes / 1024,
+            self.mbufs_in_use,
+        )
+    }
+}
+
+/// A periodic sampler over a running [`crate::Runtime`]'s NIC and gauges.
+pub struct Monitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<Vec<MonitorSample>>>,
+}
+
+impl Monitor {
+    /// Starts sampling every `interval`, feeding each sample to `sink`.
+    /// All samples are also collected and returned by [`Monitor::stop`].
+    pub fn start(
+        nic: Arc<VirtualNic>,
+        gauges: Arc<RuntimeGauges>,
+        interval: Duration,
+        mut sink: impl FnMut(&MonitorSample) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut samples = Vec::new();
+            let mut prev: PortStatsSnapshot = nic.stats();
+            let mut prev_t = start;
+            while !stop2.load(Ordering::Acquire) {
+                std::thread::sleep(interval);
+                let now = Instant::now();
+                let stats = nic.stats();
+                let dt = now.duration_since(prev_t).as_secs_f64().max(1e-9);
+                let sample = MonitorSample {
+                    elapsed: now.duration_since(start),
+                    gbps: ((stats.rx_bytes - prev.rx_bytes) as f64 * 8.0) / dt / 1e9,
+                    lost: stats.lost() - prev.lost(),
+                    hw_dropped: stats.hw_dropped - prev.hw_dropped,
+                    connections: gauges
+                        .connections
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .sum(),
+                    state_bytes: gauges
+                        .state_bytes
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .sum(),
+                    mbufs_in_use: nic.mempool().in_use(),
+                    sim_clock_ns: gauges.sim_clock_ns.load(Ordering::Relaxed),
+                };
+                sink(&sample);
+                samples.push(sample);
+                prev = stats;
+                prev_t = now;
+            }
+            samples
+        });
+        Monitor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the monitor and returns every collected sample.
+    pub fn stop(mut self) -> Vec<MonitorSample> {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or_default())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_log_line_formats() {
+        let s = MonitorSample {
+            elapsed: Duration::from_secs(5),
+            gbps: 42.5,
+            lost: 0,
+            hw_dropped: 100,
+            connections: 1234,
+            state_bytes: 64 * 1024,
+            mbufs_in_use: 77,
+            sim_clock_ns: 1,
+        };
+        let line = s.to_log_line();
+        assert!(line.contains("42.50 Gbps"));
+        assert!(line.contains("conns     1234 (64 KB)"));
+    }
+}

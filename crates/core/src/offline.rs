@@ -1,0 +1,85 @@
+//! Offline (single-core, pull-based) processing mode.
+//!
+//! Appendix B evaluates filter compilation "in offline mode, which
+//! ingests a pcap instead of packets from the network interface". This
+//! module is that mode: the same pipeline as a worker core, driven
+//! synchronously from an in-memory packet iterator, with no NIC, RSS, or
+//! threads. It is also the easiest way to unit-test end-to-end behavior.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use retina_filter::{FilterFns, FilterResult};
+use retina_nic::Mbuf;
+use retina_wire::ParsedPacket;
+
+use crate::config::RuntimeConfig;
+use crate::stats::CoreStats;
+use crate::subscription::{Level, Subscribable};
+use crate::tracker::ConnTracker;
+
+/// Processes timestamped frames through the full pipeline on the calling
+/// thread. Returns the pipeline statistics.
+pub fn run_offline<S, F>(
+    filter: &Arc<F>,
+    config: &RuntimeConfig,
+    packets: impl IntoIterator<Item = (Bytes, u64)>,
+    mut callback: impl FnMut(S),
+) -> CoreStats
+where
+    S: Subscribable,
+    F: FilterFns + 'static,
+{
+    let mut tracker: ConnTracker<S, F> = ConnTracker::with_registry(
+        Arc::clone(filter),
+        config.timeouts,
+        config.ooo_capacity,
+        config.profile_stages,
+        config.parsers.clone(),
+    );
+    let mut max_ts = 0u64;
+    let mut count = 0usize;
+    for (frame, ts) in packets {
+        let mut mbuf = Mbuf::from_bytes(frame);
+        mbuf.timestamp_ns = ts;
+        max_ts = max_ts.max(ts);
+        tracker.stats.rx_packets += 1;
+        tracker.stats.rx_bytes += mbuf.len() as u64;
+        let Ok(pkt) = ParsedPacket::parse(mbuf.data()) else {
+            tracker.stats.parse_failures += 1;
+            continue;
+        };
+        tracker.stats.packet_filter.runs += 1;
+        let result = filter.packet_filter(&pkt);
+        match result {
+            FilterResult::NoMatch => {}
+            FilterResult::MatchTerminal(_) if S::level() == Level::Packet => {
+                if let Some(data) = S::from_mbuf(&mbuf) {
+                    tracker.stats.callbacks.runs += 1;
+                    callback(data);
+                }
+            }
+            _ => {
+                tracker.process(&mbuf, &pkt, result);
+                for data in tracker.take_outputs() {
+                    tracker.stats.callbacks.runs += 1;
+                    callback(data);
+                }
+            }
+        }
+        count += 1;
+        if count.is_multiple_of(1024) {
+            tracker.advance(max_ts);
+            for data in tracker.take_outputs() {
+                tracker.stats.callbacks.runs += 1;
+                callback(data);
+            }
+        }
+    }
+    tracker.drain();
+    for data in tracker.take_outputs() {
+        tracker.stats.callbacks.runs += 1;
+        callback(data);
+    }
+    tracker.stats
+}

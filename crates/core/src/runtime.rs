@@ -1,0 +1,340 @@
+//! The multi-core runtime (Figure 2's run-time half).
+//!
+//! [`Runtime::run`] spawns one ingest thread (the "wire") and one worker
+//! thread per configured core. The ingest thread pushes frames from a
+//! [`TrafficSource`] into the virtual NIC, which applies hardware flow
+//! rules and symmetric RSS; each worker polls its own RX queue and runs
+//! the per-core pipeline — packet filter, connection tracker, callback —
+//! with no cross-core communication (§5.1).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use retina_filter::{CompiledFilter, FilterFns, FilterResult};
+use retina_nic::{PortStatsSnapshot, VirtualNic};
+use retina_wire::ParsedPacket;
+
+use crate::config::RuntimeConfig;
+use crate::executor::{spawn_executor, CallbackMode, CallbackSink};
+use crate::stats::CoreStats;
+use crate::subscription::{Level, Subscribable};
+use crate::tracker::ConnTracker;
+use crate::util::rdtsc;
+
+/// A source of timestamped frames for the virtual NIC (the "wire").
+///
+/// Implemented by the synthetic traffic generators in `retina-trafficgen`
+/// and by pcap readers.
+pub trait TrafficSource: Send {
+    /// Fills `out` with the next batch of (frame, timestamp-ns) pairs.
+    /// Returns `false` when the source is exhausted.
+    fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool;
+}
+
+/// Live gauges the runtime updates while running (read them from a
+/// monitoring thread, e.g. for the Figure 8 memory series).
+#[derive(Debug, Default)]
+pub struct RuntimeGauges {
+    /// Connections currently tracked, per core.
+    pub connections: Vec<AtomicUsize>,
+    /// Estimated connection-state bytes, per core.
+    pub state_bytes: Vec<AtomicUsize>,
+    /// Maximum packet timestamp processed so far (simulation clock, ns).
+    pub sim_clock_ns: AtomicU64,
+}
+
+/// Errors from runtime construction.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The filter's hardware rules were rejected by the device.
+    HwFilter(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::HwFilter(msg) => write!(f, "hardware filter installation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock processing time.
+    pub elapsed: Duration,
+    /// NIC counters (offered/delivered/dropped/lost).
+    pub nic: PortStatsSnapshot,
+    /// Merged per-core pipeline statistics.
+    pub cores: CoreStats,
+    /// Simulated time span covered by the traffic (ns).
+    pub sim_duration_ns: u64,
+}
+
+impl RunReport {
+    /// Delivered throughput in Gbps over wall-clock time.
+    pub fn gbps(&self) -> f64 {
+        (self.nic.rx_bytes as f64 * 8.0) / self.elapsed.as_secs_f64() / 1e9
+    }
+
+    /// Offered load in Gbps over wall-clock time (counting hardware drops
+    /// and sink-sampled traffic as offered).
+    pub fn offered_gbps(&self) -> f64 {
+        // Approximate offered bytes by scaling delivered bytes by the
+        // offered/delivered packet ratio.
+        if self.nic.rx_delivered == 0 {
+            return 0.0;
+        }
+        let scale = self.nic.rx_offered as f64 / self.nic.rx_delivered as f64;
+        self.gbps() * scale
+    }
+
+    /// True when no packets were lost to ring overflow or mempool
+    /// exhaustion — the paper's zero-loss criterion.
+    pub fn zero_loss(&self) -> bool {
+        self.nic.lost() == 0
+    }
+}
+
+/// The Retina runtime: a subscription bound to a virtual NIC and worker
+/// cores.
+pub struct Runtime<S: Subscribable, F: FilterFns + 'static> {
+    config: RuntimeConfig,
+    filter: Arc<F>,
+    callback: Arc<dyn Fn(S) + Send + Sync>,
+    nic: Arc<VirtualNic>,
+    gauges: Arc<RuntimeGauges>,
+}
+
+impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
+    /// Creates a runtime from a configuration, filter, and callback
+    /// (Figure 1's `Runtime::new(cfg, filter, callback)`).
+    pub fn new(
+        config: RuntimeConfig,
+        filter: F,
+        callback: impl Fn(S) + Send + Sync + 'static,
+    ) -> Result<Self, RuntimeError> {
+        let mut device = config.device.clone();
+        device.num_queues = config.cores;
+        let nic = Arc::new(VirtualNic::new(&device));
+        if config.hw_filtering {
+            // Re-derive the trie from the filter source and synthesize
+            // device-compatible rules (§4.1). Works identically for
+            // interpreted and macro-generated filters.
+            let compiled = CompiledFilter::build(filter.source(), &config.filter_registry)
+                .map_err(|e| RuntimeError::HwFilter(e.to_string()))?;
+            for rule in compiled.hw_rules(device.caps) {
+                nic.install_rule(rule)
+                    .map_err(|e| RuntimeError::HwFilter(e.to_string()))?;
+            }
+        }
+        let gauges = Arc::new(RuntimeGauges {
+            connections: (0..config.cores).map(|_| AtomicUsize::new(0)).collect(),
+            state_bytes: (0..config.cores).map(|_| AtomicUsize::new(0)).collect(),
+            sim_clock_ns: AtomicU64::new(0),
+        });
+        Ok(Runtime {
+            config,
+            filter: Arc::new(filter),
+            callback: Arc::new(callback),
+            nic,
+            gauges,
+        })
+    }
+
+    /// The virtual NIC (for sink-fraction control and port stats).
+    pub fn nic(&self) -> &Arc<VirtualNic> {
+        &self.nic
+    }
+
+    /// Live gauges for external monitoring.
+    pub fn gauges(&self) -> Arc<RuntimeGauges> {
+        Arc::clone(&self.gauges)
+    }
+
+    /// Runs the pipeline over a traffic source to completion, returning
+    /// aggregate statistics.
+    pub fn run(&mut self, source: impl TrafficSource + 'static) -> RunReport {
+        let ingest_done = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+
+        // Ingest thread: the wire feeding the NIC.
+        let ingest = {
+            let nic = Arc::clone(&self.nic);
+            let done = Arc::clone(&ingest_done);
+            let paced = self.config.paced_ingest;
+            let mut source = source;
+            std::thread::spawn(move || {
+                let mut batch: Vec<(Bytes, u64)> = Vec::with_capacity(512);
+                let mut max_ts = 0u64;
+                loop {
+                    batch.clear();
+                    if !source.next_batch(&mut batch) {
+                        break;
+                    }
+                    for (frame, ts) in batch.drain(..) {
+                        max_ts = max_ts.max(ts);
+                        if paced {
+                            nic.ingest_paced(frame, ts);
+                        } else {
+                            nic.ingest(frame, ts);
+                        }
+                    }
+                }
+                done.store(true, Ordering::Release);
+                max_ts
+            })
+        };
+
+        // Callback execution model (§5.3): inline on the worker, or a
+        // dedicated executor thread fed over a bounded channel.
+        let (sink, executor) = match self.config.callback_mode {
+            CallbackMode::Inline => (CallbackSink::Inline(Arc::clone(&self.callback)), None),
+            CallbackMode::Queued { depth } => {
+                let (tx, handle) = spawn_executor(depth, Arc::clone(&self.callback));
+                (CallbackSink::Queued(tx), Some(handle))
+            }
+        };
+
+        // Worker threads: one per core.
+        let mut workers = Vec::new();
+        for core in 0..self.config.cores {
+            let nic = Arc::clone(&self.nic);
+            let filter = Arc::clone(&self.filter);
+            let sink = sink.clone();
+            let done = Arc::clone(&ingest_done);
+            let gauges = Arc::clone(&self.gauges);
+            let config = self.config.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop::<S, F>(core, &nic, &filter, &sink, &done, &gauges, &config)
+            }));
+        }
+        drop(sink);
+
+        let sim_duration_ns = ingest.join().expect("ingest thread panicked");
+        let mut cores = CoreStats::default();
+        for w in workers {
+            let stats = w.join().expect("worker thread panicked");
+            cores.merge(&stats);
+        }
+        if let Some(handle) = executor {
+            // All worker-held senders are dropped: the executor drains its
+            // queue and exits.
+            let _ = handle.join().expect("executor thread panicked");
+        }
+        RunReport {
+            elapsed: start.elapsed(),
+            nic: self.nic.stats(),
+            cores,
+            sim_duration_ns,
+        }
+    }
+}
+
+fn worker_loop<S: Subscribable, F: FilterFns>(
+    core: u16,
+    nic: &VirtualNic,
+    filter: &Arc<F>,
+    callback: &CallbackSink<S>,
+    ingest_done: &AtomicBool,
+    gauges: &RuntimeGauges,
+    config: &RuntimeConfig,
+) -> CoreStats {
+    let mut tracker: ConnTracker<S, F> = ConnTracker::with_registry(
+        Arc::clone(filter),
+        config.timeouts,
+        config.ooo_capacity,
+        config.profile_stages,
+        config.parsers.clone(),
+    );
+    let mut burst = Vec::with_capacity(config.burst);
+    let mut max_ts = 0u64;
+    let mut since_advance = 0usize;
+    let profile = config.profile_stages;
+
+    loop {
+        burst.clear();
+        let n = nic.rx_burst(core, &mut burst, config.burst);
+        if n == 0 {
+            if ingest_done.load(Ordering::Acquire) {
+                // One final poll to drain racing deliveries.
+                if nic.rx_burst(core, &mut burst, config.burst) == 0 {
+                    break;
+                }
+            } else {
+                // On busy hosts (or single-CPU machines) yielding lets the
+                // ingest thread and sibling workers make progress.
+                std::thread::yield_now();
+                continue;
+            }
+        }
+        for mbuf in burst.drain(..) {
+            tracker.stats.rx_packets += 1;
+            tracker.stats.rx_bytes += mbuf.len() as u64;
+            max_ts = max_ts.max(mbuf.timestamp_ns);
+
+            let Ok(pkt) = ParsedPacket::parse(mbuf.data()) else {
+                tracker.stats.parse_failures += 1;
+                continue;
+            };
+
+            // Software packet filter (§4.1) — inlined per-packet.
+            let tf = profile.then(rdtsc);
+            let result = filter.packet_filter(&pkt);
+            tracker.stats.packet_filter.runs += 1;
+            if let Some(t) = tf {
+                tracker.stats.packet_filter.cycles += rdtsc().wrapping_sub(t);
+            }
+            match result {
+                FilterResult::NoMatch => continue,
+                FilterResult::MatchTerminal(_) if S::level() == Level::Packet => {
+                    // Bypass: callback straight off the packet filter.
+                    if let Some(data) = S::from_mbuf(&mbuf) {
+                        let tc = profile.then(rdtsc);
+                        tracker.stats.callbacks.runs += 1;
+                        callback.deliver(data);
+                        if let Some(t) = tc {
+                            tracker.stats.callbacks.cycles += rdtsc().wrapping_sub(t);
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            tracker.process(&mbuf, &pkt, result);
+            for data in tracker.take_outputs() {
+                tracker.stats.callbacks.runs += 1;
+                let tc = profile.then(rdtsc);
+                callback.deliver(data);
+                if let Some(t) = tc {
+                    tracker.stats.callbacks.cycles += rdtsc().wrapping_sub(t);
+                }
+            }
+        }
+        since_advance += 1;
+        if since_advance >= 64 {
+            since_advance = 0;
+            tracker.advance(max_ts);
+            for data in tracker.take_outputs() {
+                tracker.stats.callbacks.runs += 1;
+                callback.deliver(data);
+            }
+            gauges.connections[core as usize].store(tracker.connections(), Ordering::Relaxed);
+            gauges.state_bytes[core as usize].store(tracker.state_bytes(), Ordering::Relaxed);
+            gauges.sim_clock_ns.fetch_max(max_ts, Ordering::Relaxed);
+        }
+    }
+
+    // Drain still-open connections at end of input.
+    tracker.drain();
+    for data in tracker.take_outputs() {
+        tracker.stats.callbacks.runs += 1;
+        callback.deliver(data);
+    }
+    gauges.connections[core as usize].store(0, Ordering::Relaxed);
+    tracker.stats
+}

@@ -1,0 +1,126 @@
+//! Per-core and per-stage statistics.
+//!
+//! The stage counters directly feed Figure 7 (the fraction of ingress
+//! packets that trigger each processing stage, and average cycles per
+//! stage), and the runtime's real-time monitoring of throughput, drops,
+//! and memory (§5.3).
+
+/// Counters for one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Times the stage ran (its unit: packets, sessions, or callbacks).
+    pub runs: u64,
+    /// Total CPU cycles spent in the stage (only when profiling is on).
+    pub cycles: u64,
+}
+
+impl StageStats {
+    /// Average cycles per run, when profiling was enabled.
+    pub fn avg_cycles(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.runs as f64
+        }
+    }
+
+    /// Merges another stage's counters into this one.
+    pub fn merge(&mut self, other: &StageStats) {
+        self.runs += other.runs;
+        self.cycles += other.cycles;
+    }
+}
+
+/// Statistics for one worker core (or the aggregate across cores).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Packets received from the RX queue.
+    pub rx_packets: u64,
+    /// Bytes received from the RX queue.
+    pub rx_bytes: u64,
+    /// Packets that failed L2–L4 parsing (delivered to raw-packet
+    /// subscriptions only).
+    pub parse_failures: u64,
+    /// Software packet filter executions.
+    pub packet_filter: StageStats,
+    /// Packets handed to the connection tracker (lookup or insert).
+    pub conn_tracking: StageStats,
+    /// Packets that went through stream reassembly (payload-carrying
+    /// packets of connections still being probed/parsed).
+    pub reassembly: StageStats,
+    /// Segments fed to application-layer parsers.
+    pub app_parsing: StageStats,
+    /// Session filter executions.
+    pub session_filter: StageStats,
+    /// User callback executions.
+    pub callbacks: StageStats,
+    /// Connections created.
+    pub conns_created: u64,
+    /// Connections dropped early by the connection/session filters
+    /// (before natural termination — the lazy-discard win).
+    pub conns_discarded: u64,
+    /// Connections expired by timeouts.
+    pub conns_expired: u64,
+    /// Connections still open when the run ended (drained at shutdown).
+    pub conns_drained: u64,
+    /// Connections that terminated naturally (FIN/RST).
+    pub conns_terminated: u64,
+    /// Out-of-order segments buffered.
+    pub ooo_buffered: u64,
+}
+
+impl CoreStats {
+    /// Merges another core's counters into this one.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.rx_packets += other.rx_packets;
+        self.rx_bytes += other.rx_bytes;
+        self.parse_failures += other.parse_failures;
+        self.packet_filter.merge(&other.packet_filter);
+        self.conn_tracking.merge(&other.conn_tracking);
+        self.reassembly.merge(&other.reassembly);
+        self.app_parsing.merge(&other.app_parsing);
+        self.session_filter.merge(&other.session_filter);
+        self.callbacks.merge(&other.callbacks);
+        self.conns_created += other.conns_created;
+        self.conns_discarded += other.conns_discarded;
+        self.conns_expired += other.conns_expired;
+        self.conns_drained += other.conns_drained;
+        self.conns_terminated += other.conns_terminated;
+        self.ooo_buffered += other.ooo_buffered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_cycles() {
+        let s = StageStats {
+            runs: 4,
+            cycles: 100,
+        };
+        assert_eq!(s.avg_cycles(), 25.0);
+        assert_eq!(StageStats::default().avg_cycles(), 0.0);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = CoreStats::default();
+        a.rx_packets = 10;
+        a.packet_filter = StageStats {
+            runs: 10,
+            cycles: 50,
+        };
+        let mut b = CoreStats::default();
+        b.rx_packets = 5;
+        b.packet_filter = StageStats {
+            runs: 5,
+            cycles: 25,
+        };
+        a.merge(&b);
+        assert_eq!(a.rx_packets, 15);
+        assert_eq!(a.packet_filter.runs, 15);
+        assert_eq!(a.packet_filter.cycles, 75);
+    }
+}

@@ -1,0 +1,120 @@
+//! The subscription programming model (§3.2, Appendix A).
+//!
+//! A *subscribable type* declares the data abstraction the user's
+//! callback receives and how the framework must reconstruct it. Its
+//! associated *tracked type* holds per-connection reconstruction state
+//! and is driven by the connection tracker through the match lifecycle:
+//!
+//! ```text
+//! new → pre_match*        (buffer what the subscription may need)
+//!     → on_match          (filter fully matched: emit ready data)
+//!     → post_match*       (emit / accumulate for the rest of the conn)
+//!     → on_terminate      (emit end-of-connection data)
+//! ```
+
+use retina_conntrack::{FiveTuple, TcpFlow};
+use retina_nic::Mbuf;
+use retina_protocols::Session;
+use retina_wire::ParsedPacket;
+
+/// The data abstraction level of a subscription (§3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Raw packets (L2–3): callback may run straight off the packet
+    /// filter with no connection state.
+    Packet,
+    /// Reassembled connections (L4): requires tracking, no app-layer
+    /// parsing beyond what the filter itself needs.
+    Connection,
+    /// Parsed application-layer sessions (L5–7).
+    Session,
+}
+
+/// A type users can subscribe to. Mirrors the paper's `Subscribable`
+/// trait (Figure 11): the level decides when the callback can run, and
+/// `parsers()` populates the parser registry for protocol probing.
+pub trait Subscribable: Send + Sized + 'static {
+    /// Per-connection reconstruction state.
+    type Tracked: Tracked<Out = Self>;
+
+    /// Abstraction level.
+    fn level() -> Level;
+
+    /// Application-layer parsers this type needs (beyond those the
+    /// filter requires).
+    fn parsers() -> Vec<&'static str>;
+
+    /// Fast path for packet-level subscriptions: build the subscription
+    /// datum straight from a frame when the packet filter matched
+    /// terminally, bypassing connection tracking entirely (§5.1).
+    fn from_mbuf(mbuf: &Mbuf) -> Option<Self> {
+        let _ = mbuf;
+        None
+    }
+}
+
+/// Per-connection state for a subscribable type (the paper's
+/// `Trackable`, Figure 11). Implementations buffer *lazily*: before a
+/// full filter match they retain only what the subscription could still
+/// need, so data for connections that end up filtered out was never
+/// copied or parsed.
+pub trait Tracked: Send {
+    /// The subscribable type this tracks.
+    type Out;
+
+    /// Creates state for a new connection.
+    fn new(tuple: &FiveTuple, first_ts_ns: u64) -> Self;
+
+    /// A packet arrived before the filter fully matched. Lazy principle:
+    /// hold references (mbuf clones), do not copy or parse.
+    fn pre_match(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket);
+
+    /// In-order payload bytes (only delivered when [`Tracked::needs_stream`]
+    /// is true and stream processing is active for the connection).
+    fn on_stream(&mut self, dir: retina_conntrack::Dir, data: &[u8]) {
+        let _ = (dir, data);
+    }
+
+    /// The filter fully matched — `service` is the probed L7 protocol and
+    /// `session` the matched session, when available. Emit any data that
+    /// is ready.
+    fn on_match(
+        &mut self,
+        service: Option<&str>,
+        session: Option<&Session>,
+        flow: &TcpFlow,
+        out: &mut Vec<Self::Out>,
+    );
+
+    /// A packet arrived after a full match.
+    fn post_match(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, out: &mut Vec<Self::Out>);
+
+    /// The connection ended (naturally or by timeout) after a full
+    /// match. Emit end-of-connection data.
+    fn on_terminate(&mut self, flow: &TcpFlow, out: &mut Vec<Self::Out>);
+
+    /// Whether the tracker still needs per-packet delivery after a full
+    /// match. Returning `false` lets the tracker skip `post_match`
+    /// entirely (e.g. TLS handshakes need nothing after the handshake).
+    fn needs_packets_post_match() -> bool {
+        false
+    }
+
+    /// Whether the subscription needs in-order payload bytes
+    /// ([`Tracked::on_stream`]); keeps the reassembler active even after
+    /// the app-layer parser is done.
+    fn needs_stream() -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_equality() {
+        assert_eq!(Level::Packet, Level::Packet);
+        assert_ne!(Level::Packet, Level::Session);
+    }
+}

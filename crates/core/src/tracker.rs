@@ -1,0 +1,664 @@
+//! The per-core connection tracker: Retina's subscription-specific state
+//! machine (Figure 4).
+//!
+//! Every tracked connection moves through the states
+//!
+//! ```text
+//! PROBE --(protocol identified)--> [conn filter] --> PARSE | TRACK | DEL
+//! PARSE --(session parsed)------> [session filter] --> deliver | DEL
+//! TRACK --(terminate/expire)----> deliver connection-level data
+//! ```
+//!
+//! with the transitions derived automatically from the subscription
+//! level, the filter's layers, and each protocol module's
+//! `session_match_state`/`session_nomatch_state`. The tracker is where
+//! the paper's lazy-reconstruction wins come from: connections that fail
+//! the connection or session filter stop consuming reassembly, parsing,
+//! and memory immediately, and subscriptions that are done with a
+//! connection (e.g. a delivered TLS handshake) remove it mid-stream.
+
+use std::sync::Arc;
+
+use retina_conntrack::{
+    ConnEntry, ConnKey, ConnTable, Dir, FiveTuple, Reassembled, TcpFlow, TimeoutConfig,
+};
+use retina_filter::{FilterFns, FilterResult};
+use retina_nic::Mbuf;
+use retina_protocols::{
+    ConnParser, Direction, ParseResult, ParserRegistry, ProbeResult, SessionState,
+};
+use retina_wire::ParsedPacket;
+
+use crate::stats::CoreStats;
+use crate::subscription::{Level, Subscribable, Tracked};
+use crate::util::rdtsc;
+
+/// Cap on bytes buffered per direction while probing for the protocol.
+const PROBE_BUFFER_CAP: usize = 8 * 1024;
+
+/// Probing state: accumulated stream prefixes plus live parser candidates.
+struct ProbeState {
+    parsers: Vec<Box<dyn ConnParser>>,
+    buf_ts: Vec<u8>,
+    buf_tc: Vec<u8>,
+}
+
+/// Connection processing phase (Figure 4 states).
+enum Phase {
+    /// Probing the stream prefix for the application-layer protocol.
+    Probing(ProbeState),
+    /// Parsing the identified protocol.
+    Parsing {
+        parser: Box<dyn ConnParser>,
+        service: &'static str,
+    },
+    /// Tracking without app-layer processing (counters + delivery hooks).
+    Tracking,
+    /// Filter failed: retained as a tombstone so subsequent packets do no
+    /// work; removed by timeout.
+    Dropped,
+}
+
+/// Per-connection tracker state.
+struct Conn<T> {
+    flow: TcpFlow,
+    tracked: T,
+    phase: Phase,
+    /// Deepest packet-filter node matched (resumes filter evaluation).
+    pkt_term_node: usize,
+    /// Whether the full filter has matched.
+    matched: bool,
+    /// Probed service name (set on protocol identification).
+    service: Option<&'static str>,
+}
+
+/// Why a connection left the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FinalizeReason {
+    Terminated,
+    Expired,
+    Drained,
+}
+
+/// Disposition after handling a unit of stream data.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum Disposition {
+    Keep,
+    /// Remove the connection now (subscription finished with it).
+    RemoveDone,
+}
+
+/// The per-core connection tracker.
+pub struct ConnTracker<S: Subscribable, F: FilterFns> {
+    table: ConnTable<Conn<S::Tracked>>,
+    filter: Arc<F>,
+    registry: ParserRegistry,
+    probe_protos: Vec<String>,
+    ooo_capacity: usize,
+    profile: bool,
+    /// Per-stage statistics for this core.
+    pub stats: CoreStats,
+    outputs: Vec<S>,
+    /// Recently-closed connections (TIME_WAIT analogue): trailing packets
+    /// of a removed connection (e.g. the final ACK after FIN/FIN, or the
+    /// encrypted tail after a delivered TLS handshake) must not recreate
+    /// state.
+    closed: std::collections::HashMap<ConnKey, u64>,
+}
+
+/// How long a removed connection's key stays in the closed set.
+const TIME_WAIT_NS: u64 = 10_000_000_000;
+
+impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
+    /// Creates a tracker for one core with the default protocol modules.
+    pub fn new(
+        filter: Arc<F>,
+        timeouts: TimeoutConfig,
+        ooo_capacity: usize,
+        profile: bool,
+    ) -> Self {
+        Self::with_registry(
+            filter,
+            timeouts,
+            ooo_capacity,
+            profile,
+            ParserRegistry::default(),
+        )
+    }
+
+    /// Creates a tracker with a custom parser registry (§3.3).
+    pub fn with_registry(
+        filter: Arc<F>,
+        timeouts: TimeoutConfig,
+        ooo_capacity: usize,
+        profile: bool,
+        registry: ParserRegistry,
+    ) -> Self {
+        let mut probe_protos = filter.conn_protocols();
+        for p in S::parsers() {
+            if !probe_protos.iter().any(|x| x == p) {
+                probe_protos.push(p.to_string());
+            }
+        }
+        ConnTracker {
+            table: ConnTable::new(timeouts),
+            filter,
+            registry,
+            probe_protos,
+            ooo_capacity,
+            profile,
+            stats: CoreStats::default(),
+            outputs: Vec::new(),
+            closed: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of connections currently tracked (Figure 8's metric).
+    pub fn connections(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Takes the subscription data produced since the last call.
+    pub fn take_outputs(&mut self) -> Vec<S> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Estimated bytes of connection state in memory (table entries plus
+    /// probe buffers), for the Figure 8 memory series.
+    pub fn state_bytes(&self) -> usize {
+        let per_conn = std::mem::size_of::<ConnEntry<Conn<S::Tracked>>>() + 64;
+        let mut total = self.table.len() * per_conn;
+        for (_, entry) in self.table.iter() {
+            if let Phase::Probing(ps) = &entry.value.phase {
+                total += ps.buf_ts.capacity() + ps.buf_tc.capacity();
+            }
+        }
+        total
+    }
+
+    fn initial_phase(&self, matched: bool) -> Phase {
+        if S::level() == Level::Session || !matched {
+            if self.probe_protos.is_empty() {
+                // Nothing can ever resolve the filter at the conn layer;
+                // this happens only for non-terminal packet matches with
+                // no conn predicates, which the trie construction rules
+                // out — but degrade gracefully.
+                return if matched {
+                    Phase::Tracking
+                } else {
+                    Phase::Dropped
+                };
+            }
+            Phase::Probing(ProbeState {
+                parsers: self.registry.new_parsers(&self.probe_protos),
+                buf_ts: Vec::new(),
+                buf_tc: Vec::new(),
+            })
+        } else {
+            Phase::Tracking
+        }
+    }
+
+    /// Processes one packet that the software packet filter matched.
+    pub fn process(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, filter_result: FilterResult) {
+        let t0 = self.profile.then(rdtsc);
+        let now = mbuf.timestamp_ns;
+        let key = ConnKey::from_packet(pkt);
+        self.stats.conn_tracking.runs += 1;
+
+        if self.table.get_mut(&key).is_none() {
+            match self.closed.get(&key) {
+                Some(&closed_at) if now < closed_at.saturating_add(TIME_WAIT_NS) => {
+                    return; // trailing packet of a closed connection
+                }
+                Some(_) => {
+                    self.closed.remove(&key);
+                }
+                None => {}
+            }
+            self.stats.conns_created += 1;
+            let tuple = FiveTuple::from_packet(pkt);
+            let matched = filter_result.is_terminal();
+            let phase = self.initial_phase(matched);
+            let mut conn = Conn {
+                flow: TcpFlow::new(now, self.ooo_capacity),
+                tracked: S::Tracked::new(&tuple, now),
+                phase,
+                pkt_term_node: filter_result.node().unwrap_or(0),
+                matched,
+                service: None,
+            };
+            if matched && S::level() != Level::Session {
+                // Filter fully decided at the packet layer: emit whatever
+                // the subscription has ready (Figure 4a's "run callback").
+                conn.tracked
+                    .on_match(None, None, &conn.flow, &mut self.outputs);
+            }
+            self.table.get_or_insert_with(key, now, || (tuple, conn));
+        }
+
+        let entry = self.table.get_mut(&key).expect("just inserted");
+        let Some(dir) = entry.tuple.dir_of(pkt) else {
+            return; // key collision across address families: ignore
+        };
+        entry.last_seen_ns = now;
+        let conn = &mut entry.value;
+        // Decide whether reconstructed bytes are still needed *before*
+        // updating the flow: Track/Dropped connections get counting-only
+        // sequence tracking, never buffering (§5.2).
+        let stream_needed = matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. })
+            || (S::Tracked::needs_stream() && !matches!(conn.phase, Phase::Dropped));
+        let update = conn.flow.update(pkt, mbuf, dir, now, stream_needed);
+        entry.established = conn.flow.established;
+
+        // Subscription packet hooks.
+        if conn.matched {
+            if S::Tracked::needs_packets_post_match() {
+                conn.tracked.post_match(mbuf, pkt, &mut self.outputs);
+            }
+        } else if !matches!(conn.phase, Phase::Dropped) {
+            conn.tracked.pre_match(mbuf, pkt);
+        }
+
+        // Stream processing: only while the app layer still needs bytes.
+        let mut disposition = Disposition::Keep;
+        if stream_needed {
+            match update.reassembly {
+                Reassembled::InOrder => {
+                    let tr = self.profile.then(rdtsc);
+                    self.stats.reassembly.runs += 1;
+                    let payload = pkt.payload(mbuf.data());
+                    if !payload.is_empty() {
+                        disposition = Self::stream_data(
+                            &self.filter,
+                            &mut self.stats,
+                            &mut self.outputs,
+                            self.profile,
+                            &entry.tuple,
+                            conn,
+                            dir,
+                            payload,
+                        );
+                    }
+                    // Flush any buffered successors the hole-fill released.
+                    loop {
+                        if disposition != Disposition::Keep {
+                            break;
+                        }
+                        let flushed = conn.flow.reassembler(dir).flush();
+                        if flushed.is_empty() {
+                            break;
+                        }
+                        for fmbuf in flushed {
+                            if disposition != Disposition::Keep {
+                                break;
+                            }
+                            let Ok(fpkt) = ParsedPacket::parse(fmbuf.data()) else {
+                                continue;
+                            };
+                            let fpayload = fpkt.payload(fmbuf.data());
+                            if fpayload.is_empty() {
+                                continue;
+                            }
+                            self.stats.reassembly.runs += 1;
+                            disposition = Self::stream_data(
+                                &self.filter,
+                                &mut self.stats,
+                                &mut self.outputs,
+                                self.profile,
+                                &entry.tuple,
+                                conn,
+                                dir,
+                                fpayload,
+                            );
+                        }
+                    }
+                    if let Some(t) = tr {
+                        self.stats.reassembly.cycles += rdtsc().wrapping_sub(t);
+                    }
+                }
+                Reassembled::Buffered => {
+                    self.stats.reassembly.runs += 1;
+                    self.stats.ooo_buffered += 1;
+                }
+                Reassembled::Duplicate | Reassembled::OverCapacity => {}
+            }
+        } else if update.reassembly == Reassembled::Buffered {
+            // Counting-only mode still surfaces out-of-order arrivals.
+            self.stats.ooo_buffered += 1;
+        }
+
+        let terminated = update.terminated;
+        if disposition == Disposition::RemoveDone {
+            // Subscription is finished with this connection (e.g. TLS
+            // handshake delivered): remove mid-stream (§5.2).
+            self.table.remove(&key);
+            self.closed.insert(key, now);
+            self.stats.conns_discarded += 1;
+        } else if terminated {
+            if let Some(entry) = self.table.remove(&key) {
+                self.closed.insert(key, now);
+                self.finalize(entry, FinalizeReason::Terminated);
+            }
+        }
+        if let Some(t) = t0 {
+            self.stats.conn_tracking.cycles += rdtsc().wrapping_sub(t);
+        }
+    }
+
+    /// Feeds in-order payload through probe/parse and the subscription's
+    /// stream hook. Free of `&mut self` so field borrows stay disjoint.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_data(
+        filter: &Arc<F>,
+        stats: &mut CoreStats,
+        outputs: &mut Vec<S>,
+        profile: bool,
+        tuple: &FiveTuple,
+        conn: &mut Conn<S::Tracked>,
+        dir: Dir,
+        data: &[u8],
+    ) -> Disposition {
+        if S::Tracked::needs_stream() && conn.matched {
+            conn.tracked.on_stream(dir, data);
+        }
+        let pdir = match dir {
+            Dir::OrigToResp => Direction::ToServer,
+            Dir::RespToOrig => Direction::ToClient,
+        };
+        match &mut conn.phase {
+            Phase::Probing(ps) => {
+                let buf = match pdir {
+                    Direction::ToServer => &mut ps.buf_ts,
+                    Direction::ToClient => &mut ps.buf_tc,
+                };
+                if buf.len() + data.len() > PROBE_BUFFER_CAP {
+                    return Self::probe_failed(filter, stats, outputs, conn);
+                }
+                buf.extend_from_slice(data);
+
+                // Evaluate candidates against both accumulated prefixes.
+                let mut selected = None;
+                let mut alive = vec![true; ps.parsers.len()];
+                for (i, parser) in ps.parsers.iter().enumerate() {
+                    let mut not_for_us = 0;
+                    let mut nonempty = 0;
+                    for (buf, d) in [
+                        (&ps.buf_ts, Direction::ToServer),
+                        (&ps.buf_tc, Direction::ToClient),
+                    ] {
+                        if buf.is_empty() {
+                            continue;
+                        }
+                        nonempty += 1;
+                        match parser.probe(buf, d) {
+                            ProbeResult::Certain => {
+                                selected = Some(i);
+                                break;
+                            }
+                            ProbeResult::NotForUs => not_for_us += 1,
+                            ProbeResult::Unsure => {}
+                        }
+                    }
+                    if selected.is_some() {
+                        break;
+                    }
+                    if nonempty > 0 && not_for_us == nonempty {
+                        alive[i] = false;
+                    }
+                }
+                if let Some(i) = selected {
+                    let parser = ps.parsers.swap_remove(i);
+                    let service = parser.name();
+                    let buf_ts = std::mem::take(&mut ps.buf_ts);
+                    let buf_tc = std::mem::take(&mut ps.buf_tc);
+                    conn.service = Some(service);
+
+                    // Connection filter (Figure 4's first pseudostate).
+                    if !conn.matched {
+                        let r = filter.conn_filter(Some(service), conn.pkt_term_node);
+                        match r {
+                            FilterResult::NoMatch => {
+                                return Self::discard(stats, conn, tuple);
+                            }
+                            FilterResult::MatchTerminal(_) => {
+                                conn.matched = true;
+                                if S::level() != Level::Session {
+                                    conn.tracked
+                                        .on_match(Some(service), None, &conn.flow, outputs);
+                                    conn.phase = Phase::Tracking;
+                                    return Disposition::Keep;
+                                }
+                            }
+                            FilterResult::MatchNonTerminal(_) => {}
+                        }
+                    } else if S::level() != Level::Session {
+                        // Already matched and sessions are not needed.
+                        conn.phase = Phase::Tracking;
+                        return Disposition::Keep;
+                    }
+
+                    conn.phase = Phase::Parsing { parser, service };
+                    // Replay the buffered prefixes through the parser.
+                    for (buf, d) in [(buf_ts, Direction::ToServer), (buf_tc, Direction::ToClient)] {
+                        if buf.is_empty() {
+                            continue;
+                        }
+                        let disp =
+                            Self::parse_data(filter, stats, outputs, profile, tuple, conn, &buf, d);
+                        if disp != Disposition::Keep {
+                            return disp;
+                        }
+                    }
+                    Disposition::Keep
+                } else {
+                    // Drop eliminated candidates; fail when none remain.
+                    let mut keep_iter = alive.into_iter();
+                    ps.parsers.retain(|_| keep_iter.next().unwrap_or(false));
+                    if ps.parsers.is_empty() {
+                        return Self::probe_failed(filter, stats, outputs, conn);
+                    }
+                    Disposition::Keep
+                }
+            }
+            Phase::Parsing { .. } => {
+                Self::parse_data(filter, stats, outputs, profile, tuple, conn, data, pdir)
+            }
+            Phase::Tracking | Phase::Dropped => Disposition::Keep,
+        }
+    }
+
+    fn probe_failed(
+        filter: &Arc<F>,
+        stats: &mut CoreStats,
+        _outputs: &mut Vec<S>,
+        conn: &mut Conn<S::Tracked>,
+    ) -> Disposition {
+        if conn.matched {
+            // Filter satisfied but no parser applies (e.g. a session-level
+            // subscription on a non-TLS connection): nothing more to do at
+            // the app layer.
+            conn.phase = Phase::Tracking;
+            Disposition::Keep
+        } else {
+            let r = filter.conn_filter(None, conn.pkt_term_node);
+            if r.is_match() {
+                conn.matched = true;
+                conn.phase = Phase::Tracking;
+                Disposition::Keep
+            } else {
+                stats.conns_discarded += 1;
+                conn.phase = Phase::Dropped;
+                Disposition::Keep
+            }
+        }
+    }
+
+    fn discard(
+        stats: &mut CoreStats,
+        conn: &mut Conn<S::Tracked>,
+        tuple: &FiveTuple,
+    ) -> Disposition {
+        stats.conns_discarded += 1;
+        conn.phase = Phase::Dropped;
+        // Release anything the subscription buffered pre-match.
+        conn.tracked = S::Tracked::new(tuple, conn.flow.first_seen_ns);
+        Disposition::Keep
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_data(
+        filter: &Arc<F>,
+        stats: &mut CoreStats,
+        outputs: &mut Vec<S>,
+        profile: bool,
+        tuple: &FiveTuple,
+        conn: &mut Conn<S::Tracked>,
+        data: &[u8],
+        pdir: Direction,
+    ) -> Disposition {
+        let Phase::Parsing { parser, service } = &mut conn.phase else {
+            return Disposition::Keep;
+        };
+        let service = *service;
+        let tp = profile.then(rdtsc);
+        stats.app_parsing.runs += 1;
+        let result = parser.parse(data, pdir);
+        if let Some(t) = tp {
+            stats.app_parsing.cycles += rdtsc().wrapping_sub(t);
+        }
+        match result {
+            ParseResult::Continue => Disposition::Keep,
+            ParseResult::Done => {
+                let sessions = parser.drain_sessions();
+                let match_state = parser.session_match_state();
+                let nomatch_state = parser.session_nomatch_state();
+                let mut any_matched = false;
+                let mut any_failed = false;
+                for session in sessions {
+                    let ts = profile.then(rdtsc);
+                    stats.session_filter.runs += 1;
+                    let pass = conn.matched || filter.session_filter(&session, conn.pkt_term_node);
+                    if let Some(t) = ts {
+                        stats.session_filter.cycles += rdtsc().wrapping_sub(t);
+                    }
+                    if pass {
+                        any_matched = true;
+                        let first = !conn.matched;
+                        conn.matched = true;
+                        if S::level() == Level::Session || first {
+                            conn.tracked.on_match(
+                                Some(service),
+                                Some(&session),
+                                &conn.flow,
+                                outputs,
+                            );
+                        }
+                    } else {
+                        any_failed = true;
+                    }
+                }
+                if any_matched {
+                    match match_state {
+                        SessionState::Remove => {
+                            // The protocol is done producing sessions.
+                            if S::level() == Level::Session
+                                && !S::Tracked::needs_packets_post_match()
+                                && !S::Tracked::needs_stream()
+                            {
+                                // Drop the connection mid-stream: the
+                                // paper's TLS-handshake optimization.
+                                Disposition::RemoveDone
+                            } else {
+                                conn.phase = Phase::Tracking;
+                                Disposition::Keep
+                            }
+                        }
+                        SessionState::KeepParsing => Disposition::Keep,
+                    }
+                } else if any_failed {
+                    match nomatch_state {
+                        SessionState::Remove => {
+                            if conn.matched {
+                                conn.phase = Phase::Tracking;
+                                Disposition::Keep
+                            } else {
+                                Self::discard(stats, conn, tuple)
+                            }
+                        }
+                        SessionState::KeepParsing => Disposition::Keep,
+                    }
+                } else {
+                    Disposition::Keep
+                }
+            }
+            ParseResult::Error => {
+                if conn.matched {
+                    conn.phase = Phase::Tracking;
+                    Disposition::Keep
+                } else {
+                    let r = filter.conn_filter(None, conn.pkt_term_node);
+                    if r.is_match() {
+                        conn.matched = true;
+                        conn.phase = Phase::Tracking;
+                        Disposition::Keep
+                    } else {
+                        Self::discard(stats, conn, tuple)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalizes a connection that terminated, expired, or was drained.
+    fn finalize(&mut self, entry: ConnEntry<Conn<S::Tracked>>, reason: FinalizeReason) {
+        let mut conn = entry.value;
+        // Drain partial sessions (e.g. an unanswered DNS query).
+        if let Phase::Parsing { parser, service } = &mut conn.phase {
+            let service = *service;
+            for session in parser.drain_sessions() {
+                self.stats.session_filter.runs += 1;
+                let pass = conn.matched || self.filter.session_filter(&session, conn.pkt_term_node);
+                if pass {
+                    let first = !conn.matched;
+                    conn.matched = true;
+                    if S::level() == Level::Session || first {
+                        conn.tracked.on_match(
+                            Some(service),
+                            Some(&session),
+                            &conn.flow,
+                            &mut self.outputs,
+                        );
+                    }
+                }
+            }
+        }
+        if conn.matched {
+            conn.tracked.on_terminate(&conn.flow, &mut self.outputs);
+        }
+        match reason {
+            FinalizeReason::Terminated => self.stats.conns_terminated += 1,
+            FinalizeReason::Expired => self.stats.conns_expired += 1,
+            FinalizeReason::Drained => self.stats.conns_drained += 1,
+        }
+    }
+
+    /// Advances simulated time: expires idle connections (§5.2).
+    pub fn advance(&mut self, now_ns: u64) {
+        let mut expired = Vec::new();
+        self.table.advance(now_ns, |_k, entry| expired.push(entry));
+        for entry in expired {
+            self.finalize(entry, FinalizeReason::Expired);
+        }
+        self.closed
+            .retain(|_, &mut t| now_ns < t.saturating_add(TIME_WAIT_NS));
+    }
+
+    /// Flushes every remaining connection (end of a run): delivers
+    /// connection-level data for matched connections.
+    pub fn drain(&mut self) {
+        for (_key, entry) in self.table.drain_all() {
+            self.finalize(entry, FinalizeReason::Drained);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Small utilities: cycle counting and synthetic callback workloads.
+
+/// Reads the CPU timestamp counter (cycles). Falls back to a
+/// nanosecond-resolution monotonic clock on non-x86 targets, which keeps
+/// relative comparisons meaningful.
+#[inline]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static START: OnceLock<Instant> = OnceLock::new();
+        START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Busy-loops for approximately `cycles` CPU cycles — the paper's proxy
+/// for callback complexity in the Figure 5 throughput experiments.
+#[inline]
+pub fn busy_loop(cycles: u64) {
+    if cycles == 0 {
+        return;
+    }
+    let start = rdtsc();
+    while rdtsc().wrapping_sub(start) < cycles {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdtsc_monotonic_enough() {
+        let a = rdtsc();
+        let b = rdtsc();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn busy_loop_spins() {
+        let start = rdtsc();
+        busy_loop(10_000);
+        assert!(rdtsc() - start >= 10_000);
+        busy_loop(0); // no-op path
+    }
+}

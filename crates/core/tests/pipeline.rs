@@ -1,0 +1,708 @@
+//! End-to-end pipeline tests: filters + tracker + subscriptions over
+//! hand-built packet sequences, in offline mode and through the full
+//! multi-threaded runtime.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use retina_core::offline::run_offline;
+use retina_core::runtime::{Runtime, TrafficSource};
+use retina_core::subscribables::{
+    ConnBytes, ConnRecord, HttpTransactionData, SessionRecord, TlsHandshakeData, ZcFrame,
+};
+use retina_core::RuntimeConfig;
+use retina_filter::compile;
+use retina_protocols::http;
+use retina_protocols::ssh;
+use retina_protocols::tls::build::{
+    appdata_record, ccs_record, client_hello_record, server_hello_record, ClientHelloSpec,
+    ServerHelloSpec,
+};
+use retina_wire::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+use retina_wire::TcpFlags;
+
+/// Builds the packet sequence of a full TCP conversation: handshake,
+/// alternating payload exchanges, graceful FIN teardown.
+struct Conversation {
+    client: SocketAddr,
+    server: SocketAddr,
+    packets: Vec<(Bytes, u64)>,
+    cseq: u32,
+    sseq: u32,
+    ts: u64,
+}
+
+impl Conversation {
+    fn new(client: &str, server: &str, start_ts: u64) -> Self {
+        let mut c = Conversation {
+            client: client.parse().unwrap(),
+            server: server.parse().unwrap(),
+            packets: Vec::new(),
+            cseq: 1000,
+            sseq: 5000,
+            ts: start_ts,
+        };
+        c.push_raw(c.client, c.server, c.cseq, 0, TcpFlags::SYN, &[]);
+        c.cseq += 1;
+        c.push_raw(
+            c.server,
+            c.client,
+            c.sseq,
+            c.cseq,
+            TcpFlags::SYN | TcpFlags::ACK,
+            &[],
+        );
+        c.sseq += 1;
+        c.push_raw(c.client, c.server, c.cseq, c.sseq, TcpFlags::ACK, &[]);
+        c
+    }
+
+    fn push_raw(
+        &mut self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        seq: u32,
+        ack: u32,
+        flags: u8,
+        payload: &[u8],
+    ) {
+        self.ts += 1_000_000; // 1 ms apart
+        let frame = build_tcp(&TcpSpec {
+            src,
+            dst,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+            ttl: 64,
+            payload,
+        });
+        self.packets.push((Bytes::from(frame), self.ts));
+    }
+
+    fn client_data(&mut self, payload: &[u8]) {
+        let (c, s, seq, ack) = (self.client, self.server, self.cseq, self.sseq);
+        self.push_raw(c, s, seq, ack, TcpFlags::ACK | TcpFlags::PSH, payload);
+        self.cseq = self.cseq.wrapping_add(payload.len() as u32);
+    }
+
+    fn server_data(&mut self, payload: &[u8]) {
+        let (c, s, seq, ack) = (self.server, self.client, self.sseq, self.cseq);
+        self.push_raw(c, s, seq, ack, TcpFlags::ACK | TcpFlags::PSH, payload);
+        self.sseq = self.sseq.wrapping_add(payload.len() as u32);
+    }
+
+    fn finish(mut self) -> Vec<(Bytes, u64)> {
+        let (c, s, cseq, sseq) = (self.client, self.server, self.cseq, self.sseq);
+        self.push_raw(c, s, cseq, sseq, TcpFlags::FIN | TcpFlags::ACK, &[]);
+        self.push_raw(s, c, sseq, cseq + 1, TcpFlags::FIN | TcpFlags::ACK, &[]);
+        self.push_raw(c, s, cseq + 1, sseq + 1, TcpFlags::ACK, &[]);
+        self.packets
+    }
+}
+
+fn tls_conversation(client: &str, server: &str, sni: &str, start_ts: u64) -> Vec<(Bytes, u64)> {
+    let mut conv = Conversation::new(client, server, start_ts);
+    conv.client_data(&client_hello_record(&ClientHelloSpec {
+        sni: Some(sni.to_string()),
+        ciphers: vec![0x1301, 0xc02f],
+        random: [0x42; 32],
+        version: 0x0303,
+        alpn: Some("h2".into()),
+    }));
+    conv.server_data(&server_hello_record(&ServerHelloSpec {
+        cipher: 0x1301,
+        random: [0x99; 32],
+        version: 0x0303,
+        supported_version: Some(0x0304),
+        alpn: None,
+    }));
+    conv.server_data(&ccs_record());
+    conv.client_data(&appdata_record(400));
+    conv.server_data(&appdata_record(1200));
+    conv.finish()
+}
+
+fn http_conversation(
+    client: &str,
+    server: &str,
+    host: &str,
+    n_txn: usize,
+    start_ts: u64,
+) -> Vec<(Bytes, u64)> {
+    let mut conv = Conversation::new(client, server, start_ts);
+    for i in 0..n_txn {
+        conv.client_data(&http::build_request(
+            "GET",
+            &format!("/page{i}"),
+            host,
+            "retina-test/1.0",
+        ));
+        conv.server_data(&http::build_response(200, 64));
+    }
+    conv.finish()
+}
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig::default()
+}
+
+#[test]
+fn tls_handshake_subscription_with_sni_filter() {
+    let filter = Arc::new(compile(r"tls.sni matches 'netflix'").unwrap());
+    let mut packets = tls_conversation(
+        "10.0.0.1:40000",
+        "198.38.96.1:443",
+        "occ-1.nflxvideo.netflix.com",
+        0,
+    );
+    packets.extend(tls_conversation(
+        "10.0.0.2:40001",
+        "93.184.216.34:443",
+        "www.example.com",
+        5_000_000,
+    ));
+    let mut out = Vec::new();
+    let stats = run_offline::<TlsHandshakeData, _>(&filter, &cfg(), packets, |hs| out.push(hs));
+    assert_eq!(out.len(), 1, "only the netflix handshake matches");
+    assert_eq!(out[0].tls.sni(), "occ-1.nflxvideo.netflix.com");
+    assert_eq!(out[0].tls.cipher(), "TLS_AES_128_GCM_SHA256");
+    assert_eq!(out[0].tls.version, 0x0304);
+    assert_eq!(out[0].tuple.resp.port(), 443);
+    // The non-matching conn was discarded by the session filter; the
+    // matching one was removed after handshake delivery, and its
+    // encrypted tail was absorbed by the closed-connection set.
+    assert_eq!(stats.conns_created, 2);
+    assert_eq!(stats.conns_discarded, 2);
+    assert_eq!(stats.callbacks.runs, 1);
+}
+
+#[test]
+fn conn_records_with_port_filter() {
+    let filter = Arc::new(compile("tcp.port = 443").unwrap());
+    let mut packets = tls_conversation("10.0.0.1:40000", "1.2.3.4:443", "a.com", 0);
+    // A non-443 conn that must not be delivered.
+    packets.extend(http_conversation(
+        "10.0.0.9:40009",
+        "5.6.7.8:80",
+        "b.com",
+        1,
+        7_000_000,
+    ));
+    let mut out: Vec<ConnRecord> = Vec::new();
+    let stats = run_offline::<ConnRecord, _>(&filter, &cfg(), packets, |r| out.push(r));
+    assert_eq!(out.len(), 1);
+    let rec = &out[0];
+    assert_eq!(rec.tuple.resp.port(), 443);
+    assert!(rec.established);
+    assert!(rec.terminated);
+    assert!(!rec.single_syn);
+    assert!(rec.bytes_up > 0 && rec.bytes_down > 0);
+    assert!(rec.pkts_up >= 4 && rec.pkts_down >= 4);
+    assert!(rec.duration_ns() > 0);
+    assert_eq!(stats.conns_terminated, 1);
+}
+
+#[test]
+fn single_syn_conn_record() {
+    let filter = Arc::new(compile("tcp").unwrap());
+    let frame = build_tcp(&TcpSpec {
+        src: "10.0.0.1:1234".parse().unwrap(),
+        dst: "8.8.8.8:443".parse().unwrap(),
+        seq: 1,
+        ack: 0,
+        flags: TcpFlags::SYN,
+        window: 64,
+        ttl: 64,
+        payload: b"",
+    });
+    let mut out: Vec<ConnRecord> = Vec::new();
+    run_offline::<ConnRecord, _>(&filter, &cfg(), vec![(Bytes::from(frame), 0)], |r| {
+        out.push(r)
+    });
+    assert_eq!(out.len(), 1, "unanswered SYNs are still connections (§5.2)");
+    assert!(out[0].single_syn);
+    assert!(!out[0].established);
+}
+
+#[test]
+fn packet_subscription_fast_path() {
+    let filter = Arc::new(compile("udp").unwrap());
+    let mk = |src: &str, dst: &str| {
+        Bytes::from(build_udp(&UdpSpec {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            ttl: 64,
+            payload: b"payload",
+        }))
+    };
+    let packets = vec![
+        (mk("10.0.0.1:111", "10.0.0.2:222"), 0),
+        (mk("10.0.0.3:333", "10.0.0.4:444"), 1),
+    ];
+    let mut frames = Vec::new();
+    let stats = run_offline::<ZcFrame, _>(&filter, &cfg(), packets, |f| frames.push(f));
+    assert_eq!(frames.len(), 2);
+    // Fast path: no connection state was created at all.
+    assert_eq!(stats.conns_created, 0);
+    assert_eq!(stats.conn_tracking.runs, 0);
+}
+
+#[test]
+fn packet_subscription_with_session_filter() {
+    // Packets *associated with* TLS handshakes to a domain: buffered until
+    // the session filter resolves, then all delivered.
+    let filter = Arc::new(compile(r"tls.sni matches 'example'").unwrap());
+    let matching = tls_conversation("10.0.0.1:40000", "93.184.216.34:443", "www.example.com", 0);
+    let matching_count = matching.len();
+    let mut packets = matching;
+    packets.extend(tls_conversation(
+        "10.0.0.2:40001",
+        "1.1.1.1:443",
+        "other.org",
+        50_000_000,
+    ));
+    let mut frames = Vec::new();
+    run_offline::<ZcFrame, _>(&filter, &cfg(), packets, |f| frames.push(f));
+    // Every packet of the matching conn except the post-termination ACK
+    // (the connection is removed at FIN/FIN), none of the other conn.
+    assert_eq!(frames.len(), matching_count - 1);
+}
+
+#[test]
+fn http_transactions_keepalive() {
+    let filter = Arc::new(compile("http").unwrap());
+    let packets = http_conversation("10.0.0.1:40000", "93.184.216.34:80", "example.com", 3, 0);
+    let mut out: Vec<HttpTransactionData> = Vec::new();
+    run_offline::<HttpTransactionData, _>(&filter, &cfg(), packets, |t| out.push(t));
+    assert_eq!(out.len(), 3, "one session per keep-alive transaction");
+    assert_eq!(out[0].http.uri, "/page0");
+    assert_eq!(out[2].http.uri, "/page2");
+    assert!(out.iter().all(|t| t.http.status == 200));
+    assert!(out
+        .iter()
+        .all(|t| t.http.host.as_deref() == Some("example.com")));
+}
+
+#[test]
+fn http_filter_on_user_agent() {
+    let filter = Arc::new(compile("http.user_agent matches 'curl'").unwrap());
+    let mut conv = Conversation::new("10.0.0.1:40000", "1.1.1.1:80", 0);
+    conv.client_data(&http::build_request("GET", "/a", "h.com", "curl/8.0"));
+    conv.server_data(&http::build_response(200, 0));
+    let mut packets = conv.finish();
+
+    let mut conv2 = Conversation::new("10.0.0.2:40002", "1.1.1.1:80", 90_000_000);
+    conv2.client_data(&http::build_request("GET", "/b", "h.com", "Mozilla/5.0"));
+    conv2.server_data(&http::build_response(200, 0));
+    packets.extend(conv2.finish());
+
+    let mut out: Vec<HttpTransactionData> = Vec::new();
+    run_offline::<HttpTransactionData, _>(&filter, &cfg(), packets, |t| out.push(t));
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].http.uri, "/a");
+}
+
+#[test]
+fn non_matching_protocol_discarded_early() {
+    // Filter wants TLS; an SSH conn must be dropped at the conn filter,
+    // as soon as the protocol is identified.
+    let filter = Arc::new(compile("tls").unwrap());
+    let mut conv = Conversation::new("10.0.0.1:40000", "1.1.1.1:22", 0);
+    conv.client_data(&ssh::build_banner("OpenSSH_9.0"));
+    conv.server_data(&ssh::build_banner("OpenSSH_8.9"));
+    conv.client_data(&[0u8; 64]);
+    let packets = conv.finish();
+    let mut out: Vec<SessionRecord> = Vec::new();
+    let stats = run_offline::<SessionRecord, _>(&filter, &cfg(), packets, |s| out.push(s));
+    assert!(out.is_empty());
+    assert_eq!(stats.conns_discarded, 1);
+}
+
+#[test]
+fn session_record_all_protocols() {
+    let filter = Arc::new(compile("tls or http or dns or ssh").unwrap());
+    let mut packets = tls_conversation("10.0.0.1:40000", "1.1.1.1:443", "x.com", 0);
+    packets.extend(http_conversation(
+        "10.0.0.2:40001",
+        "2.2.2.2:80",
+        "y.com",
+        1,
+        100_000_000,
+    ));
+    let mut conv = Conversation::new("10.0.0.3:40002", "3.3.3.3:22", 200_000_000);
+    conv.client_data(&ssh::build_banner("OpenSSH_9.0"));
+    conv.server_data(&ssh::build_banner("OpenSSH_8.9"));
+    packets.extend(conv.finish());
+    // DNS over UDP.
+    let q = retina_protocols::dns::build_query(7, "example.com", 1);
+    let r = retina_protocols::dns::build_response(7, "example.com", 1, 1, 0);
+    packets.push((
+        Bytes::from(build_udp(&UdpSpec {
+            src: "10.0.0.4:5555".parse().unwrap(),
+            dst: "8.8.8.8:53".parse().unwrap(),
+            ttl: 64,
+            payload: &q,
+        })),
+        300_000_000,
+    ));
+    packets.push((
+        Bytes::from(build_udp(&UdpSpec {
+            src: "8.8.8.8:53".parse().unwrap(),
+            dst: "10.0.0.4:5555".parse().unwrap(),
+            ttl: 64,
+            payload: &r,
+        })),
+        300_500_000,
+    ));
+
+    let mut protos = Vec::new();
+    run_offline::<SessionRecord, _>(&filter, &cfg(), packets, |s| {
+        protos.push(retina_filter::SessionData::protocol(&s.session).to_string())
+    });
+    protos.sort();
+    assert_eq!(protos, vec!["dns", "http", "ssh", "tls"]);
+}
+
+#[test]
+fn out_of_order_handshake_still_parses() {
+    // Deliver the ClientHello in two TCP segments with the *second* half
+    // arriving first: intra-direction reordering that the lightweight
+    // reassembler must fix before the parser sees the bytes.
+    let filter = Arc::new(compile("tls").unwrap());
+    let mut conv = Conversation::new("10.0.0.1:40000", "1.1.1.1:443", 0);
+    let ch = client_hello_record(&ClientHelloSpec {
+        sni: Some("shuffled.test".into()),
+        ciphers: vec![0x1301],
+        random: [1; 32],
+        version: 0x0303,
+        alpn: None,
+    });
+    let split = 23;
+    let (a, b) = ch.split_at(split);
+    let (client, server, cseq, sseq) = (conv.client, conv.server, conv.cseq, conv.sseq);
+    // Second segment first (seq offset by the first segment's length).
+    conv.push_raw(
+        client,
+        server,
+        cseq + split as u32,
+        sseq,
+        TcpFlags::ACK | TcpFlags::PSH,
+        b,
+    );
+    conv.push_raw(client, server, cseq, sseq, TcpFlags::ACK | TcpFlags::PSH, a);
+    conv.cseq += ch.len() as u32;
+    conv.server_data(&server_hello_record(&ServerHelloSpec {
+        cipher: 0x1301,
+        random: [2; 32],
+        version: 0x0303,
+        supported_version: None,
+        alpn: None,
+    }));
+    let packets = conv.finish();
+    let mut out: Vec<TlsHandshakeData> = Vec::new();
+    let stats = run_offline::<TlsHandshakeData, _>(&filter, &cfg(), packets, |h| out.push(h));
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].tls.sni(), "shuffled.test");
+    assert!(stats.ooo_buffered >= 1, "the early segment was buffered");
+}
+
+#[test]
+fn conn_bytes_reconstruction() {
+    let filter = Arc::new(compile("http").unwrap());
+    let packets = http_conversation("10.0.0.1:40000", "1.1.1.1:80", "stream.test", 1, 0);
+    let mut out: Vec<ConnBytes> = Vec::new();
+    run_offline::<ConnBytes, _>(&filter, &cfg(), packets, |b| out.push(b));
+    assert_eq!(out.len(), 1);
+    let cb = &out[0];
+    let client = String::from_utf8_lossy(&cb.client_stream);
+    assert!(client.starts_with("GET /page0 HTTP/1.1\r\n"), "{client}");
+    assert!(client.contains("Host: stream.test"));
+    let server = String::from_utf8_lossy(&cb.server_stream);
+    assert!(server.starts_with("HTTP/1.1 200 OK"), "{server}");
+    assert!(!cb.truncated);
+}
+
+#[test]
+fn udp_dns_expires_and_delivers_conn_record() {
+    // DNS conn has no FIN; it must be delivered via timeout expiry.
+    let filter = Arc::new(compile("udp").unwrap());
+    let q = retina_protocols::dns::build_query(9, "slow.example", 1);
+    let mut packets = vec![(
+        Bytes::from(build_udp(&UdpSpec {
+            src: "10.0.0.4:5555".parse().unwrap(),
+            dst: "8.8.8.8:53".parse().unwrap(),
+            ttl: 64,
+            payload: &q,
+        })),
+        0,
+    )];
+    // A late unrelated packet advances simulated time far enough for the
+    // establish timeout (5s) to fire.
+    packets.push((
+        Bytes::from(build_udp(&UdpSpec {
+            src: "10.0.0.5:6666".parse().unwrap(),
+            dst: "9.9.9.9:53".parse().unwrap(),
+            ttl: 64,
+            payload: b"x",
+        })),
+        30_000_000_000,
+    ));
+    let mut out: Vec<ConnRecord> = Vec::new();
+    let stats = run_offline::<ConnRecord, _>(&filter, &cfg(), packets, |r| out.push(r));
+    // Both conns are delivered despite never seeing a FIN: by timeout
+    // expiry or by the end-of-run drain.
+    assert_eq!(out.len(), 2);
+    assert_eq!(stats.conns_expired + stats.conns_drained, 2);
+}
+
+#[test]
+fn runtime_multicore_end_to_end() {
+    struct VecSource {
+        batches: Vec<Vec<(Bytes, u64)>>,
+    }
+    impl TrafficSource for VecSource {
+        fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool {
+            match self.batches.pop() {
+                Some(b) => {
+                    out.extend(b);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    // 40 TLS conversations to distinct endpoints, half to .com SNIs.
+    let mut batches = Vec::new();
+    for i in 0..40u32 {
+        let sni = if i % 2 == 0 {
+            format!("site{i}.com")
+        } else {
+            format!("site{i}.org")
+        };
+        let client = format!("10.0.{}.{}:4{:04}", i / 256, i % 256, i);
+        let server = format!("93.184.216.{}:443", i % 200 + 1);
+        batches.push(tls_conversation(
+            &client,
+            &server,
+            &sni,
+            u64::from(i) * 10_000_000,
+        ));
+    }
+
+    let filter = compile(r"tls.sni matches '\.com$'").unwrap();
+    let hits = Arc::new(Mutex::new(Vec::new()));
+    let hits2 = Arc::clone(&hits);
+    let mut config = RuntimeConfig::with_cores(4);
+    config.profile_stages = true;
+    let mut runtime = Runtime::<TlsHandshakeData, _>::new(config, filter, move |hs| {
+        hits2.lock().unwrap().push(hs.tls.sni().to_string());
+    })
+    .unwrap();
+    let report = runtime.run(VecSource { batches });
+
+    let mut got = hits.lock().unwrap().clone();
+    got.sort();
+    assert_eq!(got.len(), 20, "exactly the .com handshakes: {got:?}");
+    assert!(got.iter().all(|s| s.ends_with(".com")));
+    assert!(report.zero_loss(), "{:?}", report.nic);
+    assert_eq!(report.cores.callbacks.runs, 20);
+    // Hardware filter dropped nothing TCP, but the packet filter ran on
+    // every delivered packet.
+    assert_eq!(report.cores.rx_packets, report.nic.rx_delivered);
+    assert!(report.cores.packet_filter.runs > 0);
+    assert!(report.gbps() > 0.0);
+}
+
+#[test]
+fn hw_filter_drops_out_of_scope_in_runtime() {
+    struct OneShot(Vec<(Bytes, u64)>);
+    impl TrafficSource for OneShot {
+        fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool {
+            if self.0.is_empty() {
+                return false;
+            }
+            out.append(&mut self.0);
+            true
+        }
+    }
+    // TLS filter → hardware filter admits only TCP; UDP dropped at "NIC".
+    let mut packets = tls_conversation("10.0.0.1:40000", "1.1.1.1:443", "a.com", 0);
+    let tcp_count = packets.len() as u64;
+    for i in 0..50u16 {
+        packets.push((
+            Bytes::from(build_udp(&UdpSpec {
+                src: format!("10.1.0.{}:1000", i % 250 + 1).parse().unwrap(),
+                dst: "8.8.8.8:53".parse().unwrap(),
+                ttl: 64,
+                payload: b"q",
+            })),
+            1_000_000_000 + u64::from(i),
+        ));
+    }
+    let filter = compile("tls").unwrap();
+    let mut runtime =
+        Runtime::<TlsHandshakeData, _>::new(RuntimeConfig::default(), filter, |_| {}).unwrap();
+    let report = runtime.run(OneShot(packets));
+    assert_eq!(report.nic.hw_dropped, 50, "UDP dropped in hardware");
+    assert_eq!(report.nic.rx_delivered, tcp_count);
+}
+
+#[test]
+fn queued_callback_mode_equals_inline() {
+    // The paper's future-work execution model: results must be identical
+    // to inline execution, only the execution locus changes.
+    let packets: Vec<(Bytes, u64)> = (0..30u32)
+        .flat_map(|i| {
+            tls_conversation(
+                &format!("10.3.{}.{}:4{:04}", i / 250, i % 250 + 1, i),
+                "93.184.216.34:443",
+                &format!("site{i}.com"),
+                u64::from(i) * 10_000_000,
+            )
+        })
+        .collect();
+    let run = |mode: retina_core::CallbackMode| {
+        let hits = Arc::new(Mutex::new(Vec::new()));
+        let h2 = Arc::clone(&hits);
+        let mut config = RuntimeConfig::with_cores(2);
+        config.callback_mode = mode;
+        let filter = retina_core::compile("tls").unwrap();
+        let mut rt = Runtime::<TlsHandshakeData, _>::new(config, filter, move |hs| {
+            h2.lock().unwrap().push(hs.tls.sni().to_string());
+        })
+        .unwrap();
+        struct Src(Vec<(Bytes, u64)>);
+        impl TrafficSource for Src {
+            fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool {
+                if self.0.is_empty() {
+                    return false;
+                }
+                out.append(&mut self.0);
+                true
+            }
+        }
+        let report = rt.run(Src(packets.clone()));
+        assert!(report.zero_loss());
+        let mut got = hits.lock().unwrap().clone();
+        got.sort();
+        got
+    };
+    let inline = run(retina_core::CallbackMode::Inline);
+    let queued = run(retina_core::CallbackMode::Queued { depth: 4 });
+    assert_eq!(inline.len(), 30);
+    assert_eq!(inline, queued);
+}
+
+#[test]
+fn monitor_samples_a_run() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let packets: Vec<(Bytes, u64)> = (0..200u32)
+        .flat_map(|i| {
+            tls_conversation(
+                &format!("10.9.{}.{}:4{:04}", i / 250, i % 250 + 1, i % 9999),
+                "93.184.216.34:443",
+                "monitored.com",
+                u64::from(i) * 2_000_000,
+            )
+        })
+        .collect();
+    let filter = retina_core::compile("tls").unwrap();
+    let mut rt =
+        Runtime::<TlsHandshakeData, _>::new(RuntimeConfig::with_cores(2), filter, |_| {}).unwrap();
+    let seen = Arc::new(AtomicUsize::new(0));
+    let s2 = Arc::clone(&seen);
+    let monitor = retina_core::Monitor::start(
+        Arc::clone(rt.nic()),
+        rt.gauges(),
+        std::time::Duration::from_millis(5),
+        move |_sample| {
+            s2.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    struct Src(Vec<(Bytes, u64)>);
+    impl TrafficSource for Src {
+        fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool {
+            if self.0.is_empty() {
+                return false;
+            }
+            // Dribble batches so the run lasts several sample intervals.
+            let n = self.0.len().min(512);
+            out.extend(self.0.drain(..n));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            true
+        }
+    }
+    let report = rt.run(Src(packets));
+    let samples = monitor.stop();
+    assert!(
+        seen.load(Ordering::Relaxed) >= 1,
+        "monitor sampled during the run"
+    );
+    assert_eq!(samples.len(), seen.load(Ordering::Relaxed));
+    assert!(samples.iter().any(|s| s.gbps > 0.0 || s.connections > 0));
+    assert!(report.zero_loss());
+    // Log lines render.
+    for s in samples.iter().take(2) {
+        assert!(!s.to_log_line().is_empty());
+    }
+}
+
+#[test]
+fn ooo_flood_bounded_and_survives() {
+    // 600 out-of-order segments for a Track-state connection: no mbufs
+    // are buffered at all (counting-only sequence tracking, §5.2), the
+    // reordering event is still surfaced in the record, the connection
+    // terminates normally, and nothing panics.
+    let filter = Arc::new(compile("tcp").unwrap());
+    let mut conv = Conversation::new("10.0.0.1:40000", "1.1.1.1:9999", 0);
+    let (client, server, cseq, sseq) = (conv.client, conv.server, conv.cseq, conv.sseq);
+    // Segments 1..=600 arrive before segment 0 ever does.
+    for i in 1..=600u32 {
+        conv.push_raw(
+            client,
+            server,
+            cseq + i * 100,
+            sseq,
+            TcpFlags::ACK | TcpFlags::PSH,
+            &[0xAB; 100],
+        );
+    }
+    // FIN follows the highest delivered sequence, as a real sender would.
+    conv.cseq = cseq + 601 * 100;
+    let packets = conv.finish();
+    let mut out: Vec<ConnRecord> = Vec::new();
+    let stats = run_offline::<ConnRecord, _>(&filter, &cfg(), packets, |r| out.push(r));
+    assert_eq!(out.len(), 1);
+    let rec = &out[0];
+    // SYN + handshake ACK + flood + client FIN; the post-termination ACK
+    // is absorbed by the closed-connection set.
+    assert_eq!(rec.pkts_up, 2 + 600 + 1);
+    assert!(rec.terminated);
+    // Counting-only tracking records the reordering event (the skipped
+    // hole), not one entry per trailing segment — and holds zero mbufs.
+    assert!(rec.ooo_up >= 1, "ooo events: {}", rec.ooo_up);
+    assert!(stats.ooo_buffered >= 1);
+    // No reassembly work was spent on a Track-state connection.
+    assert_eq!(stats.reassembly.runs, 0);
+}
+
+#[test]
+fn rst_before_protocol_identified() {
+    // A connection reset during the handshake: no session, a terminated
+    // conn record, no leaks or panics.
+    let filter = Arc::new(compile("tcp").unwrap());
+    let mut conv = Conversation::new("10.0.0.1:40000", "1.1.1.1:443", 0);
+    let (client, server, cseq, sseq) = (conv.client, conv.server, conv.cseq, conv.sseq);
+    // Two bytes of a would-be TLS hello, then RST.
+    conv.push_raw(client, server, cseq, sseq, TcpFlags::ACK | TcpFlags::PSH, &[0x16, 0x03]);
+    conv.push_raw(server, client, sseq, cseq + 2, TcpFlags::RST, &[]);
+    let packets = conv.packets;
+    let mut out: Vec<ConnRecord> = Vec::new();
+    run_offline::<ConnRecord, _>(&filter, &cfg(), packets, |r| out.push(r));
+    assert_eq!(out.len(), 1);
+    assert!(out[0].terminated);
+    assert!(!out[0].single_syn);
+}

@@ -1,0 +1,182 @@
+//! Abstract syntax for filter expressions (Table 1 of the paper).
+
+use core::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A right-hand-side constant in a binary predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Inclusive integer range `lo..hi` (used with `in`).
+    IntRange(u64, u64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// IPv4 address or CIDR network.
+    Ipv4Net(Ipv4Addr, u8),
+    /// IPv6 address or CIDR network.
+    Ipv6Net(Ipv6Addr, u8),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::IntRange(lo, hi) => write!(f, "{lo}..{hi}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Ipv4Net(a, p) => write!(f, "{a}/{p}"),
+            Value::Ipv6Net(a, p) => write!(f, "{a}/{p}"),
+        }
+    }
+}
+
+/// Comparison operator in a binary predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in` — membership in an integer range or CIDR network.
+    In,
+    /// `matches` / `~` — regular-expression match on a string field.
+    Matches,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::In => "in",
+            Op::Matches => "matches",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An atomic predicate: either a unary protocol test (`tcp`) or a binary
+/// field comparison (`tcp.port >= 100`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches when the entity *is* this protocol.
+    Unary {
+        /// Protocol name as written in the filter.
+        protocol: String,
+    },
+    /// Compares a protocol field against a constant.
+    Binary {
+        /// Protocol name.
+        protocol: String,
+        /// Field name within the protocol.
+        field: String,
+        /// Comparison operator.
+        op: Op,
+        /// Right-hand-side constant.
+        value: Value,
+    },
+}
+
+impl Predicate {
+    /// The protocol this predicate constrains.
+    pub fn protocol(&self) -> &str {
+        match self {
+            Predicate::Unary { protocol } | Predicate::Binary { protocol, .. } => protocol,
+        }
+    }
+
+    /// Returns true for unary (protocol-identity) predicates.
+    pub fn is_unary(&self) -> bool {
+        matches!(self, Predicate::Unary { .. })
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Unary { protocol } => f.write_str(protocol),
+            Predicate::Binary {
+                protocol,
+                field,
+                op,
+                value,
+            } => write!(f, "{protocol}.{field} {op} {value}"),
+        }
+    }
+}
+
+/// A filter expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An atomic predicate.
+    Predicate(Predicate),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Predicate(p) => write!(f, "{p}"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        let p = Predicate::Binary {
+            protocol: "tcp".into(),
+            field: "port".into(),
+            op: Op::Ge,
+            value: Value::Int(100),
+        };
+        assert_eq!(p.to_string(), "tcp.port >= 100");
+        let e = Expr::Or(
+            Box::new(Expr::Predicate(p)),
+            Box::new(Expr::Predicate(Predicate::Unary {
+                protocol: "http".into(),
+            })),
+        );
+        assert_eq!(e.to_string(), "(tcp.port >= 100 or http)");
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::IntRange(1, 9).to_string(), "1..9");
+        assert_eq!(Value::Str("x".into()).to_string(), "'x'");
+        assert_eq!(
+            Value::Ipv4Net("10.0.0.0".parse().unwrap(), 8).to_string(),
+            "10.0.0.0/8"
+        );
+    }
+
+    #[test]
+    fn predicate_protocol_access() {
+        let u = Predicate::Unary {
+            protocol: "tls".into(),
+        };
+        assert_eq!(u.protocol(), "tls");
+        assert!(u.is_unary());
+    }
+}

@@ -1,0 +1,486 @@
+//! Static code generation (§4, Figure 3).
+//!
+//! [`generate`] renders a predicate trie as Rust source: a unit struct
+//! implementing [`crate::FilterFns`] whose three filter functions are
+//! fixed sequences of conditionals, verified by the Rust compiler and
+//! inlined at their processing layers. This is the paper's default
+//! execution strategy ("bakes the filter logic into the application binary
+//! as if it were hard-coded by a developer"); the `retina-filtergen`
+//! proc-macro invokes this module at compile time.
+//!
+//! The generated code is semantically identical to the interpreted engine
+//! in [`crate::interp`] — the test suite checks them against each other —
+//! but avoids trie traversal, predicate dispatch, and hash-map lookups at
+//! runtime. Appendix B (Figure 12) measures the difference.
+
+use std::fmt::Write;
+
+use crate::ast::{Op, Predicate, Value};
+use crate::registry::FilterLayer;
+use crate::trie::PredicateTrie;
+
+/// Generates Rust source defining `pub struct {name};` and its
+/// [`crate::FilterFns`] implementation for the given trie.
+pub fn generate(trie: &PredicateTrie, name: &str) -> String {
+    format!(
+        "#[derive(Debug, Clone, Copy, Default)]\npub struct {name};\n\n{}",
+        generate_impl(trie, name)
+    )
+}
+
+/// Generates only the `impl retina_filter::FilterFns for {name}` block,
+/// for use when the struct declaration already exists (the `#[filter]`
+/// attribute form).
+pub fn generate_impl(trie: &PredicateTrie, name: &str) -> String {
+    let mut regexes: Vec<String> = Vec::new();
+    collect_regexes(trie, &mut regexes);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "impl retina_filter::FilterFns for {name} {{");
+    out.push_str(&gen_packet_filter(trie));
+    out.push_str(&gen_conn_filter(trie));
+    out.push_str(&gen_session_filter(trie, &regexes));
+    out.push_str(&gen_metadata(trie));
+    out.push_str("}\n");
+    out
+}
+
+fn collect_regexes(trie: &PredicateTrie, out: &mut Vec<String>) {
+    for id in trie.reachable() {
+        if let Some(Predicate::Binary {
+            op: Op::Matches,
+            value: Value::Str(pattern),
+            ..
+        }) = &trie.node(id).pred
+        {
+            if !out.contains(pattern) {
+                out.push(pattern.clone());
+            }
+        }
+    }
+}
+
+fn regex_index(regexes: &[String], pattern: &str) -> usize {
+    regexes
+        .iter()
+        .position(|p| p == pattern)
+        .expect("regex collected")
+}
+
+// ---------------------------------------------------------------- packet
+
+fn gen_packet_filter(trie: &PredicateTrie) -> String {
+    let mut body = String::new();
+    body.push_str(
+        "    fn packet_filter(&self, pkt: &retina_filter::wire::ParsedPacket) \
+         -> retina_filter::FilterResult {\n",
+    );
+    body.push_str("        use retina_filter::FilterResult;\n");
+    body.push_str("        let _ = pkt;\n");
+    if trie.matches_everything() {
+        body.push_str("        return FilterResult::MatchTerminal(0);\n    }\n\n");
+        return body;
+    }
+    body.push_str("        let mut frontier: (usize, usize) = (0, usize::MAX);\n");
+    let frontiers = trie.packet_frontiers();
+    emit_packet_node(trie, 0, 0, 2, &frontiers, &mut body);
+    body.push_str(
+        "        if frontier.1 != usize::MAX {\n            \
+         return FilterResult::MatchNonTerminal(frontier.1);\n        }\n",
+    );
+    body.push_str("        FilterResult::NoMatch\n    }\n\n");
+    body
+}
+
+fn emit_packet_node(
+    trie: &PredicateTrie,
+    id: usize,
+    depth: usize,
+    indent: usize,
+    frontiers: &[usize],
+    out: &mut String,
+) {
+    let pad = "    ".repeat(indent);
+    let node = trie.node(id);
+    if node.pattern_end {
+        let _ = writeln!(out, "{pad}return FilterResult::MatchTerminal({id});");
+        return;
+    }
+    if frontiers.contains(&id) {
+        let _ = writeln!(
+            out,
+            "{pad}if frontier.1 == usize::MAX || {depth} > frontier.0 {{ frontier = ({depth}, {id}); }}"
+        );
+    }
+    for &c in &node.children {
+        let child = trie.node(c);
+        if child.layer != FilterLayer::Packet {
+            continue;
+        }
+        let pred = child.pred.as_ref().expect("non-root node has predicate");
+        let cond = packet_pred_expr(pred);
+        let _ = writeln!(out, "{pad}if {cond} {{");
+        emit_packet_node(trie, c, depth + 1, indent + 1, frontiers, out);
+        let _ = writeln!(out, "{pad}}}");
+    }
+}
+
+/// Renders a packet-layer predicate as a Rust boolean expression over
+/// `pkt: &ParsedPacket`. Ancestor guards (protocol identity) are already
+/// established by the enclosing conditionals, mirroring the trie nesting.
+fn packet_pred_expr(pred: &Predicate) -> String {
+    match pred {
+        Predicate::Unary { protocol } => match protocol.as_str() {
+            "eth" => "true".into(),
+            "ipv4" => "pkt.is_ipv4()".into(),
+            "ipv6" => "pkt.is_ipv6()".into(),
+            "tcp" => "pkt.protocol == retina_filter::wire::IpProtocol::Tcp".into(),
+            "udp" => "pkt.protocol == retina_filter::wire::IpProtocol::Udp".into(),
+            "icmp" => "matches!(pkt.protocol, retina_filter::wire::IpProtocol::Icmp \
+                       | retina_filter::wire::IpProtocol::Icmpv6)"
+                .into(),
+            other => format!("false /* unknown packet protocol {other} */"),
+        },
+        Predicate::Binary {
+            protocol,
+            field,
+            op,
+            value,
+        } => packet_binary_expr(protocol, field, *op, value),
+    }
+}
+
+fn packet_binary_expr(protocol: &str, field: &str, op: Op, value: &Value) -> String {
+    match (protocol, field) {
+        ("ipv4", "addr") | ("ipv6", "addr") => {
+            let src = ip_cmp_expr("pkt.src_ip", op, value);
+            let dst = ip_cmp_expr("pkt.dst_ip", op, value);
+            format!("({src} || {dst})")
+        }
+        ("ipv4", "src_addr") | ("ipv6", "src_addr") => ip_cmp_expr("pkt.src_ip", op, value),
+        ("ipv4", "dst_addr") | ("ipv6", "dst_addr") => ip_cmp_expr("pkt.dst_ip", op, value),
+        ("ipv4", "ttl") | ("ipv6", "hop_limit") => int_cmp_expr("u64::from(pkt.ttl)", op, value),
+        ("ipv4", "total_len") => {
+            int_cmp_expr("((pkt.payload_end - pkt.l3_offset) as u64)", op, value)
+        }
+        ("tcp", "port") | ("udp", "port") => {
+            let src = int_cmp_expr("u64::from(pkt.src_port)", op, value);
+            let dst = int_cmp_expr("u64::from(pkt.dst_port)", op, value);
+            format!("({src} || {dst})")
+        }
+        ("tcp", "src_port") | ("udp", "src_port") => {
+            int_cmp_expr("u64::from(pkt.src_port)", op, value)
+        }
+        ("tcp", "dst_port") | ("udp", "dst_port") => {
+            int_cmp_expr("u64::from(pkt.dst_port)", op, value)
+        }
+        ("tcp", "window") => format!(
+            "(match pkt.l4 {{ retina_filter::wire::L4Header::Tcp {{ window, .. }} => {}, _ => false }})",
+            int_cmp_expr("u64::from(window)", op, value)
+        ),
+        ("icmp", "type") => format!(
+            "(match pkt.l4 {{ retina_filter::wire::L4Header::Icmp {{ msg_type, .. }} => {}, _ => false }})",
+            int_cmp_expr("u64::from(msg_type)", op, value)
+        ),
+        ("icmp", "code") => format!(
+            "(match pkt.l4 {{ retina_filter::wire::L4Header::Icmp {{ code, .. }} => {}, _ => false }})",
+            int_cmp_expr("u64::from(code)", op, value)
+        ),
+        other => format!("false /* no packet accessor for {other:?} */"),
+    }
+}
+
+fn int_cmp_expr(lhs: &str, op: Op, value: &Value) -> String {
+    match (op, value) {
+        (Op::Eq, Value::Int(v)) => format!("{lhs} == {v}u64"),
+        (Op::Ne, Value::Int(v)) => format!("{lhs} != {v}u64"),
+        (Op::Lt, Value::Int(v)) => format!("{lhs} < {v}u64"),
+        (Op::Le, Value::Int(v)) => format!("{lhs} <= {v}u64"),
+        (Op::Gt, Value::Int(v)) => format!("{lhs} > {v}u64"),
+        (Op::Ge, Value::Int(v)) => format!("{lhs} >= {v}u64"),
+        (Op::In, Value::IntRange(lo, hi)) => format!("({lo}u64..={hi}u64).contains(&({lhs}))"),
+        _ => "false".into(),
+    }
+}
+
+fn ip_cmp_expr(lhs: &str, op: Op, value: &Value) -> String {
+    let base = match value {
+        Value::Ipv4Net(net, prefix) => format!(
+            "retina_filter::subfilters::v4_in({lhs}, {}u32, {prefix}u8)",
+            u32::from(*net)
+        ),
+        Value::Ipv6Net(net, prefix) => format!(
+            "retina_filter::subfilters::v6_in({lhs}, {}u128, {prefix}u8)",
+            u128::from(*net)
+        ),
+        _ => return "false".into(),
+    };
+    match op {
+        Op::Eq | Op::In => base,
+        Op::Ne => format!("!{base}"),
+        _ => "false".into(),
+    }
+}
+
+// ------------------------------------------------------------ connection
+
+fn gen_conn_filter(trie: &PredicateTrie) -> String {
+    let mut body = String::new();
+    body.push_str(
+        "    fn conn_filter(&self, service: Option<&str>, pkt_term_node: usize) \
+         -> retina_filter::FilterResult {\n",
+    );
+    body.push_str("        use retina_filter::FilterResult;\n");
+    body.push_str("        let _ = (service, pkt_term_node);\n");
+    if trie.matches_everything() {
+        body.push_str("        return FilterResult::MatchTerminal(0);\n    }\n\n");
+        return body;
+    }
+    body.push_str("        let mut non_terminal: Option<usize> = None;\n");
+    body.push_str("        match pkt_term_node {\n");
+    // Packet-terminal nodes: already fully matched.
+    let mut terminal_pkt: Vec<usize> = trie
+        .reachable()
+        .into_iter()
+        .filter(|&id| trie.node(id).pattern_end && trie.node(id).layer == FilterLayer::Packet)
+        .collect();
+    terminal_pkt.sort_unstable();
+    for id in terminal_pkt {
+        let _ = writeln!(
+            body,
+            "            {id} => return FilterResult::MatchTerminal({id}),"
+        );
+    }
+    for frontier in trie.packet_frontiers() {
+        let _ = writeln!(body, "            {frontier} => {{");
+        for cand in trie.conn_candidates(frontier) {
+            let node = trie.node(cand);
+            let proto = node.pred.as_ref().expect("conn pred").protocol();
+            if node.pattern_end {
+                let _ = writeln!(
+                    body,
+                    "                if service == Some({proto:?}) {{ return FilterResult::MatchTerminal({cand}); }}"
+                );
+            } else {
+                let _ = writeln!(
+                    body,
+                    "                if service == Some({proto:?}) && non_terminal.is_none() {{ non_terminal = Some({cand}); }}"
+                );
+            }
+        }
+        body.push_str("            }\n");
+    }
+    body.push_str("            _ => {}\n        }\n");
+    body.push_str(
+        "        match non_terminal {\n            Some(n) => FilterResult::MatchNonTerminal(n),\n            None => FilterResult::NoMatch,\n        }\n    }\n\n",
+    );
+    body
+}
+
+// --------------------------------------------------------------- session
+
+fn gen_session_filter(trie: &PredicateTrie, regexes: &[String]) -> String {
+    let mut body = String::new();
+    body.push_str(
+        "    fn session_filter(&self, session: &dyn retina_filter::SessionData, \
+         pkt_term_node: usize) -> bool {\n",
+    );
+    body.push_str("        let _ = (session, pkt_term_node);\n");
+    if trie.matches_everything() {
+        body.push_str("        return true;\n    }\n\n");
+        return body;
+    }
+    if !regexes.is_empty() {
+        body.push_str(
+            "        static __REGEXES: std::sync::LazyLock<Vec<retina_filter::regex::Regex>> =\n             std::sync::LazyLock::new(|| vec![\n",
+        );
+        for pattern in regexes {
+            let _ = writeln!(
+                body,
+                "                retina_filter::regex::Regex::new({pattern:?}).unwrap(),"
+            );
+        }
+        body.push_str("            ]);\n");
+    }
+    body.push_str("        match pkt_term_node {\n");
+    let mut terminal_pkt: Vec<usize> = trie
+        .reachable()
+        .into_iter()
+        .filter(|&id| trie.node(id).pattern_end && trie.node(id).layer == FilterLayer::Packet)
+        .collect();
+    terminal_pkt.sort_unstable();
+    for id in terminal_pkt {
+        let _ = writeln!(body, "            {id} => true,");
+    }
+    for frontier in trie.packet_frontiers() {
+        let _ = writeln!(body, "            {frontier} => {{");
+        for cand in trie.conn_candidates(frontier) {
+            let node = trie.node(cand);
+            let proto = node.pred.as_ref().expect("conn pred").protocol();
+            let _ = writeln!(
+                body,
+                "                if session.protocol() == {proto:?} {{"
+            );
+            if node.pattern_end {
+                body.push_str("                    return true;\n");
+            } else {
+                emit_session_subtree(trie, cand, 5, regexes, &mut body);
+            }
+            body.push_str("                }\n");
+        }
+        body.push_str("                false\n            }\n");
+    }
+    body.push_str("            _ => false,\n        }\n    }\n\n");
+    body
+}
+
+fn emit_session_subtree(
+    trie: &PredicateTrie,
+    id: usize,
+    indent: usize,
+    regexes: &[String],
+    out: &mut String,
+) {
+    let pad = "    ".repeat(indent);
+    for &c in &trie.node(id).children {
+        let child = trie.node(c);
+        if child.layer != FilterLayer::Session {
+            continue;
+        }
+        let pred = child.pred.as_ref().expect("session pred");
+        let cond = session_pred_expr(pred, regexes);
+        let _ = writeln!(out, "{pad}if {cond} {{");
+        if child.pattern_end {
+            let _ = writeln!(out, "{pad}    return true;");
+        } else {
+            emit_session_subtree(trie, c, indent + 1, regexes, out);
+        }
+        let _ = writeln!(out, "{pad}}}");
+    }
+}
+
+fn session_pred_expr(pred: &Predicate, regexes: &[String]) -> String {
+    let Predicate::Binary {
+        field, op, value, ..
+    } = pred
+    else {
+        return "true".into();
+    };
+    match (op, value) {
+        (Op::Matches, Value::Str(pattern)) => {
+            let idx = regex_index(regexes, pattern);
+            format!(
+                "matches!(session.field({field:?}), Some(retina_filter::FieldValue::Str(v)) if __REGEXES[{idx}].is_match(v))"
+            )
+        }
+        (Op::Eq, Value::Str(s)) => format!(
+            "matches!(session.field({field:?}), Some(retina_filter::FieldValue::Str(v)) if v == {s:?})"
+        ),
+        (Op::Ne, Value::Str(s)) => format!(
+            "matches!(session.field({field:?}), Some(retina_filter::FieldValue::Str(v)) if v != {s:?})"
+        ),
+        (_, Value::Int(_)) | (_, Value::IntRange(..)) => {
+            let cmp = int_cmp_expr("v", *op, value);
+            format!(
+                "matches!(session.field({field:?}), Some(retina_filter::FieldValue::Int(v)) if {cmp})"
+            )
+        }
+        (_, Value::Ipv4Net(..)) | (_, Value::Ipv6Net(..)) => {
+            let cmp = ip_cmp_expr("v", *op, value);
+            format!(
+                "matches!(session.field({field:?}), Some(retina_filter::FieldValue::Ip(v)) if {cmp})"
+            )
+        }
+        _ => "false".into(),
+    }
+}
+
+// -------------------------------------------------------------- metadata
+
+fn gen_metadata(trie: &PredicateTrie) -> String {
+    let mut body = String::new();
+    let protos = trie.conn_protocols();
+    body.push_str("    fn conn_protocols(&self) -> Vec<String> {\n        vec![");
+    for p in &protos {
+        let _ = write!(body, "{p:?}.to_string(), ");
+    }
+    body.push_str("]\n    }\n\n");
+    let _ = writeln!(
+        body,
+        "    fn needs_conn_layer(&self) -> bool {{ {} }}\n",
+        trie.needs_conn_layer()
+    );
+    let _ = writeln!(
+        body,
+        "    fn needs_session_layer(&self) -> bool {{ {} }}\n",
+        trie.needs_session_layer()
+    );
+    let _ = writeln!(
+        body,
+        "    fn source(&self) -> &str {{ {:?} }}",
+        trie.source()
+    );
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ProtocolRegistry;
+
+    fn gen(src: &str) -> String {
+        let trie = PredicateTrie::from_source(src, &ProtocolRegistry::default()).unwrap();
+        generate(&trie, "TestFilter")
+    }
+
+    #[test]
+    fn figure3_generates_expected_shapes() {
+        let code = gen("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http");
+        assert!(code.contains("pub struct TestFilter;"));
+        assert!(code.contains("impl retina_filter::FilterFns for TestFilter"));
+        // Packet filter tests ports with either-endpoint semantics.
+        assert!(code.contains("u64::from(pkt.src_port) >= 100u64"));
+        assert!(code.contains("u64::from(pkt.dst_port) >= 100u64"));
+        // Conn filter dispatches on service names.
+        assert!(code.contains("service == Some(\"tls\")"));
+        assert!(code.contains("service == Some(\"http\")"));
+        // Session filter compiles the regex once into a static.
+        assert!(code.contains("LazyLock"));
+        assert!(code.contains("Regex::new(\"netflix\")"));
+    }
+
+    #[test]
+    fn match_all_filter_code() {
+        let code = gen("");
+        assert!(code.contains("MatchTerminal(0)"));
+        assert!(code.contains("fn needs_conn_layer(&self) -> bool { false }"));
+    }
+
+    #[test]
+    fn regex_escaping_is_valid_rust() {
+        let code = gen(r"tls.sni ~ '(.+?\.)?nflxvideo\.net'");
+        // The Rust string literal must contain escaped backslashes.
+        assert!(
+            code.contains(r#"Regex::new("(.+?\\.)?nflxvideo\\.net")"#),
+            "{code}"
+        );
+    }
+
+    #[test]
+    fn cidr_constants_inlined() {
+        let code = gen("ipv4.addr in 23.246.0.0/18 and tcp");
+        let expected = u32::from("23.246.0.0".parse::<std::net::Ipv4Addr>().unwrap());
+        assert!(code.contains(&format!("{expected}u32")), "{code}");
+        assert!(code.contains("18u8"));
+    }
+
+    #[test]
+    fn metadata_generated() {
+        let code = gen("tls or dns");
+        assert!(code.contains("\"tls\".to_string()"));
+        assert!(code.contains("\"dns\".to_string()"));
+        assert!(code.contains("fn needs_conn_layer(&self) -> bool { true }"));
+        assert!(code.contains("fn needs_session_layer(&self) -> bool { false }"));
+        assert!(code.contains("fn source(&self) -> &str { \"tls or dns\" }"));
+    }
+}

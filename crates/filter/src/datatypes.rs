@@ -1,0 +1,175 @@
+//! Shared filter data types: errors, results, and the traits through which
+//! filters access connection and session data without depending on any
+//! particular protocol implementation.
+
+use core::fmt;
+
+/// Errors from filter compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// Tokenizer error at a byte offset.
+    Lex {
+        /// Byte offset in the source.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Parser error at a byte offset.
+    Parse {
+        /// Byte offset in the source.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// The filter references a protocol the registry does not know.
+    UnknownProtocol(String),
+    /// The filter references a field the protocol does not expose.
+    UnknownField(String, String),
+    /// Operator/value combination invalid for the field's type.
+    TypeMismatch(String),
+    /// A regular expression failed to compile.
+    BadRegex(String),
+}
+
+impl FilterError {
+    pub(crate) fn lex(pos: usize, msg: impl Into<String>) -> Self {
+        FilterError::Lex {
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn parse(pos: usize, msg: impl Into<String>) -> Self {
+        FilterError::Parse {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            FilterError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            FilterError::UnknownProtocol(p) => write!(f, "unknown protocol '{p}'"),
+            FilterError::UnknownField(p, field) => {
+                write!(f, "protocol '{p}' has no field '{field}'")
+            }
+            FilterError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            FilterError::BadRegex(msg) => write!(f, "invalid regex: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// Result of applying a sub-filter, mirroring the paper's `FilterResult`
+/// (Figure 3).
+///
+/// The `usize` carries the ID of the deepest matched predicate-trie node,
+/// which later sub-filters use to resume evaluation without re-walking the
+/// trie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterResult {
+    /// No pattern can match this input; processing can stop.
+    NoMatch,
+    /// A complete filter pattern is satisfied (node ID of the pattern end).
+    MatchTerminal(usize),
+    /// The input matched a pattern prefix; deeper layers must continue
+    /// evaluation from the given node.
+    MatchNonTerminal(usize),
+}
+
+impl FilterResult {
+    /// Returns true for either kind of match.
+    pub fn is_match(&self) -> bool {
+        !matches!(self, FilterResult::NoMatch)
+    }
+
+    /// Returns true only for a terminal (complete) match.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, FilterResult::MatchTerminal(_))
+    }
+
+    /// The matched node ID, if any.
+    pub fn node(&self) -> Option<usize> {
+        match self {
+            FilterResult::NoMatch => None,
+            FilterResult::MatchTerminal(n) | FilterResult::MatchNonTerminal(n) => Some(*n),
+        }
+    }
+}
+
+/// A dynamically-typed view of one protocol field's value, borrowed from
+/// the underlying parsed data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    /// Unsigned integer (ports, TTLs, lengths, versions…).
+    Int(u64),
+    /// String (SNI, user agent, banners…).
+    Str(&'a str),
+    /// IP address (for `addr`-style fields).
+    Ip(std::net::IpAddr),
+}
+
+/// Connection-level data visible to the connection filter: the identity of
+/// the application-layer protocol, once probed.
+///
+/// Implemented by the connection tracker's state; the filter crate only
+/// needs the service name.
+pub trait ConnData {
+    /// The probed L7 protocol name (e.g. `"tls"`), or `None` if the
+    /// protocol has not been identified (yet).
+    fn service(&self) -> Option<&str>;
+}
+
+/// Session-level data visible to the session filter: a parsed
+/// application-layer message exposing named fields.
+///
+/// Implemented by protocol modules (`retina-protocols`); the filter crate
+/// accesses fields dynamically so new protocols need no filter changes
+/// (§3.3 extensibility).
+pub trait SessionData {
+    /// Protocol name this session was parsed as (e.g. `"tls"`).
+    fn protocol(&self) -> &str;
+
+    /// Looks up a field by name. Returns `None` when the field is absent
+    /// in this particular session (e.g. a TLS handshake without SNI).
+    fn field(&self, name: &str) -> Option<FieldValue<'_>>;
+}
+
+/// Trivial [`ConnData`] impl for tests and simple callers.
+impl ConnData for Option<&str> {
+    fn service(&self) -> Option<&str> {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_result_accessors() {
+        assert!(!FilterResult::NoMatch.is_match());
+        assert!(FilterResult::MatchTerminal(3).is_match());
+        assert!(FilterResult::MatchTerminal(3).is_terminal());
+        assert!(!FilterResult::MatchNonTerminal(4).is_terminal());
+        assert_eq!(FilterResult::MatchNonTerminal(4).node(), Some(4));
+        assert_eq!(FilterResult::NoMatch.node(), None);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FilterError::UnknownField("tcp".into(), "bogus".into());
+        assert_eq!(e.to_string(), "protocol 'tcp' has no field 'bogus'");
+        assert!(FilterError::lex(3, "x").to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn conn_data_for_option() {
+        let c: Option<&str> = Some("tls");
+        assert_eq!(ConnData::service(&c), Some("tls"));
+    }
+}

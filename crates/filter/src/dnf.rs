@@ -1,0 +1,335 @@
+//! Disjunctive-normal-form conversion and pattern expansion.
+//!
+//! Retina "first transforms the filter expression into disjunctive normal
+//! form, creating a set of patterns that each consist of a conjunction of
+//! atomic predicates", then "expands and reorders each pattern such that
+//! packet headers and application-layer protocols are parsed in sequence"
+//! (§4.1). This module implements both steps:
+//!
+//! - [`to_dnf`] distributes `and` over `or` to yield conjunction lists;
+//! - [`expand_patterns`] consults the protocol registry's encapsulation
+//!   metadata to insert the implied unary predicates (e.g. `tls.sni`
+//!   implies `tls`, which implies `tcp`, which implies `ipv4` *or*
+//!   `ipv6`), duplicate patterns per valid protocol chain, and order
+//!   predicates by parse sequence.
+
+use crate::ast::{Expr, Predicate};
+use crate::datatypes::FilterError;
+use crate::registry::{FilterLayer, ProtocolRegistry};
+
+/// A conjunction of atomic predicates (one DNF term).
+pub type Conjunction = Vec<Predicate>;
+
+/// Converts an expression tree to DNF: a list of conjunctions whose
+/// disjunction is equivalent to the input.
+pub fn to_dnf(expr: &Expr) -> Vec<Conjunction> {
+    match expr {
+        Expr::Predicate(p) => vec![vec![p.clone()]],
+        Expr::Or(a, b) => {
+            let mut out = to_dnf(a);
+            out.extend(to_dnf(b));
+            out
+        }
+        Expr::And(a, b) => {
+            let left = to_dnf(a);
+            let right = to_dnf(b);
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut combined = l.clone();
+                    for pred in r {
+                        if !combined.contains(pred) {
+                            combined.push(pred.clone());
+                        }
+                    }
+                    out.push(combined);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// A fully-expanded pattern: predicates ordered by parse sequence, with a
+/// single consistent protocol chain. The leading `eth` is implicit (it is
+/// the trie root).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatPattern {
+    /// Ordered predicates (root-most first).
+    pub predicates: Vec<Predicate>,
+}
+
+/// Expands DNF conjunctions into flat patterns.
+///
+/// Each conjunction may expand to several patterns (one per consistent
+/// protocol chain, e.g. IPv4 and IPv6 variants). Conjunctions with no
+/// consistent chain (e.g. `ipv4 and ipv6`, or `tls and dns`) are
+/// *unsatisfiable* and silently dropped; if every conjunction is
+/// unsatisfiable the filter is rejected.
+pub fn expand_patterns(
+    conjunctions: &[Conjunction],
+    registry: &ProtocolRegistry,
+) -> Result<Vec<FlatPattern>, FilterError> {
+    let mut patterns = Vec::new();
+    for conj in conjunctions {
+        // Type-check every predicate up front.
+        for pred in conj {
+            registry.check(pred)?;
+        }
+        patterns.extend(expand_one(conj, registry));
+    }
+    if patterns.is_empty() && !conjunctions.is_empty() {
+        return Err(FilterError::TypeMismatch(
+            "filter is unsatisfiable: no consistent protocol chain".into(),
+        ));
+    }
+    Ok(patterns)
+}
+
+fn expand_one(conj: &Conjunction, registry: &ProtocolRegistry) -> Vec<FlatPattern> {
+    // Protocols mentioned by any predicate.
+    let mut required: Vec<&str> = Vec::new();
+    for pred in conj {
+        if !required.contains(&pred.protocol()) {
+            required.push(pred.protocol());
+        }
+    }
+    if required.is_empty() {
+        // Empty conjunction: matches everything (pattern ends at the root).
+        return vec![FlatPattern { predicates: vec![] }];
+    }
+
+    // Candidate chains: every root chain of every required protocol that
+    // covers *all* required protocols. Keep maximal distinct chains.
+    let mut chains: Vec<Vec<&'static str>> = Vec::new();
+    for proto in &required {
+        for chain in registry.chains(proto) {
+            if required.iter().all(|r| chain.iter().any(|c| c == r)) && !chains.contains(&chain) {
+                chains.push(chain);
+            }
+        }
+    }
+    // Drop chains that are strict prefixes of other candidate chains: the
+    // longer chain imposes *more* constraints, so the shorter one already
+    // covers it; keeping both would duplicate patterns. (Chains of equal
+    // content are already deduped.)
+    let all = chains.clone();
+    chains.retain(|c| {
+        !all.iter()
+            .any(|other| other.len() > c.len() && other.starts_with(c))
+    });
+
+    let mut out = Vec::new();
+    for chain in &chains {
+        let mut predicates = Vec::new();
+        let mut ok = true;
+        for proto_name in chain.iter() {
+            let def = registry.get(proto_name).expect("chain proto registered");
+            // Unary predicate for the protocol itself ("eth" root implied).
+            if *proto_name != "eth" {
+                predicates.push(Predicate::Unary {
+                    protocol: proto_name.to_string(),
+                });
+            }
+            // Binary predicates on this protocol, in source order. A unary
+            // predicate written by the user is subsumed by the chain node.
+            for pred in conj {
+                if pred.protocol() == *proto_name {
+                    match pred {
+                        Predicate::Unary { .. } => {}
+                        Predicate::Binary { .. } => predicates.push(pred.clone()),
+                    }
+                }
+            }
+            let _ = def;
+        }
+        // Sanity: every conjunct must have been placed.
+        for pred in conj {
+            if let Predicate::Binary { .. } = pred {
+                if !predicates.contains(pred) {
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            out.push(FlatPattern { predicates });
+        }
+    }
+    out
+}
+
+/// Returns the layer of a predicate according to the registry. Must only
+/// be called with predicates that passed [`ProtocolRegistry::check`].
+pub fn predicate_layer(pred: &Predicate, registry: &ProtocolRegistry) -> FilterLayer {
+    registry
+        .get(pred.protocol())
+        .map(|def| def.predicate_layer(pred.is_unary()))
+        .unwrap_or(FilterLayer::Packet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn dnf_strings(src: &str) -> Vec<Vec<String>> {
+        to_dnf(&parse(src).unwrap())
+            .into_iter()
+            .map(|c| c.into_iter().map(|p| p.to_string()).collect())
+            .collect()
+    }
+
+    fn patterns(src: &str) -> Vec<Vec<String>> {
+        let registry = ProtocolRegistry::default();
+        let dnf = to_dnf(&parse(src).unwrap());
+        expand_patterns(&dnf, &registry)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.predicates.iter().map(|x| x.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn dnf_single_predicate() {
+        assert_eq!(dnf_strings("tcp"), vec![vec!["tcp"]]);
+    }
+
+    #[test]
+    fn dnf_distributes() {
+        assert_eq!(
+            dnf_strings("ipv4 and (tls or ssh)"),
+            vec![vec!["ipv4", "tls"], vec!["ipv4", "ssh"]]
+        );
+    }
+
+    #[test]
+    fn dnf_nested_distribution() {
+        assert_eq!(
+            dnf_strings("(ipv4 or ipv6) and (tls or ssh)"),
+            vec![
+                vec!["ipv4", "tls"],
+                vec!["ipv4", "ssh"],
+                vec!["ipv6", "tls"],
+                vec!["ipv6", "ssh"],
+            ]
+        );
+    }
+
+    #[test]
+    fn dnf_dedupes_repeated_predicate() {
+        assert_eq!(dnf_strings("tcp and tcp"), vec![vec!["tcp"]]);
+    }
+
+    #[test]
+    fn expand_session_field_pulls_in_chain() {
+        assert_eq!(
+            patterns("tls.sni matches 'x'"),
+            vec![
+                vec!["ipv4", "tcp", "tls", "tls.sni matches 'x'"],
+                vec!["ipv6", "tcp", "tls", "tls.sni matches 'x'"],
+            ]
+        );
+    }
+
+    #[test]
+    fn expand_respects_explicit_ip_version() {
+        assert_eq!(patterns("ipv4 and tls"), vec![vec!["ipv4", "tcp", "tls"]]);
+    }
+
+    #[test]
+    fn figure3_expansion() {
+        // (ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http
+        let got = patterns("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http");
+        assert_eq!(
+            got,
+            vec![
+                vec![
+                    "ipv4",
+                    "tcp",
+                    "tcp.port >= 100",
+                    "tls",
+                    "tls.sni matches 'netflix'"
+                ],
+                vec!["ipv4", "tcp", "http"],
+                vec!["ipv6", "tcp", "http"],
+            ]
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_dropped() {
+        // ipv4 and ipv6 cannot coexist; with an alternative disjunct the
+        // filter still compiles.
+        assert_eq!(
+            patterns("(ipv4 and ipv6) or tcp"),
+            vec![vec!["ipv4", "tcp"], vec!["ipv6", "tcp"],]
+        );
+    }
+
+    #[test]
+    fn fully_unsatisfiable_rejected() {
+        let registry = ProtocolRegistry::default();
+        let dnf = to_dnf(&parse("ipv4 and ipv6").unwrap());
+        assert!(expand_patterns(&dnf, &registry).is_err());
+        let dnf = to_dnf(&parse("tls and dns").unwrap());
+        assert!(expand_patterns(&dnf, &registry).is_err());
+    }
+
+    #[test]
+    fn dns_expands_over_udp_and_tcp() {
+        let got = patterns("dns");
+        assert_eq!(got.len(), 4);
+        assert!(got.contains(&vec!["ipv4".to_string(), "udp".into(), "dns".into()]));
+        assert!(got.contains(&vec!["ipv6".to_string(), "tcp".into(), "dns".into()]));
+    }
+
+    #[test]
+    fn empty_like_filter_matches_all() {
+        // A bare "eth" unary ends at the trie root.
+        assert_eq!(patterns("eth"), vec![Vec::<String>::new()]);
+    }
+
+    #[test]
+    fn packet_binary_ordering() {
+        // Binary predicates follow their protocol's unary node.
+        assert_eq!(
+            patterns("ipv4.ttl > 64 and tcp.port = 443"),
+            vec![vec!["ipv4", "ipv4.ttl > 64", "tcp", "tcp.port = 443"]]
+        );
+    }
+
+    #[test]
+    fn unknown_protocol_rejected() {
+        let registry = ProtocolRegistry::default();
+        let dnf = to_dnf(&parse("bogus").unwrap());
+        assert!(matches!(
+            expand_patterns(&dnf, &registry),
+            Err(FilterError::UnknownProtocol(_))
+        ));
+    }
+
+    #[test]
+    fn layer_assignment() {
+        let registry = ProtocolRegistry::default();
+        let p = |s: &str| {
+            let Expr::Predicate(p) = parse(s).unwrap() else {
+                unreachable!()
+            };
+            p
+        };
+        use crate::ast::Expr;
+        assert_eq!(predicate_layer(&p("tcp"), &registry), FilterLayer::Packet);
+        assert_eq!(
+            predicate_layer(&p("tcp.port = 1"), &registry),
+            FilterLayer::Packet
+        );
+        assert_eq!(
+            predicate_layer(&p("tls"), &registry),
+            FilterLayer::Connection
+        );
+        assert_eq!(
+            predicate_layer(&p("tls.sni = 'x'"), &registry),
+            FilterLayer::Session
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! Runtime (interpreted) filter execution.
+//!
+//! [`CompiledFilter`] is the product of filter compilation: the predicate
+//! trie plus pre-computed dispatch tables and a regex cache. Its three
+//! engines — [`PacketFilter`], [`ConnFilter`], [`SessionFilter`] — walk
+//! the trie at runtime. This is the strategy Appendix B calls
+//! "interpreted"; the `retina-filtergen` proc-macro generates equivalent
+//! static code (the paper's default), and Figure 12's bench compares the
+//! two.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use regex::Regex;
+use retina_nic::DeviceCaps;
+use retina_nic::FlowRule;
+use retina_wire::ParsedPacket;
+
+use crate::ast::{Predicate, Value};
+use crate::datatypes::{FilterError, FilterResult, SessionData};
+use crate::registry::{FilterLayer, ProtocolRegistry};
+use crate::subfilters::{eval_packet_pred, eval_session_pred};
+use crate::trie::PredicateTrie;
+
+/// The three filter functions every execution strategy provides.
+///
+/// Implemented by [`CompiledFilter`] (interpreted) and by the structs the
+/// `retina-filtergen` proc-macro generates (static code). The runtime is
+/// generic over this trait, so switching strategies is a type parameter,
+/// not a code change.
+pub trait FilterFns: Send + Sync {
+    /// Applies the software packet filter to a parsed packet.
+    fn packet_filter(&self, pkt: &ParsedPacket) -> FilterResult;
+
+    /// Applies the connection filter once the L7 protocol is known.
+    /// `service` is the probed protocol name; `pkt_term_node` is the node
+    /// the packet filter tagged the connection with.
+    fn conn_filter(&self, service: Option<&str>, pkt_term_node: usize) -> FilterResult;
+
+    /// Applies the session filter to a fully parsed session.
+    /// `pkt_term_node` selects the branch set, as in Figure 3.
+    fn session_filter(&self, session: &dyn SessionData, pkt_term_node: usize) -> bool;
+
+    /// Connection-layer protocols this filter needs probed.
+    fn conn_protocols(&self) -> Vec<String>;
+
+    /// The original filter source text (used by the runtime to synthesize
+    /// hardware rules and for diagnostics).
+    fn source(&self) -> &str;
+
+    /// True when the filter has connection- or session-layer predicates.
+    fn needs_conn_layer(&self) -> bool;
+
+    /// True when the filter has session-layer predicates.
+    fn needs_session_layer(&self) -> bool;
+}
+
+/// A fully compiled filter: trie + dispatch tables + regex cache.
+#[derive(Debug, Clone)]
+pub struct CompiledFilter {
+    trie: Arc<PredicateTrie>,
+    regexes: Arc<HashMap<String, Regex>>,
+    /// pkt frontier node → connection-layer candidate nodes.
+    conn_cands: Arc<BTreeMap<usize, Vec<usize>>>,
+}
+
+impl CompiledFilter {
+    /// Parses, expands, and compiles `src` against `registry`.
+    pub fn build(src: &str, registry: &ProtocolRegistry) -> Result<Self, FilterError> {
+        let trie = PredicateTrie::from_source(src, registry)?;
+        Self::from_trie(trie)
+    }
+
+    /// Builds the dispatch tables for an existing trie.
+    pub fn from_trie(trie: PredicateTrie) -> Result<Self, FilterError> {
+        // Pre-compile every regex exactly once (§4.1: "all regular
+        // expressions in the filter are compiled only once").
+        let mut regexes = HashMap::new();
+        for id in trie.reachable() {
+            if let Some(Predicate::Binary {
+                op: crate::ast::Op::Matches,
+                value: Value::Str(pattern),
+                ..
+            }) = &trie.node(id).pred
+            {
+                if !regexes.contains_key(pattern) {
+                    let re =
+                        Regex::new(pattern).map_err(|e| FilterError::BadRegex(e.to_string()))?;
+                    regexes.insert(pattern.clone(), re);
+                }
+            }
+        }
+        let mut conn_cands = BTreeMap::new();
+        for frontier in trie.packet_frontiers() {
+            conn_cands.insert(frontier, trie.conn_candidates(frontier));
+        }
+        Ok(CompiledFilter {
+            trie: Arc::new(trie),
+            regexes: Arc::new(regexes),
+            conn_cands: Arc::new(conn_cands),
+        })
+    }
+
+    /// The underlying predicate trie.
+    pub fn trie(&self) -> &PredicateTrie {
+        &self.trie
+    }
+
+    /// Synthesizes the hardware flow rules for a device with `caps`
+    /// (§4.1: at least as broad as the filter, widened where the NIC
+    /// cannot express a predicate).
+    pub fn hw_rules(&self, caps: DeviceCaps) -> Vec<FlowRule> {
+        crate::hw::synthesize(&self.trie, caps)
+    }
+
+    fn walk_packet(
+        &self,
+        id: usize,
+        depth: usize,
+        pkt: &ParsedPacket,
+        best_frontier: &mut Option<(usize, usize)>,
+    ) -> Option<usize> {
+        let node = self.trie.node(id);
+        if node.pattern_end {
+            return Some(id);
+        }
+        if self.conn_cands.contains_key(&id) {
+            // This node can hand off to the connection filter; remember the
+            // deepest such node reached.
+            if best_frontier.is_none_or(|(d, _)| depth > d) {
+                *best_frontier = Some((depth, id));
+            }
+        }
+        for &c in &node.children {
+            let child = self.trie.node(c);
+            if child.layer != FilterLayer::Packet {
+                continue;
+            }
+            let pred = child.pred.as_ref().expect("non-root has predicate");
+            if eval_packet_pred(pred, pkt) {
+                if let Some(term) = self.walk_packet(c, depth + 1, pkt, best_frontier) {
+                    return Some(term);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl FilterFns for CompiledFilter {
+    fn packet_filter(&self, pkt: &ParsedPacket) -> FilterResult {
+        let mut best_frontier = None;
+        match self.walk_packet(0, 0, pkt, &mut best_frontier) {
+            Some(terminal) => FilterResult::MatchTerminal(terminal),
+            None => match best_frontier {
+                Some((_, id)) => FilterResult::MatchNonTerminal(id),
+                None => FilterResult::NoMatch,
+            },
+        }
+    }
+
+    fn conn_filter(&self, service: Option<&str>, pkt_term_node: usize) -> FilterResult {
+        if self.trie.node(pkt_term_node).pattern_end {
+            // The filter was already fully satisfied at the packet layer.
+            return FilterResult::MatchTerminal(pkt_term_node);
+        }
+        let Some(cands) = self.conn_cands.get(&pkt_term_node) else {
+            return FilterResult::NoMatch;
+        };
+        let mut non_terminal = None;
+        for &c in cands {
+            let node = self.trie.node(c);
+            let proto = node.pred.as_ref().expect("conn node has pred").protocol();
+            if Some(proto) == service {
+                if node.pattern_end {
+                    return FilterResult::MatchTerminal(c);
+                }
+                if non_terminal.is_none() {
+                    non_terminal = Some(c);
+                }
+            }
+        }
+        match non_terminal {
+            Some(c) => FilterResult::MatchNonTerminal(c),
+            None => FilterResult::NoMatch,
+        }
+    }
+
+    fn session_filter(&self, session: &dyn SessionData, pkt_term_node: usize) -> bool {
+        if self.trie.node(pkt_term_node).pattern_end {
+            return true;
+        }
+        let Some(cands) = self.conn_cands.get(&pkt_term_node) else {
+            return false;
+        };
+        for &c in cands {
+            let node = self.trie.node(c);
+            let proto = node.pred.as_ref().expect("conn node has pred").protocol();
+            if proto != session.protocol() {
+                continue;
+            }
+            if node.pattern_end {
+                // Connection-terminal pattern: the session filter defaults
+                // to a match (Figure 4a).
+                return true;
+            }
+            if self.walk_session(c, session) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn conn_protocols(&self) -> Vec<String> {
+        self.trie.conn_protocols()
+    }
+
+    fn source(&self) -> &str {
+        self.trie.source()
+    }
+
+    fn needs_conn_layer(&self) -> bool {
+        self.trie.needs_conn_layer()
+    }
+
+    fn needs_session_layer(&self) -> bool {
+        self.trie.needs_session_layer()
+    }
+}
+
+impl CompiledFilter {
+    fn walk_session(&self, id: usize, session: &dyn SessionData) -> bool {
+        for &c in &self.trie.node(id).children {
+            let child = self.trie.node(c);
+            if child.layer != FilterLayer::Session {
+                continue;
+            }
+            let pred = child.pred.as_ref().expect("session node has pred");
+            if eval_session_pred(pred, session, &self.regexes)
+                && (child.pattern_end || self.walk_session(c, session))
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Standalone packet filter handle (borrowing a [`CompiledFilter`]); a
+/// convenience for code that only needs one stage.
+pub type PacketFilter = CompiledFilter;
+/// Standalone connection filter handle.
+pub type ConnFilter = CompiledFilter;
+/// Standalone session filter handle.
+pub type SessionFilter = CompiledFilter;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatypes::FieldValue;
+    use retina_wire::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+    use retina_wire::TcpFlags;
+
+    fn compile(src: &str) -> CompiledFilter {
+        CompiledFilter::build(src, &ProtocolRegistry::default()).unwrap()
+    }
+
+    fn tcp_pkt(src: &str, dst: &str) -> ParsedPacket {
+        let frame = build_tcp(&TcpSpec {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64,
+            ttl: 64,
+            payload: b"",
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    fn udp_pkt(src: &str, dst: &str) -> ParsedPacket {
+        let frame = build_udp(&UdpSpec {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            ttl: 64,
+            payload: b"x",
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    struct Tls(&'static str);
+    impl SessionData for Tls {
+        fn protocol(&self) -> &str {
+            "tls"
+        }
+        fn field(&self, name: &str) -> Option<FieldValue<'_>> {
+            (name == "sni").then_some(FieldValue::Str(self.0))
+        }
+    }
+
+    struct Http;
+    impl SessionData for Http {
+        fn protocol(&self) -> &str {
+            "http"
+        }
+        fn field(&self, _: &str) -> Option<FieldValue<'_>> {
+            None
+        }
+    }
+
+    #[test]
+    fn packet_terminal_match() {
+        let f = compile("tcp.port = 443");
+        assert!(f
+            .packet_filter(&tcp_pkt("10.0.0.1:50000", "1.1.1.1:443"))
+            .is_terminal());
+        assert_eq!(
+            f.packet_filter(&tcp_pkt("10.0.0.1:50000", "1.1.1.1:80")),
+            FilterResult::NoMatch
+        );
+        assert_eq!(
+            f.packet_filter(&udp_pkt("10.0.0.1:443", "1.1.1.1:443")),
+            FilterResult::NoMatch
+        );
+    }
+
+    #[test]
+    fn figure3_end_to_end() {
+        let f = compile("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http");
+
+        // TCP packet, port >= 100: non-terminal; both TLS and HTTP viable.
+        let pkt = tcp_pkt("10.0.0.1:50000", "1.1.1.1:443");
+        let r = f.packet_filter(&pkt);
+        let FilterResult::MatchNonTerminal(node) = r else {
+            panic!("expected non-terminal, got {r:?}");
+        };
+
+        // TLS connection on that node: non-terminal (session pred pending).
+        let cr = f.conn_filter(Some("tls"), node);
+        assert!(matches!(cr, FilterResult::MatchNonTerminal(_)), "{cr:?}");
+        // HTTP connection: terminal (the `http` disjunct).
+        assert!(f.conn_filter(Some("http"), node).is_terminal());
+        // SSH connection: no match.
+        assert_eq!(f.conn_filter(Some("ssh"), node), FilterResult::NoMatch);
+
+        // Session filter: netflix SNI matches, other SNI does not.
+        assert!(f.session_filter(&Tls("video.netflix.com"), node));
+        assert!(!f.session_filter(&Tls("example.com"), node));
+        // HTTP session defaults to match (conn-terminal pattern).
+        assert!(f.session_filter(&Http, node));
+
+        // TCP packet with both ports < 100 (e.g. 80 -> 90): the tls
+        // pattern is out, but http is still viable through the tcp node.
+        let pkt_low = tcp_pkt("10.0.0.1:80", "1.1.1.1:90");
+        let r = f.packet_filter(&pkt_low);
+        let FilterResult::MatchNonTerminal(node_low) = r else {
+            panic!("expected non-terminal, got {r:?}");
+        };
+        assert_ne!(node, node_low);
+        assert!(f.conn_filter(Some("http"), node_low).is_terminal());
+        assert_eq!(f.conn_filter(Some("tls"), node_low), FilterResult::NoMatch);
+        assert!(!f.session_filter(&Tls("video.netflix.com"), node_low));
+
+        // IPv6 TCP: only the http disjunct applies.
+        let pkt6 = tcp_pkt("[2001:db8::1]:50000", "[2001:db8::2]:443");
+        let r6 = f.packet_filter(&pkt6);
+        assert!(matches!(r6, FilterResult::MatchNonTerminal(_)));
+        assert!(f
+            .conn_filter(Some("http"), r6.node().unwrap())
+            .is_terminal());
+        assert_eq!(
+            f.conn_filter(Some("tls"), r6.node().unwrap()),
+            FilterResult::NoMatch
+        );
+
+        // UDP: nothing.
+        assert_eq!(
+            f.packet_filter(&udp_pkt("1.1.1.1:1", "2.2.2.2:2")),
+            FilterResult::NoMatch
+        );
+    }
+
+    #[test]
+    fn match_all_filter() {
+        let f = compile("");
+        assert_eq!(
+            f.packet_filter(&tcp_pkt("1.1.1.1:1", "2.2.2.2:2")),
+            FilterResult::MatchTerminal(0)
+        );
+        assert!(f.conn_filter(Some("tls"), 0).is_terminal());
+        assert!(f.conn_filter(None, 0).is_terminal());
+        assert!(f.session_filter(&Http, 0));
+        assert!(!f.needs_conn_layer());
+    }
+
+    #[test]
+    fn conn_only_filter() {
+        let f = compile("tls");
+        let pkt = tcp_pkt("10.0.0.1:50000", "1.1.1.1:443");
+        let r = f.packet_filter(&pkt);
+        let FilterResult::MatchNonTerminal(node) = r else {
+            panic!("{r:?}")
+        };
+        assert!(f.conn_filter(Some("tls"), node).is_terminal());
+        assert_eq!(f.conn_filter(Some("http"), node), FilterResult::NoMatch);
+        assert_eq!(f.conn_filter(None, node), FilterResult::NoMatch);
+        assert!(f.needs_conn_layer());
+        assert!(!f.needs_session_layer());
+        assert_eq!(f.conn_protocols(), vec!["tls".to_string()]);
+    }
+
+    #[test]
+    fn session_chain_requires_all_predicates() {
+        struct Session {
+            sni: &'static str,
+            version: u64,
+        }
+        impl SessionData for Session {
+            fn protocol(&self) -> &str {
+                "tls"
+            }
+            fn field(&self, name: &str) -> Option<FieldValue<'_>> {
+                match name {
+                    "sni" => Some(FieldValue::Str(self.sni)),
+                    "version" => Some(FieldValue::Int(self.version)),
+                    _ => None,
+                }
+            }
+        }
+        let f = compile("tls.sni ~ 'netflix' and tls.version = 771");
+        let pkt = tcp_pkt("10.0.0.1:50000", "1.1.1.1:443");
+        let node = f.packet_filter(&pkt).node().unwrap();
+        assert!(f.session_filter(
+            &Session {
+                sni: "a.netflix.com",
+                version: 771
+            },
+            node
+        ));
+        assert!(!f.session_filter(
+            &Session {
+                sni: "a.netflix.com",
+                version: 770
+            },
+            node
+        ));
+        assert!(!f.session_filter(
+            &Session {
+                sni: "example.com",
+                version: 771
+            },
+            node
+        ));
+    }
+
+    #[test]
+    fn disjoint_session_patterns() {
+        let f = compile("tls.sni ~ 'netflix' or tls.sni ~ 'googlevideo'");
+        let pkt = tcp_pkt("10.0.0.1:50000", "1.1.1.1:443");
+        let node = f.packet_filter(&pkt).node().unwrap();
+        assert!(f.session_filter(&Tls("x.netflix.com"), node));
+        assert!(f.session_filter(&Tls("r1.googlevideo.com"), node));
+        assert!(!f.session_filter(&Tls("example.org"), node));
+    }
+
+    #[test]
+    fn ip_version_restriction() {
+        let f = compile("ipv4 and tls");
+        let pkt4 = tcp_pkt("10.0.0.1:5000", "1.1.1.1:443");
+        let pkt6 = tcp_pkt("[2001:db8::1]:5000", "[2001:db8::2]:443");
+        assert!(f.packet_filter(&pkt4).is_match());
+        assert_eq!(f.packet_filter(&pkt6), FilterResult::NoMatch);
+    }
+
+    #[test]
+    fn terminal_preferred_over_frontier() {
+        // Port 80 satisfies the terminal disjunct even though the tls
+        // pattern also partially matches.
+        let f = compile("tcp.port = 80 or tls.sni ~ 'x'");
+        let pkt = tcp_pkt("10.0.0.1:50000", "1.1.1.1:80");
+        assert!(f.packet_filter(&pkt).is_terminal());
+        // Port 443 leaves only the tls pattern.
+        let pkt = tcp_pkt("10.0.0.1:50000", "1.1.1.1:443");
+        assert!(matches!(
+            f.packet_filter(&pkt),
+            FilterResult::MatchNonTerminal(_)
+        ));
+    }
+
+    #[test]
+    fn bad_regex_rejected_at_build() {
+        assert!(matches!(
+            CompiledFilter::build("tls.sni ~ '[bad'", &ProtocolRegistry::default()),
+            Err(FilterError::BadRegex(_))
+        ));
+    }
+
+    #[test]
+    fn dns_over_udp_and_tcp() {
+        let f = compile("dns");
+        for pkt in [
+            udp_pkt("10.0.0.1:5353", "8.8.8.8:53"),
+            tcp_pkt("10.0.0.1:5353", "8.8.8.8:53"),
+        ] {
+            let r = f.packet_filter(&pkt);
+            let node = r.node().expect("should match");
+            assert!(f.conn_filter(Some("dns"), node).is_terminal());
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Tokenizer for the filter language.
+
+use crate::datatypes::FilterError;
+
+/// A lexical token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token start.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier: protocol or keyword (`and`, `or`, `in`, `matches`).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Single-quoted string literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// IPv4 or IPv6 literal, possibly with `/prefix` (kept as text; the
+    /// parser resolves it, since `::` and `.` make address lexing easier
+    /// as a unit).
+    Addr(String),
+    /// `.` between a protocol and a field.
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~` (alias for `matches`)
+    Tilde,
+    /// `..` range separator
+    DotDot,
+}
+
+/// Tokenizes filter source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
+                i += 1;
+            }
+            '~' => {
+                tokens.push(Token {
+                    kind: TokenKind::Tilde,
+                    pos,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    return Err(FilterError::lex(pos, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Single-quoted string; backslash escapes the next char.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(FilterError::lex(pos, "unterminated string")),
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(&next) => {
+                                    // Preserve regex escapes other than \' as-is.
+                                    if next != b'\'' {
+                                        s.push('\\');
+                                    }
+                                    s.push(next as char);
+                                    i += 2;
+                                }
+                                None => return Err(FilterError::lex(pos, "unterminated escape")),
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    tokens.push(Token {
+                        kind: TokenKind::DotDot,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                // Integer, IPv4 address, or the start of a hex-y IPv6
+                // address. Scan the maximal run of address-ish chars.
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | 'a'..='f' | 'A'..='F' | '.' | ':' | '/')
+                {
+                    // Stop before `..` (range separator), which would other-
+                    // wise be consumed as part of an address.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if text.contains('.') || text.contains(':') || text.contains('/') {
+                    tokens.push(Token {
+                        kind: TokenKind::Addr(text.to_string()),
+                        pos,
+                    });
+                } else if let Ok(n) = text.parse::<u64>() {
+                    tokens.push(Token {
+                        kind: TokenKind::Int(n),
+                        pos,
+                    });
+                } else {
+                    return Err(FilterError::lex(pos, "invalid numeric literal"));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                // An identifier followed by ':' is an IPv6 address like
+                // `fe80::1` or `a::b/125`.
+                if bytes.get(i) == Some(&b':') {
+                    while i < bytes.len()
+                        && matches!(bytes[i] as char, '0'..='9' | 'a'..='f' | 'A'..='F' | ':' | '/' | '.')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Addr(src[start..i].to_string()),
+                        pos,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(src[start..i].to_string()),
+                        pos,
+                    });
+                }
+            }
+            other => {
+                return Err(FilterError::lex(
+                    pos,
+                    format!("unexpected character '{other}'"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_predicate() {
+        assert_eq!(
+            kinds("tcp.port >= 100"),
+            vec![
+                TokenKind::Ident("tcp".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("port".into()),
+                TokenKind::Ge,
+                TokenKind::Int(100),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literal_with_escape() {
+        assert_eq!(
+            kinds(r"tls.sni matches '.*\.com$'"),
+            vec![
+                TokenKind::Ident("tls".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("sni".into()),
+                TokenKind::Ident("matches".into()),
+                TokenKind::Str(r".*\.com$".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        assert_eq!(
+            kinds(r"x = 'a\'b'"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Str("a'b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ipv4_cidr() {
+        assert_eq!(
+            kinds("ipv4.addr in 23.246.0.0/18"),
+            vec![
+                TokenKind::Ident("ipv4".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("addr".into()),
+                TokenKind::Ident("in".into()),
+                TokenKind::Addr("23.246.0.0/18".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ipv6_cidr() {
+        assert_eq!(
+            kinds("ipv6.addr in 3::b/125 and tcp"),
+            vec![
+                TokenKind::Ident("ipv6".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("addr".into()),
+                TokenKind::Ident("in".into()),
+                TokenKind::Addr("3::b/125".into()),
+                TokenKind::Ident("and".into()),
+                TokenKind::Ident("tcp".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ipv6_starting_with_letter() {
+        assert_eq!(
+            kinds("ipv6.addr = fe80::1"),
+            vec![
+                TokenKind::Ident("ipv6".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("addr".into()),
+                TokenKind::Eq,
+                TokenKind::Addr("fe80::1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn int_range() {
+        assert_eq!(
+            kinds("tcp.port in 80..100"),
+            vec![
+                TokenKind::Ident("tcp".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("port".into()),
+                TokenKind::Ident("in".into()),
+                TokenKind::Int(80),
+                TokenKind::DotDot,
+                TokenKind::Int(100),
+            ]
+        );
+    }
+
+    #[test]
+    fn parens_and_ops() {
+        assert_eq!(
+            kinds("(a != 1) and b < 2 or c <= 3 and d > 4"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Ne,
+                TokenKind::Int(1),
+                TokenKind::RParen,
+                TokenKind::Ident("and".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Lt,
+                TokenKind::Int(2),
+                TokenKind::Ident("or".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Le,
+                TokenKind::Int(3),
+                TokenKind::Ident("and".into()),
+                TokenKind::Ident("d".into()),
+                TokenKind::Gt,
+                TokenKind::Int(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn tilde_alias() {
+        assert_eq!(
+            kinds("tls.sni ~ 'netflix'"),
+            vec![
+                TokenKind::Ident("tls".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("sni".into()),
+                TokenKind::Tilde,
+                TokenKind::Str("netflix".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("tls.sni = 'unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a = #").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! Recursive-descent parser for the filter language.
+//!
+//! Grammar (precedence: `or` < `and` < atoms):
+//!
+//! ```text
+//! expr    := term ( 'or' term )*
+//! term    := factor ( 'and' factor )*
+//! factor  := '(' expr ')' | predicate
+//! predicate := IDENT                                  (unary)
+//!            | IDENT '.' IDENT op value               (binary)
+//! op      := '=' | '!=' | '<' | '<=' | '>' | '>=' | 'in' | 'matches' | '~'
+//! value   := INT | INT '..' INT | STRING | ADDR['/'prefix]
+//! ```
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::ast::{Expr, Op, Predicate, Value};
+use crate::datatypes::FilterError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses filter source text into an expression tree.
+pub fn parse(src: &str) -> Result<Expr, FilterError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.expr()?;
+    if let Some(tok) = parser.peek() {
+        return Err(FilterError::parse(
+            tok.pos,
+            format!("unexpected trailing token {:?}", tok.kind),
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> FilterError {
+        let pos = self.peek().map(|t| t.pos).unwrap_or(usize::MAX);
+        FilterError::parse(if pos == usize::MAX { 0 } else { pos }, msg)
+    }
+
+    fn expr(&mut self) -> Result<Expr, FilterError> {
+        let mut left = self.term()?;
+        while let Some(Token {
+            kind: TokenKind::Ident(id),
+            ..
+        }) = self.peek()
+        {
+            if id != "or" {
+                break;
+            }
+            self.next();
+            let right = self.term()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, FilterError> {
+        let mut left = self.factor()?;
+        while let Some(Token {
+            kind: TokenKind::Ident(id),
+            ..
+        }) = self.peek()
+        {
+            if id != "and" {
+                break;
+            }
+            self.next();
+            let right = self.factor()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr, FilterError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::LParen) => {
+                self.next();
+                let inner = self.expr()?;
+                match self.next() {
+                    Some(Token {
+                        kind: TokenKind::RParen,
+                        ..
+                    }) => Ok(inner),
+                    _ => Err(self.err_here("expected ')'")),
+                }
+            }
+            Some(TokenKind::Ident(_)) => self.predicate(),
+            _ => Err(self.err_here("expected predicate or '('")),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr, FilterError> {
+        let Some(Token {
+            kind: TokenKind::Ident(protocol),
+            ..
+        }) = self.next()
+        else {
+            return Err(self.err_here("expected protocol name"));
+        };
+        if protocol == "and" || protocol == "or" || protocol == "in" || protocol == "matches" {
+            return Err(self.err_here(format!("keyword '{protocol}' used as protocol name")));
+        }
+        // Unary predicate unless followed by '.'.
+        if !matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Dot,
+                ..
+            })
+        ) {
+            return Ok(Expr::Predicate(Predicate::Unary { protocol }));
+        }
+        self.next(); // consume '.'
+        let Some(Token {
+            kind: TokenKind::Ident(field),
+            ..
+        }) = self.next()
+        else {
+            return Err(self.err_here("expected field name after '.'"));
+        };
+        let op = match self.next() {
+            Some(Token { kind, .. }) => match kind {
+                TokenKind::Eq => Op::Eq,
+                TokenKind::Ne => Op::Ne,
+                TokenKind::Lt => Op::Lt,
+                TokenKind::Le => Op::Le,
+                TokenKind::Gt => Op::Gt,
+                TokenKind::Ge => Op::Ge,
+                TokenKind::Tilde => Op::Matches,
+                TokenKind::Ident(ref id) if id == "in" => Op::In,
+                TokenKind::Ident(ref id) if id == "matches" => Op::Matches,
+                other => return Err(self.err_here(format!("expected operator, found {other:?}"))),
+            },
+            None => return Err(self.err_here("expected operator")),
+        };
+        let value = self.value()?;
+        Ok(Expr::Predicate(Predicate::Binary {
+            protocol,
+            field,
+            op,
+            value,
+        }))
+    }
+
+    fn value(&mut self) -> Result<Value, FilterError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Int(n),
+                ..
+            }) => {
+                // Possibly a range `lo..hi`.
+                if matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::DotDot,
+                        ..
+                    })
+                ) {
+                    self.next();
+                    match self.next() {
+                        Some(Token {
+                            kind: TokenKind::Int(hi),
+                            pos,
+                        }) => {
+                            if hi < n {
+                                return Err(FilterError::parse(
+                                    pos,
+                                    "range upper bound below lower",
+                                ));
+                            }
+                            Ok(Value::IntRange(n, hi))
+                        }
+                        _ => Err(self.err_here("expected integer after '..'")),
+                    }
+                } else {
+                    Ok(Value::Int(n))
+                }
+            }
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(Value::Str(s)),
+            Some(Token {
+                kind: TokenKind::Addr(text),
+                pos,
+            }) => parse_addr(&text).ok_or_else(|| {
+                FilterError::parse(pos, format!("invalid address literal '{text}'"))
+            }),
+            other => Err(self.err_here(format!("expected value, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses an address literal, optionally with a `/prefix`.
+fn parse_addr(text: &str) -> Option<Value> {
+    let (addr_part, prefix) = match text.split_once('/') {
+        Some((a, p)) => (a, Some(p.parse::<u8>().ok()?)),
+        None => (text, None),
+    };
+    if let Ok(v4) = addr_part.parse::<Ipv4Addr>() {
+        let p = prefix.unwrap_or(32);
+        if p > 32 {
+            return None;
+        }
+        return Some(Value::Ipv4Net(v4, p));
+    }
+    if let Ok(v6) = addr_part.parse::<Ipv6Addr>() {
+        let p = prefix.unwrap_or(128);
+        if p > 128 {
+            return None;
+        }
+        return Some(Value::Ipv6Net(v6, p));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_examples_parse() {
+        // The four examples from Table 1 of the paper.
+        for src in [
+            "ipv4.ttl > 64",
+            "ipv4 and (tls or ssh)",
+            "ipv6.addr in 3::b/125 and tcp",
+            "http.user_agent matches 'Firefox'",
+        ] {
+            parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn figure3_filter_parses() {
+        let e = parse("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "(((ipv4 and tcp.port >= 100) and tls.sni matches 'netflix') or http)"
+        );
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter() {
+        let e = parse("ipv4 or ipv6 and tcp").unwrap();
+        assert_eq!(e.to_string(), "(ipv4 or (ipv6 and tcp))");
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = parse("(ipv4 or ipv6) and tcp").unwrap();
+        assert_eq!(e.to_string(), "((ipv4 or ipv6) and tcp)");
+    }
+
+    #[test]
+    fn unary_predicate() {
+        assert_eq!(
+            parse("tls").unwrap(),
+            Expr::Predicate(Predicate::Unary {
+                protocol: "tls".into()
+            })
+        );
+    }
+
+    #[test]
+    fn binary_int() {
+        assert_eq!(
+            parse("tcp.port = 443").unwrap(),
+            Expr::Predicate(Predicate::Binary {
+                protocol: "tcp".into(),
+                field: "port".into(),
+                op: Op::Eq,
+                value: Value::Int(443),
+            })
+        );
+    }
+
+    #[test]
+    fn int_range_value() {
+        assert_eq!(
+            parse("tcp.port in 80..100").unwrap(),
+            Expr::Predicate(Predicate::Binary {
+                protocol: "tcp".into(),
+                field: "port".into(),
+                op: Op::In,
+                value: Value::IntRange(80, 100),
+            })
+        );
+    }
+
+    #[test]
+    fn cidr_values() {
+        assert_eq!(
+            parse("ipv4.addr in 10.0.0.0/8").unwrap(),
+            Expr::Predicate(Predicate::Binary {
+                protocol: "ipv4".into(),
+                field: "addr".into(),
+                op: Op::In,
+                value: Value::Ipv4Net("10.0.0.0".parse().unwrap(), 8),
+            })
+        );
+        assert_eq!(
+            parse("ipv6.addr = 2001:db8::1").unwrap(),
+            Expr::Predicate(Predicate::Binary {
+                protocol: "ipv6".into(),
+                field: "addr".into(),
+                op: Op::Eq,
+                value: Value::Ipv6Net("2001:db8::1".parse().unwrap(), 128),
+            })
+        );
+    }
+
+    #[test]
+    fn bare_v4_address_gets_full_prefix() {
+        assert_eq!(
+            parse("ipv4.src_addr = 1.2.3.4").unwrap(),
+            Expr::Predicate(Predicate::Binary {
+                protocol: "ipv4".into(),
+                field: "src_addr".into(),
+                op: Op::Eq,
+                value: Value::Ipv4Net("1.2.3.4".parse().unwrap(), 32),
+            })
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("tcp.port >=").is_err());
+        assert!(parse("tcp.port 443").is_err());
+        assert!(parse("(ipv4 and tcp").is_err());
+        assert!(parse("ipv4 tcp").is_err());
+        assert!(parse("and tcp").is_err());
+        assert!(parse("tcp.port in 100..80").is_err());
+        assert!(parse("ipv4.addr in 1.2.3.4/40").is_err());
+        assert!(parse("ipv4.addr = 999.1.1.1").is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("tcp )").is_err());
+    }
+
+    #[test]
+    fn long_netflix_filter_parses() {
+        // Appendix B's 32-predicate Bronzino et al. filter (abbreviated to
+        // a representative prefix).
+        let src = "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 \
+                   or ipv6.addr in 2620:10c:7000::/44 or tls.sni ~ 'netflix.com' \
+                   or tls.sni ~ 'nflxvideo.net'";
+        parse(src).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Value::Int),
+            (0u64..500, 0u64..500).prop_map(|(a, b)| Value::IntRange(a.min(b), a.max(b))),
+            "[a-z][a-z0-9.*$-]{0,12}".prop_map(Value::Str),
+            (any::<u32>(), 0u8..=32)
+                .prop_map(|(a, p)| Value::Ipv4Net(std::net::Ipv4Addr::from(a), p)),
+            (any::<u128>(), 0u8..=128)
+                .prop_map(|(a, p)| Value::Ipv6Net(std::net::Ipv6Addr::from(a), p)),
+        ]
+    }
+
+    fn arb_predicate() -> impl Strategy<Value = Predicate> {
+        prop_oneof![
+            "[a-z][a-z0-9_]{0,8}".prop_map(|protocol| Predicate::Unary { protocol }),
+            (
+                "[a-z][a-z0-9_]{0,8}",
+                "[a-z][a-z0-9_]{0,8}",
+                prop_oneof![
+                    Just(Op::Eq),
+                    Just(Op::Ne),
+                    Just(Op::Lt),
+                    Just(Op::Le),
+                    Just(Op::Gt),
+                    Just(Op::Ge),
+                    Just(Op::In),
+                    Just(Op::Matches)
+                ],
+                arb_value()
+            )
+                .prop_map(|(protocol, field, op, value)| Predicate::Binary {
+                    protocol,
+                    field,
+                    op,
+                    value,
+                }),
+        ]
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        arb_predicate().prop_map(Expr::Predicate).prop_recursive(
+            4,
+            32,
+            2,
+            |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner)
+                        .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                ]
+            },
+        )
+    }
+
+    fn keywords_free(e: &Expr) -> bool {
+        // Skip generated names that collide with language keywords.
+        match e {
+            Expr::Predicate(p) => !matches!(p.protocol(), "and" | "or" | "in" | "matches"),
+            Expr::And(a, b) | Expr::Or(a, b) => keywords_free(a) && keywords_free(b),
+        }
+    }
+
+    proptest! {
+        /// Display → parse is the identity on arbitrary expression trees:
+        /// printing any AST and reparsing it yields the same AST (full
+        /// parenthesization makes precedence unambiguous).
+        #[test]
+        fn display_parse_roundtrip(expr in arb_expr()) {
+            prop_assume!(keywords_free(&expr));
+            let printed = expr.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("'{printed}' failed to reparse: {e}"));
+            prop_assert_eq!(expr, reparsed, "source: {}", printed);
+        }
+    }
+}

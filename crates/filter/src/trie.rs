@@ -1,0 +1,456 @@
+//! The predicate trie: Retina's intermediate representation for filters.
+//!
+//! Flat patterns are merged into a trie in which every node is one atomic
+//! predicate and input must match at least one root-to-leaf path to
+//! satisfy the filter (§4.1, Figure 3). Nodes are restricted to a single
+//! parent, which removes ambiguity when the trie is later split into
+//! per-layer sub-filters and compiled to code. The root represents the
+//! implicit `eth` predicate, which every frame satisfies.
+//!
+//! After construction an optimization pass removes redundant branches:
+//! the subtree below a node where some pattern *ends* is unreachable work
+//! (the filter is a disjunction, so a completed pattern subsumes every
+//! longer pattern through the same node).
+
+pub use crate::registry::FilterLayer;
+
+use crate::ast::Predicate;
+use crate::datatypes::FilterError;
+use crate::dnf::{self, FlatPattern};
+use crate::registry::ProtocolRegistry;
+
+/// One node of the predicate trie.
+#[derive(Debug, Clone)]
+pub struct TrieNode {
+    /// Node ID (index into the trie's arena; stable across optimization).
+    pub id: usize,
+    /// The predicate; `None` only for the root (`eth`).
+    pub pred: Option<Predicate>,
+    /// Processing layer at which this predicate is decided.
+    pub layer: FilterLayer,
+    /// Parent node (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node IDs in insertion order.
+    pub children: Vec<usize>,
+    /// True when a complete filter pattern ends at this node.
+    pub pattern_end: bool,
+}
+
+/// The predicate trie for one compiled filter.
+#[derive(Debug, Clone)]
+pub struct PredicateTrie {
+    nodes: Vec<TrieNode>,
+    source: String,
+}
+
+impl PredicateTrie {
+    /// Parses, expands, and builds the trie for `src`.
+    pub fn from_source(src: &str, registry: &ProtocolRegistry) -> Result<Self, FilterError> {
+        let patterns = if src.trim().is_empty() {
+            // The empty filter subscribes to everything.
+            vec![FlatPattern { predicates: vec![] }]
+        } else {
+            let expr = crate::parser::parse(src)?;
+            let conjunctions = dnf::to_dnf(&expr);
+            dnf::expand_patterns(&conjunctions, registry)?
+        };
+        Ok(Self::build(&patterns, registry, src))
+    }
+
+    /// Builds a trie from expanded patterns.
+    pub fn build(patterns: &[FlatPattern], registry: &ProtocolRegistry, src: &str) -> Self {
+        let mut trie = PredicateTrie {
+            nodes: vec![TrieNode {
+                id: 0,
+                pred: None,
+                layer: FilterLayer::Packet,
+                parent: None,
+                children: Vec::new(),
+                pattern_end: false,
+            }],
+            source: src.to_string(),
+        };
+        for pattern in patterns {
+            trie.insert(pattern, registry);
+        }
+        trie.prune_subsumed(0);
+        trie
+    }
+
+    fn insert(&mut self, pattern: &FlatPattern, registry: &ProtocolRegistry) {
+        let mut cur = 0usize;
+        for pred in &pattern.predicates {
+            let existing = self.nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].pred.as_ref() == Some(pred));
+            cur = match existing {
+                Some(c) => c,
+                None => {
+                    let id = self.nodes.len();
+                    let layer = dnf::predicate_layer(pred, registry);
+                    self.nodes.push(TrieNode {
+                        id,
+                        pred: Some(pred.clone()),
+                        layer,
+                        parent: Some(cur),
+                        children: Vec::new(),
+                        pattern_end: false,
+                    });
+                    self.nodes[cur].children.push(id);
+                    id
+                }
+            };
+        }
+        self.nodes[cur].pattern_end = true;
+    }
+
+    /// Removes branches subsumed by completed patterns: once a pattern
+    /// ends at a node, any longer pattern through that node is redundant.
+    fn prune_subsumed(&mut self, id: usize) {
+        if self.nodes[id].pattern_end {
+            self.nodes[id].children.clear();
+            return;
+        }
+        let children = self.nodes[id].children.clone();
+        for c in children {
+            self.prune_subsumed(c);
+        }
+    }
+
+    /// The original filter source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Node by ID.
+    pub fn node(&self, id: usize) -> &TrieNode {
+        &self.nodes[id]
+    }
+
+    /// The root node (implicit `eth`).
+    pub fn root(&self) -> &TrieNode {
+        &self.nodes[0]
+    }
+
+    /// Total nodes in the arena (including any pruned-unreachable ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns true if the trie is trivially empty (never: there is always
+    /// a root).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// IDs on the path from the root to `id`, inclusive.
+    pub fn path_to(&self, id: usize) -> Vec<usize> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Reachable node IDs in depth-first order.
+    pub fn reachable(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &c in self.nodes[id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Whether the filter matches all traffic (a pattern ends at the root).
+    pub fn matches_everything(&self) -> bool {
+        self.nodes[0].pattern_end
+    }
+
+    /// Connection-layer protocols referenced by the filter, in first-seen
+    /// order — the set the framework must be able to probe for.
+    pub fn conn_protocols(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for id in self.reachable() {
+            let node = &self.nodes[id];
+            if node.layer == FilterLayer::Connection {
+                if let Some(pred) = &node.pred {
+                    let p = pred.protocol().to_string();
+                    if !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Packet-layer nodes that the packet filter can return as a
+    /// non-terminal match: nodes with at least one connection-layer child.
+    /// (The root qualifies when the filter has conn-layer predicates
+    /// directly below it — impossible in practice since conn protocols
+    /// always sit under L3/L4, but handled uniformly.)
+    pub fn packet_frontiers(&self) -> Vec<usize> {
+        self.reachable()
+            .into_iter()
+            .filter(|&id| {
+                let node = &self.nodes[id];
+                node.layer == FilterLayer::Packet
+                    && node
+                        .children
+                        .iter()
+                        .any(|&c| self.nodes[c].layer != FilterLayer::Packet)
+            })
+            .collect()
+    }
+
+    /// Connection-layer candidate nodes for a packet-filter result: the
+    /// connection-layer children of every node on the path to
+    /// `pkt_term_node`. Evaluating candidates from the whole path (not
+    /// just the deepest node) keeps sibling patterns that share a packet
+    /// prefix alive — e.g. in Figure 3 a TCP packet with port ≥ 100 is
+    /// tagged with node 4, but the `http` pattern through node 2 must
+    /// still be considered.
+    pub fn conn_candidates(&self, pkt_term_node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for id in self.path_to(pkt_term_node) {
+            for &c in &self.nodes[id].children {
+                if self.nodes[c].layer == FilterLayer::Connection {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Session-layer children of a connection node.
+    pub fn session_candidates(&self, conn_node: usize) -> Vec<usize> {
+        self.nodes[conn_node]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c].layer == FilterLayer::Session)
+            .collect()
+    }
+
+    /// True when any reachable node is connection- or session-layer (i.e.
+    /// the filter requires stateful processing to decide).
+    pub fn needs_conn_layer(&self) -> bool {
+        self.reachable()
+            .into_iter()
+            .any(|id| self.nodes[id].layer != FilterLayer::Packet)
+    }
+
+    /// True when any reachable node is session-layer.
+    pub fn needs_session_layer(&self) -> bool {
+        self.reachable()
+            .into_iter()
+            .any(|id| self.nodes[id].layer == FilterLayer::Session)
+    }
+
+    /// Renders the trie as an indented outline (for debugging and docs).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_node(0, 0, &mut out);
+        out
+    }
+
+    fn dump_node(&self, id: usize, depth: usize, out: &mut String) {
+        let node = &self.nodes[id];
+        let label = node
+            .pred
+            .as_ref()
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "eth".to_string());
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "[{}] {} ({:?}){}\n",
+            id,
+            label,
+            node.layer,
+            if node.pattern_end { " *" } else { "" }
+        ));
+        for &c in &node.children {
+            self.dump_node(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> PredicateTrie {
+        PredicateTrie::from_source(src, &ProtocolRegistry::default()).unwrap()
+    }
+
+    #[test]
+    fn figure3_trie_shape() {
+        let trie = build("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http");
+        // Root (eth) with ipv4 and ipv6 children.
+        let root = trie.root();
+        assert!(!root.pattern_end);
+        assert_eq!(root.children.len(), 2);
+        // The dump should contain every predicate from Figure 3.
+        let dump = trie.dump();
+        for needle in [
+            "ipv4",
+            "ipv6",
+            "tcp",
+            "tcp.port >= 100",
+            "tls",
+            "tls.sni",
+            "http",
+        ] {
+            assert!(dump.contains(needle), "missing {needle} in:\n{dump}");
+        }
+        // Exactly two pattern-ends at conn layer (http v4/v6) and one at
+        // session layer (tls.sni).
+        let ends: Vec<_> = trie
+            .reachable()
+            .into_iter()
+            .filter(|&id| trie.node(id).pattern_end)
+            .collect();
+        assert_eq!(ends.len(), 3, "{dump}");
+    }
+
+    #[test]
+    fn shared_prefixes_are_merged() {
+        let trie = build("tcp.port = 80 or tcp.port = 443");
+        // eth -> {ipv4, ipv6} -> tcp -> {port=80, port=443}: one tcp node
+        // per IP version, not per disjunct.
+        let tcp_nodes: Vec<_> = trie
+            .reachable()
+            .into_iter()
+            .filter(|&id| {
+                trie.node(id)
+                    .pred
+                    .as_ref()
+                    .is_some_and(|p| p.is_unary() && p.protocol() == "tcp")
+            })
+            .collect();
+        assert_eq!(tcp_nodes.len(), 2);
+        for id in tcp_nodes {
+            assert_eq!(trie.node(id).children.len(), 2);
+        }
+    }
+
+    #[test]
+    fn subsumption_pruning() {
+        // `ipv4 or (ipv4 and tcp)` ≡ `ipv4`: the tcp branch is pruned.
+        let trie = build("ipv4 or (ipv4 and tcp)");
+        let ipv4 = trie.root().children[0];
+        assert!(trie.node(ipv4).pattern_end);
+        assert!(trie.node(ipv4).children.is_empty());
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let trie = build("");
+        assert!(trie.matches_everything());
+        assert!(!trie.needs_conn_layer());
+        let trie = build("eth");
+        assert!(trie.matches_everything());
+    }
+
+    #[test]
+    fn conn_protocols_collected() {
+        let trie = build("tls or (http and ipv4) or dns");
+        let protos = trie.conn_protocols();
+        assert!(protos.contains(&"tls".to_string()));
+        assert!(protos.contains(&"http".to_string()));
+        assert!(protos.contains(&"dns".to_string()));
+        assert_eq!(protos.len(), 3);
+    }
+
+    #[test]
+    fn frontier_and_candidates_figure3() {
+        let trie = build("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http");
+        let frontiers = trie.packet_frontiers();
+        // Frontiers: ipv4/tcp (http child), ipv4/tcp/port (tls child),
+        // ipv6/tcp (http child).
+        assert_eq!(frontiers.len(), 3, "{}", trie.dump());
+        // Find the port node: its conn candidates must include BOTH tls
+        // (its own child) and http (sibling branch through the shared tcp
+        // node) — the Figure 3 path-walk property.
+        let port_node = trie
+            .reachable()
+            .into_iter()
+            .find(|&id| {
+                trie.node(id)
+                    .pred
+                    .as_ref()
+                    .is_some_and(|p| p.to_string() == "tcp.port >= 100")
+            })
+            .unwrap();
+        let cands = trie.conn_candidates(port_node);
+        let protos: Vec<_> = cands
+            .iter()
+            .map(|&c| trie.node(c).pred.as_ref().unwrap().protocol().to_string())
+            .collect();
+        assert!(protos.contains(&"tls".to_string()));
+        assert!(protos.contains(&"http".to_string()));
+    }
+
+    #[test]
+    fn needs_layers() {
+        assert!(!build("tcp.port = 80").needs_conn_layer());
+        assert!(build("http").needs_conn_layer());
+        assert!(!build("http").needs_session_layer());
+        assert!(build("tls.sni ~ 'x'").needs_session_layer());
+    }
+
+    #[test]
+    fn path_to_root() {
+        let trie = build("tls");
+        let deep = trie
+            .reachable()
+            .into_iter()
+            .find(|&id| trie.node(id).layer == FilterLayer::Connection)
+            .unwrap();
+        let path = trie.path_to(deep);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), deep);
+        assert!(path.len() >= 3); // eth -> ip -> tcp -> tls
+    }
+
+    #[test]
+    fn session_chain_nodes() {
+        let trie = build("tls.sni ~ 'a' and tls.version = 771");
+        // Session predicates chain: tls -> sni -> version.
+        let conn = trie
+            .reachable()
+            .into_iter()
+            .find(|&id| trie.node(id).layer == FilterLayer::Connection)
+            .unwrap();
+        let sess = trie.session_candidates(conn);
+        assert_eq!(sess.len(), 1);
+        let sni = sess[0];
+        assert_eq!(trie.node(sni).children.len(), 1);
+        let version = trie.node(sni).children[0];
+        assert!(trie.node(version).pattern_end);
+    }
+
+    #[test]
+    fn duplicate_patterns_dedupe() {
+        let a = build("tcp or tcp");
+        let b = build("tcp");
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn reachable_excludes_pruned() {
+        let trie = build("ipv4 or (ipv4 and tcp)");
+        // The pruned tcp node is still in the arena but not reachable.
+        let reachable = trie.reachable();
+        assert!(reachable.len() < trie.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! # retina-filtergen
+//!
+//! Compile-time filter code generation (§4 of the paper).
+//!
+//! Retina "uses static code generation to compile filters into performant
+//! native assembly": the filter expression is parsed, decomposed into a
+//! predicate trie, and rendered as a fixed sequence of conditionals that
+//! the Rust compiler verifies and inlines at each processing layer. These
+//! macros perform that step at *compile time*, so no filter interpretation
+//! happens at runtime (Appendix B quantifies the benefit).
+//!
+//! Two forms are provided:
+//!
+//! ```ignore
+//! // Function-like: declares the struct and its FilterFns impl.
+//! retina_filtergen::filter!(ComFilter, r"tls.sni matches '.*\.com$'");
+//!
+//! // Attribute: annotate an existing unit struct.
+//! #[retina_filtergen::filter(r"tls.sni matches '.*\.com$'")]
+//! struct ComFilter;
+//! ```
+//!
+//! Both expand to `impl retina_filter::FilterFns for ComFilter`, usable
+//! anywhere a filter is accepted (e.g. `Runtime::new`). Filter syntax or
+//! type errors surface as compile errors with the offending message.
+//!
+//! The macro is deliberately built without `syn`/`quote`: the input
+//! grammar is just an identifier and a string literal, parsed by hand from
+//! the token stream, and the generated source comes from
+//! `retina_filter::codegen` via `str::parse::<TokenStream>()`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+use retina_filter::registry::ProtocolRegistry;
+use retina_filter::trie::PredicateTrie;
+
+/// Function-like form: `filter!(StructName, "filter expression")`.
+#[proc_macro]
+pub fn filter(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, filter_src) = match parse_args(&tokens) {
+        Ok(v) => v,
+        Err(msg) => return compile_error(&msg),
+    };
+    match generate(&filter_src, &name, true) {
+        Ok(code) => code,
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Attribute form: `#[filter("expression")] struct Name;`.
+///
+/// Re-emits the item followed by the generated `FilterFns` impl.
+#[proc_macro_attribute]
+pub fn filter_attr(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let attr_tokens: Vec<TokenTree> = attr.into_iter().collect();
+    let filter_src = match attr_tokens.as_slice() {
+        [TokenTree::Literal(lit)] => match parse_string_literal(&lit.to_string()) {
+            Some(s) => s,
+            None => return compile_error("expected a string literal filter"),
+        },
+        [] => String::new(),
+        _ => return compile_error("expected exactly one string literal argument"),
+    };
+    // Find the struct name in the item.
+    let item_tokens: Vec<TokenTree> = item.clone().into_iter().collect();
+    let mut name = None;
+    let mut iter = item_tokens.iter();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Ident(id) = tok {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return compile_error("#[filter] must be applied to a struct");
+    };
+    let generated = match generate(&filter_src, &name, false) {
+        Ok(code) => code,
+        Err(msg) => return compile_error(&msg),
+    };
+    let mut out = item;
+    out.extend(generated);
+    out
+}
+
+fn parse_args(tokens: &[TokenTree]) -> Result<(String, String), String> {
+    match tokens {
+        [TokenTree::Ident(name), TokenTree::Punct(comma), TokenTree::Literal(lit)]
+            if comma.as_char() == ',' =>
+        {
+            let src = parse_string_literal(&lit.to_string())
+                .ok_or_else(|| "second argument must be a string literal".to_string())?;
+            Ok((name.to_string(), src))
+        }
+        _ => Err("expected `filter!(StructName, \"filter expression\")`".to_string()),
+    }
+}
+
+/// Decodes a Rust string-literal token (`"…"`, `r"…"`, `r#"…"#`) into its
+/// value.
+fn parse_string_literal(text: &str) -> Option<String> {
+    if let Some(rest) = text.strip_prefix('r') {
+        // Raw string: r"…" or r#"…"# (any number of #).
+        let hashes = rest.chars().take_while(|&c| c == '#').count();
+        let body = &rest[hashes..];
+        let body = body.strip_prefix('"')?;
+        let body = body.strip_suffix(&format!("\"{}", "#".repeat(hashes)))?;
+        return Some(body.to_string());
+    }
+    let body = text.strip_prefix('"')?.strip_suffix('"')?;
+    // Resolve the escapes a normal string literal can contain.
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'r' => out.push('\r'),
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            '\'' => out.push('\''),
+            '0' => out.push('\0'),
+            '\n' => {
+                // Line continuation: `\` + newline swallows following
+                // whitespace, as in Rust string literals.
+                while matches!(chars.clone().next(), Some(' ' | '\t')) {
+                    chars.next();
+                }
+            }
+            other => {
+                // Unknown escape: keep verbatim (regexes in plain strings).
+                out.push('\\');
+                out.push(other);
+            }
+        }
+    }
+    Some(out)
+}
+
+fn generate(filter_src: &str, name: &str, with_struct: bool) -> Result<TokenStream, String> {
+    let registry = ProtocolRegistry::default();
+    let trie = PredicateTrie::from_source(filter_src, &registry)
+        .map_err(|e| format!("invalid filter '{filter_src}': {e}"))?;
+    let code = if with_struct {
+        retina_filter::codegen::generate(&trie, name)
+    } else {
+        retina_filter::codegen::generate_impl(&trie, name)
+    };
+    code.parse::<TokenStream>()
+        .map_err(|e| format!("internal codegen error: {e}"))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}

@@ -1,0 +1,588 @@
+//! Hardware flow rules and the per-device capability model.
+//!
+//! Commodity NICs can match packets on header fields and apply actions
+//! (drop, steer to RSS, steer to a queue) at zero CPU cost, but "vary in
+//! terms of supported protocols, operands, and complexity" (§4.1). Retina
+//! synthesizes candidate rules from the filter's predicate trie and
+//! *dynamically validates* them against the device: predicates the NIC
+//! cannot express are widened (e.g. `tcp.port >= 100` becomes "all TCP")
+//! and the software packet filter picks up the slack.
+//!
+//! [`DeviceCaps`] models that variability; [`FlowRuleEngine`] implements
+//! validation, installation, and per-packet matching.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use retina_wire::{EtherType, IpProtocol, ParsedPacket};
+
+/// How a rule matches an L4 port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortMatch {
+    /// Exact port equality.
+    Exact(u16),
+    /// Inclusive range (requires [`DeviceCaps::port_ranges`]).
+    Range(u16, u16),
+}
+
+impl PortMatch {
+    fn matches(&self, port: u16) -> bool {
+        match *self {
+            PortMatch::Exact(p) => port == p,
+            PortMatch::Range(lo, hi) => (lo..=hi).contains(&port),
+        }
+    }
+}
+
+/// One layer of a flow-rule pattern. A rule's pattern is an ordered stack
+/// of items, mirroring `rte_flow`'s `ETH / IPV4 / TCP`-style patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleItem {
+    /// Match the Ethernet layer, optionally a specific EtherType.
+    Eth {
+        /// Required EtherType, if any.
+        ethertype: Option<EtherType>,
+    },
+    /// Match IPv4, optionally constraining addresses (prefix) and protocol.
+    Ipv4 {
+        /// Source prefix (address, prefix length).
+        src: Option<(Ipv4Addr, u8)>,
+        /// Destination prefix (address, prefix length).
+        dst: Option<(Ipv4Addr, u8)>,
+    },
+    /// Match IPv6, optionally constraining addresses (prefix).
+    Ipv6 {
+        /// Source prefix (address, prefix length).
+        src: Option<(Ipv6Addr, u8)>,
+        /// Destination prefix (address, prefix length).
+        dst: Option<(Ipv6Addr, u8)>,
+    },
+    /// Match TCP, optionally constraining ports.
+    Tcp {
+        /// Source-port constraint.
+        src_port: Option<PortMatch>,
+        /// Destination-port constraint.
+        dst_port: Option<PortMatch>,
+    },
+    /// Match UDP, optionally constraining ports.
+    Udp {
+        /// Source-port constraint.
+        src_port: Option<PortMatch>,
+        /// Destination-port constraint.
+        dst_port: Option<PortMatch>,
+    },
+}
+
+/// Action applied to packets matching a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowAction {
+    /// Deliver via RSS (hash + redirection table).
+    Rss,
+    /// Drop in hardware.
+    Drop,
+    /// Steer to one specific queue.
+    Queue(u16),
+}
+
+/// A complete flow rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRule {
+    /// Ordered pattern items (outermost first).
+    pub pattern: Vec<RuleItem>,
+    /// Action on match.
+    pub action: FlowAction,
+}
+
+impl FlowRule {
+    /// Convenience constructor for an allow-to-RSS rule.
+    pub fn rss(pattern: Vec<RuleItem>) -> Self {
+        FlowRule {
+            pattern,
+            action: FlowAction::Rss,
+        }
+    }
+
+    /// Returns true if this rule's pattern matches the parsed packet.
+    pub fn matches(&self, pkt: &ParsedPacket) -> bool {
+        self.pattern.iter().all(|item| item_matches(item, pkt))
+    }
+}
+
+fn prefix_matches_v4(addr: Ipv4Addr, (net, len): (Ipv4Addr, u8)) -> bool {
+    if len == 0 {
+        return true;
+    }
+    let mask = if len >= 32 {
+        u32::MAX
+    } else {
+        !(u32::MAX >> len)
+    };
+    (u32::from(addr) & mask) == (u32::from(net) & mask)
+}
+
+fn prefix_matches_v6(addr: Ipv6Addr, (net, len): (Ipv6Addr, u8)) -> bool {
+    if len == 0 {
+        return true;
+    }
+    let mask = if len >= 128 {
+        u128::MAX
+    } else {
+        !(u128::MAX >> len)
+    };
+    (u128::from(addr) & mask) == (u128::from(net) & mask)
+}
+
+fn item_matches(item: &RuleItem, pkt: &ParsedPacket) -> bool {
+    match item {
+        RuleItem::Eth { ethertype } => ethertype.is_none_or(|et| pkt.ethertype == et),
+        RuleItem::Ipv4 { src, dst } => {
+            let (IpAddr::V4(s), IpAddr::V4(d)) = (pkt.src_ip, pkt.dst_ip) else {
+                return false;
+            };
+            src.is_none_or(|p| prefix_matches_v4(s, p))
+                && dst.is_none_or(|p| prefix_matches_v4(d, p))
+        }
+        RuleItem::Ipv6 { src, dst } => {
+            let (IpAddr::V6(s), IpAddr::V6(d)) = (pkt.src_ip, pkt.dst_ip) else {
+                return false;
+            };
+            src.is_none_or(|p| prefix_matches_v6(s, p))
+                && dst.is_none_or(|p| prefix_matches_v6(d, p))
+        }
+        RuleItem::Tcp { src_port, dst_port } => {
+            pkt.protocol == IpProtocol::Tcp
+                && src_port.is_none_or(|m| m.matches(pkt.src_port))
+                && dst_port.is_none_or(|m| m.matches(pkt.dst_port))
+        }
+        RuleItem::Udp { src_port, dst_port } => {
+            pkt.protocol == IpProtocol::Udp
+                && src_port.is_none_or(|m| m.matches(pkt.src_port))
+                && dst_port.is_none_or(|m| m.matches(pkt.dst_port))
+        }
+    }
+}
+
+/// What a device's flow engine can express.
+///
+/// Rules that exceed the capabilities are rejected by
+/// [`FlowRuleEngine::validate`]; the caller is expected to widen the rule
+/// and rely on software filtering (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCaps {
+    /// Maximum number of installed rules.
+    pub max_rules: usize,
+    /// Whether L4 port *ranges* can be matched (exact ports are always
+    /// supported when `l4_port_match` is set).
+    pub port_ranges: bool,
+    /// Whether exact/range L4 port matching is supported at all.
+    pub l4_port_match: bool,
+    /// Whether non-/32 (or non-/128) IP prefixes can be matched.
+    pub ip_prefixes: bool,
+}
+
+impl DeviceCaps {
+    /// A ConnectX-5-like profile: prefixes and exact ports, but *no* port
+    /// ranges — matching the paper's Figure 3 example where
+    /// `tcp.port >= 100` cannot be offloaded.
+    pub fn connectx5() -> Self {
+        DeviceCaps {
+            max_rules: 65536,
+            port_ranges: false,
+            l4_port_match: true,
+            ip_prefixes: true,
+        }
+    }
+
+    /// A minimal "dumb NIC" profile: only protocol-stack matching, no field
+    /// constraints.
+    pub fn basic() -> Self {
+        DeviceCaps {
+            max_rules: 128,
+            port_ranges: false,
+            l4_port_match: false,
+            ip_prefixes: false,
+        }
+    }
+
+    /// A fully-featured profile (e.g. an E810 with range support).
+    pub fn full() -> Self {
+        DeviceCaps {
+            max_rules: 65536,
+            port_ranges: true,
+            l4_port_match: true,
+            ip_prefixes: true,
+        }
+    }
+}
+
+/// Errors from rule validation/installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowError {
+    /// The device cannot express this pattern.
+    Unsupported(&'static str),
+    /// The rule table is full.
+    TableFull,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Unsupported(what) => write!(f, "device cannot express {what}"),
+            FlowError::TableFull => write!(f, "flow rule table full"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// The device's rule table: validation, installation, per-packet matching.
+///
+/// Matching is first-match-wins in installation order. When at least one
+/// rule is installed, packets matching no rule are dropped in hardware (the
+/// `ELSE -> DROP` of Figure 3); with an empty table everything is delivered
+/// via RSS (hardware filtering disabled).
+#[derive(Debug, Clone)]
+pub struct FlowRuleEngine {
+    caps: DeviceCaps,
+    rules: Vec<FlowRule>,
+}
+
+impl FlowRuleEngine {
+    /// Creates an empty engine for a device with the given capabilities.
+    pub fn new(caps: DeviceCaps) -> Self {
+        FlowRuleEngine {
+            caps,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The device capability profile.
+    pub fn caps(&self) -> DeviceCaps {
+        self.caps
+    }
+
+    /// Installed rules.
+    pub fn rules(&self) -> &[FlowRule] {
+        &self.rules
+    }
+
+    /// Checks whether the device can express `rule` without installing it.
+    pub fn validate(&self, rule: &FlowRule) -> Result<(), FlowError> {
+        for item in &rule.pattern {
+            match item {
+                RuleItem::Eth { .. } => {}
+                RuleItem::Ipv4 { src, dst } => {
+                    for p in [src, dst].into_iter().flatten() {
+                        if p.1 < 32 && !self.caps.ip_prefixes {
+                            return Err(FlowError::Unsupported("ipv4 prefix match"));
+                        }
+                    }
+                }
+                RuleItem::Ipv6 { src, dst } => {
+                    for p in [src, dst].into_iter().flatten() {
+                        if p.1 < 128 && !self.caps.ip_prefixes {
+                            return Err(FlowError::Unsupported("ipv6 prefix match"));
+                        }
+                    }
+                }
+                RuleItem::Tcp { src_port, dst_port } | RuleItem::Udp { src_port, dst_port } => {
+                    for m in [src_port, dst_port].into_iter().flatten() {
+                        match m {
+                            PortMatch::Exact(_) if !self.caps.l4_port_match => {
+                                return Err(FlowError::Unsupported("l4 port match"))
+                            }
+                            PortMatch::Range(..) if !self.caps.port_ranges => {
+                                return Err(FlowError::Unsupported("l4 port range"))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and installs a rule.
+    pub fn install(&mut self, rule: FlowRule) -> Result<(), FlowError> {
+        self.validate(&rule)?;
+        if self.rules.len() >= self.caps.max_rules {
+            return Err(FlowError::TableFull);
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Removes all rules (hardware filtering off).
+    pub fn clear(&mut self) {
+        self.rules.clear();
+    }
+
+    /// Applies the table to a parsed packet.
+    pub fn apply(&self, pkt: &ParsedPacket) -> FlowAction {
+        if self.rules.is_empty() {
+            return FlowAction::Rss;
+        }
+        for rule in &self.rules {
+            if rule.matches(pkt) {
+                return rule.action;
+            }
+        }
+        FlowAction::Drop
+    }
+
+    /// Returns the default action for packets that could not be parsed to
+    /// L3 (e.g. ARP): delivered when filtering is off, dropped otherwise
+    /// unless an `Eth`-only rule matches everything.
+    pub fn apply_unparsed(&self) -> FlowAction {
+        if self.rules.is_empty() {
+            FlowAction::Rss
+        } else {
+            FlowAction::Drop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retina_wire::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+    use retina_wire::TcpFlags;
+
+    fn tcp_pkt(src: &str, dst: &str) -> ParsedPacket {
+        let frame = build_tcp(&TcpSpec {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64,
+            ttl: 64,
+            payload: b"",
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    fn udp_pkt(src: &str, dst: &str) -> ParsedPacket {
+        let frame = build_udp(&UdpSpec {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            ttl: 64,
+            payload: b"x",
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    #[test]
+    fn empty_table_delivers_everything() {
+        let engine = FlowRuleEngine::new(DeviceCaps::connectx5());
+        assert_eq!(
+            engine.apply(&tcp_pkt("1.2.3.4:1", "5.6.7.8:2")),
+            FlowAction::Rss
+        );
+        assert_eq!(engine.apply_unparsed(), FlowAction::Rss);
+    }
+
+    #[test]
+    fn figure3_hw_filter() {
+        // ETH-IPV4-TCP -> RSS; ETH-IPV6-TCP -> RSS; ELSE -> DROP.
+        let mut engine = FlowRuleEngine::new(DeviceCaps::connectx5());
+        engine
+            .install(FlowRule::rss(vec![
+                RuleItem::Eth {
+                    ethertype: Some(EtherType::Ipv4),
+                },
+                RuleItem::Ipv4 {
+                    src: None,
+                    dst: None,
+                },
+                RuleItem::Tcp {
+                    src_port: None,
+                    dst_port: None,
+                },
+            ]))
+            .unwrap();
+        engine
+            .install(FlowRule::rss(vec![
+                RuleItem::Eth {
+                    ethertype: Some(EtherType::Ipv6),
+                },
+                RuleItem::Ipv6 {
+                    src: None,
+                    dst: None,
+                },
+                RuleItem::Tcp {
+                    src_port: None,
+                    dst_port: None,
+                },
+            ]))
+            .unwrap();
+        assert_eq!(
+            engine.apply(&tcp_pkt("1.2.3.4:99", "5.6.7.8:100")),
+            FlowAction::Rss
+        );
+        assert_eq!(
+            engine.apply(&tcp_pkt("[2001:db8::1]:99", "[2001:db8::2]:100")),
+            FlowAction::Rss
+        );
+        assert_eq!(
+            engine.apply(&udp_pkt("1.2.3.4:53", "5.6.7.8:53")),
+            FlowAction::Drop
+        );
+        assert_eq!(engine.apply_unparsed(), FlowAction::Drop);
+    }
+
+    #[test]
+    fn port_range_rejected_on_connectx5() {
+        // The paper's example: tcp.port >= 100 cannot be offloaded.
+        let engine = FlowRuleEngine::new(DeviceCaps::connectx5());
+        let rule = FlowRule::rss(vec![RuleItem::Tcp {
+            src_port: Some(PortMatch::Range(100, u16::MAX)),
+            dst_port: None,
+        }]);
+        assert_eq!(
+            engine.validate(&rule),
+            Err(FlowError::Unsupported("l4 port range"))
+        );
+        // But the widened rule (all TCP) is fine.
+        let widened = FlowRule::rss(vec![RuleItem::Tcp {
+            src_port: None,
+            dst_port: None,
+        }]);
+        assert!(engine.validate(&widened).is_ok());
+    }
+
+    #[test]
+    fn port_range_accepted_on_full_device() {
+        let mut engine = FlowRuleEngine::new(DeviceCaps::full());
+        engine
+            .install(FlowRule::rss(vec![RuleItem::Tcp {
+                src_port: None,
+                dst_port: Some(PortMatch::Range(100, 200)),
+            }]))
+            .unwrap();
+        assert_eq!(
+            engine.apply(&tcp_pkt("1.1.1.1:9999", "2.2.2.2:150")),
+            FlowAction::Rss
+        );
+        assert_eq!(
+            engine.apply(&tcp_pkt("1.1.1.1:9999", "2.2.2.2:201")),
+            FlowAction::Drop
+        );
+    }
+
+    #[test]
+    fn exact_port_rejected_on_basic_device() {
+        let engine = FlowRuleEngine::new(DeviceCaps::basic());
+        let rule = FlowRule::rss(vec![RuleItem::Tcp {
+            src_port: None,
+            dst_port: Some(PortMatch::Exact(443)),
+        }]);
+        assert_eq!(
+            engine.validate(&rule),
+            Err(FlowError::Unsupported("l4 port match"))
+        );
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let mut engine = FlowRuleEngine::new(DeviceCaps::connectx5());
+        engine
+            .install(FlowRule::rss(vec![RuleItem::Ipv4 {
+                src: None,
+                dst: Some(("23.246.0.0".parse().unwrap(), 18)),
+            }]))
+            .unwrap();
+        assert_eq!(
+            engine.apply(&tcp_pkt("10.0.0.1:1", "23.246.63.200:443")),
+            FlowAction::Rss
+        );
+        assert_eq!(
+            engine.apply(&tcp_pkt("10.0.0.1:1", "23.246.64.1:443")),
+            FlowAction::Drop
+        );
+    }
+
+    #[test]
+    fn prefix_rejected_without_capability() {
+        let engine = FlowRuleEngine::new(DeviceCaps::basic());
+        let rule = FlowRule::rss(vec![RuleItem::Ipv4 {
+            src: Some(("10.0.0.0".parse().unwrap(), 8)),
+            dst: None,
+        }]);
+        assert!(engine.validate(&rule).is_err());
+        // Exact host match (/32) is allowed even on the basic profile.
+        let host = FlowRule::rss(vec![RuleItem::Ipv4 {
+            src: Some(("10.0.0.1".parse().unwrap(), 32)),
+            dst: None,
+        }]);
+        assert!(engine.validate(&host).is_ok());
+    }
+
+    #[test]
+    fn table_full() {
+        let mut engine = FlowRuleEngine::new(DeviceCaps {
+            max_rules: 1,
+            ..DeviceCaps::connectx5()
+        });
+        let rule = FlowRule::rss(vec![RuleItem::Eth { ethertype: None }]);
+        engine.install(rule.clone()).unwrap();
+        assert_eq!(engine.install(rule), Err(FlowError::TableFull));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut engine = FlowRuleEngine::new(DeviceCaps::connectx5());
+        engine
+            .install(FlowRule {
+                pattern: vec![RuleItem::Tcp {
+                    src_port: None,
+                    dst_port: Some(PortMatch::Exact(443)),
+                }],
+                action: FlowAction::Queue(7),
+            })
+            .unwrap();
+        engine
+            .install(FlowRule::rss(vec![RuleItem::Tcp {
+                src_port: None,
+                dst_port: None,
+            }]))
+            .unwrap();
+        assert_eq!(
+            engine.apply(&tcp_pkt("1.1.1.1:50000", "2.2.2.2:443")),
+            FlowAction::Queue(7)
+        );
+        assert_eq!(
+            engine.apply(&tcp_pkt("1.1.1.1:50000", "2.2.2.2:80")),
+            FlowAction::Rss
+        );
+    }
+
+    #[test]
+    fn zero_length_prefix_matches_all() {
+        assert!(prefix_matches_v4(
+            "1.2.3.4".parse().unwrap(),
+            ("0.0.0.0".parse().unwrap(), 0)
+        ));
+        assert!(prefix_matches_v6(
+            "::1".parse().unwrap(),
+            ("ff::".parse().unwrap(), 0)
+        ));
+    }
+
+    #[test]
+    fn ipv6_prefix_matching() {
+        let net: Ipv6Addr = "2620:10c:7000::".parse().unwrap();
+        assert!(prefix_matches_v6(
+            "2620:10c:7000::1".parse().unwrap(),
+            (net, 44)
+        ));
+        assert!(prefix_matches_v6(
+            "2620:10c:700f::1".parse().unwrap(),
+            (net, 44)
+        ));
+        assert!(!prefix_matches_v6(
+            "2620:10c:8000::1".parse().unwrap(),
+            (net, 44)
+        ));
+    }
+}

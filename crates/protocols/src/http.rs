@@ -1,0 +1,533 @@
+//! HTTP/1.x transaction parsing.
+//!
+//! Parses request and response head sections (start line + headers) into
+//! [`HttpTransaction`] sessions. Bodies are skipped by `Content-Length`
+//! accounting; chunked bodies are skipped until the terminating chunk.
+//! Multiple transactions on one connection (keep-alive) each produce
+//! their own session, which is how the paper's packets-in-HTTP example
+//! (Figure 4a) keeps a connection in the Track state after the first
+//! match.
+
+use retina_filter::FieldValue;
+
+use crate::parser::{ConnParser, Direction, ParseResult, ProbeResult, Session};
+
+/// Maximum bytes buffered per direction while waiting for a complete head
+/// section.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// HTTP request methods recognized by the probe.
+const METHODS: &[&str] = &[
+    "GET ", "POST ", "PUT ", "HEAD ", "DELETE ", "OPTIONS ", "PATCH ", "TRACE ", "CONNECT ",
+];
+
+/// One parsed HTTP request/response exchange.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HttpTransaction {
+    /// Request method (`GET`, …).
+    pub method: String,
+    /// Request target.
+    pub uri: String,
+    /// `Host` header value.
+    pub host: Option<String>,
+    /// `User-Agent` header value.
+    pub user_agent: Option<String>,
+    /// Response status code (0 until the response head is parsed).
+    pub status: u16,
+    /// Response `Content-Length`, when present.
+    pub content_length: Option<u64>,
+}
+
+impl HttpTransaction {
+    /// Field accessor backing [`retina_filter::SessionData`].
+    pub fn field(&self, name: &str) -> Option<FieldValue<'_>> {
+        match name {
+            "method" => Some(FieldValue::Str(&self.method)),
+            "uri" => Some(FieldValue::Str(&self.uri)),
+            "host" => self.host.as_deref().map(FieldValue::Str),
+            "user_agent" => self.user_agent.as_deref().map(FieldValue::Str),
+            "status" => Some(FieldValue::Int(u64::from(self.status))),
+            "content_length" => self.content_length.map(FieldValue::Int),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+enum BodyState {
+    #[default]
+    None,
+    /// Remaining body bytes to skip.
+    Counted(u64),
+    /// Chunked transfer; skip until `0\r\n\r\n`.
+    Chunked,
+}
+
+/// Streaming HTTP/1.x parser.
+#[derive(Debug, Default)]
+pub struct HttpParser {
+    req_buf: Vec<u8>,
+    resp_buf: Vec<u8>,
+    resp_body: BodyState,
+    /// Requests whose responses have not arrived yet (pipelining).
+    pending: std::collections::VecDeque<HttpTransaction>,
+    sessions: Vec<Session>,
+    failed: bool,
+}
+
+impl HttpParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn parse_requests(&mut self) -> Result<(), ()> {
+        while let Some(head_end) = find_head_end(&self.req_buf) {
+            let head: Vec<u8> = self.req_buf.drain(..head_end + 4).collect();
+            let text = std::str::from_utf8(&head).map_err(|_| ())?;
+            let mut lines = text.split("\r\n");
+            let start = lines.next().ok_or(())?;
+            let mut parts = start.split(' ');
+            let method = parts.next().ok_or(())?.to_string();
+            let uri = parts.next().ok_or(())?.to_string();
+            let version = parts.next().ok_or(())?;
+            if !version.starts_with("HTTP/1.") {
+                return Err(());
+            }
+            let mut txn = HttpTransaction {
+                method,
+                uri,
+                ..Default::default()
+            };
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else {
+                    continue;
+                };
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("host") {
+                    txn.host = Some(value.to_string());
+                } else if name.eq_ignore_ascii_case("user-agent") {
+                    txn.user_agent = Some(value.to_string());
+                }
+            }
+            self.pending.push_back(txn);
+        }
+        if self.req_buf.len() > MAX_HEAD {
+            return Err(());
+        }
+        Ok(())
+    }
+
+    fn parse_responses(&mut self) -> Result<bool, ()> {
+        let mut completed = false;
+        loop {
+            // First skip any body in progress.
+            match &mut self.resp_body {
+                BodyState::None => {}
+                BodyState::Counted(remaining) => {
+                    let n = (*remaining).min(self.resp_buf.len() as u64);
+                    self.resp_buf.drain(..n as usize);
+                    *remaining -= n;
+                    if *remaining > 0 {
+                        return Ok(completed);
+                    }
+                    self.resp_body = BodyState::None;
+                }
+                BodyState::Chunked => {
+                    // Look for the last-chunk marker; a simplification that
+                    // holds for our generated traffic and keeps state small.
+                    if let Some(pos) = find_subslice(&self.resp_buf, b"0\r\n\r\n") {
+                        self.resp_buf.drain(..pos + 5);
+                        self.resp_body = BodyState::None;
+                    } else {
+                        // Discard all but a small tail that might hold a
+                        // partial marker.
+                        let keep = self.resp_buf.len().min(4);
+                        self.resp_buf.drain(..self.resp_buf.len() - keep);
+                        return Ok(completed);
+                    }
+                }
+            }
+            let Some(head_end) = find_head_end(&self.resp_buf) else {
+                if self.resp_buf.len() > MAX_HEAD {
+                    return Err(());
+                }
+                return Ok(completed);
+            };
+            let head: Vec<u8> = self.resp_buf.drain(..head_end + 4).collect();
+            let text = std::str::from_utf8(&head).map_err(|_| ())?;
+            let mut lines = text.split("\r\n");
+            let start = lines.next().ok_or(())?;
+            if !start.starts_with("HTTP/1.") {
+                return Err(());
+            }
+            let status: u16 = start
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or(())?;
+            let mut content_length = None;
+            let mut chunked = false;
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else {
+                    continue;
+                };
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse::<u64>().ok();
+                } else if name.eq_ignore_ascii_case("transfer-encoding")
+                    && value.eq_ignore_ascii_case("chunked")
+                {
+                    chunked = true;
+                }
+            }
+            let mut txn = self.pending.pop_front().unwrap_or_default();
+            txn.status = status;
+            txn.content_length = content_length;
+            // HEAD responses and 1xx/204/304 statuses carry no body even
+            // when Content-Length is present (RFC 9110 §6.4.1).
+            let bodyless =
+                txn.method == "HEAD" || status / 100 == 1 || status == 204 || status == 304;
+            self.sessions.push(Session::Http(txn));
+            completed = true;
+            self.resp_body = if bodyless {
+                BodyState::None
+            } else if chunked {
+                BodyState::Chunked
+            } else {
+                match content_length {
+                    Some(n) if n > 0 => BodyState::Counted(n),
+                    _ => BodyState::None,
+                }
+            };
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    find_subslice(buf, b"\r\n\r\n")
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+impl ConnParser for HttpParser {
+    fn name(&self) -> &'static str {
+        "http"
+    }
+
+    fn probe(&self, data: &[u8], dir: Direction) -> ProbeResult {
+        if data.is_empty() {
+            return ProbeResult::Unsure;
+        }
+        let prefix = std::str::from_utf8(&data[..data.len().min(16)]).unwrap_or("");
+        match dir {
+            Direction::ToServer => {
+                if METHODS.iter().any(|m| prefix.starts_with(m)) {
+                    return ProbeResult::Certain;
+                }
+                if METHODS.iter().any(|m| m.starts_with(prefix)) {
+                    return ProbeResult::Unsure;
+                }
+                ProbeResult::NotForUs
+            }
+            Direction::ToClient => {
+                if prefix.starts_with("HTTP/1.") {
+                    return ProbeResult::Certain;
+                }
+                if "HTTP/1.".starts_with(prefix) {
+                    return ProbeResult::Unsure;
+                }
+                ProbeResult::NotForUs
+            }
+        }
+    }
+
+    fn parse(&mut self, data: &[u8], dir: Direction) -> ParseResult {
+        if self.failed {
+            return ParseResult::Error;
+        }
+        let result = match dir {
+            Direction::ToServer => {
+                if self.req_buf.len() + data.len() > MAX_HEAD * 4 {
+                    Err(())
+                } else {
+                    self.req_buf.extend_from_slice(data);
+                    self.parse_requests().map(|_| false)
+                }
+            }
+            Direction::ToClient => {
+                if self.resp_buf.len() + data.len() > MAX_HEAD * 64 {
+                    // Bound memory: drop buffered body bytes beyond the cap.
+                    self.resp_buf.clear();
+                    Ok(false)
+                } else {
+                    self.resp_buf.extend_from_slice(data);
+                    self.parse_responses()
+                }
+            }
+        };
+        match result {
+            Err(()) => {
+                self.failed = true;
+                ParseResult::Error
+            }
+            Ok(true) => ParseResult::Done,
+            Ok(false) => ParseResult::Continue,
+        }
+    }
+
+    fn drain_sessions(&mut self) -> Vec<Session> {
+        std::mem::take(&mut self.sessions)
+    }
+}
+
+/// Builds an HTTP/1.1 request head (used by the traffic generator).
+pub fn build_request(method: &str, uri: &str, host: &str, user_agent: &str) -> Vec<u8> {
+    format!(
+        "{method} {uri} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {user_agent}\r\nAccept: */*\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Builds an HTTP/1.1 response head plus `body_len` bytes of body.
+pub fn build_response(status: u16, body_len: usize) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nServer: nginx/1.23.1\r\nContent-Type: application/octet-stream\r\nContent-Length: {body_len}\r\n\r\n",
+        status_text(status)
+    )
+    .into_bytes();
+    head.resize(head.len() + body_len, b'x');
+    head
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_directions() {
+        let p = HttpParser::new();
+        assert_eq!(
+            p.probe(b"GET / HTTP/1.1\r\n", Direction::ToServer),
+            ProbeResult::Certain
+        );
+        assert_eq!(p.probe(b"GE", Direction::ToServer), ProbeResult::Unsure);
+        assert_eq!(
+            p.probe(b"\x16\x03\x01", Direction::ToServer),
+            ProbeResult::NotForUs
+        );
+        assert_eq!(
+            p.probe(b"HTTP/1.1 200 OK", Direction::ToClient),
+            ProbeResult::Certain
+        );
+        assert_eq!(p.probe(b"HTT", Direction::ToClient), ProbeResult::Unsure);
+        assert_eq!(
+            p.probe(b"SSH-2.0", Direction::ToClient),
+            ProbeResult::NotForUs
+        );
+    }
+
+    #[test]
+    fn single_transaction() {
+        let mut p = HttpParser::new();
+        let req = build_request("GET", "/index.html", "example.com", "curl/8.0");
+        assert_eq!(p.parse(&req, Direction::ToServer), ParseResult::Continue);
+        let resp = build_response(200, 5);
+        assert_eq!(p.parse(&resp, Direction::ToClient), ParseResult::Done);
+        let sessions = p.drain_sessions();
+        assert_eq!(sessions.len(), 1);
+        let Session::Http(t) = &sessions[0] else {
+            panic!()
+        };
+        assert_eq!(t.method, "GET");
+        assert_eq!(t.uri, "/index.html");
+        assert_eq!(t.host.as_deref(), Some("example.com"));
+        assert_eq!(t.user_agent.as_deref(), Some("curl/8.0"));
+        assert_eq!(t.status, 200);
+        assert_eq!(t.content_length, Some(5));
+    }
+
+    #[test]
+    fn keepalive_transactions() {
+        let mut p = HttpParser::new();
+        let mut reqs = build_request("GET", "/a", "h", "ua");
+        reqs.extend_from_slice(&build_request("POST", "/b", "h", "ua"));
+        p.parse(&reqs, Direction::ToServer);
+        let mut resps = build_response(200, 10);
+        resps.extend_from_slice(&build_response(404, 0));
+        assert_eq!(p.parse(&resps, Direction::ToClient), ParseResult::Done);
+        let sessions = p.drain_sessions();
+        assert_eq!(sessions.len(), 2);
+        let Session::Http(a) = &sessions[0] else {
+            panic!()
+        };
+        let Session::Http(b) = &sessions[1] else {
+            panic!()
+        };
+        assert_eq!((a.uri.as_str(), a.status), ("/a", 200));
+        assert_eq!((b.method.as_str(), b.status), ("POST", 404));
+    }
+
+    #[test]
+    fn segmented_delivery() {
+        let mut p = HttpParser::new();
+        let req = build_request("GET", "/chunky", "example.com", "x");
+        for chunk in req.chunks(3) {
+            p.parse(chunk, Direction::ToServer);
+        }
+        let resp = build_response(200, 100);
+        let mut done = false;
+        for chunk in resp.chunks(7) {
+            if p.parse(chunk, Direction::ToClient) == ParseResult::Done {
+                done = true;
+            }
+        }
+        assert!(done);
+        let Session::Http(t) = &p.drain_sessions()[0] else {
+            panic!()
+        };
+        assert_eq!(t.uri, "/chunky");
+    }
+
+    #[test]
+    fn chunked_body_skipped() {
+        let mut p = HttpParser::new();
+        p.parse(&build_request("GET", "/a", "h", "u"), Direction::ToServer);
+        p.parse(&build_request("GET", "/b", "h", "u"), Direction::ToServer);
+        let resp1 = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n";
+        p.parse(resp1, Direction::ToClient);
+        let resp2 = build_response(204, 0);
+        assert_eq!(p.parse(&resp2, Direction::ToClient), ParseResult::Done);
+        let sessions = p.drain_sessions();
+        assert_eq!(sessions.len(), 2);
+        let Session::Http(b) = &sessions[1] else {
+            panic!()
+        };
+        assert_eq!(b.uri, "/b");
+        assert_eq!(b.status, 204);
+    }
+
+    #[test]
+    fn malformed_is_error() {
+        let mut p = HttpParser::new();
+        assert_eq!(
+            p.parse(b"GARBAGE WITHOUT STRUCTURE\r\n\r\n", Direction::ToServer),
+            ParseResult::Error
+        );
+        let mut p2 = HttpParser::new();
+        assert_eq!(
+            p2.parse(b"NOTHTTP 200\r\n\r\n", Direction::ToClient),
+            ParseResult::Error
+        );
+    }
+
+    #[test]
+    fn header_flood_bounded() {
+        let mut p = HttpParser::new();
+        // Headers that never terminate must eventually error, not grow.
+        let chunk = vec![b'a'; 1024];
+        let mut errored = false;
+        for _ in 0..100 {
+            if p.parse(&chunk, Direction::ToServer) == ParseResult::Error {
+                errored = true;
+                break;
+            }
+        }
+        assert!(errored);
+    }
+
+    #[test]
+    fn response_without_request_still_parses() {
+        // Mid-stream capture: response arrives with no tracked request.
+        let mut p = HttpParser::new();
+        assert_eq!(
+            p.parse(&build_response(301, 0), Direction::ToClient),
+            ParseResult::Done
+        );
+        let Session::Http(t) = &p.drain_sessions()[0] else {
+            panic!()
+        };
+        assert_eq!(t.status, 301);
+        assert_eq!(t.method, "");
+    }
+
+    #[test]
+    fn head_response_has_no_body() {
+        // A HEAD response advertises Content-Length but sends no body;
+        // the next transaction's response must parse immediately.
+        let mut p = HttpParser::new();
+        p.parse(
+            &build_request("HEAD", "/big", "h", "u"),
+            Direction::ToServer,
+        );
+        p.parse(
+            &build_request("GET", "/next", "h", "u"),
+            Direction::ToServer,
+        );
+        let head_resp = b"HTTP/1.1 200 OK\r\nContent-Length: 999999\r\n\r\n";
+        assert_eq!(p.parse(head_resp, Direction::ToClient), ParseResult::Done);
+        let next_resp = build_response(200, 3);
+        assert_eq!(p.parse(&next_resp, Direction::ToClient), ParseResult::Done);
+        let sessions = p.drain_sessions();
+        assert_eq!(sessions.len(), 2);
+        let Session::Http(a) = &sessions[0] else {
+            panic!()
+        };
+        let Session::Http(b) = &sessions[1] else {
+            panic!()
+        };
+        assert_eq!(
+            (a.method.as_str(), a.content_length),
+            ("HEAD", Some(999999))
+        );
+        assert_eq!(b.uri, "/next");
+    }
+
+    #[test]
+    fn not_modified_response_has_no_body() {
+        let mut p = HttpParser::new();
+        p.parse(&build_request("GET", "/c1", "h", "u"), Direction::ToServer);
+        p.parse(&build_request("GET", "/c2", "h", "u"), Direction::ToServer);
+        let r304 = b"HTTP/1.1 304 Not Modified\r\nContent-Length: 1234\r\n\r\n";
+        p.parse(r304, Direction::ToClient);
+        p.parse(&build_response(200, 0), Direction::ToClient);
+        assert_eq!(p.drain_sessions().len(), 2);
+    }
+
+    #[test]
+    fn field_accessors() {
+        let t = HttpTransaction {
+            method: "GET".into(),
+            uri: "/".into(),
+            host: Some("example.com".into()),
+            user_agent: None,
+            status: 200,
+            content_length: Some(42),
+        };
+        assert!(matches!(t.field("method"), Some(FieldValue::Str("GET"))));
+        assert!(matches!(t.field("status"), Some(FieldValue::Int(200))));
+        assert!(matches!(
+            t.field("content_length"),
+            Some(FieldValue::Int(42))
+        ));
+        assert!(t.field("user_agent").is_none());
+        assert!(t.field("bogus").is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! TLS handshake message builders.
+//!
+//! Used by the synthetic traffic generator to emit realistic handshakes,
+//! and by the parser tests as round-trip vectors.
+
+/// Parameters for a synthesized ClientHello.
+#[derive(Debug, Clone)]
+pub struct ClientHelloSpec {
+    /// SNI to embed (none omits the extension).
+    pub sni: Option<String>,
+    /// Offered ciphersuites.
+    pub ciphers: Vec<u16>,
+    /// The 32-byte client random.
+    pub random: [u8; 32],
+    /// Legacy client version (0x0303 for TLS 1.2+).
+    pub version: u16,
+    /// First ALPN protocol to offer (none omits the extension).
+    pub alpn: Option<String>,
+}
+
+/// Parameters for a synthesized ServerHello.
+#[derive(Debug, Clone)]
+pub struct ServerHelloSpec {
+    /// Selected ciphersuite.
+    pub cipher: u16,
+    /// The 32-byte server random.
+    pub random: [u8; 32],
+    /// Legacy version field.
+    pub version: u16,
+    /// `supported_versions` extension value (present for TLS 1.3).
+    pub supported_version: Option<u16>,
+    /// Selected ALPN protocol.
+    pub alpn: Option<String>,
+}
+
+fn record(content_type: u8, version: u16, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + body.len());
+    out.push(content_type);
+    out.extend_from_slice(&version.to_be_bytes());
+    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn handshake_msg(msg_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.push(msg_type);
+    let len = body.len() as u32;
+    out.push((len >> 16) as u8);
+    out.push((len >> 8) as u8);
+    out.push(len as u8);
+    out.extend_from_slice(body);
+    out
+}
+
+fn extension(ext_type: u16, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + data.len());
+    out.extend_from_slice(&ext_type.to_be_bytes());
+    out.extend_from_slice(&(data.len() as u16).to_be_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Builds a complete ClientHello record.
+pub fn client_hello_record(spec: &ClientHelloSpec) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&spec.version.to_be_bytes());
+    body.extend_from_slice(&spec.random);
+    body.push(0); // empty session id
+    body.extend_from_slice(&((spec.ciphers.len() * 2) as u16).to_be_bytes());
+    for c in &spec.ciphers {
+        body.extend_from_slice(&c.to_be_bytes());
+    }
+    body.extend_from_slice(&[1, 0]); // compression: null only
+
+    let mut exts = Vec::new();
+    if let Some(sni) = &spec.sni {
+        let name = sni.as_bytes();
+        let mut data = Vec::new();
+        data.extend_from_slice(&((name.len() + 3) as u16).to_be_bytes());
+        data.push(0); // hostname type
+        data.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        data.extend_from_slice(name);
+        exts.extend_from_slice(&extension(0, &data));
+    }
+    if let Some(alpn) = &spec.alpn {
+        let p = alpn.as_bytes();
+        let mut data = Vec::new();
+        data.extend_from_slice(&((p.len() + 1) as u16).to_be_bytes());
+        data.push(p.len() as u8);
+        data.extend_from_slice(p);
+        exts.extend_from_slice(&extension(16, &data));
+    }
+    body.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    body.extend_from_slice(&exts);
+
+    record(22, 0x0301, &handshake_msg(1, &body))
+}
+
+/// Builds a complete ServerHello record.
+pub fn server_hello_record(spec: &ServerHelloSpec) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&spec.version.to_be_bytes());
+    body.extend_from_slice(&spec.random);
+    body.push(0); // empty session id
+    body.extend_from_slice(&spec.cipher.to_be_bytes());
+    body.push(0); // null compression
+
+    let mut exts = Vec::new();
+    if let Some(v) = spec.supported_version {
+        exts.extend_from_slice(&extension(43, &v.to_be_bytes()));
+    }
+    if let Some(alpn) = &spec.alpn {
+        let p = alpn.as_bytes();
+        let mut data = Vec::new();
+        data.extend_from_slice(&((p.len() + 1) as u16).to_be_bytes());
+        data.push(p.len() as u8);
+        data.extend_from_slice(p);
+        exts.extend_from_slice(&extension(16, &data));
+    }
+    body.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    body.extend_from_slice(&exts);
+
+    record(22, 0x0303, &handshake_msg(2, &body))
+}
+
+/// Builds a Certificate record with `total_len` bytes of placeholder DER
+/// data (size-realistic, content-free).
+pub fn certificate_record(total_len: usize) -> Vec<u8> {
+    let body = vec![0xAAu8; total_len];
+    record(22, 0x0303, &handshake_msg(11, &body))
+}
+
+/// Builds a ChangeCipherSpec record.
+pub fn ccs_record() -> Vec<u8> {
+    record(20, 0x0303, &[1])
+}
+
+/// Builds an application-data record of `len` opaque bytes.
+pub fn appdata_record(len: usize) -> Vec<u8> {
+    let body = vec![0x5Au8; len];
+    record(23, 0x0303, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_framing() {
+        let ch = client_hello_record(&ClientHelloSpec {
+            sni: Some("a.example".into()),
+            ciphers: vec![0x1301],
+            random: [0u8; 32],
+            version: 0x0303,
+            alpn: None,
+        });
+        assert_eq!(ch[0], 22);
+        let len = usize::from(u16::from_be_bytes([ch[3], ch[4]]));
+        assert_eq!(ch.len(), 5 + len);
+        assert_eq!(ch[5], 1); // ClientHello
+    }
+
+    #[test]
+    fn appdata_and_ccs() {
+        assert_eq!(ccs_record(), vec![20, 3, 3, 0, 1, 1]);
+        let ad = appdata_record(100);
+        assert_eq!(ad.len(), 105);
+        assert_eq!(ad[0], 23);
+    }
+
+    #[test]
+    fn certificate_sizes() {
+        let cert = certificate_record(3000);
+        assert_eq!(cert.len(), 5 + 4 + 3000);
+        assert_eq!(cert[5], 11);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ciphersuite ID ↔ name mapping for the suites commonly seen on real
+//! networks (plus a formatted fallback for everything else).
+
+/// IANA ciphersuite names for well-known IDs.
+const NAMES: &[(u16, &str)] = &[
+    (0x1301, "TLS_AES_128_GCM_SHA256"),
+    (0x1302, "TLS_AES_256_GCM_SHA384"),
+    (0x1303, "TLS_CHACHA20_POLY1305_SHA256"),
+    (0xc02b, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256"),
+    (0xc02c, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384"),
+    (0xc02f, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256"),
+    (0xc030, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384"),
+    (0xcca8, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xcca9, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xc013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA"),
+    (0xc014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA"),
+    (0xc009, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA"),
+    (0xc00a, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA"),
+    (0x009c, "TLS_RSA_WITH_AES_128_GCM_SHA256"),
+    (0x009d, "TLS_RSA_WITH_AES_256_GCM_SHA384"),
+    (0x002f, "TLS_RSA_WITH_AES_128_CBC_SHA"),
+    (0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA"),
+    (0x000a, "TLS_RSA_WITH_3DES_EDE_CBC_SHA"),
+    (0x0005, "TLS_RSA_WITH_RC4_128_SHA"),
+    (0x0004, "TLS_RSA_WITH_RC4_128_MD5"),
+];
+
+/// Returns the IANA name of a ciphersuite, or `TLS_UNKNOWN_0x....` for
+/// unrecognized IDs.
+pub fn cipher_name(id: u16) -> String {
+    cipher_name_static(id).to_string()
+}
+
+/// Like [`cipher_name`] but returns a borrowed name; unknown IDs map to
+/// the constant string `"TLS_UNKNOWN"` (used where an owned `String`
+/// cannot be returned, e.g. `SessionData::field`).
+pub fn cipher_name_static(id: u16) -> &'static str {
+    NAMES
+        .iter()
+        .find(|(i, _)| *i == id)
+        .map(|(_, n)| *n)
+        .unwrap_or("TLS_UNKNOWN")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_names() {
+        assert_eq!(cipher_name(0x1301), "TLS_AES_128_GCM_SHA256");
+        assert_eq!(cipher_name(0xc02f), "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256");
+        assert_eq!(
+            cipher_name(0xcca8),
+            "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256"
+        );
+    }
+
+    #[test]
+    fn unknown_fallback() {
+        assert_eq!(cipher_name(0xfafa), "TLS_UNKNOWN");
+        assert_eq!(cipher_name_static(0x0000), "TLS_UNKNOWN");
+    }
+}

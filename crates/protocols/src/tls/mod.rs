@@ -1,0 +1,606 @@
+//! TLS handshake parsing (TLS 1.0–1.3).
+//!
+//! The parser consumes in-order byte-stream segments, reassembles TLS
+//! records across segment boundaries, and extracts the handshake fields
+//! Retina exposes for filtering and analysis: SNI, ALPN, offered and
+//! selected ciphersuites, protocol versions, and the client/server
+//! randoms (§7.1 measures client-random collisions at scale).
+//!
+//! Parsing stops at the end of the handshake — by design, Retina has no
+//! reason to process encrypted application data (§5.2).
+
+pub mod build;
+mod ciphers;
+
+pub use ciphers::cipher_name;
+
+use retina_filter::FieldValue;
+
+use crate::parser::{ConnParser, Direction, ParseResult, ProbeResult, Session};
+
+/// Maximum bytes buffered per direction while waiting for complete
+/// records; adversarial streams beyond this are abandoned.
+const MAX_BUFFER: usize = 64 * 1024;
+
+/// TLS record content types.
+const CONTENT_HANDSHAKE: u8 = 22;
+const CONTENT_CCS: u8 = 20;
+const CONTENT_ALERT: u8 = 21;
+const CONTENT_APPDATA: u8 = 23;
+
+/// Handshake message types.
+const HS_CLIENT_HELLO: u8 = 1;
+const HS_SERVER_HELLO: u8 = 2;
+
+/// A parsed TLS handshake transcript.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TlsHandshake {
+    /// Server name from the SNI extension, if present.
+    pub sni: Option<String>,
+    /// The 32-byte client random.
+    pub client_random: [u8; 32],
+    /// The 32-byte server random, when a ServerHello was seen.
+    pub server_random: Option<[u8; 32]>,
+    /// Version offered in the ClientHello legacy field.
+    pub client_version: u16,
+    /// Negotiated version (from the ServerHello, honoring
+    /// `supported_versions` for TLS 1.3).
+    pub version: u16,
+    /// Ciphersuites offered by the client.
+    pub offered_ciphers: Vec<u16>,
+    /// Ciphersuite selected by the server (0 if no ServerHello).
+    pub cipher: u16,
+    /// ALPN protocol selected/offered, if present.
+    pub alpn: Option<String>,
+}
+
+impl TlsHandshake {
+    /// The SNI, or an empty string (convenience mirroring the paper's
+    /// `hs.sni()` usage in Figure 1).
+    pub fn sni(&self) -> &str {
+        self.sni.as_deref().unwrap_or("")
+    }
+
+    /// Human-readable name of the selected ciphersuite.
+    pub fn cipher(&self) -> String {
+        cipher_name(self.cipher)
+    }
+
+    /// Field accessor backing [`retina_filter::SessionData`].
+    pub fn field(&self, name: &str) -> Option<FieldValue<'_>> {
+        match name {
+            "sni" => self.sni.as_deref().map(FieldValue::Str),
+            "version" => Some(FieldValue::Int(u64::from(self.version))),
+            "cipher" => Some(FieldValue::Str(ciphers::cipher_name_static(self.cipher))),
+            "alpn" => self.alpn.as_deref().map(FieldValue::Str),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DirBuffer {
+    data: Vec<u8>,
+}
+
+impl DirBuffer {
+    fn push(&mut self, bytes: &[u8]) -> Result<(), ()> {
+        if self.data.len() + bytes.len() > MAX_BUFFER {
+            return Err(());
+        }
+        self.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Pops one complete record, returning (content_type, body).
+    fn pop_record(&mut self) -> Option<(u8, Vec<u8>)> {
+        if self.data.len() < 5 {
+            return None;
+        }
+        let len = usize::from(u16::from_be_bytes([self.data[3], self.data[4]]));
+        if self.data.len() < 5 + len {
+            return None;
+        }
+        let content_type = self.data[0];
+        let body = self.data[5..5 + len].to_vec();
+        self.data.drain(..5 + len);
+        Some((content_type, body))
+    }
+}
+
+/// Streaming TLS handshake parser.
+#[derive(Debug, Default)]
+pub struct TlsParser {
+    to_server: DirBuffer,
+    to_client: DirBuffer,
+    /// Handshake-message reassembly buffers (messages can span records).
+    hs_to_server: Vec<u8>,
+    hs_to_client: Vec<u8>,
+    handshake: TlsHandshake,
+    seen_client_hello: bool,
+    seen_server_hello: bool,
+    done: bool,
+    failed: bool,
+    sessions: Vec<Session>,
+}
+
+impl TlsParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn process(&mut self, dir: Direction) -> ParseResult {
+        loop {
+            let buf = match dir {
+                Direction::ToServer => &mut self.to_server,
+                Direction::ToClient => &mut self.to_client,
+            };
+            let Some((content_type, body)) = buf.pop_record() else {
+                return if self.failed {
+                    ParseResult::Error
+                } else if self.done {
+                    ParseResult::Done
+                } else {
+                    ParseResult::Continue
+                };
+            };
+            match content_type {
+                CONTENT_HANDSHAKE => {
+                    let hs_buf = match dir {
+                        Direction::ToServer => &mut self.hs_to_server,
+                        Direction::ToClient => &mut self.hs_to_client,
+                    };
+                    hs_buf.extend_from_slice(&body);
+                    if hs_buf.len() > MAX_BUFFER {
+                        self.failed = true;
+                        return ParseResult::Error;
+                    }
+                    // Drain complete handshake messages.
+                    loop {
+                        let hs_buf = match dir {
+                            Direction::ToServer => &mut self.hs_to_server,
+                            Direction::ToClient => &mut self.hs_to_client,
+                        };
+                        if hs_buf.len() < 4 {
+                            break;
+                        }
+                        let msg_len =
+                            usize::from(hs_buf[1]) << 16 | usize::from(hs_buf[2]) << 8 | usize::from(hs_buf[3]);
+                        if hs_buf.len() < 4 + msg_len {
+                            break;
+                        }
+                        let msg_type = hs_buf[0];
+                        let msg: Vec<u8> = hs_buf[4..4 + msg_len].to_vec();
+                        hs_buf.drain(..4 + msg_len);
+                        self.handle_message(msg_type, &msg);
+                    }
+                }
+                CONTENT_CCS | CONTENT_APPDATA => {
+                    // Encrypted phase begins: if we have both hellos the
+                    // handshake transcript is complete.
+                    if self.seen_client_hello {
+                        self.finish();
+                    }
+                }
+                CONTENT_ALERT
+                    // Alerts can legitimately occur; finish with whatever
+                    // was collected if a ClientHello was seen.
+                    if self.seen_client_hello => {
+                        self.finish();
+                    }
+                _ => {
+                    self.failed = true;
+                    return ParseResult::Error;
+                }
+            }
+            if self.seen_client_hello && self.seen_server_hello {
+                self.finish();
+            }
+            if self.done {
+                return ParseResult::Done;
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.sessions.push(Session::Tls(self.handshake.clone()));
+        }
+    }
+
+    fn handle_message(&mut self, msg_type: u8, body: &[u8]) {
+        match msg_type {
+            HS_CLIENT_HELLO => {
+                if parse_client_hello(body, &mut self.handshake).is_ok() {
+                    self.seen_client_hello = true;
+                } else {
+                    self.failed = true;
+                }
+            }
+            HS_SERVER_HELLO => {
+                if parse_server_hello(body, &mut self.handshake).is_ok() {
+                    self.seen_server_hello = true;
+                } else {
+                    self.failed = true;
+                }
+            }
+            // Certificates, key exchange, finished, etc.: their presence
+            // is noted implicitly; we do not retain their bodies.
+            _ => {}
+        }
+    }
+}
+
+impl ConnParser for TlsParser {
+    fn name(&self) -> &'static str {
+        "tls"
+    }
+
+    fn probe(&self, data: &[u8], _dir: Direction) -> ProbeResult {
+        if data.is_empty() {
+            return ProbeResult::Unsure;
+        }
+        if data[0] != CONTENT_HANDSHAKE {
+            return ProbeResult::NotForUs;
+        }
+        if data.len() < 3 {
+            return ProbeResult::Unsure;
+        }
+        if data[1] != 3 || data[2] > 4 {
+            return ProbeResult::NotForUs;
+        }
+        if data.len() < 6 {
+            return ProbeResult::Unsure;
+        }
+        if matches!(data[5], HS_CLIENT_HELLO | HS_SERVER_HELLO) {
+            ProbeResult::Certain
+        } else {
+            ProbeResult::NotForUs
+        }
+    }
+
+    fn parse(&mut self, data: &[u8], dir: Direction) -> ParseResult {
+        if self.failed {
+            return ParseResult::Error;
+        }
+        if self.done {
+            return ParseResult::Done;
+        }
+        let buf = match dir {
+            Direction::ToServer => &mut self.to_server,
+            Direction::ToClient => &mut self.to_client,
+        };
+        if buf.push(data).is_err() {
+            self.failed = true;
+            return ParseResult::Error;
+        }
+        self.process(dir)
+    }
+
+    fn drain_sessions(&mut self) -> Vec<Session> {
+        std::mem::take(&mut self.sessions)
+    }
+
+    fn session_match_state(&self) -> crate::parser::SessionState {
+        // The handshake is the only session; stop app-layer processing
+        // and let the framework drop the encrypted remainder (§5.2).
+        crate::parser::SessionState::Remove
+    }
+
+    fn session_nomatch_state(&self) -> crate::parser::SessionState {
+        crate::parser::SessionState::Remove
+    }
+}
+
+/// Reads a length-prefixed slice; returns (slice, rest).
+fn take(data: &[u8], n: usize) -> Option<(&[u8], &[u8])> {
+    (data.len() >= n).then(|| data.split_at(n))
+}
+
+fn parse_client_hello(body: &[u8], out: &mut TlsHandshake) -> Result<(), ()> {
+    let (ver, rest) = take(body, 2).ok_or(())?;
+    out.client_version = u16::from_be_bytes([ver[0], ver[1]]);
+    out.version = out.client_version; // refined by ServerHello
+    let (random, rest) = take(rest, 32).ok_or(())?;
+    out.client_random.copy_from_slice(random);
+    // Session ID.
+    let (sid_len, rest) = take(rest, 1).ok_or(())?;
+    let (_sid, rest) = take(rest, usize::from(sid_len[0])).ok_or(())?;
+    // Cipher suites.
+    let (cs_len, rest) = take(rest, 2).ok_or(())?;
+    let cs_len = usize::from(u16::from_be_bytes([cs_len[0], cs_len[1]]));
+    let (suites, rest) = take(rest, cs_len).ok_or(())?;
+    out.offered_ciphers = suites
+        .chunks_exact(2)
+        .map(|c| u16::from_be_bytes([c[0], c[1]]))
+        .collect();
+    // Compression methods.
+    let (comp_len, rest) = take(rest, 1).ok_or(())?;
+    let (_comp, rest) = take(rest, usize::from(comp_len[0])).ok_or(())?;
+    // Extensions (optional in SSLv3-style hellos).
+    if rest.is_empty() {
+        return Ok(());
+    }
+    let (ext_len, rest) = take(rest, 2).ok_or(())?;
+    let ext_len = usize::from(u16::from_be_bytes([ext_len[0], ext_len[1]]));
+    let (mut exts, _) = take(rest, ext_len).ok_or(())?;
+    while exts.len() >= 4 {
+        let ext_type = u16::from_be_bytes([exts[0], exts[1]]);
+        let len = usize::from(u16::from_be_bytes([exts[2], exts[3]]));
+        let Some((data, rest)) = take(&exts[4..], len) else {
+            return Err(());
+        };
+        exts = rest;
+        match ext_type {
+            0
+                // server_name: list_len u16, type u8, name_len u16, name.
+                if data.len() >= 5 && data[2] == 0 => {
+                    let name_len = usize::from(u16::from_be_bytes([data[3], data[4]]));
+                    if let Some((name, _)) = take(&data[5..], name_len) {
+                        out.sni = String::from_utf8(name.to_vec()).ok();
+                    }
+                }
+            16
+                // ALPN: list_len u16, then [len u8, proto]*. Record the
+                // first offered protocol.
+                if data.len() >= 3 => {
+                    let plen = usize::from(data[2]);
+                    if let Some((proto, _)) = take(&data[3..], plen) {
+                        out.alpn = String::from_utf8(proto.to_vec()).ok();
+                    }
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn parse_server_hello(body: &[u8], out: &mut TlsHandshake) -> Result<(), ()> {
+    let (ver, rest) = take(body, 2).ok_or(())?;
+    out.version = u16::from_be_bytes([ver[0], ver[1]]);
+    let (random, rest) = take(rest, 32).ok_or(())?;
+    let mut sr = [0u8; 32];
+    sr.copy_from_slice(random);
+    out.server_random = Some(sr);
+    let (sid_len, rest) = take(rest, 1).ok_or(())?;
+    let (_sid, rest) = take(rest, usize::from(sid_len[0])).ok_or(())?;
+    let (cipher, rest) = take(rest, 2).ok_or(())?;
+    out.cipher = u16::from_be_bytes([cipher[0], cipher[1]]);
+    let (_comp, rest) = take(rest, 1).ok_or(())?;
+    if rest.is_empty() {
+        return Ok(());
+    }
+    let (ext_len, rest) = take(rest, 2).ok_or(())?;
+    let ext_len = usize::from(u16::from_be_bytes([ext_len[0], ext_len[1]]));
+    let (mut exts, _) = take(rest, ext_len).ok_or(())?;
+    while exts.len() >= 4 {
+        let ext_type = u16::from_be_bytes([exts[0], exts[1]]);
+        let len = usize::from(u16::from_be_bytes([exts[2], exts[3]]));
+        let Some((data, rest)) = take(&exts[4..], len) else {
+            return Err(());
+        };
+        exts = rest;
+        match ext_type {
+            43
+                // supported_versions (ServerHello form: one u16): the
+                // genuine negotiated version for TLS 1.3.
+                if data.len() == 2 => {
+                    out.version = u16::from_be_bytes([data[0], data[1]]);
+                }
+            16
+                if data.len() >= 3 => {
+                    let plen = usize::from(data[2]);
+                    if let Some((proto, _)) = take(&data[3..], plen) {
+                        out.alpn = String::from_utf8(proto.to_vec()).ok();
+                    }
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::{
+        client_hello_record, server_hello_record, ClientHelloSpec, ServerHelloSpec,
+    };
+    use super::*;
+
+    fn spec() -> ClientHelloSpec {
+        ClientHelloSpec {
+            sni: Some("www.example.com".into()),
+            ciphers: vec![0x1301, 0x1302, 0xc02f],
+            random: [7u8; 32],
+            version: 0x0303,
+            alpn: Some("h2".into()),
+        }
+    }
+
+    #[test]
+    fn probe_client_hello() {
+        let record = client_hello_record(&spec());
+        let parser = TlsParser::new();
+        assert_eq!(
+            parser.probe(&record, Direction::ToServer),
+            ProbeResult::Certain
+        );
+        assert_eq!(
+            parser.probe(&record[..3], Direction::ToServer),
+            ProbeResult::Unsure
+        );
+        assert_eq!(parser.probe(b"", Direction::ToServer), ProbeResult::Unsure);
+        assert_eq!(
+            parser.probe(b"GET / HTTP/1.1", Direction::ToServer),
+            ProbeResult::NotForUs
+        );
+        assert_eq!(
+            parser.probe(&[22, 9, 9, 0, 0, 1], Direction::ToServer),
+            ProbeResult::NotForUs
+        );
+    }
+
+    #[test]
+    fn full_handshake_roundtrip() {
+        let mut parser = TlsParser::new();
+        let ch = client_hello_record(&spec());
+        assert_eq!(
+            parser.parse(&ch, Direction::ToServer),
+            ParseResult::Continue
+        );
+        let sh = server_hello_record(&ServerHelloSpec {
+            cipher: 0x1301,
+            random: [9u8; 32],
+            version: 0x0303,
+            supported_version: Some(0x0304),
+            alpn: None,
+        });
+        assert_eq!(parser.parse(&sh, Direction::ToClient), ParseResult::Done);
+        let sessions = parser.drain_sessions();
+        assert_eq!(sessions.len(), 1);
+        let Session::Tls(hs) = &sessions[0] else {
+            panic!()
+        };
+        assert_eq!(hs.sni(), "www.example.com");
+        assert_eq!(hs.client_random, [7u8; 32]);
+        assert_eq!(hs.server_random, Some([9u8; 32]));
+        assert_eq!(hs.offered_ciphers, vec![0x1301, 0x1302, 0xc02f]);
+        assert_eq!(hs.cipher, 0x1301);
+        assert_eq!(hs.cipher(), "TLS_AES_128_GCM_SHA256");
+        assert_eq!(hs.version, 0x0304, "supported_versions wins");
+        assert_eq!(hs.alpn.as_deref(), Some("h2"));
+    }
+
+    #[test]
+    fn handshake_split_across_segments() {
+        let mut parser = TlsParser::new();
+        let ch = client_hello_record(&spec());
+        // Feed the ClientHello in 7-byte chunks.
+        for chunk in ch.chunks(7) {
+            let r = parser.parse(chunk, Direction::ToServer);
+            assert!(matches!(r, ParseResult::Continue), "{r:?}");
+        }
+        let sh = server_hello_record(&ServerHelloSpec {
+            cipher: 0xc02f,
+            random: [1u8; 32],
+            version: 0x0303,
+            supported_version: None,
+            alpn: None,
+        });
+        // Split the ServerHello in two.
+        assert_eq!(
+            parser.parse(&sh[..10], Direction::ToClient),
+            ParseResult::Continue
+        );
+        assert_eq!(
+            parser.parse(&sh[10..], Direction::ToClient),
+            ParseResult::Done
+        );
+        let Session::Tls(hs) = &parser.drain_sessions()[0] else {
+            panic!()
+        };
+        assert_eq!(hs.cipher(), "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256");
+        assert_eq!(hs.version, 0x0303);
+    }
+
+    #[test]
+    fn sni_absent() {
+        let mut parser = TlsParser::new();
+        let mut s = spec();
+        s.sni = None;
+        s.alpn = None;
+        parser.parse(&client_hello_record(&s), Direction::ToServer);
+        let sh = server_hello_record(&ServerHelloSpec {
+            cipher: 0x1301,
+            random: [0u8; 32],
+            version: 0x0303,
+            supported_version: None,
+            alpn: None,
+        });
+        assert_eq!(parser.parse(&sh, Direction::ToClient), ParseResult::Done);
+        let Session::Tls(hs) = &parser.drain_sessions()[0] else {
+            panic!()
+        };
+        assert_eq!(hs.sni, None);
+        assert_eq!(hs.sni(), "");
+        // SessionData: absent SNI yields no field value.
+        use retina_filter::SessionData;
+        let session = Session::Tls(hs.clone());
+        assert!(session.field("sni").is_none());
+        assert!(session.field("version").is_some());
+    }
+
+    #[test]
+    fn garbage_is_error() {
+        let mut parser = TlsParser::new();
+        // Valid record header, bogus inner handshake.
+        let mut record = vec![22, 3, 1, 0, 5];
+        record.extend_from_slice(&[1, 0, 0, 1, 0]); // CH with 1-byte body
+        assert_eq!(
+            parser.parse(&record, Direction::ToServer),
+            ParseResult::Error
+        );
+    }
+
+    #[test]
+    fn non_tls_record_type_is_error() {
+        let mut parser = TlsParser::new();
+        let record = [99u8, 3, 3, 0, 1, 0];
+        assert_eq!(
+            parser.parse(&record, Direction::ToServer),
+            ParseResult::Error
+        );
+    }
+
+    #[test]
+    fn oversized_buffer_rejected() {
+        let mut parser = TlsParser::new();
+        // A record claiming 16K body, fed 5 bytes at a time without ever
+        // completing, must hit the buffer cap rather than grow forever.
+        let header = [22u8, 3, 3, 0x40, 0x00];
+        let mut r = parser.parse(&header, Direction::ToServer);
+        let chunk = [0u8; 1024];
+        for _ in 0..80 {
+            r = parser.parse(&chunk, Direction::ToServer);
+            if r == ParseResult::Error {
+                return;
+            }
+        }
+        panic!("buffer grew unbounded: {r:?}");
+    }
+
+    #[test]
+    fn ccs_finishes_handshake_without_server_hello_13() {
+        // Middlebox-compat mode: client sends CCS right after CH.
+        let mut parser = TlsParser::new();
+        parser.parse(&client_hello_record(&spec()), Direction::ToServer);
+        let ccs = [20u8, 3, 3, 0, 1, 1];
+        assert_eq!(parser.parse(&ccs, Direction::ToServer), ParseResult::Done);
+        let Session::Tls(hs) = &parser.drain_sessions()[0] else {
+            panic!()
+        };
+        assert_eq!(hs.sni(), "www.example.com");
+        assert_eq!(hs.server_random, None);
+    }
+
+    #[test]
+    fn field_accessors() {
+        let hs = TlsHandshake {
+            sni: Some("x.com".into()),
+            version: 0x0303,
+            cipher: 0x1301,
+            alpn: Some("h2".into()),
+            ..Default::default()
+        };
+        assert!(matches!(hs.field("sni"), Some(FieldValue::Str("x.com"))));
+        assert!(matches!(hs.field("version"), Some(FieldValue::Int(0x0303))));
+        assert!(matches!(
+            hs.field("cipher"),
+            Some(FieldValue::Str("TLS_AES_128_GCM_SHA256"))
+        ));
+        assert!(matches!(hs.field("alpn"), Some(FieldValue::Str("h2"))));
+        assert!(hs.field("nope").is_none());
+    }
+}

@@ -1,0 +1,535 @@
+//! The campus-traffic mix (Appendix C's network, synthesized).
+//!
+//! Generates connections whose composition matches the distributions the
+//! paper reports for its university uplink (Table 2):
+//!
+//! - ~69.7% TCP / ~29.8% UDP connections (plus a little ICMP);
+//! - ~65% of TCP connections are single unanswered SYNs (scans);
+//! - ~6% of data flows contain out-of-order segments, with the median
+//!   hole filled by the next packet;
+//! - ~4.6% of flows end without teardown ("incomplete");
+//! - heavy-tailed flow lengths and a bimodal packet-size distribution
+//!   (pure ACKs vs. full-MSS segments, Figure 13);
+//! - TLS dominates established-TCP bytes; SNIs are Zipf-distributed over
+//!   a deterministic domain list with `.com` most common, including the
+//!   Netflix/YouTube video domains the paper's filters target;
+//! - a small rate of broken TLS client randoms (§7.1's anomaly).
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+
+use bytes::Bytes;
+
+use crate::flows::{
+    dns_exchange, http_flow, icmp_ping, scan_syn, ssh_flow, tls_flow, udp_opaque_flow, FlowBuilder,
+    TlsFlowSpec,
+};
+use crate::rng::Sampler;
+use crate::PreloadedSource;
+
+/// The §7.1 anomalous client randoms, with their approximate real-world
+/// rates relative to all handshakes.
+pub const BROKEN_RANDOM_A: [u8; 32] = {
+    // 738b712a...dee0dbe1 — the most frequent value (8340 in 13.4M).
+    let mut r = [0u8; 32];
+    r[0] = 0x73;
+    r[1] = 0x8b;
+    r[2] = 0x71;
+    r[3] = 0x2a;
+    r[28] = 0xde;
+    r[29] = 0xe0;
+    r[30] = 0xdb;
+    r[31] = 0xe1;
+    r
+};
+
+/// The second §7.1 anomaly (417a7572...00000000).
+pub const BROKEN_RANDOM_B: [u8; 32] = {
+    let mut r = [0u8; 32];
+    r[0] = 0x41;
+    r[1] = 0x7a;
+    r[2] = 0x75;
+    r[3] = 0x72;
+    r
+};
+
+/// Campus traffic configuration. Fractions default to Table 2's measured
+/// values.
+#[derive(Debug, Clone)]
+pub struct CampusConfig {
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+    /// Approximate number of packets to generate.
+    pub target_packets: usize,
+    /// Simulated capture duration in seconds (controls arrival rate).
+    pub duration_secs: f64,
+    /// Fraction of connections that are TCP.
+    pub tcp_frac: f64,
+    /// Fraction of connections that are UDP.
+    pub udp_frac: f64,
+    /// Of TCP connections: fraction that are single unanswered SYNs.
+    pub single_syn_frac: f64,
+    /// Of data flows: fraction with out-of-order segments.
+    pub ooo_flow_frac: f64,
+    /// Of data flows: fraction abandoned without teardown.
+    pub incomplete_frac: f64,
+    /// Of established TCP: fraction that is TLS.
+    pub tls_frac: f64,
+    /// Of established TCP: fraction that is HTTP.
+    pub http_frac: f64,
+    /// Of established TCP: fraction that is SSH.
+    pub ssh_frac: f64,
+    /// Of DNS queries: fraction answered.
+    pub dns_answered_frac: f64,
+    /// Fraction of flows using IPv6.
+    pub ipv6_frac: f64,
+    /// Rate of the dominant broken client random (anomaly A).
+    pub broken_random_a_rate: f64,
+    /// Rate of anomaly B.
+    pub broken_random_b_rate: f64,
+    /// Rate of all-zero client randoms.
+    pub zero_random_rate: f64,
+    /// Median TLS download bytes (upload is ~1/8 of this).
+    pub tls_bytes_median: f64,
+}
+
+impl Default for CampusConfig {
+    fn default() -> Self {
+        CampusConfig {
+            seed: 0xC0FFEE,
+            target_packets: 200_000,
+            duration_secs: 60.0,
+            tcp_frac: 0.697,
+            udp_frac: 0.298,
+            single_syn_frac: 0.65,
+            ooo_flow_frac: 0.06,
+            incomplete_frac: 0.046,
+            tls_frac: 0.62,
+            http_frac: 0.22,
+            ssh_frac: 0.06,
+            dns_answered_frac: 0.85,
+            ipv6_frac: 0.08,
+            broken_random_a_rate: 6.2e-4,
+            broken_random_b_rate: 3.7e-5,
+            zero_random_rate: 2.3e-5,
+            tls_bytes_median: 30_000.0,
+        }
+    }
+}
+
+impl CampusConfig {
+    /// Smaller preset for unit tests.
+    pub fn small(seed: u64) -> Self {
+        CampusConfig {
+            seed,
+            target_packets: 20_000,
+            duration_secs: 10.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// The deterministic SNI/host catalogue. Index 0 is most popular (Zipf).
+pub fn domain_catalogue() -> Vec<String> {
+    let mut domains = vec![
+        "www.google.com".to_string(),
+        "www.youtube.com".to_string(),
+        "graph.facebook.com".to_string(),
+        "www.netflix.com".to_string(),
+        "api.apple.com".to_string(),
+        "www.amazon.com".to_string(),
+        "cdn.cloudflare.com".to_string(),
+        "www.example.com".to_string(),
+        "login.microsoftonline.com".to_string(),
+        "www.stanford.edu".to_string(),
+        "r3---sn-nx57yn7r.googlevideo.com".to_string(),
+        "ipv4-c001-sjc001-ix.1.oca.nflxvideo.net".to_string(),
+        "r5---sn-a8au76.googlevideo.com".to_string(),
+        "ipv4-c002-lax009-ix.1.oca.nflxvideo.net".to_string(),
+    ];
+    let tlds = ["com", "com", "com", "net", "org", "io", "edu", "gov"];
+    for i in 0..86 {
+        domains.push(format!("svc{i:02}.site{i:02}.{}", tlds[i % tlds.len()]));
+    }
+    domains
+}
+
+/// Generates the campus mix: a timestamp-sorted packet stream.
+pub fn generate(config: &CampusConfig) -> Vec<(Bytes, u64)> {
+    let mut sampler = Sampler::new(config.seed);
+    let domains = domain_catalogue();
+    let mut packets: Vec<(Bytes, u64)> = Vec::with_capacity(config.target_packets + 1024);
+    let duration_ns = (config.duration_secs * 1e9) as u64;
+
+    while packets.len() < config.target_packets {
+        let start_ts = sampler.range(0, duration_ns.max(1));
+        let flow = generate_connection(config, &domains, start_ts, &mut sampler);
+        packets.extend(flow);
+    }
+    packets.sort_by_key(|(_, ts)| *ts);
+    packets
+}
+
+/// Generates one connection of the mix.
+fn generate_connection(
+    config: &CampusConfig,
+    domains: &[String],
+    start_ts: u64,
+    sampler: &mut Sampler,
+) -> Vec<(Bytes, u64)> {
+    let kind = sampler.uniform();
+    let v6 = sampler.chance(config.ipv6_frac);
+    if kind < config.tcp_frac {
+        // TCP connection.
+        if sampler.chance(config.single_syn_frac) {
+            // Scan probe: outside → campus.
+            let cport = 40_000 + sampler.range(0, 20_000) as u16;
+            let client = outside_addr(v6, sampler, cport);
+            let sport = [22, 23, 80, 443, 3389, 8080][sampler.range(0, 6) as usize];
+            let server = campus_addr(v6, sampler, sport);
+            return scan_syn(client, server, start_ts, sampler);
+        }
+        let cport = ephemeral(sampler);
+        let client = campus_addr(v6, sampler, cport);
+        let ooo = sampler.chance(config.ooo_flow_frac);
+        let graceful = !sampler.chance(config.incomplete_frac);
+        let proto = sampler.uniform();
+        if proto < config.tls_frac {
+            let server = outside_addr(v6, sampler, 443);
+            let sni = domains[sampler.zipf(domains.len())].clone();
+            let down = sampler.lognormal(config.tls_bytes_median, 1.6) as usize;
+            let spec = TlsFlowSpec {
+                client,
+                server,
+                sni,
+                start_ts,
+                bytes_up: (down / 8).min(2 << 20),
+                bytes_down: down.min(8 << 20),
+                client_random: pick_client_random(config, sampler),
+                cipher: [0x1301, 0x1302, 0x1303, 0xc02b, 0xc02f, 0xc030][sampler.zipf(6)],
+                ooo,
+                graceful,
+            };
+            tls_flow(&spec, sampler)
+        } else if proto < config.tls_frac + config.http_frac {
+            let sport = if sampler.chance(0.8) { 80 } else { 8080 };
+            let server = outside_addr(v6, sampler, sport);
+            let host = domains[sampler.zipf(domains.len())].clone();
+            let agents = [
+                "Mozilla/5.0 (X11; Linux x86_64) Firefox/99.0",
+                "Mozilla/5.0 (Macintosh) Safari/605.1.15",
+                "curl/7.81.0",
+                "python-requests/2.27",
+                "Debian APT-HTTP/1.3",
+            ];
+            http_flow(
+                client,
+                server,
+                &host,
+                agents[sampler.zipf(agents.len())],
+                1 + sampler.zipf(6),
+                6_000,
+                start_ts,
+                sampler,
+            )
+        } else if proto < config.tls_frac + config.http_frac + config.ssh_frac {
+            let server = outside_addr(v6, sampler, 22);
+            ssh_flow(
+                client,
+                server,
+                start_ts,
+                sampler.range(500, 20_000) as usize,
+                sampler,
+            )
+        } else {
+            // Opaque TCP (unrecognized app protocol).
+            let sport = 9000 + sampler.range(0, 999) as u16;
+            let server = outside_addr(v6, sampler, sport);
+            opaque_tcp_flow(client, server, start_ts, graceful, sampler)
+        }
+    } else if kind < config.tcp_frac + config.udp_frac {
+        // UDP connection: mostly DNS, some opaque media.
+        if sampler.chance(0.6) {
+            let cport = ephemeral(sampler);
+            let client = campus_addr(v6, sampler, cport);
+            let resolver = if v6 {
+                "[2001:4860:4860::8888]:53".parse().unwrap()
+            } else {
+                SocketAddr::from(([8, 8, 8, 8], 53))
+            };
+            let name = domains[sampler.zipf(domains.len())].clone();
+            dns_exchange(
+                client,
+                resolver,
+                name.trim_start_matches("www."),
+                sampler.chance(config.dns_answered_frac),
+                start_ts,
+                sampler,
+            )
+        } else {
+            let cport = ephemeral(sampler);
+            let client = campus_addr(v6, sampler, cport);
+            let server = outside_addr(v6, sampler, 443);
+            let pkts = sampler.lognormal(30.0, 1.0) as usize + 1;
+            let size = 600 + sampler.range(0, 700) as usize;
+            udp_opaque_flow(client, server, pkts.min(4000), size, start_ts, sampler)
+        }
+    } else {
+        // ICMP.
+        let IpAddr::V4(c) = campus_addr(false, sampler, 0).ip() else {
+            unreachable!()
+        };
+        let IpAddr::V4(s) = outside_addr(false, sampler, 0).ip() else {
+            unreachable!()
+        };
+        icmp_ping(c, s, sampler.u64() as u16, start_ts)
+    }
+}
+
+/// A TCP flow carrying an unrecognized binary protocol.
+fn opaque_tcp_flow(
+    client: SocketAddr,
+    server: SocketAddr,
+    start_ts: u64,
+    graceful: bool,
+    sampler: &mut Sampler,
+) -> Vec<(Bytes, u64)> {
+    let rtt = 5_000_000 + sampler.range(0, 40_000_000);
+    let mut fb = FlowBuilder::new(client, server, start_ts, rtt, sampler);
+    let exchanges = 1 + sampler.zipf(8);
+    for _ in 0..exchanges {
+        let up = sampler.range(16, 1200) as usize;
+        let down = sampler.range(16, 60_000) as usize;
+        // 0xF5 leading byte defeats every built-in probe.
+        fb.send(true, &vec![0xF5u8; up], sampler);
+        fb.send(false, &vec![0xF5u8; down], sampler);
+        fb.pause(sampler.exponential(30_000_000.0) as u64);
+    }
+    if graceful {
+        fb.finish()
+    } else {
+        fb.abandon()
+    }
+}
+
+fn pick_client_random(config: &CampusConfig, sampler: &mut Sampler) -> [u8; 32] {
+    let r = sampler.uniform();
+    if r < config.broken_random_a_rate {
+        BROKEN_RANDOM_A
+    } else if r < config.broken_random_a_rate + config.broken_random_b_rate {
+        BROKEN_RANDOM_B
+    } else if r < config.broken_random_a_rate
+        + config.broken_random_b_rate
+        + config.zero_random_rate
+    {
+        [0u8; 32]
+    } else {
+        sampler.bytes32()
+    }
+}
+
+fn ephemeral(sampler: &mut Sampler) -> u16 {
+    32_768 + sampler.range(0, 28_000) as u16
+}
+
+/// An address inside the monitored campus network (171.64.0.0/14-style).
+fn campus_addr(v6: bool, sampler: &mut Sampler, port: u16) -> SocketAddr {
+    if v6 {
+        let host = sampler.u64();
+        let ip = Ipv6Addr::new(
+            0x2607,
+            0xf6d0,
+            (host >> 48) as u16 & 0xff,
+            (host >> 32) as u16,
+            0,
+            0,
+            (host >> 16) as u16,
+            host as u16,
+        );
+        SocketAddr::new(IpAddr::V6(ip), port)
+    } else {
+        let ip = Ipv4Addr::new(
+            171,
+            64 + sampler.range(0, 4) as u8,
+            sampler.range(0, 256) as u8,
+            sampler.range(1, 255) as u8,
+        );
+        SocketAddr::new(IpAddr::V4(ip), port)
+    }
+}
+
+/// A public Internet address outside the campus.
+fn outside_addr(v6: bool, sampler: &mut Sampler, port: u16) -> SocketAddr {
+    if v6 {
+        let host = sampler.u64();
+        let ip = Ipv6Addr::new(
+            0x2a00 + (sampler.range(0, 0x400) as u16),
+            (host >> 48) as u16,
+            (host >> 32) as u16,
+            0,
+            0,
+            0,
+            (host >> 16) as u16,
+            host as u16,
+        );
+        SocketAddr::new(IpAddr::V6(ip), port)
+    } else {
+        // Avoid campus and reserved ranges.
+        let a = [13u8, 23, 34, 52, 93, 104, 142, 151, 185, 198, 203, 208]
+            [sampler.range(0, 12) as usize];
+        let ip = Ipv4Addr::new(
+            a,
+            sampler.range(0, 256) as u8,
+            sampler.range(0, 256) as u8,
+            sampler.range(1, 255) as u8,
+        );
+        SocketAddr::new(IpAddr::V4(ip), port)
+    }
+}
+
+/// A campus-mix traffic source (pre-materialized and sorted).
+pub type CampusSource = PreloadedSource;
+
+/// Builds a [`CampusSource`] for a configuration.
+pub fn campus_source(config: &CampusConfig) -> CampusSource {
+    PreloadedSource::new(generate(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retina_wire::{IpProtocol, ParsedPacket};
+    use std::collections::HashMap;
+
+    fn mix(seed: u64) -> Vec<(Bytes, u64)> {
+        generate(&CampusConfig::small(seed))
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mix(42);
+        let b = mix(42);
+        assert_eq!(a.len(), b.len());
+        for ((fa, ta), (fb, tb)) in a.iter().zip(&b) {
+            assert_eq!(fa, fb);
+            assert_eq!(ta, tb);
+        }
+        assert_ne!(mix(43).len(), 0);
+    }
+
+    #[test]
+    fn all_frames_parse_and_sorted() {
+        let packets = mix(1);
+        assert!(packets.len() >= 20_000);
+        let mut last = 0;
+        for (frame, ts) in &packets {
+            ParsedPacket::parse(frame).expect("campus frame parses");
+            assert!(*ts >= last);
+            last = *ts;
+        }
+    }
+
+    /// Measures connection-level statistics the way Appendix C does and
+    /// checks them against the configured targets.
+    #[test]
+    fn mix_matches_table2_targets() {
+        let packets = generate(&CampusConfig {
+            target_packets: 120_000,
+            ..CampusConfig::small(7)
+        });
+        #[derive(Default)]
+        struct Conn {
+            proto: u8,
+            packets: u64,
+            syn_only: bool,
+            synack: bool,
+        }
+        let mut conns: HashMap<(std::net::SocketAddr, std::net::SocketAddr, u8), Conn> =
+            HashMap::new();
+        let mut total_bytes = 0u64;
+        for (frame, _) in &packets {
+            total_bytes += frame.len() as u64;
+            let pkt = ParsedPacket::parse(frame).unwrap();
+            let a = std::net::SocketAddr::new(pkt.src_ip, pkt.src_port);
+            let b = std::net::SocketAddr::new(pkt.dst_ip, pkt.dst_port);
+            let key = if a < b {
+                (a, b, u8::from(pkt.protocol))
+            } else {
+                (b, a, u8::from(pkt.protocol))
+            };
+            let entry = conns.entry(key).or_insert_with(|| Conn {
+                proto: pkt.protocol.into(),
+                syn_only: pkt
+                    .tcp_flags()
+                    .map(|f| f.syn() && !f.ack())
+                    .unwrap_or(false),
+                ..Default::default()
+            });
+            entry.packets += 1;
+            if let Some(flags) = pkt.tcp_flags() {
+                if flags.syn() && flags.ack() {
+                    entry.synack = true;
+                }
+            }
+        }
+        let total = conns.len() as f64;
+        let tcp: Vec<_> = conns.values().filter(|c| c.proto == 6).collect();
+        let udp = conns.values().filter(|c| c.proto == 17).count();
+        let tcp_frac = tcp.len() as f64 / total;
+        let udp_frac = udp as f64 / total;
+        assert!((tcp_frac - 0.697).abs() < 0.08, "tcp fraction {tcp_frac}");
+        assert!((udp_frac - 0.298).abs() < 0.08, "udp fraction {udp_frac}");
+        // Single-SYN fraction of TCP.
+        let single = tcp
+            .iter()
+            .filter(|c| c.packets == 1 && c.syn_only && !c.synack)
+            .count() as f64;
+        let single_frac = single / tcp.len() as f64;
+        assert!(
+            (single_frac - 0.65).abs() < 0.08,
+            "single-SYN {single_frac}"
+        );
+        // Mean packet size in a plausible band around the paper's 895 B.
+        let mean_size = total_bytes as f64 / packets.len() as f64;
+        assert!(
+            (500.0..1300.0).contains(&mean_size),
+            "mean packet size {mean_size}"
+        );
+    }
+
+    #[test]
+    fn contains_parseable_tls_with_video_domains() {
+        // Larger sample: the video domains sit mid-catalogue in the Zipf
+        // ranking, so small samples can miss them.
+        let packets = generate(&CampusConfig {
+            target_packets: 60_000,
+            ..CampusConfig::small(5)
+        });
+        let mut saw_netflix = false;
+        let mut saw_google_video = false;
+        for (frame, _) in &packets {
+            if let Ok(pkt) = ParsedPacket::parse(frame) {
+                if pkt.protocol == IpProtocol::Tcp && pkt.payload_len() > 0 {
+                    let payload = pkt.payload(frame);
+                    if payload.first() == Some(&22) {
+                        let text = String::from_utf8_lossy(payload);
+                        if text.contains("nflxvideo.net") {
+                            saw_netflix = true;
+                        }
+                        if text.contains("googlevideo.com") {
+                            saw_google_video = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_netflix, "expected some Netflix video SNIs in the mix");
+        assert!(saw_google_video, "expected some YouTube video SNIs");
+    }
+
+    #[test]
+    fn source_wrapper() {
+        let src = campus_source(&CampusConfig::small(9));
+        assert!(src.len() >= 20_000);
+        assert!(src.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The §6.2 controlled workload: closed-loop 256 KB HTTPS requests.
+//!
+//! The paper's testbed drives "128 parallel closed-loop 256 KB HTTPS
+//! requests using wrk2 at different rates towards an Nginx server". Each
+//! request here is one TLS connection performing a handshake and then a
+//! 256 KB encrypted response; the request *rate* scales how many
+//! connections the workload packs into each simulated second, which is
+//! the x-axis of Figure 6.
+
+use std::net::{Ipv4Addr, SocketAddr};
+
+use bytes::Bytes;
+
+use crate::flows::{tls_flow, TlsFlowSpec};
+use crate::rng::Sampler;
+use crate::PreloadedSource;
+
+/// The HTTPS closed-loop workload generator.
+#[derive(Debug, Clone)]
+pub struct HttpsWorkload {
+    /// Requests per second (kreq/s × 1000).
+    pub requests_per_sec: u64,
+    /// Response size per request (paper: 256 KB).
+    pub response_bytes: usize,
+    /// Number of parallel client "connections" (affects source ports).
+    pub parallel: u16,
+    /// Simulated duration in seconds.
+    pub duration_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HttpsWorkload {
+    fn default() -> Self {
+        HttpsWorkload {
+            requests_per_sec: 1_000,
+            response_bytes: 256 * 1024,
+            parallel: 128,
+            duration_secs: 1.0,
+            seed: 0xF16_6,
+        }
+    }
+}
+
+impl HttpsWorkload {
+    /// Generates the packet stream, sorted by timestamp.
+    pub fn generate(&self) -> Vec<(Bytes, u64)> {
+        let mut sampler = Sampler::new(self.seed);
+        let total_requests = ((self.requests_per_sec as f64) * self.duration_secs).max(1.0) as u64;
+        let gap_ns = ((self.duration_secs * 1e9) / total_requests as f64) as u64;
+        let server: SocketAddr = SocketAddr::from((Ipv4Addr::new(10, 200, 0, 1), 443));
+        let mut packets = Vec::new();
+        for i in 0..total_requests {
+            let lane = (i % u64::from(self.parallel)) as u16;
+            let client = SocketAddr::from((
+                Ipv4Addr::new(10, 100, (lane >> 8) as u8, (lane & 0xff) as u8),
+                40_000 + (i / u64::from(self.parallel)) as u16 % 20_000,
+            ));
+            let spec = TlsFlowSpec {
+                client,
+                server,
+                sni: "bench.nginx.test".into(),
+                start_ts: i * gap_ns,
+                bytes_up: 300,
+                bytes_down: self.response_bytes,
+                client_random: sampler.bytes32(),
+                cipher: 0x1301,
+                ooo: false,
+                graceful: true,
+            };
+            packets.extend(tls_flow(&spec, &mut sampler));
+        }
+        packets.sort_by_key(|(_, ts)| *ts);
+        packets
+    }
+
+    /// Generates and wraps as a traffic source.
+    pub fn source(&self) -> PreloadedSource {
+        PreloadedSource::new(self.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retina_wire::ParsedPacket;
+
+    #[test]
+    fn request_count_scales_with_rate() {
+        let low = HttpsWorkload {
+            requests_per_sec: 50,
+            response_bytes: 8_192,
+            duration_secs: 0.5,
+            ..Default::default()
+        };
+        let high = HttpsWorkload {
+            requests_per_sec: 200,
+            response_bytes: 8_192,
+            duration_secs: 0.5,
+            ..Default::default()
+        };
+        let lp = low.generate();
+        let hp = high.generate();
+        assert!(hp.len() > 3 * lp.len());
+        for (frame, _) in lp.iter().take(200) {
+            ParsedPacket::parse(frame).unwrap();
+        }
+    }
+
+    #[test]
+    fn bytes_dominated_by_response() {
+        let wl = HttpsWorkload {
+            requests_per_sec: 10,
+            response_bytes: 64 * 1024,
+            duration_secs: 0.2,
+            ..Default::default()
+        };
+        let packets = wl.generate();
+        let total: usize = packets.iter().map(|(f, _)| f.len()).sum();
+        // ≥ requests × response size (plus overheads).
+        assert!(total >= 2 * 64 * 1024, "total {total}");
+        // Sorted timestamps.
+        for w in packets.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! # retina-trafficgen
+//!
+//! Synthetic traffic generation: the stand-in for the paper's production
+//! 100GbE campus link (see DESIGN.md's substitution table).
+//!
+//! The paper evaluates Retina on live university traffic whose key
+//! characteristics are reported in Appendix C (Table 2 / Figure 13).
+//! This crate generates traffic matching those *distributions* — the
+//! protocol mix, scan-dominated connection arrivals, heavy-tailed flow
+//! lengths, bimodal packet sizes, and out-of-order behavior — with real
+//! parseable payloads (TLS handshakes with SNIs and ciphersuites, HTTP
+//! transactions, DNS exchanges, SSH banners), deterministically from a
+//! seed.
+//!
+//! Workloads:
+//!
+//! - [`campus::CampusSource`] — the general campus mix (Figures 5, 7, 8,
+//!   Table 2).
+//! - [`https_workload::HttpsWorkload`] — wrk2-style closed-loop 256 KB
+//!   HTTPS requests (Figure 6's controlled comparison).
+//! - [`video::VideoWorkload`] — Netflix/YouTube streaming sessions
+//!   (Figure 9, §7.3).
+//! - [`traces`] — small Stratosphere-like mixed traces for the Appendix B
+//!   filter-compilation study (Figure 12).
+//!
+//! All generators implement [`retina_core::TrafficSource`] for live runs
+//! and provide `generate_all` for pre-materialized benchmarking (so
+//! generation cost stays out of the measured path).
+
+#![warn(missing_docs)]
+
+pub mod campus;
+pub mod flows;
+pub mod https_workload;
+pub mod rng;
+pub mod traces;
+pub mod video;
+
+pub use campus::{CampusConfig, CampusSource};
+pub use https_workload::HttpsWorkload;
+pub use video::{VideoConfig, VideoWorkload};
+
+use bytes::Bytes;
+
+/// A pre-materialized packet stream: implements
+/// [`retina_core::TrafficSource`] by handing out fixed-size batches.
+/// Cloneable so benches can replay the same traffic repeatedly.
+#[derive(Debug, Clone)]
+pub struct PreloadedSource {
+    packets: std::sync::Arc<Vec<(Bytes, u64)>>,
+    cursor: usize,
+    batch: usize,
+}
+
+impl PreloadedSource {
+    /// Wraps a packet vector.
+    pub fn new(packets: Vec<(Bytes, u64)>) -> Self {
+        PreloadedSource {
+            packets: std::sync::Arc::new(packets),
+            cursor: 0,
+            batch: 256,
+        }
+    }
+
+    /// Total packets in the stream.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns true when the stream holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total wire bytes in the stream.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|(f, _)| f.len() as u64).sum()
+    }
+
+    /// Restarts the stream from the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+impl retina_core::TrafficSource for PreloadedSource {
+    fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool {
+        if self.cursor >= self.packets.len() {
+            return false;
+        }
+        let end = (self.cursor + self.batch).min(self.packets.len());
+        out.extend(self.packets[self.cursor..end].iter().cloned());
+        self.cursor = end;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retina_core::TrafficSource;
+
+    #[test]
+    fn preloaded_source_batches() {
+        let packets: Vec<(Bytes, u64)> = (0..600u64)
+            .map(|i| (Bytes::from(vec![0u8; 60]), i))
+            .collect();
+        let mut src = PreloadedSource::new(packets);
+        assert_eq!(src.len(), 600);
+        assert_eq!(src.total_bytes(), 600 * 60);
+        let mut total = 0;
+        let mut out = Vec::new();
+        while src.next_batch(&mut out) {
+            total += out.len();
+            out.clear();
+        }
+        assert_eq!(total, 600);
+        src.rewind();
+        let mut out2 = Vec::new();
+        assert!(src.next_batch(&mut out2));
+    }
+}

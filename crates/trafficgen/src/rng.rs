@@ -1,0 +1,151 @@
+//! Deterministic random sampling helpers.
+//!
+//! Thin wrappers over a seeded [`SmallRng`] providing the distributions
+//! the generators need: exponential inter-arrivals, log-normal flow
+//! sizes, and Zipf-like categorical choice. Implemented inline (Box-
+//! Muller etc.) to stay within the project's dependency budget.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded sampler.
+pub struct Sampler {
+    rng: SmallRng,
+}
+
+impl Sampler {
+    /// Creates a sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        Sampler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo + 1 {
+            return lo;
+        }
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponential variate with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = self.uniform().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// Standard normal variate (Box-Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal variate parameterized by its *median* and the sigma of
+    /// the underlying normal (heavier tail with larger sigma).
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        (median.ln() + sigma * self.normal()).exp()
+    }
+
+    /// Chooses an index in `[0, n)` with Zipf(1)-like weights: index 0 is
+    /// most likely, tail probability ~ 1/(k+1).
+    pub fn zipf(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Normalizing constant H_n ≈ ln(n) + γ; use inverse-CDF sampling
+        // over the actual finite weights for exactness at small n.
+        let h: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        let mut target = self.uniform() * h;
+        for k in 1..=n {
+            target -= 1.0 / k as f64;
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Random 32-byte value (e.g. a TLS client random).
+    pub fn bytes32(&mut self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        self.rng.fill(&mut out);
+        out
+    }
+
+    /// Random u64.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = Sampler::new(7);
+        let mut b = Sampler::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        let mut c = Sampler::new(8);
+        assert_ne!(Sampler::new(7).u64(), c.u64());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut s = Sampler::new(1);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| s.exponential(5.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut s = Sampler::new(2);
+        let mut vals: Vec<f64> = (0..10_001).map(|_| s.lognormal(100.0, 1.5)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        assert!((median / 100.0 - 1.0).abs() < 0.15, "median {median}");
+        // Heavy tail: p99 well above the median.
+        assert!(vals[(vals.len() * 99) / 100] > 10.0 * median);
+    }
+
+    #[test]
+    fn zipf_skew() {
+        let mut s = Sampler::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[s.zipf(10)] += 1;
+        }
+        assert!(counts[0] > counts[4], "{counts:?}");
+        assert!(counts[0] > 2_500, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut s = Sampler::new(4);
+        assert!(!s.chance(0.0));
+        assert!(s.chance(1.0));
+    }
+
+    #[test]
+    fn range_degenerate() {
+        let mut s = Sampler::new(5);
+        assert_eq!(s.range(7, 7), 7);
+        assert_eq!(s.range(7, 8), 7);
+    }
+}

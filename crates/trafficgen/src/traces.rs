@@ -1,0 +1,89 @@
+//! Stratosphere-like offline traces for the Appendix B study (Figure 12).
+//!
+//! The paper measures compiled-vs-interpreted filter execution on four
+//! public "CTU-Normal" traces of benign traffic. Those captures are not
+//! redistributable here, so we synthesize four traces with *different
+//! protocol compositions* (the property that makes the speedup vary
+//! between traces in Figure 12): each trace has its own mix of TLS
+//! (including Netflix domains), HTTP, DNS, and scan noise.
+
+use bytes::Bytes;
+
+use crate::campus::{generate, CampusConfig};
+
+/// The four trace names used in Figure 12.
+pub const TRACE_NAMES: [&str; 4] = ["norm-7", "norm-12", "norm-20", "norm-30"];
+
+/// Generates one of the named traces (~`target_packets` packets).
+pub fn stratosphere_trace(name: &str, target_packets: usize) -> Vec<(Bytes, u64)> {
+    let config = match name {
+        // TLS-heavy home traffic.
+        "norm-7" => CampusConfig {
+            seed: 0x5707,
+            tls_frac: 0.75,
+            http_frac: 0.12,
+            ssh_frac: 0.01,
+            single_syn_frac: 0.25,
+            udp_frac: 0.20,
+            tcp_frac: 0.78,
+            ..CampusConfig::default()
+        },
+        // HTTP + DNS heavy.
+        "norm-12" => CampusConfig {
+            seed: 0x5712,
+            tls_frac: 0.35,
+            http_frac: 0.45,
+            ssh_frac: 0.02,
+            single_syn_frac: 0.30,
+            udp_frac: 0.35,
+            tcp_frac: 0.63,
+            ..CampusConfig::default()
+        },
+        // Balanced with heavy scan noise.
+        "norm-20" => CampusConfig {
+            seed: 0x5720,
+            tls_frac: 0.55,
+            http_frac: 0.25,
+            ssh_frac: 0.05,
+            single_syn_frac: 0.70,
+            ..CampusConfig::default()
+        },
+        // UDP/DNS dominated.
+        "norm-30" => CampusConfig {
+            seed: 0x5730,
+            tls_frac: 0.50,
+            http_frac: 0.20,
+            ssh_frac: 0.03,
+            udp_frac: 0.55,
+            tcp_frac: 0.43,
+            single_syn_frac: 0.40,
+            ..CampusConfig::default()
+        },
+        other => panic!("unknown trace '{other}'"),
+    };
+    generate(&CampusConfig {
+        target_packets,
+        duration_secs: 30.0,
+        ..config
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_differ_by_name() {
+        let a = stratosphere_trace("norm-7", 5_000);
+        let b = stratosphere_trace("norm-12", 5_000);
+        assert!(a.len() >= 5_000 && b.len() >= 5_000);
+        // Different seeds/mixes → different streams.
+        assert_ne!(a[0].0, b[0].0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown trace")]
+    fn unknown_trace_panics() {
+        let _ = stratosphere_trace("norm-99", 10);
+    }
+}

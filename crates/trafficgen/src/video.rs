@@ -1,0 +1,282 @@
+//! Streaming-video sessions (§7.3, Figure 9).
+//!
+//! A video session is a set of parallel HTTPS flows to a service's video
+//! CDN (Netflix's `*.nflxvideo.net`, YouTube's `*.googlevideo.com`)
+//! carrying segment downloads: large downstream byte counts, small
+//! upstream request traffic. Figure 9 plots the CDF of per-session bytes
+//! up/down for both services.
+//!
+//! Byte volumes are log-normal with service-specific medians. The
+//! default medians are scaled down ~10× from realistic absolute values
+//! to keep bench runtimes reasonable; the CDF *shapes* and the
+//! Netflix-vs-YouTube ordering are preserved (see EXPERIMENTS.md).
+
+use std::net::{Ipv4Addr, SocketAddr};
+
+use bytes::Bytes;
+
+use crate::flows::{tls_flow, TlsFlowSpec};
+use crate::rng::Sampler;
+use crate::PreloadedSource;
+
+/// The video service a session belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// Netflix (SNI `*.nflxvideo.net`).
+    Netflix,
+    /// YouTube (SNI `*.googlevideo.com`).
+    YouTube,
+}
+
+/// Video workload configuration.
+#[derive(Debug, Clone)]
+pub struct VideoConfig {
+    /// Number of Netflix sessions.
+    pub netflix_sessions: usize,
+    /// Number of YouTube sessions.
+    pub youtube_sessions: usize,
+    /// Median downstream bytes per Netflix session.
+    pub netflix_down_median: f64,
+    /// Median downstream bytes per YouTube session.
+    pub youtube_down_median: f64,
+    /// Sigma of the log-normal byte distributions.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulated arrival window (seconds).
+    pub duration_secs: f64,
+    /// Fraction of background (non-video) TLS flows mixed in.
+    pub background_flows: usize,
+}
+
+impl Default for VideoConfig {
+    fn default() -> Self {
+        VideoConfig {
+            netflix_sessions: 60,
+            youtube_sessions: 60,
+            netflix_down_median: 6_000_000.0,
+            youtube_down_median: 1_500_000.0,
+            sigma: 1.3,
+            seed: 0x51DE0,
+            duration_secs: 30.0,
+            background_flows: 120,
+        }
+    }
+}
+
+/// The generated workload plus per-session ground truth (for validating
+/// the feature-extraction pipeline).
+#[derive(Debug)]
+pub struct VideoWorkload {
+    /// Timestamp-sorted packets.
+    pub packets: Vec<(Bytes, u64)>,
+    /// Ground truth: (service, flows, bytes_up, bytes_down) per session.
+    pub sessions: Vec<SessionTruth>,
+}
+
+/// Ground-truth record for one generated session.
+#[derive(Debug, Clone)]
+pub struct SessionTruth {
+    /// Which service.
+    pub service: Service,
+    /// Number of parallel flows in the session.
+    pub flows: usize,
+    /// Application bytes upstream (approximate; excludes handshake).
+    pub bytes_up: u64,
+    /// Application bytes downstream.
+    pub bytes_down: u64,
+}
+
+impl VideoWorkload {
+    /// Generates the workload.
+    pub fn generate(config: &VideoConfig) -> Self {
+        let mut sampler = Sampler::new(config.seed);
+        let duration_ns = (config.duration_secs * 1e9) as u64;
+        let mut packets = Vec::new();
+        let mut sessions = Vec::new();
+
+        let emit_session = |service: Service,
+                            sampler: &mut Sampler,
+                            packets: &mut Vec<(Bytes, u64)>| {
+            let (median, sni_pool): (f64, &[&str]) = match service {
+                Service::Netflix => (
+                    config.netflix_down_median,
+                    &[
+                        "ipv4-c001-sjc001-ix.1.oca.nflxvideo.net",
+                        "ipv4-c002-lax009-ix.1.oca.nflxvideo.net",
+                        "ipv4-c014-sea001-ix.1.oca.nflxvideo.net",
+                    ],
+                ),
+                Service::YouTube => (
+                    config.youtube_down_median,
+                    &[
+                        "r3---sn-nx57yn7r.googlevideo.com",
+                        "r5---sn-a8au76.googlevideo.com",
+                        "r1---sn-q4fl6n6r.googlevideo.com",
+                    ],
+                ),
+            };
+            let total_down = sampler.lognormal(median, config.sigma) as u64;
+            let flows = 1 + sampler.zipf(4); // 1–4 parallel flows
+            let start = sampler.range(0, duration_ns);
+            let mut truth = SessionTruth {
+                service,
+                flows,
+                bytes_up: 0,
+                bytes_down: 0,
+            };
+            // One client address per session: its parallel flows differ in
+            // source port, like a real player opening several connections.
+            let client_ip = Ipv4Addr::new(
+                171,
+                66,
+                sampler.range(0, 250) as u8,
+                sampler.range(2, 250) as u8,
+            );
+            for f in 0..flows {
+                let down = (total_down / flows as u64).max(4096) as usize;
+                let up = (down / 40).max(256);
+                truth.bytes_down += down as u64;
+                truth.bytes_up += up as u64;
+                let client =
+                    SocketAddr::from((client_ip, 40_000 + sampler.range(0, 20_000) as u16));
+                let server = SocketAddr::from((
+                    match service {
+                        Service::Netflix => {
+                            Ipv4Addr::new(198, 38, 96 + (f as u8 % 8), sampler.range(1, 250) as u8)
+                        }
+                        Service::YouTube => Ipv4Addr::new(
+                            142,
+                            250,
+                            sampler.range(0, 250) as u8,
+                            sampler.range(1, 250) as u8,
+                        ),
+                    },
+                    443,
+                ));
+                let spec = TlsFlowSpec {
+                    client,
+                    server,
+                    sni: sni_pool[sampler.zipf(sni_pool.len())].to_string(),
+                    start_ts: start + sampler.range(0, 2_000_000_000),
+                    bytes_up: up,
+                    bytes_down: down,
+                    client_random: sampler.bytes32(),
+                    cipher: 0x1301,
+                    ooo: sampler.chance(0.06),
+                    graceful: true,
+                };
+                packets.extend(tls_flow(&spec, sampler));
+            }
+            truth
+        };
+
+        for _ in 0..config.netflix_sessions {
+            let t = emit_session(Service::Netflix, &mut sampler, &mut packets);
+            sessions.push(t);
+        }
+        for _ in 0..config.youtube_sessions {
+            let t = emit_session(Service::YouTube, &mut sampler, &mut packets);
+            sessions.push(t);
+        }
+        // Background TLS chatter the filter must discard.
+        for _ in 0..config.background_flows {
+            let spec = TlsFlowSpec {
+                client: SocketAddr::from((
+                    Ipv4Addr::new(
+                        171,
+                        65,
+                        sampler.range(0, 250) as u8,
+                        sampler.range(1, 250) as u8,
+                    ),
+                    40_000 + sampler.range(0, 20_000) as u16,
+                )),
+                server: SocketAddr::from((
+                    Ipv4Addr::new(
+                        13,
+                        107,
+                        sampler.range(0, 250) as u8,
+                        sampler.range(1, 250) as u8,
+                    ),
+                    443,
+                )),
+                sni: format!("app{}.example.com", sampler.range(0, 50)),
+                start_ts: sampler.range(0, duration_ns),
+                bytes_up: 2_000,
+                bytes_down: sampler.lognormal(40_000.0, 1.2) as usize,
+                client_random: sampler.bytes32(),
+                cipher: 0x1301,
+                ooo: false,
+                graceful: true,
+            };
+            packets.extend(tls_flow(&spec, &mut sampler));
+        }
+
+        packets.sort_by_key(|(_, ts)| *ts);
+        VideoWorkload { packets, sessions }
+    }
+
+    /// Wraps the packets as a traffic source.
+    pub fn source(&self) -> PreloadedSource {
+        PreloadedSource::new(self.packets.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_generated_with_truth() {
+        let wl = VideoWorkload::generate(&VideoConfig {
+            netflix_sessions: 5,
+            youtube_sessions: 5,
+            netflix_down_median: 100_000.0,
+            youtube_down_median: 30_000.0,
+            background_flows: 3,
+            duration_secs: 5.0,
+            // Low variance so the Netflix > YouTube ordering is
+            // deterministic even with 5 samples.
+            sigma: 0.3,
+            ..Default::default()
+        });
+        assert_eq!(wl.sessions.len(), 10);
+        assert!(wl.packets.len() > 100);
+        let nf: Vec<_> = wl
+            .sessions
+            .iter()
+            .filter(|s| s.service == Service::Netflix)
+            .collect();
+        let yt: Vec<_> = wl
+            .sessions
+            .iter()
+            .filter(|s| s.service == Service::YouTube)
+            .collect();
+        assert_eq!(nf.len(), 5);
+        assert_eq!(yt.len(), 5);
+        // Median ordering: netflix sessions carry more bytes down.
+        let nf_total: u64 = nf.iter().map(|s| s.bytes_down).sum();
+        let yt_total: u64 = yt.iter().map(|s| s.bytes_down).sum();
+        assert!(nf_total > yt_total);
+        // Down >> up.
+        for s in &wl.sessions {
+            assert!(s.bytes_down > s.bytes_up);
+        }
+    }
+
+    #[test]
+    fn frames_parse() {
+        let wl = VideoWorkload::generate(&VideoConfig {
+            netflix_sessions: 2,
+            youtube_sessions: 2,
+            netflix_down_median: 50_000.0,
+            youtube_down_median: 20_000.0,
+            background_flows: 1,
+            duration_secs: 2.0,
+            ..Default::default()
+        });
+        for (frame, _) in &wl.packets {
+            retina_wire::ParsedPacket::parse(frame).unwrap();
+        }
+    }
+}

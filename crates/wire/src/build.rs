@@ -1,0 +1,279 @@
+//! Packet builders.
+//!
+//! These are used by the synthetic traffic generator and throughout the test
+//! suites to construct valid Ethernet/IP/TCP/UDP frames, with correct length
+//! fields and checksums, from a declarative spec.
+
+use std::net::{IpAddr, SocketAddr};
+
+use crate::ethernet::{self, EtherType, MacAddr};
+use crate::ip::IpProtocol;
+use crate::ipv4::Ipv4Packet;
+use crate::ipv6::Ipv6Packet;
+use crate::tcp::{TcpFlags, TcpSegment};
+use crate::udp::UdpDatagram;
+
+/// Default source MAC used by built frames.
+pub const DEFAULT_SRC_MAC: MacAddr = MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, 0x01]);
+/// Default destination MAC used by built frames.
+pub const DEFAULT_DST_MAC: MacAddr = MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, 0x02]);
+
+/// Declarative description of a TCP packet.
+#[derive(Debug, Clone)]
+pub struct TcpSpec<'a> {
+    /// Source address and port.
+    pub src: SocketAddr,
+    /// Destination address and port.
+    pub dst: SocketAddr,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flag bits (see [`TcpFlags`]).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// IPv4 TTL / IPv6 hop limit.
+    pub ttl: u8,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Declarative description of a UDP packet.
+#[derive(Debug, Clone)]
+pub struct UdpSpec<'a> {
+    /// Source address and port.
+    pub src: SocketAddr,
+    /// Destination address and port.
+    pub dst: SocketAddr,
+    /// IPv4 TTL / IPv6 hop limit.
+    pub ttl: u8,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+fn ethernet_header(ethertype: EtherType) -> Vec<u8> {
+    let mut frame = vec![0u8; ethernet::HEADER_LEN];
+    frame[0..6].copy_from_slice(&DEFAULT_DST_MAC.0);
+    frame[6..12].copy_from_slice(&DEFAULT_SRC_MAC.0);
+    let raw: u16 = ethertype.into();
+    frame[12..14].copy_from_slice(&raw.to_be_bytes());
+    frame
+}
+
+/// Builds a full Ethernet frame carrying a TCP segment.
+///
+/// Panics if `src` and `dst` are not the same IP family (a programming
+/// error in the caller, not a data-dependent condition).
+pub fn build_tcp(spec: &TcpSpec<'_>) -> Vec<u8> {
+    let l4_len = crate::tcp::MIN_HEADER_LEN + spec.payload.len();
+    match (spec.src.ip(), spec.dst.ip()) {
+        (IpAddr::V4(src), IpAddr::V4(dst)) => {
+            let mut frame = ethernet_header(EtherType::Ipv4);
+            let l3 = frame.len();
+            frame.resize(l3 + 20 + l4_len, 0);
+            frame[l3] = 0x45;
+            frame[l3 + 2..l3 + 4].copy_from_slice(&((20 + l4_len) as u16).to_be_bytes());
+            {
+                let mut ip = Ipv4Packet::new_checked(&mut frame[l3..]).unwrap();
+                ip.set_ttl(spec.ttl);
+                ip.set_protocol(IpProtocol::Tcp);
+                ip.set_src(src);
+                ip.set_dst(dst);
+                ip.fill_checksum();
+            }
+            fill_tcp(&mut frame[l3 + 20..], spec);
+            frame
+        }
+        (IpAddr::V6(src), IpAddr::V6(dst)) => {
+            let mut frame = ethernet_header(EtherType::Ipv6);
+            let l3 = frame.len();
+            frame.resize(l3 + 40 + l4_len, 0);
+            frame[l3] = 0x60;
+            {
+                let mut ip = Ipv6Packet::new_checked(&mut frame[l3..]).unwrap();
+                ip.set_payload_len(l4_len as u16);
+                ip.set_next_header(IpProtocol::Tcp);
+                ip.set_hop_limit(spec.ttl);
+                ip.set_src(src);
+                ip.set_dst(dst);
+            }
+            fill_tcp(&mut frame[l3 + 40..], spec);
+            frame
+        }
+        _ => panic!("mixed address families in TcpSpec"),
+    }
+}
+
+fn fill_tcp(buf: &mut [u8], spec: &TcpSpec<'_>) {
+    buf[12] = 0x50; // data offset 5
+    let payload_start = crate::tcp::MIN_HEADER_LEN;
+    buf[payload_start..].copy_from_slice(spec.payload);
+    let mut tcp = TcpSegment::new_checked(buf).unwrap();
+    tcp.set_src_port(spec.src.port());
+    tcp.set_dst_port(spec.dst.port());
+    tcp.set_seq(spec.seq);
+    tcp.set_ack(spec.ack);
+    tcp.set_flags(TcpFlags(spec.flags));
+    tcp.set_window(spec.window);
+    tcp.fill_checksum(&spec.src.ip(), &spec.dst.ip());
+}
+
+/// Builds a full Ethernet frame carrying a UDP datagram.
+///
+/// Panics if `src` and `dst` are not the same IP family.
+pub fn build_udp(spec: &UdpSpec<'_>) -> Vec<u8> {
+    let l4_len = crate::udp::HEADER_LEN + spec.payload.len();
+    match (spec.src.ip(), spec.dst.ip()) {
+        (IpAddr::V4(src), IpAddr::V4(dst)) => {
+            let mut frame = ethernet_header(EtherType::Ipv4);
+            let l3 = frame.len();
+            frame.resize(l3 + 20 + l4_len, 0);
+            frame[l3] = 0x45;
+            frame[l3 + 2..l3 + 4].copy_from_slice(&((20 + l4_len) as u16).to_be_bytes());
+            {
+                let mut ip = Ipv4Packet::new_checked(&mut frame[l3..]).unwrap();
+                ip.set_ttl(spec.ttl);
+                ip.set_protocol(IpProtocol::Udp);
+                ip.set_src(src);
+                ip.set_dst(dst);
+                ip.fill_checksum();
+            }
+            fill_udp(&mut frame[l3 + 20..], spec, l4_len);
+            frame
+        }
+        (IpAddr::V6(src), IpAddr::V6(dst)) => {
+            let mut frame = ethernet_header(EtherType::Ipv6);
+            let l3 = frame.len();
+            frame.resize(l3 + 40 + l4_len, 0);
+            frame[l3] = 0x60;
+            {
+                let mut ip = Ipv6Packet::new_checked(&mut frame[l3..]).unwrap();
+                ip.set_payload_len(l4_len as u16);
+                ip.set_next_header(IpProtocol::Udp);
+                ip.set_hop_limit(spec.ttl);
+                ip.set_src(src);
+                ip.set_dst(dst);
+            }
+            fill_udp(&mut frame[l3 + 40..], spec, l4_len);
+            frame
+        }
+        _ => panic!("mixed address families in UdpSpec"),
+    }
+}
+
+fn fill_udp(buf: &mut [u8], spec: &UdpSpec<'_>, l4_len: usize) {
+    buf[4..6].copy_from_slice(&(l4_len as u16).to_be_bytes());
+    buf[crate::udp::HEADER_LEN..].copy_from_slice(spec.payload);
+    let mut udp = UdpDatagram::new_checked(buf).unwrap();
+    udp.set_src_port(spec.src.port());
+    udp.set_dst_port(spec.dst.port());
+    udp.fill_checksum(&spec.src.ip(), &spec.dst.ip());
+}
+
+/// Builds an ICMPv4 echo-request frame (used by the traffic generator's
+/// background-noise mix).
+pub fn build_icmpv4_echo(
+    src: std::net::Ipv4Addr,
+    dst: std::net::Ipv4Addr,
+    id: u16,
+    seq: u16,
+) -> Vec<u8> {
+    let body_len = 8 + 48; // header + classic 48-byte ping payload
+    let mut frame = ethernet_header(EtherType::Ipv4);
+    let l3 = frame.len();
+    frame.resize(l3 + 20 + body_len, 0);
+    frame[l3] = 0x45;
+    frame[l3 + 2..l3 + 4].copy_from_slice(&((20 + body_len) as u16).to_be_bytes());
+    {
+        let mut ip = Ipv4Packet::new_checked(&mut frame[l3..]).unwrap();
+        ip.set_ttl(64);
+        ip.set_protocol(IpProtocol::Icmp);
+        ip.set_src(src);
+        ip.set_dst(dst);
+        ip.fill_checksum();
+    }
+    let icmp_buf = &mut frame[l3 + 20..];
+    icmp_buf[4..6].copy_from_slice(&id.to_be_bytes());
+    icmp_buf[6..8].copy_from_slice(&seq.to_be_bytes());
+    let mut msg = crate::icmp::Icmpv4Message::new_checked(icmp_buf).unwrap();
+    msg.set_type_code(8, 0);
+    msg.fill_checksum();
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ParsedPacket;
+
+    #[test]
+    fn built_tcp_v4_is_valid() {
+        let frame = build_tcp(&TcpSpec {
+            src: "192.0.2.1:5000".parse().unwrap(),
+            dst: "192.0.2.2:443".parse().unwrap(),
+            seq: 42,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            ttl: 64,
+            payload: b"",
+        });
+        let ip = Ipv4Packet::new_checked(&frame[14..]).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(&frame_src(&frame), &frame_dst(&frame)));
+        assert!(ParsedPacket::parse(&frame).is_ok());
+    }
+
+    #[test]
+    fn built_udp_v6_is_valid() {
+        let frame = build_udp(&UdpSpec {
+            src: "[2001:db8::1]:53".parse().unwrap(),
+            dst: "[2001:db8::99]:5000".parse().unwrap(),
+            ttl: 64,
+            payload: b"response",
+        });
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        assert_eq!(pkt.src_port, 53);
+        assert_eq!(pkt.payload(&frame), b"response");
+        let ip = Ipv6Packet::new_checked(&frame[14..]).unwrap();
+        let udp = UdpDatagram::new_checked(ip.upper_layer_payload().unwrap()).unwrap();
+        assert!(udp.verify_checksum(&pkt.src_ip, &pkt.dst_ip));
+    }
+
+    #[test]
+    fn built_icmp_echo_is_valid() {
+        let frame = build_icmpv4_echo(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            0xbeef,
+            3,
+        );
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        assert_eq!(pkt.protocol, IpProtocol::Icmp);
+        let ip = Ipv4Packet::new_checked(&frame[14..]).unwrap();
+        let msg = crate::icmp::Icmpv4Message::new_checked(ip.payload()).unwrap();
+        assert!(msg.verify_checksum());
+        assert_eq!(msg.echo_id(), Some(0xbeef));
+    }
+
+    fn frame_src(frame: &[u8]) -> IpAddr {
+        ParsedPacket::parse(frame).unwrap().src_ip
+    }
+
+    fn frame_dst(frame: &[u8]) -> IpAddr {
+        ParsedPacket::parse(frame).unwrap().dst_ip
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed address families")]
+    fn mixed_families_panic() {
+        let _ = build_udp(&UdpSpec {
+            src: "10.0.0.1:1".parse().unwrap(),
+            dst: "[::1]:2".parse().unwrap(),
+            ttl: 1,
+            payload: b"",
+        });
+    }
+}

@@ -1,0 +1,51 @@
+use core::fmt;
+
+/// Errors produced while parsing or emitting wire-format data.
+///
+/// Parsing in this crate is total: any byte buffer either yields a valid
+/// view or one of these errors. No parser panics on untrusted input, which
+/// is a core security requirement of the framework (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is too short to contain the fixed header of the protocol.
+    Truncated {
+        /// Minimum number of bytes required.
+        needed: usize,
+        /// Number of bytes actually available.
+        got: usize,
+    },
+    /// The buffer is long enough but a field has an invalid value
+    /// (e.g. an IPv4 IHL below 5, or a version nibble mismatch).
+    Malformed(&'static str),
+    /// The payload uses a protocol this crate does not parse.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated: need {needed} bytes, have {got}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed {what}"),
+            WireError::Unsupported(what) => write!(f, "unsupported {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias for results of wire-format operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Checks that `buf` holds at least `needed` bytes.
+pub(crate) fn check_len(buf: &[u8], needed: usize) -> WireResult<()> {
+    if buf.len() < needed {
+        Err(WireError::Truncated {
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,311 @@
+//! Ethernet II frames and 802.1Q VLAN tags.
+
+use core::fmt;
+
+use crate::error::check_len;
+use crate::{WireError, WireResult};
+
+/// Length of an Ethernet II header (dst + src + ethertype).
+pub const HEADER_LEN: usize = 14;
+/// Length of an 802.1Q VLAN tag.
+pub const VLAN_LEN: usize = 4;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Returns true if this is a group (multicast/broadcast) address.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// EtherType values relevant to the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// 802.1Q VLAN tag (0x8100).
+    Vlan,
+    /// IPv6 (0x86dd).
+    Ipv6,
+    /// Anything else.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(value: u16) -> Self {
+        match value {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> Self {
+        match value {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+/// Zero-copy view of an Ethernet II frame.
+///
+/// ```
+/// use retina_wire::{EthernetFrame, EtherType};
+/// let mut buf = vec![0u8; 64];
+/// buf[12] = 0x08; buf[13] = 0x00; // IPv4
+/// let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+/// assert_eq!(frame.ethertype(), EtherType::Ipv4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer, validating that it can hold an Ethernet header.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        check_len(buffer.as_ref(), HEADER_LEN)?;
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr(b[0..6].try_into().unwrap())
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr(b[6..12].try_into().unwrap())
+    }
+
+    /// EtherType of the outermost tag (may be [`EtherType::Vlan`]).
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([b[12], b[13]]))
+    }
+
+    /// Parses the (possibly stacked) VLAN tags following the header and
+    /// returns the ultimate payload EtherType together with the payload
+    /// offset from the start of the frame.
+    pub fn payload_ethertype(&self) -> WireResult<(EtherType, usize)> {
+        let b = self.buffer.as_ref();
+        let mut offset = HEADER_LEN;
+        let mut ethertype = self.ethertype();
+        // At most two stacked tags (QinQ) are accepted; deeper stacks are
+        // treated as malformed to bound parsing work on adversarial input.
+        for _ in 0..2 {
+            if ethertype != EtherType::Vlan {
+                return Ok((ethertype, offset));
+            }
+            check_len(b, offset + VLAN_LEN)?;
+            ethertype = EtherType::from(u16::from_be_bytes([b[offset + 2], b[offset + 3]]));
+            offset += VLAN_LEN;
+        }
+        if ethertype == EtherType::Vlan {
+            return Err(WireError::Malformed("vlan stack deeper than 2"));
+        }
+        Ok((ethertype, offset))
+    }
+
+    /// First VLAN tag, if present.
+    pub fn vlan(&self) -> WireResult<Option<VlanTag>> {
+        if self.ethertype() != EtherType::Vlan {
+            return Ok(None);
+        }
+        let b = self.buffer.as_ref();
+        check_len(b, HEADER_LEN + VLAN_LEN)?;
+        let tci = u16::from_be_bytes([b[HEADER_LEN], b[HEADER_LEN + 1]]);
+        Ok(Some(VlanTag { tci }))
+    }
+
+    /// Payload bytes (after the header and any VLAN tags).
+    pub fn payload(&self) -> WireResult<&[u8]> {
+        let (_, offset) = self.payload_ethertype()?;
+        Ok(&self.buffer.as_ref()[offset..])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        let raw: u16 = ethertype.into();
+        self.buffer.as_mut()[12..14].copy_from_slice(&raw.to_be_bytes());
+    }
+}
+
+/// A parsed 802.1Q tag control word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanTag {
+    tci: u16,
+}
+
+impl VlanTag {
+    /// VLAN identifier (12 bits).
+    pub fn vid(&self) -> u16 {
+        self.tci & 0x0fff
+    }
+
+    /// Priority code point (3 bits).
+    pub fn pcp(&self) -> u8 {
+        (self.tci >> 13) as u8
+    }
+
+    /// Drop eligible indicator.
+    pub fn dei(&self) -> bool {
+        self.tci & 0x1000 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(ethertype: u16) -> Vec<u8> {
+        let mut buf = vec![0u8; 60];
+        buf[0..6].copy_from_slice(&[0xaa; 6]);
+        buf[6..12].copy_from_slice(&[0xbb; 6]);
+        buf[12..14].copy_from_slice(&ethertype.to_be_bytes());
+        buf
+    }
+
+    #[test]
+    fn parse_plain_frame() {
+        let buf = frame_bytes(0x0800);
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.dst(), MacAddr([0xaa; 6]));
+        assert_eq!(frame.src(), MacAddr([0xbb; 6]));
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        let (et, off) = frame.payload_ethertype().unwrap();
+        assert_eq!(et, EtherType::Ipv4);
+        assert_eq!(off, HEADER_LEN);
+        assert!(frame.vlan().unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_vlan_frame() {
+        let mut buf = frame_bytes(0x8100);
+        // TCI: pcp=5, dei=0, vid=100.
+        buf[14..16].copy_from_slice(&0xa064u16.to_be_bytes());
+        buf[16..18].copy_from_slice(&0x86ddu16.to_be_bytes());
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        let tag = frame.vlan().unwrap().unwrap();
+        assert_eq!(tag.vid(), 100);
+        assert_eq!(tag.pcp(), 5);
+        assert!(!tag.dei());
+        let (et, off) = frame.payload_ethertype().unwrap();
+        assert_eq!(et, EtherType::Ipv6);
+        assert_eq!(off, HEADER_LEN + VLAN_LEN);
+    }
+
+    #[test]
+    fn parse_qinq_frame() {
+        let mut buf = frame_bytes(0x8100);
+        buf[14..16].copy_from_slice(&1u16.to_be_bytes());
+        buf[16..18].copy_from_slice(&0x8100u16.to_be_bytes());
+        buf[18..20].copy_from_slice(&2u16.to_be_bytes());
+        buf[20..22].copy_from_slice(&0x0800u16.to_be_bytes());
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        let (et, off) = frame.payload_ethertype().unwrap();
+        assert_eq!(et, EtherType::Ipv4);
+        assert_eq!(off, HEADER_LEN + 2 * VLAN_LEN);
+    }
+
+    #[test]
+    fn reject_deep_vlan_stack() {
+        let mut buf = frame_bytes(0x8100);
+        buf[16..18].copy_from_slice(&0x8100u16.to_be_bytes());
+        buf[20..22].copy_from_slice(&0x8100u16.to_be_bytes());
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert!(frame.payload_ethertype().is_err());
+    }
+
+    #[test]
+    fn reject_short_buffer() {
+        let buf = [0u8; 13];
+        assert_eq!(
+            EthernetFrame::new_checked(&buf[..]).unwrap_err(),
+            WireError::Truncated {
+                needed: 14,
+                got: 13
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_vlan_tag() {
+        let buf = &frame_bytes(0x8100)[..15];
+        let frame = EthernetFrame::new_checked(buf).unwrap();
+        assert!(frame.payload_ethertype().is_err());
+    }
+
+    #[test]
+    fn setters_roundtrip() {
+        let mut buf = frame_bytes(0);
+        let mut frame = EthernetFrame::new_checked(&mut buf[..]).unwrap();
+        frame.set_dst(MacAddr([1, 2, 3, 4, 5, 6]));
+        frame.set_src(MacAddr([7, 8, 9, 10, 11, 12]));
+        frame.set_ethertype(EtherType::Ipv6);
+        assert_eq!(frame.dst(), MacAddr([1, 2, 3, 4, 5, 6]));
+        assert_eq!(frame.src(), MacAddr([7, 8, 9, 10, 11, 12]));
+        assert_eq!(frame.ethertype(), EtherType::Ipv6);
+    }
+
+    #[test]
+    fn multicast_detection() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!MacAddr([0xaa, 0, 0, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! ICMPv4 (RFC 792) and ICMPv6 (RFC 4443) message views.
+
+use crate::checksum::{self, Checksum};
+use crate::error::check_len;
+use crate::ip::IpAddr;
+use crate::WireResult;
+
+/// Common ICMP header length (type, code, checksum).
+pub const HEADER_LEN: usize = 4;
+
+/// Zero-copy view of an ICMPv4 message.
+#[derive(Debug, Clone)]
+pub struct Icmpv4Message<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Icmpv4Message<T> {
+    /// Wraps a buffer, validating the minimum header.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        check_len(buffer.as_ref(), HEADER_LEN)?;
+        Ok(Self { buffer })
+    }
+
+    /// Message type (8 = echo request, 0 = echo reply, 3 = unreachable, …).
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[0]
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Returns true for echo request/reply.
+    pub fn is_echo(&self) -> bool {
+        matches!(self.msg_type(), 0 | 8)
+    }
+
+    /// Echo identifier (valid for echo messages).
+    pub fn echo_id(&self) -> Option<u16> {
+        let b = self.buffer.as_ref();
+        (self.is_echo() && b.len() >= 8).then(|| u16::from_be_bytes([b[4], b[5]]))
+    }
+
+    /// Echo sequence number (valid for echo messages).
+    pub fn echo_seq(&self) -> Option<u16> {
+        let b = self.buffer.as_ref();
+        (self.is_echo() && b.len() >= 8).then(|| u16::from_be_bytes([b[6], b[7]]))
+    }
+
+    /// Verifies the message checksum (plain RFC 1071 over the message).
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+
+    /// Message body after the 4-byte header.
+    pub fn body(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Icmpv4Message<T> {
+    /// Sets the type and code.
+    pub fn set_type_code(&mut self, ty: u8, code: u8) {
+        let b = self.buffer.as_mut();
+        b[0] = ty;
+        b[1] = code;
+    }
+
+    /// Recomputes and stores the checksum.
+    pub fn fill_checksum(&mut self) {
+        let buf = self.buffer.as_mut();
+        buf[2] = 0;
+        buf[3] = 0;
+        let ck = checksum::checksum(buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+/// Zero-copy view of an ICMPv6 message.
+#[derive(Debug, Clone)]
+pub struct Icmpv6Message<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Icmpv6Message<T> {
+    /// Wraps a buffer, validating the minimum header.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        check_len(buffer.as_ref(), HEADER_LEN)?;
+        Ok(Self { buffer })
+    }
+
+    /// Message type (128 = echo request, 129 = echo reply, 135/136 = ND…).
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[0]
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Verifies the checksum, which for ICMPv6 includes the pseudo-header.
+    pub fn verify_checksum(&self, src: &IpAddr, dst: &IpAddr) -> bool {
+        let buf = self.buffer.as_ref();
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src, dst, 58, buf.len() as u32);
+        c.add_bytes(buf);
+        c.finish() == 0
+    }
+
+    /// Message body after the 4-byte header.
+    pub fn body(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Icmpv6Message<T> {
+    /// Sets the type and code.
+    pub fn set_type_code(&mut self, ty: u8, code: u8) {
+        let b = self.buffer.as_mut();
+        b[0] = ty;
+        b[1] = code;
+    }
+
+    /// Recomputes and stores the checksum given the pseudo-header.
+    pub fn fill_checksum(&mut self, src: &IpAddr, dst: &IpAddr) {
+        let len = self.buffer.as_ref().len() as u32;
+        let buf = self.buffer.as_mut();
+        buf[2] = 0;
+        buf[3] = 0;
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src, dst, 58, len);
+        c.add_bytes(buf);
+        let ck = c.finish();
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::IpAddr;
+
+    #[test]
+    fn icmpv4_echo_roundtrip() {
+        let mut buf = [0u8; 16];
+        buf[4..6].copy_from_slice(&0xbeefu16.to_be_bytes());
+        buf[6..8].copy_from_slice(&7u16.to_be_bytes());
+        {
+            let mut msg = Icmpv4Message::new_checked(&mut buf[..]).unwrap();
+            msg.set_type_code(8, 0);
+            msg.fill_checksum();
+        }
+        let msg = Icmpv4Message::new_checked(&buf[..]).unwrap();
+        assert_eq!(msg.msg_type(), 8);
+        assert!(msg.is_echo());
+        assert_eq!(msg.echo_id(), Some(0xbeef));
+        assert_eq!(msg.echo_seq(), Some(7));
+        assert!(msg.verify_checksum());
+    }
+
+    #[test]
+    fn icmpv4_non_echo_has_no_echo_fields() {
+        let mut buf = [0u8; 8];
+        let mut msg = Icmpv4Message::new_checked(&mut buf[..]).unwrap();
+        msg.set_type_code(3, 1);
+        let msg = Icmpv4Message::new_checked(&buf[..]).unwrap();
+        assert!(!msg.is_echo());
+        assert_eq!(msg.echo_id(), None);
+    }
+
+    #[test]
+    fn icmpv6_checksum_roundtrip() {
+        let src = IpAddr::V6("fe80::1".parse().unwrap());
+        let dst = IpAddr::V6("fe80::2".parse().unwrap());
+        let mut buf = [0u8; 12];
+        {
+            let mut msg = Icmpv6Message::new_checked(&mut buf[..]).unwrap();
+            msg.set_type_code(128, 0);
+            msg.fill_checksum(&src, &dst);
+        }
+        let msg = Icmpv6Message::new_checked(&buf[..]).unwrap();
+        assert_eq!(msg.msg_type(), 128);
+        assert!(msg.verify_checksum(&src, &dst));
+        let other = IpAddr::V6("fe80::9".parse().unwrap());
+        assert!(!msg.verify_checksum(&src, &other));
+    }
+
+    #[test]
+    fn reject_short() {
+        assert!(Icmpv4Message::new_checked(&[0u8; 3][..]).is_err());
+        assert!(Icmpv6Message::new_checked(&[0u8; 2][..]).is_err());
+    }
+}

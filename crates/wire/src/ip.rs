@@ -1,0 +1,101 @@
+//! IP-layer shared types: addresses and protocol numbers.
+
+pub use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// IANA-assigned IP protocol numbers that this crate understands, plus a
+/// catch-all for everything else.
+///
+/// Conversions to/from the raw `u8` are lossless so unknown protocols can
+/// still be carried through the pipeline and filtered on numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// IPv6 Hop-by-Hop options extension header (0).
+    HopByHop,
+    /// ICMPv4 (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// IPv6 Routing extension header (43).
+    Ipv6Route,
+    /// IPv6 Fragment extension header (44).
+    Ipv6Frag,
+    /// ICMPv6 (58).
+    Icmpv6,
+    /// IPv6 No Next Header (59).
+    Ipv6NoNxt,
+    /// IPv6 Destination Options extension header (60).
+    Ipv6Opts,
+    /// Any other protocol number.
+    Unknown(u8),
+}
+
+impl IpProtocol {
+    /// Returns true for the IPv6 extension headers that encapsulate a
+    /// further header ("chained" headers).
+    pub fn is_ipv6_extension(self) -> bool {
+        matches!(
+            self,
+            IpProtocol::HopByHop
+                | IpProtocol::Ipv6Route
+                | IpProtocol::Ipv6Frag
+                | IpProtocol::Ipv6Opts
+        )
+    }
+}
+
+impl From<u8> for IpProtocol {
+    fn from(value: u8) -> Self {
+        match value {
+            0 => IpProtocol::HopByHop,
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            43 => IpProtocol::Ipv6Route,
+            44 => IpProtocol::Ipv6Frag,
+            58 => IpProtocol::Icmpv6,
+            59 => IpProtocol::Ipv6NoNxt,
+            60 => IpProtocol::Ipv6Opts,
+            other => IpProtocol::Unknown(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(value: IpProtocol) -> Self {
+        match value {
+            IpProtocol::HopByHop => 0,
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Ipv6Route => 43,
+            IpProtocol::Ipv6Frag => 44,
+            IpProtocol::Icmpv6 => 58,
+            IpProtocol::Ipv6NoNxt => 59,
+            IpProtocol::Ipv6Opts => 60,
+            IpProtocol::Unknown(other) => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_roundtrip() {
+        for raw in 0u8..=255 {
+            let proto = IpProtocol::from(raw);
+            assert_eq!(u8::from(proto), raw);
+        }
+    }
+
+    #[test]
+    fn extension_headers() {
+        assert!(IpProtocol::HopByHop.is_ipv6_extension());
+        assert!(IpProtocol::Ipv6Frag.is_ipv6_extension());
+        assert!(!IpProtocol::Tcp.is_ipv6_extension());
+        assert!(!IpProtocol::Ipv6NoNxt.is_ipv6_extension());
+    }
+}

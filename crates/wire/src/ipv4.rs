@@ -1,0 +1,316 @@
+//! IPv4 packet view (RFC 791).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::check_len;
+use crate::ip::IpProtocol;
+use crate::{WireError, WireResult};
+
+/// Minimum IPv4 header length (IHL = 5).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// Zero-copy view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps a buffer, validating version, header length, and that the
+    /// buffer can hold the full header.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        let buf = buffer.as_ref();
+        check_len(buf, MIN_HEADER_LEN)?;
+        if buf[0] >> 4 != 4 {
+            return Err(WireError::Malformed("ipv4 version"));
+        }
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if ihl < MIN_HEADER_LEN {
+            return Err(WireError::Malformed("ipv4 ihl"));
+        }
+        check_len(buf, ihl)?;
+        // total_length must cover at least the header; if it is shorter than
+        // the buffer we trust total_length (Ethernet pads short frames).
+        let total = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total < ihl {
+            return Err(WireError::Malformed("ipv4 total length"));
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0f) * 4
+    }
+
+    /// Differentiated services code point.
+    pub fn dscp(&self) -> u8 {
+        self.buffer.as_ref()[1] >> 2
+    }
+
+    /// Explicit congestion notification bits.
+    pub fn ecn(&self) -> u8 {
+        self.buffer.as_ref()[1] & 0x03
+    }
+
+    /// Total packet length from the header (header + payload).
+    pub fn total_len(&self) -> usize {
+        let b = self.buffer.as_ref();
+        usize::from(u16::from_be_bytes([b[2], b[3]]))
+    }
+
+    /// Identification field.
+    pub fn identification(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Don't Fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x40 != 0
+    }
+
+    /// More Fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn frag_offset(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6] & 0x1f, b[7]])
+    }
+
+    /// Returns true if this packet is a fragment (non-first or non-last).
+    pub fn is_fragment(&self) -> bool {
+        self.more_frags() || self.frag_offset() != 0
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Encapsulated protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Verifies the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.buffer.as_ref()[..self.header_len()])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// Raw options bytes (empty when IHL = 5).
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[MIN_HEADER_LEN..self.header_len()]
+    }
+
+    /// Payload bytes. The length is bounded by `total_len` so Ethernet
+    /// padding is not misattributed to the L4 payload.
+    pub fn payload(&self) -> &[u8] {
+        let b = self.buffer.as_ref();
+        let start = self.header_len();
+        let end = self.total_len().min(b.len());
+        &b[start..end.max(start)]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Initializes version and IHL for a fresh header with no options.
+    pub fn set_version_ihl(&mut self) {
+        self.buffer.as_mut()[0] = 0x45;
+    }
+
+    /// Sets the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the identification field.
+    pub fn set_identification(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Sets the encapsulated protocol.
+    pub fn set_protocol(&mut self, proto: IpProtocol) {
+        self.buffer.as_mut()[9] = proto.into();
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, addr: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&addr.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, addr: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&addr.octets());
+    }
+
+    /// Recomputes and stores the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let header_len = self.header_len();
+        let buf = self.buffer.as_mut();
+        buf[10] = 0;
+        buf[11] = 0;
+        let ck = checksum::checksum(&buf[..header_len]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> Vec<u8> {
+        let mut buf = vec![0u8; 40];
+        {
+            let mut pkt = Ipv4Packet::new_unchecked_for_tests(&mut buf);
+            pkt.set_version_ihl();
+            pkt.set_total_len(40);
+            pkt.set_identification(0x1234);
+            pkt.set_ttl(64);
+            pkt.set_protocol(IpProtocol::Tcp);
+            pkt.set_src(Ipv4Addr::new(10, 1, 2, 3));
+            pkt.set_dst(Ipv4Addr::new(192, 168, 0, 1));
+            pkt.fill_checksum();
+        }
+        buf
+    }
+
+    impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+        fn new_unchecked_for_tests(mut buffer: T) -> Self {
+            buffer.as_mut()[0] = 0x45;
+            Self { buffer }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let buf = sample_packet();
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.header_len(), 20);
+        assert_eq!(pkt.total_len(), 40);
+        assert_eq!(pkt.identification(), 0x1234);
+        assert_eq!(pkt.ttl(), 64);
+        assert_eq!(pkt.protocol(), IpProtocol::Tcp);
+        assert_eq!(pkt.src(), Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(pkt.dst(), Ipv4Addr::new(192, 168, 0, 1));
+        assert!(pkt.verify_checksum());
+        assert_eq!(pkt.payload().len(), 20);
+        assert!(!pkt.is_fragment());
+        assert!(pkt.options().is_empty());
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = sample_packet();
+        buf[8] = 32; // change TTL without updating checksum
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!pkt.verify_checksum());
+    }
+
+    #[test]
+    fn reject_wrong_version() {
+        let mut buf = sample_packet();
+        buf[0] = 0x65;
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(WireError::Malformed("ipv4 version"))
+        ));
+    }
+
+    #[test]
+    fn reject_bad_ihl() {
+        let mut buf = sample_packet();
+        buf[0] = 0x44; // IHL 4 -> 16 bytes, below minimum
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(WireError::Malformed("ipv4 ihl"))
+        ));
+    }
+
+    #[test]
+    fn reject_total_len_below_header() {
+        let mut buf = sample_packet();
+        buf[2] = 0;
+        buf[3] = 10;
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn reject_truncated() {
+        let buf = sample_packet();
+        assert!(Ipv4Packet::new_checked(&buf[..19]).is_err());
+    }
+
+    #[test]
+    fn payload_respects_total_len_with_padding() {
+        // 60-byte buffer (Ethernet-padded) but total_len = 24.
+        let mut buf = sample_packet();
+        buf.resize(60, 0);
+        buf[2] = 0;
+        buf[3] = 24;
+        // Checksum invalid now, but parseable.
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.payload().len(), 4);
+    }
+
+    #[test]
+    fn fragment_flags() {
+        let mut buf = sample_packet();
+        buf[6] = 0x20; // MF set
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.more_frags() && pkt.is_fragment());
+        buf[6] = 0x00;
+        buf[7] = 0x08; // offset 8 (64 bytes)
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.frag_offset(), 8);
+        assert!(pkt.is_fragment());
+        buf[6] = 0x40;
+        buf[7] = 0;
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.dont_frag() && !pkt.is_fragment());
+    }
+
+    #[test]
+    fn options_parsed_with_larger_ihl() {
+        let mut buf = [0u8; 32];
+        buf[0] = 0x46; // IHL 6 -> 24 bytes
+        buf[2] = 0;
+        buf[3] = 32;
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.header_len(), 24);
+        assert_eq!(pkt.options().len(), 4);
+        assert_eq!(pkt.payload().len(), 8);
+    }
+}

@@ -1,0 +1,277 @@
+//! IPv6 packet view (RFC 8200), including extension-header traversal.
+
+use std::net::Ipv6Addr;
+
+use crate::error::check_len;
+use crate::ip::IpProtocol;
+use crate::{WireError, WireResult};
+
+/// Fixed IPv6 header length.
+pub const HEADER_LEN: usize = 40;
+
+/// Maximum number of chained extension headers walked before the packet is
+/// declared malformed. Bounds parsing work on adversarial input.
+const MAX_EXT_HEADERS: usize = 8;
+
+/// Zero-copy view of an IPv6 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wraps a buffer, validating the version nibble and fixed header size.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        let buf = buffer.as_ref();
+        check_len(buf, HEADER_LEN)?;
+        if buf[0] >> 4 != 6 {
+            return Err(WireError::Malformed("ipv6 version"));
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Traffic class.
+    pub fn traffic_class(&self) -> u8 {
+        let b = self.buffer.as_ref();
+        (b[0] << 4) | (b[1] >> 4)
+    }
+
+    /// Flow label (20 bits).
+    pub fn flow_label(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        (u32::from(b[1] & 0x0f) << 16) | (u32::from(b[2]) << 8) | u32::from(b[3])
+    }
+
+    /// Payload length field (everything after the fixed header).
+    pub fn payload_len(&self) -> usize {
+        let b = self.buffer.as_ref();
+        usize::from(u16::from_be_bytes([b[4], b[5]]))
+    }
+
+    /// Next Header field of the fixed header.
+    pub fn next_header(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[6])
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv6Addr {
+        let b: [u8; 16] = self.buffer.as_ref()[8..24].try_into().unwrap();
+        Ipv6Addr::from(b)
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv6Addr {
+        let b: [u8; 16] = self.buffer.as_ref()[24..40].try_into().unwrap();
+        Ipv6Addr::from(b)
+    }
+
+    /// Walks extension headers, returning the upper-layer protocol and the
+    /// offset of its header from the start of the IPv6 packet.
+    ///
+    /// Fragment headers with a non-zero offset yield
+    /// [`WireError::Unsupported`] since the L4 header is not present.
+    pub fn upper_layer(&self) -> WireResult<(IpProtocol, usize)> {
+        let buf = self.buffer.as_ref();
+        let mut next = self.next_header();
+        let mut offset = HEADER_LEN;
+        for _ in 0..MAX_EXT_HEADERS {
+            match next {
+                IpProtocol::HopByHop | IpProtocol::Ipv6Route | IpProtocol::Ipv6Opts => {
+                    check_len(buf, offset + 2)?;
+                    let ext_len = 8 + usize::from(buf[offset + 1]) * 8;
+                    check_len(buf, offset + ext_len)?;
+                    next = IpProtocol::from(buf[offset]);
+                    offset += ext_len;
+                }
+                IpProtocol::Ipv6Frag => {
+                    check_len(buf, offset + 8)?;
+                    let frag_offset = u16::from_be_bytes([buf[offset + 2], buf[offset + 3]]) >> 3;
+                    next = IpProtocol::from(buf[offset]);
+                    if frag_offset != 0 {
+                        return Err(WireError::Unsupported("non-first ipv6 fragment"));
+                    }
+                    offset += 8;
+                }
+                IpProtocol::Ipv6NoNxt => {
+                    return Ok((IpProtocol::Ipv6NoNxt, offset));
+                }
+                other => return Ok((other, offset)),
+            }
+        }
+        Err(WireError::Malformed("ipv6 extension header chain too long"))
+    }
+
+    /// Bytes of the upper-layer header and payload (after all extension
+    /// headers), bounded by the payload length field.
+    pub fn upper_layer_payload(&self) -> WireResult<&[u8]> {
+        let (_, offset) = self.upper_layer()?;
+        let buf = self.buffer.as_ref();
+        let end = (HEADER_LEN + self.payload_len()).min(buf.len());
+        Ok(&buf[offset..end.max(offset)])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
+    /// Initializes the version nibble.
+    pub fn set_version(&mut self) {
+        let b = self.buffer.as_mut();
+        b[0] = (b[0] & 0x0f) | 0x60;
+    }
+
+    /// Sets the payload length field.
+    pub fn set_payload_len(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the Next Header field.
+    pub fn set_next_header(&mut self, proto: IpProtocol) {
+        self.buffer.as_mut()[6] = proto.into();
+    }
+
+    /// Sets the hop limit.
+    pub fn set_hop_limit(&mut self, limit: u8) {
+        self.buffer.as_mut()[7] = limit;
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, addr: Ipv6Addr) {
+        self.buffer.as_mut()[8..24].copy_from_slice(&addr.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, addr: Ipv6Addr) {
+        self.buffer.as_mut()[24..40].copy_from_slice(&addr.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet(next: IpProtocol, payload: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload];
+        buf[0] = 0x60;
+        let mut pkt = Ipv6Packet::new_checked(&mut buf[..]).unwrap();
+        pkt.set_payload_len(payload as u16);
+        pkt.set_next_header(next);
+        pkt.set_hop_limit(64);
+        pkt.set_src("2001:db8::1".parse().unwrap());
+        pkt.set_dst("2001:db8::2".parse().unwrap());
+        buf
+    }
+
+    #[test]
+    fn parse_plain() {
+        let buf = sample_packet(IpProtocol::Tcp, 20);
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.next_header(), IpProtocol::Tcp);
+        assert_eq!(pkt.hop_limit(), 64);
+        assert_eq!(pkt.src(), "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(pkt.dst(), "2001:db8::2".parse::<Ipv6Addr>().unwrap());
+        let (proto, off) = pkt.upper_layer().unwrap();
+        assert_eq!(proto, IpProtocol::Tcp);
+        assert_eq!(off, HEADER_LEN);
+        assert_eq!(pkt.upper_layer_payload().unwrap().len(), 20);
+    }
+
+    #[test]
+    fn traffic_class_and_flow_label() {
+        let mut buf = sample_packet(IpProtocol::Udp, 8);
+        buf[0] = 0x6a; // tc high nibble = 0xa_
+        buf[1] = 0xbc; // tc low = 0xb, flow label high nibble 0xc
+        buf[2] = 0xde;
+        buf[3] = 0xf0;
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.traffic_class(), 0xab);
+        assert_eq!(pkt.flow_label(), 0xcdef0);
+    }
+
+    #[test]
+    fn hop_by_hop_extension() {
+        // 8-byte hop-by-hop header followed by TCP.
+        let mut buf = sample_packet(IpProtocol::HopByHop, 8 + 20);
+        buf[HEADER_LEN] = 6; // next = TCP
+        buf[HEADER_LEN + 1] = 0; // ext length 0 -> 8 bytes
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        let (proto, off) = pkt.upper_layer().unwrap();
+        assert_eq!(proto, IpProtocol::Tcp);
+        assert_eq!(off, HEADER_LEN + 8);
+    }
+
+    #[test]
+    fn chained_extensions() {
+        // HopByHop (8B) -> DestOpts (16B) -> UDP.
+        let mut buf = sample_packet(IpProtocol::HopByHop, 8 + 16 + 8);
+        buf[HEADER_LEN] = 60; // dest opts
+        buf[HEADER_LEN + 1] = 0;
+        buf[HEADER_LEN + 8] = 17; // UDP
+        buf[HEADER_LEN + 9] = 1; // len 1 -> 16 bytes
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        let (proto, off) = pkt.upper_layer().unwrap();
+        assert_eq!(proto, IpProtocol::Udp);
+        assert_eq!(off, HEADER_LEN + 24);
+    }
+
+    #[test]
+    fn first_fragment_parses() {
+        let mut buf = sample_packet(IpProtocol::Ipv6Frag, 8 + 20);
+        buf[HEADER_LEN] = 6;
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        let (proto, off) = pkt.upper_layer().unwrap();
+        assert_eq!(proto, IpProtocol::Tcp);
+        assert_eq!(off, HEADER_LEN + 8);
+    }
+
+    #[test]
+    fn later_fragment_unsupported() {
+        let mut buf = sample_packet(IpProtocol::Ipv6Frag, 8 + 20);
+        buf[HEADER_LEN] = 6;
+        buf[HEADER_LEN + 2] = 0x01; // offset != 0
+        buf[HEADER_LEN + 3] = 0x40;
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert!(matches!(pkt.upper_layer(), Err(WireError::Unsupported(_))));
+    }
+
+    #[test]
+    fn no_next_header() {
+        let buf = sample_packet(IpProtocol::Ipv6NoNxt, 0);
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        let (proto, _) = pkt.upper_layer().unwrap();
+        assert_eq!(proto, IpProtocol::Ipv6NoNxt);
+    }
+
+    #[test]
+    fn reject_wrong_version() {
+        let mut buf = sample_packet(IpProtocol::Tcp, 0);
+        buf[0] = 0x40;
+        assert!(Ipv6Packet::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn reject_endless_extension_chain() {
+        // Each hop-by-hop header points at another hop-by-hop header.
+        let mut buf = sample_packet(IpProtocol::HopByHop, 8 * 16);
+        for i in 0..16 {
+            buf[HEADER_LEN + i * 8] = 0; // next = hop-by-hop again
+        }
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.upper_layer().is_err());
+    }
+
+    #[test]
+    fn truncated_extension() {
+        let buf = sample_packet(IpProtocol::HopByHop, 4);
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.upper_layer().is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! The `PacketParsable` trait (Appendix A, Figure 10): layered parsing
+//! where each protocol knows how to parse itself from an encapsulating
+//! header, used by generated filter code in the paper's Figure 3 style:
+//!
+//! ```
+//! use retina_wire::layered::{Ethernet, Ipv4, Tcp, PacketParsable};
+//! # use retina_wire::build::{build_tcp, TcpSpec};
+//! # let frame = build_tcp(&TcpSpec {
+//! #     src: "10.0.0.1:1000".parse().unwrap(),
+//! #     dst: "1.1.1.1:443".parse().unwrap(),
+//! #     seq: 0, ack: 0, flags: 2, window: 64, ttl: 64, payload: b"",
+//! # });
+//! if let Ok(eth) = Ethernet::parse(&frame) {
+//!     if let Ok(ipv4) = Ipv4::parse_from(&eth) {
+//!         if let Ok(tcp) = Tcp::parse_from(&ipv4) {
+//!             assert_eq!(tcp.dst_port(), 443);
+//!         }
+//!     }
+//! }
+//! ```
+//!
+//! Each layered value remembers the full frame and its own offset, so
+//! `parse_from` can slice the next header without copying. The fast
+//! single-pass [`crate::ParsedPacket`] remains the hot-path
+//! representation; this module is the extensibility surface for packet-
+//! level protocol modules.
+
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ip::IpProtocol;
+use crate::ipv4::Ipv4Packet;
+use crate::ipv6::Ipv6Packet;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::{WireError, WireResult};
+
+/// A packet-level protocol that can parse itself out of an encapsulating
+/// header (the paper's `PacketParsable`, Figure 10).
+pub trait PacketParsable<'a>: Sized {
+    /// Reference to the underlying frame buffer (the paper's `mbuf()`).
+    fn mbuf(&self) -> &'a [u8];
+
+    /// Offset of this protocol's header within the frame.
+    fn offset(&self) -> usize;
+
+    /// Offset from the beginning of this header to the start of its
+    /// payload.
+    fn header_len(&self) -> usize;
+
+    /// Next-level IANA protocol number, when this protocol carries one.
+    fn next_header(&self) -> Option<usize>;
+
+    /// Offset from the beginning of the frame to the start of the
+    /// payload.
+    fn next_header_offset(&self) -> usize {
+        self.offset() + self.header_len()
+    }
+
+    /// Parses `Self` from the encapsulating packet's payload.
+    fn parse_from(outer: &impl PacketParsable<'a>) -> WireResult<Self>;
+}
+
+/// A layered Ethernet header.
+pub struct Ethernet<'a> {
+    frame: &'a [u8],
+    view: EthernetFrame<&'a [u8]>,
+    payload_offset: usize,
+    payload_ethertype: EtherType,
+}
+
+impl<'a> Ethernet<'a> {
+    /// Parses the outermost Ethernet header of a frame (the root of the
+    /// layering; `parse_from` is not applicable to L2).
+    pub fn parse(frame: &'a [u8]) -> WireResult<Self> {
+        let view = EthernetFrame::new_checked(frame)?;
+        let (payload_ethertype, payload_offset) = view.payload_ethertype()?;
+        Ok(Ethernet {
+            frame,
+            view,
+            payload_offset,
+            payload_ethertype,
+        })
+    }
+
+    /// EtherType of the payload (after VLAN tags).
+    pub fn ethertype(&self) -> EtherType {
+        self.payload_ethertype
+    }
+
+    /// The underlying view for field access.
+    pub fn view(&self) -> &EthernetFrame<&'a [u8]> {
+        &self.view
+    }
+}
+
+impl<'a> PacketParsable<'a> for Ethernet<'a> {
+    fn mbuf(&self) -> &'a [u8] {
+        self.frame
+    }
+
+    fn offset(&self) -> usize {
+        0
+    }
+
+    fn header_len(&self) -> usize {
+        self.payload_offset
+    }
+
+    fn next_header(&self) -> Option<usize> {
+        Some(u16::from(self.payload_ethertype) as usize)
+    }
+
+    fn parse_from(_outer: &impl PacketParsable<'a>) -> WireResult<Self> {
+        Err(WireError::Unsupported("ethernet is the outermost layer"))
+    }
+}
+
+macro_rules! layered {
+    ($name:ident, $view:ty, $doc:literal) => {
+        #[doc = $doc]
+        pub struct $name<'a> {
+            frame: &'a [u8],
+            offset: usize,
+            view: $view,
+        }
+
+        impl<'a> $name<'a> {
+            /// The underlying zero-copy view for field access.
+            pub fn view(&self) -> &$view {
+                &self.view
+            }
+        }
+
+        impl<'a> std::ops::Deref for $name<'a> {
+            type Target = $view;
+            fn deref(&self) -> &$view {
+                &self.view
+            }
+        }
+    };
+}
+
+layered!(Ipv4, Ipv4Packet<&'a [u8]>, "A layered IPv4 header.");
+layered!(Ipv6, Ipv6Packet<&'a [u8]>, "A layered IPv6 header.");
+layered!(Tcp, TcpSegment<&'a [u8]>, "A layered TCP header.");
+layered!(Udp, UdpDatagram<&'a [u8]>, "A layered UDP header.");
+
+impl<'a> PacketParsable<'a> for Ipv4<'a> {
+    fn mbuf(&self) -> &'a [u8] {
+        self.frame
+    }
+
+    fn offset(&self) -> usize {
+        self.offset
+    }
+
+    fn header_len(&self) -> usize {
+        self.view.header_len()
+    }
+
+    fn next_header(&self) -> Option<usize> {
+        Some(u8::from(self.view.protocol()) as usize)
+    }
+
+    fn parse_from(outer: &impl PacketParsable<'a>) -> WireResult<Self> {
+        if outer.next_header() != Some(u16::from(EtherType::Ipv4) as usize) {
+            return Err(WireError::Unsupported("payload is not ipv4"));
+        }
+        let offset = outer.next_header_offset();
+        let frame = outer.mbuf();
+        let view = Ipv4Packet::new_checked(
+            frame
+                .get(offset..)
+                .ok_or(WireError::Malformed("offset past frame"))?,
+        )?;
+        Ok(Ipv4 {
+            frame,
+            offset,
+            view,
+        })
+    }
+}
+
+impl<'a> PacketParsable<'a> for Ipv6<'a> {
+    fn mbuf(&self) -> &'a [u8] {
+        self.frame
+    }
+
+    fn offset(&self) -> usize {
+        self.offset
+    }
+
+    fn header_len(&self) -> usize {
+        // Includes extension headers: the payload starts at the upper
+        // layer.
+        self.view
+            .upper_layer()
+            .map(|(_, off)| off)
+            .unwrap_or(crate::ipv6::HEADER_LEN)
+    }
+
+    fn next_header(&self) -> Option<usize> {
+        self.view
+            .upper_layer()
+            .ok()
+            .map(|(proto, _)| u8::from(proto) as usize)
+    }
+
+    fn parse_from(outer: &impl PacketParsable<'a>) -> WireResult<Self> {
+        if outer.next_header() != Some(u16::from(EtherType::Ipv6) as usize) {
+            return Err(WireError::Unsupported("payload is not ipv6"));
+        }
+        let offset = outer.next_header_offset();
+        let frame = outer.mbuf();
+        let view = Ipv6Packet::new_checked(
+            frame
+                .get(offset..)
+                .ok_or(WireError::Malformed("offset past frame"))?,
+        )?;
+        Ok(Ipv6 {
+            frame,
+            offset,
+            view,
+        })
+    }
+}
+
+impl<'a> PacketParsable<'a> for Tcp<'a> {
+    fn mbuf(&self) -> &'a [u8] {
+        self.frame
+    }
+
+    fn offset(&self) -> usize {
+        self.offset
+    }
+
+    fn header_len(&self) -> usize {
+        self.view.header_len()
+    }
+
+    fn next_header(&self) -> Option<usize> {
+        None
+    }
+
+    fn parse_from(outer: &impl PacketParsable<'a>) -> WireResult<Self> {
+        if outer.next_header() != Some(u8::from(IpProtocol::Tcp) as usize) {
+            return Err(WireError::Unsupported("payload is not tcp"));
+        }
+        let offset = outer.next_header_offset();
+        let frame = outer.mbuf();
+        let view = TcpSegment::new_checked(
+            frame
+                .get(offset..)
+                .ok_or(WireError::Malformed("offset past frame"))?,
+        )?;
+        Ok(Tcp {
+            frame,
+            offset,
+            view,
+        })
+    }
+}
+
+impl<'a> PacketParsable<'a> for Udp<'a> {
+    fn mbuf(&self) -> &'a [u8] {
+        self.frame
+    }
+
+    fn offset(&self) -> usize {
+        self.offset
+    }
+
+    fn header_len(&self) -> usize {
+        crate::udp::HEADER_LEN
+    }
+
+    fn next_header(&self) -> Option<usize> {
+        None
+    }
+
+    fn parse_from(outer: &impl PacketParsable<'a>) -> WireResult<Self> {
+        if outer.next_header() != Some(u8::from(IpProtocol::Udp) as usize) {
+            return Err(WireError::Unsupported("payload is not udp"));
+        }
+        let offset = outer.next_header_offset();
+        let frame = outer.mbuf();
+        let view = UdpDatagram::new_checked(
+            frame
+                .get(offset..)
+                .ok_or(WireError::Malformed("offset past frame"))?,
+        )?;
+        Ok(Udp {
+            frame,
+            offset,
+            view,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+    use crate::TcpFlags;
+
+    #[test]
+    fn figure3_style_chain_v4() {
+        let frame = build_tcp(&TcpSpec {
+            src: "10.0.0.1:5000".parse().unwrap(),
+            dst: "1.1.1.1:443".parse().unwrap(),
+            seq: 7,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64,
+            ttl: 63,
+            payload: b"hello",
+        });
+        let eth = Ethernet::parse(&frame).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+        let ipv4 = Ipv4::parse_from(&eth).unwrap();
+        assert_eq!(ipv4.ttl(), 63);
+        // Wrong-protocol parse fails cleanly.
+        assert!(Udp::parse_from(&ipv4).is_err());
+        assert!(Ipv6::parse_from(&eth).is_err());
+        let tcp = Tcp::parse_from(&ipv4).unwrap();
+        assert_eq!(tcp.src_port(), 5000);
+        assert_eq!(tcp.dst_port(), 443);
+        assert_eq!(tcp.payload(), b"hello");
+        assert_eq!(tcp.next_header_offset(), frame.len() - 5);
+    }
+
+    #[test]
+    fn figure3_style_chain_v6_udp() {
+        let frame = build_udp(&UdpSpec {
+            src: "[2001:db8::1]:53".parse().unwrap(),
+            dst: "[2001:db8::2]:5353".parse().unwrap(),
+            ttl: 64,
+            payload: b"resp",
+        });
+        let eth = Ethernet::parse(&frame).unwrap();
+        let ipv6 = Ipv6::parse_from(&eth).unwrap();
+        assert_eq!(ipv6.hop_limit(), 64);
+        assert!(Tcp::parse_from(&ipv6).is_err());
+        let udp = Udp::parse_from(&ipv6).unwrap();
+        assert_eq!(udp.src_port(), 53);
+        assert_eq!(udp.payload(), b"resp");
+    }
+
+    #[test]
+    fn ethernet_is_root() {
+        let frame = build_udp(&UdpSpec {
+            src: "10.0.0.1:1:".trim_end_matches(':').parse().unwrap(),
+            dst: "10.0.0.2:2".parse().unwrap(),
+            ttl: 64,
+            payload: b"",
+        });
+        let eth = Ethernet::parse(&frame).unwrap();
+        assert!(Ethernet::parse_from(&eth).is_err());
+        assert_eq!(eth.offset(), 0);
+        assert_eq!(eth.mbuf().len(), frame.len());
+    }
+
+    #[test]
+    fn truncated_inner_header_fails() {
+        let frame = build_tcp(&TcpSpec {
+            src: "10.0.0.1:1000".parse().unwrap(),
+            dst: "1.1.1.1:443".parse().unwrap(),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64,
+            ttl: 64,
+            payload: b"",
+        });
+        let cut = &frame[..14 + 20 + 5];
+        let eth = Ethernet::parse(cut).unwrap();
+        let ipv4 = Ipv4::parse_from(&eth);
+        // IPv4 header itself intact; TCP truncated.
+        let ipv4 = ipv4.unwrap();
+        assert!(Tcp::parse_from(&ipv4).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! # retina-wire
+//!
+//! Zero-copy packet parsing and building for the Retina traffic analysis
+//! framework.
+//!
+//! This crate provides *views* over raw byte buffers in the style of
+//! smoltcp's `wire` module: a view type like [`Ipv4Packet`] borrows a byte
+//! slice, validates the minimum invariants needed to access its fields
+//! (`new_checked`), and then exposes accessor methods that read directly out
+//! of the underlying buffer without copying. Mutable views (over `&mut [u8]`)
+//! additionally expose setters used by the traffic generator and tests.
+//!
+//! Supported protocols:
+//!
+//! - Ethernet II frames ([`EthernetFrame`]) with 802.1Q VLAN tags
+//!   ([`VlanTag`])
+//! - IPv4 ([`Ipv4Packet`]), including options
+//! - IPv6 ([`Ipv6Packet`]), including hop-by-hop / routing / fragment /
+//!   destination-options extension headers
+//! - TCP ([`TcpSegment`]), including option parsing (MSS, window scale,
+//!   SACK, timestamps)
+//! - UDP ([`UdpDatagram`])
+//! - ICMPv4 / ICMPv6 ([`icmp::Icmpv4Message`], [`icmp::Icmpv6Message`])
+//!
+//! The [`packet`] module layers these into a one-pass parse
+//! ([`packet::ParsedPacket`]) that records header offsets and the
+//! connection 5-tuple; this is the representation the NIC's RSS hash, the
+//! software packet filter, and the connection tracker all consume.
+//!
+//! All parsing is panic-free on arbitrary input: malformed or truncated
+//! packets return [`WireError`].
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod checksum;
+pub mod ethernet;
+pub mod icmp;
+pub mod ip;
+pub mod ipv4;
+pub mod ipv6;
+pub mod layered;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+
+mod error;
+
+pub use error::{WireError, WireResult};
+pub use ethernet::{EtherType, EthernetFrame, MacAddr, VlanTag};
+pub use ip::{IpAddr, IpProtocol};
+pub use ipv4::Ipv4Packet;
+pub use ipv6::Ipv6Packet;
+pub use packet::{L4Header, ParsedPacket};
+pub use tcp::{TcpFlags, TcpSegment};
+pub use udp::UdpDatagram;

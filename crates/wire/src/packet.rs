@@ -1,0 +1,392 @@
+//! One-pass layered packet parsing.
+//!
+//! [`ParsedPacket`] walks an Ethernet frame once and records the offsets of
+//! each layer plus the fields the rest of the framework needs on the hot
+//! path (the connection 5-tuple, TCP flags/sequence numbers, TTL). It never
+//! copies payload bytes: downstream stages slice back into the original
+//! frame via the recorded offsets.
+
+use std::net::IpAddr;
+
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ip::IpProtocol;
+use crate::ipv4::Ipv4Packet;
+use crate::ipv6::Ipv6Packet;
+use crate::tcp::{TcpFlags, TcpSegment};
+use crate::udp::UdpDatagram;
+use crate::{WireError, WireResult};
+
+/// Transport-layer summary captured during the parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Header {
+    /// TCP: flags, sequence and acknowledgment numbers.
+    Tcp {
+        /// Flag bits.
+        flags: TcpFlags,
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+        /// Receive window.
+        window: u16,
+    },
+    /// UDP (no additional fields needed on the hot path).
+    Udp,
+    /// ICMPv4/v6: type and code.
+    Icmp {
+        /// Message type.
+        msg_type: u8,
+        /// Message code.
+        code: u8,
+    },
+    /// Some other transport protocol; carried through unparsed.
+    Other,
+}
+
+/// Result of a single-pass parse over an Ethernet frame.
+///
+/// Offsets index into the original frame buffer, so the payload can be
+/// recovered zero-copy with [`ParsedPacket::payload`].
+#[derive(Debug, Clone)]
+pub struct ParsedPacket {
+    /// EtherType of the L3 payload (after any VLAN tags).
+    pub ethertype: EtherType,
+    /// Offset of the L3 header from the start of the frame.
+    pub l3_offset: usize,
+    /// Offset of the L4 header from the start of the frame.
+    pub l4_offset: usize,
+    /// Offset of the L4 payload from the start of the frame.
+    pub payload_offset: usize,
+    /// End of the L4 payload (bounded by the IP total length, so Ethernet
+    /// padding is excluded).
+    pub payload_end: usize,
+    /// Source IP address.
+    pub src_ip: IpAddr,
+    /// Destination IP address.
+    pub dst_ip: IpAddr,
+    /// Transport protocol number.
+    pub protocol: IpProtocol,
+    /// Source port (0 for portless protocols).
+    pub src_port: u16,
+    /// Destination port (0 for portless protocols).
+    pub dst_port: u16,
+    /// IPv4 TTL or IPv6 hop limit.
+    pub ttl: u8,
+    /// Transport-layer summary.
+    pub l4: L4Header,
+    /// Total frame length in bytes (including L2 header).
+    pub frame_len: usize,
+}
+
+impl ParsedPacket {
+    /// Parses an Ethernet frame down to the transport layer.
+    ///
+    /// Non-IP frames (ARP etc.) and IP fragments beyond the first return an
+    /// error: the framework treats them as unfilterable-above-L3 and only
+    /// raw-packet subscriptions will see them.
+    pub fn parse(frame: &[u8]) -> WireResult<Self> {
+        let eth = EthernetFrame::new_checked(frame)?;
+        let (ethertype, l3_offset) = eth.payload_ethertype()?;
+        match ethertype {
+            EtherType::Ipv4 => Self::parse_ipv4(frame, ethertype, l3_offset),
+            EtherType::Ipv6 => Self::parse_ipv6(frame, ethertype, l3_offset),
+            _ => Err(WireError::Unsupported("non-ip ethertype")),
+        }
+    }
+
+    fn parse_ipv4(frame: &[u8], ethertype: EtherType, l3_offset: usize) -> WireResult<Self> {
+        let ip = Ipv4Packet::new_checked(&frame[l3_offset..])?;
+        if ip.is_fragment() && ip.frag_offset() != 0 {
+            return Err(WireError::Unsupported("non-first ipv4 fragment"));
+        }
+        let l4_offset = l3_offset + ip.header_len();
+        let payload_end = (l3_offset + ip.total_len()).min(frame.len());
+        let (src_ip, dst_ip) = (IpAddr::V4(ip.src()), IpAddr::V4(ip.dst()));
+        let protocol = ip.protocol();
+        let ttl = ip.ttl();
+        Self::parse_l4(
+            frame,
+            ethertype,
+            l3_offset,
+            l4_offset,
+            payload_end,
+            src_ip,
+            dst_ip,
+            protocol,
+            ttl,
+        )
+    }
+
+    fn parse_ipv6(frame: &[u8], ethertype: EtherType, l3_offset: usize) -> WireResult<Self> {
+        let ip = Ipv6Packet::new_checked(&frame[l3_offset..])?;
+        let (protocol, rel_l4) = ip.upper_layer()?;
+        let l4_offset = l3_offset + rel_l4;
+        let payload_end = (l3_offset + crate::ipv6::HEADER_LEN + ip.payload_len()).min(frame.len());
+        let (src_ip, dst_ip) = (IpAddr::V6(ip.src()), IpAddr::V6(ip.dst()));
+        let ttl = ip.hop_limit();
+        Self::parse_l4(
+            frame,
+            ethertype,
+            l3_offset,
+            l4_offset,
+            payload_end,
+            src_ip,
+            dst_ip,
+            protocol,
+            ttl,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_l4(
+        frame: &[u8],
+        ethertype: EtherType,
+        l3_offset: usize,
+        l4_offset: usize,
+        payload_end: usize,
+        src_ip: IpAddr,
+        dst_ip: IpAddr,
+        protocol: IpProtocol,
+        ttl: u8,
+    ) -> WireResult<Self> {
+        let l4_buf = frame
+            .get(l4_offset..payload_end.max(l4_offset))
+            .ok_or(WireError::Malformed("l4 offset past frame"))?;
+        let (src_port, dst_port, payload_offset, l4) = match protocol {
+            IpProtocol::Tcp => {
+                let tcp = TcpSegment::new_checked(l4_buf)?;
+                (
+                    tcp.src_port(),
+                    tcp.dst_port(),
+                    l4_offset + tcp.header_len(),
+                    L4Header::Tcp {
+                        flags: tcp.flags(),
+                        seq: tcp.seq(),
+                        ack: tcp.ack(),
+                        window: tcp.window(),
+                    },
+                )
+            }
+            IpProtocol::Udp => {
+                let udp = UdpDatagram::new_checked(l4_buf)?;
+                (
+                    udp.src_port(),
+                    udp.dst_port(),
+                    l4_offset + crate::udp::HEADER_LEN,
+                    L4Header::Udp,
+                )
+            }
+            IpProtocol::Icmp | IpProtocol::Icmpv6 => {
+                let msg = crate::icmp::Icmpv4Message::new_checked(l4_buf)?;
+                (
+                    0,
+                    0,
+                    l4_offset + crate::icmp::HEADER_LEN,
+                    L4Header::Icmp {
+                        msg_type: msg.msg_type(),
+                        code: msg.code(),
+                    },
+                )
+            }
+            _ => (0, 0, l4_offset, L4Header::Other),
+        };
+        Ok(ParsedPacket {
+            ethertype,
+            l3_offset,
+            l4_offset,
+            payload_offset,
+            payload_end: payload_end.max(payload_offset),
+            src_ip,
+            dst_ip,
+            protocol,
+            src_port,
+            dst_port,
+            ttl,
+            l4,
+            frame_len: frame.len(),
+        })
+    }
+
+    /// L4 payload bytes, sliced from the original frame.
+    pub fn payload<'a>(&self, frame: &'a [u8]) -> &'a [u8] {
+        &frame[self.payload_offset..self.payload_end.min(frame.len())]
+    }
+
+    /// Length of the L4 payload in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload_end.saturating_sub(self.payload_offset)
+    }
+
+    /// TCP flags if this is a TCP packet.
+    pub fn tcp_flags(&self) -> Option<TcpFlags> {
+        match self.l4 {
+            L4Header::Tcp { flags, .. } => Some(flags),
+            _ => None,
+        }
+    }
+
+    /// TCP sequence number if this is a TCP packet.
+    pub fn tcp_seq(&self) -> Option<u32> {
+        match self.l4 {
+            L4Header::Tcp { seq, .. } => Some(seq),
+            _ => None,
+        }
+    }
+
+    /// Returns true if both addresses are IPv4.
+    pub fn is_ipv4(&self) -> bool {
+        self.ethertype == EtherType::Ipv4
+    }
+
+    /// Returns true if both addresses are IPv6.
+    pub fn is_ipv6(&self) -> bool {
+        self.ethertype == EtherType::Ipv6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+    use std::net::SocketAddr;
+
+    fn sa(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_tcp_v4() {
+        let frame = build_tcp(&TcpSpec {
+            src: sa("10.0.0.1:1234"),
+            dst: sa("93.184.216.34:443"),
+            seq: 100,
+            ack: 200,
+            flags: TcpFlags::SYN,
+            window: 64000,
+            ttl: 64,
+            payload: b"",
+        });
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        assert!(pkt.is_ipv4());
+        assert_eq!(pkt.src_port, 1234);
+        assert_eq!(pkt.dst_port, 443);
+        assert_eq!(pkt.protocol, IpProtocol::Tcp);
+        assert_eq!(pkt.ttl, 64);
+        assert!(pkt.tcp_flags().unwrap().syn());
+        assert_eq!(pkt.tcp_seq(), Some(100));
+        assert_eq!(pkt.payload(&frame), b"");
+    }
+
+    #[test]
+    fn parse_tcp_v6_with_payload() {
+        let frame = build_tcp(&TcpSpec {
+            src: sa("[2001:db8::1]:50000"),
+            dst: sa("[2001:db8::2]:22"),
+            seq: 7,
+            ack: 9,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 1000,
+            ttl: 55,
+            payload: b"SSH-2.0-OpenSSH_8.9",
+        });
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        assert!(pkt.is_ipv6());
+        assert_eq!(pkt.dst_port, 22);
+        assert_eq!(pkt.payload(&frame), b"SSH-2.0-OpenSSH_8.9");
+        assert_eq!(pkt.payload_len(), 19);
+    }
+
+    #[test]
+    fn parse_udp_v4() {
+        let frame = build_udp(&UdpSpec {
+            src: sa("10.0.0.1:5353"),
+            dst: sa("224.0.0.251:5353"),
+            ttl: 1,
+            payload: b"mdns",
+        });
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        assert_eq!(pkt.protocol, IpProtocol::Udp);
+        assert_eq!(pkt.l4, L4Header::Udp);
+        assert_eq!(pkt.payload(&frame), b"mdns");
+    }
+
+    #[test]
+    fn excludes_ethernet_padding() {
+        let mut frame = build_tcp(&TcpSpec {
+            src: sa("10.0.0.1:1024"),
+            dst: sa("10.0.0.2:80"),
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 100,
+            ttl: 64,
+            payload: b"GET",
+        });
+        // Pad the frame to 64 bytes as a real NIC would.
+        frame.resize(frame.len() + 10, 0);
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        assert_eq!(pkt.payload(&frame), b"GET");
+    }
+
+    #[test]
+    fn reject_arp_frame() {
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x08;
+        frame[13] = 0x06; // ARP
+        assert!(matches!(
+            ParsedPacket::parse(&frame),
+            Err(WireError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn reject_later_v4_fragment() {
+        let mut frame = build_udp(&UdpSpec {
+            src: sa("10.0.0.1:1000"),
+            dst: sa("10.0.0.2:2000"),
+            ttl: 64,
+            payload: b"frag",
+        });
+        // Set a non-zero fragment offset in the IPv4 header (offset 14+6).
+        frame[14 + 6] = 0x00;
+        frame[14 + 7] = 0x10;
+        // Fix header checksum so only fragmentation is at fault.
+        let mut ip = Ipv4Packet::new_checked(&mut frame[14..]).unwrap();
+        ip.fill_checksum();
+        assert!(ParsedPacket::parse(&frame).is_err());
+    }
+
+    #[test]
+    fn truncated_l4_rejected() {
+        let frame = build_tcp(&TcpSpec {
+            src: sa("10.0.0.1:1024"),
+            dst: sa("10.0.0.2:80"),
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 100,
+            ttl: 64,
+            payload: b"",
+        });
+        // Chop into the TCP header.
+        assert!(ParsedPacket::parse(&frame[..14 + 20 + 10]).is_err());
+    }
+
+    #[test]
+    fn other_protocol_carried_through() {
+        // Build a UDP packet then rewrite the protocol number to GRE (47).
+        let mut frame = build_udp(&UdpSpec {
+            src: sa("10.0.0.1:0"),
+            dst: sa("10.0.0.2:0"),
+            ttl: 64,
+            payload: b"xxxx",
+        });
+        frame[14 + 9] = 47;
+        let mut ip = Ipv4Packet::new_checked(&mut frame[14..]).unwrap();
+        ip.fill_checksum();
+        let pkt = ParsedPacket::parse(&frame).unwrap();
+        assert_eq!(pkt.protocol, IpProtocol::Unknown(47));
+        assert_eq!(pkt.l4, L4Header::Other);
+        assert_eq!(pkt.src_port, 0);
+    }
+}

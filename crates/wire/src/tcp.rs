@@ -1,0 +1,419 @@
+//! TCP segment view (RFC 9293), including option parsing.
+
+use core::fmt;
+
+use crate::checksum::Checksum;
+use crate::error::check_len;
+use crate::ip::IpAddr;
+use crate::{WireError, WireResult};
+
+/// Minimum TCP header length (data offset = 5).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+    /// URG flag.
+    pub const URG: u8 = 0x20;
+
+    /// Returns true if the FIN bit is set.
+    pub fn fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+    /// Returns true if the SYN bit is set.
+    pub fn syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+    /// Returns true if the RST bit is set.
+    pub fn rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+    /// Returns true if the PSH bit is set.
+    pub fn psh(self) -> bool {
+        self.0 & Self::PSH != 0
+    }
+    /// Returns true if the ACK bit is set.
+    pub fn ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+    /// Returns true if the URG bit is set.
+    pub fn urg(self) -> bool {
+        self.0 & Self::URG != 0
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Self::SYN, "S"),
+            (Self::ACK, "A"),
+            (Self::FIN, "F"),
+            (Self::RST, "R"),
+            (Self::PSH, "P"),
+            (Self::URG, "U"),
+        ];
+        for (bit, name) in names {
+            if self.0 & bit != 0 {
+                f.write_str(name)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TCP option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpOption {
+    /// Maximum segment size (kind 2).
+    Mss(u16),
+    /// Window scale shift (kind 3).
+    WindowScale(u8),
+    /// SACK permitted (kind 4).
+    SackPermitted,
+    /// Timestamps: value and echo reply (kind 8).
+    Timestamps(u32, u32),
+    /// Any other option kind (kind, length of data).
+    Unknown(u8, usize),
+}
+
+/// Zero-copy view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps a buffer, validating the data offset and buffer length.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        let buf = buffer.as_ref();
+        check_len(buf, MIN_HEADER_LEN)?;
+        let data_offset = usize::from(buf[12] >> 4) * 4;
+        if data_offset < MIN_HEADER_LEN {
+            return Err(WireError::Malformed("tcp data offset"));
+        }
+        check_len(buf, data_offset)?;
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// Urgent pointer.
+    pub fn urgent_ptr(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[18], b[19]])
+    }
+
+    /// Raw option bytes.
+    pub fn options_raw(&self) -> &[u8] {
+        &self.buffer.as_ref()[MIN_HEADER_LEN..self.header_len()]
+    }
+
+    /// Iterates over parsed options. Malformed option encodings terminate
+    /// iteration rather than panicking.
+    pub fn options(&self) -> TcpOptionIter<'_> {
+        TcpOptionIter {
+            data: self.options_raw(),
+        }
+    }
+
+    /// Payload bytes following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verifies the TCP checksum given the IP pseudo-header addresses.
+    pub fn verify_checksum(&self, src: &IpAddr, dst: &IpAddr) -> bool {
+        let buf = self.buffer.as_ref();
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src, dst, 6, buf.len() as u32);
+        c.add_bytes(buf);
+        c.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Sets the acknowledgment number.
+    pub fn set_ack(&mut self, ack: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Sets the data offset (header length in bytes; must be a multiple
+    /// of 4).
+    pub fn set_header_len(&mut self, len: usize) {
+        debug_assert!(len.is_multiple_of(4) && len >= MIN_HEADER_LEN);
+        let b = self.buffer.as_mut();
+        b[12] = ((len / 4) as u8) << 4;
+    }
+
+    /// Sets the flag bits.
+    pub fn set_flags(&mut self, flags: TcpFlags) {
+        self.buffer.as_mut()[13] = flags.0;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, window: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&window.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum given the pseudo-header.
+    pub fn fill_checksum(&mut self, src: &IpAddr, dst: &IpAddr) {
+        let len = self.buffer.as_ref().len() as u32;
+        let buf = self.buffer.as_mut();
+        buf[16] = 0;
+        buf[17] = 0;
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src, dst, 6, len);
+        c.add_bytes(buf);
+        let ck = c.finish();
+        buf[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+/// Iterator over TCP options.
+pub struct TcpOptionIter<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Iterator for TcpOptionIter<'a> {
+    type Item = TcpOption;
+
+    fn next(&mut self) -> Option<TcpOption> {
+        loop {
+            match *self.data {
+                [] | [0, ..] => return None, // end of options
+                [1, ref rest @ ..] => {
+                    // NOP padding
+                    self.data = rest;
+                }
+                [kind, len, ..] => {
+                    let len = usize::from(len);
+                    if len < 2 || len > self.data.len() {
+                        return None; // malformed; stop
+                    }
+                    let body = &self.data[2..len];
+                    self.data = &self.data[len..];
+                    let opt = match (kind, body) {
+                        (2, [h, l]) => TcpOption::Mss(u16::from_be_bytes([*h, *l])),
+                        (3, [s]) => TcpOption::WindowScale(*s),
+                        (4, []) => TcpOption::SackPermitted,
+                        (8, b) if b.len() == 8 => TcpOption::Timestamps(
+                            u32::from_be_bytes(b[0..4].try_into().unwrap()),
+                            u32::from_be_bytes(b[4..8].try_into().unwrap()),
+                        ),
+                        _ => TcpOption::Unknown(kind, body.len()),
+                    };
+                    return Some(opt);
+                }
+                [_] => return None, // lone kind byte with no length
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::IpAddr;
+
+    fn sample_segment(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; MIN_HEADER_LEN + payload.len()];
+        buf[12] = 0x50;
+        buf[MIN_HEADER_LEN..].copy_from_slice(payload);
+        let mut seg = TcpSegment::new_checked(&mut buf[..]).unwrap();
+        seg.set_src_port(443);
+        seg.set_dst_port(51000);
+        seg.set_seq(1000);
+        seg.set_ack(2000);
+        seg.set_flags(TcpFlags(TcpFlags::ACK | TcpFlags::PSH));
+        seg.set_window(65535);
+        buf
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let buf = sample_segment(b"hello");
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(seg.src_port(), 443);
+        assert_eq!(seg.dst_port(), 51000);
+        assert_eq!(seg.seq(), 1000);
+        assert_eq!(seg.ack(), 2000);
+        assert!(seg.flags().ack() && seg.flags().psh());
+        assert!(!seg.flags().syn());
+        assert_eq!(seg.window(), 65535);
+        assert_eq!(seg.payload(), b"hello");
+    }
+
+    #[test]
+    fn checksum_roundtrip() {
+        let mut buf = sample_segment(b"data!");
+        let src = IpAddr::V4("10.0.0.1".parse().unwrap());
+        let dst = IpAddr::V4("10.0.0.2".parse().unwrap());
+        {
+            let mut seg = TcpSegment::new_checked(&mut buf[..]).unwrap();
+            seg.fill_checksum(&src, &dst);
+        }
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(seg.verify_checksum(&src, &dst));
+        let other = IpAddr::V4("10.0.0.9".parse().unwrap());
+        assert!(!seg.verify_checksum(&src, &other));
+    }
+
+    #[test]
+    fn checksum_v6() {
+        let mut buf = sample_segment(b"v6 payload");
+        let src = IpAddr::V6("2001:db8::1".parse().unwrap());
+        let dst = IpAddr::V6("2001:db8::2".parse().unwrap());
+        {
+            let mut seg = TcpSegment::new_checked(&mut buf[..]).unwrap();
+            seg.fill_checksum(&src, &dst);
+        }
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(seg.verify_checksum(&src, &dst));
+    }
+
+    #[test]
+    fn options_parsing() {
+        // 20-byte header + 12 bytes of options: MSS(1460), NOP, WScale(7),
+        // SackPermitted, then EOL padding.
+        let mut buf = [0u8; 32];
+        buf[12] = 0x80; // data offset 8 -> 32 bytes
+        buf[20..24].copy_from_slice(&[2, 4, 0x05, 0xb4]);
+        buf[24] = 1; // NOP
+        buf[25..28].copy_from_slice(&[3, 3, 7]);
+        buf[28..30].copy_from_slice(&[4, 2]);
+        buf[30] = 0; // EOL
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        let opts: Vec<_> = seg.options().collect();
+        assert_eq!(
+            opts,
+            vec![
+                TcpOption::Mss(1460),
+                TcpOption::WindowScale(7),
+                TcpOption::SackPermitted
+            ]
+        );
+        assert!(seg.payload().is_empty());
+    }
+
+    #[test]
+    fn timestamps_option() {
+        let mut buf = [0u8; 32];
+        buf[12] = 0x80;
+        buf[20..22].copy_from_slice(&[8, 10]);
+        buf[22..26].copy_from_slice(&123456u32.to_be_bytes());
+        buf[26..30].copy_from_slice(&654321u32.to_be_bytes());
+        buf[30] = 0;
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(
+            seg.options().next(),
+            Some(TcpOption::Timestamps(123456, 654321))
+        );
+    }
+
+    #[test]
+    fn malformed_option_length_stops_iteration() {
+        let mut buf = [0u8; 24];
+        buf[12] = 0x60; // offset 6 -> 24 bytes
+        buf[20] = 2; // MSS
+        buf[21] = 200; // bogus length
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(seg.options().count(), 0);
+    }
+
+    #[test]
+    fn reject_bad_data_offset() {
+        let mut buf = [0u8; 20];
+        buf[12] = 0x40; // offset 4 -> 16 bytes < 20
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn reject_offset_past_buffer() {
+        let mut buf = [0u8; 20];
+        buf[12] = 0xf0; // offset 15 -> 60 bytes > 20
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags(TcpFlags::SYN | TcpFlags::ACK).to_string(), "SA");
+        assert_eq!(TcpFlags(TcpFlags::FIN).to_string(), "F");
+        assert_eq!(TcpFlags(0).to_string(), "");
+    }
+}

@@ -1,0 +1,201 @@
+//! UDP datagram view (RFC 768).
+
+use crate::checksum::Checksum;
+use crate::error::check_len;
+use crate::ip::IpAddr;
+use crate::{WireError, WireResult};
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// Zero-copy view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer, validating the header length and the length field.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        let buf = buffer.as_ref();
+        check_len(buf, HEADER_LEN)?;
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < HEADER_LEN {
+            return Err(WireError::Malformed("udp length"));
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len(&self) -> usize {
+        let b = self.buffer.as_ref();
+        usize::from(u16::from_be_bytes([b[4], b[5]]))
+    }
+
+    /// Returns true when the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= HEADER_LEN
+    }
+
+    /// Checksum field (0 = not computed, for IPv4).
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload bytes, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        let b = self.buffer.as_ref();
+        let end = self.len().min(b.len());
+        &b[HEADER_LEN..end.max(HEADER_LEN)]
+    }
+
+    /// Verifies the checksum; a zero checksum is accepted for IPv4.
+    pub fn verify_checksum(&self, src: &IpAddr, dst: &IpAddr) -> bool {
+        if self.checksum() == 0 && matches!(src, IpAddr::V4(_)) {
+            return true;
+        }
+        let buf = self.buffer.as_ref();
+        let end = self.len().min(buf.len());
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src, dst, 17, end as u32);
+        c.add_bytes(&buf[..end]);
+        c.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum given the pseudo-header.
+    pub fn fill_checksum(&mut self, src: &IpAddr, dst: &IpAddr) {
+        let len = {
+            let b = self.buffer.as_ref();
+            usize::from(u16::from_be_bytes([b[4], b[5]])).min(b.len())
+        };
+        let buf = self.buffer.as_mut();
+        buf[6] = 0;
+        buf[7] = 0;
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src, dst, 17, len as u32);
+        c.add_bytes(&buf[..len]);
+        let mut ck = c.finish();
+        // A computed checksum of 0 is transmitted as all-ones (RFC 768).
+        if ck == 0 {
+            ck = 0xffff;
+        }
+        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::IpAddr;
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        buf[4..6].copy_from_slice(&((HEADER_LEN + payload.len()) as u16).to_be_bytes());
+        buf[HEADER_LEN..].copy_from_slice(payload);
+        let mut dgram = UdpDatagram::new_checked(&mut buf[..]).unwrap();
+        dgram.set_src_port(53);
+        dgram.set_dst_port(40000);
+        buf
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let buf = sample(b"dns query");
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dgram.src_port(), 53);
+        assert_eq!(dgram.dst_port(), 40000);
+        assert_eq!(dgram.len(), 17);
+        assert_eq!(dgram.payload(), b"dns query");
+        assert!(!dgram.is_empty());
+    }
+
+    #[test]
+    fn checksum_roundtrip() {
+        let mut buf = sample(b"payload");
+        let src = IpAddr::V4("1.2.3.4".parse().unwrap());
+        let dst = IpAddr::V4("5.6.7.8".parse().unwrap());
+        {
+            let mut dgram = UdpDatagram::new_checked(&mut buf[..]).unwrap();
+            dgram.fill_checksum(&src, &dst);
+        }
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_ne!(dgram.checksum(), 0);
+        assert!(dgram.verify_checksum(&src, &dst));
+        let other = IpAddr::V4("9.9.9.9".parse().unwrap());
+        assert!(!dgram.verify_checksum(&src, &other));
+    }
+
+    #[test]
+    fn zero_checksum_ok_for_v4() {
+        let buf = sample(b"x");
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        let src = IpAddr::V4("1.1.1.1".parse().unwrap());
+        let dst = IpAddr::V4("2.2.2.2".parse().unwrap());
+        assert!(dgram.verify_checksum(&src, &dst));
+    }
+
+    #[test]
+    fn zero_checksum_invalid_for_v6() {
+        let buf = sample(b"x");
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        let src = IpAddr::V6("::1".parse().unwrap());
+        let dst = IpAddr::V6("::2".parse().unwrap());
+        assert!(!dgram.verify_checksum(&src, &dst));
+    }
+
+    #[test]
+    fn reject_short_buffer() {
+        assert!(UdpDatagram::new_checked(&[0u8; 7][..]).is_err());
+    }
+
+    #[test]
+    fn reject_bad_length_field() {
+        let mut buf = sample(b"");
+        buf[4] = 0;
+        buf[5] = 4;
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn payload_bounded_by_length_field() {
+        let mut buf = sample(b"abcdef");
+        buf[5] = 10; // claim only 2 payload bytes
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dgram.payload(), b"ab");
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared helpers for the example applications.
+
+/// Parses `--packets N`, `--cores N`, and `--seed N` from `std::env::args`,
+/// with defaults. Every example accepts these flags so runs can be scaled.
+pub fn cli_args() -> ExampleArgs {
+    let mut args = ExampleArgs::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |out: &mut u64| {
+            if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                *out = v;
+            }
+        };
+        match flag.as_str() {
+            "--packets" => grab(&mut args.packets),
+            "--cores" => grab(&mut args.cores),
+            "--seed" => grab(&mut args.seed),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --packets N   approximate packets to generate (default {})",
+                    args.packets
+                );
+                eprintln!("       --cores N     worker cores (default {})", args.cores);
+                eprintln!("       --seed N      traffic seed (default {})", args.seed);
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Common example parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExampleArgs {
+    /// Approximate packets of synthetic traffic.
+    pub packets: u64,
+    /// Worker cores.
+    pub cores: u64,
+    /// Traffic seed.
+    pub seed: u64,
+}
+
+impl Default for ExampleArgs {
+    fn default() -> Self {
+        ExampleArgs {
+            packets: 300_000,
+            cores: 4,
+            seed: 0xE7A,
+        }
+    }
+}
+
+/// Formats a byte count in human units.
+pub fn human_bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1} {}", UNITS[unit])
+}

@@ -1,0 +1,15 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use bytes::Bytes;
+
+/// Collects the parsed packets of a stream (skipping unparseable frames).
+pub fn parse_all(packets: &[(Bytes, u64)]) -> Vec<(retina_wire::ParsedPacket, Bytes)> {
+    packets
+        .iter()
+        .filter_map(|(frame, _)| {
+            retina_wire::ParsedPacket::parse(frame)
+                .ok()
+                .map(|p| (p, frame.clone()))
+        })
+        .collect()
+}

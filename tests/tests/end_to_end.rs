@@ -1,0 +1,237 @@
+//! Cross-crate end-to-end tests: the full runtime over synthetic campus
+//! traffic, pcap round-trips, sink sampling, timeout schemes, and
+//! baseline-vs-retina agreement on analysis results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use retina_core::offline::run_offline;
+use retina_core::subscribables::{ConnRecord, SessionRecord, TlsHandshakeData};
+use retina_core::{Runtime, RuntimeConfig};
+use retina_filter::compile;
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_trafficgen::{HttpsWorkload, PreloadedSource};
+
+#[test]
+fn campus_mix_through_multicore_runtime() {
+    let packets = generate(&CampusConfig::small(0xE2E));
+    let total_packets = packets.len() as u64;
+    let tls_count = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&tls_count);
+    let filter = compile("tls").unwrap();
+    let mut rt =
+        Runtime::<TlsHandshakeData, _>::new(RuntimeConfig::with_cores(4), filter, move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    let report = rt.run(PreloadedSource::new(packets));
+    assert!(report.zero_loss(), "{:?}", report.nic);
+    // Hardware filter admits only TCP for a `tls` filter.
+    assert!(report.nic.hw_dropped > 0, "UDP/ICMP should be hw-dropped");
+    assert!(report.nic.rx_delivered < total_packets);
+    let handshakes = tls_count.load(Ordering::Relaxed);
+    assert!(
+        handshakes > 50,
+        "expected many TLS handshakes, got {handshakes}"
+    );
+    assert_eq!(report.cores.callbacks.runs, handshakes);
+}
+
+#[test]
+fn multicore_equals_singlecore_results() {
+    // RSS distribution must not change analysis results: same handshake
+    // set on 1 and 8 cores.
+    let packets = generate(&CampusConfig::small(0x5EED));
+    let collect = |cores: u16| {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o2 = Arc::clone(&out);
+        let filter = compile(r"tls.sni ~ '\.com$'").unwrap();
+        let mut rt = Runtime::<TlsHandshakeData, _>::new(
+            RuntimeConfig::with_cores(cores),
+            filter,
+            move |hs| o2.lock().unwrap().push(hs.tls.sni().to_string()),
+        )
+        .unwrap();
+        let report = rt.run(PreloadedSource::new(packets.clone()));
+        assert!(report.zero_loss());
+        let mut v = out.lock().unwrap().clone();
+        v.sort();
+        v
+    };
+    let single = collect(1);
+    let multi = collect(8);
+    assert!(!single.is_empty());
+    assert_eq!(single, multi);
+}
+
+#[test]
+fn sink_sampling_reduces_delivered_traffic() {
+    let packets = generate(&CampusConfig::small(0x51));
+    let filter = compile("").unwrap();
+    let mut rt =
+        Runtime::<ConnRecord, _>::new(RuntimeConfig::with_cores(2), filter, |_| {}).unwrap();
+    rt.nic().set_sink_fraction(0.5);
+    let report = rt.run(PreloadedSource::new(packets));
+    assert!(report.nic.sunk > 0);
+    let frac = report.nic.sunk as f64 / report.nic.rx_offered as f64;
+    assert!((0.2..0.8).contains(&frac), "sunk fraction {frac}");
+    // Sunk traffic is intentional, not loss.
+    assert!(report.zero_loss());
+}
+
+#[test]
+fn timeout_schemes_order_connection_counts() {
+    // Figure 8's premise at miniature scale: with the default two-level
+    // timeouts, fewer connections stay resident than with
+    // inactivity-only, which in turn is fewer than with no timeouts.
+    use retina_conntrack::TimeoutConfig;
+    let packets = generate(&CampusConfig {
+        target_packets: 60_000,
+        duration_secs: 30.0,
+        ..CampusConfig::small(0xF18)
+    });
+    let resident = |timeouts: TimeoutConfig| {
+        let filter = Arc::new(compile("").unwrap());
+        let mut config = RuntimeConfig::default();
+        config.timeouts = timeouts;
+        // Measure expiries: more expiries with aggressive timeouts means
+        // fewer resident connections at any instant.
+        let stats = run_offline::<ConnRecord, _>(&filter, &config, packets.clone(), |_| {});
+        stats.conns_expired
+    };
+    let default_expired = resident(TimeoutConfig::retina_default());
+    let inact_expired = resident(TimeoutConfig::inactivity_only());
+    let none_expired = resident(TimeoutConfig::none());
+    assert!(
+        default_expired > inact_expired,
+        "{default_expired} vs {inact_expired}"
+    );
+    assert_eq!(none_expired, 0);
+}
+
+#[test]
+fn pcap_roundtrip_preserves_analysis() {
+    // Write the workload to a pcap, read it back, and get identical
+    // results — validating offline mode end to end.
+    let wl = HttpsWorkload {
+        requests_per_sec: 30,
+        response_bytes: 4096,
+        duration_secs: 0.5,
+        ..Default::default()
+    };
+    let packets = wl.generate();
+
+    let mut buf = Vec::new();
+    {
+        let mut w = retina_pcap::PcapWriter::new(&mut buf).unwrap();
+        for (frame, ts) in &packets {
+            w.write_packet(frame, *ts).unwrap();
+        }
+        w.flush().unwrap();
+    }
+    let restored = retina_pcap::PcapReader::new(&buf[..])
+        .unwrap()
+        .read_all()
+        .unwrap();
+    assert_eq!(restored.len(), packets.len());
+
+    let filter = Arc::new(compile("tls").unwrap());
+    let mut direct = 0;
+    run_offline::<TlsHandshakeData, _>(&filter, &RuntimeConfig::default(), packets, |_| {
+        direct += 1
+    });
+    let mut via_pcap = 0;
+    run_offline::<TlsHandshakeData, _>(&filter, &RuntimeConfig::default(), restored, |_| {
+        via_pcap += 1
+    });
+    assert_eq!(direct, via_pcap);
+    assert_eq!(direct, 15);
+}
+
+#[test]
+fn retina_and_baselines_agree_on_matches() {
+    // §6.2's task: both Retina and the baseline monitors must log the
+    // same TLS connections; the difference is how much work it takes.
+    use retina_baselines::{Monitor, SnortLike, SuricataLike, ZeekLike};
+    let wl = HttpsWorkload {
+        requests_per_sec: 40,
+        response_bytes: 8192,
+        duration_secs: 0.5,
+        ..Default::default()
+    };
+    let packets = wl.generate();
+
+    let filter = Arc::new(compile("tls.sni ~ 'nginx'").unwrap());
+    let mut retina_matches = 0u64;
+    run_offline::<TlsHandshakeData, _>(&filter, &RuntimeConfig::default(), packets.clone(), |_| {
+        retina_matches += 1
+    });
+
+    let mut zeek = ZeekLike::new("nginx");
+    let mut snort = SnortLike::new("nginx");
+    let mut suricata = SuricataLike::new("nginx");
+    for (frame, ts) in &packets {
+        zeek.process(frame, *ts);
+        snort.process(frame, *ts);
+        suricata.process(frame, *ts);
+    }
+    assert_eq!(retina_matches, 20);
+    assert_eq!(zeek.report().matches, retina_matches);
+    assert_eq!(snort.report().matches, retina_matches);
+    assert_eq!(suricata.report().matches, retina_matches);
+}
+
+#[test]
+fn stage_reduction_cascade() {
+    // Figure 7's qualitative property: each pipeline stage runs on a
+    // (weakly) decreasing fraction of traffic, and the callback runs on a
+    // tiny fraction for a narrow filter.
+    let packets = generate(&CampusConfig {
+        target_packets: 80_000,
+        ..CampusConfig::small(0xF16_7)
+    });
+    let filter =
+        Arc::new(compile(r"tcp.port = 443 and tls.sni ~ '(.+?\.)?nflxvideo\.net'").unwrap());
+    let mut config = RuntimeConfig::default();
+    config.profile_stages = true;
+    let mut callbacks = 0u64;
+    let stats = run_offline::<ConnRecord, _>(&filter, &config, packets, |_| callbacks += 1);
+
+    let total = stats.packet_filter.runs as f64;
+    let tracked = stats.conn_tracking.runs as f64;
+    let reassembled = stats.reassembly.runs as f64;
+    let parsed = stats.app_parsing.runs as f64;
+    assert!(tracked < total, "packet filter must discard non-TCP-443");
+    assert!(reassembled <= tracked);
+    // Parsing stops early for discarded conns, so parsing units stay well
+    // below reassembly units.
+    assert!(parsed <= reassembled * 1.05);
+    assert!(callbacks > 0, "some Netflix conns must exist in the mix");
+    assert!(
+        (callbacks as f64) < total / 50.0,
+        "callback on a tiny fraction: {callbacks} of {total}"
+    );
+}
+
+#[test]
+fn session_records_match_generated_composition() {
+    // The session mix the pipeline reports should reflect the generator's
+    // composition: TLS >> SSH.
+    let packets = generate(&CampusConfig::small(0xC0DE));
+    let filter = Arc::new(compile("tls or http or dns or ssh").unwrap());
+    let mut tls = 0;
+    let mut http = 0;
+    let mut dns = 0;
+    let mut ssh = 0;
+    run_offline::<SessionRecord, _>(&filter, &RuntimeConfig::default(), packets, |s| {
+        match retina_filter::SessionData::protocol(&s.session) {
+            "tls" => tls += 1,
+            "http" => http += 1,
+            "dns" => dns += 1,
+            "ssh" => ssh += 1,
+            _ => {}
+        }
+    });
+    assert!(tls > ssh, "tls={tls} ssh={ssh}");
+    assert!(dns > 0 && http > 0);
+}

@@ -1,0 +1,262 @@
+//! Differential tests: the statically generated filters (the
+//! `retina-filtergen` proc-macro, §4's code generation) must agree with
+//! the interpreted engine on every packet, connection, and session — the
+//! two execution strategies share one semantics (Appendix B's premise).
+
+use retina_core::FilterFns;
+use retina_filter::{CompiledFilter, FilterResult, ProtocolRegistry, SessionData};
+use retina_filtergen::filter;
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_wire::ParsedPacket;
+
+// Statically generated filters (expanded at compile time into native
+// conditionals).
+filter!(FIpv4, "ipv4");
+filter!(FPort443, "tcp.port = 443");
+filter!(
+    FPortRange,
+    "ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix'"
+);
+filter!(
+    FFigure3,
+    "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http"
+);
+filter!(FCipher, r"tls.cipher ~ 'AES_128_GCM'");
+filter!(FDns, "dns");
+filter!(FCidr, "ipv4.addr in 171.64.0.0/14 and udp");
+filter!(FTtl, "ipv4.ttl > 64");
+filter!(FMatchAll, "");
+filter!(
+    FNetflixLong,
+    "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or \
+     ipv6.addr in 2620:10c:7000::/44 or tls.sni ~ 'netflix.com' or \
+     tls.sni ~ 'nflxvideo.net' or tls.sni ~ 'nflximg.net'"
+);
+
+/// Attribute form also works.
+#[retina_filtergen::filter_attr("tls.sni matches '\\.com$'")]
+struct FComAttr;
+
+fn interp(src: &str) -> CompiledFilter {
+    CompiledFilter::build(src, &ProtocolRegistry::default()).unwrap()
+}
+
+fn differential_packets(static_f: &dyn FilterFns, interp_f: &CompiledFilter) {
+    let packets = generate(&CampusConfig::small(0xD1FF));
+    let mut matched = 0usize;
+    for (frame, _) in packets.iter().take(30_000) {
+        let Ok(pkt) = ParsedPacket::parse(frame) else {
+            continue;
+        };
+        let a = static_f.packet_filter(&pkt);
+        let b = interp_f.packet_filter(&pkt);
+        assert_eq!(a, b, "packet filter divergence on {pkt:?}");
+        if a.is_match() {
+            matched += 1;
+            // Conn filter agreement across all plausible services.
+            if let FilterResult::MatchNonTerminal(node) = a {
+                for service in [Some("tls"), Some("http"), Some("dns"), Some("ssh"), None] {
+                    assert_eq!(
+                        static_f.conn_filter(service, node),
+                        interp_f.conn_filter(service, node),
+                        "conn filter divergence at node {node} service {service:?}"
+                    );
+                }
+            }
+        }
+    }
+    // The campus mix must exercise the filter at least somewhere for the
+    // differential to be meaningful (true for all filters under test
+    // except possibly narrow CIDRs — allow zero there).
+    let _ = matched;
+}
+
+#[test]
+fn static_vs_interpreted_packet_and_conn() {
+    let cases: Vec<(&dyn FilterFns, &str)> = vec![
+        (&FIpv4, "ipv4"),
+        (&FPort443, "tcp.port = 443"),
+        (
+            &FPortRange,
+            "ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix'",
+        ),
+        (
+            &FFigure3,
+            "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+        ),
+        (&FCipher, r"tls.cipher ~ 'AES_128_GCM'"),
+        (&FDns, "dns"),
+        (&FCidr, "ipv4.addr in 171.64.0.0/14 and udp"),
+        (&FTtl, "ipv4.ttl > 64"),
+        (&FMatchAll, ""),
+        (
+            &FNetflixLong,
+            "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or \
+             ipv6.addr in 2620:10c:7000::/44 or tls.sni ~ 'netflix.com' or \
+             tls.sni ~ 'nflxvideo.net' or tls.sni ~ 'nflximg.net'",
+        ),
+    ];
+    for (static_f, src) in cases {
+        let interp_f = interp(src);
+        assert_eq!(static_f.source(), src);
+        assert_eq!(
+            static_f.conn_protocols(),
+            interp_f.conn_protocols(),
+            "{src}"
+        );
+        assert_eq!(
+            static_f.needs_conn_layer(),
+            interp_f.needs_conn_layer(),
+            "{src}"
+        );
+        assert_eq!(
+            static_f.needs_session_layer(),
+            interp_f.needs_session_layer(),
+            "{src}"
+        );
+        differential_packets(static_f, &interp_f);
+    }
+}
+
+struct FakeTls {
+    sni: &'static str,
+    cipher: &'static str,
+}
+
+impl SessionData for FakeTls {
+    fn protocol(&self) -> &str {
+        "tls"
+    }
+    fn field(&self, name: &str) -> Option<retina_filter::FieldValue<'_>> {
+        match name {
+            "sni" => Some(retina_filter::FieldValue::Str(self.sni)),
+            "cipher" => Some(retina_filter::FieldValue::Str(self.cipher)),
+            "version" => Some(retina_filter::FieldValue::Int(771)),
+            _ => None,
+        }
+    }
+}
+
+#[test]
+fn static_vs_interpreted_session_filter() {
+    // Reach a frontier node with a TCP packet, then compare session
+    // verdicts for both engines across sessions.
+    let interp_f = interp("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http");
+    let frame = retina_wire::build::build_tcp(&retina_wire::build::TcpSpec {
+        src: "10.0.0.1:50000".parse().unwrap(),
+        dst: "1.1.1.1:443".parse().unwrap(),
+        seq: 1,
+        ack: 0,
+        flags: retina_wire::TcpFlags::SYN,
+        window: 64,
+        ttl: 64,
+        payload: b"",
+    });
+    let pkt = ParsedPacket::parse(&frame).unwrap();
+    let node_s = FFigure3.packet_filter(&pkt).node().unwrap();
+    let node_i = interp_f.packet_filter(&pkt).node().unwrap();
+    assert_eq!(node_s, node_i, "trie node ids must align across engines");
+
+    for sni in ["www.netflix.com", "example.org", "netflix.co.uk", ""] {
+        let session = FakeTls {
+            sni,
+            cipher: "TLS_AES_128_GCM_SHA256",
+        };
+        assert_eq!(
+            FFigure3.session_filter(&session, node_s),
+            interp_f.session_filter(&session, node_i),
+            "sni {sni:?}"
+        );
+    }
+}
+
+#[test]
+fn attribute_macro_form() {
+    let interp_f = interp("tls.sni matches '\\.com$'");
+    assert_eq!(FComAttr.source(), "tls.sni matches '\\.com$'");
+    assert_eq!(FComAttr.conn_protocols(), vec!["tls".to_string()]);
+    let session_com = FakeTls {
+        sni: "www.example.com",
+        cipher: "",
+    };
+    let session_org = FakeTls {
+        sni: "www.example.org",
+        cipher: "",
+    };
+    // Find the frontier node via a packet.
+    let frame = retina_wire::build::build_tcp(&retina_wire::build::TcpSpec {
+        src: "10.0.0.1:50000".parse().unwrap(),
+        dst: "1.1.1.1:443".parse().unwrap(),
+        seq: 1,
+        ack: 0,
+        flags: retina_wire::TcpFlags::SYN,
+        window: 64,
+        ttl: 64,
+        payload: b"",
+    });
+    let pkt = ParsedPacket::parse(&frame).unwrap();
+    let node = FComAttr.packet_filter(&pkt).node().unwrap();
+    assert!(FComAttr.session_filter(&session_com, node));
+    assert!(!FComAttr.session_filter(&session_org, node));
+    let _ = interp_f;
+}
+
+#[test]
+fn static_filter_runs_in_runtime() {
+    // A macro-generated filter drives the full multi-core runtime.
+    use retina_core::subscribables::TlsHandshakeData;
+    use retina_core::{Runtime, RuntimeConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let wl = retina_trafficgen::HttpsWorkload {
+        requests_per_sec: 50,
+        response_bytes: 8192,
+        duration_secs: 0.5,
+        ..Default::default()
+    };
+    let count = Arc::new(AtomicUsize::new(0));
+    let count2 = Arc::clone(&count);
+    filter!(FNginx, "tls.sni ~ 'nginx'");
+    let mut rt =
+        Runtime::<TlsHandshakeData, _>::new(RuntimeConfig::with_cores(2), FNginx, move |_hs| {
+            count2.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    let report = rt.run(wl.source());
+    assert_eq!(count.load(Ordering::Relaxed), 25);
+    assert!(report.zero_loss());
+}
+
+#[test]
+fn offline_mode_agrees_between_engines() {
+    // Same subscription, same traffic, one run per engine: identical
+    // callback counts.
+    use retina_core::offline::run_offline;
+    use retina_core::subscribables::SessionRecord;
+    use std::sync::Arc;
+
+    let packets = generate(&CampusConfig::small(0xABCD));
+    let src = "tls.sni ~ '\\.com$' or http";
+    filter!(FComOrHttp, "tls.sni ~ '\\.com$' or http");
+
+    let mut interp_count = 0usize;
+    let interp_f = Arc::new(interp(src));
+    run_offline::<SessionRecord, _>(
+        &interp_f,
+        &retina_core::RuntimeConfig::default(),
+        packets.clone(),
+        |_| interp_count += 1,
+    );
+
+    let mut static_count = 0usize;
+    let static_f = Arc::new(FComOrHttp);
+    run_offline::<SessionRecord, _>(
+        &static_f,
+        &retina_core::RuntimeConfig::default(),
+        packets,
+        |_| static_count += 1,
+    );
+    assert_eq!(interp_count, static_count);
+    assert!(interp_count > 0);
+}

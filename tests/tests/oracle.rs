@@ -1,0 +1,273 @@
+//! Independent correctness oracle for the packet filter.
+//!
+//! The decomposed filter (predicate trie → packet sub-filter) must agree
+//! with a *direct evaluation of the original expression* quantified over
+//! the possible futures ("worlds") of the connection. A world fixes
+//! which application-layer service the connection turns out to be (one
+//! of the registered protocols whose encapsulation chain is compatible
+//! with the packet's headers, or none); session-field predicates of that
+//! service remain unknown within the world. The filter is
+//!
+//! - definitely-true (`MatchTerminal`) iff the expression is true in
+//!   *every* world,
+//! - definitely-false (`NoMatch`) iff it is false in every world,
+//! - pending (`MatchNonTerminal`) otherwise.
+//!
+//! This captures the correlation three-valued logic alone misses: a
+//! connection cannot be both HTTP and TLS, so
+//! `http.status = 200 and tls.version = 772` is definitely false even
+//! though each conjunct is individually unknown. The oracle shares no
+//! code with the DNF/trie pipeline.
+
+use proptest::prelude::*;
+use retina_filter::ast::Expr;
+use retina_filter::registry::{FilterLayer, ProtocolRegistry};
+use retina_filter::subfilters::{eval_packet_pred, eval_packet_unary};
+use retina_filter::{CompiledFilter, FilterFns, FilterResult};
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_wire::ParsedPacket;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    False,
+    True,
+    Unknown,
+}
+
+fn and3(a: Tri, b: Tri) -> Tri {
+    match (a, b) {
+        (Tri::False, _) | (_, Tri::False) => Tri::False,
+        (Tri::True, Tri::True) => Tri::True,
+        _ => Tri::Unknown,
+    }
+}
+
+fn or3(a: Tri, b: Tri) -> Tri {
+    match (a, b) {
+        (Tri::True, _) | (_, Tri::True) => Tri::True,
+        (Tri::False, Tri::False) => Tri::False,
+        _ => Tri::Unknown,
+    }
+}
+
+/// Is any encapsulation chain of `proto` compatible with this packet's
+/// headers?
+fn chain_compatible(registry: &ProtocolRegistry, proto: &str, pkt: &ParsedPacket) -> bool {
+    registry.chains(proto).iter().any(|chain| {
+        chain.iter().all(|p| {
+            let def = registry.get(p).expect("chain protocols registered");
+            match def.layer {
+                FilterLayer::Packet => eval_packet_unary(p, pkt),
+                // Conn-layer links are unknowable from headers: compatible.
+                _ => true,
+            }
+        })
+    })
+}
+
+/// Evaluates the expression in one world: `service` is the protocol the
+/// connection turns out to be (`None` = no recognizable protocol).
+/// Session-field predicates of the active service stay [`Tri::Unknown`].
+fn eval_world(
+    registry: &ProtocolRegistry,
+    expr: &Expr,
+    pkt: &ParsedPacket,
+    service: Option<&str>,
+) -> Tri {
+    match expr {
+        Expr::And(a, b) => and3(
+            eval_world(registry, a, pkt, service),
+            eval_world(registry, b, pkt, service),
+        ),
+        Expr::Or(a, b) => or3(
+            eval_world(registry, a, pkt, service),
+            eval_world(registry, b, pkt, service),
+        ),
+        Expr::Predicate(pred) => {
+            let proto = pred.protocol();
+            let def = registry.get(proto).expect("known protocol");
+            match def.predicate_layer(pred.is_unary()) {
+                FilterLayer::Packet => {
+                    if eval_packet_pred(pred, pkt) {
+                        Tri::True
+                    } else {
+                        Tri::False
+                    }
+                }
+                FilterLayer::Connection => {
+                    if service == Some(proto) {
+                        Tri::True
+                    } else {
+                        Tri::False
+                    }
+                }
+                FilterLayer::Session => {
+                    if service == Some(proto) {
+                        Tri::Unknown
+                    } else {
+                        Tri::False
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Quantifies [`eval_world`] over every service compatible with the
+/// packet (plus "no recognizable protocol").
+fn eval3(registry: &ProtocolRegistry, expr: &Expr, pkt: &ParsedPacket) -> Tri {
+    let mut services: Vec<Option<&str>> = vec![None];
+    for proto in ["tls", "http", "dns", "ssh"] {
+        if chain_compatible(registry, proto, pkt) {
+            services.push(Some(proto));
+        }
+    }
+    let verdicts: Vec<Tri> = services
+        .into_iter()
+        .map(|s| eval_world(registry, expr, pkt, s))
+        .collect();
+    if verdicts.iter().all(|&v| v == Tri::True) {
+        Tri::True
+    } else if verdicts.iter().all(|&v| v == Tri::False) {
+        Tri::False
+    } else {
+        Tri::Unknown
+    }
+}
+
+fn expected(result: FilterResult) -> Tri {
+    match result {
+        FilterResult::NoMatch => Tri::False,
+        FilterResult::MatchTerminal(_) => Tri::True,
+        FilterResult::MatchNonTerminal(_) => Tri::Unknown,
+    }
+}
+
+fn check_filter_against_oracle(src: &str, packets: &[(bytes::Bytes, u64)]) {
+    let registry = ProtocolRegistry::default();
+    let Ok(filter) = CompiledFilter::build(src, &registry) else {
+        return; // unsatisfiable or invalid — out of oracle scope
+    };
+    if src.trim().is_empty() {
+        return; // the match-all filter has no AST to evaluate
+    }
+    let expr = retina_filter::parse(src).expect("filter parsed before");
+    for (frame, _) in packets {
+        let Ok(pkt) = ParsedPacket::parse(frame) else {
+            continue;
+        };
+        let oracle = eval3(&registry, &expr, &pkt);
+        let got = expected(filter.packet_filter(&pkt));
+        assert_eq!(
+            got, oracle,
+            "filter '{src}' diverges from AST oracle on packet {pkt:?}"
+        );
+    }
+}
+
+fn sample_packets() -> Vec<(bytes::Bytes, u64)> {
+    let mut packets = generate(&CampusConfig::small(0x0AC1E));
+    packets.truncate(6_000);
+    packets
+}
+
+#[test]
+fn fixed_filters_match_oracle() {
+    let packets = sample_packets();
+    for src in [
+        "",
+        "eth",
+        "ipv4",
+        "ipv6",
+        "tcp",
+        "udp",
+        "icmp",
+        "tls",
+        "http",
+        "dns",
+        "ssh",
+        "tcp.port = 443",
+        "tcp.port != 443",
+        "tcp.src_port < 1024",
+        "tcp.port in 440..450",
+        "udp.dst_port = 53",
+        "ipv4.ttl > 64",
+        "ipv4.ttl <= 64",
+        "ipv6.hop_limit >= 64",
+        "ipv4.addr in 171.64.0.0/14",
+        "ipv4.src_addr in 171.64.0.0/14",
+        "ipv4.dst_addr in 8.8.8.0/24",
+        "ipv6.addr in 2607:f6d0::/32",
+        "tls.sni ~ 'netflix'",
+        "tls.version = 771",
+        "http.user_agent ~ 'curl'",
+        "ipv4 and tcp",
+        "ipv4 and udp.port = 53",
+        "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+        "tls or ssh",
+        "ipv4 and (tls or ssh)",
+        "(ipv4 or ipv6) and tcp.port = 22",
+        "dns or icmp",
+        "tcp.port = 80 or tls",
+        "ipv4.ttl > 200 or udp",
+        "(tcp and tls.sni ~ 'google') or (udp and dns.query_name ~ 'google')",
+        "tcp.window > 1000 and tls",
+        "ipv4.total_len > 1000",
+        "icmp.type = 8",
+    ] {
+        check_filter_against_oracle(src, &packets);
+    }
+}
+
+// ---------------------------------------------------------------- random
+
+fn arb_packet_pred() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("ipv4".to_string()),
+        Just("ipv6".to_string()),
+        Just("tcp".to_string()),
+        Just("udp".to_string()),
+        Just("icmp".to_string()),
+        (0u16..1000).prop_map(|p| format!("tcp.port = {p}")),
+        (0u16..65000).prop_map(|p| format!("tcp.src_port >= {p}")),
+        (0u16..65000).prop_map(|p| format!("udp.dst_port < {p}")),
+        (0u8..=255).prop_map(|t| format!("ipv4.ttl > {t}")),
+        (0u8..=32).prop_map(|l| format!("ipv4.addr in 171.64.0.0/{l}")),
+        (0u16..400).prop_map(|a| format!("ipv4.src_addr = 171.{}.{}.9", 64 + a % 4, a % 256)),
+    ]
+}
+
+fn arb_conn_pred() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("tls".to_string()),
+        Just("http".to_string()),
+        Just("dns".to_string()),
+        Just("ssh".to_string()),
+        Just("tls.sni ~ 'com'".to_string()),
+        Just("tls.version = 772".to_string()),
+        Just("http.status = 200".to_string()),
+        Just("dns.query_name ~ 'google'".to_string()),
+    ]
+}
+
+fn arb_filter(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![arb_packet_pred(), arb_conn_pred()];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![Just("and"), Just("or")])
+            .prop_map(|(a, b, op)| format!("({a} {op} {b})"))
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random filter expressions over a slice of campus traffic agree
+    /// with the three-valued AST oracle.
+    #[test]
+    fn random_filters_match_oracle(src in arb_filter(3)) {
+        let mut packets = generate(&CampusConfig::small(0x9A9A));
+        packets.truncate(800);
+        check_filter_against_oracle(&src, &packets);
+    }
+}

@@ -1,0 +1,167 @@
+//! Panic-freedom under adversarial input — the §2 security requirement:
+//! "real-world network traffic can be unpredictable and malicious …
+//! our system needs to safely perform internal framework operations".
+//!
+//! Every parser in the stack (wire, protocol modules, and the full
+//! pipeline) must return errors, never panic, on arbitrary bytes —
+//! including structure-aware mutations of valid frames, which reach much
+//! deeper into the parsers than pure noise.
+
+use proptest::prelude::*;
+use retina_protocols::{ConnParser, Direction};
+use retina_wire::ParsedPacket;
+
+fn parsers() -> Vec<Box<dyn ConnParser>> {
+    let registry = retina_protocols::ParserRegistry::default();
+    registry.new_parsers(&[
+        "tls".to_string(),
+        "http".to_string(),
+        "dns".to_string(),
+        "ssh".to_string(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the one-pass packet parser.
+    #[test]
+    fn wire_parse_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ParsedPacket::parse(&data);
+    }
+
+    /// Arbitrary bytes never panic any protocol parser (probe or parse),
+    /// in either direction, including when fed incrementally.
+    #[test]
+    fn protocol_parsers_total(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..64,
+    ) {
+        for mut parser in parsers() {
+            let _ = parser.probe(&data, Direction::ToServer);
+            let _ = parser.probe(&data, Direction::ToClient);
+            for piece in data.chunks(chunk) {
+                let _ = parser.parse(piece, Direction::ToServer);
+            }
+            let _ = parser.drain_sessions();
+        }
+    }
+
+    /// Structure-aware mutation: corrupt one byte of a valid TLS
+    /// ClientHello record and feed it everywhere.
+    #[test]
+    fn mutated_client_hello_total(pos in 0usize..200, val in any::<u8>()) {
+        let mut record = retina_protocols::tls::build::client_hello_record(
+            &retina_protocols::tls::build::ClientHelloSpec {
+                sni: Some("mutation.example".into()),
+                ciphers: vec![0x1301, 0xc02f],
+                random: [3; 32],
+                version: 0x0303,
+                alpn: Some("h2".into()),
+            },
+        );
+        if pos < record.len() {
+            record[pos] = val;
+        }
+        for mut parser in parsers() {
+            let _ = parser.probe(&record, Direction::ToServer);
+            let _ = parser.parse(&record, Direction::ToServer);
+            let _ = parser.drain_sessions();
+        }
+    }
+
+    /// Structure-aware mutation of a full valid frame through the whole
+    /// offline pipeline: parse + filters + tracker must never panic.
+    #[test]
+    fn mutated_frame_through_pipeline(
+        pos in 0usize..400,
+        val in any::<u8>(),
+        seed in any::<u8>(),
+    ) {
+        use retina_core::offline::run_offline;
+        use retina_core::subscribables::SessionRecord;
+        use std::sync::Arc;
+
+        let base = retina_wire::build::build_tcp(&retina_wire::build::TcpSpec {
+            src: "171.64.1.2:40000".parse().unwrap(),
+            dst: "93.184.216.34:443".parse().unwrap(),
+            seq: 1000,
+            ack: 2000,
+            flags: retina_wire::TcpFlags::ACK | retina_wire::TcpFlags::PSH,
+            window: 64,
+            ttl: 64,
+            payload: &retina_protocols::tls::build::client_hello_record(
+                &retina_protocols::tls::build::ClientHelloSpec {
+                    sni: Some("pipeline.example".into()),
+                    ciphers: vec![0x1301],
+                    random: [seed; 32],
+                    version: 0x0303,
+                    alpn: None,
+                },
+            ),
+        });
+        let mut frame = base;
+        if pos < frame.len() {
+            frame[pos] = val;
+        }
+        let filter = Arc::new(retina_core::compile("tls or http or dns or ssh").unwrap());
+        run_offline::<SessionRecord, _>(
+            &filter,
+            &retina_core::RuntimeConfig::default(),
+            vec![(bytes::Bytes::from(frame), 0)],
+            |_| {},
+        );
+    }
+
+    /// Truncation at every length: a valid frame cut anywhere must flow
+    /// through the pipeline without panicking.
+    #[test]
+    fn truncated_frames_total(cut in 0usize..120) {
+        let frame = retina_wire::build::build_udp(&retina_wire::build::UdpSpec {
+            src: "10.0.0.1:5353".parse().unwrap(),
+            dst: "8.8.8.8:53".parse().unwrap(),
+            ttl: 64,
+            payload: &retina_protocols::dns::build_query(7, "cut.example.com", 1),
+        });
+        let cut = cut.min(frame.len());
+        let _ = ParsedPacket::parse(&frame[..cut]);
+    }
+}
+
+/// Deterministic adversarial corpus: crafted inputs that target known
+/// parser edge cases.
+#[test]
+fn adversarial_corpus() {
+    let corpus: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0x16],                         // lone TLS type byte
+        vec![0x16, 0x03, 0x03, 0xff, 0xff], // record claiming 64KB
+        b"GET ".to_vec(),                   // truncated request line
+        b"GET / HTTP/9.9\r\n\r\n".to_vec(), // bad version
+        b"SSH-".to_vec(),                   // truncated banner
+        vec![0u8; 12],                      // DNS header, zero counts
+        {
+            // DNS with qdcount=1 but a label pointing past the packet.
+            let mut d = vec![0u8; 12];
+            d[5] = 1;
+            d.extend_from_slice(&[0xc0, 0xff]);
+            d
+        },
+        vec![0xff; 512], // all ones
+        {
+            // TLS handshake message length larger than the record.
+            let mut r = vec![0x16, 0x03, 0x03, 0x00, 0x04];
+            r.extend_from_slice(&[0x01, 0xff, 0xff, 0xff]);
+            r
+        },
+    ];
+    for input in &corpus {
+        for mut parser in parsers() {
+            let _ = parser.probe(input, Direction::ToServer);
+            let _ = parser.parse(input, Direction::ToServer);
+            let _ = parser.parse(input, Direction::ToClient);
+            let _ = parser.drain_sessions();
+        }
+        let _ = ParsedPacket::parse(input);
+    }
+}
