@@ -310,7 +310,7 @@ mod tests {
     use super::*;
     use retina_trafficgen::HttpsWorkload;
 
-    fn workload() -> Vec<(bytes::Bytes, u64)> {
+    fn workload() -> Vec<(retina_support::bytes::Bytes, u64)> {
         HttpsWorkload {
             requests_per_sec: 40,
             response_bytes: 16 * 1024,

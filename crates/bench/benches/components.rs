@@ -3,7 +3,8 @@
 //! timer-wheel operations, and the two reassembly designs (Retina's
 //! pass-through vs. the eager copy-based ablation).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use retina_support::bench::{Criterion, Throughput};
+use retina_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use retina_conntrack::{ConnKey, ConnTable, StreamReassembler, TimeoutConfig, TimerWheel};
@@ -146,7 +147,7 @@ fn bench_timer_wheel(c: &mut Criterion) {
 fn bench_reassembly_designs(c: &mut Criterion) {
     const SEGMENTS: usize = 64;
     let payload = vec![0x5Au8; 1460];
-    let mbuf = Mbuf::from_bytes(bytes::Bytes::from(sample_frame(1460)));
+    let mbuf = Mbuf::from_bytes(retina_support::bytes::Bytes::from(sample_frame(1460)));
     let mut group = c.benchmark_group("reassembly_64x1460B_inorder");
     group.throughput(Throughput::Bytes((SEGMENTS * 1460) as u64));
     group.bench_function("retina_passthrough", |b| {

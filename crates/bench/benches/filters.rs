@@ -2,7 +2,8 @@
 //! filter execution — the per-call counterpart to Figure 12's end-to-end
 //! speedups.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use retina_support::bench::{BatchSize, Criterion, Throughput};
+use retina_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use retina_core::FilterFns;
@@ -43,7 +44,7 @@ fn bench_packet_filters(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("packet_filter");
-    group.throughput(criterion::Throughput::Elements(parsed.len() as u64));
+    group.throughput(Throughput::Elements(parsed.len() as u64));
 
     for (name, static_f, src) in [
         ("port443", &SPort as &dyn FilterFns, "tcp.port = 443"),

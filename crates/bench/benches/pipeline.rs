@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use retina_support::bench::{Criterion, Throughput};
+use retina_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use retina_baselines::{Monitor, SnortLike, SuricataLike, ZeekLike};

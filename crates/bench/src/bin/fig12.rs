@@ -140,7 +140,7 @@ fn main() {
 fn run_static(
     f: &dyn FilterFns,
     config: &RuntimeConfig,
-    packets: Vec<(bytes::Bytes, u64)>,
+    packets: Vec<(retina_support::bytes::Bytes, u64)>,
     hits: &mut u64,
 ) {
     // Dispatch to the concrete type so the filter calls are static.

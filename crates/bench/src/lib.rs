@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 use retina_core::{FilterFns, RunReport, Runtime, RuntimeConfig, Subscribable};
 use retina_trafficgen::PreloadedSource;
 

@@ -216,7 +216,7 @@ mod tests {
     }
 
     fn mb() -> retina_nic::Mbuf {
-        retina_nic::Mbuf::from_bytes(bytes::Bytes::from_static(b"frame"))
+        retina_nic::Mbuf::from_bytes(retina_support::bytes::Bytes::from_static(b"frame"))
     }
 
     const CLIENT: &str = "10.0.0.1:5000";

@@ -178,7 +178,7 @@ impl StreamReassembler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use retina_support::bytes::Bytes;
 
     fn mbuf(tag: u8) -> Mbuf {
         Mbuf::from_bytes(Bytes::from(vec![tag; 4]))
@@ -308,11 +308,11 @@ mod tests {
         assert_eq!(r.next_seq(), Some(2920));
     }
 
-    proptest::proptest! {
+    retina_support::proptest! {
         /// Feeding any permutation of a contiguous segment sequence must
         /// deliver every segment exactly once, in order.
         #[test]
-        fn permutation_invariant(perm in proptest::sample::subsequence((0..12u32).collect::<Vec<_>>(), 12)) {
+        fn permutation_invariant(perm in retina_support::proptest::sample::subsequence((0..12u32).collect::<Vec<_>>(), 12)) {
             // subsequence of full length = permutation source; shuffle by
             // reversing halves deterministically.
             let mut order = perm.clone();
@@ -330,11 +330,11 @@ mod tests {
                         }
                     }
                     Reassembled::Buffered => {}
-                    other => proptest::prop_assert!(false, "unexpected {other:?}"),
+                    other => retina_support::prop_assert!(false, "unexpected {other:?}"),
                 }
             }
             let expect: Vec<u32> = (0..order.len() as u32).map(|i| i * 100).collect();
-            proptest::prop_assert_eq!(delivered, expect);
+            retina_support::prop_assert_eq!(delivered, expect);
         }
     }
 }

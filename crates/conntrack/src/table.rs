@@ -360,7 +360,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use retina_support::proptest::prelude::*;
     use std::net::SocketAddr;
 
     proptest! {
@@ -372,7 +372,7 @@ mod proptests {
         /// established connection.
         #[test]
         fn conservation_and_no_premature_expiry(
-            ops in proptest::collection::vec((0u8..4, 0u16..64, 0u64..200), 1..400)
+            ops in collection::vec((0u8..4, 0u16..64, 0u64..200), 1..400)
         ) {
             const SEC: u64 = 1_000_000_000;
             let mut table: ConnTable<u8> = ConnTable::new(TimeoutConfig::retina_default());

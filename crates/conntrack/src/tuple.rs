@@ -188,17 +188,17 @@ mod tests {
         assert_eq!(Dir::RespToOrig.flip(), Dir::OrigToResp);
     }
 
-    proptest::proptest! {
+    retina_support::proptest! {
         #[test]
         fn key_symmetry_property(
-            a in proptest::prelude::any::<u32>(),
-            b in proptest::prelude::any::<u32>(),
-            pa in proptest::prelude::any::<u16>(),
-            pb in proptest::prelude::any::<u16>(),
+            a in retina_support::proptest::any::<u32>(),
+            b in retina_support::proptest::any::<u32>(),
+            pa in retina_support::proptest::any::<u16>(),
+            pb in retina_support::proptest::any::<u16>(),
         ) {
             let sa = SocketAddr::new(IpAddr::V4(a.into()), pa);
             let sb = SocketAddr::new(IpAddr::V4(b.into()), pb);
-            proptest::prop_assert_eq!(ConnKey::new(sa, sb, 6), ConnKey::new(sb, sa, 6));
+            retina_support::prop_assert_eq!(ConnKey::new(sa, sb, 6), ConnKey::new(sb, sa, 6));
         }
     }
 }

@@ -37,7 +37,7 @@ pub enum CallbackSink<S> {
     /// Inline execution on the worker.
     Inline(Arc<dyn Fn(S) + Send + Sync>),
     /// Queued execution on the executor thread.
-    Queued(crossbeam::channel::Sender<S>),
+    Queued(retina_support::sync::channel::Sender<S>),
 }
 
 impl<S> Clone for CallbackSink<S> {
@@ -69,8 +69,8 @@ impl<S: Send + 'static> CallbackSink<S> {
 pub fn spawn_executor<S: Send + 'static>(
     depth: usize,
     callback: Arc<dyn Fn(S) + Send + Sync>,
-) -> (crossbeam::channel::Sender<S>, std::thread::JoinHandle<u64>) {
-    let (tx, rx) = crossbeam::channel::bounded::<S>(depth.max(1));
+) -> (retina_support::sync::channel::Sender<S>, std::thread::JoinHandle<u64>) {
+    let (tx, rx) = retina_support::sync::channel::bounded::<S>(depth.max(1));
     let handle = std::thread::spawn(move || {
         let mut executed = 0u64;
         while let Ok(data) = rx.recv() {

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 use retina_filter::{FilterFns, FilterResult};
 use retina_nic::Mbuf;
 use retina_wire::ParsedPacket;

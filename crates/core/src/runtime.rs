@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 use retina_filter::{CompiledFilter, FilterFns, FilterResult};
 use retina_nic::{PortStatsSnapshot, VirtualNic};
 use retina_wire::ParsedPacket;

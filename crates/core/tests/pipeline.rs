@@ -1,11 +1,21 @@
 //! End-to-end pipeline tests: filters + tracker + subscriptions over
 //! hand-built packet sequences, in offline mode and through the full
 //! multi-threaded runtime.
+//!
+//! # Determinism
+//!
+//! Every input here is constructed by hand (no RNG at all): TCP
+//! sequence numbers, timestamps, and TLS randoms are fixed constants,
+//! so each run feeds byte-identical frames to the pipeline. Tests that
+//! need generated traffic live in `tests/tests/end_to_end.rs` and draw
+//! it from `CampusConfig::small(<fixed seed>)`, the workspace-wide
+//! convention for reproducible randomness (`retina_support::rand` is
+//! fully seeded; nothing reads ambient entropy).
 
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 use retina_core::offline::run_offline;
 use retina_core::runtime::{Runtime, TrafficSource};
 use retina_core::subscribables::{

@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use regex::Regex;
+use retina_support::rematch::Regex;
 use retina_nic::DeviceCaps;
 use retina_nic::FlowRule;
 use retina_wire::ParsedPacket;

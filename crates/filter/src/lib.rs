@@ -65,7 +65,7 @@ pub use trie::{FilterLayer, PredicateTrie};
 
 // Re-exported so macro-generated code can reference these crates through
 // `retina_filter::` without the user adding direct dependencies.
-pub use regex;
+pub use retina_support::rematch as regex;
 pub use retina_wire as wire;
 
 /// Parses and fully decomposes a filter with the default protocol registry.

@@ -373,7 +373,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use retina_support::proptest::prelude::*;
 
     fn arb_value() -> impl Strategy<Value = Value> {
         prop_oneof![

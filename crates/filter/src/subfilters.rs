@@ -205,7 +205,7 @@ pub fn eval_packet_pred(pred: &Predicate, pkt: &ParsedPacket) -> bool {
 pub fn eval_session_pred(
     pred: &Predicate,
     session: &dyn crate::datatypes::SessionData,
-    regexes: &std::collections::HashMap<String, regex::Regex>,
+    regexes: &std::collections::HashMap<String, retina_support::rematch::Regex>,
 ) -> bool {
     let Predicate::Binary {
         field, op, value, ..
@@ -388,7 +388,7 @@ mod tests {
     #[test]
     fn session_predicates() {
         let mut regexes = std::collections::HashMap::new();
-        regexes.insert("netflix".to_string(), regex::Regex::new("netflix").unwrap());
+        regexes.insert("netflix".to_string(), retina_support::rematch::Regex::new("netflix").unwrap());
         assert!(eval_session_pred(
             &pred("tls.sni ~ 'netflix'"),
             &FakeSession,

@@ -9,9 +9,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bytes::Bytes;
-use crossbeam::queue::ArrayQueue;
-use parking_lot::RwLock;
+use retina_support::bytes::Bytes;
+use retina_support::sync::ArrayQueue;
+use retina_support::sync::RwLock;
 use retina_wire::ParsedPacket;
 
 use crate::flow::{DeviceCaps, FlowAction, FlowRule, FlowRuleEngine};

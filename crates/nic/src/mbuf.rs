@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 
 /// A received packet buffer with metadata.
 ///

@@ -232,18 +232,18 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
+    retina_support::proptest! {
         #[test]
         fn symmetry_holds_for_all_v4_tuples(
-            a in proptest::prelude::any::<u32>(),
-            b in proptest::prelude::any::<u32>(),
-            pa in proptest::prelude::any::<u16>(),
-            pb in proptest::prelude::any::<u16>(),
+            a in retina_support::proptest::any::<u32>(),
+            b in retina_support::proptest::any::<u32>(),
+            pa in retina_support::proptest::any::<u16>(),
+            pb in retina_support::proptest::any::<u16>(),
         ) {
             let hasher = RssHasher::symmetric();
             let sa = IpAddr::V4(a.into());
             let sb = IpAddr::V4(b.into());
-            proptest::prop_assert_eq!(
+            retina_support::prop_assert_eq!(
                 hasher.hash_tuple(&sa, &sb, pa, pb),
                 hasher.hash_tuple(&sb, &sa, pb, pa)
             );

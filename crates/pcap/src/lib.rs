@@ -15,7 +15,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 use retina_core::TrafficSource;
 
 const MAGIC_US: u32 = 0xa1b2_c3d4;

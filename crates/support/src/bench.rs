@@ -1,0 +1,249 @@
+//! Minimal benchmarking harness with a criterion-shaped API.
+//!
+//! Replaces `criterion` for the bench targets in `crates/bench/benches`:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], and the
+//! [`criterion_group!`](crate::criterion_group!) /
+//! [`criterion_main!`](crate::criterion_main!) macros. Each benchmark is
+//! calibrated to a minimum measured window, then sampled `sample_size`
+//! times; the report prints median and p95 wall-clock per iteration plus
+//! derived throughput when declared.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measurement window per sample; iteration counts are
+/// calibrated so one sample takes at least this long.
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(2);
+
+/// Declared per-iteration workload, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output a batched routine consumes; only
+/// `SmallInput` is used in this repo, and all variants behave the same
+/// here (setup re-runs per batch, excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` outside the timed
+    /// region for every iteration.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the iteration count until one sample fills the
+    // minimum window (doubles, so at most ~30 probe runs).
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= MIN_SAMPLE_WINDOW || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let samples = sample_size.max(2);
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let p95 = per_iter_ns[((per_iter_ns.len() - 1) * 95) / 100];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            let gbps = (n as f64 * 8.0) / median;
+            format!("  {gbps:.3} Gbit/s")
+        }
+        Throughput::Elements(n) => {
+            let meps = (n as f64 * 1e3) / median;
+            format!("  {meps:.3} Melem/s")
+        }
+    });
+    println!(
+        "bench {name:<48} median {} p95 {} ({iters} iters/sample x {samples}){}",
+        fmt_ns(median),
+        fmt_ns(p95),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.2} s ", ns / 1e9)
+    }
+}
+
+/// Top-level harness state (criterion-shaped).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (filtering is not supported;
+    /// `cargo bench -p retina-bench --bench <name>` selects targets).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 0,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let sample_size = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        run_one(&name.into(), sample_size, None, &mut f);
+    }
+}
+
+/// A named benchmark group sharing throughput and sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n;
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.into());
+        let sample_size = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        run_one(&full, sample_size, self.throughput, &mut f);
+    }
+
+    /// Ends the group (kept for criterion API parity).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("support/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        assert!(runs > 0, "routine never executed");
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("support_group");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(3);
+        let mut setups = 0u64;
+        let mut routines = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 64]
+                },
+                |v| {
+                    routines += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, routines, "setup must run once per routine call");
+        assert!(routines > 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! In-tree, dependency-free support substrate for the Retina workspace.
+//!
+//! Every external crate the workspace previously pulled from crates.io
+//! is replaced by a module here so the whole tree builds and tests
+//! offline with only the standard library:
+//!
+//! | module            | replaces                   | used by                      |
+//! |-------------------|----------------------------|------------------------------|
+//! | [`bytes`]         | `bytes` (`Bytes`)          | zero-copy mbuf payloads      |
+//! | [`sync`]          | `parking_lot`, `crossbeam` | NIC rings, executor channels |
+//! | [`rand`]          | `rand` (`SmallRng`)        | seeded traffic generation    |
+//! | [`rematch`]       | `regex` (`Regex`)          | filter `~` string matching   |
+//! | [`proptest`]      | `proptest`                 | property tests everywhere    |
+//! | [`bench`]         | `criterion`                | `crates/bench/benches`       |
+//!
+//! The replacements implement the *subset* of each upstream API this
+//! repository actually uses, with the same call-site shapes, so the
+//! migration is an import swap rather than a rewrite. Determinism is a
+//! design goal throughout: nothing in this crate reads ambient entropy,
+//! the clock only feeds benchmark timing, and property tests derive
+//! their seeds from test names (see [`proptest`] module docs).
+
+pub mod bench;
+pub mod bytes;
+pub mod proptest;
+pub mod rand;
+pub mod rematch;
+pub mod sync;
+
+/// Defines property tests (`proptest`-compatible surface).
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn roundtrip(v in 0u32..100, name in "[a-z]{1,8}") {
+///         prop_assert!(v < 100);
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a zero-argument test that runs the body against
+/// `cases` generated inputs, deterministically seeded from the test's
+/// module path and name, shrinking any failure to a minimal
+/// counterexample (see [`proptest::runner::run`]).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::proptest::runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    |__ds| {
+                        let mut __note = ::std::string::String::new();
+                        $(
+                            let __val =
+                                $crate::proptest::Strategy::generate(&($strat), __ds);
+                            {
+                                use ::std::fmt::Write as _;
+                                let _ = ::std::write!(
+                                    __note,
+                                    "{}{} = {:?}",
+                                    if __note.is_empty() { "" } else { ", " },
+                                    stringify!($pat),
+                                    &__val
+                                );
+                            }
+                            let $pat = __val;
+                        )+
+                        $crate::proptest::runner::note_input(__note);
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::proptest::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Skips the current case without failing it; the runner generates a
+/// replacement (bounded by `max_global_rejects`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            $crate::proptest::runner::reject();
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            $crate::proptest::runner::reject();
+        }
+    };
+}
+
+/// Asserts within a property body; failures are shrunk like any panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing a common value type.
+/// Earlier options are treated as simpler: shrinking moves toward the
+/// first.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::proptest::Union::new(::std::vec![
+            $($crate::proptest::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Collects benchmark functions into a runnable group
+/// (criterion-compatible surface for `harness = false` bench targets).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut __criterion = $crate::bench::Criterion::default().configure_from_args();
+            $( $target(&mut __criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group built by
+/// [`criterion_group!`](crate::criterion_group!).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::proptest::prelude::*;
+
+    proptest! {
+        fn default_config_runs(v in 0u32..50) {
+            prop_assert!(v < 50);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn configured_and_multi_arg(a in 0u8..10, b in "[a-c]{1,3}", c in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(a < 10);
+            prop_assert!((1..=3).contains(&b.len()));
+            prop_assert!(b.chars().all(|ch| ('a'..='c').contains(&ch)));
+            prop_assert_ne!(c, 0);
+            prop_assert_eq!(c == 1 || c == 2, true);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..8) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn default_config_wrapper_is_a_test() {
+        // The no-config form expands to a plain fn; drive it manually to
+        // prove both macro arms compile and run.
+        default_config_runs();
+    }
+
+    criterion_group!(sample_benches, noop_bench);
+    fn noop_bench(c: &mut crate::bench::Criterion) {
+        c.bench_function("macro/noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn criterion_group_macro_compiles_and_runs() {
+        sample_benches();
+    }
+}

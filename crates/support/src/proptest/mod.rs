@@ -1,0 +1,98 @@
+//! Seeded property-based testing.
+//!
+//! A deterministic, dependency-free harness with a `proptest`-shaped
+//! surface: the [`proptest!`](crate::proptest!) macro, strategy
+//! combinators ([`Just`], ranges, tuples, [`prop_oneof!`](crate::prop_oneof!),
+//! `prop_map`, `prop_recursive`, [`collection::vec`],
+//! [`sample::subsequence`], regex-pattern string strategies), and
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`.
+//!
+//! # Design: choice-stream generation and internal shrinking
+//!
+//! Instead of per-strategy shrink trees, every strategy draws raw `u64`
+//! choices from a [`data::DataSource`]. A test case *is* its choice
+//! sequence: replaying the same sequence regenerates the same value
+//! (through arbitrary `prop_map`s), and shrinking operates on the
+//! sequence itself — deleting spans and minimizing individual choices
+//! with iteration-deepening granularity — then replays it. Smaller
+//! choices map to simpler values by construction (ranges shrink toward
+//! their lower bound, collections toward their minimum size, unions
+//! toward their first variant).
+//!
+//! # Determinism and regressions
+//!
+//! The per-test base seed is a hash of the fully-qualified test name, so
+//! runs are reproducible without any ambient entropy. Set
+//! `RETINA_PROPTEST_SEED` to explore a different stream, and
+//! `RETINA_PROPTEST_CASES` to scale case counts globally. When a case
+//! fails, the harness shrinks it and reports both the minimal input and
+//! its choice sequence; pin the counterexample forever by adding an
+//! explicit regression test that rebuilds the value (the convention used
+//! by `tests/tests/oracle.rs` for the seeds recorded in
+//! `oracle.proptest-regressions`).
+
+pub mod data;
+pub mod runner;
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+
+/// Per-test configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection` shape).
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// Sampling strategies (`proptest::sample` shape).
+pub mod sample {
+    use super::strategy::{SizeRange, Strategy, Subsequence};
+
+    /// A strategy picking an order-preserving subsequence of `items`
+    /// whose length is drawn from `size`.
+    pub fn subsequence<T: Clone + std::fmt::Debug + 'static>(
+        items: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> impl Strategy<Value = Vec<T>> {
+        Subsequence::new(items, size.into())
+    }
+}
+
+/// Everything a property-test module needs: `use ...::prelude::*`.
+pub mod prelude {
+    pub use super::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use super::{collection, sample, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+                    proptest};
+}

@@ -1,0 +1,356 @@
+//! Case execution, rejection handling, and choice-stream shrinking.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use super::data::DataSource;
+use super::ProptestConfig;
+use crate::rand::splitmix64;
+
+/// Panic payload for `prop_assume!` rejections.
+pub struct Rejected;
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+    static LAST_INPUT: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Silences panic output on this thread while the harness probes cases;
+/// other threads (and the final report) keep the previous hook.
+fn install_quiet_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Records the `Debug` rendering of the current case's inputs; the
+/// failure report prints the last value noted before the panic.
+pub fn note_input(render: String) {
+    LAST_INPUT.with(|li| *li.borrow_mut() = render);
+}
+
+/// Aborts the current case without failing the test (`prop_assume!`).
+pub fn reject() -> ! {
+    panic::panic_any(Rejected)
+}
+
+enum CaseResult {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn run_case(body: &mut dyn FnMut(&mut DataSource), ds: &mut DataSource) -> CaseResult {
+    let was_quiet = QUIET.with(|q| q.replace(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(ds)));
+    QUIET.with(|q| q.set(was_quiet));
+    match outcome {
+        Ok(()) => CaseResult::Pass,
+        Err(payload) => {
+            if payload.is::<Rejected>() {
+                CaseResult::Reject
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                CaseResult::Fail(s.clone())
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                CaseResult::Fail((*s).to_string())
+            } else {
+                CaseResult::Fail("<non-string panic payload>".to_string())
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test name: the deterministic per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.trim().parse().ok()
+}
+
+/// Runs a property test: `config.cases` successful cases, deterministic
+/// from the test name (override the stream with `RETINA_PROPTEST_SEED`,
+/// scale case counts with `RETINA_PROPTEST_CASES`). On failure the case
+/// is shrunk and reported with its minimal input and choice sequence.
+pub fn run(name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut DataSource)) {
+    install_quiet_hook();
+    let base = name_seed(name) ^ env_u64("RETINA_PROPTEST_SEED").unwrap_or(0);
+    let cases = env_u64("RETINA_PROPTEST_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(config.cases);
+    let mut rejects = 0u32;
+    let mut passed = 0u32;
+    let mut stream = base;
+    while passed < cases {
+        let mut ds = DataSource::random(splitmix64(&mut stream));
+        match run_case(&mut body, &mut ds) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Reject => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejects}) after {passed} passing cases"
+                    );
+                }
+            }
+            CaseResult::Fail(msg) => {
+                let choices = canon(ds.choices().to_vec());
+                let (min_choices, min_msg) = shrink(&mut body, choices, msg);
+                // Re-run the minimal case so LAST_INPUT reflects it.
+                let mut ds = DataSource::replay(&min_choices);
+                let _ = run_case(&mut body, &mut ds);
+                let input = LAST_INPUT.with(|li| li.borrow().clone());
+                panic!(
+                    "proptest '{name}' failed (case {passed}, after shrinking):\n  \
+                     {min_msg}\n  minimal input: {input}\n  \
+                     replay choices: {min_choices:?}\n  \
+                     (pin this as an explicit regression test; \
+                     base seed derives from the test name, so reruns are deterministic)"
+                );
+            }
+        }
+    }
+}
+
+/// Replays a pinned choice sequence once, failing the test if the body
+/// fails. Used by explicit regression cases to keep historical
+/// counterexamples running forever.
+pub fn replay(choices: &[u64], mut body: impl FnMut(&mut DataSource)) {
+    let mut ds = DataSource::replay(choices);
+    body(&mut ds);
+}
+
+/// Canonical form of a choice stream: trailing zeroes are stripped,
+/// since an exhausted replay pads zeroes and regenerates them.
+fn canon(mut v: Vec<u64>) -> Vec<u64> {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+    v
+}
+
+/// Strict shrink order: shorter wins, then lexicographically smaller.
+fn better(new: &[u64], old: &[u64]) -> bool {
+    new.len() < old.len() || (new.len() == old.len() && new < old)
+}
+
+/// Shrinks a failing choice sequence by iteration-deepening edits:
+/// coarse-to-fine span deletion, then per-choice minimization, repeated
+/// until a fixpoint (or the attempt budget runs out). A candidate is
+/// accepted only if it still fails AND is strictly smaller in
+/// (length, lexicographic) order — the well-founded order that
+/// guarantees termination.
+fn shrink(
+    body: &mut dyn FnMut(&mut DataSource),
+    mut choices: Vec<u64>,
+    mut msg: String,
+) -> (Vec<u64>, String) {
+    let mut attempts = 0u32;
+    const BUDGET: u32 = 4096;
+    // Replays `cand`; yields the canonical consumed stream if the case
+    // still fails and shrank per `better`.
+    let mut try_candidate = |cand: &[u64],
+                             current: &[u64],
+                             attempts: &mut u32|
+     -> Option<(Vec<u64>, String)> {
+        *attempts += 1;
+        let mut ds = DataSource::replay(cand);
+        match run_case(body, &mut ds) {
+            CaseResult::Fail(m) => {
+                let c = canon(ds.choices().to_vec());
+                better(&c, current).then_some((c, m))
+            }
+            _ => None,
+        }
+    };
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete spans, halving the granularity each round
+        // (iteration deepening): big bites first, single choices last.
+        let mut size = (choices.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < choices.len() && attempts < BUDGET {
+                let end = (start + size).min(choices.len());
+                let cand: Vec<u64> = choices[..start]
+                    .iter()
+                    .chain(&choices[end..])
+                    .copied()
+                    .collect();
+                if let Some((c, m)) = try_candidate(&cand, &choices, &mut attempts) {
+                    choices = c;
+                    msg = m;
+                    improved = true;
+                    continue; // same start: the window now holds new content
+                }
+                start += size;
+            }
+            if size == 1 || attempts >= BUDGET {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Pass 2: minimize individual choices (0, then binary descent).
+        let mut i = 0;
+        while i < choices.len() && attempts < BUDGET {
+            let original = choices[i];
+            if original == 0 {
+                i += 1;
+                continue;
+            }
+            // Try the simplest value outright.
+            let mut cand = choices.clone();
+            cand[i] = 0;
+            if let Some((c, m)) = try_candidate(&cand, &choices, &mut attempts) {
+                choices = c;
+                msg = m;
+                improved = true;
+                i += 1;
+                continue;
+            }
+            // Binary search for the smallest failing value at slot i.
+            let mut lo = 1u64;
+            let mut hi = original;
+            while lo < hi && attempts < BUDGET {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = choices.clone();
+                cand[i] = mid;
+                match try_candidate(&cand, &choices, &mut attempts) {
+                    Some((c, m)) => {
+                        choices = c;
+                        msg = m;
+                        improved = true;
+                        hi = mid;
+                        if i >= choices.len() {
+                            break;
+                        }
+                    }
+                    None => lo = mid + 1,
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || attempts >= BUDGET {
+            return (choices, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proptest::strategy::Strategy;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        run(
+            "runner::passing",
+            &ProptestConfig::with_cases(50),
+            |ds| {
+                let v = (0u32..100).generate(ds);
+                assert!(v < 100);
+                count += 1;
+            },
+        );
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first: Vec<u32> = Vec::new();
+        run("runner::det", &ProptestConfig::with_cases(20), |ds| {
+            first.push((0u32..1000).generate(ds));
+        });
+        let mut second: Vec<u32> = Vec::new();
+        run("runner::det", &ProptestConfig::with_cases(20), |ds| {
+            second.push((0u32..1000).generate(ds));
+        });
+        assert_eq!(first, second, "same test name must replay the same stream");
+    }
+
+    #[test]
+    fn failure_is_shrunk_to_boundary() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run("runner::shrinker", &ProptestConfig::with_cases(256), |ds| {
+                let v = (0u64..1_000_000).generate(ds);
+                note_input(format!("v = {v:?}"));
+                assert!(v < 4_000, "value too large: {v}");
+            });
+        }));
+        let msg = match result {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // The minimal counterexample for `v < 4000` is exactly 4000.
+        assert!(
+            msg.contains("minimal input: v = 4000"),
+            "shrinking did not reach the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejection_does_not_fail() {
+        let mut ran = 0u32;
+        run("runner::assume", &ProptestConfig::with_cases(30), |ds| {
+            let v = (0u32..10).generate(ds);
+            if v % 2 == 1 {
+                reject();
+            }
+            ran += 1;
+            assert_eq!(v % 2, 0);
+        });
+        assert_eq!(ran, 30);
+    }
+
+    #[test]
+    fn replay_runs_pinned_choices() {
+        let mut seen = None;
+        replay(&[7], |ds| {
+            seen = Some((0u32..100).generate(ds));
+        });
+        assert_eq!(seen, Some(7));
+    }
+
+    #[test]
+    fn vec_failures_shrink_short() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run("runner::vecshrink", &ProptestConfig::with_cases(256), |ds| {
+                let v = crate::proptest::collection::vec(0u8..=255, 0..64).generate(ds);
+                note_input(format!("v = {v:?}"));
+                // Fails as soon as any element is >= 128.
+                assert!(v.iter().all(|&b| b < 128), "big element");
+            });
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // Minimal counterexample: a single element equal to 128.
+        assert!(
+            msg.contains("minimal input: v = [128]"),
+            "weak shrink: {msg}"
+        );
+    }
+}

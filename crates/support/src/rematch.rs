@@ -1,0 +1,665 @@
+//! A small regular-expression engine.
+//!
+//! Supports the subset the filter language actually uses (see the
+//! patterns in `crates/filter` and the paper's §7 case studies):
+//! literals, `.`, escapes (`\.`, `\d`, `\w`, `\s` and negations),
+//! character classes with ranges and negation, groups (capturing and
+//! `(?:…)`), alternation, greedy and lazy quantifiers (`*`, `+`, `?`,
+//! `{m}`, `{m,}`, `{m,n}`), and the `^`/`$` anchors. Matching is
+//! unanchored backtracking search, like `Regex::is_match`.
+//!
+//! The same AST doubles as a *generator*: [`Regex::sample`] produces a
+//! random string matching the pattern, which the property-test harness
+//! uses for `"[a-z][a-z0-9_]{0,8}"`-style string strategies.
+
+use std::fmt;
+
+/// A compiled pattern.
+#[derive(Clone)]
+pub struct Regex {
+    pattern: String,
+    ast: Alt,
+}
+
+/// Pattern compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+type Alt = Vec<Seq>;
+type Seq = Vec<Piece>;
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: Option<u32>,
+    lazy: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Char(char),
+    Any,
+    Class(Class),
+    Group(Alt),
+    Start,
+    End,
+}
+
+#[derive(Debug, Clone)]
+struct Class {
+    negated: bool,
+    /// Inclusive char ranges; single chars are `(c, c)`.
+    ranges: Vec<(char, char)>,
+}
+
+impl Class {
+    fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error { msg: msg.into() })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Alt, Error> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.eat('|') {
+            branches.push(self.parse_seq()?);
+        }
+        Ok(branches)
+    }
+
+    fn parse_seq(&mut self) -> Result<Seq, Error> {
+        let mut pieces = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let (min, max, lazy) = self.parse_quantifier(&atom)?;
+            pieces.push(Piece {
+                atom,
+                min,
+                max,
+                lazy,
+            });
+        }
+        Ok(pieces)
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, Error> {
+        match self.bump().expect("caller checked peek") {
+            '(' => {
+                // Optional non-capturing marker; we don't track captures.
+                if self.peek() == Some('?') {
+                    let save = self.pos;
+                    self.bump();
+                    if !self.eat(':') {
+                        // `(?=`, `(?!` etc. are unsupported lookarounds.
+                        if matches!(self.peek(), Some('=') | Some('!') | Some('<')) {
+                            return self.err("lookaround is not supported");
+                        }
+                        self.pos = save;
+                    }
+                }
+                let inner = self.parse_alt()?;
+                if !self.eat(')') {
+                    return self.err("unclosed group");
+                }
+                Ok(Atom::Group(inner))
+            }
+            '[' => self.parse_class(),
+            '.' => Ok(Atom::Any),
+            '^' => Ok(Atom::Start),
+            '$' => Ok(Atom::End),
+            '\\' => self.parse_escape(),
+            '*' | '+' | '?' => self.err("quantifier with nothing to repeat"),
+            '{' => {
+                // A `{` not following an atom: treat as a literal brace
+                // only when it cannot start a repetition (like the real
+                // regex crate's lenient mode would not; we reject to be
+                // safe and predictable).
+                self.err("repetition with nothing to repeat")
+            }
+            c => Ok(Atom::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Atom, Error> {
+        let Some(c) = self.bump() else {
+            return self.err("trailing backslash");
+        };
+        let class = |negated, ranges: &[(char, char)]| {
+            Ok(Atom::Class(Class {
+                negated,
+                ranges: ranges.to_vec(),
+            }))
+        };
+        match c {
+            'd' => class(false, &[('0', '9')]),
+            'D' => class(true, &[('0', '9')]),
+            'w' => class(false, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            'W' => class(true, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            's' => class(false, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+            'S' => class(true, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+            'n' => Ok(Atom::Char('\n')),
+            't' => Ok(Atom::Char('\t')),
+            'r' => Ok(Atom::Char('\r')),
+            '0' => Ok(Atom::Char('\0')),
+            // Escaped metacharacters and punctuation are literal.
+            c if !c.is_alphanumeric() => Ok(Atom::Char(c)),
+            c => self.err(format!("unsupported escape \\{c}")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Atom, Error> {
+        let negated = self.eat('^');
+        let mut ranges = Vec::new();
+        let mut first = true;
+        loop {
+            let Some(c) = self.bump() else {
+                return self.err("unclosed character class");
+            };
+            match c {
+                ']' if !first => break,
+                // `]` first in the class is a literal, per POSIX.
+                _ => {
+                    let lo = if c == '\\' {
+                        match self.parse_escape()? {
+                            Atom::Char(l) => l,
+                            Atom::Class(cls) => {
+                                // \d etc. inside a class: merge ranges.
+                                if cls.negated {
+                                    return self
+                                        .err("negated escape class inside character class");
+                                }
+                                ranges.extend(cls.ranges);
+                                first = false;
+                                continue;
+                            }
+                            _ => return self.err("bad escape in character class"),
+                        }
+                    } else {
+                        c
+                    };
+                    // Range `a-z` unless the `-` is trailing.
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                        && self.chars.get(self.pos + 1).is_some()
+                    {
+                        self.bump(); // '-'
+                        let hic = self.bump().expect("checked above");
+                        let hi = if hic == '\\' {
+                            match self.parse_escape()? {
+                                Atom::Char(h) => h,
+                                _ => return self.err("bad range end in character class"),
+                            }
+                        } else {
+                            hic
+                        };
+                        if hi < lo {
+                            return self.err(format!("invalid range {lo}-{hi}"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+            first = false;
+        }
+        if ranges.is_empty() && !negated {
+            return self.err("empty character class");
+        }
+        Ok(Atom::Class(Class { negated, ranges }))
+    }
+
+    fn parse_quantifier(&mut self, atom: &Atom) -> Result<(u32, Option<u32>, bool), Error> {
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                let save = self.pos;
+                self.bump();
+                match self.parse_repetition() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.pos = save;
+                        return Err(e);
+                    }
+                }
+            }
+            _ => return Ok((1, Some(1), false)),
+        };
+        if matches!(atom, Atom::Start | Atom::End) {
+            return self.err("cannot repeat an anchor");
+        }
+        let lazy = self.eat('?');
+        Ok((min, max, lazy))
+    }
+
+    fn parse_repetition(&mut self) -> Result<(u32, Option<u32>), Error> {
+        let min = self.parse_number()?;
+        if self.eat('}') {
+            return Ok((min, Some(min)));
+        }
+        if !self.eat(',') {
+            return self.err("malformed repetition");
+        }
+        if self.eat('}') {
+            return Ok((min, None));
+        }
+        let max = self.parse_number()?;
+        if !self.eat('}') {
+            return self.err("malformed repetition");
+        }
+        if max < min {
+            return self.err(format!("repetition {{{min},{max}}} has max < min"));
+        }
+        Ok((min, Some(max)))
+    }
+
+    fn parse_number(&mut self) -> Result<u32, Error> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return self.err("expected number in repetition");
+        }
+        digits
+            .parse()
+            .map_err(|_| Error {
+                msg: format!("repetition count {digits} too large"),
+            })
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern`, rejecting syntax outside the supported subset.
+    pub fn new(pattern: &str) -> Result<Self, Error> {
+        let mut parser = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let ast = parser.parse_alt()?;
+        if parser.pos != parser.chars.len() {
+            // A stray `)` is the only way to stop early.
+            return Err(Error {
+                msg: "unmatched )".into(),
+            });
+        }
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            ast,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Unanchored search: does any substring of `text` match?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        (0..=chars.len()).any(|start| m_alt(&self.ast, &chars, start, &mut |_| true))
+    }
+
+    /// Anchored whole-string match.
+    pub fn is_full_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        m_alt(&self.ast, &chars, 0, &mut |pos| pos == chars.len())
+    }
+
+    /// Generates a random string matching the pattern.
+    ///
+    /// `rnd(bound)` must return a uniform value in `[0, bound)`. Anchors
+    /// are ignored (the generated string *is* the whole match).
+    /// Unbounded repetitions are sampled up to `min + 8`.
+    pub fn sample(&self, rnd: &mut dyn FnMut(u64) -> u64) -> String {
+        let mut out = String::new();
+        sample_alt(&self.ast, rnd, &mut out);
+        out
+    }
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Regex({:?})", self.pattern)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+// ------------------------------------------------------------- matching
+
+/// Matches one alternation at `pos`; `k` is the continuation applied to
+/// the position after the match.
+fn m_alt(alt: &Alt, chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    alt.iter().any(|seq| m_seq(seq, 0, chars, pos, k))
+}
+
+fn m_seq(
+    seq: &Seq,
+    idx: usize,
+    chars: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match seq.get(idx) {
+        None => k(pos),
+        Some(piece) => m_piece(piece, 0, chars, pos, &mut |p| {
+            m_seq(seq, idx + 1, chars, p, k)
+        }),
+    }
+}
+
+/// Matches `piece` having already consumed `count` repetitions.
+fn m_piece(
+    piece: &Piece,
+    count: u32,
+    chars: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    let can_repeat = piece.max.is_none_or(|m| count < m);
+    let satisfied = count >= piece.min;
+    let try_one_more = |k2: &mut dyn FnMut(usize) -> bool| -> bool {
+        m_atom(&piece.atom, chars, pos, &mut |p| {
+            // Progress guard: an unbounded repetition of an atom that can
+            // match empty (e.g. `(a?)*`) must not loop forever.
+            if p == pos && piece.max.is_none() && count >= piece.min {
+                return false;
+            }
+            m_piece(piece, count + 1, chars, p, k2)
+        })
+    };
+    if piece.lazy {
+        (satisfied && k(pos)) || (can_repeat && try_one_more(k))
+    } else {
+        (can_repeat && try_one_more(k)) || (satisfied && k(pos))
+    }
+}
+
+fn m_atom(atom: &Atom, chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match atom {
+        Atom::Char(c) => chars.get(pos) == Some(c) && k(pos + 1),
+        Atom::Any => pos < chars.len() && k(pos + 1),
+        Atom::Class(class) => chars.get(pos).is_some_and(|&c| class.contains(c)) && k(pos + 1),
+        Atom::Group(alt) => m_alt(alt, chars, pos, k),
+        Atom::Start => pos == 0 && k(pos),
+        Atom::End => pos == chars.len() && k(pos),
+    }
+}
+
+// ------------------------------------------------------------ sampling
+
+const PRINTABLE: (char, char) = ('!', '~');
+
+fn sample_alt(alt: &Alt, rnd: &mut dyn FnMut(u64) -> u64, out: &mut String) {
+    let branch = rnd(alt.len() as u64) as usize;
+    for piece in &alt[branch] {
+        let spread = match piece.max {
+            Some(max) => max - piece.min + 1,
+            None => 9, // min..=min+8
+        };
+        let count = piece.min + rnd(spread as u64) as u32;
+        for _ in 0..count {
+            sample_atom(&piece.atom, rnd, out);
+        }
+    }
+}
+
+fn sample_atom(atom: &Atom, rnd: &mut dyn FnMut(u64) -> u64, out: &mut String) {
+    match atom {
+        Atom::Char(c) => out.push(*c),
+        Atom::Any => {
+            let (lo, hi) = PRINTABLE;
+            out.push(char::from_u32(lo as u32 + rnd((hi as u64) - (lo as u64) + 1) as u32)
+                .expect("printable ascii"));
+        }
+        Atom::Class(class) if !class.negated => {
+            let total: u64 = class
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut target = rnd(total);
+            for &(lo, hi) in &class.ranges {
+                let size = (hi as u64) - (lo as u64) + 1;
+                if target < size {
+                    out.push(char::from_u32(lo as u32 + target as u32).expect("valid char"));
+                    return;
+                }
+                target -= size;
+            }
+            unreachable!("target bounded by total");
+        }
+        Atom::Class(class) => {
+            // Negated class: rejection-sample from printable ASCII.
+            let (lo, hi) = PRINTABLE;
+            for _ in 0..64 {
+                let c = char::from_u32(lo as u32 + rnd((hi as u64) - (lo as u64) + 1) as u32)
+                    .expect("printable ascii");
+                if class.contains(c) {
+                    out.push(c);
+                    return;
+                }
+            }
+            out.push(' '); // pathological class; give up gracefully
+        }
+        Atom::Group(alt) => sample_alt(alt, rnd, out),
+        Atom::Start | Atom::End => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap()
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        // The dominant filter-language use: `tls.sni ~ 'netflix'`.
+        let r = re("netflix");
+        assert!(r.is_match("video.netflix.com"));
+        assert!(r.is_match("netflix"));
+        assert!(!r.is_match("example.com"));
+        assert!(!r.is_match(""));
+    }
+
+    #[test]
+    fn escaped_dot_and_anchor() {
+        // `tls.sni ~ '\.com$'` from the filter test suite.
+        let r = re(r"\.com$");
+        assert!(r.is_match("example.com"));
+        assert!(!r.is_match("example.com.evil.net"));
+        assert!(!r.is_match("examplecom"));
+    }
+
+    #[test]
+    fn optional_group_lazy_plus() {
+        // The ablations binary's CDN matcher:
+        // `tls.sni ~ '(.+?\.)?nflxvideo\.net'`.
+        let r = re(r"(.+?\.)?nflxvideo\.net");
+        assert!(r.is_match("nflxvideo.net"));
+        assert!(r.is_match("edge-7.nflxvideo.net"));
+        assert!(r.is_match("a.b.nflxvideo.net"));
+        assert!(!r.is_match("nflxvideoXnet"));
+        assert!(!r.is_match("netflix.com"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = re("(foo|bar)+baz");
+        assert!(r.is_match("xfoobarbaz"));
+        assert!(r.is_match("barbaz"));
+        assert!(!r.is_match("baz"));
+    }
+
+    #[test]
+    fn char_classes() {
+        let r = re("[a-z][0-9]{2,3}");
+        assert!(r.is_match("x42"));
+        assert!(r.is_match("abc123"));
+        assert!(!r.is_match("X42X"));
+        assert!(!r.is_match("a4"));
+        let neg = re("[^0-9]+");
+        assert!(neg.is_match("abc"));
+        assert!(!neg.is_match("123"));
+    }
+
+    #[test]
+    fn caret_anchor() {
+        let r = re("^GET ");
+        assert!(r.is_match("GET / HTTP/1.1"));
+        assert!(!r.is_match("TARGET / HTTP/1.1"));
+    }
+
+    #[test]
+    fn perl_classes() {
+        assert!(re(r"\d+").is_match("port 443"));
+        assert!(!re(r"\d").is_match("no digits"));
+        assert!(re(r"\w+\s\w+").is_match("hello world"));
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        // The exact invalid patterns the filter tests feed in.
+        assert!(Regex::new("[bad").is_err());
+        assert!(Regex::new("[unclosed").is_err());
+        assert!(Regex::new("(open").is_err());
+        assert!(Regex::new("*x").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("a)b").is_err());
+        assert!(Regex::new("(?=look)").is_err());
+    }
+
+    #[test]
+    fn lazy_vs_greedy_equivalent_for_is_match() {
+        for (pat, text, expect) in [
+            ("a.*b", "axxb", true),
+            ("a.*?b", "axxb", true),
+            ("a+?", "aaa", true),
+            ("x??y", "y", true),
+        ] {
+            assert_eq!(re(pat).is_match(text), expect, "{pat} vs {text}");
+        }
+    }
+
+    #[test]
+    fn repetition_forms() {
+        assert!(re("a{3}").is_match("aaa"));
+        assert!(!re("^a{3}$").is_full_match("aa"));
+        assert!(re("a{2,}").is_match("aa"));
+        assert!(!re("^a{2,}$").is_full_match("a"));
+        assert!(re("^a{1,2}$").is_full_match("aa"));
+        assert!(!re("^a{1,2}$").is_full_match("aaa"));
+    }
+
+    #[test]
+    fn empty_repetition_terminates() {
+        // Must not hang on nested empty-matching repetition.
+        assert!(re("(a?)*b").is_match("b"));
+        assert!(!re("(a?)*c").is_match("b"));
+    }
+
+    #[test]
+    fn samples_match_their_own_pattern() {
+        // Sampling via a deterministic pseudo-random draw must produce
+        // strings the matcher accepts — for the exact string-strategy
+        // patterns used in the workspace's property tests.
+        let mut state = 0x5EED_u64;
+        let mut rnd = move |bound: u64| {
+            crate::rand::splitmix64(&mut state) % bound.max(1)
+        };
+        for pat in [
+            "[a-z][a-z0-9.*$-]{0,12}",
+            "[a-z][a-z0-9_]{0,8}",
+            r"(.+?\.)?nflxvideo\.net",
+            "(foo|bar)+",
+            r"\d{1,4}",
+        ] {
+            let r = re(pat);
+            for _ in 0..200 {
+                let s = r.sample(&mut rnd);
+                assert!(
+                    r.is_full_match(&s),
+                    "sample {s:?} does not match its pattern {pat:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_metachars_are_literal() {
+        // `.`, `*`, `$` inside a class are plain characters; trailing `-`
+        // is literal.
+        let r = re("^[a-z0-9.*$-]+$");
+        assert!(r.is_full_match("a.b*c$d-e"));
+        assert!(!r.is_full_match("a_b"));
+    }
+}

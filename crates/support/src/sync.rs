@@ -1,0 +1,379 @@
+//! Synchronization primitives: a poison-ignoring `RwLock`, a bounded
+//! lock-free MPMC [`ArrayQueue`] (Vyukov's bounded queue, the shape of
+//! `crossbeam::queue::ArrayQueue` and of a DPDK descriptor ring), and a
+//! bounded [`channel`] for the queued callback executor.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reader-writer lock that ignores poisoning.
+///
+/// Wraps [`std::sync::RwLock`] with the `parking_lot` calling convention:
+/// `read()`/`write()` return guards directly. A panic while holding the
+/// lock does not poison it for later users — packet-path state (RETA,
+/// flow rules) must stay accessible after a worker dies.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared read guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Exclusive write guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard, ignoring poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Acquires an exclusive write guard, ignoring poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// A mutex that ignores poisoning, mirroring [`RwLock`].
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poison.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+struct Slot<T> {
+    /// Ticket sequence number (Vyukov's scheme): equals the slot index
+    /// when empty and ready for the `index`-th push, `index + 1` when
+    /// full and ready for the matching pop.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer multi-consumer queue.
+///
+/// This is Vyukov's bounded MPMC queue: one atomic ticket per slot, no
+/// locks anywhere on the push/pop paths. It models a NIC descriptor
+/// ring: `push` fails (returning the rejected element) when the ring is
+/// full, which the device counts as `rx_missed`.
+pub struct ArrayQueue<T> {
+    slots: Box<[Slot<T>]>,
+    capacity: usize,
+    /// Next push ticket.
+    tail: AtomicUsize,
+    /// Next pop ticket.
+    head: AtomicUsize,
+}
+
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ArrayQueue capacity must be non-zero");
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        ArrayQueue {
+            slots,
+            capacity,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Approximate number of queued elements.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::SeqCst);
+        let head = self.head.load(Ordering::SeqCst);
+        tail.saturating_sub(head)
+    }
+
+    /// True when the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to push; on a full queue the element is handed back.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail % self.capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == tail {
+                // Slot is free for this ticket: claim it.
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // We own the slot; publish the value.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if seq < tail {
+                // The slot still holds an element a lap behind: full.
+                return Err(value);
+            } else {
+                // Another producer advanced past us; retry with a fresh
+                // ticket.
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to pop the oldest element.
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head % self.capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = head.wrapping_add(1);
+            if seq == expected {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Mark the slot free for the push one lap ahead.
+                        slot.seq
+                            .store(head.wrapping_add(self.capacity), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(h) => head = h,
+                }
+            } else if seq < expected {
+                // Slot not yet published: empty.
+                return None;
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Bounded channels, mirroring `crossbeam::channel` over
+/// [`std::sync::mpsc`].
+pub mod channel {
+    /// The sending half of a bounded channel (cloneable).
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    /// The receiving half of a bounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates a bounded channel of the given capacity. `send` blocks
+    /// when the channel is full (backpressure); `recv` returns `Err`
+    /// once every sender is dropped.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(capacity.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_fifo_and_capacity() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(()));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_wraps_many_laps() {
+        let q = ArrayQueue::new(3);
+        for i in 0..1000 {
+            q.push(i).unwrap();
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_mpmc_stress() {
+        const PRODUCERS: usize = 4;
+        const PER: u64 = 5_000;
+        let q = Arc::new(ArrayQueue::new(64));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS as u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = p * PER + i;
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.pop() {
+                        Some(v) => got.push(v),
+                        None => {
+                            if got.len() as u64 >= PRODUCERS as u64 * PER {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            // Exit once producers are done and queue drained.
+                            if Arc::strong_count(&q) <= 3 && q.is_empty() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        while let Some(v) = q.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..PRODUCERS as u64 * PER).collect();
+        assert_eq!(all, expect, "every element delivered exactly once");
+    }
+
+    #[test]
+    fn queue_drops_remaining() {
+        let q = ArrayQueue::new(8);
+        let item = Arc::new(());
+        q.push(Arc::clone(&item)).unwrap();
+        q.push(Arc::clone(&item)).unwrap();
+        drop(q);
+        assert_eq!(Arc::strong_count(&item), 1);
+    }
+
+    #[test]
+    fn rwlock_ignores_poison() {
+        let lock = Arc::new(RwLock::new(7u32));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*lock.read(), 7);
+        *lock.write() = 8;
+        assert_eq!(*lock.read(), 8);
+    }
+
+    #[test]
+    fn channel_bounded_backpressure() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.try_send(3).is_err(), "channel should be full");
+        assert_eq!(rx.recv().unwrap(), 1);
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+}

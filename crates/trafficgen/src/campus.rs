@@ -17,7 +17,7 @@
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 
 use crate::flows::{
     dns_exchange, http_flow, icmp_ping, scan_syn, ssh_flow, tls_flow, udp_opaque_flow, FlowBuilder,

@@ -4,7 +4,7 @@
 
 use std::net::SocketAddr;
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 use retina_protocols::tls::build::{
     appdata_record, ccs_record, certificate_record, client_hello_record, server_hello_record,
     ClientHelloSpec, ServerHelloSpec,

@@ -40,7 +40,7 @@ pub use campus::{CampusConfig, CampusSource};
 pub use https_workload::HttpsWorkload;
 pub use video::{VideoConfig, VideoWorkload};
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 
 /// A pre-materialized packet stream: implements
 /// [`retina_core::TrafficSource`] by handing out fixed-size batches.

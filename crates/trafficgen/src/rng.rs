@@ -5,8 +5,8 @@
 //! sizes, and Zipf-like categorical choice. Implemented inline (Box-
 //! Muller etc.) to stay within the project's dependency budget.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use retina_support::rand::rngs::SmallRng;
+use retina_support::rand::{RngExt, SeedableRng};
 
 /// A seeded sampler.
 pub struct Sampler {

@@ -7,7 +7,7 @@
 //! between traces in Figure 12): each trace has its own mix of TLS
 //! (including Netflix domains), HTTP, DNS, and scan noise.
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 
 use crate::campus::{generate, CampusConfig};
 

@@ -13,7 +13,7 @@
 
 use std::net::{Ipv4Addr, SocketAddr};
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 
 use crate::flows::{tls_flow, TlsFlowSpec};
 use crate::rng::Sampler;

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the whole workspace must build and test fully
+# offline — no registry packages, no network. `--offline` makes cargo
+# fail loudly if anything tries to leave the tree (every dependency is
+# an in-tree path dep on a workspace crate; see crates/support and
+# tests/tests/hermetic.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

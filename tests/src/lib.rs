@@ -1,6 +1,6 @@
 //! Shared helpers for the cross-crate integration tests.
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 
 /// Collects the parsed packets of a stream (skipping unparseable frames).
 pub fn parse_all(packets: &[(Bytes, u64)]) -> Vec<(retina_wire::ParsedPacket, Bytes)> {

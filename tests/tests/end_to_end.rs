@@ -1,6 +1,17 @@
 //! Cross-crate end-to-end tests: the full runtime over synthetic campus
 //! traffic, pcap round-trips, sink sampling, timeout schemes, and
 //! baseline-vs-retina agreement on analysis results.
+//!
+//! # Determinism
+//!
+//! All traffic comes from `CampusConfig::small(<seed>)` /
+//! `HttpsWorkload` with the fixed per-test seeds written at each call
+//! site (0xE2E, 0x5EED, ...). The generators sample exclusively from
+//! `retina_support::rand::SmallRng` seeded with those values, so every
+//! run replays byte-identical packet streams;
+//! `generation_is_deterministic_for_fixed_seed` below pins that
+//! property. Multi-core runs may interleave differently, but tests only
+//! assert order-insensitive results (sorted outputs, counts, zero-loss).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -11,6 +22,27 @@ use retina_core::{Runtime, RuntimeConfig};
 use retina_filter::compile;
 use retina_trafficgen::campus::{generate, CampusConfig};
 use retina_trafficgen::{HttpsWorkload, PreloadedSource};
+
+#[test]
+fn generation_is_deterministic_for_fixed_seed() {
+    // The seed fully determines the generated traffic: frame bytes and
+    // timestamps are identical across invocations, which is what makes
+    // every test in this file reproducible.
+    let a = generate(&CampusConfig::small(0xE2E));
+    let b = generate(&CampusConfig::small(0xE2E));
+    assert_eq!(a.len(), b.len());
+    for ((fa, ta), (fb, tb)) in a.iter().zip(&b) {
+        assert_eq!(ta, tb);
+        assert_eq!(fa.as_ref(), fb.as_ref());
+    }
+    // And a different seed actually changes the stream.
+    let c = generate(&CampusConfig::small(0x5EED));
+    assert!(
+        a.len() != c.len()
+            || a.iter().zip(&c).any(|((fa, _), (fc, _))| fa.as_ref() != fc.as_ref()),
+        "distinct seeds should produce distinct traffic"
+    );
+}
 
 #[test]
 fn campus_mix_through_multicore_runtime() {

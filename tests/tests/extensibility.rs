@@ -9,7 +9,7 @@
 use std::net::SocketAddr;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use retina_support::bytes::Bytes;
 use retina_core::offline::run_offline;
 use retina_core::subscribables::SessionRecord;
 use retina_core::{CompiledFilter, RuntimeConfig};

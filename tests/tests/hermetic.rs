@@ -1,0 +1,165 @@
+//! Guards the workspace's zero-dependency invariant.
+//!
+//! The whole tree must build and test offline with only the standard
+//! library: every dependency in every manifest has to be an in-tree
+//! path dependency (directly or via `workspace = true` inheritance),
+//! and the lockfile must not reference any registry. A crates.io
+//! dependency sneaking into any `Cargo.toml` fails here before it fails
+//! in an offline build.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // tests/ is a direct member of the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ has a parent")
+        .to_path_buf()
+}
+
+fn member_manifests(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    for dir in ["examples", "tests"] {
+        out.push(root.join(dir).join("Cargo.toml"));
+    }
+    let crates = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates)
+        .expect("crates/ exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    for entry in entries {
+        let manifest = entry.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    out
+}
+
+/// Extracts `name = spec` entries from the dependency-ish sections of a
+/// manifest. A deliberately small TOML subset: sections are `[header]`
+/// lines, entries are `key = value` lines; that is all our manifests
+/// use, and `cargo metadata` isn't callable offline from a unit test.
+fn dependency_entries(toml: &str) -> BTreeMap<String, String> {
+    let mut deps = BTreeMap::new();
+    let mut section = String::new();
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_string();
+            continue;
+        }
+        let is_dep_section = matches!(
+            section.as_str(),
+            "dependencies"
+                | "dev-dependencies"
+                | "build-dependencies"
+                | "workspace.dependencies"
+        ) || section.starts_with("target.");
+        if !is_dep_section {
+            continue;
+        }
+        if let Some((name, spec)) = line.split_once('=') {
+            deps.insert(
+                format!("{section}.{}", name.trim()),
+                spec.trim().to_string(),
+            );
+        }
+    }
+    deps
+}
+
+#[test]
+fn every_manifest_dependency_is_in_tree() {
+    let root = workspace_root();
+    for manifest in member_manifests(&root) {
+        let toml = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        for (name, spec) in dependency_entries(&toml) {
+            let in_tree = spec.contains("path =")
+                || spec.contains("path=")
+                || spec.contains("workspace = true")
+                || spec.contains("workspace=true");
+            assert!(
+                in_tree,
+                "{}: dependency `{name} = {spec}` is not an in-tree path \
+                 dependency; the workspace must stay buildable offline with \
+                 no registry packages (see retina-support)",
+                manifest.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_dependency_table_only_names_workspace_crates() {
+    let root = workspace_root();
+    let toml = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    for (name, spec) in dependency_entries(&toml) {
+        let Some(dep) = name.strip_prefix("workspace.dependencies.") else {
+            continue;
+        };
+        assert!(
+            dep.starts_with("retina-"),
+            "workspace dependency `{dep}` is not a workspace crate: {spec}"
+        );
+        assert!(
+            spec.contains("path ="),
+            "workspace dependency `{dep}` must use a path spec, got: {spec}"
+        );
+    }
+}
+
+#[test]
+fn lockfile_has_no_registry_sources() {
+    let root = workspace_root();
+    let lock = std::fs::read_to_string(root.join("Cargo.lock")).expect("Cargo.lock exists");
+    for line in lock.lines() {
+        let line = line.trim();
+        assert!(
+            !line.starts_with("source ="),
+            "Cargo.lock references an external source: {line}"
+        );
+        assert!(
+            !line.starts_with("checksum ="),
+            "Cargo.lock carries a registry checksum: {line}"
+        );
+    }
+    assert!(
+        lock.contains("name = \"retina-support\""),
+        "Cargo.lock should lock the in-tree support crate"
+    );
+}
+
+#[test]
+fn no_legacy_proptest_regression_files() {
+    // Regression seeds from the previous proptest harness are pinned as
+    // explicit named tests now (see oracle.rs); stray seed files would
+    // silently stop replaying.
+    fn scan(dir: &Path, hits: &mut Vec<PathBuf>) {
+        for entry in std::fs::read_dir(dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            if path.is_dir() {
+                scan(&path, hits);
+            } else if name.ends_with(".proptest-regressions") {
+                hits.push(path);
+            }
+        }
+    }
+    let mut hits = Vec::new();
+    scan(&workspace_root(), &mut hits);
+    assert!(
+        hits.is_empty(),
+        "legacy proptest regression files present: {hits:?}; \
+         port their shrunk cases into explicit #[test] regressions"
+    );
+}

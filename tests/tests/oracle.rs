@@ -19,7 +19,7 @@
 //! though each conjunct is individually unknown. The oracle shares no
 //! code with the DNF/trie pipeline.
 
-use proptest::prelude::*;
+use retina_support::proptest::prelude::*;
 use retina_filter::ast::Expr;
 use retina_filter::registry::{FilterLayer, ProtocolRegistry};
 use retina_filter::subfilters::{eval_packet_pred, eval_packet_unary};
@@ -143,7 +143,7 @@ fn expected(result: FilterResult) -> Tri {
     }
 }
 
-fn check_filter_against_oracle(src: &str, packets: &[(bytes::Bytes, u64)]) {
+fn check_filter_against_oracle(src: &str, packets: &[(retina_support::bytes::Bytes, u64)]) {
     let registry = ProtocolRegistry::default();
     let Ok(filter) = CompiledFilter::build(src, &registry) else {
         return; // unsatisfiable or invalid — out of oracle scope
@@ -165,7 +165,7 @@ fn check_filter_against_oracle(src: &str, packets: &[(bytes::Bytes, u64)]) {
     }
 }
 
-fn sample_packets() -> Vec<(bytes::Bytes, u64)> {
+fn sample_packets() -> Vec<(retina_support::bytes::Bytes, u64)> {
     let mut packets = generate(&CampusConfig::small(0x0AC1E));
     packets.truncate(6_000);
     packets
@@ -270,4 +270,25 @@ proptest! {
         packets.truncate(800);
         check_filter_against_oracle(&src, &packets);
     }
+}
+
+// ----------------------------------------------------------- regressions
+//
+// Counterexamples that property testing found in the past, pinned as
+// explicit cases so they re-run on every build. The first entry was
+// recorded by the previous proptest harness as seed
+// `cc b507cf24...` in `oracle.proptest-regressions`, shrunk to the
+// filter below; with the in-tree harness, regressions are pinned by
+// value instead of by opaque seed hash.
+
+/// A session predicate conjoined with a disjunction that mixes a
+/// connection-level and a packet-level term. Historically diverged from
+/// the oracle at the non-terminal/terminal match boundary.
+#[test]
+fn regression_session_and_mixed_disjunction() {
+    let src = "(http.status = 200 and (dns or ipv4))";
+    check_filter_against_oracle(src, &sample_packets());
+    let mut packets = generate(&CampusConfig::small(0x9A9A));
+    packets.truncate(800);
+    check_filter_against_oracle(src, &packets);
 }

@@ -7,7 +7,7 @@
 //! including structure-aware mutations of valid frames, which reach much
 //! deeper into the parsers than pure noise.
 
-use proptest::prelude::*;
+use retina_support::proptest::prelude::*;
 use retina_protocols::{ConnParser, Direction};
 use retina_wire::ParsedPacket;
 
@@ -26,7 +26,7 @@ proptest! {
 
     /// Arbitrary bytes never panic the one-pass packet parser.
     #[test]
-    fn wire_parse_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn wire_parse_total(data in collection::vec(any::<u8>(), 0..256)) {
         let _ = ParsedPacket::parse(&data);
     }
 
@@ -34,7 +34,7 @@ proptest! {
     /// in either direction, including when fed incrementally.
     #[test]
     fn protocol_parsers_total(
-        data in proptest::collection::vec(any::<u8>(), 0..512),
+        data in collection::vec(any::<u8>(), 0..512),
         chunk in 1usize..64,
     ) {
         for mut parser in parsers() {
@@ -108,7 +108,7 @@ proptest! {
         run_offline::<SessionRecord, _>(
             &filter,
             &retina_core::RuntimeConfig::default(),
-            vec![(bytes::Bytes::from(frame), 0)],
+            vec![(retina_support::bytes::Bytes::from(frame), 0)],
             |_| {},
         );
     }
