@@ -44,50 +44,31 @@ fn main() {
 
     let ingress = report.nic.rx_offered as f64;
     let stats = &report.cores;
-    let stages: Vec<(&str, u64, f64)> = vec![
-        ("Hardware Filter", report.nic.rx_offered, 0.0),
-        (
-            "SW Packet Filter",
-            stats.packet_filter.runs,
-            stats.packet_filter.avg_cycles(),
-        ),
-        (
-            "Connection Tracking",
-            stats.conn_tracking.runs,
-            stats.conn_tracking.avg_cycles(),
-        ),
-        (
-            "Stream Reassembly",
-            stats.reassembly.runs,
-            stats.reassembly.avg_cycles(),
-        ),
-        (
-            "App-layer Parsing",
-            stats.app_parsing.runs,
-            stats.app_parsing.avg_cycles(),
-        ),
-        (
-            "Session Filter",
-            stats.session_filter.runs,
-            stats.session_filter.avg_cycles(),
-        ),
-        (
-            "Run Callback",
-            stats.callbacks.runs,
-            stats.callbacks.avg_cycles(),
-        ),
+    let hw = retina_core::StageStats::default();
+    let stages: Vec<(&str, u64, &retina_core::StageStats)> = vec![
+        ("Hardware Filter", report.nic.rx_offered, &hw),
+        ("SW Packet Filter", stats.packet_filter.runs, &stats.packet_filter),
+        ("Connection Tracking", stats.conn_tracking.runs, &stats.conn_tracking),
+        ("Stream Reassembly", stats.reassembly.runs, &stats.reassembly),
+        ("App-layer Parsing", stats.app_parsing.runs, &stats.app_parsing),
+        ("Session Filter", stats.session_filter.runs, &stats.session_filter),
+        ("Run Callback", stats.callbacks.runs, &stats.callbacks),
     ];
 
     println!("Figure 7: fraction of ingress packets triggering each stage");
     println!(
-        "{:<22} {:>12} {:>12} {:>14}",
-        "stage", "runs", "% ingress", "avg cycles"
+        "{:<22} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "stage", "runs", "% ingress", "avg cycles", "p50", "p95", "p99"
     );
-    rule(64);
-    for (name, runs, cycles) in &stages {
+    rule(94);
+    for (name, runs, stage) in &stages {
         println!(
-            "{name:<22} {runs:>12} {:>11.4}% {cycles:>14.1}",
-            100.0 * *runs as f64 / ingress
+            "{name:<22} {runs:>12} {:>11.4}% {:>12.1} {:>10} {:>10} {:>10}",
+            100.0 * *runs as f64 / ingress,
+            stage.avg_cycles(),
+            stage.p50(),
+            stage.p95(),
+            stage.p99(),
         );
     }
     println!(

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use retina_bench::{bench_args, rule};
 use retina_conntrack::TimeoutConfig;
+use retina_telemetry::LogHistogram;
 use retina_core::subscribables::ConnRecord;
 use retina_core::tracker::ConnTracker;
 use retina_core::{compile, CompiledFilter, FilterFns};
@@ -43,12 +44,18 @@ fn main() {
     ];
 
     let mut series: Vec<(&str, Vec<(u64, usize, usize)>)> = Vec::new();
+    let mut peaks: Vec<(&str, usize, LogHistogram)> = Vec::new();
     for (name, timeouts) in schemes {
         let filter = Arc::new(compile("").unwrap());
         let mut tracker: ConnTracker<ConnRecord, CompiledFilter> =
             ConnTracker::new(Arc::clone(&filter), timeouts, 500, false);
         let mut samples = Vec::new();
         let mut next_sample = SAMPLE_EVERY_NS;
+        // Per-packet peak: sampling every 10 sim-seconds can miss a
+        // spike, so track the true maximum alongside the series, plus a
+        // distribution of the sampled state sizes.
+        let mut peak_conns = 0usize;
+        let mut state_hist = LogHistogram::new();
         for (frame, ts) in &packets {
             let Ok(pkt) = ParsedPacket::parse(frame) else {
                 continue;
@@ -60,18 +67,18 @@ fn main() {
                 tracker.process(&mbuf, &pkt, result);
             }
             let _ = tracker.take_outputs();
+            peak_conns = peak_conns.max(tracker.connections());
             if *ts >= next_sample {
                 tracker.advance(*ts);
                 let _ = tracker.take_outputs();
-                samples.push((
-                    *ts / 1_000_000_000,
-                    tracker.connections(),
-                    tracker.state_bytes(),
-                ));
+                let state = tracker.state_bytes();
+                state_hist.record(state as u64);
+                samples.push((*ts / 1_000_000_000, tracker.connections(), state));
                 next_sample += SAMPLE_EVERY_NS;
             }
         }
         series.push((name, samples));
+        peaks.push((name, peak_conns, state_hist));
     }
 
     println!("\nFigure 8: connections in memory over time (sampled every 10 sim-seconds)");
@@ -104,6 +111,16 @@ fn main() {
     }
     for (name, conns, bytes) in &last {
         println!("  {name:<40} {conns:>9} conns {:>12} KB", bytes / 1024);
+    }
+
+    println!("\nmemory pressure (peak conns; sampled state bytes p50/p95/max):");
+    for (name, peak, hist) in &peaks {
+        println!(
+            "  {name:<40} peak {peak:>9} conns | state p50 {:>10} KB  p95 {:>10} KB  max {:>10} KB",
+            hist.p50() / 1024,
+            hist.p95() / 1024,
+            hist.max_bound() / 1024,
+        );
     }
     if last.len() == 3 && last[0].1 > 0 {
         println!(

@@ -71,7 +71,7 @@ pub use config::RuntimeConfig;
 pub use executor::CallbackMode;
 pub use monitor::{Monitor, MonitorSample};
 pub use offline::run_offline;
-pub use runtime::{RunReport, Runtime, TrafficSource};
+pub use runtime::{RunReport, Runtime, RuntimeGauges, TrafficSource};
 pub use stats::{CoreStats, StageStats};
 pub use subscription::{Level, Subscribable, Tracked};
 
@@ -80,4 +80,9 @@ pub use retina_conntrack::FiveTuple;
 pub use retina_filter::{compile, CompiledFilter, FilterFns};
 pub use retina_nic::Mbuf;
 pub use retina_protocols::Session;
+pub use retina_telemetry as telemetry;
+pub use retina_telemetry::{
+    CsvSink, DropBreakdown, DropReason, JsonSink, LogHistogram, LogSink, MetricSink,
+    PrometheusSink, SharedBuf, StageSummary, TelemetrySnapshot,
+};
 pub use retina_wire::ParsedPacket;

@@ -4,14 +4,16 @@
 //! throughput, and memory usage that can be used as feedback to adjust
 //! the filter or improve callback efficiency." This module implements
 //! that feedback loop: [`Monitor`] samples the NIC counters and runtime
-//! gauges on an interval and hands each [`MonitorSample`] to a sink
-//! (a logger, a CSV writer, an adaptive controller…).
+//! gauges on an interval and hands each [`MonitorSample`] to a closure
+//! sink or to any set of [`MetricSink`] exporters (log lines, CSV,
+//! JSON, Prometheus text).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use retina_nic::{PortStatsSnapshot, VirtualNic};
+use retina_telemetry::{MetricSink, Sample, TelemetrySnapshot};
 
 use crate::runtime::RuntimeGauges;
 
@@ -20,6 +22,8 @@ use crate::runtime::RuntimeGauges;
 pub struct MonitorSample {
     /// Wall-clock time since monitoring started.
     pub elapsed: Duration,
+    /// Wall-clock time since the previous sample.
+    pub interval: Duration,
     /// Delivered throughput since the previous sample (Gbps).
     pub gbps: f64,
     /// Packets lost (ring overflow + mempool exhaustion) since the
@@ -27,35 +31,49 @@ pub struct MonitorSample {
     pub lost: u64,
     /// Packets dropped by hardware rules since the previous sample.
     pub hw_dropped: u64,
+    /// Cumulative L2–L4 parse failures flushed by the workers.
+    pub parse_failures: u64,
     /// Connections currently tracked across all cores.
     pub connections: usize,
     /// Estimated connection-state bytes across all cores.
     pub state_bytes: usize,
     /// Packet buffers currently held in the mempool.
     pub mbufs_in_use: usize,
+    /// Peak mempool occupancy observed so far.
+    pub mbuf_high_water: usize,
     /// Simulation clock high-water mark (ns).
     pub sim_clock_ns: u64,
 }
 
 impl MonitorSample {
-    /// Renders the sample as a single human-readable log line.
+    /// Converts to the exporter-facing [`Sample`] shape.
+    pub fn to_sample(&self) -> Sample {
+        Sample {
+            elapsed_secs: self.elapsed.as_secs_f64(),
+            interval_secs: self.interval.as_secs_f64(),
+            gbps: self.gbps,
+            lost: self.lost,
+            hw_dropped: self.hw_dropped,
+            parse_failures: self.parse_failures,
+            connections: self.connections as u64,
+            state_bytes: self.state_bytes as u64,
+            mbufs_in_use: self.mbufs_in_use as u64,
+            mbuf_high_water: self.mbuf_high_water as u64,
+            sim_clock_ns: self.sim_clock_ns,
+        }
+    }
+
+    /// Renders the sample as a single human-readable log line,
+    /// including interval-normalized drop rates and parse failures.
     pub fn to_log_line(&self) -> String {
-        format!(
-            "[{:>8.1}s] {:>7.2} Gbps | lost {:>6} | hw-drop {:>8} | conns {:>8} ({} KB) | mbufs {:>7}",
-            self.elapsed.as_secs_f64(),
-            self.gbps,
-            self.lost,
-            self.hw_dropped,
-            self.connections,
-            self.state_bytes / 1024,
-            self.mbufs_in_use,
-        )
+        self.to_sample().to_log_line()
     }
 }
 
 /// A periodic sampler over a running [`crate::Runtime`]'s NIC and gauges.
 pub struct Monitor {
     stop: Arc<AtomicBool>,
+    final_snapshot: Arc<Mutex<Option<TelemetrySnapshot>>>,
     handle: Option<std::thread::JoinHandle<Vec<MonitorSample>>>,
 }
 
@@ -68,8 +86,33 @@ impl Monitor {
         interval: Duration,
         mut sink: impl FnMut(&MonitorSample) + Send + 'static,
     ) -> Self {
+        Self::start_inner(nic, gauges, interval, Some(Box::new(move |s| sink(s))), Vec::new())
+    }
+
+    /// Starts sampling every `interval`, driving a set of exporters:
+    /// each sample goes to every sink's `on_sample`; at stop time the
+    /// final snapshot (if provided via [`Monitor::stop_with_snapshot`])
+    /// goes to `on_snapshot`, and every sink is closed.
+    pub fn start_with_sinks(
+        nic: Arc<VirtualNic>,
+        gauges: Arc<RuntimeGauges>,
+        interval: Duration,
+        sinks: Vec<Box<dyn MetricSink>>,
+    ) -> Self {
+        Self::start_inner(nic, gauges, interval, None, sinks)
+    }
+
+    fn start_inner(
+        nic: Arc<VirtualNic>,
+        gauges: Arc<RuntimeGauges>,
+        interval: Duration,
+        mut closure: Option<Box<dyn FnMut(&MonitorSample) + Send>>,
+        mut sinks: Vec<Box<dyn MetricSink>>,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let final_snapshot: Arc<Mutex<Option<TelemetrySnapshot>>> = Arc::new(Mutex::new(None));
+        let final2 = Arc::clone(&final_snapshot);
         let handle = std::thread::spawn(move || {
             let start = Instant::now();
             let mut samples = Vec::new();
@@ -79,34 +122,49 @@ impl Monitor {
                 std::thread::sleep(interval);
                 let now = Instant::now();
                 let stats = nic.stats();
-                let dt = now.duration_since(prev_t).as_secs_f64().max(1e-9);
+                let dt = now.duration_since(prev_t);
+                gauges.note_mbuf_high_water(nic.mempool().high_water());
                 let sample = MonitorSample {
                     elapsed: now.duration_since(start),
-                    gbps: ((stats.rx_bytes - prev.rx_bytes) as f64 * 8.0) / dt / 1e9,
+                    interval: dt,
+                    gbps: ((stats.rx_bytes - prev.rx_bytes) as f64 * 8.0)
+                        / dt.as_secs_f64().max(1e-9)
+                        / 1e9,
                     lost: stats.lost() - prev.lost(),
                     hw_dropped: stats.hw_dropped - prev.hw_dropped,
-                    connections: gauges
-                        .connections
-                        .iter()
-                        .map(|c| c.load(Ordering::Relaxed))
-                        .sum(),
-                    state_bytes: gauges
-                        .state_bytes
-                        .iter()
-                        .map(|c| c.load(Ordering::Relaxed))
-                        .sum(),
+                    parse_failures: gauges.parse_failures(),
+                    connections: gauges.connections(),
+                    state_bytes: gauges.state_bytes(),
                     mbufs_in_use: nic.mempool().in_use(),
-                    sim_clock_ns: gauges.sim_clock_ns.load(Ordering::Relaxed),
+                    mbuf_high_water: nic.mempool().high_water(),
+                    sim_clock_ns: gauges.sim_clock_ns(),
                 };
-                sink(&sample);
+                if let Some(f) = closure.as_mut() {
+                    f(&sample);
+                }
+                if !sinks.is_empty() {
+                    let s = sample.to_sample();
+                    for sink in &mut sinks {
+                        sink.on_sample(&s);
+                    }
+                }
                 samples.push(sample);
                 prev = stats;
                 prev_t = now;
+            }
+            if let Some(snapshot) = final2.lock().unwrap().take() {
+                for sink in &mut sinks {
+                    sink.on_snapshot(&snapshot);
+                }
+            }
+            for sink in &mut sinks {
+                sink.close();
             }
             samples
         });
         Monitor {
             stop,
+            final_snapshot,
             handle: Some(handle),
         }
     }
@@ -118,6 +176,15 @@ impl Monitor {
             .take()
             .map(|h| h.join().unwrap_or_default())
             .unwrap_or_default()
+    }
+
+    /// Stops the monitor, delivering `snapshot` to every sink's
+    /// `on_snapshot` before they are closed. Returns the collected
+    /// samples. (Use with [`Monitor::start_with_sinks`], passing
+    /// `report.telemetry()` from the finished run.)
+    pub fn stop_with_snapshot(self, snapshot: TelemetrySnapshot) -> Vec<MonitorSample> {
+        *self.final_snapshot.lock().unwrap() = Some(snapshot);
+        self.stop()
     }
 }
 
@@ -134,20 +201,44 @@ impl Drop for Monitor {
 mod tests {
     use super::*;
 
-    #[test]
-    fn sample_log_line_formats() {
-        let s = MonitorSample {
+    fn sample() -> MonitorSample {
+        MonitorSample {
             elapsed: Duration::from_secs(5),
+            interval: Duration::from_millis(500),
             gbps: 42.5,
-            lost: 0,
+            lost: 6,
             hw_dropped: 100,
+            parse_failures: 3,
             connections: 1234,
             state_bytes: 64 * 1024,
             mbufs_in_use: 77,
+            mbuf_high_water: 123,
             sim_clock_ns: 1,
-        };
-        let line = s.to_log_line();
-        assert!(line.contains("42.50 Gbps"));
-        assert!(line.contains("conns     1234 (64 KB)"));
+        }
+    }
+
+    #[test]
+    fn sample_log_line_formats() {
+        let line = sample().to_log_line();
+        assert!(line.contains("42.50 Gbps"), "{line}");
+        assert!(line.contains("conns     1234 (64 KB)"), "{line}");
+        // Parse failures and interval-normalized drop rates are
+        // included: 6 lost / 0.5 s and 100 hw-drops / 0.5 s.
+        assert!(line.contains("parse-fail      3"), "{line}");
+        assert!(line.contains("lost      6 (12.0/s)"), "{line}");
+        assert!(line.contains("(200.0/s)"), "{line}");
+        assert!(line.contains("peak 123"), "{line}");
+    }
+
+    #[test]
+    fn sample_conversion_preserves_fields() {
+        let s = sample().to_sample();
+        assert_eq!(s.elapsed_secs, 5.0);
+        assert_eq!(s.interval_secs, 0.5);
+        assert_eq!(s.lost, 6);
+        assert_eq!(s.parse_failures, 3);
+        assert_eq!(s.mbuf_high_water, 123);
+        assert_eq!(s.lost_per_sec(), 12.0);
+        assert_eq!(s.hw_dropped_per_sec(), 200.0);
     }
 }

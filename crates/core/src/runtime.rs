@@ -7,13 +7,17 @@
 //! the per-core pipeline — packet filter, connection tracker, callback —
 //! with no cross-core communication (§5.1).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use retina_support::bytes::Bytes;
 use retina_filter::{CompiledFilter, FilterFns, FilterResult};
 use retina_nic::{PortStatsSnapshot, VirtualNic};
+use retina_telemetry::{
+    CounterId, DropBreakdown, DropReason, GaugeId, GaugeMerge, Registry, StageSummary,
+    TelemetrySnapshot,
+};
 use retina_wire::ParsedPacket;
 
 use crate::config::RuntimeConfig;
@@ -35,14 +39,102 @@ pub trait TrafficSource: Send {
 
 /// Live gauges the runtime updates while running (read them from a
 /// monitoring thread, e.g. for the Figure 8 memory series).
-#[derive(Debug, Default)]
+///
+/// Backed by a per-core [`Registry`]: workers flush into their own
+/// cache-line-padded shard and readers merge on demand, so monitoring
+/// never introduces cross-core contention.
+#[derive(Debug)]
 pub struct RuntimeGauges {
-    /// Connections currently tracked, per core.
-    pub connections: Vec<AtomicUsize>,
-    /// Estimated connection-state bytes, per core.
-    pub state_bytes: Vec<AtomicUsize>,
+    registry: Registry,
+    connections: GaugeId,
+    state_bytes: GaugeId,
+    sim_clock_ns: GaugeId,
+    mbuf_high_water: GaugeId,
+    parse_failures: CounterId,
+    rx_packets: CounterId,
+}
+
+impl RuntimeGauges {
+    /// Creates gauges sharded over `cores` workers.
+    pub fn new(cores: usize) -> Self {
+        let mut registry = Registry::new(cores);
+        let connections = registry.gauge("connections", GaugeMerge::Sum);
+        let state_bytes = registry.gauge("state_bytes", GaugeMerge::Sum);
+        let sim_clock_ns = registry.gauge("sim_clock_ns", GaugeMerge::Max);
+        let mbuf_high_water = registry.gauge("mbuf_high_water", GaugeMerge::Max);
+        let parse_failures = registry.counter("parse_failures");
+        let rx_packets = registry.counter("rx_packets");
+        RuntimeGauges {
+            registry,
+            connections,
+            state_bytes,
+            sim_clock_ns,
+            mbuf_high_water,
+            parse_failures,
+            rx_packets,
+        }
+    }
+
+    /// The underlying registry (snapshots, extra metrics).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Connections currently tracked across all cores.
+    pub fn connections(&self) -> usize {
+        self.registry.gauge_value(self.connections) as usize
+    }
+
+    /// Estimated connection-state bytes across all cores.
+    pub fn state_bytes(&self) -> usize {
+        self.registry.gauge_value(self.state_bytes) as usize
+    }
+
     /// Maximum packet timestamp processed so far (simulation clock, ns).
-    pub sim_clock_ns: AtomicU64,
+    pub fn sim_clock_ns(&self) -> u64 {
+        self.registry.gauge_value(self.sim_clock_ns)
+    }
+
+    /// Peak mempool occupancy mirrored from the NIC.
+    pub fn mbuf_high_water(&self) -> usize {
+        self.registry.gauge_value(self.mbuf_high_water) as usize
+    }
+
+    /// L2–L4 parse failures flushed by the workers so far.
+    pub fn parse_failures(&self) -> u64 {
+        self.registry.counter_total(self.parse_failures)
+    }
+
+    /// Packets received by the workers so far.
+    pub fn rx_packets(&self) -> u64 {
+        self.registry.counter_total(self.rx_packets)
+    }
+
+    /// Mirrors the mempool's high-water mark into the registry (called
+    /// by whichever thread observes the NIC; `Max` merge makes this
+    /// safe from any core).
+    pub fn note_mbuf_high_water(&self, peak: usize) {
+        self.registry.shard(0).max(self.mbuf_high_water, peak as u64);
+    }
+
+    /// Flushes one worker's live state into its shard. Called from the
+    /// worker's periodic maintenance block, so per-packet paths stay
+    /// atomics-free.
+    pub fn worker_update(
+        &self,
+        core: usize,
+        stats: &CoreStats,
+        connections: usize,
+        state_bytes: usize,
+        sim_clock_ns: u64,
+    ) {
+        let shard = self.registry.shard(core);
+        shard.set(self.connections, connections as u64);
+        shard.set(self.state_bytes, state_bytes as u64);
+        shard.max(self.sim_clock_ns, sim_clock_ns);
+        shard.set_counter(self.parse_failures, stats.parse_failures);
+        shard.set_counter(self.rx_packets, stats.rx_packets);
+    }
 }
 
 /// Errors from runtime construction.
@@ -73,6 +165,8 @@ pub struct RunReport {
     pub cores: CoreStats,
     /// Simulated time span covered by the traffic (ns).
     pub sim_duration_ns: u64,
+    /// Peak mempool occupancy over the run (buffers).
+    pub mbuf_high_water: usize,
 }
 
 impl RunReport {
@@ -97,6 +191,107 @@ impl RunReport {
     /// exhaustion — the paper's zero-loss criterion.
     pub fn zero_loss(&self) -> bool {
         self.nic.lost() == 0
+    }
+
+    /// The run's complete drop taxonomy: the NIC's packet-subject
+    /// reasons plus the pipeline's parse failures and connection-subject
+    /// reasons, each attributed exactly once.
+    pub fn drop_breakdown(&self) -> DropBreakdown {
+        let mut drops = self.nic.drop_breakdown();
+        drops.add(DropReason::ParseFailure, self.cores.parse_failures);
+        drops.add(DropReason::ConnFilterDiscard, self.cores.discard_conn_filter);
+        drops.add(
+            DropReason::SessionFilterDiscard,
+            self.cores.discard_session_filter,
+        );
+        drops.add(DropReason::TimeoutExpiry, self.cores.conns_expired);
+        drops
+    }
+
+    /// Pipeline stages in processing order, as `(name, summary)` pairs.
+    pub fn stages(&self) -> Vec<(String, StageSummary)> {
+        let stage = |s: &crate::stats::StageStats| StageSummary {
+            runs: s.runs,
+            cycles: s.cycles,
+            hist: s.hist,
+        };
+        vec![
+            ("packet_filter".to_string(), stage(&self.cores.packet_filter)),
+            ("conn_tracking".to_string(), stage(&self.cores.conn_tracking)),
+            ("reassembly".to_string(), stage(&self.cores.reassembly)),
+            ("app_parsing".to_string(), stage(&self.cores.app_parsing)),
+            ("session_filter".to_string(), stage(&self.cores.session_filter)),
+            ("callbacks".to_string(), stage(&self.cores.callbacks)),
+        ]
+    }
+
+    /// The full telemetry view of the run: named counters, gauges,
+    /// per-stage cycle distributions, and the drop-reason breakdown —
+    /// ready for any [`retina_telemetry::MetricSink`] exporter.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut counters = vec![
+            ("core.conns_completed_early".to_string(), self.cores.conns_completed_early),
+            ("core.conns_created".to_string(), self.cores.conns_created),
+            ("core.conns_discarded".to_string(), self.cores.conns_discarded),
+            ("core.conns_drained".to_string(), self.cores.conns_drained),
+            ("core.conns_expired".to_string(), self.cores.conns_expired),
+            ("core.conns_terminated".to_string(), self.cores.conns_terminated),
+            ("core.discard_conn_filter".to_string(), self.cores.discard_conn_filter),
+            ("core.discard_session_filter".to_string(), self.cores.discard_session_filter),
+            ("core.ooo_buffered".to_string(), self.cores.ooo_buffered),
+            ("core.parse_failures".to_string(), self.cores.parse_failures),
+            ("core.rx_bytes".to_string(), self.cores.rx_bytes),
+            ("core.rx_packets".to_string(), self.cores.rx_packets),
+            ("nic.hw_dropped".to_string(), self.nic.hw_dropped),
+            ("nic.rx_bytes".to_string(), self.nic.rx_bytes),
+            ("nic.rx_delivered".to_string(), self.nic.rx_delivered),
+            ("nic.rx_missed".to_string(), self.nic.rx_missed),
+            ("nic.rx_nombuf".to_string(), self.nic.rx_nombuf),
+            ("nic.rx_offered".to_string(), self.nic.rx_offered),
+            ("nic.sunk".to_string(), self.nic.sunk),
+        ];
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let gauges = vec![
+            ("mbuf_high_water".to_string(), self.mbuf_high_water as u64),
+            ("sim_duration_ns".to_string(), self.sim_duration_ns),
+        ];
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            stages: self.stages(),
+            drops: self.drop_breakdown(),
+        }
+    }
+
+    /// Verifies the run's accounting invariants: every ingress frame and
+    /// every created connection is attributed to exactly one outcome.
+    /// Returns the first violated invariant on failure.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        if !self.nic.fully_attributed() {
+            return Err(format!(
+                "nic: rx_offered ({}) != delivered ({}) + sunk ({}) + hw_dropped ({}) + \
+                 missed ({}) + nombuf ({})",
+                self.nic.rx_offered,
+                self.nic.rx_delivered,
+                self.nic.sunk,
+                self.nic.hw_dropped,
+                self.nic.rx_missed,
+                self.nic.rx_nombuf,
+            ));
+        }
+        if self.cores.rx_packets != self.nic.rx_delivered {
+            return Err(format!(
+                "cores.rx_packets ({}) != nic.rx_delivered ({})",
+                self.cores.rx_packets, self.nic.rx_delivered,
+            ));
+        }
+        if self.cores.rx_packets != self.cores.parse_failures + self.cores.packet_filter.runs {
+            return Err(format!(
+                "cores.rx_packets ({}) != parse_failures ({}) + packet_filter.runs ({})",
+                self.cores.rx_packets, self.cores.parse_failures, self.cores.packet_filter.runs,
+            ));
+        }
+        self.cores.check_conn_accounting()
     }
 }
 
@@ -132,11 +327,7 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
                     .map_err(|e| RuntimeError::HwFilter(e.to_string()))?;
             }
         }
-        let gauges = Arc::new(RuntimeGauges {
-            connections: (0..config.cores).map(|_| AtomicUsize::new(0)).collect(),
-            state_bytes: (0..config.cores).map(|_| AtomicUsize::new(0)).collect(),
-            sim_clock_ns: AtomicU64::new(0),
-        });
+        let gauges = Arc::new(RuntimeGauges::new(config.cores as usize));
         Ok(Runtime {
             config,
             filter: Arc::new(filter),
@@ -226,11 +417,14 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
             // queue and exits.
             let _ = handle.join().expect("executor thread panicked");
         }
+        let mbuf_high_water = self.nic.mempool().high_water();
+        self.gauges.note_mbuf_high_water(mbuf_high_water);
         RunReport {
             elapsed: start.elapsed(),
             nic: self.nic.stats(),
             cores,
             sim_duration_ns,
+            mbuf_high_water,
         }
     }
 }
@@ -287,7 +481,7 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
             let result = filter.packet_filter(&pkt);
             tracker.stats.packet_filter.runs += 1;
             if let Some(t) = tf {
-                tracker.stats.packet_filter.cycles += rdtsc().wrapping_sub(t);
+                tracker.stats.packet_filter.record_cycles(rdtsc().wrapping_sub(t));
             }
             match result {
                 FilterResult::NoMatch => continue,
@@ -298,7 +492,7 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                         tracker.stats.callbacks.runs += 1;
                         callback.deliver(data);
                         if let Some(t) = tc {
-                            tracker.stats.callbacks.cycles += rdtsc().wrapping_sub(t);
+                            tracker.stats.callbacks.record_cycles(rdtsc().wrapping_sub(t));
                         }
                     }
                     continue;
@@ -311,7 +505,7 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                 let tc = profile.then(rdtsc);
                 callback.deliver(data);
                 if let Some(t) = tc {
-                    tracker.stats.callbacks.cycles += rdtsc().wrapping_sub(t);
+                    tracker.stats.callbacks.record_cycles(rdtsc().wrapping_sub(t));
                 }
             }
         }
@@ -323,9 +517,13 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                 tracker.stats.callbacks.runs += 1;
                 callback.deliver(data);
             }
-            gauges.connections[core as usize].store(tracker.connections(), Ordering::Relaxed);
-            gauges.state_bytes[core as usize].store(tracker.state_bytes(), Ordering::Relaxed);
-            gauges.sim_clock_ns.fetch_max(max_ts, Ordering::Relaxed);
+            gauges.worker_update(
+                core as usize,
+                &tracker.stats,
+                tracker.connections(),
+                tracker.state_bytes(),
+                max_ts,
+            );
         }
     }
 
@@ -335,6 +533,6 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
         tracker.stats.callbacks.runs += 1;
         callback.deliver(data);
     }
-    gauges.connections[core as usize].store(0, Ordering::Relaxed);
+    gauges.worker_update(core as usize, &tracker.stats, 0, 0, max_ts);
     tracker.stats
 }

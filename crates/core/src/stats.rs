@@ -3,7 +3,11 @@
 //! The stage counters directly feed Figure 7 (the fraction of ingress
 //! packets that trigger each processing stage, and average cycles per
 //! stage), and the runtime's real-time monitoring of throughput, drops,
-//! and memory (§5.3).
+//! and memory (§5.3). When stage profiling is on, each stage also
+//! carries a log2 cycle histogram so reports can expose tail latency
+//! (p50/p95/p99), not just the mean.
+
+use retina_telemetry::LogHistogram;
 
 /// Counters for one pipeline stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -12,9 +16,20 @@ pub struct StageStats {
     pub runs: u64,
     /// Total CPU cycles spent in the stage (only when profiling is on).
     pub cycles: u64,
+    /// Cycle distribution (only when profiling is on).
+    pub hist: LogHistogram,
 }
 
 impl StageStats {
+    /// Records one profiled run of `cycles` cycles: bumps the total and
+    /// the distribution together. (`runs` is counted separately because
+    /// stages run even when profiling is off.)
+    #[inline]
+    pub fn record_cycles(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.hist.record(cycles);
+    }
+
     /// Average cycles per run, when profiling was enabled.
     pub fn avg_cycles(&self) -> f64 {
         if self.runs == 0 {
@@ -24,10 +39,26 @@ impl StageStats {
         }
     }
 
+    /// Median cycles per run (histogram bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.hist.p50()
+    }
+
+    /// 95th-percentile cycles per run.
+    pub fn p95(&self) -> u64 {
+        self.hist.p95()
+    }
+
+    /// 99th-percentile cycles per run.
+    pub fn p99(&self) -> u64 {
+        self.hist.p99()
+    }
+
     /// Merges another stage's counters into this one.
     pub fn merge(&mut self, other: &StageStats) {
         self.runs += other.runs;
         self.cycles += other.cycles;
+        self.hist.merge(&other.hist);
     }
 }
 
@@ -57,8 +88,20 @@ pub struct CoreStats {
     /// Connections created.
     pub conns_created: u64,
     /// Connections dropped early by the connection/session filters
-    /// (before natural termination — the lazy-discard win).
+    /// (before natural termination — the lazy-discard win). Always
+    /// equals `discard_conn_filter + discard_session_filter +
+    /// conns_completed_early`.
     pub conns_discarded: u64,
+    /// Discards attributed to the connection filter (probe failure or
+    /// an explicit non-match on the connection stage).
+    pub discard_conn_filter: u64,
+    /// Discards attributed to the session filter (session parsed but
+    /// rejected).
+    pub discard_session_filter: u64,
+    /// Connections removed early because every subscription was already
+    /// satisfied (e.g. TLS handshake delivered mid-stream) — counted
+    /// within `conns_discarded` but not a filter rejection.
+    pub conns_completed_early: u64,
     /// Connections expired by timeouts.
     pub conns_expired: u64,
     /// Connections still open when the run ended (drained at shutdown).
@@ -83,10 +126,45 @@ impl CoreStats {
         self.callbacks.merge(&other.callbacks);
         self.conns_created += other.conns_created;
         self.conns_discarded += other.conns_discarded;
+        self.discard_conn_filter += other.discard_conn_filter;
+        self.discard_session_filter += other.discard_session_filter;
+        self.conns_completed_early += other.conns_completed_early;
         self.conns_expired += other.conns_expired;
         self.conns_drained += other.conns_drained;
         self.conns_terminated += other.conns_terminated;
         self.ooo_buffered += other.ooo_buffered;
+    }
+
+    /// Checks that every created connection is attributed to exactly one
+    /// outcome, and every discard to exactly one cause. Returns the
+    /// violated invariant on failure.
+    pub fn check_conn_accounting(&self) -> Result<(), String> {
+        let outcomes =
+            self.conns_discarded + self.conns_terminated + self.conns_expired + self.conns_drained;
+        if self.conns_created != outcomes {
+            return Err(format!(
+                "conns_created ({}) != discarded ({}) + terminated ({}) + expired ({}) + \
+                 drained ({})",
+                self.conns_created,
+                self.conns_discarded,
+                self.conns_terminated,
+                self.conns_expired,
+                self.conns_drained,
+            ));
+        }
+        let causes =
+            self.discard_conn_filter + self.discard_session_filter + self.conns_completed_early;
+        if self.conns_discarded != causes {
+            return Err(format!(
+                "conns_discarded ({}) != conn_filter ({}) + session_filter ({}) + \
+                 completed_early ({})",
+                self.conns_discarded,
+                self.discard_conn_filter,
+                self.discard_session_filter,
+                self.conns_completed_early,
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -96,31 +174,63 @@ mod tests {
 
     #[test]
     fn avg_cycles() {
-        let s = StageStats {
-            runs: 4,
-            cycles: 100,
-        };
+        let mut s = StageStats::default();
+        s.runs = 4;
+        s.cycles = 100;
         assert_eq!(s.avg_cycles(), 25.0);
         assert_eq!(StageStats::default().avg_cycles(), 0.0);
+    }
+
+    #[test]
+    fn record_cycles_feeds_total_and_histogram() {
+        let mut s = StageStats::default();
+        for c in [100u64, 100, 100, 5000] {
+            s.runs += 1;
+            s.record_cycles(c);
+        }
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.cycles, 5300);
+        assert_eq!(s.hist.count(), 4);
+        // 100 lands in [64,127]; 5000 in [4096,8191].
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.p99(), 8191);
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
     }
 
     #[test]
     fn merge() {
         let mut a = CoreStats::default();
         a.rx_packets = 10;
-        a.packet_filter = StageStats {
-            runs: 10,
-            cycles: 50,
-        };
+        a.packet_filter.runs = 10;
+        a.packet_filter.record_cycles(50);
         let mut b = CoreStats::default();
         b.rx_packets = 5;
-        b.packet_filter = StageStats {
-            runs: 5,
-            cycles: 25,
-        };
+        b.packet_filter.runs = 5;
+        b.packet_filter.record_cycles(25);
         a.merge(&b);
         assert_eq!(a.rx_packets, 15);
         assert_eq!(a.packet_filter.runs, 15);
         assert_eq!(a.packet_filter.cycles, 75);
+        assert_eq!(a.packet_filter.hist.count(), 2);
+    }
+
+    #[test]
+    fn conn_accounting_checks() {
+        let mut s = CoreStats::default();
+        s.conns_created = 10;
+        s.conns_discarded = 4;
+        s.discard_conn_filter = 2;
+        s.discard_session_filter = 1;
+        s.conns_completed_early = 1;
+        s.conns_terminated = 3;
+        s.conns_expired = 2;
+        s.conns_drained = 1;
+        assert_eq!(s.check_conn_accounting(), Ok(()));
+
+        s.conns_created = 11; // one connection unaccounted for
+        assert!(s.check_conn_accounting().is_err());
+        s.conns_created = 10;
+        s.discard_conn_filter = 3; // causes exceed discards
+        assert!(s.check_conn_accounting().is_err());
     }
 }

@@ -80,6 +80,15 @@ enum FinalizeReason {
     Drained,
 }
 
+/// Which filter stage rejected a discarded connection. Every discard is
+/// attributed to exactly one cause so `conns_discarded` always equals
+/// the sum of the cause counters (the drop-taxonomy invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiscardCause {
+    ConnFilter,
+    SessionFilter,
+}
+
 /// Disposition after handling a unit of stream data.
 #[derive(PartialEq, Eq, Clone, Copy, Debug)]
 enum Disposition {
@@ -201,10 +210,20 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
 
     /// Processes one packet that the software packet filter matched.
     pub fn process(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, filter_result: FilterResult) {
+        // Time the whole tracker pass here (not in the body) so early
+        // exits — TIME_WAIT trailing packets, key collisions — still
+        // land in the stage histogram.
         let t0 = self.profile.then(rdtsc);
+        self.stats.conn_tracking.runs += 1;
+        self.process_inner(mbuf, pkt, filter_result);
+        if let Some(t) = t0 {
+            self.stats.conn_tracking.record_cycles(rdtsc().wrapping_sub(t));
+        }
+    }
+
+    fn process_inner(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, filter_result: FilterResult) {
         let now = mbuf.timestamp_ns;
         let key = ConnKey::from_packet(pkt);
-        self.stats.conn_tracking.runs += 1;
 
         if self.table.get_mut(&key).is_none() {
             match self.closed.get(&key) {
@@ -220,6 +239,13 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
             let tuple = FiveTuple::from_packet(pkt);
             let matched = filter_result.is_terminal();
             let phase = self.initial_phase(matched);
+            if matches!(phase, Phase::Dropped) {
+                // Degraded path: the filter can never match this
+                // connection, so it is born a tombstone. Attribute it
+                // now — finalize() skips dropped connections.
+                self.stats.conns_discarded += 1;
+                self.stats.discard_conn_filter += 1;
+            }
             let mut conn = Conn {
                 flow: TcpFlow::new(now, self.ooo_capacity),
                 tracked: S::Tracked::new(&tuple, now),
@@ -314,7 +340,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                         }
                     }
                     if let Some(t) = tr {
-                        self.stats.reassembly.cycles += rdtsc().wrapping_sub(t);
+                        self.stats.reassembly.record_cycles(rdtsc().wrapping_sub(t));
                     }
                 }
                 Reassembled::Buffered => {
@@ -331,18 +357,18 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         let terminated = update.terminated;
         if disposition == Disposition::RemoveDone {
             // Subscription is finished with this connection (e.g. TLS
-            // handshake delivered): remove mid-stream (§5.2).
+            // handshake delivered): remove mid-stream (§5.2). Counted
+            // within conns_discarded (early removal) but attributed
+            // separately — this is a win, not a filter rejection.
             self.table.remove(&key);
             self.closed.insert(key, now);
             self.stats.conns_discarded += 1;
+            self.stats.conns_completed_early += 1;
         } else if terminated {
             if let Some(entry) = self.table.remove(&key) {
                 self.closed.insert(key, now);
                 self.finalize(entry, FinalizeReason::Terminated);
             }
-        }
-        if let Some(t) = t0 {
-            self.stats.conn_tracking.cycles += rdtsc().wrapping_sub(t);
         }
     }
 
@@ -419,7 +445,12 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                         let r = filter.conn_filter(Some(service), conn.pkt_term_node);
                         match r {
                             FilterResult::NoMatch => {
-                                return Self::discard(stats, conn, tuple);
+                                return Self::discard(
+                                    stats,
+                                    conn,
+                                    tuple,
+                                    DiscardCause::ConnFilter,
+                                );
                             }
                             FilterResult::MatchTerminal(_) => {
                                 conn.matched = true;
@@ -488,6 +519,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                 Disposition::Keep
             } else {
                 stats.conns_discarded += 1;
+                stats.discard_conn_filter += 1;
                 conn.phase = Phase::Dropped;
                 Disposition::Keep
             }
@@ -498,8 +530,13 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         stats: &mut CoreStats,
         conn: &mut Conn<S::Tracked>,
         tuple: &FiveTuple,
+        cause: DiscardCause,
     ) -> Disposition {
         stats.conns_discarded += 1;
+        match cause {
+            DiscardCause::ConnFilter => stats.discard_conn_filter += 1,
+            DiscardCause::SessionFilter => stats.discard_session_filter += 1,
+        }
         conn.phase = Phase::Dropped;
         // Release anything the subscription buffered pre-match.
         conn.tracked = S::Tracked::new(tuple, conn.flow.first_seen_ns);
@@ -525,7 +562,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         stats.app_parsing.runs += 1;
         let result = parser.parse(data, pdir);
         if let Some(t) = tp {
-            stats.app_parsing.cycles += rdtsc().wrapping_sub(t);
+            stats.app_parsing.record_cycles(rdtsc().wrapping_sub(t));
         }
         match result {
             ParseResult::Continue => Disposition::Keep,
@@ -540,7 +577,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                     stats.session_filter.runs += 1;
                     let pass = conn.matched || filter.session_filter(&session, conn.pkt_term_node);
                     if let Some(t) = ts {
-                        stats.session_filter.cycles += rdtsc().wrapping_sub(t);
+                        stats.session_filter.record_cycles(rdtsc().wrapping_sub(t));
                     }
                     if pass {
                         any_matched = true;
@@ -583,7 +620,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                                 conn.phase = Phase::Tracking;
                                 Disposition::Keep
                             } else {
-                                Self::discard(stats, conn, tuple)
+                                Self::discard(stats, conn, tuple, DiscardCause::SessionFilter)
                             }
                         }
                         SessionState::KeepParsing => Disposition::Keep,
@@ -603,7 +640,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                         conn.phase = Phase::Tracking;
                         Disposition::Keep
                     } else {
-                        Self::discard(stats, conn, tuple)
+                        Self::discard(stats, conn, tuple, DiscardCause::ConnFilter)
                     }
                 }
             }
@@ -611,8 +648,13 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
     }
 
     /// Finalizes a connection that terminated, expired, or was drained.
+    ///
+    /// Discarded tombstones (`Phase::Dropped`) were already attributed
+    /// at discard time; counting them again here would double-book the
+    /// connection and break the exclusive-outcome invariant.
     fn finalize(&mut self, entry: ConnEntry<Conn<S::Tracked>>, reason: FinalizeReason) {
         let mut conn = entry.value;
+        let was_discarded = matches!(conn.phase, Phase::Dropped);
         // Drain partial sessions (e.g. an unanswered DNS query).
         if let Phase::Parsing { parser, service } = &mut conn.phase {
             let service = *service;
@@ -636,10 +678,12 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         if conn.matched {
             conn.tracked.on_terminate(&conn.flow, &mut self.outputs);
         }
-        match reason {
-            FinalizeReason::Terminated => self.stats.conns_terminated += 1,
-            FinalizeReason::Expired => self.stats.conns_expired += 1,
-            FinalizeReason::Drained => self.stats.conns_drained += 1,
+        if !was_discarded {
+            match reason {
+                FinalizeReason::Terminated => self.stats.conns_terminated += 1,
+                FinalizeReason::Expired => self.stats.conns_expired += 1,
+                FinalizeReason::Drained => self.stats.conns_drained += 1,
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use retina_support::bytes::Bytes;
+use retina_telemetry::{DropBreakdown, DropReason};
 use retina_support::sync::ArrayQueue;
 use retina_support::sync::RwLock;
 use retina_wire::ParsedPacket;
@@ -89,6 +90,25 @@ impl PortStatsSnapshot {
     /// measurement to count as "zero packet loss".
     pub fn lost(&self) -> u64 {
         self.rx_missed + self.rx_nombuf
+    }
+
+    /// The port's packet-subject drop taxonomy: hardware-rule drops,
+    /// ring overflow, and mempool exhaustion, attributed exclusively.
+    /// (Sink sampling is a measurement choice, not a drop, so `sunk`
+    /// stays out of the breakdown.)
+    pub fn drop_breakdown(&self) -> DropBreakdown {
+        let mut drops = DropBreakdown::new();
+        drops.add(DropReason::HwRule, self.hw_dropped);
+        drops.add(DropReason::RingOverflow, self.rx_missed);
+        drops.add(DropReason::MempoolExhausted, self.rx_nombuf);
+        drops
+    }
+
+    /// Checks that every offered frame is attributed to exactly one
+    /// outcome: delivered, sunk, or one of the drop reasons.
+    pub fn fully_attributed(&self) -> bool {
+        self.rx_offered
+            == self.rx_delivered + self.sunk + self.drop_breakdown().packet_total()
     }
 }
 
@@ -407,6 +427,32 @@ mod tests {
         let stats = nic.stats();
         assert!(stats.sunk > 0, "expected some sunk traffic");
         assert_eq!(stats.lost(), 0);
+    }
+
+    #[test]
+    fn drop_breakdown_attributes_every_frame() {
+        let nic = VirtualNic::new(&DeviceConfig {
+            num_queues: 1,
+            ring_capacity: 2,
+            ..Default::default()
+        });
+        nic.install_rule(FlowRule::rss(vec![RuleItem::Tcp {
+            src_port: None,
+            dst_port: None,
+        }]))
+        .unwrap();
+        // 1 hw drop (UDP), 2 delivered, 3 ring overflows.
+        nic.ingest(udp_frame("1.1.1.1:53", "2.2.2.2:5000"), 0);
+        for i in 0..5 {
+            nic.ingest(tcp_frame("10.0.0.1:1000", "10.0.0.2:443"), i);
+        }
+        let stats = nic.stats();
+        let drops = stats.drop_breakdown();
+        assert_eq!(drops.get(DropReason::HwRule), 1);
+        assert_eq!(drops.get(DropReason::RingOverflow), 3);
+        assert_eq!(drops.get(DropReason::MempoolExhausted), 0);
+        assert_eq!(drops.lost(), stats.lost());
+        assert!(stats.fully_attributed(), "{stats:?}");
     }
 
     #[test]

@@ -69,7 +69,13 @@ impl Mbuf {
 
     /// Wraps a raw frame, charging it to `pool` until the last clone drops.
     pub fn from_bytes_in(data: Bytes, pool: &Mempool) -> Self {
-        pool.inner.in_use.fetch_add(1, Ordering::Relaxed);
+        // fetch_add returns the pre-increment occupancy; raising the
+        // high-water mark here (rather than sampling in_use from the
+        // monitor) captures peaks shorter than a monitoring interval.
+        let occupied = pool.inner.in_use.fetch_add(1, Ordering::Relaxed) + 1;
+        pool.inner
+            .high_water
+            .fetch_max(occupied, Ordering::Relaxed);
         pool.inner
             .bytes_in_use
             .fetch_add(data.len(), Ordering::Relaxed);
@@ -112,6 +118,7 @@ impl Mbuf {
 struct PoolInner {
     in_use: AtomicUsize,
     bytes_in_use: AtomicUsize,
+    high_water: AtomicUsize,
     capacity: usize,
 }
 
@@ -149,6 +156,15 @@ impl Mempool {
     /// Pool capacity in buffers.
     pub fn capacity(&self) -> usize {
         self.inner.capacity
+    }
+
+    /// Peak buffer occupancy over the pool's lifetime.
+    ///
+    /// Unlike [`Mempool::in_use`], this never decreases: it records the
+    /// worst pressure the pool has seen, even for spikes shorter than a
+    /// monitoring interval.
+    pub fn high_water(&self) -> usize {
+        self.inner.high_water.load(Ordering::Relaxed)
     }
 
     /// Returns true when occupancy has reached capacity; the device drops
@@ -193,6 +209,27 @@ mod tests {
         // Last clone dropped: the charge is released exactly once.
         assert_eq!(pool.in_use(), 0);
         assert_eq!(pool.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let pool = Mempool::new(8);
+        assert_eq!(pool.high_water(), 0);
+        let a = Mbuf::from_bytes_in(Bytes::from_static(b"a"), &pool);
+        let b = Mbuf::from_bytes_in(Bytes::from_static(b"b"), &pool);
+        let c = Mbuf::from_bytes_in(Bytes::from_static(b"c"), &pool);
+        assert_eq!(pool.high_water(), 3);
+        drop(a);
+        drop(b);
+        // Occupancy fell but the peak stays.
+        assert_eq!(pool.in_use(), 1);
+        assert_eq!(pool.high_water(), 3);
+        // A new charge below the old peak does not move it.
+        let d = Mbuf::from_bytes_in(Bytes::from_static(b"d"), &pool);
+        assert_eq!(pool.high_water(), 3);
+        drop(c);
+        drop(d);
+        assert_eq!(pool.high_water(), 3);
     }
 
     #[test]

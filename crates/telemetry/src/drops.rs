@@ -1,0 +1,217 @@
+//! The drop/discard taxonomy: *why* a packet or connection left the
+//! pipeline.
+//!
+//! Raw loss counters answer "how many"; operators tuning a filter or
+//! chasing packet loss need "why". Every way out of the pipeline is one
+//! [`DropReason`], split by subject: packets leave at the NIC (hardware
+//! rule, ring overflow, mempool exhaustion) or at L2–L4 parsing, while
+//! connections leave at the connection filter, the session filter, or by
+//! timeout expiry. The accounting discipline is exclusivity: each
+//! ingress packet and each created connection is attributed to exactly
+//! one outcome, which is what makes the breakdown sum back to the
+//! totals (see `RunReport::check_accounting` in `retina-core`).
+
+/// What kind of object a [`DropReason`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropSubject {
+    /// An ingress frame.
+    Packet,
+    /// A tracked connection.
+    Connection,
+}
+
+/// Why a packet or connection left the pipeline early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Packet dropped by a hardware flow rule (intentional, §4.1).
+    HwRule,
+    /// Packet lost to a full RX descriptor ring (unintentional loss).
+    RingOverflow,
+    /// Packet lost to mempool exhaustion (unintentional loss).
+    MempoolExhausted,
+    /// Packet failed L2–L4 parsing on a worker core.
+    ParseFailure,
+    /// Connection discarded by the connection filter (lazy-discard win).
+    ConnFilterDiscard,
+    /// Connection discarded by the session filter.
+    SessionFilterDiscard,
+    /// Connection expired by a timeout (§5.2).
+    TimeoutExpiry,
+}
+
+impl DropReason {
+    /// Every reason, in canonical (display and index) order.
+    pub const ALL: [DropReason; 7] = [
+        DropReason::HwRule,
+        DropReason::RingOverflow,
+        DropReason::MempoolExhausted,
+        DropReason::ParseFailure,
+        DropReason::ConnFilterDiscard,
+        DropReason::SessionFilterDiscard,
+        DropReason::TimeoutExpiry,
+    ];
+
+    /// Stable machine-readable label (used by the exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::HwRule => "hw_rule",
+            DropReason::RingOverflow => "ring_overflow",
+            DropReason::MempoolExhausted => "mempool_exhausted",
+            DropReason::ParseFailure => "parse_failure",
+            DropReason::ConnFilterDiscard => "conn_filter_discard",
+            DropReason::SessionFilterDiscard => "session_filter_discard",
+            DropReason::TimeoutExpiry => "timeout_expiry",
+        }
+    }
+
+    /// Whether this reason applies to packets or connections.
+    pub fn subject(self) -> DropSubject {
+        match self {
+            DropReason::HwRule
+            | DropReason::RingOverflow
+            | DropReason::MempoolExhausted
+            | DropReason::ParseFailure => DropSubject::Packet,
+            DropReason::ConnFilterDiscard
+            | DropReason::SessionFilterDiscard
+            | DropReason::TimeoutExpiry => DropSubject::Connection,
+        }
+    }
+
+    /// True for drops the operator *asked for* (filters, timeouts), as
+    /// opposed to capacity loss that violates the zero-loss criterion.
+    pub fn intentional(self) -> bool {
+        !matches!(
+            self,
+            DropReason::RingOverflow | DropReason::MempoolExhausted
+        )
+    }
+
+    fn index(self) -> usize {
+        DropReason::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("reason in ALL")
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counts per [`DropReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropBreakdown {
+    counts: [u64; DropReason::ALL.len()],
+}
+
+impl DropBreakdown {
+    /// An all-zero breakdown.
+    pub const fn new() -> Self {
+        DropBreakdown {
+            counts: [0; DropReason::ALL.len()],
+        }
+    }
+
+    /// Adds `n` to a reason's count.
+    pub fn add(&mut self, reason: DropReason, n: u64) {
+        self.counts[reason.index()] += n;
+    }
+
+    /// Count for one reason.
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &DropBreakdown) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Sum across every reason.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of packet-subject reasons.
+    pub fn packet_total(&self) -> u64 {
+        self.iter()
+            .filter(|(r, _)| r.subject() == DropSubject::Packet)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Sum of connection-subject reasons.
+    pub fn conn_total(&self) -> u64 {
+        self.iter()
+            .filter(|(r, _)| r.subject() == DropSubject::Connection)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Sum of unintentional-loss reasons (the zero-loss criterion).
+    pub fn lost(&self) -> u64 {
+        self.iter()
+            .filter(|(r, _)| !r.intentional())
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Iterates `(reason, count)` in canonical order, including zeros.
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL
+            .iter()
+            .map(move |&r| (r, self.counts[r.index()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn labels_unique_and_stable() {
+        let labels: HashSet<_> = DropReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), DropReason::ALL.len());
+        assert_eq!(DropReason::HwRule.to_string(), "hw_rule");
+    }
+
+    #[test]
+    fn subjects_partition_the_taxonomy() {
+        let packets = DropReason::ALL
+            .iter()
+            .filter(|r| r.subject() == DropSubject::Packet)
+            .count();
+        let conns = DropReason::ALL
+            .iter()
+            .filter(|r| r.subject() == DropSubject::Connection)
+            .count();
+        assert_eq!(packets, 4);
+        assert_eq!(conns, 3);
+    }
+
+    #[test]
+    fn breakdown_accounting() {
+        let mut b = DropBreakdown::new();
+        b.add(DropReason::HwRule, 10);
+        b.add(DropReason::RingOverflow, 2);
+        b.add(DropReason::ConnFilterDiscard, 5);
+        assert_eq!(b.get(DropReason::HwRule), 10);
+        assert_eq!(b.total(), 17);
+        assert_eq!(b.packet_total(), 12);
+        assert_eq!(b.conn_total(), 5);
+        assert_eq!(b.lost(), 2);
+
+        let mut c = DropBreakdown::new();
+        c.add(DropReason::HwRule, 1);
+        c.add(DropReason::MempoolExhausted, 3);
+        b.merge(&c);
+        assert_eq!(b.get(DropReason::HwRule), 11);
+        assert_eq!(b.lost(), 5);
+        assert_eq!(b.iter().count(), DropReason::ALL.len());
+    }
+}

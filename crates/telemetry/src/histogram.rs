@@ -1,0 +1,266 @@
+//! Log2-bucketed value histograms with percentile extraction.
+//!
+//! Per-stage *distributions* (not just means) are what reveal tail-cost
+//! blowups in a packet pipeline: a stage whose average is cheap can
+//! still stall a core on its p99. [`LogHistogram`] trades precision for
+//! a fixed 65-bucket footprint — each bucket covers one power of two —
+//! so recording is a handful of instructions and merging shards is a
+//! vector add, both cheap enough to stay on when profiling is enabled.
+
+/// Number of buckets: bucket 0 holds zeros, bucket `k` (1..=64) holds
+/// values in `[2^(k-1), 2^k)`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (cycles, nanoseconds,
+/// byte counts...).
+///
+/// `Copy` by design: the per-core pipeline statistics embed one per
+/// stage and are returned by value when a worker exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogHistogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LogHistogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+
+    /// The bucket a value falls into.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Smallest value belonging to `bucket` (inclusive).
+    pub fn bucket_lower(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            k => 1u64 << (k - 1),
+        }
+    }
+
+    /// Largest value belonging to `bucket` (inclusive).
+    pub fn bucket_upper(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            64 => u64::MAX,
+            k => (1u64 << k) - 1,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.buckets[Self::bucket_index(value)] += n;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// The value at quantile `q` (in percent, `0.0..=100.0`).
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// `q`-th ranked sample — a deterministic overestimate by at most
+    /// 2x, which is the resolution the log2 bucketing buys. Empty
+    /// histograms report 0.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(NUM_BUCKETS - 1)
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile (upper bucket bound).
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(Self::bucket_upper)
+            .unwrap_or(0)
+    }
+
+    /// Iterates non-empty buckets as `(lower, upper, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_lower(i), Self::bucket_upper(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_exact() {
+        // Zero is its own bucket.
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_lower(0), 0);
+        assert_eq!(LogHistogram::bucket_upper(0), 0);
+        // Powers of two open a new bucket; their predecessors close one.
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(LogHistogram::bucket_index(v), k as usize + 1, "2^{k}");
+            if v > 1 {
+                assert_eq!(LogHistogram::bucket_index(v - 1), k as usize, "2^{k}-1");
+            }
+        }
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        // Every value lies within its bucket's bounds.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = LogHistogram::bucket_index(v);
+            assert!(LogHistogram::bucket_lower(i) <= v);
+            assert!(v <= LogHistogram::bucket_upper(i));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max_bound(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn percentiles_at_bucket_edges() {
+        let mut h = LogHistogram::new();
+        // 100 samples of exactly 1 (bucket 1, bounds [1,1]).
+        h.record_n(1, 100);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), 1);
+        assert_eq!(h.percentile(100.0), 1);
+        // Add 100 samples of 1024 (bucket 11, bounds [1024, 2047]).
+        h.record_n(1024, 100);
+        assert_eq!(h.count(), 200);
+        // Median is the 100th sample: still in the 1-bucket.
+        assert_eq!(h.p50(), 1);
+        // Everything above the midpoint resolves to the upper bucket.
+        assert_eq!(h.percentile(50.5), 2047);
+        assert_eq!(h.p95(), 2047);
+        assert_eq!(h.max_bound(), 2047);
+        assert_eq!(h.mean(), (100.0 + 100.0 * 1024.0) / 200.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(300); // bucket [256, 511]
+        for q in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(q), 511);
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_buckets() {
+        let mut a = LogHistogram::new();
+        a.record_n(3, 5);
+        let mut b = LogHistogram::new();
+        b.record_n(100, 7);
+        a.merge(&b);
+        assert_eq!(a.count(), 12);
+        assert_eq!(a.sum(), 15 + 700);
+        let buckets: Vec<_> = a.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(2, 3, 5), (64, 127, 7)]);
+    }
+
+    #[test]
+    fn record_saturates_instead_of_overflowing() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), u64::MAX);
+    }
+}

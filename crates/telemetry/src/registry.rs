@@ -1,0 +1,277 @@
+//! Lock-free per-core metric registry.
+//!
+//! Metrics are registered once (single-threaded, before workers start)
+//! and then updated through per-core [`Shard`] views: every counter and
+//! gauge owns one cache-line-padded atomic cell per core, so workers
+//! never contend on a shared cache line — the same shard-then-merge
+//! discipline the pipeline itself uses for statistics. Readers (the
+//! monitor thread, a final report) merge the shards on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One atomic cell on its own cache line, so adjacent cores' cells
+/// never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedCell(AtomicU64);
+
+/// Handle to a registered counter (monotonically increasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (point-in-time value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// How a gauge's per-core shards combine into one reported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeMerge {
+    /// Shards add up (e.g. connections tracked per core).
+    Sum,
+    /// The largest shard wins (e.g. a simulation-clock high-water mark).
+    Max,
+}
+
+/// A named-metric registry sharded across worker cores.
+#[derive(Debug)]
+pub struct Registry {
+    cores: usize,
+    counter_names: Vec<String>,
+    gauge_names: Vec<(String, GaugeMerge)>,
+    // Metric-major: cells[id * cores + core]. Registration appends,
+    // so existing ids stay valid.
+    counter_cells: Vec<PaddedCell>,
+    gauge_cells: Vec<PaddedCell>,
+}
+
+impl Registry {
+    /// Creates an empty registry sharded over `cores` workers (at least 1).
+    pub fn new(cores: usize) -> Self {
+        Registry {
+            cores: cores.max(1),
+            counter_names: Vec::new(),
+            gauge_names: Vec::new(),
+            counter_cells: Vec::new(),
+            gauge_cells: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Registers a counter. Call before sharing the registry with workers.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        let id = CounterId(self.counter_names.len());
+        self.counter_names.push(name.to_string());
+        self.counter_cells
+            .extend((0..self.cores).map(|_| PaddedCell::default()));
+        id
+    }
+
+    /// Registers a gauge with the given merge rule.
+    pub fn gauge(&mut self, name: &str, merge: GaugeMerge) -> GaugeId {
+        let id = GaugeId(self.gauge_names.len());
+        self.gauge_names.push((name.to_string(), merge));
+        self.gauge_cells
+            .extend((0..self.cores).map(|_| PaddedCell::default()));
+        id
+    }
+
+    /// A write view for one core. Panics if `core >= cores()`.
+    pub fn shard(&self, core: usize) -> Shard<'_> {
+        assert!(core < self.cores, "core {core} out of range");
+        Shard {
+            registry: self,
+            core,
+        }
+    }
+
+    fn counter_cell(&self, id: CounterId, core: usize) -> &AtomicU64 {
+        &self.counter_cells[id.0 * self.cores + core].0
+    }
+
+    fn gauge_cell(&self, id: GaugeId, core: usize) -> &AtomicU64 {
+        &self.gauge_cells[id.0 * self.cores + core].0
+    }
+
+    /// Merged value of a counter (sum across shards).
+    pub fn counter_total(&self, id: CounterId) -> u64 {
+        (0..self.cores)
+            .map(|c| self.counter_cell(id, c).load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Merged value of a gauge (per its [`GaugeMerge`] rule).
+    pub fn gauge_value(&self, id: GaugeId) -> u64 {
+        let merge = self.gauge_names[id.0].1;
+        let shards = (0..self.cores).map(|c| self.gauge_cell(id, c).load(Ordering::Relaxed));
+        match merge {
+            GaugeMerge::Sum => shards.sum(),
+            GaugeMerge::Max => shards.max().unwrap_or(0),
+        }
+    }
+
+    /// A merged point-in-time snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counter_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), self.counter_total(CounterId(i))))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, u64)> = self
+            .gauge_names
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.clone(), self.gauge_value(GaugeId(i))))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, gauges }
+    }
+}
+
+/// A per-core write view into a [`Registry`]. Cheap to construct; all
+/// operations touch only this core's cells.
+#[derive(Debug, Clone, Copy)]
+pub struct Shard<'a> {
+    registry: &'a Registry,
+    core: usize,
+}
+
+impl Shard<'_> {
+    /// Increments a counter shard.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.registry
+            .counter_cell(id, self.core)
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites a counter shard with an absolute value — for flushing
+    /// a locally-accumulated total (cheaper than per-event atomics).
+    #[inline]
+    pub fn set_counter(&self, id: CounterId, value: u64) {
+        self.registry
+            .counter_cell(id, self.core)
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge shard.
+    #[inline]
+    pub fn set(&self, id: GaugeId, value: u64) {
+        self.registry
+            .gauge_cell(id, self.core)
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// Raises a gauge shard to at least `value` (high-water marks).
+    #[inline]
+    pub fn max(&self, id: GaugeId, value: u64) {
+        self.registry
+            .gauge_cell(id, self.core)
+            .fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// A merged point-in-time copy of a registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Merged gauge values.
+    pub gauges: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shards_merge_without_contention() {
+        let mut reg = Registry::new(4);
+        let pkts = reg.counter("rx_packets");
+        let conns = reg.gauge("connections", GaugeMerge::Sum);
+        let clock = reg.gauge("sim_clock_ns", GaugeMerge::Max);
+        let reg = Arc::new(reg);
+
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let shard = reg.shard(core);
+                for i in 0..1000u64 {
+                    shard.add(pkts, 1);
+                    shard.set(conns, i % 10);
+                    shard.max(clock, core as u64 * 100 + i % 7);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter_total(pkts), 4000);
+        // Each core last stored 999 % 10 = 9.
+        assert_eq!(reg.gauge_value(conns), 36);
+        // Max merge: core 3's maximum i%7 (=6) dominates.
+        assert_eq!(reg.gauge_value(clock), 306);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_lookup() {
+        let mut reg = Registry::new(2);
+        let b = reg.counter("b_total");
+        let a = reg.counter("a_total");
+        let g = reg.gauge("depth", GaugeMerge::Sum);
+        reg.shard(0).add(b, 2);
+        reg.shard(1).add(b, 3);
+        reg.shard(0).add(a, 1);
+        reg.shard(1).set(g, 7);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a_total".into(), 1), ("b_total".into(), 5)]
+        );
+        assert_eq!(snap.counter("b_total"), Some(5));
+        assert_eq!(snap.gauge("depth"), Some(7));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn set_counter_flushes_absolute_totals() {
+        let mut reg = Registry::new(2);
+        let c = reg.counter("flushed");
+        reg.shard(0).set_counter(c, 40);
+        reg.shard(0).set_counter(c, 50); // overwrite, not accumulate
+        reg.shard(1).set_counter(c, 8);
+        assert_eq!(reg.counter_total(c), 58);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_out_of_range_panics() {
+        let reg = Registry::new(2);
+        let _ = reg.shard(2);
+    }
+}

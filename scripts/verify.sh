@@ -8,4 +8,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+# All bench/figure binaries must keep building, not just the libraries.
+cargo build --release --offline --bins
 cargo test -q --offline
+
+# Telemetry smoke: a short profiled run through every exporter, checking
+# that the JSON output parses and the stage/drop accounting is exact
+# (created == discarded + terminated + expired + drained). Exits
+# non-zero on any violation.
+cargo run --release --offline -q -p retina-bench --bin telemetry_smoke -- --quick
