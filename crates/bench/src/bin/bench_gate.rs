@@ -1,0 +1,72 @@
+//! Bench regression gate: compares fresh CI bench results against the
+//! committed baseline.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json>
+//! ```
+//!
+//! Every gated (non-`_`-prefixed) metric in the baseline must be
+//! present in the current results and within tolerance (±15% by
+//! default, or the section's `"tolerance"` value). Record-only `_`
+//! metrics are printed for trend-watching but never fail the gate.
+//! Exits 0 on pass, 1 on any regression, 2 on usage/parse errors.
+
+use std::process::exit;
+
+use retina_bench::ci;
+use retina_core::telemetry::json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        exit(2);
+    };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench gate: cannot read baseline {baseline_path}: {e}");
+            exit(2);
+        }
+    };
+    let current = match std::fs::read_to_string(current_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench gate: cannot read current results {current_path}: {e}");
+            eprintln!("(run the CI bench binaries with --json-out {current_path} first)");
+            exit(2);
+        }
+    };
+
+    // Show record-only metrics for trend-watching before gating.
+    if let Ok(json::Json::Obj(sections)) = json::parse(&current) {
+        for (section, metrics) in &sections {
+            if let json::Json::Obj(metrics) = metrics {
+                for (name, value) in metrics {
+                    if name.starts_with('_') {
+                        if let Some(v) = value.as_num() {
+                            println!("  (record) {section}.{name} = {v}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    match ci::compare(&baseline, &current) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("bench gate OK: all gated metrics within tolerance of {baseline_path}");
+        }
+        Ok(regressions) => {
+            eprintln!("bench gate FAILED: {} regression(s)", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            exit(2);
+        }
+    }
+}

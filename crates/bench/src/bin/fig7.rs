@@ -47,11 +47,31 @@ fn main() {
     let hw = retina_core::StageStats::default();
     let stages: Vec<(&str, u64, &retina_core::StageStats)> = vec![
         ("Hardware Filter", report.nic.rx_offered, &hw),
-        ("SW Packet Filter", stats.packet_filter.runs, &stats.packet_filter),
-        ("Connection Tracking", stats.conn_tracking.runs, &stats.conn_tracking),
-        ("Stream Reassembly", stats.reassembly.runs, &stats.reassembly),
-        ("App-layer Parsing", stats.app_parsing.runs, &stats.app_parsing),
-        ("Session Filter", stats.session_filter.runs, &stats.session_filter),
+        (
+            "SW Packet Filter",
+            stats.packet_filter.runs,
+            &stats.packet_filter,
+        ),
+        (
+            "Connection Tracking",
+            stats.conn_tracking.runs,
+            &stats.conn_tracking,
+        ),
+        (
+            "Stream Reassembly",
+            stats.reassembly.runs,
+            &stats.reassembly,
+        ),
+        (
+            "App-layer Parsing",
+            stats.app_parsing.runs,
+            &stats.app_parsing,
+        ),
+        (
+            "Session Filter",
+            stats.session_filter.runs,
+            &stats.session_filter,
+        ),
         ("Run Callback", stats.callbacks.runs, &stats.callbacks),
     ];
 

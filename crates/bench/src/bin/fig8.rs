@@ -11,14 +11,17 @@ use std::sync::Arc;
 
 use retina_bench::{bench_args, rule};
 use retina_conntrack::TimeoutConfig;
-use retina_telemetry::LogHistogram;
 use retina_core::subscribables::ConnRecord;
 use retina_core::tracker::ConnTracker;
 use retina_core::{compile, CompiledFilter, FilterFns};
+use retina_telemetry::LogHistogram;
 use retina_trafficgen::campus::{generate, CampusConfig};
 use retina_wire::ParsedPacket;
 
 const SAMPLE_EVERY_NS: u64 = 10_000_000_000; // 10 simulated seconds
+
+/// (sim time ns, resident connections, estimated state bytes) samples.
+type SamplePoint = (u64, usize, usize);
 
 fn main() {
     let args = bench_args();
@@ -43,7 +46,7 @@ fn main() {
         ("no timeouts", TimeoutConfig::none()),
     ];
 
-    let mut series: Vec<(&str, Vec<(u64, usize, usize)>)> = Vec::new();
+    let mut series: Vec<(&str, Vec<SamplePoint>)> = Vec::new();
     let mut peaks: Vec<(&str, usize, LogHistogram)> = Vec::new();
     for (name, timeouts) in schemes {
         let filter = Arc::new(compile("").unwrap());

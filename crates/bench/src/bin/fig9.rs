@@ -16,6 +16,10 @@ use retina_core::subscribables::ConnRecord;
 use retina_core::{compile, Runtime, RuntimeConfig};
 use retina_trafficgen::video::{VideoConfig, VideoWorkload};
 
+/// Per-(responder IP, is-netflix) up/down byte totals, shared with the
+/// runtime callback.
+type ByteAgg = Arc<Mutex<HashMap<(IpAddr, bool), (u64, u64)>>>;
+
 fn main() {
     let args = bench_args();
     let sessions = if args.quick { 40 } else { 150 };
@@ -27,7 +31,7 @@ fn main() {
     });
     println!("workload: {} packets\n", workload.packets.len());
 
-    let agg: Arc<Mutex<HashMap<(IpAddr, bool), (u64, u64)>>> = Arc::new(Mutex::new(HashMap::new()));
+    let agg: ByteAgg = Arc::new(Mutex::new(HashMap::new()));
     let sink = Arc::clone(&agg);
     let filter_src =
         r"tcp.port = 443 and (tls.sni ~ '(.+?\.)?nflxvideo\.net' or tls.sni ~ 'googlevideo')";

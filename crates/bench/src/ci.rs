@@ -1,0 +1,234 @@
+//! CI bench metrics: a tiny machine-readable results format plus the
+//! regression gate that compares a fresh run against a committed
+//! baseline.
+//!
+//! Each CI-gated binary merges one section into `results/BENCH_ci.json`
+//! via [`merge_section`]:
+//!
+//! ```json
+//! {
+//!   "governor_storm": { "packets": 80000, "recovered": 1, "_gbps": 3.2 },
+//!   "telemetry_smoke": { ... }
+//! }
+//! ```
+//!
+//! [`compare`] then checks every baseline metric against the fresh run:
+//! metrics whose names start with `_` are **record-only** (tracked for
+//! humans, never gated — wall-clock-dependent throughput lives here);
+//! everything else must match the baseline within the tolerance
+//! (relative, default ±15%, overridable per baseline via a
+//! `"tolerance"` metric). Deterministic counters (packet counts,
+//! pass/fail booleans) therefore gate exactly, while machine-dependent
+//! numbers are visible but harmless.
+
+use retina_core::telemetry::json::{escape, parse, Json};
+
+/// Default relative tolerance for gated metrics.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Serializes a [`Json`] value (compact, stable member order).
+pub fn to_string(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => escape(s),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(to_string).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}:{}", escape(k), to_string(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Merges `(section -> metrics)` into the JSON object serialized in
+/// `existing` (pass `""` or unparseable content to start fresh) and
+/// returns the new document text.
+pub fn merge_section_text(existing: &str, section: &str, metrics: &[(&str, f64)]) -> String {
+    let mut members = match parse(existing) {
+        Ok(Json::Obj(members)) => members,
+        _ => Vec::new(),
+    };
+    let value = Json::Obj(
+        metrics
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+            .collect(),
+    );
+    match members.iter_mut().find(|(k, _)| k == section) {
+        Some(slot) => slot.1 = value,
+        None => members.push((section.to_string(), value)),
+    }
+    to_string(&Json::Obj(members))
+}
+
+/// Merges one binary's metrics section into the results file at `path`
+/// (creating it, and `results/`, as needed).
+pub fn merge_section(path: &str, section: &str, metrics: &[(&str, f64)]) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let doc = merge_section_text(&existing, section, metrics);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, doc + "\n")
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `section.metric` that regressed.
+    pub metric: String,
+    /// Expected (baseline) value.
+    pub baseline: f64,
+    /// Observed (current) value.
+    pub current: f64,
+    /// Tolerance the comparison used.
+    pub tolerance: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: baseline {} vs current {} (tolerance ±{:.0}%)",
+            self.metric,
+            self.baseline,
+            self.current,
+            self.tolerance * 100.0
+        )
+    }
+}
+
+/// Compares a current results document against a baseline document.
+/// Every gated (non-`_`) metric present in the baseline must exist in
+/// the current results and lie within the tolerance; extra metrics in
+/// the current results are ignored (they become gated when the
+/// baseline is refreshed). Returns all violations, empty = pass.
+pub fn compare(baseline: &str, current: &str) -> Result<Vec<Regression>, String> {
+    let base = parse(baseline).map_err(|e| format!("baseline does not parse: {e}"))?;
+    let cur = parse(current).map_err(|e| format!("current results do not parse: {e}"))?;
+    let Json::Obj(sections) = &base else {
+        return Err("baseline is not a JSON object".to_string());
+    };
+    let mut regressions = Vec::new();
+    for (section, metrics) in sections {
+        let Json::Obj(metrics) = metrics else {
+            return Err(format!("baseline section {section} is not an object"));
+        };
+        let tolerance = metrics
+            .iter()
+            .find(|(k, _)| k == "tolerance")
+            .and_then(|(_, v)| v.as_num())
+            .unwrap_or(DEFAULT_TOLERANCE);
+        for (name, expected) in metrics {
+            if name.starts_with('_') || name == "tolerance" {
+                continue;
+            }
+            let Some(expected) = expected.as_num() else {
+                return Err(format!("baseline {section}.{name} is not a number"));
+            };
+            let observed = cur
+                .get(section)
+                .and_then(|s| s.get(name))
+                .and_then(|v| v.as_num());
+            let Some(observed) = observed else {
+                regressions.push(Regression {
+                    metric: format!("{section}.{name} (missing from current results)"),
+                    baseline: expected,
+                    current: f64::NAN,
+                    tolerance,
+                });
+                continue;
+            };
+            let bound = expected.abs() * tolerance;
+            if (observed - expected).abs() > bound + 1e-12 {
+                regressions.push(Regression {
+                    metric: format!("{section}.{name}"),
+                    baseline: expected,
+                    current: observed,
+                    tolerance,
+                });
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_creates_and_replaces_sections() {
+        let doc = merge_section_text("", "a", &[("x", 1.0), ("_note", 2.5)]);
+        assert_eq!(doc, r#"{"a":{"x":1,"_note":2.5}}"#);
+        let doc = merge_section_text(&doc, "b", &[("y", 3.0)]);
+        let doc = merge_section_text(&doc, "a", &[("x", 9.0)]);
+        let parsed = parse(&doc).unwrap();
+        assert_eq!(
+            parsed
+                .get("a")
+                .and_then(|a| a.get("x"))
+                .and_then(Json::as_num),
+            Some(9.0)
+        );
+        assert_eq!(
+            parsed
+                .get("b")
+                .and_then(|b| b.get("y"))
+                .and_then(Json::as_num),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn compare_gates_within_tolerance() {
+        let base = r#"{"s":{"n":100,"_wallclock":5}}"#;
+        assert!(compare(base, r#"{"s":{"n":110,"_wallclock":50}}"#)
+            .unwrap()
+            .is_empty());
+        let regs = compare(base, r#"{"s":{"n":200}}"#).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "s.n");
+        assert!(regs[0].to_string().contains("±15%"));
+    }
+
+    #[test]
+    fn compare_respects_custom_tolerance_and_missing_metrics() {
+        let base = r#"{"s":{"tolerance":0.5,"n":100}}"#;
+        assert!(compare(base, r#"{"s":{"n":149}}"#).unwrap().is_empty());
+        assert_eq!(compare(base, r#"{"s":{"n":151}}"#).unwrap().len(), 1);
+        let regs = compare(base, r#"{"other":{}}"#).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].metric.contains("missing"));
+        assert!(regs[0].current.is_nan());
+    }
+
+    #[test]
+    fn compare_rejects_malformed_documents() {
+        assert!(compare("not json", "{}").is_err());
+        assert!(compare("{}", "not json").is_err());
+        assert!(compare("[1]", "{}").is_err());
+    }
+
+    #[test]
+    fn json_serializer_round_trips() {
+        let doc = r#"{"a":{"x":1,"s":"hi","arr":[1,2.5,true,null]}}"#;
+        let parsed = parse(doc).unwrap();
+        assert_eq!(to_string(&parsed), doc);
+    }
+}

@@ -9,17 +9,21 @@
 
 use std::time::Instant;
 
-use retina_support::bytes::Bytes;
 use retina_core::{FilterFns, RunReport, Runtime, RuntimeConfig, Subscribable};
+use retina_support::bytes::Bytes;
 use retina_trafficgen::PreloadedSource;
 
+pub mod ci;
+
 /// CLI options shared by the figure binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Scale factor for workload sizes.
     pub packets: usize,
     /// Reduced run for smoke-testing.
     pub quick: bool,
+    /// Where to merge this binary's CI metrics (see [`ci`]), if anywhere.
+    pub json_out: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -27,11 +31,12 @@ impl Default for BenchArgs {
         BenchArgs {
             packets: 400_000,
             quick: false,
+            json_out: None,
         }
     }
 }
 
-/// Parses `--quick` and `--packets N`.
+/// Parses `--quick`, `--packets N`, and `--json-out PATH`.
 pub fn bench_args() -> BenchArgs {
     let mut args = BenchArgs::default();
     let mut it = std::env::args().skip(1);
@@ -45,6 +50,9 @@ pub fn bench_args() -> BenchArgs {
                 if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                     args.packets = v;
                 }
+            }
+            "--json-out" => {
+                args.json_out = it.next();
             }
             other => eprintln!("ignoring unknown flag {other}"),
         }

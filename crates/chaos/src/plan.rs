@@ -1,0 +1,289 @@
+//! Declarative, seeded fault plans.
+//!
+//! A [`FaultPlan`] is data, not behavior: a seed plus a list of
+//! [`Fault`]s with explicit windows. The same plan injects the same
+//! faults at the same points on every run — device-level faults are
+//! keyed on ingress sequence numbers and per-queue poll counts,
+//! wire-level faults on frame indices, parser faults on payload
+//! content. Nothing consults the wall clock, so a failing chaos run
+//! reproduces from nothing but its seed.
+
+use std::time::Duration;
+
+use retina_support::rand::{splitmix64, RngExt, SeedableRng, SmallRng};
+
+/// One injected fault with its activation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The mempool refuses allocations for frames whose ingress
+    /// sequence number falls in `[start_seq, start_seq + frames)` —
+    /// those frames are lost and counted as `rx_nombuf`, as if a burst
+    /// of slow consumers had pinned every buffer.
+    MempoolSqueeze {
+        /// First ingress sequence number affected.
+        start_seq: u64,
+        /// Number of consecutive ingress frames affected.
+        frames: u64,
+    },
+    /// RX queue `queue` delivers nothing for `polls` consecutive
+    /// `rx_burst` calls starting at the queue's `start_poll`-th poll.
+    /// Descriptors stay in the ring: a stall delays frames, it never
+    /// drops them.
+    RingStall {
+        /// Affected RX queue.
+        queue: u16,
+        /// First poll (0-based, per queue) that stalls.
+        start_poll: u64,
+        /// Number of consecutive stalled polls.
+        polls: u64,
+    },
+    /// Worker `core` sleeps `delay` before each of `polls` consecutive
+    /// polls starting at its `start_poll`-th — a scheduling hiccup that
+    /// backs the queue up without touching any packet.
+    WorkerSlowdown {
+        /// Affected worker core.
+        core: u16,
+        /// First poll (0-based, per core) that is slowed.
+        start_poll: u64,
+        /// Number of consecutive slowed polls.
+        polls: u64,
+        /// Injected extra latency per poll.
+        delay: Duration,
+    },
+    /// Roughly `ppm` frames per million are truncated to a random
+    /// prefix on the wire (decided per frame index from the seed).
+    TruncateFrames {
+        /// Faults per million frames.
+        ppm: u32,
+    },
+    /// Roughly `ppm` frames per million get one payload byte flipped
+    /// on the wire.
+    CorruptFrames {
+        /// Faults per million frames.
+        ppm: u32,
+    },
+    /// Roughly `ppm` frames per million are delivered twice
+    /// back-to-back (a retransmission/duplication on the wire).
+    DuplicateFrames {
+        /// Faults per million frames.
+        ppm: u32,
+    },
+    /// Roughly `ppm` frames per million swap places with the frame
+    /// behind them (out-of-order delivery within a batch).
+    ReorderFrames {
+        /// Faults per million frames.
+        ppm: u32,
+    },
+    /// Registered chaos parsers panic when a payload's content hash is
+    /// `0 (mod modulus)`; the runtime must convert the panic into a
+    /// recoverable parse error. Content-based, so the decision is
+    /// independent of scheduling.
+    ParserPanic {
+        /// Panic on `hash % modulus == 0` (larger = rarer).
+        modulus: u64,
+    },
+}
+
+impl Fault {
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        match self {
+            Fault::MempoolSqueeze { start_seq, frames } => {
+                format!("mempool squeeze: seq [{start_seq}, {})", start_seq + frames)
+            }
+            Fault::RingStall {
+                queue,
+                start_poll,
+                polls,
+            } => format!(
+                "ring stall: queue {queue}, polls [{start_poll}, {})",
+                start_poll + polls
+            ),
+            Fault::WorkerSlowdown {
+                core,
+                start_poll,
+                polls,
+                delay,
+            } => format!(
+                "worker slowdown: core {core}, polls [{start_poll}, {}), +{delay:?}/poll",
+                start_poll + polls
+            ),
+            Fault::TruncateFrames { ppm } => format!("truncate frames: {ppm} ppm"),
+            Fault::CorruptFrames { ppm } => format!("corrupt frames: {ppm} ppm"),
+            Fault::DuplicateFrames { ppm } => format!("duplicate frames: {ppm} ppm"),
+            Fault::ReorderFrames { ppm } => format!("reorder frames: {ppm} ppm"),
+            Fault::ParserPanic { modulus } => format!("parser panic: hash % {modulus} == 0"),
+        }
+    }
+}
+
+/// A reproducible fault-injection plan: a seed (driving every random
+/// wire-level decision) plus explicit fault windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for all per-frame randomness.
+    pub seed: u64,
+    /// The injected faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Generates a randomized plan entirely from `seed`: between one
+    /// and two instances of each fault family, with windows sized for
+    /// a workload of roughly `expected_frames` frames over
+    /// `num_queues` queues. Same seed, same plan — this is the entry
+    /// point property tests fan out from.
+    pub fn from_seed(seed: u64, expected_frames: u64, num_queues: u16) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut plan = FaultPlan::new(seed);
+        let frames = expected_frames.max(64);
+        let squeezes = rng.random_range(0u32..3);
+        for _ in 0..squeezes {
+            let start = rng.random_range(0u64..frames);
+            let len = rng.random_range(1u64..(frames / 8).max(2));
+            plan.faults.push(Fault::MempoolSqueeze {
+                start_seq: start,
+                frames: len,
+            });
+        }
+        let stalls = rng.random_range(0u32..3);
+        for _ in 0..stalls {
+            plan.faults.push(Fault::RingStall {
+                queue: rng.random_range(0u16..num_queues.max(1)),
+                start_poll: rng.random_range(0u64..256),
+                polls: rng.random_range(1u64..128),
+            });
+        }
+        let slowdowns = rng.random_range(0u32..2);
+        for _ in 0..slowdowns {
+            plan.faults.push(Fault::WorkerSlowdown {
+                core: rng.random_range(0u16..num_queues.max(1)),
+                start_poll: rng.random_range(0u64..256),
+                polls: rng.random_range(1u64..32),
+                delay: Duration::from_micros(rng.random_range(10u64..200)),
+            });
+        }
+        if rng.random::<bool>() {
+            plan.faults.push(Fault::TruncateFrames {
+                ppm: rng.random_range(1_000u32..30_000),
+            });
+        }
+        if rng.random::<bool>() {
+            plan.faults.push(Fault::CorruptFrames {
+                ppm: rng.random_range(1_000u32..30_000),
+            });
+        }
+        if rng.random::<bool>() {
+            plan.faults.push(Fault::DuplicateFrames {
+                ppm: rng.random_range(1_000u32..50_000),
+            });
+        }
+        if rng.random::<bool>() {
+            plan.faults.push(Fault::ReorderFrames {
+                ppm: rng.random_range(1_000u32..50_000),
+            });
+        }
+        if rng.random::<bool>() {
+            plan.faults.push(Fault::ParserPanic {
+                modulus: rng.random_range(4u64..64),
+            });
+        }
+        plan
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The configured parser-panic modulus, if any.
+    pub fn parser_panic_modulus(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::ParserPanic { modulus } => Some(*modulus),
+            _ => None,
+        })
+    }
+
+    /// Multi-line human description of the plan.
+    pub fn describe(&self) -> String {
+        let mut out = format!("fault plan (seed {:#x}):\n", self.seed);
+        if self.faults.is_empty() {
+            out.push_str("  (no faults)\n");
+        }
+        for f in &self.faults {
+            out.push_str("  - ");
+            out.push_str(&f.describe());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Stateless per-index coin flip used by the wire-level faults: frame
+/// `index` under fault family `salt` fires when the mixed hash lands
+/// below `ppm` per million. Batch boundaries and scheduling cannot
+/// change the outcome.
+pub(crate) fn index_fires(seed: u64, salt: u64, index: u64, ppm: u32) -> bool {
+    let mut s = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index;
+    (splitmix64(&mut s) % 1_000_000) < ppm as u64
+}
+
+/// Stateless per-index draw in `[0, bound)` for fault parameters
+/// (truncation length, corrupted byte offset).
+pub(crate) fn index_draw(seed: u64, salt: u64, index: u64, bound: u64) -> u64 {
+    let mut s = seed ^ salt.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ index.rotate_left(17);
+    splitmix64(&mut s) % bound.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::from_seed(7, 10_000, 4);
+        let b = FaultPlan::from_seed(7, 10_000, 4);
+        assert_eq!(a, b);
+        let c = FaultPlan::from_seed(8, 10_000, 4);
+        assert_ne!(a, c, "different seeds should differ (for seed 7 vs 8)");
+    }
+
+    #[test]
+    fn builder_appends() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::TruncateFrames { ppm: 500 })
+            .with(Fault::ParserPanic { modulus: 8 });
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.parser_panic_modulus(), Some(8));
+        assert!(!plan.is_empty());
+        assert!(plan.describe().contains("truncate frames: 500 ppm"));
+    }
+
+    #[test]
+    fn index_decisions_are_stable_and_scale_with_ppm() {
+        for idx in [0u64, 1, 1000, u64::MAX] {
+            assert_eq!(index_fires(42, 1, idx, 5000), index_fires(42, 1, idx, 5000));
+        }
+        let fired = (0..100_000u64)
+            .filter(|i| index_fires(9, 2, *i, 10_000))
+            .count();
+        // 1% nominal rate: accept anything within a loose band.
+        assert!((500..2_000).contains(&fired), "fired {fired}");
+        assert_eq!(index_draw(3, 4, 5, 1), 0, "bound 1 always draws 0");
+        assert!(index_draw(3, 4, 5, 10) < 10);
+    }
+}

@@ -227,19 +227,22 @@ mod tests {
             &pkt(CLIENT, SERVER, 100, TcpFlags::SYN, b""),
             &mb(),
             Dir::OrigToResp,
-            0, true,
+            0,
+            true,
         );
         flow.update(
             &pkt(SERVER, CLIENT, 500, TcpFlags::SYN | TcpFlags::ACK, b""),
             &mb(),
             Dir::RespToOrig,
-            1, true,
+            1,
+            true,
         );
         flow.update(
             &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b""),
             &mb(),
             Dir::OrigToResp,
-            2, true,
+            2,
+            true,
         );
     }
 
@@ -251,7 +254,8 @@ mod tests {
             &pkt(CLIENT, SERVER, 100, TcpFlags::SYN, b""),
             &mb(),
             Dir::OrigToResp,
-            0, true,
+            0,
+            true,
         );
         assert!(flow.syn_seen && !flow.established);
         assert!(flow.is_single_syn());
@@ -259,14 +263,16 @@ mod tests {
             &pkt(SERVER, CLIENT, 500, TcpFlags::SYN | TcpFlags::ACK, b""),
             &mb(),
             Dir::RespToOrig,
-            1, true,
+            1,
+            true,
         );
         assert!(flow.synack_seen && !flow.established);
         flow.update(
             &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b""),
             &mb(),
             Dir::OrigToResp,
-            2, true,
+            2,
+            true,
         );
         assert!(flow.established);
         assert!(!flow.is_single_syn());
@@ -281,7 +287,8 @@ mod tests {
             &pkt(CLIENT, SERVER, 101, TcpFlags::ACK | TcpFlags::PSH, b"hello"),
             &mb(),
             Dir::OrigToResp,
-            3, true,
+            3,
+            true,
         );
         flow.update(
             &pkt(
@@ -293,7 +300,8 @@ mod tests {
             ),
             &mb(),
             Dir::RespToOrig,
-            4, true,
+            4,
+            true,
         );
         assert_eq!(flow.ctos.bytes, 5);
         assert_eq!(flow.stoc.bytes, 8);
@@ -309,14 +317,16 @@ mod tests {
             &pkt(CLIENT, SERVER, 101, TcpFlags::FIN | TcpFlags::ACK, b""),
             &mb(),
             Dir::OrigToResp,
-            3, true,
+            3,
+            true,
         );
         assert!(!u.terminated);
         let u = flow.update(
             &pkt(SERVER, CLIENT, 501, TcpFlags::FIN | TcpFlags::ACK, b""),
             &mb(),
             Dir::RespToOrig,
-            4, true,
+            4,
+            true,
         );
         assert!(u.terminated);
         assert!(flow.terminated());
@@ -330,7 +340,8 @@ mod tests {
             &pkt(SERVER, CLIENT, 501, TcpFlags::RST, b""),
             &mb(),
             Dir::RespToOrig,
-            3, true,
+            3,
+            true,
         );
         assert!(u.terminated);
     }
@@ -344,7 +355,8 @@ mod tests {
             &pkt(CLIENT, SERVER, 1561, TcpFlags::ACK, &[0u8; 100]),
             &mb(),
             Dir::OrigToResp,
-            3, true,
+            3,
+            true,
         );
         assert_eq!(u.reassembly, Reassembled::Buffered);
         assert_eq!(flow.ctos.ooo_packets, 1);
@@ -352,7 +364,8 @@ mod tests {
             &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, &[0u8; 1460]),
             &mb(),
             Dir::OrigToResp,
-            4, true,
+            4,
+            true,
         );
         assert_eq!(u.reassembly, Reassembled::InOrder);
     }
@@ -365,13 +378,15 @@ mod tests {
             &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b"data"),
             &mb(),
             Dir::OrigToResp,
-            3, true,
+            3,
+            true,
         );
         let u = flow.update(
             &pkt(CLIENT, SERVER, 101, TcpFlags::ACK, b"data"),
             &mb(),
             Dir::OrigToResp,
-            4, true,
+            4,
+            true,
         );
         assert_eq!(u.reassembly, Reassembled::Duplicate);
     }
@@ -403,14 +418,16 @@ mod tests {
             &pkt(CLIENT, SERVER, 9000, TcpFlags::ACK, b"req"),
             &mb(),
             Dir::OrigToResp,
-            0, true,
+            0,
+            true,
         );
         assert!(!flow.established);
         flow.update(
             &pkt(SERVER, CLIENT, 77000, TcpFlags::ACK, b"resp"),
             &mb(),
             Dir::RespToOrig,
-            1, true,
+            1,
+            true,
         );
         assert!(flow.established);
     }

@@ -239,7 +239,7 @@ mod tests {
     fn track_only_counts_without_storing() {
         let mut r = StreamReassembler::default();
         r.init_seq(0);
-        assert_eq!(r.track_only(100, 100, ), Reassembled::Buffered);
+        assert_eq!(r.track_only(100, 100,), Reassembled::Buffered);
         assert_eq!(r.buffered(), 0, "counting mode stores nothing");
         assert_eq!(r.ooo_count, 1);
         // The hole was skipped: the stream position is past it.

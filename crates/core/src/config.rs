@@ -47,11 +47,12 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        let mut device = DeviceConfig::default();
-        device.num_queues = 1;
         RuntimeConfig {
             cores: 1,
-            device,
+            device: DeviceConfig {
+                num_queues: 1,
+                ..DeviceConfig::default()
+            },
             timeouts: TimeoutConfig::default(),
             ooo_capacity: 500,
             burst: 32,
@@ -69,8 +70,10 @@ impl Default for RuntimeConfig {
 impl RuntimeConfig {
     /// Convenience constructor for an `n`-core runtime.
     pub fn with_cores(n: u16) -> Self {
-        let mut cfg = RuntimeConfig::default();
-        cfg.cores = n;
+        let mut cfg = RuntimeConfig {
+            cores: n,
+            ..RuntimeConfig::default()
+        };
         cfg.device.num_queues = n;
         cfg
     }

@@ -69,7 +69,10 @@ impl<S: Send + 'static> CallbackSink<S> {
 pub fn spawn_executor<S: Send + 'static>(
     depth: usize,
     callback: Arc<dyn Fn(S) + Send + Sync>,
-) -> (retina_support::sync::channel::Sender<S>, std::thread::JoinHandle<u64>) {
+) -> (
+    retina_support::sync::channel::Sender<S>,
+    std::thread::JoinHandle<u64>,
+) {
     let (tx, rx) = retina_support::sync::channel::bounded::<S>(depth.max(1));
     let handle = std::thread::spawn(move || {
         let mut executed = 0u64;

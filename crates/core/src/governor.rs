@@ -1,0 +1,601 @@
+//! The closed-loop overload governor.
+//!
+//! The paper's §6.1 rate control — remapping RETA buckets to a sink
+//! core — is chosen *offline* by the zero-loss search in the bench
+//! harness. This module closes the loop at run time: a [`Governor`]
+//! thread samples the telemetry the runtime already exports (mempool
+//! occupancy, per-queue ring depth, drop rates) on the monitor cadence
+//! and reacts:
+//!
+//! ```text
+//!            pressure                    pressure
+//!   FULL ───────────────▶ DEGRADED ───────────────▶ SHEDDING
+//!  (sink=floor,           (parsing shed,            (sink raised one
+//!   parsing on)            sink=floor)               step per interval,
+//!     ▲                       ▲                      up to ceiling)
+//!     │   calm ≥ cooldown     │   calm ≥ cooldown,      │
+//!     └───────────────────────┴── sink back at floor ◀──┘
+//! ```
+//!
+//! Two rules keep it stable: **hysteresis** (pressure enters above the
+//! high watermarks but clears only below the low watermarks, so the
+//! governor never chatters around a single threshold) and **cooldown**
+//! (restores need `cooldown` consecutive calm intervals, and every
+//! sink change is bounded by one `step` per interval, so the sink
+//! fraction cannot oscillate). Session-parsing work is shed before any
+//! packet-delivery work, and full fidelity is restored in the reverse
+//! order once pressure clears. Every decision lands in an
+//! [`EventLog`], and [`GovernorReport::check_accounting`] replays the
+//! stream to prove the shed/restore ledger balances exactly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use retina_nic::VirtualNic;
+use retina_telemetry::{
+    check_governor_accounting, EventLog, GovernorAction, GovernorEvent, PressureSignals,
+};
+
+use crate::runtime::RuntimeGauges;
+
+/// Shared shedding flags: written by the governor, read by the worker
+/// cores each burst. Lives outside the governor so a runtime can be
+/// constructed (and workers started) before any governor exists.
+#[derive(Debug, Default)]
+pub struct ShedState {
+    parsing_shed: AtomicBool,
+}
+
+impl ShedState {
+    /// Creates the full-fidelity state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether session-parsing work is currently shed.
+    pub fn parsing_shed(&self) -> bool {
+        self.parsing_shed.load(Ordering::Relaxed)
+    }
+
+    /// Sets the parsing-shed flag (governor use).
+    pub fn set_parsing_shed(&self, shed: bool) {
+        self.parsing_shed.store(shed, Ordering::Relaxed);
+    }
+}
+
+/// Governor tuning.
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Sampling cadence (the monitor interval).
+    pub interval: Duration,
+    /// Sink fraction the governor never goes below (full fidelity).
+    pub floor: f64,
+    /// Sink fraction the governor never exceeds (even under sustained
+    /// overload some traffic keeps flowing).
+    pub ceiling: f64,
+    /// Maximum sink-fraction change per interval (bounds oscillation).
+    pub step: f64,
+    /// Mempool occupancy fraction above which pressure is declared.
+    pub mempool_high: f64,
+    /// Deepest-ring occupancy fraction above which pressure is declared.
+    pub ring_high: f64,
+    /// Frames lost per interval above which pressure is declared.
+    pub loss_tolerance: u64,
+    /// Hysteresis: pressure clears only below `high * hysteresis`
+    /// (must be in `(0, 1]`; lower = wider deadband).
+    pub hysteresis: f64,
+    /// Consecutive calm intervals required before each restore step.
+    pub cooldown: u32,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            interval: Duration::from_millis(5),
+            floor: 0.0,
+            ceiling: 0.95,
+            step: 0.15,
+            mempool_high: 0.75,
+            ring_high: 0.5,
+            loss_tolerance: 0,
+            hysteresis: 0.6,
+            cooldown: 2,
+        }
+    }
+}
+
+/// Result of a finished governor session.
+#[derive(Debug, Clone)]
+pub struct GovernorReport {
+    /// The full decision stream, in order.
+    pub events: Vec<GovernorEvent>,
+    /// Sampling intervals observed.
+    pub intervals: u64,
+    /// Highest sink fraction reached.
+    pub max_sink_fraction: f64,
+    /// Sink fraction when the governor stopped.
+    pub final_sink_fraction: f64,
+    /// Whether parsing was still shed when the governor stopped.
+    pub final_parsing_shed: bool,
+    /// Intervals in which pressure was observed.
+    pub pressure_intervals: u64,
+    /// Interval index at which full fidelity was last restored (sink
+    /// back at the floor, parsing resumed), if the run ended restored
+    /// after having shed anything.
+    pub recovered_at_interval: Option<u64>,
+    /// The configured per-interval step bound (for accounting checks).
+    pub step: f64,
+    /// The configured floor.
+    pub floor: f64,
+}
+
+impl GovernorReport {
+    /// True when the run ended at full fidelity (sink at the floor,
+    /// parsing restored).
+    pub fn recovered(&self) -> bool {
+        !self.final_parsing_shed && (self.final_sink_fraction - self.floor).abs() < 1e-9
+    }
+
+    /// Total shed decisions (parsing sheds + sink raises).
+    pub fn shed_steps(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    GovernorAction::ShedParsing | GovernorAction::SinkRaise
+                )
+            })
+            .count() as u64
+    }
+
+    /// Total restore decisions (sink lowers + parsing restores).
+    pub fn restore_steps(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    GovernorAction::RestoreParsing | GovernorAction::SinkLower
+                )
+            })
+            .count() as u64
+    }
+
+    /// Replays the decision stream and verifies the shed/restore
+    /// ledger: the trace is continuous, every change is bounded by the
+    /// configured step, shed/restore alternate correctly, and — when
+    /// the run ended recovered — shed steps equal restore steps
+    /// exactly. Returns the first violated invariant.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        check_governor_accounting(&self.events, self.step)?;
+        if self.recovered() && self.shed_steps() != self.restore_steps() {
+            return Err(format!(
+                "recovered run has unbalanced ledger: {} shed steps vs {} restore steps",
+                self.shed_steps(),
+                self.restore_steps()
+            ));
+        }
+        if self.final_sink_fraction < self.floor - 1e-9 {
+            return Err(format!(
+                "final sink fraction {} fell below the floor {}",
+                self.final_sink_fraction, self.floor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The governor's decision core, separated from the sampling thread so
+/// it can be driven synchronously (deterministic tests) or on a live
+/// cadence. One call = one interval.
+#[derive(Debug)]
+pub struct GovernorBrain {
+    config: GovernorConfig,
+    sink: f64,
+    parsing_shed: bool,
+    calm_intervals: u32,
+    interval: u64,
+    max_sink: f64,
+    pressure_intervals: u64,
+    recovered_at: Option<u64>,
+    ever_shed: bool,
+    log: EventLog,
+}
+
+impl GovernorBrain {
+    /// Creates a brain starting at full fidelity (sink at the floor).
+    pub fn new(config: GovernorConfig) -> Self {
+        let sink = config.floor;
+        GovernorBrain {
+            config,
+            sink,
+            parsing_shed: false,
+            calm_intervals: 0,
+            interval: 0,
+            max_sink: sink,
+            pressure_intervals: 0,
+            recovered_at: None,
+            ever_shed: false,
+            log: EventLog::new(),
+        }
+    }
+
+    /// The event log (cloneable handle; shares storage).
+    pub fn log(&self) -> EventLog {
+        self.log.clone()
+    }
+
+    /// Current sink fraction.
+    pub fn sink_fraction(&self) -> f64 {
+        self.sink
+    }
+
+    /// Whether parsing is currently shed.
+    pub fn parsing_shed(&self) -> bool {
+        self.parsing_shed
+    }
+
+    /// Classifies the signals: `Some(true)` = pressure (above the high
+    /// watermarks), `Some(false)` = calm (below the low watermarks),
+    /// `None` = inside the hysteresis deadband.
+    fn classify(&self, s: &PressureSignals) -> Option<bool> {
+        let c = &self.config;
+        if s.mempool_occupancy >= c.mempool_high
+            || s.ring_occupancy >= c.ring_high
+            || s.lost_delta > c.loss_tolerance
+        {
+            return Some(true);
+        }
+        if s.mempool_occupancy < c.mempool_high * c.hysteresis
+            && s.ring_occupancy < c.ring_high * c.hysteresis
+            && s.lost_delta == 0
+        {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Consumes one interval's signals and returns the decision. At
+    /// most one action per interval, so sink-fraction movement is
+    /// bounded by `step` per interval by construction.
+    pub fn decide(&mut self, signals: PressureSignals) -> GovernorEvent {
+        let c = self.config.clone();
+        let before = self.sink;
+        let action = match self.classify(&signals) {
+            Some(true) => {
+                self.pressure_intervals += 1;
+                self.calm_intervals = 0;
+                if !self.parsing_shed {
+                    // Tier 1: sacrifice session parsing first.
+                    self.parsing_shed = true;
+                    self.ever_shed = true;
+                    GovernorAction::ShedParsing
+                } else if self.sink < c.ceiling - 1e-9 {
+                    // Tier 2: divert whole flows at the NIC.
+                    self.sink = (self.sink + c.step).min(c.ceiling);
+                    self.ever_shed = true;
+                    GovernorAction::SinkRaise
+                } else {
+                    GovernorAction::Hold
+                }
+            }
+            Some(false) => {
+                self.calm_intervals += 1;
+                if self.calm_intervals >= c.cooldown {
+                    if self.sink > c.floor + 1e-9 {
+                        // Restore packet delivery first...
+                        self.calm_intervals = 0;
+                        self.sink = (self.sink - c.step).max(c.floor);
+                        GovernorAction::SinkLower
+                    } else if self.parsing_shed {
+                        // ...then resume parsing (reverse shed order).
+                        self.calm_intervals = 0;
+                        self.parsing_shed = false;
+                        GovernorAction::RestoreParsing
+                    } else {
+                        GovernorAction::Hold
+                    }
+                } else {
+                    GovernorAction::Hold
+                }
+            }
+            None => {
+                // Deadband: hold position, don't accumulate calm.
+                self.calm_intervals = 0;
+                GovernorAction::Hold
+            }
+        };
+        self.max_sink = self.max_sink.max(self.sink);
+        if self.ever_shed
+            && !self.parsing_shed
+            && (self.sink - c.floor).abs() < 1e-9
+            && matches!(
+                action,
+                GovernorAction::RestoreParsing | GovernorAction::SinkLower
+            )
+        {
+            self.recovered_at = Some(self.interval);
+        }
+        let event = GovernorEvent {
+            interval: self.interval,
+            action,
+            sink_before: before,
+            sink_after: self.sink,
+            parsing_shed: self.parsing_shed,
+            signals,
+        };
+        self.interval += 1;
+        self.log.record(event.clone());
+        event
+    }
+
+    /// Finishes the session, producing the report.
+    pub fn into_report(self) -> GovernorReport {
+        GovernorReport {
+            events: self.log.snapshot(),
+            intervals: self.interval,
+            max_sink_fraction: self.max_sink,
+            final_sink_fraction: self.sink,
+            final_parsing_shed: self.parsing_shed,
+            pressure_intervals: self.pressure_intervals,
+            recovered_at_interval: self.recovered_at,
+            step: self.config.step,
+            floor: self.config.floor,
+        }
+    }
+}
+
+/// A live governor: a sampling thread driving a [`GovernorBrain`]
+/// against a running [`crate::Runtime`]'s NIC and gauges.
+pub struct Governor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<GovernorBrain>>,
+    log: EventLog,
+}
+
+impl Governor {
+    /// Starts governing: every `config.interval` the governor samples
+    /// pressure from the NIC and gauges, decides, and applies the
+    /// decision to the NIC's RETA and the runtime's [`ShedState`].
+    ///
+    /// The caller's current sink fraction is overwritten with the
+    /// configured floor (the governor owns the RETA from here on).
+    pub fn start(
+        nic: Arc<VirtualNic>,
+        gauges: Arc<RuntimeGauges>,
+        shed: Arc<ShedState>,
+        config: GovernorConfig,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let mut brain = GovernorBrain::new(config.clone());
+        let log = brain.log();
+        nic.set_sink_fraction(config.floor);
+        shed.set_parsing_shed(false);
+        let handle = std::thread::spawn(move || {
+            let mut prev_lost = nic.stats().lost();
+            while !stop2.load(Ordering::Acquire) {
+                std::thread::sleep(config.interval);
+                let stats = nic.stats();
+                let lost = stats.lost();
+                let mempool = nic.mempool();
+                let signals = PressureSignals {
+                    mempool_occupancy: if mempool.capacity() == 0 {
+                        0.0
+                    } else {
+                        mempool.in_use() as f64 / mempool.capacity() as f64
+                    },
+                    ring_occupancy: nic.max_ring_occupancy(),
+                    lost_delta: lost - prev_lost,
+                };
+                prev_lost = lost;
+                // Mirror the mempool peak into the registry while here,
+                // like the monitor does.
+                gauges.note_mbuf_high_water(mempool.high_water());
+                let event = brain.decide(signals);
+                match event.action {
+                    GovernorAction::ShedParsing | GovernorAction::RestoreParsing => {
+                        shed.set_parsing_shed(event.parsing_shed);
+                    }
+                    GovernorAction::SinkRaise | GovernorAction::SinkLower => {
+                        nic.set_sink_fraction(event.sink_after);
+                    }
+                    GovernorAction::Hold => {}
+                }
+            }
+            brain
+        });
+        Governor {
+            stop,
+            handle: Some(handle),
+            log,
+        }
+    }
+
+    /// The live decision stream (shared handle; readable mid-run).
+    pub fn log(&self) -> EventLog {
+        self.log.clone()
+    }
+
+    /// Stops the governor and returns its report.
+    pub fn stop(mut self) -> GovernorReport {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .map(GovernorBrain::into_report)
+                .unwrap_or_else(|_| GovernorBrain::new(GovernorConfig::default()).into_report()),
+            None => GovernorBrain::new(GovernorConfig::default()).into_report(),
+        }
+    }
+}
+
+impl Drop for Governor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pressure() -> PressureSignals {
+        PressureSignals {
+            mempool_occupancy: 0.9,
+            ring_occupancy: 0.8,
+            lost_delta: 10,
+        }
+    }
+
+    fn calm() -> PressureSignals {
+        PressureSignals::default()
+    }
+
+    fn deadband() -> PressureSignals {
+        PressureSignals {
+            mempool_occupancy: 0.6, // between 0.75*0.6=0.45 and 0.75
+            ring_occupancy: 0.0,
+            lost_delta: 0,
+        }
+    }
+
+    #[test]
+    fn sheds_parsing_before_packets() {
+        let mut brain = GovernorBrain::new(GovernorConfig::default());
+        assert_eq!(brain.decide(pressure()).action, GovernorAction::ShedParsing);
+        assert_eq!(brain.decide(pressure()).action, GovernorAction::SinkRaise);
+        assert!(brain.parsing_shed());
+        assert!(brain.sink_fraction() > 0.0);
+    }
+
+    #[test]
+    fn restores_in_reverse_order_after_cooldown() {
+        let cfg = GovernorConfig {
+            cooldown: 2,
+            step: 0.5,
+            ceiling: 0.5,
+            ..Default::default()
+        };
+        let mut brain = GovernorBrain::new(cfg);
+        brain.decide(pressure()); // shed parsing
+        brain.decide(pressure()); // sink 0.0 -> 0.5
+        assert_eq!(brain.decide(calm()).action, GovernorAction::Hold); // calm 1
+        assert_eq!(brain.decide(calm()).action, GovernorAction::SinkLower); // calm 2
+        assert_eq!(brain.sink_fraction(), 0.0);
+        assert!(brain.parsing_shed(), "parsing restored last");
+        brain.decide(calm());
+        assert_eq!(brain.decide(calm()).action, GovernorAction::RestoreParsing);
+        assert!(!brain.parsing_shed());
+        let report = brain.into_report();
+        assert!(report.recovered());
+        assert_eq!(report.shed_steps(), report.restore_steps());
+        report.check_accounting().unwrap();
+    }
+
+    #[test]
+    fn bounded_change_per_interval() {
+        let cfg = GovernorConfig {
+            step: 0.1,
+            ceiling: 1.0,
+            ..Default::default()
+        };
+        let mut brain = GovernorBrain::new(cfg);
+        for _ in 0..50 {
+            brain.decide(pressure());
+        }
+        let report = brain.into_report();
+        report.check_accounting().unwrap();
+        for w in report.events.windows(2) {
+            assert!((w[1].sink_after - w[0].sink_after).abs() <= 0.1 + 1e-9);
+        }
+        assert!(report.max_sink_fraction <= 1.0);
+    }
+
+    #[test]
+    fn ceiling_and_floor_respected() {
+        let cfg = GovernorConfig {
+            floor: 0.1,
+            ceiling: 0.4,
+            step: 0.2,
+            cooldown: 1,
+            ..Default::default()
+        };
+        let mut brain = GovernorBrain::new(cfg);
+        assert_eq!(brain.sink_fraction(), 0.1);
+        for _ in 0..10 {
+            brain.decide(pressure());
+        }
+        assert!(brain.sink_fraction() <= 0.4 + 1e-9);
+        for _ in 0..20 {
+            brain.decide(calm());
+        }
+        assert!(
+            (brain.sink_fraction() - 0.1).abs() < 1e-9,
+            "never below floor"
+        );
+        assert!(!brain.parsing_shed());
+    }
+
+    #[test]
+    fn deadband_holds_without_restoring() {
+        let cfg = GovernorConfig {
+            cooldown: 1,
+            ..Default::default()
+        };
+        let mut brain = GovernorBrain::new(cfg);
+        brain.decide(pressure());
+        brain.decide(pressure());
+        let sink = brain.sink_fraction();
+        for _ in 0..5 {
+            assert_eq!(brain.decide(deadband()).action, GovernorAction::Hold);
+        }
+        assert_eq!(
+            brain.sink_fraction(),
+            sink,
+            "deadband neither sheds nor restores"
+        );
+        assert!(brain.parsing_shed());
+    }
+
+    #[test]
+    fn never_oscillates_on_alternating_signals() {
+        // Worst case: pressure and calm strictly alternating. With
+        // cooldown >= 2 the governor must never lower (calm streaks are
+        // broken), so the sink ratchets monotonically to the ceiling.
+        let cfg = GovernorConfig {
+            cooldown: 2,
+            step: 0.1,
+            ..Default::default()
+        };
+        let mut brain = GovernorBrain::new(cfg);
+        for i in 0..40 {
+            let s = if i % 2 == 0 { pressure() } else { calm() };
+            brain.decide(s);
+        }
+        let report = brain.into_report();
+        report.check_accounting().unwrap();
+        assert_eq!(
+            report
+                .events
+                .iter()
+                .filter(|e| e.action == GovernorAction::SinkLower)
+                .count(),
+            0,
+            "cooldown prevents chatter"
+        );
+    }
+
+    #[test]
+    fn shed_state_flags() {
+        let s = ShedState::new();
+        assert!(!s.parsing_shed());
+        s.set_parsing_shed(true);
+        assert!(s.parsing_shed());
+    }
+}

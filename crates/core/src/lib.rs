@@ -58,6 +58,7 @@
 
 pub mod config;
 pub mod executor;
+pub mod governor;
 pub mod monitor;
 pub mod offline;
 pub mod runtime;
@@ -69,6 +70,7 @@ pub mod util;
 
 pub use config::RuntimeConfig;
 pub use executor::CallbackMode;
+pub use governor::{Governor, GovernorBrain, GovernorConfig, GovernorReport, ShedState};
 pub use monitor::{Monitor, MonitorSample};
 pub use offline::run_offline;
 pub use runtime::{RunReport, Runtime, RuntimeGauges, TrafficSource};

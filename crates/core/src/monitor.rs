@@ -70,6 +70,9 @@ impl MonitorSample {
     }
 }
 
+/// Boxed per-sample callback handed to the monitor thread.
+type SampleClosure = Box<dyn FnMut(&MonitorSample) + Send>;
+
 /// A periodic sampler over a running [`crate::Runtime`]'s NIC and gauges.
 pub struct Monitor {
     stop: Arc<AtomicBool>,
@@ -86,7 +89,13 @@ impl Monitor {
         interval: Duration,
         mut sink: impl FnMut(&MonitorSample) + Send + 'static,
     ) -> Self {
-        Self::start_inner(nic, gauges, interval, Some(Box::new(move |s| sink(s))), Vec::new())
+        Self::start_inner(
+            nic,
+            gauges,
+            interval,
+            Some(Box::new(move |s| sink(s))),
+            Vec::new(),
+        )
     }
 
     /// Starts sampling every `interval`, driving a set of exporters:
@@ -106,7 +115,7 @@ impl Monitor {
         nic: Arc<VirtualNic>,
         gauges: Arc<RuntimeGauges>,
         interval: Duration,
-        mut closure: Option<Box<dyn FnMut(&MonitorSample) + Send>>,
+        mut closure: Option<SampleClosure>,
         mut sinks: Vec<Box<dyn MetricSink>>,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));

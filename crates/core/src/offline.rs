@@ -8,9 +8,9 @@
 
 use std::sync::Arc;
 
-use retina_support::bytes::Bytes;
 use retina_filter::{FilterFns, FilterResult};
 use retina_nic::Mbuf;
+use retina_support::bytes::Bytes;
 use retina_wire::ParsedPacket;
 
 use crate::config::RuntimeConfig;

@@ -11,9 +11,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use retina_support::bytes::Bytes;
 use retina_filter::{CompiledFilter, FilterFns, FilterResult};
 use retina_nic::{PortStatsSnapshot, VirtualNic};
+use retina_support::bytes::Bytes;
 use retina_telemetry::{
     CounterId, DropBreakdown, DropReason, GaugeId, GaugeMerge, Registry, StageSummary,
     TelemetrySnapshot,
@@ -22,6 +22,7 @@ use retina_wire::ParsedPacket;
 
 use crate::config::RuntimeConfig;
 use crate::executor::{spawn_executor, CallbackMode, CallbackSink};
+use crate::governor::{Governor, GovernorConfig, ShedState};
 use crate::stats::CoreStats;
 use crate::subscription::{Level, Subscribable};
 use crate::tracker::ConnTracker;
@@ -114,7 +115,9 @@ impl RuntimeGauges {
     /// by whichever thread observes the NIC; `Max` merge makes this
     /// safe from any core).
     pub fn note_mbuf_high_water(&self, peak: usize) {
-        self.registry.shard(0).max(self.mbuf_high_water, peak as u64);
+        self.registry
+            .shard(0)
+            .max(self.mbuf_high_water, peak as u64);
     }
 
     /// Flushes one worker's live state into its shard. Called from the
@@ -199,7 +202,10 @@ impl RunReport {
     pub fn drop_breakdown(&self) -> DropBreakdown {
         let mut drops = self.nic.drop_breakdown();
         drops.add(DropReason::ParseFailure, self.cores.parse_failures);
-        drops.add(DropReason::ConnFilterDiscard, self.cores.discard_conn_filter);
+        drops.add(
+            DropReason::ConnFilterDiscard,
+            self.cores.discard_conn_filter,
+        );
         drops.add(
             DropReason::SessionFilterDiscard,
             self.cores.discard_session_filter,
@@ -216,11 +222,20 @@ impl RunReport {
             hist: s.hist,
         };
         vec![
-            ("packet_filter".to_string(), stage(&self.cores.packet_filter)),
-            ("conn_tracking".to_string(), stage(&self.cores.conn_tracking)),
+            (
+                "packet_filter".to_string(),
+                stage(&self.cores.packet_filter),
+            ),
+            (
+                "conn_tracking".to_string(),
+                stage(&self.cores.conn_tracking),
+            ),
             ("reassembly".to_string(), stage(&self.cores.reassembly)),
             ("app_parsing".to_string(), stage(&self.cores.app_parsing)),
-            ("session_filter".to_string(), stage(&self.cores.session_filter)),
+            (
+                "session_filter".to_string(),
+                stage(&self.cores.session_filter),
+            ),
             ("callbacks".to_string(), stage(&self.cores.callbacks)),
         ]
     }
@@ -230,16 +245,32 @@ impl RunReport {
     /// ready for any [`retina_telemetry::MetricSink`] exporter.
     pub fn telemetry(&self) -> TelemetrySnapshot {
         let mut counters = vec![
-            ("core.conns_completed_early".to_string(), self.cores.conns_completed_early),
+            (
+                "core.conns_completed_early".to_string(),
+                self.cores.conns_completed_early,
+            ),
             ("core.conns_created".to_string(), self.cores.conns_created),
-            ("core.conns_discarded".to_string(), self.cores.conns_discarded),
+            (
+                "core.conns_discarded".to_string(),
+                self.cores.conns_discarded,
+            ),
             ("core.conns_drained".to_string(), self.cores.conns_drained),
             ("core.conns_expired".to_string(), self.cores.conns_expired),
-            ("core.conns_terminated".to_string(), self.cores.conns_terminated),
-            ("core.discard_conn_filter".to_string(), self.cores.discard_conn_filter),
-            ("core.discard_session_filter".to_string(), self.cores.discard_session_filter),
+            (
+                "core.conns_terminated".to_string(),
+                self.cores.conns_terminated,
+            ),
+            (
+                "core.discard_conn_filter".to_string(),
+                self.cores.discard_conn_filter,
+            ),
+            (
+                "core.discard_session_filter".to_string(),
+                self.cores.discard_session_filter,
+            ),
             ("core.ooo_buffered".to_string(), self.cores.ooo_buffered),
             ("core.parse_failures".to_string(), self.cores.parse_failures),
+            ("core.parser_panics".to_string(), self.cores.parser_panics),
             ("core.rx_bytes".to_string(), self.cores.rx_bytes),
             ("core.rx_packets".to_string(), self.cores.rx_packets),
             ("nic.hw_dropped".to_string(), self.nic.hw_dropped),
@@ -261,6 +292,63 @@ impl RunReport {
             stages: self.stages(),
             drops: self.drop_breakdown(),
         }
+    }
+
+    /// A schedule-independent fingerprint of the run, for replay tests:
+    /// two runs of the same seeded workload (paced ingest, static sink
+    /// fraction) must produce identical digests bit for bit.
+    ///
+    /// Includes every NIC counter and every deterministic core counter.
+    /// Excludes wall-clock time and cycle measurements (machine- and
+    /// schedule-dependent), and merges `conns_expired + conns_drained`
+    /// into one `conns_retired` line — whether an idle connection is
+    /// expired by the last maintenance tick or drained at shutdown
+    /// depends on poll scheduling, but their sum does not.
+    pub fn deterministic_digest(&self) -> String {
+        let lines = [
+            ("nic.rx_offered", self.nic.rx_offered),
+            ("nic.rx_delivered", self.nic.rx_delivered),
+            ("nic.rx_bytes", self.nic.rx_bytes),
+            ("nic.hw_dropped", self.nic.hw_dropped),
+            ("nic.sunk", self.nic.sunk),
+            ("nic.rx_missed", self.nic.rx_missed),
+            ("nic.rx_nombuf", self.nic.rx_nombuf),
+            ("core.rx_packets", self.cores.rx_packets),
+            ("core.rx_bytes", self.cores.rx_bytes),
+            ("core.parse_failures", self.cores.parse_failures),
+            ("core.parser_panics", self.cores.parser_panics),
+            ("core.packet_filter.runs", self.cores.packet_filter.runs),
+            ("core.conn_tracking.runs", self.cores.conn_tracking.runs),
+            ("core.reassembly.runs", self.cores.reassembly.runs),
+            ("core.app_parsing.runs", self.cores.app_parsing.runs),
+            ("core.session_filter.runs", self.cores.session_filter.runs),
+            ("core.callbacks.runs", self.cores.callbacks.runs),
+            ("core.conns_created", self.cores.conns_created),
+            ("core.conns_discarded", self.cores.conns_discarded),
+            ("core.discard_conn_filter", self.cores.discard_conn_filter),
+            (
+                "core.discard_session_filter",
+                self.cores.discard_session_filter,
+            ),
+            (
+                "core.conns_completed_early",
+                self.cores.conns_completed_early,
+            ),
+            ("core.conns_terminated", self.cores.conns_terminated),
+            (
+                "core.conns_retired",
+                self.cores.conns_expired + self.cores.conns_drained,
+            ),
+            ("core.ooo_buffered", self.cores.ooo_buffered),
+        ];
+        let mut out = String::new();
+        for (name, value) in lines {
+            out.push_str(name);
+            out.push('=');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
     }
 
     /// Verifies the run's accounting invariants: every ingress frame and
@@ -303,6 +391,7 @@ pub struct Runtime<S: Subscribable, F: FilterFns + 'static> {
     callback: Arc<dyn Fn(S) + Send + Sync>,
     nic: Arc<VirtualNic>,
     gauges: Arc<RuntimeGauges>,
+    shed: Arc<ShedState>,
 }
 
 impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
@@ -334,6 +423,7 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
             callback: Arc::new(callback),
             nic,
             gauges,
+            shed: Arc::new(ShedState::new()),
         })
     }
 
@@ -345,6 +435,25 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
     /// Live gauges for external monitoring.
     pub fn gauges(&self) -> Arc<RuntimeGauges> {
         Arc::clone(&self.gauges)
+    }
+
+    /// The runtime's shedding flags (shared with workers; a governor —
+    /// or a test — flips them and workers pick the change up on their
+    /// next burst).
+    pub fn shed_state(&self) -> Arc<ShedState> {
+        Arc::clone(&self.shed)
+    }
+
+    /// Starts an overload governor against this runtime. Call before
+    /// (or during) [`Runtime::run`]; stop it after the run to collect
+    /// the decision stream.
+    pub fn start_governor(&self, config: GovernorConfig) -> Governor {
+        Governor::start(
+            Arc::clone(&self.nic),
+            Arc::clone(&self.gauges),
+            Arc::clone(&self.shed),
+            config,
+        )
     }
 
     /// Runs the pipeline over a traffic source to completion, returning
@@ -399,9 +508,10 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
             let sink = sink.clone();
             let done = Arc::clone(&ingest_done);
             let gauges = Arc::clone(&self.gauges);
+            let shed = Arc::clone(&self.shed);
             let config = self.config.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop::<S, F>(core, &nic, &filter, &sink, &done, &gauges, &config)
+                worker_loop::<S, F>(core, &nic, &filter, &sink, &done, &gauges, &shed, &config)
             }));
         }
         drop(sink);
@@ -429,6 +539,7 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<S: Subscribable, F: FilterFns>(
     core: u16,
     nic: &VirtualNic,
@@ -436,6 +547,7 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
     callback: &CallbackSink<S>,
     ingest_done: &AtomicBool,
     gauges: &RuntimeGauges,
+    shed: &ShedState,
     config: &RuntimeConfig,
 ) -> CoreStats {
     let mut tracker: ConnTracker<S, F> = ConnTracker::with_registry(
@@ -451,14 +563,26 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
     let profile = config.profile_stages;
 
     loop {
+        // Injected worker-core slowdown (fault layer): stall before
+        // polling, as a scheduling hiccup would.
+        if let Some(delay) = nic.fault_worker_delay(core) {
+            std::thread::sleep(delay);
+        }
         burst.clear();
         let n = nic.rx_burst(core, &mut burst, config.burst);
         if n == 0 {
             if ingest_done.load(Ordering::Acquire) {
-                // One final poll to drain racing deliveries.
-                if nic.rx_burst(core, &mut burst, config.burst) == 0 {
+                // Final drain. A single extra poll is not enough: an
+                // injected RX-ring stall makes rx_burst return 0 while
+                // descriptors still sit in the ring, and a fault layer
+                // may hold frames in flight for later redelivery. Exit
+                // only once the ring is truly empty and no injected
+                // fault still holds frames; until then keep polling.
+                if nic.ring_depth(core) == 0 && nic.faults_in_flight() == 0 {
                     break;
                 }
+                std::thread::yield_now();
+                continue;
             } else {
                 // On busy hosts (or single-CPU machines) yielding lets the
                 // ingest thread and sibling workers make progress.
@@ -466,6 +590,9 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                 continue;
             }
         }
+        // Pick up governor decisions once per burst: a relaxed load,
+        // so shedding costs nothing on the per-packet path.
+        tracker.set_shed_parsing(shed.parsing_shed());
         for mbuf in burst.drain(..) {
             tracker.stats.rx_packets += 1;
             tracker.stats.rx_bytes += mbuf.len() as u64;
@@ -481,7 +608,10 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
             let result = filter.packet_filter(&pkt);
             tracker.stats.packet_filter.runs += 1;
             if let Some(t) = tf {
-                tracker.stats.packet_filter.record_cycles(rdtsc().wrapping_sub(t));
+                tracker
+                    .stats
+                    .packet_filter
+                    .record_cycles(rdtsc().wrapping_sub(t));
             }
             match result {
                 FilterResult::NoMatch => continue,
@@ -492,7 +622,10 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                         tracker.stats.callbacks.runs += 1;
                         callback.deliver(data);
                         if let Some(t) = tc {
-                            tracker.stats.callbacks.record_cycles(rdtsc().wrapping_sub(t));
+                            tracker
+                                .stats
+                                .callbacks
+                                .record_cycles(rdtsc().wrapping_sub(t));
                         }
                     }
                     continue;
@@ -505,7 +638,10 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                 let tc = profile.then(rdtsc);
                 callback.deliver(data);
                 if let Some(t) = tc {
-                    tracker.stats.callbacks.record_cycles(rdtsc().wrapping_sub(t));
+                    tracker
+                        .stats
+                        .callbacks
+                        .record_cycles(rdtsc().wrapping_sub(t));
                 }
             }
         }

@@ -72,6 +72,10 @@ pub struct CoreStats {
     /// Packets that failed L2–L4 parsing (delivered to raw-packet
     /// subscriptions only).
     pub parse_failures: u64,
+    /// Application-layer parser panics caught and converted to
+    /// recoverable parse errors (the worker survives; the connection
+    /// falls back to the filter's no-session path).
+    pub parser_panics: u64,
     /// Software packet filter executions.
     pub packet_filter: StageStats,
     /// Packets handed to the connection tracker (lookup or insert).
@@ -118,6 +122,7 @@ impl CoreStats {
         self.rx_packets += other.rx_packets;
         self.rx_bytes += other.rx_bytes;
         self.parse_failures += other.parse_failures;
+        self.parser_panics += other.parser_panics;
         self.packet_filter.merge(&other.packet_filter);
         self.conn_tracking.merge(&other.conn_tracking);
         self.reassembly.merge(&other.reassembly);
@@ -174,9 +179,11 @@ mod tests {
 
     #[test]
     fn avg_cycles() {
-        let mut s = StageStats::default();
-        s.runs = 4;
-        s.cycles = 100;
+        let s = StageStats {
+            runs: 4,
+            cycles: 100,
+            ..StageStats::default()
+        };
         assert_eq!(s.avg_cycles(), 25.0);
         assert_eq!(StageStats::default().avg_cycles(), 0.0);
     }
@@ -199,12 +206,16 @@ mod tests {
 
     #[test]
     fn merge() {
-        let mut a = CoreStats::default();
-        a.rx_packets = 10;
+        let mut a = CoreStats {
+            rx_packets: 10,
+            ..CoreStats::default()
+        };
         a.packet_filter.runs = 10;
         a.packet_filter.record_cycles(50);
-        let mut b = CoreStats::default();
-        b.rx_packets = 5;
+        let mut b = CoreStats {
+            rx_packets: 5,
+            ..CoreStats::default()
+        };
         b.packet_filter.runs = 5;
         b.packet_filter.record_cycles(25);
         a.merge(&b);
@@ -216,15 +227,17 @@ mod tests {
 
     #[test]
     fn conn_accounting_checks() {
-        let mut s = CoreStats::default();
-        s.conns_created = 10;
-        s.conns_discarded = 4;
-        s.discard_conn_filter = 2;
-        s.discard_session_filter = 1;
-        s.conns_completed_early = 1;
-        s.conns_terminated = 3;
-        s.conns_expired = 2;
-        s.conns_drained = 1;
+        let mut s = CoreStats {
+            conns_created: 10,
+            conns_discarded: 4,
+            discard_conn_filter: 2,
+            discard_session_filter: 1,
+            conns_completed_early: 1,
+            conns_terminated: 3,
+            conns_expired: 2,
+            conns_drained: 1,
+            ..CoreStats::default()
+        };
         assert_eq!(s.check_conn_accounting(), Ok(()));
 
         s.conns_created = 11; // one connection unaccounted for

@@ -105,6 +105,10 @@ pub struct ConnTracker<S: Subscribable, F: FilterFns> {
     probe_protos: Vec<String>,
     ooo_capacity: usize,
     profile: bool,
+    /// Load-shedding flag mirrored from the governor: while set, probe
+    /// and parse work is skipped (connections hold their phase) so the
+    /// core's cycles go to packet delivery instead of session parsing.
+    shed_parsing: bool,
     /// Per-stage statistics for this core.
     pub stats: CoreStats,
     outputs: Vec<S>,
@@ -156,6 +160,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
             probe_protos,
             ooo_capacity,
             profile,
+            shed_parsing: false,
             stats: CoreStats::default(),
             outputs: Vec::new(),
             closed: std::collections::HashMap::new(),
@@ -170,6 +175,19 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
     /// Takes the subscription data produced since the last call.
     pub fn take_outputs(&mut self) -> Vec<S> {
         std::mem::take(&mut self.outputs)
+    }
+
+    /// Sets the parsing-shed flag (governor overload response, tier 1).
+    /// While shed, probing and parsing connections stop consuming
+    /// reassembly and parser cycles — they keep counting-only sequence
+    /// tracking and resume where they left off once restored.
+    pub fn set_shed_parsing(&mut self, shed: bool) {
+        self.shed_parsing = shed;
+    }
+
+    /// Whether session-parsing work is currently shed.
+    pub fn shed_parsing(&self) -> bool {
+        self.shed_parsing
     }
 
     /// Estimated bytes of connection state in memory (table entries plus
@@ -217,7 +235,9 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         self.stats.conn_tracking.runs += 1;
         self.process_inner(mbuf, pkt, filter_result);
         if let Some(t) = t0 {
-            self.stats.conn_tracking.record_cycles(rdtsc().wrapping_sub(t));
+            self.stats
+                .conn_tracking
+                .record_cycles(rdtsc().wrapping_sub(t));
         }
     }
 
@@ -271,9 +291,13 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         let conn = &mut entry.value;
         // Decide whether reconstructed bytes are still needed *before*
         // updating the flow: Track/Dropped connections get counting-only
-        // sequence tracking, never buffering (§5.2).
-        let stream_needed = matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. })
-            || (S::Tracked::needs_stream() && !matches!(conn.phase, Phase::Dropped));
+        // sequence tracking, never buffering (§5.2). Under governor
+        // shedding, probe/parse work is skipped too — those connections
+        // degrade to counting-only until fidelity is restored.
+        let app_needed =
+            matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. }) && !self.shed_parsing;
+        let stream_needed =
+            app_needed || (S::Tracked::needs_stream() && !matches!(conn.phase, Phase::Dropped));
         let update = conn.flow.update(pkt, mbuf, dir, now, stream_needed);
         entry.established = conn.flow.established;
 
@@ -300,6 +324,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                             &mut self.stats,
                             &mut self.outputs,
                             self.profile,
+                            self.shed_parsing,
                             &entry.tuple,
                             conn,
                             dir,
@@ -332,6 +357,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                                 &mut self.stats,
                                 &mut self.outputs,
                                 self.profile,
+                                self.shed_parsing,
                                 &entry.tuple,
                                 conn,
                                 dir,
@@ -380,6 +406,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         stats: &mut CoreStats,
         outputs: &mut Vec<S>,
         profile: bool,
+        shed_parsing: bool,
         tuple: &FiveTuple,
         conn: &mut Conn<S::Tracked>,
         dir: Dir,
@@ -387,6 +414,11 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
     ) -> Disposition {
         if S::Tracked::needs_stream() && conn.matched {
             conn.tracked.on_stream(dir, data);
+        }
+        // Shed tier 1: the stream hook above still runs (packet
+        // delivery work), but probe/parse make no progress.
+        if shed_parsing && matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. }) {
+            return Disposition::Keep;
         }
         let pdir = match dir {
             Dir::OrigToResp => Direction::ToServer,
@@ -417,7 +449,16 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                             continue;
                         }
                         nonempty += 1;
-                        match parser.probe(buf, d) {
+                        // A panic while probing eliminates the candidate
+                        // (recoverable), never the worker.
+                        let probed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            parser.probe(buf, d)
+                        }))
+                        .unwrap_or_else(|_| {
+                            stats.parser_panics += 1;
+                            ProbeResult::NotForUs
+                        });
+                        match probed {
                             ProbeResult::Certain => {
                                 selected = Some(i);
                                 break;
@@ -445,12 +486,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                         let r = filter.conn_filter(Some(service), conn.pkt_term_node);
                         match r {
                             FilterResult::NoMatch => {
-                                return Self::discard(
-                                    stats,
-                                    conn,
-                                    tuple,
-                                    DiscardCause::ConnFilter,
-                                );
+                                return Self::discard(stats, conn, tuple, DiscardCause::ConnFilter);
                             }
                             FilterResult::MatchTerminal(_) => {
                                 conn.matched = true;
@@ -560,7 +596,16 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         let service = *service;
         let tp = profile.then(rdtsc);
         stats.app_parsing.runs += 1;
-        let result = parser.parse(data, pdir);
+        // A panicking protocol parser must not take the worker core (and
+        // its whole RX queue) down with it: convert the panic into a
+        // recoverable parse error and let the filter decide the
+        // connection's fate, exactly as for a malformed-input error.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parser.parse(data, pdir)))
+                .unwrap_or_else(|_| {
+                    stats.parser_panics += 1;
+                    ParseResult::Error
+                });
         if let Some(t) = tp {
             stats.app_parsing.record_cycles(rdtsc().wrapping_sub(t));
         }

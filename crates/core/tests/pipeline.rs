@@ -15,7 +15,6 @@
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 
-use retina_support::bytes::Bytes;
 use retina_core::offline::run_offline;
 use retina_core::runtime::{Runtime, TrafficSource};
 use retina_core::subscribables::{
@@ -29,6 +28,7 @@ use retina_protocols::tls::build::{
     appdata_record, ccs_record, client_hello_record, server_hello_record, ClientHelloSpec,
     ServerHelloSpec,
 };
+use retina_support::bytes::Bytes;
 use retina_wire::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
 use retina_wire::TcpFlags;
 
@@ -707,7 +707,14 @@ fn rst_before_protocol_identified() {
     let mut conv = Conversation::new("10.0.0.1:40000", "1.1.1.1:443", 0);
     let (client, server, cseq, sseq) = (conv.client, conv.server, conv.cseq, conv.sseq);
     // Two bytes of a would-be TLS hello, then RST.
-    conv.push_raw(client, server, cseq, sseq, TcpFlags::ACK | TcpFlags::PSH, &[0x16, 0x03]);
+    conv.push_raw(
+        client,
+        server,
+        cseq,
+        sseq,
+        TcpFlags::ACK | TcpFlags::PSH,
+        &[0x16, 0x03],
+    );
     conv.push_raw(server, client, sseq, cseq + 2, TcpFlags::RST, &[]);
     let packets = conv.packets;
     let mut out: Vec<ConnRecord> = Vec::new();

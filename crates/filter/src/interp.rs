@@ -11,9 +11,9 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use retina_support::rematch::Regex;
 use retina_nic::DeviceCaps;
 use retina_nic::FlowRule;
+use retina_support::rematch::Regex;
 use retina_wire::ParsedPacket;
 
 use crate::ast::{Predicate, Value};

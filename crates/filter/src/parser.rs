@@ -415,19 +415,15 @@ mod proptests {
     }
 
     fn arb_expr() -> impl Strategy<Value = Expr> {
-        arb_predicate().prop_map(Expr::Predicate).prop_recursive(
-            4,
-            32,
-            2,
-            |inner| {
+        arb_predicate()
+            .prop_map(Expr::Predicate)
+            .prop_recursive(4, 32, 2, |inner| {
                 prop_oneof![
                     (inner.clone(), inner.clone())
                         .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-                    (inner.clone(), inner)
-                        .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
                 ]
-            },
-        )
+            })
     }
 
     fn keywords_free(e: &Expr) -> bool {

@@ -381,7 +381,8 @@ impl ProtocolRegistry {
             (FieldType::Int, Op::In, Value::IntRange(..)) => true,
             (FieldType::Str, Op::Eq | Op::Ne, Value::Str(_)) => true,
             (FieldType::Str, Op::Matches, Value::Str(pat)) => {
-                retina_support::rematch::Regex::new(pat).map_err(|e| FilterError::BadRegex(e.to_string()))?;
+                retina_support::rematch::Regex::new(pat)
+                    .map_err(|e| FilterError::BadRegex(e.to_string()))?;
                 true
             }
             (FieldType::Ip, Op::Eq | Op::Ne | Op::In, Value::Ipv4Net(..) | Value::Ipv6Net(..)) => {

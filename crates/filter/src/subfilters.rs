@@ -388,7 +388,10 @@ mod tests {
     #[test]
     fn session_predicates() {
         let mut regexes = std::collections::HashMap::new();
-        regexes.insert("netflix".to_string(), retina_support::rematch::Regex::new("netflix").unwrap());
+        regexes.insert(
+            "netflix".to_string(),
+            retina_support::rematch::Regex::new("netflix").unwrap(),
+        );
         assert!(eval_session_pred(
             &pred("tls.sni ~ 'netflix'"),
             &FakeSession,

@@ -8,13 +8,15 @@
 //! the signal the paper's zero-loss throughput methodology keys off.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use retina_support::bytes::Bytes;
-use retina_telemetry::{DropBreakdown, DropReason};
 use retina_support::sync::ArrayQueue;
 use retina_support::sync::RwLock;
+use retina_telemetry::{DropBreakdown, DropReason};
 use retina_wire::ParsedPacket;
 
+use crate::faults::FaultHooks;
 use crate::flow::{DeviceCaps, FlowAction, FlowRule, FlowRuleEngine};
 use crate::mbuf::{Mbuf, Mempool};
 use crate::reta::{RedirectionTable, SINK_QUEUE};
@@ -107,8 +109,7 @@ impl PortStatsSnapshot {
     /// Checks that every offered frame is attributed to exactly one
     /// outcome: delivered, sunk, or one of the drop reasons.
     pub fn fully_attributed(&self) -> bool {
-        self.rx_offered
-            == self.rx_delivered + self.sunk + self.drop_breakdown().packet_total()
+        self.rx_offered == self.rx_delivered + self.sunk + self.drop_breakdown().packet_total()
     }
 }
 
@@ -135,6 +136,8 @@ pub struct VirtualNic {
     engine: RwLock<FlowRuleEngine>,
     mempool: Mempool,
     stats: PortStats,
+    /// Installed fault-injection layer (`None` in normal operation).
+    faults: RwLock<Option<Arc<dyn FaultHooks>>>,
 }
 
 impl VirtualNic {
@@ -150,7 +153,35 @@ impl VirtualNic {
             engine: RwLock::new(FlowRuleEngine::new(cfg.caps)),
             mempool: Mempool::new(cfg.mempool_capacity),
             stats: PortStats::default(),
+            faults: RwLock::new(None),
         }
+    }
+
+    /// Installs a fault-injection layer (see [`crate::faults`]); the
+    /// device consults it on every ingest and poll until cleared.
+    pub fn set_fault_hooks(&self, hooks: Arc<dyn FaultHooks>) {
+        *self.faults.write() = Some(hooks);
+    }
+
+    /// Removes the fault-injection layer, restoring clean operation.
+    pub fn clear_fault_hooks(&self) {
+        *self.faults.write() = None;
+    }
+
+    /// Extra worker-core latency the installed fault layer wants to
+    /// inject for `core` right now (`None` when unfaulted).
+    pub fn fault_worker_delay(&self, core: u16) -> Option<std::time::Duration> {
+        self.faults.read().as_ref()?.worker_delay(core)
+    }
+
+    /// Frames currently held in flight by the fault layer (0 when
+    /// unfaulted). The runtime's final drain waits for this to reach
+    /// zero so injected delay lines cannot strand frames.
+    pub fn faults_in_flight(&self) -> usize {
+        self.faults
+            .read()
+            .as_ref()
+            .map_or(0, |hooks| hooks.in_flight())
     }
 
     /// Number of RX queues.
@@ -188,6 +219,39 @@ impl VirtualNic {
         self.reta.write().set_sink_fraction(fraction);
     }
 
+    /// Fraction of RETA entries currently mapped to the sink queue.
+    pub fn sink_fraction(&self) -> f64 {
+        self.reta.read().sink_fraction()
+    }
+
+    /// Rewrites the redirection table in place under the write lock —
+    /// the runtime API a governor or custom balancer uses to retarget
+    /// hash buckets while workers keep polling.
+    pub fn rewrite_reta<R>(&self, f: impl FnOnce(&mut RedirectionTable) -> R) -> R {
+        f(&mut self.reta.write())
+    }
+
+    /// Descriptors currently waiting in `queue`'s RX ring.
+    pub fn ring_depth(&self, queue: u16) -> usize {
+        self.queues[queue as usize].len()
+    }
+
+    /// Per-ring descriptor capacity.
+    pub fn ring_capacity(&self) -> usize {
+        self.queues.first().map_or(0, |q| q.capacity())
+    }
+
+    /// The deepest RX ring's occupancy as a fraction of its capacity —
+    /// the per-queue backpressure signal a governor keys off.
+    pub fn max_ring_occupancy(&self) -> f64 {
+        let cap = self.ring_capacity();
+        if cap == 0 {
+            return 0.0;
+        }
+        let deepest = self.queues.iter().map(|q| q.len()).max().unwrap_or(0);
+        deepest as f64 / cap as f64
+    }
+
     /// Offers one frame to the port at the given timestamp.
     pub fn ingest(&self, frame: Bytes, timestamp_ns: u64) -> IngestOutcome {
         self.ingest_inner(frame, timestamp_ns, false)
@@ -202,7 +266,17 @@ impl VirtualNic {
     }
 
     fn ingest_inner(&self, frame: Bytes, timestamp_ns: u64, paced: bool) -> IngestOutcome {
-        self.stats.rx_offered.fetch_add(1, Ordering::Relaxed);
+        let seq = self.stats.rx_offered.fetch_add(1, Ordering::Relaxed);
+        // Injected mempool-squeeze windows are keyed on the ingress
+        // sequence number, so they hit the same frames on every run.
+        // They drop even under paced ingest: a seq-keyed squeeze never
+        // clears for this frame, so spinning would deadlock the source.
+        if let Some(hooks) = self.faults.read().as_ref() {
+            if hooks.mempool_squeezed(seq) {
+                self.stats.rx_nombuf.fetch_add(1, Ordering::Relaxed);
+                return IngestOutcome::NoMbuf;
+            }
+        }
         let parsed = ParsedPacket::parse(&frame);
         let (action, hash) = match &parsed {
             Ok(pkt) => (self.engine.read().apply(pkt), self.hasher.hash_packet(pkt)),
@@ -257,6 +331,13 @@ impl VirtualNic {
     /// Polls up to `max` packets from `queue` into `out`. Returns the
     /// number of packets received.
     pub fn rx_burst(&self, queue: u16, out: &mut Vec<Mbuf>, max: usize) -> usize {
+        // A stalled queue delivers nothing this poll; its descriptors
+        // stay put (a stall delays frames, it never drops them).
+        if let Some(hooks) = self.faults.read().as_ref() {
+            if hooks.ring_stalled(queue) {
+                return 0;
+            }
+        }
         let ring = &self.queues[queue as usize];
         let mut n = 0;
         while n < max {

@@ -22,16 +22,21 @@
 //!   filtering, exactly as §4.1 describes for `tcp.port >= 100`.
 //! - [`device`] — a multi-queue port tying the above together, with bounded
 //!   descriptor rings and `rx_missed` loss accounting.
+//! - [`faults`] — deterministic fault-injection hooks (mempool squeeze
+//!   windows, RX-ring stalls, worker slowdowns) consulted by the device,
+//!   so a chaos layer can reproduce production failure modes from a seed.
 
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod faults;
 pub mod flow;
 pub mod mbuf;
 pub mod reta;
 pub mod rss;
 
 pub use device::{DeviceConfig, IngestOutcome, PortStats, PortStatsSnapshot, VirtualNic};
+pub use faults::{FaultHooks, NoFaults};
 pub use flow::{DeviceCaps, FlowAction, FlowRule, RuleItem};
 pub use mbuf::{Mbuf, Mempool};
 pub use reta::RedirectionTable;

@@ -73,9 +73,7 @@ impl Mbuf {
         // high-water mark here (rather than sampling in_use from the
         // monitor) captures peaks shorter than a monitoring interval.
         let occupied = pool.inner.in_use.fetch_add(1, Ordering::Relaxed) + 1;
-        pool.inner
-            .high_water
-            .fetch_max(occupied, Ordering::Relaxed);
+        pool.inner.high_water.fetch_max(occupied, Ordering::Relaxed);
         pool.inner
             .bytes_in_use
             .fetch_add(data.len(), Ordering::Relaxed);

@@ -15,8 +15,8 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use retina_support::bytes::Bytes;
 use retina_core::TrafficSource;
+use retina_support::bytes::Bytes;
 
 const MAGIC_US: u32 = 0xa1b2_c3d4;
 const MAGIC_NS: u32 = 0xa1b2_3c4d;

@@ -168,6 +168,10 @@ pub trait ConnParser: Send {
     }
 }
 
+/// Constructor for a boxed [`ConnParser`]; plain `fn` so registries
+/// stay `Clone` + `'static` without allocation.
+pub type ParserFactory = fn() -> Box<dyn ConnParser>;
+
 /// Factory registry: maps protocol names to parser constructors.
 ///
 /// The runtime populates this from the union of the filter's
@@ -175,7 +179,7 @@ pub trait ConnParser: Send {
 /// (the "Parser Registry" of Figure 2).
 #[derive(Clone)]
 pub struct ParserRegistry {
-    factories: Vec<(&'static str, fn() -> Box<dyn ConnParser>)>,
+    factories: Vec<(&'static str, ParserFactory)>,
 }
 
 impl std::fmt::Debug for ParserRegistry {
@@ -210,7 +214,7 @@ impl ParserRegistry {
     }
 
     /// Registers a parser factory under a protocol name.
-    pub fn register(&mut self, name: &'static str, factory: fn() -> Box<dyn ConnParser>) {
+    pub fn register(&mut self, name: &'static str, factory: ParserFactory) {
         if !self.factories.iter().any(|(n, _)| *n == name) {
             self.factories.push((name, factory));
         }

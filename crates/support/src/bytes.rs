@@ -284,7 +284,9 @@ mod tests {
         let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
         let s = a.slice(2..6);
         assert_eq!(s.as_slice(), &[2, 3, 4, 5]);
-        assert_eq!(s.as_slice().as_ptr(), unsafe { a.as_slice().as_ptr().add(2) });
+        assert_eq!(s.as_slice().as_ptr(), unsafe {
+            a.as_slice().as_ptr().add(2)
+        });
         // Slicing a slice composes offsets.
         let ss = s.slice(1..=2);
         assert_eq!(ss.as_slice(), &[3, 4]);
@@ -303,6 +305,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "start 3 > end 1")]
+    #[allow(clippy::reversed_empty_ranges)] // the inverted range is the point
     fn slice_inverted_panics() {
         let a = Bytes::from(vec![1u8, 2, 3]);
         let _ = a.slice(3..1);
@@ -315,7 +318,10 @@ mod tests {
         assert_eq!(head.as_slice(), &[10, 11]);
         assert_eq!(a.as_slice(), &[12, 13, 14]);
         // Both halves still share the original storage.
-        assert_eq!(unsafe { head.as_slice().as_ptr().add(2) }, a.as_slice().as_ptr());
+        assert_eq!(
+            unsafe { head.as_slice().as_ptr().add(2) },
+            a.as_slice().as_ptr()
+        );
         // Degenerate splits.
         let empty = a.split_to(0);
         assert!(empty.is_empty());

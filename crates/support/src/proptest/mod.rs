@@ -93,6 +93,7 @@ pub mod sample {
 pub mod prelude {
     pub use super::strategy::{any, BoxedStrategy, Just, Strategy, Union};
     pub use super::{collection, sample, ProptestConfig};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-                    proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }

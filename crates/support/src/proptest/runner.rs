@@ -164,20 +164,18 @@ fn shrink(
     const BUDGET: u32 = 4096;
     // Replays `cand`; yields the canonical consumed stream if the case
     // still fails and shrank per `better`.
-    let mut try_candidate = |cand: &[u64],
-                             current: &[u64],
-                             attempts: &mut u32|
-     -> Option<(Vec<u64>, String)> {
-        *attempts += 1;
-        let mut ds = DataSource::replay(cand);
-        match run_case(body, &mut ds) {
-            CaseResult::Fail(m) => {
-                let c = canon(ds.choices().to_vec());
-                better(&c, current).then_some((c, m))
+    let mut try_candidate =
+        |cand: &[u64], current: &[u64], attempts: &mut u32| -> Option<(Vec<u64>, String)> {
+            *attempts += 1;
+            let mut ds = DataSource::replay(cand);
+            match run_case(body, &mut ds) {
+                CaseResult::Fail(m) => {
+                    let c = canon(ds.choices().to_vec());
+                    better(&c, current).then_some((c, m))
+                }
+                _ => None,
             }
-            _ => None,
-        }
-    };
+        };
     loop {
         let mut improved = false;
 
@@ -262,15 +260,11 @@ mod tests {
     #[test]
     fn passing_property_runs_all_cases() {
         let mut count = 0u32;
-        run(
-            "runner::passing",
-            &ProptestConfig::with_cases(50),
-            |ds| {
-                let v = (0u32..100).generate(ds);
-                assert!(v < 100);
-                count += 1;
-            },
-        );
+        run("runner::passing", &ProptestConfig::with_cases(50), |ds| {
+            let v = (0u32..100).generate(ds);
+            assert!(v < 100);
+            count += 1;
+        });
         assert_eq!(count, 50);
     }
 
@@ -297,10 +291,7 @@ mod tests {
             });
         }));
         let msg = match result {
-            Err(p) => p
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default(),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
             Ok(()) => panic!("property should have failed"),
         };
         // The minimal counterexample for `v < 4000` is exactly 4000.
@@ -336,12 +327,16 @@ mod tests {
     #[test]
     fn vec_failures_shrink_short() {
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run("runner::vecshrink", &ProptestConfig::with_cases(256), |ds| {
-                let v = crate::proptest::collection::vec(0u8..=255, 0..64).generate(ds);
-                note_input(format!("v = {v:?}"));
-                // Fails as soon as any element is >= 128.
-                assert!(v.iter().all(|&b| b < 128), "big element");
-            });
+            run(
+                "runner::vecshrink",
+                &ProptestConfig::with_cases(256),
+                |ds| {
+                    let v = crate::proptest::collection::vec(0u8..=255, 0..64).generate(ds);
+                    note_input(format!("v = {v:?}"));
+                    // Fails as soon as any element is >= 128.
+                    assert!(v.iter().all(|&b| b < 128), "big element");
+                },
+            );
         }));
         let msg = match result {
             Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),

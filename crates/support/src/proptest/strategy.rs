@@ -450,10 +450,11 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let s = (0u8..10).prop_map(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-        });
+        let s = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut saw_node = false;
         for seed in 0..200 {
             let t = gen(&s, seed);

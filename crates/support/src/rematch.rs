@@ -180,8 +180,14 @@ impl Parser {
             'D' => class(true, &[('0', '9')]),
             'w' => class(false, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
             'W' => class(true, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
-            's' => class(false, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
-            'S' => class(true, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+            's' => class(
+                false,
+                &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            ),
+            'S' => class(
+                true,
+                &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            ),
             'n' => Ok(Atom::Char('\n')),
             't' => Ok(Atom::Char('\t')),
             'r' => Ok(Atom::Char('\r')),
@@ -210,8 +216,7 @@ impl Parser {
                             Atom::Class(cls) => {
                                 // \d etc. inside a class: merge ranges.
                                 if cls.negated {
-                                    return self
-                                        .err("negated escape class inside character class");
+                                    return self.err("negated escape class inside character class");
                                 }
                                 ranges.extend(cls.ranges);
                                 first = false;
@@ -322,11 +327,9 @@ impl Parser {
         if digits.is_empty() {
             return self.err("expected number in repetition");
         }
-        digits
-            .parse()
-            .map_err(|_| Error {
-                msg: format!("repetition count {digits} too large"),
-            })
+        digits.parse().map_err(|_| Error {
+            msg: format!("repetition count {digits} too large"),
+        })
     }
 }
 
@@ -434,6 +437,10 @@ fn m_piece(
             m_piece(piece, count + 1, chars, p, k2)
         })
     };
+    // The branches differ only in evaluation order, and that order IS
+    // the semantics: lazy tries the shortest match (continue first),
+    // greedy consumes more first. Clippy sees commutative `||` here.
+    #[allow(clippy::if_same_then_else)]
     if piece.lazy {
         (satisfied && k(pos)) || (can_repeat && try_one_more(k))
     } else {
@@ -475,8 +482,10 @@ fn sample_atom(atom: &Atom, rnd: &mut dyn FnMut(u64) -> u64, out: &mut String) {
         Atom::Char(c) => out.push(*c),
         Atom::Any => {
             let (lo, hi) = PRINTABLE;
-            out.push(char::from_u32(lo as u32 + rnd((hi as u64) - (lo as u64) + 1) as u32)
-                .expect("printable ascii"));
+            out.push(
+                char::from_u32(lo as u32 + rnd((hi as u64) - (lo as u64) + 1) as u32)
+                    .expect("printable ascii"),
+            );
         }
         Atom::Class(class) if !class.negated => {
             let total: u64 = class
@@ -633,9 +642,7 @@ mod tests {
         // strings the matcher accepts — for the exact string-strategy
         // patterns used in the workspace's property tests.
         let mut state = 0x5EED_u64;
-        let mut rnd = move |bound: u64| {
-            crate::rand::splitmix64(&mut state) % bound.max(1)
-        };
+        let mut rnd = move |bound: u64| crate::rand::splitmix64(&mut state) % bound.max(1);
         for pat in [
             "[a-z][a-z0-9.*$-]{0,12}",
             "[a-z][a-z0-9_]{0,8}",

@@ -1,0 +1,278 @@
+//! Governor decision events.
+//!
+//! The overload governor closes the loop between the metric registry
+//! and the NIC's RETA: every sampling interval it may shed work or
+//! restore fidelity. Each decision is recorded as a [`GovernorEvent`]
+//! in an append-only [`EventLog`], so a finished run can *prove* its
+//! shed/restore accounting — every raise matched against a lower,
+//! every shed against a restore — instead of merely logging it.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One governor decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernorAction {
+    /// Stopped feeding application-layer parsers (first shedding tier:
+    /// session parsing is sacrificed before packet delivery).
+    ShedParsing,
+    /// Resumed application-layer parsing (last restore tier).
+    RestoreParsing,
+    /// Raised the RETA sink fraction by one step (second shedding
+    /// tier: divert whole flows before losing packets uncontrolled).
+    SinkRaise,
+    /// Lowered the RETA sink fraction by one step toward the floor.
+    SinkLower,
+    /// Observed pressure (or calm) but made no change this interval
+    /// (already at a bound, or waiting out the cooldown).
+    Hold,
+}
+
+impl GovernorAction {
+    /// Stable label for exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GovernorAction::ShedParsing => "shed_parsing",
+            GovernorAction::RestoreParsing => "restore_parsing",
+            GovernorAction::SinkRaise => "sink_raise",
+            GovernorAction::SinkLower => "sink_lower",
+            GovernorAction::Hold => "hold",
+        }
+    }
+}
+
+/// The pressure signals a decision was based on, captured at decision
+/// time so the event stream is self-contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PressureSignals {
+    /// Mempool occupancy as a fraction of capacity.
+    pub mempool_occupancy: f64,
+    /// Deepest RX ring's occupancy as a fraction of its capacity.
+    pub ring_occupancy: f64,
+    /// Frames lost (ring overflow + mempool exhaustion) since the
+    /// previous interval.
+    pub lost_delta: u64,
+}
+
+/// One entry in the governor's decision stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorEvent {
+    /// 0-based sampling interval the decision was made in.
+    pub interval: u64,
+    /// What the governor did.
+    pub action: GovernorAction,
+    /// Sink fraction before the decision.
+    pub sink_before: f64,
+    /// Sink fraction after the decision.
+    pub sink_after: f64,
+    /// Whether parsing is shed after the decision.
+    pub parsing_shed: bool,
+    /// The signals the decision keyed off.
+    pub signals: PressureSignals,
+}
+
+impl GovernorEvent {
+    /// Renders the event as a single log line.
+    pub fn to_log_line(&self) -> String {
+        format!(
+            "governor[{:>4}] {:<15} sink {:.3} -> {:.3}  parsing_shed={}  \
+             (mempool {:.0}%, ring {:.0}%, lost {})",
+            self.interval,
+            self.action.label(),
+            self.sink_before,
+            self.sink_after,
+            self.parsing_shed,
+            self.signals.mempool_occupancy * 100.0,
+            self.signals.ring_occupancy * 100.0,
+            self.signals.lost_delta,
+        )
+    }
+}
+
+/// A thread-safe, append-only event stream shared between the governor
+/// thread and readers (cloning shares the log).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Arc<Mutex<Vec<GovernorEvent>>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locks the underlying vector, ignoring poison (an observer
+    /// panicking must not take the decision stream down with it).
+    fn lock(&self) -> MutexGuard<'_, Vec<GovernorEvent>> {
+        match self.events.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: GovernorEvent) {
+        self.lock().push(event);
+    }
+
+    /// Copies out every event recorded so far.
+    pub fn snapshot(&self) -> Vec<GovernorEvent> {
+        self.lock().clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Verifies the internal consistency of a governor decision stream:
+///
+/// 1. the sink-fraction trace is continuous (each event's `sink_before`
+///    equals the previous event's `sink_after`),
+/// 2. every per-interval change is bounded by `max_step` (the
+///    no-oscillation guarantee),
+/// 3. parsing shed/restore events strictly alternate, starting with a
+///    shed,
+/// 4. the final sink fraction equals
+///    `start + (raises - lowers) * observed steps` — i.e. shed and
+///    restore work is accounted exactly, nothing drifts.
+///
+/// Returns the first violated invariant on failure.
+pub fn check_governor_accounting(events: &[GovernorEvent], max_step: f64) -> Result<(), String> {
+    let mut prev_after: Option<f64> = None;
+    let mut parsing_shed = false;
+    for (i, e) in events.iter().enumerate() {
+        if let Some(prev) = prev_after {
+            if (e.sink_before - prev).abs() > 1e-9 {
+                return Err(format!(
+                    "event {i}: sink_before {} != previous sink_after {prev}",
+                    e.sink_before
+                ));
+            }
+        }
+        let delta = (e.sink_after - e.sink_before).abs();
+        if delta > max_step + 1e-9 {
+            return Err(format!(
+                "event {i}: sink change {delta:.4} exceeds max step {max_step:.4}"
+            ));
+        }
+        match e.action {
+            GovernorAction::SinkRaise => {
+                if e.sink_after < e.sink_before - 1e-9 {
+                    return Err(format!("event {i}: raise lowered the sink fraction"));
+                }
+            }
+            GovernorAction::SinkLower => {
+                if e.sink_after > e.sink_before + 1e-9 {
+                    return Err(format!("event {i}: lower raised the sink fraction"));
+                }
+            }
+            GovernorAction::ShedParsing => {
+                if parsing_shed {
+                    return Err(format!("event {i}: shed while already shed"));
+                }
+                parsing_shed = true;
+            }
+            GovernorAction::RestoreParsing => {
+                if !parsing_shed {
+                    return Err(format!("event {i}: restore without a prior shed"));
+                }
+                parsing_shed = false;
+            }
+            GovernorAction::Hold => {
+                if delta > 1e-9 {
+                    return Err(format!("event {i}: hold changed the sink fraction"));
+                }
+            }
+        }
+        if e.parsing_shed != parsing_shed {
+            return Err(format!(
+                "event {i}: parsing_shed flag {} disagrees with replayed state {}",
+                e.parsing_shed, parsing_shed
+            ));
+        }
+        prev_after = Some(e.sink_after);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        interval: u64,
+        action: GovernorAction,
+        before: f64,
+        after: f64,
+        shed: bool,
+    ) -> GovernorEvent {
+        GovernorEvent {
+            interval,
+            action,
+            sink_before: before,
+            sink_after: after,
+            parsing_shed: shed,
+            signals: PressureSignals::default(),
+        }
+    }
+
+    #[test]
+    fn balanced_stream_passes() {
+        let events = vec![
+            ev(0, GovernorAction::ShedParsing, 0.1, 0.1, true),
+            ev(1, GovernorAction::SinkRaise, 0.1, 0.3, true),
+            ev(2, GovernorAction::Hold, 0.3, 0.3, true),
+            ev(3, GovernorAction::SinkLower, 0.3, 0.1, true),
+            ev(4, GovernorAction::RestoreParsing, 0.1, 0.1, false),
+        ];
+        check_governor_accounting(&events, 0.2).unwrap();
+    }
+
+    #[test]
+    fn discontinuous_trace_fails() {
+        let events = vec![
+            ev(0, GovernorAction::SinkRaise, 0.1, 0.3, false),
+            ev(1, GovernorAction::SinkRaise, 0.5, 0.7, false),
+        ];
+        assert!(check_governor_accounting(&events, 0.2).is_err());
+    }
+
+    #[test]
+    fn oversized_step_fails() {
+        let events = vec![ev(0, GovernorAction::SinkRaise, 0.0, 0.9, false)];
+        assert!(check_governor_accounting(&events, 0.2).is_err());
+    }
+
+    #[test]
+    fn double_shed_fails() {
+        let events = vec![
+            ev(0, GovernorAction::ShedParsing, 0.1, 0.1, true),
+            ev(1, GovernorAction::ShedParsing, 0.1, 0.1, true),
+        ];
+        assert!(check_governor_accounting(&events, 0.2).is_err());
+    }
+
+    #[test]
+    fn log_shares_and_snapshots() {
+        let log = EventLog::new();
+        let log2 = log.clone();
+        log.record(ev(0, GovernorAction::Hold, 0.1, 0.1, false));
+        assert_eq!(log2.len(), 1);
+        assert_eq!(log2.snapshot()[0].action, GovernorAction::Hold);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn event_log_line() {
+        let line = ev(7, GovernorAction::SinkRaise, 0.1, 0.35, true).to_log_line();
+        assert!(line.contains("sink_raise"), "{line}");
+        assert!(line.contains("0.100 -> 0.350"), "{line}");
+    }
+}

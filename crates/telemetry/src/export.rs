@@ -423,11 +423,21 @@ mod tests {
         assert_eq!(samples[0].get("lost").unwrap().as_u64(), Some(6));
         let final_ = doc.get("final").unwrap();
         assert_eq!(
-            final_.get("counters").unwrap().get("core.rx_packets").unwrap().as_u64(),
+            final_
+                .get("counters")
+                .unwrap()
+                .get("core.rx_packets")
+                .unwrap()
+                .as_u64(),
             Some(7)
         );
         assert_eq!(
-            final_.get("drops").unwrap().get("hw_rule").unwrap().as_u64(),
+            final_
+                .get("drops")
+                .unwrap()
+                .get("hw_rule")
+                .unwrap()
+                .as_u64(),
             Some(100)
         );
     }

@@ -19,10 +19,15 @@
 //!   [`JsonSink`], and [`PrometheusSink`] exporters, driven by the
 //!   runtime monitor with periodic [`Sample`]s and a final
 //!   [`TelemetrySnapshot`].
+//! * [`GovernorEvent`] / [`EventLog`] — the overload governor's
+//!   decision stream, with [`check_governor_accounting`] proving that
+//!   every shed is matched by a restore and no decision exceeded the
+//!   configured step bound.
 
 #![warn(missing_docs)]
 
 pub mod drops;
+pub mod events;
 pub mod export;
 pub mod histogram;
 pub mod json;
@@ -30,6 +35,9 @@ pub mod registry;
 pub mod snapshot;
 
 pub use drops::{DropBreakdown, DropReason, DropSubject};
+pub use events::{
+    check_governor_accounting, EventLog, GovernorAction, GovernorEvent, PressureSignals,
+};
 pub use export::{CsvSink, JsonSink, LogSink, MetricSink, PrometheusSink, Sample, SharedBuf};
 pub use histogram::{LogHistogram, NUM_BUCKETS};
 pub use registry::{CounterId, GaugeId, GaugeMerge, MetricsSnapshot, Registry, Shard};

@@ -196,10 +196,7 @@ impl MetricsSnapshot {
 
     /// Looks up a gauge by name.
     pub fn gauge(&self, name: &str) -> Option<u64> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 }
 

@@ -68,10 +68,7 @@ impl TelemetrySnapshot {
 
     /// Looks up a gauge by name.
     pub fn gauge(&self, name: &str) -> Option<u64> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// Looks up a stage by name.
@@ -168,13 +165,25 @@ impl TelemetrySnapshot {
                         "retina_stage_cycles{{stage=\"{stage}\",quantile=\"{q}\"}} {v}"
                     );
                 }
-                let _ = writeln!(out, "retina_stage_cycles_sum{{stage=\"{stage}\"}} {}", s.cycles);
-                let _ = writeln!(out, "retina_stage_cycles_count{{stage=\"{stage}\"}} {}", s.runs);
+                let _ = writeln!(
+                    out,
+                    "retina_stage_cycles_sum{{stage=\"{stage}\"}} {}",
+                    s.cycles
+                );
+                let _ = writeln!(
+                    out,
+                    "retina_stage_cycles_count{{stage=\"{stage}\"}} {}",
+                    s.runs
+                );
             }
         }
         let _ = writeln!(out, "# TYPE retina_drop_total counter");
         for (reason, n) in self.drops.iter() {
-            let _ = writeln!(out, "retina_drop_total{{reason=\"{}\"}} {n}", reason.label());
+            let _ = writeln!(
+                out,
+                "retina_drop_total{{reason=\"{}\"}} {n}",
+                reason.label()
+            );
         }
         out
     }
@@ -214,16 +223,27 @@ mod tests {
         let doc = snap.to_json();
         let v = json::parse(&doc).expect("snapshot JSON must parse");
         assert_eq!(
-            v.get("counters").unwrap().get("core.rx_packets").unwrap().as_u64(),
+            v.get("counters")
+                .unwrap()
+                .get("core.rx_packets")
+                .unwrap()
+                .as_u64(),
             Some(100)
         );
         assert_eq!(
-            v.get("gauges").unwrap().get("mbuf_high_water").unwrap().as_u64(),
+            v.get("gauges")
+                .unwrap()
+                .get("mbuf_high_water")
+                .unwrap()
+                .as_u64(),
             Some(8)
         );
         let stage = v.get("stages").unwrap().get("packet_filter").unwrap();
         assert_eq!(stage.get("runs").unwrap().as_u64(), Some(10));
-        assert_eq!(stage.get("p50").unwrap().as_u64(), Some(snap.stages[0].1.p50()));
+        assert_eq!(
+            stage.get("p50").unwrap().as_u64(),
+            Some(snap.stages[0].1.p50())
+        );
         assert_eq!(
             v.get("drops").unwrap().get("hw_rule").unwrap().as_u64(),
             Some(3)

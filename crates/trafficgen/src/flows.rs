@@ -4,12 +4,12 @@
 
 use std::net::SocketAddr;
 
-use retina_support::bytes::Bytes;
 use retina_protocols::tls::build::{
     appdata_record, ccs_record, certificate_record, client_hello_record, server_hello_record,
     ClientHelloSpec, ServerHelloSpec,
 };
 use retina_protocols::{dns, http, ssh};
+use retina_support::bytes::Bytes;
 use retina_wire::build::{build_icmpv4_echo, build_tcp, build_udp, TcpSpec, UdpSpec};
 use retina_wire::TcpFlags;
 

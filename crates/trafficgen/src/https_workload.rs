@@ -37,7 +37,7 @@ impl Default for HttpsWorkload {
             response_bytes: 256 * 1024,
             parallel: 128,
             duration_secs: 1.0,
-            seed: 0xF16_6,
+            seed: 0xF166,
         }
     }
 }

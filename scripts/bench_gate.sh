@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares the CI bench results produced by the
+# smoke stage (results/BENCH_ci.json, written by `telemetry_smoke
+# --json-out` and `governor_storm --json-out`) against the committed
+# baseline, with a ±15% default tolerance per metric. Record-only
+# metrics ("_" prefix) are printed but never gate.
+#
+#   scripts/bench_gate.sh [baseline.json] [current.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-results/BENCH_baseline.json}"
+CURRENT="${2:-results/BENCH_ci.json}"
+
+if [ ! -f "$CURRENT" ]; then
+    echo "bench gate: $CURRENT not found — run 'scripts/ci.sh smoke' first" >&2
+    exit 2
+fi
+
+cargo run --release --offline -q -p retina-bench --bin bench_gate -- \
+    "$BASELINE" "$CURRENT"

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# CI pipeline, split into named stages so a failure is attributable at
+# a glance. Runs every requested stage even after one fails, then
+# summarizes. Everything is offline — no network, no registry.
+#
+#   scripts/ci.sh                 # all stages, in order
+#   scripts/ci.sh fmt clippy      # just these stages
+#
+# Stages:
+#   fmt         cargo fmt --check (no diffs tolerated)
+#   clippy      cargo clippy --offline --all-targets -- -D warnings
+#   build       release build of every lib and binary
+#   test        cargo test -q --offline (whole workspace)
+#   smoke       telemetry_smoke + governor_storm (--quick), emitting
+#               results/BENCH_ci.json
+#   bench-gate  scripts/bench_gate.sh vs results/BENCH_baseline.json
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+ALL_STAGES=(fmt clippy build test smoke bench-gate)
+if [ "$#" -gt 0 ]; then STAGES=("$@"); else STAGES=("${ALL_STAGES[@]}"); fi
+
+FAILED=()
+
+run_stage() {
+    local name="$1"
+    shift
+    echo
+    echo "==> CI stage: ${name}"
+    if "$@"; then
+        echo "==> CI stage ${name}: OK"
+    else
+        echo "==> CI stage ${name}: FAILED"
+        FAILED+=("$name")
+    fi
+}
+
+stage_fmt() { cargo fmt --check; }
+
+stage_clippy() { cargo clippy --offline --all-targets -- -D warnings; }
+
+stage_build() {
+    cargo build --release --offline &&
+        cargo build --release --offline --bins
+}
+
+stage_test() { cargo test -q --offline; }
+
+stage_smoke() {
+    rm -f results/BENCH_ci.json
+    cargo run --release --offline -q -p retina-bench --bin telemetry_smoke -- \
+        --quick --json-out results/BENCH_ci.json &&
+        cargo run --release --offline -q -p retina-bench --bin governor_storm -- \
+            --quick --json-out results/BENCH_ci.json
+}
+
+stage_bench_gate() { scripts/bench_gate.sh; }
+
+for stage in "${STAGES[@]}"; do
+    case "$stage" in
+    fmt) run_stage fmt stage_fmt ;;
+    clippy) run_stage clippy stage_clippy ;;
+    build) run_stage build stage_build ;;
+    test) run_stage test stage_test ;;
+    smoke) run_stage smoke stage_smoke ;;
+    bench-gate) run_stage bench-gate stage_bench_gate ;;
+    *)
+        echo "unknown CI stage: ${stage} (known: ${ALL_STAGES[*]})" >&2
+        FAILED+=("$stage")
+        ;;
+    esac
+done
+
+echo
+if [ "${#FAILED[@]}" -gt 0 ]; then
+    echo "CI FAILED — stage(s): ${FAILED[*]}"
+    exit 1
+fi
+echo "CI OK — stage(s): ${STAGES[*]}"

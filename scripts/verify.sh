@@ -4,8 +4,30 @@
 # fail loudly if anything tries to leave the tree (every dependency is
 # an in-tree path dep on a workspace crate; see crates/support and
 # tests/tests/hermetic.rs).
+#
+#   scripts/verify.sh          # full: release build + bins, tests, smoke
+#   scripts/verify.sh --fast   # debug build + tests only (skips the
+#                              # release binaries and smoke runs; used
+#                              # by the quick CI job)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) FAST=1 ;;
+    *)
+        echo "usage: scripts/verify.sh [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+if [ "$FAST" = 1 ]; then
+    cargo build --offline
+    cargo test -q --offline
+    exit 0
+fi
 
 cargo build --release --offline
 # All bench/figure binaries must keep building, not just the libraries.
@@ -17,3 +39,10 @@ cargo test -q --offline
 # (created == discarded + terminated + expired + drained). Exits
 # non-zero on any violation.
 cargo run --release --offline -q -p retina-bench --bin telemetry_smoke -- --quick
+
+# Governor storm: injects a worker-core slowdown (retina-chaos) and
+# asserts the closed-loop overload governor sheds (sink fraction rises,
+# loss stays below the ungoverned baseline) and restores full fidelity
+# within a bounded number of monitor intervals. Exits non-zero on
+# violation.
+cargo run --release --offline -q -p retina-bench --bin governor_storm -- --quick

@@ -39,7 +39,9 @@ fn generation_is_deterministic_for_fixed_seed() {
     let c = generate(&CampusConfig::small(0x5EED));
     assert!(
         a.len() != c.len()
-            || a.iter().zip(&c).any(|((fa, _), (fc, _))| fa.as_ref() != fc.as_ref()),
+            || a.iter()
+                .zip(&c)
+                .any(|((fa, _), (fc, _))| fa.as_ref() != fc.as_ref()),
         "distinct seeds should produce distinct traffic"
     );
 }
@@ -124,8 +126,10 @@ fn timeout_schemes_order_connection_counts() {
     });
     let resident = |timeouts: TimeoutConfig| {
         let filter = Arc::new(compile("").unwrap());
-        let mut config = RuntimeConfig::default();
-        config.timeouts = timeouts;
+        let config = RuntimeConfig {
+            timeouts,
+            ..RuntimeConfig::default()
+        };
         // Measure expiries: more expiries with aggressive timeouts means
         // fewer resident connections at any instant.
         let stats = run_offline::<ConnRecord, _>(&filter, &config, packets.clone(), |_| {});
@@ -220,12 +224,14 @@ fn stage_reduction_cascade() {
     // tiny fraction for a narrow filter.
     let packets = generate(&CampusConfig {
         target_packets: 80_000,
-        ..CampusConfig::small(0xF16_7)
+        ..CampusConfig::small(0xF167)
     });
     let filter =
         Arc::new(compile(r"tcp.port = 443 and tls.sni ~ '(.+?\.)?nflxvideo\.net'").unwrap());
-    let mut config = RuntimeConfig::default();
-    config.profile_stages = true;
+    let config = RuntimeConfig {
+        profile_stages: true,
+        ..RuntimeConfig::default()
+    };
     let mut callbacks = 0u64;
     let stats = run_offline::<ConnRecord, _>(&filter, &config, packets, |_| callbacks += 1);
 

@@ -9,7 +9,6 @@
 use std::net::SocketAddr;
 use std::sync::Arc;
 
-use retina_support::bytes::Bytes;
 use retina_core::offline::run_offline;
 use retina_core::subscribables::SessionRecord;
 use retina_core::{CompiledFilter, RuntimeConfig};
@@ -19,6 +18,7 @@ use retina_protocols::{
     ConnParser, CustomSession, Direction, ParseResult, ParserRegistry, ProbeResult, Session,
     SessionState,
 };
+use retina_support::bytes::Bytes;
 use retina_wire::build::{build_tcp, TcpSpec};
 use retina_wire::TcpFlags;
 
@@ -272,9 +272,11 @@ fn custom_protocol_end_to_end() {
     // Filter on the custom protocol's fields.
     let filter =
         Arc::new(CompiledFilter::build("memo.topic ~ 'retina'", &filter_registry).unwrap());
-    let mut config = RuntimeConfig::default();
-    config.parsers = parsers;
-    config.filter_registry = filter_registry;
+    let config = RuntimeConfig {
+        parsers,
+        filter_registry,
+        ..RuntimeConfig::default()
+    };
 
     let mut packets = memo_conversation(
         "10.0.0.1:40000",
@@ -312,9 +314,11 @@ fn custom_protocol_coexists_with_builtins() {
     // The probe stage must pick the right parser among builtins + memo.
     let (filter_registry, parsers) = extended_registries();
     let filter = Arc::new(CompiledFilter::build("memo or http", &filter_registry).unwrap());
-    let mut config = RuntimeConfig::default();
-    config.parsers = parsers;
-    config.filter_registry = filter_registry;
+    let config = RuntimeConfig {
+        parsers,
+        filter_registry,
+        ..RuntimeConfig::default()
+    };
 
     let mut packets = memo_conversation("10.0.0.1:40000", "1.1.1.1:7777", "t", "x", 0);
     // An HTTP conversation that must still be classified as http.

@@ -56,10 +56,7 @@ fn dependency_entries(toml: &str) -> BTreeMap<String, String> {
         }
         let is_dep_section = matches!(
             section.as_str(),
-            "dependencies"
-                | "dev-dependencies"
-                | "build-dependencies"
-                | "workspace.dependencies"
+            "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
         ) || section.starts_with("target.");
         if !is_dep_section {
             continue;

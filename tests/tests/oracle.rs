@@ -19,11 +19,11 @@
 //! though each conjunct is individually unknown. The oracle shares no
 //! code with the DNF/trie pipeline.
 
-use retina_support::proptest::prelude::*;
 use retina_filter::ast::Expr;
 use retina_filter::registry::{FilterLayer, ProtocolRegistry};
 use retina_filter::subfilters::{eval_packet_pred, eval_packet_unary};
 use retina_filter::{CompiledFilter, FilterFns, FilterResult};
+use retina_support::proptest::prelude::*;
 use retina_trafficgen::campus::{generate, CampusConfig};
 use retina_wire::ParsedPacket;
 

@@ -7,8 +7,8 @@
 //! including structure-aware mutations of valid frames, which reach much
 //! deeper into the parsers than pure noise.
 
-use retina_support::proptest::prelude::*;
 use retina_protocols::{ConnParser, Direction};
+use retina_support::proptest::prelude::*;
 use retina_wire::ParsedPacket;
 
 fn parsers() -> Vec<Box<dyn ConnParser>> {

@@ -31,7 +31,9 @@ fn profiled_run(seed: u64) -> RunReport {
 #[test]
 fn accounting_invariant_holds_end_to_end() {
     let report = profiled_run(0xE2E);
-    report.check_accounting().expect("every packet and connection attributed");
+    report
+        .check_accounting()
+        .expect("every packet and connection attributed");
 
     // The connection ledger balances exactly: created = discarded +
     // terminated + expired + drained (the issue's headline invariant).
@@ -154,8 +156,14 @@ fn all_four_exporters_round_trip_final_snapshot() {
     }
     for (name, stage) in &snap.stages {
         let jstage = final_.get("stages").unwrap().get(name).unwrap();
-        assert_eq!(jstage.get("runs").and_then(|v| v.as_u64()), Some(stage.runs));
-        assert_eq!(jstage.get("p99").and_then(|v| v.as_u64()), Some(stage.p99()));
+        assert_eq!(
+            jstage.get("runs").and_then(|v| v.as_u64()),
+            Some(stage.runs)
+        );
+        assert_eq!(
+            jstage.get("p99").and_then(|v| v.as_u64()),
+            Some(stage.p99())
+        );
     }
 
     // CSV: stable header, rows of matching arity (when any samples
