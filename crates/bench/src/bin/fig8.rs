@@ -50,8 +50,8 @@ fn main() {
     let mut peaks: Vec<(&str, usize, LogHistogram)> = Vec::new();
     for (name, timeouts) in schemes {
         let filter = Arc::new(compile("").unwrap());
-        let mut tracker: ConnTracker<ConnRecord, CompiledFilter> =
-            ConnTracker::new(Arc::clone(&filter), timeouts, 500, false);
+        let mut tracker: ConnTracker<CompiledFilter> =
+            ConnTracker::single::<ConnRecord>(Arc::clone(&filter), timeouts, 500, false);
         let mut samples = Vec::new();
         let mut next_sample = SAMPLE_EVERY_NS;
         // Per-packet peak: sampling every 10 sim-seconds can miss a
@@ -65,9 +65,9 @@ fn main() {
             };
             let mut mbuf = retina_nic::Mbuf::from_bytes(frame.clone());
             mbuf.timestamp_ns = *ts;
-            let result = filter.packet_filter(&pkt);
-            if result.is_match() {
-                tracker.process(&mbuf, &pkt, result);
+            let verdict = filter.packet_filter_set(&pkt);
+            if !verdict.is_no_match() {
+                tracker.process(&mbuf, &pkt, verdict);
             }
             let _ = tracker.take_outputs();
             peak_conns = peak_conns.max(tracker.connections());

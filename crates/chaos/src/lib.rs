@@ -25,15 +25,26 @@
 //! which is what lets chaos tests assert accounting invariants and
 //! replay failures bit for bit.
 //!
-//! ```no_run
-//! use retina_chaos::{install, ChaosSource, Fault, FaultPlan};
-//! # let runtime_nic: std::sync::Arc<retina_nic::VirtualNic> = unimplemented!();
-//! # let source: retina_trafficgen::PreloadedSource = unimplemented!();
-//! let plan = FaultPlan::from_seed(0xC0FFEE, 100_000, 4);
+//! ```
+//! use std::sync::Arc;
+//! use retina_chaos::{install, ChaosSource, FaultPlan};
+//! use retina_nic::{DeviceConfig, VirtualNic};
+//! use retina_trafficgen::campus::{generate, CampusConfig};
+//! use retina_trafficgen::PreloadedSource;
+//!
+//! let nic = Arc::new(VirtualNic::new(&DeviceConfig {
+//!     num_queues: 2,
+//!     ..Default::default()
+//! }));
+//! let source = PreloadedSource::new(generate(&CampusConfig::small(0xC0FFEE)));
+//! let plan = FaultPlan::from_seed(0xC0FFEE, source.len() as u64, nic.num_queues());
 //! println!("{}", plan.describe());
-//! install(&runtime_nic, &plan); // device-level faults
+//! let hooks = install(&nic, &plan); // device-level faults
 //! let source = ChaosSource::new(source, &plan); // wire-level faults
-//! // runtime.run(source) ...
+//! // runtime.run(source) would now see both fault levels; afterwards:
+//! nic.clear_fault_hooks();
+//! retina_chaos::disarm_parser_panics();
+//! # let _ = (hooks, source);
 //! ```
 
 #![warn(missing_docs)]

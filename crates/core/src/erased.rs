@@ -1,0 +1,336 @@
+//! Type-erased subscriptions: the glue that lets one pipeline serve N
+//! differently-typed subscriptions.
+//!
+//! A [`crate::Subscribable`] is monomorphic — its tracked state and its
+//! callback both know the concrete output type. To run many of them in a
+//! single pass (one packet filter walk, one connection table, one
+//! reassembler per connection), the runtime stores each subscription
+//! behind object-safe traits:
+//!
+//! * [`ErasedSubscription`] — the subscription *spec*: level, parsers,
+//!   lazy-reconstruction needs, plus factories for per-connection state
+//!   and per-run delivery sinks.
+//! * [`ErasedTracked`] — per-connection state, with outputs boxed as
+//!   [`ErasedOutput`].
+//! * [`ErasedSink`] — delivery: downcasts a boxed output back to the
+//!   concrete type and hands it to the user callback (inline or queued).
+//!
+//! The connection tracker tags every output with its subscription index,
+//! so data always reaches the sink that knows its type; the downcast is
+//! an internal invariant, not a user-visible fallibility.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use retina_conntrack::{Dir, FiveTuple, TcpFlow};
+use retina_nic::Mbuf;
+use retina_protocols::Session;
+use retina_wire::ParsedPacket;
+
+use crate::executor::{spawn_executor, CallbackMode, CallbackSink};
+use crate::subscription::{Level, Subscribable, Tracked};
+
+/// A boxed subscription datum in flight between tracker and sink.
+pub type ErasedOutput = Box<dyn Any + Send>;
+
+/// Object-safe view of a subscription: everything the shared pipeline
+/// needs to know, without the concrete `Subscribable` type.
+pub trait ErasedSubscription: Send + Sync {
+    /// Human-readable name (used in per-subscription telemetry).
+    fn name(&self) -> &str;
+    /// The subscription's abstraction level.
+    fn level(&self) -> Level;
+    /// Application-layer parsers the subscribable type needs.
+    fn parsers(&self) -> Vec<&'static str>;
+    /// Whether the tracked state wants in-order payload bytes.
+    fn needs_stream(&self) -> bool;
+    /// Whether the tracked state wants per-packet delivery after a match.
+    fn needs_packets_post_match(&self) -> bool;
+    /// Creates per-connection tracked state.
+    fn new_tracked(&self, tuple: &FiveTuple, first_ts_ns: u64) -> Box<dyn ErasedTracked>;
+    /// Creates the per-run delivery sink (and, in queued mode, the
+    /// executor thread draining it).
+    fn start_run(
+        &self,
+        mode: CallbackMode,
+    ) -> (Box<dyn ErasedSink>, Option<std::thread::JoinHandle<u64>>);
+}
+
+/// Object-safe per-connection tracked state (`Tracked` with outputs
+/// boxed).
+pub trait ErasedTracked: Send {
+    /// Packet seen before the subscription's filter fully matched.
+    fn pre_match(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket);
+    /// In-order payload bytes (only for matched, stream-needing subs).
+    fn on_stream(&mut self, dir: Dir, data: &[u8]);
+    /// The subscription's filter fully matched.
+    fn on_match(
+        &mut self,
+        service: Option<&str>,
+        session: Option<&Session>,
+        flow: &TcpFlow,
+        out: &mut Vec<ErasedOutput>,
+    );
+    /// Packet seen after a full match.
+    fn post_match(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, out: &mut Vec<ErasedOutput>);
+    /// The connection ended after a full match.
+    fn on_terminate(&mut self, flow: &TcpFlow, out: &mut Vec<ErasedOutput>);
+}
+
+/// Object-safe delivery handle: routes boxed outputs to the typed user
+/// callback.
+pub trait ErasedSink: Send {
+    /// Delivers one boxed datum (must be the sink's concrete type).
+    fn deliver(&self, out: ErasedOutput);
+    /// Packet-level fast path: builds the datum straight from the frame
+    /// and delivers it, bypassing the tracker. Returns whether a datum
+    /// was produced.
+    fn deliver_from_mbuf(&self, mbuf: &Mbuf) -> bool;
+    /// Clones the sink for another worker core.
+    fn clone_box(&self) -> Box<dyn ErasedSink>;
+}
+
+/// Wraps a concrete `Tracked` implementation behind [`ErasedTracked`],
+/// boxing outputs as they are produced.
+struct TypedTracked<T: Tracked> {
+    inner: T,
+    scratch: Vec<T::Out>,
+}
+
+impl<T> TypedTracked<T>
+where
+    T: Tracked,
+    T::Out: Send + 'static,
+{
+    fn flush(&mut self, out: &mut Vec<ErasedOutput>) {
+        for item in self.scratch.drain(..) {
+            out.push(Box::new(item));
+        }
+    }
+}
+
+impl<T> ErasedTracked for TypedTracked<T>
+where
+    T: Tracked,
+    T::Out: Send + 'static,
+{
+    fn pre_match(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket) {
+        self.inner.pre_match(mbuf, pkt);
+    }
+
+    fn on_stream(&mut self, dir: Dir, data: &[u8]) {
+        self.inner.on_stream(dir, data);
+    }
+
+    fn on_match(
+        &mut self,
+        service: Option<&str>,
+        session: Option<&Session>,
+        flow: &TcpFlow,
+        out: &mut Vec<ErasedOutput>,
+    ) {
+        self.inner
+            .on_match(service, session, flow, &mut self.scratch);
+        self.flush(out);
+    }
+
+    fn post_match(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, out: &mut Vec<ErasedOutput>) {
+        self.inner.post_match(mbuf, pkt, &mut self.scratch);
+        self.flush(out);
+    }
+
+    fn on_terminate(&mut self, flow: &TcpFlow, out: &mut Vec<ErasedOutput>) {
+        self.inner.on_terminate(flow, &mut self.scratch);
+        self.flush(out);
+    }
+}
+
+/// A subscription spec binding a subscribable type to a (possibly
+/// absent) user callback.
+///
+/// With a callback this is a full runtime subscription; without one it
+/// is *spec-only* — the tracker still reconstructs and tags outputs, and
+/// the caller drains them itself (the offline mode does this).
+pub struct TypedSubscription<S: Subscribable> {
+    name: String,
+    callback: Option<Arc<dyn Fn(S) + Send + Sync>>,
+    _marker: PhantomData<fn(S)>,
+}
+
+impl<S: Subscribable> TypedSubscription<S> {
+    /// A subscription delivering to `callback`.
+    pub fn new(name: impl Into<String>, callback: impl Fn(S) + Send + Sync + 'static) -> Self {
+        TypedSubscription {
+            name: name.into(),
+            callback: Some(Arc::new(callback)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// A spec-only subscription: tracked state and outputs, no sink.
+    pub fn spec_only(name: impl Into<String>) -> Self {
+        TypedSubscription {
+            name: name.into(),
+            callback: None,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<S: Subscribable> ErasedSubscription for TypedSubscription<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn level(&self) -> Level {
+        S::level()
+    }
+
+    fn parsers(&self) -> Vec<&'static str> {
+        S::parsers()
+    }
+
+    fn needs_stream(&self) -> bool {
+        S::Tracked::needs_stream()
+    }
+
+    fn needs_packets_post_match(&self) -> bool {
+        S::Tracked::needs_packets_post_match()
+    }
+
+    fn new_tracked(&self, tuple: &FiveTuple, first_ts_ns: u64) -> Box<dyn ErasedTracked> {
+        Box::new(TypedTracked::<S::Tracked> {
+            inner: S::Tracked::new(tuple, first_ts_ns),
+            scratch: Vec::new(),
+        })
+    }
+
+    fn start_run(
+        &self,
+        mode: CallbackMode,
+    ) -> (Box<dyn ErasedSink>, Option<std::thread::JoinHandle<u64>>) {
+        let Some(callback) = &self.callback else {
+            return (Box::new(NullSink), None);
+        };
+        match mode {
+            CallbackMode::Inline => (
+                Box::new(TypedSink::<S> {
+                    sink: CallbackSink::Inline(Arc::clone(callback)),
+                }),
+                None,
+            ),
+            CallbackMode::Queued { depth } => {
+                let (tx, handle) = spawn_executor(depth, Arc::clone(callback));
+                (
+                    Box::new(TypedSink::<S> {
+                        sink: CallbackSink::Queued(tx),
+                    }),
+                    Some(handle),
+                )
+            }
+        }
+    }
+}
+
+/// Delivery sink for one concrete subscribable type.
+struct TypedSink<S: Subscribable> {
+    sink: CallbackSink<S>,
+}
+
+impl<S: Subscribable> ErasedSink for TypedSink<S> {
+    fn deliver(&self, out: ErasedOutput) {
+        let data = out
+            .downcast::<S>()
+            .expect("subscription output routed to a sink of another type");
+        self.sink.deliver(*data);
+    }
+
+    fn deliver_from_mbuf(&self, mbuf: &Mbuf) -> bool {
+        match S::from_mbuf(mbuf) {
+            Some(data) => {
+                self.sink.deliver(data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ErasedSink> {
+        Box::new(TypedSink::<S> {
+            sink: self.sink.clone(),
+        })
+    }
+}
+
+/// Sink for spec-only subscriptions: drops everything.
+struct NullSink;
+
+impl ErasedSink for NullSink {
+    fn deliver(&self, _out: ErasedOutput) {}
+
+    fn deliver_from_mbuf(&self, _mbuf: &Mbuf) -> bool {
+        false
+    }
+
+    fn clone_box(&self) -> Box<dyn ErasedSink> {
+        Box::new(NullSink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscribables::ConnRecord;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            orig: "1.2.3.4:1000".parse().unwrap(),
+            resp: "5.6.7.8:443".parse().unwrap(),
+            proto: 6,
+        }
+    }
+
+    #[test]
+    fn typed_subscription_reports_spec() {
+        let sub = TypedSubscription::<ConnRecord>::spec_only("conns");
+        assert_eq!(sub.name(), "conns");
+        assert_eq!(sub.level(), Level::Connection);
+        assert!(!sub.needs_stream());
+        let (sink, handle) = sub.start_run(CallbackMode::Inline);
+        assert!(handle.is_none());
+        // Spec-only sinks swallow outputs without panicking.
+        let t = tuple();
+        let mut tracked = sub.new_tracked(&t, 0);
+        let flow = TcpFlow::new(0, 16);
+        let mut out = Vec::new();
+        tracked.on_match(None, None, &flow, &mut out);
+        tracked.on_terminate(&flow, &mut out);
+        for o in out {
+            sink.deliver(o);
+        }
+    }
+
+    #[test]
+    fn typed_sink_downcasts_and_delivers() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let sub = TypedSubscription::<ConnRecord>::new("conns", move |_r: ConnRecord| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let (sink, handle) = sub.start_run(CallbackMode::Inline);
+        assert!(handle.is_none());
+        let t = tuple();
+        let mut tracked = sub.new_tracked(&t, 0);
+        let flow = TcpFlow::new(0, 16);
+        let mut out = Vec::new();
+        tracked.on_terminate(&flow, &mut out);
+        assert_eq!(out.len(), 1);
+        let sink2 = sink.clone_box();
+        for o in out {
+            sink2.deliver(o);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod erased;
 pub mod executor;
 pub mod governor;
 pub mod monitor;
@@ -69,11 +70,15 @@ pub mod tracker;
 pub mod util;
 
 pub use config::RuntimeConfig;
+pub use erased::{ErasedOutput, ErasedSink, ErasedSubscription, ErasedTracked, TypedSubscription};
 pub use executor::CallbackMode;
 pub use governor::{Governor, GovernorBrain, GovernorConfig, GovernorReport, ShedState};
 pub use monitor::{Monitor, MonitorSample};
 pub use offline::run_offline;
-pub use runtime::{RunReport, Runtime, RuntimeGauges, TrafficSource};
+pub use runtime::{
+    MultiRuntime, RunReport, Runtime, RuntimeBuilder, RuntimeError, RuntimeGauges, SubReport,
+    TrafficSource,
+};
 pub use stats::{CoreStats, StageStats};
 pub use subscription::{Level, Subscribable, Tracked};
 

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use retina_filter::{FilterFns, FilterResult};
+use retina_filter::FilterFns;
 use retina_nic::Mbuf;
 use retina_support::bytes::Bytes;
 use retina_wire::ParsedPacket;
@@ -30,7 +30,7 @@ where
     S: Subscribable,
     F: FilterFns + 'static,
 {
-    let mut tracker: ConnTracker<S, F> = ConnTracker::with_registry(
+    let mut tracker: ConnTracker<F> = ConnTracker::single_with_registry::<S>(
         Arc::clone(filter),
         config.timeouts,
         config.ooo_capacity,
@@ -50,36 +50,41 @@ where
             continue;
         };
         tracker.stats.packet_filter.runs += 1;
-        let result = filter.packet_filter(&pkt);
-        match result {
-            FilterResult::NoMatch => {}
-            FilterResult::MatchTerminal(_) if S::level() == Level::Packet => {
-                if let Some(data) = S::from_mbuf(&mbuf) {
-                    tracker.stats.callbacks.runs += 1;
-                    callback(data);
-                }
+        let verdict = filter.packet_filter_set(&pkt);
+        if verdict.is_no_match() {
+            // Rejected at the packet layer: no further work.
+        } else if verdict.matched.contains(0) && S::level() == Level::Packet {
+            // Bypass: callback straight off the packet filter.
+            if let Some(data) = S::from_mbuf(&mbuf) {
+                tracker.stats.callbacks.runs += 1;
+                tracker.sub_tallies[0].delivered += 1;
+                callback(data);
             }
-            _ => {
-                tracker.process(&mbuf, &pkt, result);
-                for data in tracker.take_outputs() {
-                    tracker.stats.callbacks.runs += 1;
-                    callback(data);
-                }
-            }
+        } else {
+            tracker.process(&mbuf, &pkt, verdict);
+            deliver::<S, F>(&mut tracker, &mut callback);
         }
         count += 1;
         if count.is_multiple_of(1024) {
             tracker.advance(max_ts);
-            for data in tracker.take_outputs() {
-                tracker.stats.callbacks.runs += 1;
-                callback(data);
-            }
+            deliver::<S, F>(&mut tracker, &mut callback);
         }
     }
     tracker.drain();
-    for data in tracker.take_outputs() {
-        tracker.stats.callbacks.runs += 1;
-        callback(data);
-    }
+    deliver::<S, F>(&mut tracker, &mut callback);
     tracker.stats
+}
+
+/// Drains tagged tracker outputs back to the concrete callback type.
+fn deliver<S: Subscribable, F: FilterFns>(
+    tracker: &mut ConnTracker<F>,
+    callback: &mut impl FnMut(S),
+) {
+    for (_idx, out) in tracker.take_outputs() {
+        tracker.stats.callbacks.runs += 1;
+        let data = out
+            .downcast::<S>()
+            .expect("single-subscription tracker produced a foreign output type");
+        callback(*data);
+    }
 }

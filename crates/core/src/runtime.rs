@@ -1,17 +1,43 @@
 //! The multi-core runtime (Figure 2's run-time half).
 //!
-//! [`Runtime::run`] spawns one ingest thread (the "wire") and one worker
-//! thread per configured core. The ingest thread pushes frames from a
-//! [`TrafficSource`] into the virtual NIC, which applies hardware flow
-//! rules and symmetric RSS; each worker polls its own RX queue and runs
-//! the per-core pipeline — packet filter, connection tracker, callback —
-//! with no cross-core communication (§5.1).
+//! [`MultiRuntime::run`] spawns one ingest thread (the "wire") and one
+//! worker thread per configured core. The ingest thread pushes frames
+//! from a [`TrafficSource`] into the virtual NIC, which applies hardware
+//! flow rules and symmetric RSS; each worker polls its own RX queue and
+//! runs the per-core pipeline — packet filter, connection tracker,
+//! callbacks — with no cross-core communication (§5.1).
+//!
+//! ## One pipeline, N subscriptions
+//!
+//! A [`MultiRuntime`] serves any number of subscriptions in a single
+//! pass: their filters are merged into one predicate trie (see
+//! `retina_filter::PredicateTrie::from_sources`), so each packet is
+//! filtered **once** no matter how many subscriptions are registered,
+//! and each connection is tracked, reassembled, and parsed **once**,
+//! with per-subscription actions decided by `SubscriptionSet` bitmaps
+//! at every layer. Build one with [`RuntimeBuilder`]:
+//!
+//! ```no_run
+//! use retina_core::{RuntimeBuilder, RuntimeConfig};
+//! use retina_core::subscribables::{ConnRecord, TlsHandshakeData};
+//!
+//! let mut runtime = RuntimeBuilder::new(RuntimeConfig::default())
+//!     .subscribe("tls", |hs: TlsHandshakeData| println!("{}", hs.tls.sni()))
+//!     .subscribe("ipv4 and tcp", |c: ConnRecord| println!("{}", c.tuple))
+//!     .build()
+//!     .unwrap();
+//! // runtime.run(source) — see retina-trafficgen for traffic sources.
+//! # let _ = &mut runtime;
+//! ```
+//!
+//! [`Runtime`] remains the single-subscription view from Figure 1; it is
+//! a thin wrapper over a one-entry [`MultiRuntime`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use retina_filter::{CompiledFilter, FilterFns, FilterResult};
+use retina_filter::{CompiledFilter, FilterFns, PacketVerdict, SubscriptionSet};
 use retina_nic::{PortStatsSnapshot, VirtualNic};
 use retina_support::bytes::Bytes;
 use retina_telemetry::{
@@ -21,11 +47,11 @@ use retina_telemetry::{
 use retina_wire::ParsedPacket;
 
 use crate::config::RuntimeConfig;
-use crate::executor::{spawn_executor, CallbackMode, CallbackSink};
+use crate::erased::{ErasedSink, ErasedSubscription, TypedSubscription};
 use crate::governor::{Governor, GovernorConfig, ShedState};
 use crate::stats::CoreStats;
 use crate::subscription::{Level, Subscribable};
-use crate::tracker::ConnTracker;
+use crate::tracker::{ConnTracker, SubTally};
 use crate::util::rdtsc;
 
 /// A source of timestamped frames for the virtual NIC (the "wire").
@@ -145,17 +171,35 @@ impl RuntimeGauges {
 pub enum RuntimeError {
     /// The filter's hardware rules were rejected by the device.
     HwFilter(String),
+    /// A subscription filter failed to parse or compile.
+    Filter(String),
+    /// The subscription table does not line up with the merged filter.
+    Subscriptions(String),
 }
 
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuntimeError::HwFilter(msg) => write!(f, "hardware filter installation: {msg}"),
+            RuntimeError::Filter(msg) => write!(f, "filter compilation: {msg}"),
+            RuntimeError::Subscriptions(msg) => write!(f, "subscription table: {msg}"),
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// Per-subscription outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct SubReport {
+    /// Subscription name (as registered with the builder).
+    pub name: String,
+    /// Data items delivered to the subscription's callback.
+    pub delivered: u64,
+    /// Connections on which the subscription was engaged and then
+    /// rejected by a later filter layer.
+    pub discarded: u64,
+}
 
 /// Result of a completed run.
 #[derive(Debug, Clone)]
@@ -166,6 +210,8 @@ pub struct RunReport {
     pub nic: PortStatsSnapshot,
     /// Merged per-core pipeline statistics.
     pub cores: CoreStats,
+    /// Per-subscription delivery/discard outcomes, in registration order.
+    pub subs: Vec<SubReport>,
     /// Simulated time span covered by the traffic (ns).
     pub sim_duration_ns: u64,
     /// Peak mempool occupancy over the run (buffers).
@@ -194,6 +240,11 @@ impl RunReport {
     /// exhaustion — the paper's zero-loss criterion.
     pub fn zero_loss(&self) -> bool {
         self.nic.lost() == 0
+    }
+
+    /// Total data items delivered across all subscriptions.
+    pub fn delivered(&self) -> u64 {
+        self.subs.iter().map(|s| s.delivered).sum()
     }
 
     /// The run's complete drop taxonomy: the NIC's packet-subject
@@ -281,6 +332,10 @@ impl RunReport {
             ("nic.rx_offered".to_string(), self.nic.rx_offered),
             ("nic.sunk".to_string(), self.nic.sunk),
         ];
+        for sub in &self.subs {
+            counters.push((format!("sub.{}.delivered", sub.name), sub.delivered));
+            counters.push((format!("sub.{}.discarded", sub.name), sub.discarded));
+        }
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let gauges = vec![
             ("mbuf_high_water".to_string(), self.mbuf_high_water as u64),
@@ -298,12 +353,13 @@ impl RunReport {
     /// two runs of the same seeded workload (paced ingest, static sink
     /// fraction) must produce identical digests bit for bit.
     ///
-    /// Includes every NIC counter and every deterministic core counter.
-    /// Excludes wall-clock time and cycle measurements (machine- and
-    /// schedule-dependent), and merges `conns_expired + conns_drained`
-    /// into one `conns_retired` line — whether an idle connection is
-    /// expired by the last maintenance tick or drained at shutdown
-    /// depends on poll scheduling, but their sum does not.
+    /// Includes every NIC counter, every deterministic core counter, and
+    /// every per-subscription tally. Excludes wall-clock time and cycle
+    /// measurements (machine- and schedule-dependent), and merges
+    /// `conns_expired + conns_drained` into one `conns_retired` line —
+    /// whether an idle connection is expired by the last maintenance
+    /// tick or drained at shutdown depends on poll scheduling, but their
+    /// sum does not.
     pub fn deterministic_digest(&self) -> String {
         let lines = [
             ("nic.rx_offered", self.nic.rx_offered),
@@ -348,6 +404,12 @@ impl RunReport {
             out.push_str(&value.to_string());
             out.push('\n');
         }
+        for (i, sub) in self.subs.iter().enumerate() {
+            out.push_str(&format!(
+                "sub.{i}.delivered={}\nsub.{i}.discarded={}\n",
+                sub.delivered, sub.discarded
+            ));
+        }
         out
     }
 
@@ -383,44 +445,125 @@ impl RunReport {
     }
 }
 
-/// The Retina runtime: a subscription bound to a virtual NIC and worker
-/// cores.
-pub struct Runtime<S: Subscribable, F: FilterFns + 'static> {
+/// Builds a [`MultiRuntime`]: register any number of typed subscriptions,
+/// each with its own filter and callback, then [`RuntimeBuilder::build`]
+/// merges the filters into a single [`CompiledFilter`] trie so the whole
+/// set is decided in one pass per packet.
+pub struct RuntimeBuilder {
+    config: RuntimeConfig,
+    sources: Vec<String>,
+    subs: Vec<Arc<dyn ErasedSubscription>>,
+}
+
+impl RuntimeBuilder {
+    /// Starts a builder over `config`.
+    pub fn new(config: RuntimeConfig) -> Self {
+        RuntimeBuilder {
+            config,
+            sources: Vec::new(),
+            subs: Vec::new(),
+        }
+    }
+
+    /// Registers a subscription: deliver traffic matching `filter` as
+    /// values of type `S` to `callback`. Named `sub<N>` in telemetry;
+    /// use [`RuntimeBuilder::subscribe_named`] to pick the name.
+    pub fn subscribe<S: Subscribable>(
+        self,
+        filter: &str,
+        callback: impl Fn(S) + Send + Sync + 'static,
+    ) -> Self {
+        let name = format!("sub{}", self.subs.len());
+        self.subscribe_named(name, filter, callback)
+    }
+
+    /// [`RuntimeBuilder::subscribe`] with an explicit telemetry name.
+    pub fn subscribe_named<S: Subscribable>(
+        mut self,
+        name: impl Into<String>,
+        filter: &str,
+        callback: impl Fn(S) + Send + Sync + 'static,
+    ) -> Self {
+        self.sources.push(filter.to_string());
+        self.subs
+            .push(Arc::new(TypedSubscription::<S>::new(name, callback)));
+        self
+    }
+
+    /// Merges the registered filters and builds the runtime. The merged
+    /// trie is compiled exactly once; hardware rules are synthesized from
+    /// it (the union of every subscription's rules, deduplicated).
+    pub fn build(self) -> Result<MultiRuntime<CompiledFilter>, RuntimeError> {
+        if self.subs.is_empty() {
+            return Err(RuntimeError::Subscriptions(
+                "no subscriptions registered".to_string(),
+            ));
+        }
+        let srcs: Vec<&str> = self.sources.iter().map(|s| s.as_str()).collect();
+        let filter = CompiledFilter::build_union(&srcs, &self.config.filter_registry)
+            .map_err(|e| RuntimeError::Filter(e.to_string()))?;
+        MultiRuntime::new(self.config, filter, self.subs)
+    }
+}
+
+/// The Retina runtime: N subscriptions bound to a virtual NIC and worker
+/// cores, served by one shared pipeline.
+pub struct MultiRuntime<F: FilterFns + 'static> {
     config: RuntimeConfig,
     filter: Arc<F>,
-    callback: Arc<dyn Fn(S) + Send + Sync>,
+    subs: Vec<Arc<dyn ErasedSubscription>>,
     nic: Arc<VirtualNic>,
     gauges: Arc<RuntimeGauges>,
     shed: Arc<ShedState>,
 }
 
-impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
-    /// Creates a runtime from a configuration, filter, and callback
-    /// (Figure 1's `Runtime::new(cfg, filter, callback)`).
+impl<F: FilterFns + 'static> MultiRuntime<F> {
+    /// Creates a runtime from a configuration, a (possibly merged)
+    /// filter, and the subscription table the filter was built for.
+    ///
+    /// The filter is used as-is: hardware rules come from
+    /// [`FilterFns::hw_rules`], so the filter is compiled exactly once
+    /// (interpreted filters hold their trie; macro-generated filters
+    /// re-derive it here, once, instead of per-call).
     pub fn new(
         config: RuntimeConfig,
         filter: F,
-        callback: impl Fn(S) + Send + Sync + 'static,
+        subs: Vec<Arc<dyn ErasedSubscription>>,
     ) -> Result<Self, RuntimeError> {
+        if subs.len() != filter.num_subscriptions() {
+            return Err(RuntimeError::Subscriptions(format!(
+                "{} subscriptions registered but the filter decides {}",
+                subs.len(),
+                filter.num_subscriptions(),
+            )));
+        }
+        if subs.len() > SubscriptionSet::MAX {
+            return Err(RuntimeError::Subscriptions(format!(
+                "at most {} subscriptions per runtime (got {})",
+                SubscriptionSet::MAX,
+                subs.len(),
+            )));
+        }
         let mut device = config.device.clone();
         device.num_queues = config.cores;
         let nic = Arc::new(VirtualNic::new(&device));
         if config.hw_filtering {
-            // Re-derive the trie from the filter source and synthesize
-            // device-compatible rules (§4.1). Works identically for
-            // interpreted and macro-generated filters.
-            let compiled = CompiledFilter::build(filter.source(), &config.filter_registry)
+            // Synthesize device-compatible rules (§4.1) straight from the
+            // filter — for a merged filter, the deduplicated union of
+            // every subscription's rules.
+            let rules = filter
+                .hw_rules(device.caps, &config.filter_registry)
                 .map_err(|e| RuntimeError::HwFilter(e.to_string()))?;
-            for rule in compiled.hw_rules(device.caps) {
+            for rule in rules {
                 nic.install_rule(rule)
                     .map_err(|e| RuntimeError::HwFilter(e.to_string()))?;
             }
         }
         let gauges = Arc::new(RuntimeGauges::new(config.cores as usize));
-        Ok(Runtime {
+        Ok(MultiRuntime {
             config,
             filter: Arc::new(filter),
-            callback: Arc::new(callback),
+            subs,
             nic,
             gauges,
             shed: Arc::new(ShedState::new()),
@@ -445,8 +588,8 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
     }
 
     /// Starts an overload governor against this runtime. Call before
-    /// (or during) [`Runtime::run`]; stop it after the run to collect
-    /// the decision stream.
+    /// (or during) [`MultiRuntime::run`]; stop it after the run to
+    /// collect the decision stream.
     pub fn start_governor(&self, config: GovernorConfig) -> Governor {
         Governor::start(
             Arc::clone(&self.nic),
@@ -490,68 +633,160 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
             })
         };
 
-        // Callback execution model (§5.3): inline on the worker, or a
-        // dedicated executor thread fed over a bounded channel.
-        let (sink, executor) = match self.config.callback_mode {
-            CallbackMode::Inline => (CallbackSink::Inline(Arc::clone(&self.callback)), None),
-            CallbackMode::Queued { depth } => {
-                let (tx, handle) = spawn_executor(depth, Arc::clone(&self.callback));
-                (CallbackSink::Queued(tx), Some(handle))
+        // Callback execution model (§5.3): inline on the worker, or one
+        // dedicated executor thread per subscription fed over a bounded
+        // channel.
+        let mut sinks: Vec<Box<dyn ErasedSink>> = Vec::with_capacity(self.subs.len());
+        let mut executors = Vec::new();
+        for sub in &self.subs {
+            let (sink, handle) = sub.start_run(self.config.callback_mode);
+            sinks.push(sink);
+            if let Some(handle) = handle {
+                executors.push(handle);
             }
-        };
+        }
+
+        // Which subscriptions take the packet-level fast path (callback
+        // straight off the packet filter, no connection state).
+        let mut packet_mask = SubscriptionSet::empty();
+        for (i, sub) in self.subs.iter().enumerate() {
+            if sub.level() == Level::Packet {
+                packet_mask.insert(i);
+            }
+        }
 
         // Worker threads: one per core.
         let mut workers = Vec::new();
         for core in 0..self.config.cores {
             let nic = Arc::clone(&self.nic);
             let filter = Arc::clone(&self.filter);
-            let sink = sink.clone();
+            let subs = self.subs.clone();
+            let sinks: Vec<Box<dyn ErasedSink>> = sinks.iter().map(|s| s.clone_box()).collect();
             let done = Arc::clone(&ingest_done);
             let gauges = Arc::clone(&self.gauges);
             let shed = Arc::clone(&self.shed);
             let config = self.config.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop::<S, F>(core, &nic, &filter, &sink, &done, &gauges, &shed, &config)
+                worker_loop::<F>(
+                    core,
+                    &nic,
+                    &filter,
+                    &subs,
+                    sinks,
+                    packet_mask,
+                    &done,
+                    &gauges,
+                    &shed,
+                    &config,
+                )
             }));
         }
-        drop(sink);
+        drop(sinks);
 
         let sim_duration_ns = ingest.join().expect("ingest thread panicked");
         let mut cores = CoreStats::default();
+        let mut tallies = vec![SubTally::default(); self.subs.len()];
         for w in workers {
-            let stats = w.join().expect("worker thread panicked");
+            let (stats, worker_tallies) = w.join().expect("worker thread panicked");
             cores.merge(&stats);
+            for (total, t) in tallies.iter_mut().zip(&worker_tallies) {
+                total.merge(t);
+            }
         }
-        if let Some(handle) = executor {
-            // All worker-held senders are dropped: the executor drains its
-            // queue and exits.
+        for handle in executors {
+            // All worker-held senders are dropped: each executor drains
+            // its queue and exits.
             let _ = handle.join().expect("executor thread panicked");
         }
+        let subs = self
+            .subs
+            .iter()
+            .zip(&tallies)
+            .map(|(sub, t)| SubReport {
+                name: sub.name().to_string(),
+                delivered: t.delivered,
+                discarded: t.discarded,
+            })
+            .collect();
         let mbuf_high_water = self.nic.mempool().high_water();
         self.gauges.note_mbuf_high_water(mbuf_high_water);
         RunReport {
             elapsed: start.elapsed(),
             nic: self.nic.stats(),
             cores,
+            subs,
             sim_duration_ns,
             mbuf_high_water,
         }
     }
 }
 
+/// The single-subscription runtime from Figure 1: one filter, one
+/// callback. A thin wrapper over a one-entry [`MultiRuntime`].
+pub struct Runtime<S: Subscribable, F: FilterFns + 'static> {
+    inner: MultiRuntime<F>,
+    _marker: std::marker::PhantomData<fn(S)>,
+}
+
+impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
+    /// Creates a runtime from a configuration, filter, and callback
+    /// (Figure 1's `Runtime::new(cfg, filter, callback)`).
+    pub fn new(
+        config: RuntimeConfig,
+        filter: F,
+        callback: impl Fn(S) + Send + Sync + 'static,
+    ) -> Result<Self, RuntimeError> {
+        let sub: Arc<dyn ErasedSubscription> =
+            Arc::new(TypedSubscription::<S>::new("sub0", callback));
+        Ok(Runtime {
+            inner: MultiRuntime::new(config, filter, vec![sub])?,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The virtual NIC (for sink-fraction control and port stats).
+    pub fn nic(&self) -> &Arc<VirtualNic> {
+        self.inner.nic()
+    }
+
+    /// Live gauges for external monitoring.
+    pub fn gauges(&self) -> Arc<RuntimeGauges> {
+        self.inner.gauges()
+    }
+
+    /// The runtime's shedding flags (shared with workers).
+    pub fn shed_state(&self) -> Arc<ShedState> {
+        self.inner.shed_state()
+    }
+
+    /// Starts an overload governor against this runtime.
+    pub fn start_governor(&self, config: GovernorConfig) -> Governor {
+        self.inner.start_governor(config)
+    }
+
+    /// Runs the pipeline over a traffic source to completion, returning
+    /// aggregate statistics.
+    pub fn run(&mut self, source: impl TrafficSource + 'static) -> RunReport {
+        self.inner.run(source)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
-fn worker_loop<S: Subscribable, F: FilterFns>(
+fn worker_loop<F: FilterFns>(
     core: u16,
     nic: &VirtualNic,
     filter: &Arc<F>,
-    callback: &CallbackSink<S>,
+    subs: &[Arc<dyn ErasedSubscription>],
+    sinks: Vec<Box<dyn ErasedSink>>,
+    packet_mask: SubscriptionSet,
     ingest_done: &AtomicBool,
     gauges: &RuntimeGauges,
     shed: &ShedState,
     config: &RuntimeConfig,
-) -> CoreStats {
-    let mut tracker: ConnTracker<S, F> = ConnTracker::with_registry(
+) -> (CoreStats, Vec<SubTally>) {
+    let mut tracker: ConnTracker<F> = ConnTracker::with_registry(
         Arc::clone(filter),
+        subs,
         config.timeouts,
         config.ooo_capacity,
         config.profile_stages,
@@ -561,6 +796,21 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
     let mut max_ts = 0u64;
     let mut since_advance = 0usize;
     let profile = config.profile_stages;
+
+    // Shared per-delivery bookkeeping: count the callback and time it.
+    macro_rules! deliver {
+        ($idx:expr, $out:expr) => {{
+            let tc = profile.then(rdtsc);
+            tracker.stats.callbacks.runs += 1;
+            sinks[$idx].deliver($out);
+            if let Some(t) = tc {
+                tracker
+                    .stats
+                    .callbacks
+                    .record_cycles(rdtsc().wrapping_sub(t));
+            }
+        }};
+    }
 
     loop {
         // Injected worker-core slowdown (fault layer): stall before
@@ -603,9 +853,10 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                 continue;
             };
 
-            // Software packet filter (§4.1) — inlined per-packet.
+            // Software packet filter (§4.1) — one walk decides every
+            // subscription.
             let tf = profile.then(rdtsc);
-            let result = filter.packet_filter(&pkt);
+            let verdict = filter.packet_filter_set(&pkt);
             tracker.stats.packet_filter.runs += 1;
             if let Some(t) = tf {
                 tracker
@@ -613,45 +864,47 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
                     .packet_filter
                     .record_cycles(rdtsc().wrapping_sub(t));
             }
-            match result {
-                FilterResult::NoMatch => continue,
-                FilterResult::MatchTerminal(_) if S::level() == Level::Packet => {
-                    // Bypass: callback straight off the packet filter.
-                    if let Some(data) = S::from_mbuf(&mbuf) {
-                        let tc = profile.then(rdtsc);
-                        tracker.stats.callbacks.runs += 1;
-                        callback.deliver(data);
-                        if let Some(t) = tc {
-                            tracker
-                                .stats
-                                .callbacks
-                                .record_cycles(rdtsc().wrapping_sub(t));
-                        }
-                    }
-                    continue;
-                }
-                _ => {}
+            if verdict.is_no_match() {
+                continue;
             }
-            tracker.process(&mbuf, &pkt, result);
-            for data in tracker.take_outputs() {
-                tracker.stats.callbacks.runs += 1;
+
+            // Bypass: packet-level subscriptions whose filter matched
+            // terminally get their callback straight off the packet
+            // filter, no connection state.
+            let bypass = verdict.matched & packet_mask;
+            for i in bypass.iter() {
                 let tc = profile.then(rdtsc);
-                callback.deliver(data);
-                if let Some(t) = tc {
-                    tracker
-                        .stats
-                        .callbacks
-                        .record_cycles(rdtsc().wrapping_sub(t));
+                if sinks[i].deliver_from_mbuf(&mbuf) {
+                    tracker.stats.callbacks.runs += 1;
+                    tracker.sub_tallies[i].delivered += 1;
+                    if let Some(t) = tc {
+                        tracker
+                            .stats
+                            .callbacks
+                            .record_cycles(rdtsc().wrapping_sub(t));
+                    }
                 }
+            }
+
+            let verdict = PacketVerdict {
+                matched: verdict.matched - packet_mask,
+                live: verdict.live,
+                frontiers: verdict.frontiers,
+            };
+            if verdict.is_no_match() {
+                continue;
+            }
+            tracker.process(&mbuf, &pkt, verdict);
+            for (idx, out) in tracker.take_outputs() {
+                deliver!(idx as usize, out);
             }
         }
         since_advance += 1;
         if since_advance >= 64 {
             since_advance = 0;
             tracker.advance(max_ts);
-            for data in tracker.take_outputs() {
-                tracker.stats.callbacks.runs += 1;
-                callback.deliver(data);
+            for (idx, out) in tracker.take_outputs() {
+                deliver!(idx as usize, out);
             }
             gauges.worker_update(
                 core as usize,
@@ -665,10 +918,9 @@ fn worker_loop<S: Subscribable, F: FilterFns>(
 
     // Drain still-open connections at end of input.
     tracker.drain();
-    for data in tracker.take_outputs() {
-        tracker.stats.callbacks.runs += 1;
-        callback.deliver(data);
+    for (idx, out) in tracker.take_outputs() {
+        deliver!(idx as usize, out);
     }
     gauges.worker_update(core as usize, &tracker.stats, 0, 0, max_ts);
-    tracker.stats
+    (tracker.stats, tracker.sub_tallies)
 }

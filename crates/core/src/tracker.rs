@@ -1,5 +1,5 @@
 //! The per-core connection tracker: Retina's subscription-specific state
-//! machine (Figure 4).
+//! machine (Figure 4), generalized to N concurrent subscriptions.
 //!
 //! Every tracked connection moves through the states
 //!
@@ -9,28 +9,39 @@
 //! TRACK --(terminate/expire)----> deliver connection-level data
 //! ```
 //!
-//! with the transitions derived automatically from the subscription
-//! level, the filter's layers, and each protocol module's
+//! with the transitions derived automatically from each subscription's
+//! level, the merged filter's layers, and each protocol module's
 //! `session_match_state`/`session_nomatch_state`. The tracker is where
 //! the paper's lazy-reconstruction wins come from: connections that fail
 //! the connection or session filter stop consuming reassembly, parsing,
 //! and memory immediately, and subscriptions that are done with a
 //! connection (e.g. a delivered TLS handshake) remove it mid-stream.
+//!
+//! In the multi-subscription design the connection carries two
+//! [`SubscriptionSet`]s — `matched` (filter fully satisfied, data being
+//! delivered) and `live` (filter still undecided) — and every need
+//! (reassembly, probing, parsing, per-packet hooks) is computed as the
+//! **union over the still-active subscriptions**. As subscriptions fall
+//! off (filter rejection or early completion), their per-connection
+//! state is dropped eagerly; the connection itself leaves the table when
+//! the last subscription does.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use retina_conntrack::{
     ConnEntry, ConnKey, ConnTable, Dir, FiveTuple, Reassembled, TcpFlow, TimeoutConfig,
 };
-use retina_filter::{FilterFns, FilterResult};
+use retina_filter::{FilterFns, Frontiers, PacketVerdict, SubscriptionSet};
 use retina_nic::Mbuf;
 use retina_protocols::{
     ConnParser, Direction, ParseResult, ParserRegistry, ProbeResult, SessionState,
 };
 use retina_wire::ParsedPacket;
 
+use crate::erased::{ErasedOutput, ErasedSubscription, ErasedTracked, TypedSubscription};
 use crate::stats::CoreStats;
-use crate::subscription::{Level, Subscribable, Tracked};
+use crate::subscription::{Level, Subscribable};
 use crate::util::rdtsc;
 
 /// Cap on bytes buffered per direction while probing for the protocol.
@@ -43,7 +54,9 @@ struct ProbeState {
     buf_tc: Vec<u8>,
 }
 
-/// Connection processing phase (Figure 4 states).
+/// Connection processing phase (Figure 4 states), shared by all
+/// subscriptions on the connection: the probe/parse machinery runs once
+/// per connection no matter how many subscriptions consume it.
 enum Phase {
     /// Probing the stream prefix for the application-layer protocol.
     Probing(ProbeState),
@@ -54,22 +67,39 @@ enum Phase {
     },
     /// Tracking without app-layer processing (counters + delivery hooks).
     Tracking,
-    /// Filter failed: retained as a tombstone so subsequent packets do no
-    /// work; removed by timeout.
+    /// Every subscription fell off: retained as a tombstone so subsequent
+    /// packets do no work; removed by timeout.
     Dropped,
 }
 
 /// Per-connection tracker state.
-struct Conn<T> {
+struct Conn {
     flow: TcpFlow,
-    tracked: T,
+    /// Per-subscription reconstruction state; `None` once the
+    /// subscription fell off the connection (state dropped eagerly).
+    tracked: Vec<Option<Box<dyn ErasedTracked>>>,
     phase: Phase,
-    /// Deepest packet-filter node matched (resumes filter evaluation).
-    pkt_term_node: usize,
-    /// Whether the full filter has matched.
-    matched: bool,
+    /// Packet-filter frontiers (opaque resume points for the conn and
+    /// session sub-filters).
+    frontiers: Frontiers,
+    /// Active subscriptions whose filter fully matched.
+    matched: SubscriptionSet,
+    /// Active subscriptions whose filter is still undecided.
+    live: SubscriptionSet,
+    /// Active subscriptions still needing probe/parse progress: the
+    /// still-live ones plus matched session-level ones whose protocol
+    /// keeps producing sessions.
+    want_parse: SubscriptionSet,
+    /// Whether any subscription completed early on this connection.
+    done_any: bool,
     /// Probed service name (set on protocol identification).
     service: Option<&'static str>,
+}
+
+impl Conn {
+    fn active(&self) -> SubscriptionSet {
+        self.matched | self.live
+    }
 }
 
 /// Why a connection left the table.
@@ -93,331 +123,165 @@ enum DiscardCause {
 #[derive(PartialEq, Eq, Clone, Copy, Debug)]
 enum Disposition {
     Keep,
-    /// Remove the connection now (subscription finished with it).
+    /// Remove the connection now (every subscription finished with it).
     RemoveDone,
 }
 
-/// The per-core connection tracker.
-pub struct ConnTracker<S: Subscribable, F: FilterFns> {
-    table: ConnTable<Conn<S::Tracked>>,
-    filter: Arc<F>,
-    registry: ParserRegistry,
-    probe_protos: Vec<String>,
-    ooo_capacity: usize,
-    profile: bool,
-    /// Load-shedding flag mirrored from the governor: while set, probe
-    /// and parse work is skipped (connections hold their phase) so the
-    /// core's cycles go to packet delivery instead of session parsing.
-    shed_parsing: bool,
-    /// Per-stage statistics for this core.
-    pub stats: CoreStats,
-    outputs: Vec<S>,
-    /// Recently-closed connections (TIME_WAIT analogue): trailing packets
-    /// of a removed connection (e.g. the final ACK after FIN/FIN, or the
-    /// encrypted tail after a delivered TLS handshake) must not recreate
-    /// state.
-    closed: std::collections::HashMap<ConnKey, u64>,
+/// Per-subscription delivery/discard tallies for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubTally {
+    /// Subscription data items delivered.
+    pub delivered: u64,
+    /// Connections on which the subscription was engaged (matched or
+    /// live) and then rejected by a later filter layer.
+    pub discarded: u64,
 }
 
-/// How long a removed connection's key stays in the closed set.
-const TIME_WAIT_NS: u64 = 10_000_000_000;
-
-impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
-    /// Creates a tracker for one core with the default protocol modules.
-    pub fn new(
-        filter: Arc<F>,
-        timeouts: TimeoutConfig,
-        ooo_capacity: usize,
-        profile: bool,
-    ) -> Self {
-        Self::with_registry(
-            filter,
-            timeouts,
-            ooo_capacity,
-            profile,
-            ParserRegistry::default(),
-        )
+impl SubTally {
+    /// Merges another core's tally into this one.
+    pub fn merge(&mut self, other: &SubTally) {
+        self.delivered += other.delivered;
+        self.discarded += other.discarded;
     }
+}
 
-    /// Creates a tracker with a custom parser registry (§3.3).
-    pub fn with_registry(
-        filter: Arc<F>,
-        timeouts: TimeoutConfig,
-        ooo_capacity: usize,
-        profile: bool,
-        registry: ParserRegistry,
-    ) -> Self {
-        let mut probe_protos = filter.conn_protocols();
-        for p in S::parsers() {
-            if !probe_protos.iter().any(|x| x == p) {
-                probe_protos.push(p.to_string());
-            }
+/// Per-subscription spec resolved against the merged filter.
+struct SubSpec {
+    erased: Arc<dyn ErasedSubscription>,
+    /// Protocols that can resolve this subscription's filter at the
+    /// connection layer, plus the parsers its subscribable type needs.
+    probe_protos: Vec<String>,
+}
+
+/// Disjoint borrows of the tracker shared by the stream-processing
+/// helpers, so per-connection state (borrowed from the table) and
+/// tracker-level state can be mutated together.
+struct Ctx<'a, F: FilterFns> {
+    filter: &'a Arc<F>,
+    stats: &'a mut CoreStats,
+    tallies: &'a mut [SubTally],
+    outputs: &'a mut Vec<(u32, ErasedOutput)>,
+    session_mask: SubscriptionSet,
+    stream_mask: SubscriptionSet,
+    post_mask: SubscriptionSet,
+    profile: bool,
+    shed_parsing: bool,
+}
+
+impl<F: FilterFns> Ctx<'_, F> {
+    /// Delivers `on_match` for subscription `i` and tags its outputs.
+    fn emit_match(
+        &mut self,
+        conn: &mut Conn,
+        i: usize,
+        service: Option<&str>,
+        session: Option<&retina_protocols::Session>,
+    ) {
+        let mut tmp = Vec::new();
+        if let Some(t) = conn.tracked[i].as_mut() {
+            t.on_match(service, session, &conn.flow, &mut tmp);
         }
-        ConnTracker {
-            table: ConnTable::new(timeouts),
-            filter,
-            registry,
-            probe_protos,
-            ooo_capacity,
-            profile,
-            shed_parsing: false,
-            stats: CoreStats::default(),
-            outputs: Vec::new(),
-            closed: std::collections::HashMap::new(),
+        for o in tmp {
+            self.outputs.push((i as u32, o));
+            self.tallies[i].delivered += 1;
         }
     }
 
-    /// Number of connections currently tracked (Figure 8's metric).
-    pub fn connections(&self) -> usize {
-        self.table.len()
-    }
-
-    /// Takes the subscription data produced since the last call.
-    pub fn take_outputs(&mut self) -> Vec<S> {
-        std::mem::take(&mut self.outputs)
-    }
-
-    /// Sets the parsing-shed flag (governor overload response, tier 1).
-    /// While shed, probing and parsing connections stop consuming
-    /// reassembly and parser cycles — they keep counting-only sequence
-    /// tracking and resume where they left off once restored.
-    pub fn set_shed_parsing(&mut self, shed: bool) {
-        self.shed_parsing = shed;
-    }
-
-    /// Whether session-parsing work is currently shed.
-    pub fn shed_parsing(&self) -> bool {
-        self.shed_parsing
-    }
-
-    /// Estimated bytes of connection state in memory (table entries plus
-    /// probe buffers), for the Figure 8 memory series.
-    pub fn state_bytes(&self) -> usize {
-        let per_conn = std::mem::size_of::<ConnEntry<Conn<S::Tracked>>>() + 64;
-        let mut total = self.table.len() * per_conn;
-        for (_, entry) in self.table.iter() {
-            if let Phase::Probing(ps) = &entry.value.phase {
-                total += ps.buf_ts.capacity() + ps.buf_tc.capacity();
-            }
+    /// Drops subscription `i` from the connection after a filter
+    /// rejection: state released, tally charged.
+    fn kill_sub(&mut self, conn: &mut Conn, i: usize) {
+        if conn.tracked[i].take().is_some() {
+            self.tallies[i].discarded += 1;
         }
-        total
+        conn.live.remove(i);
+        conn.matched.remove(i);
+        conn.want_parse.remove(i);
     }
 
-    fn initial_phase(&self, matched: bool) -> Phase {
-        if S::level() == Level::Session || !matched {
-            if self.probe_protos.is_empty() {
-                // Nothing can ever resolve the filter at the conn layer;
-                // this happens only for non-terminal packet matches with
-                // no conn predicates, which the trie construction rules
-                // out — but degrade gracefully.
-                return if matched {
-                    Phase::Tracking
-                } else {
-                    Phase::Dropped
-                };
+    /// Retires subscription `i` because it is fully served (e.g. its TLS
+    /// handshake was delivered and it needs nothing further).
+    fn finish_sub(&mut self, conn: &mut Conn, i: usize) {
+        conn.tracked[i] = None;
+        conn.matched.remove(i);
+        conn.want_parse.remove(i);
+        conn.done_any = true;
+    }
+
+    /// Settles the connection after subscriptions changed state: keeps
+    /// it (possibly demoted to plain tracking), removes it early when
+    /// every subscription completed, or tombstones it when the last
+    /// subscription was rejected (attributed to `cause`).
+    fn settle(&mut self, conn: &mut Conn, cause: DiscardCause) -> Disposition {
+        if !conn.active().is_empty() {
+            if conn.want_parse.is_empty() && !matches!(conn.phase, Phase::Dropped) {
+                conn.phase = Phase::Tracking;
             }
-            Phase::Probing(ProbeState {
-                parsers: self.registry.new_parsers(&self.probe_protos),
-                buf_ts: Vec::new(),
-                buf_tc: Vec::new(),
-            })
+            Disposition::Keep
+        } else if conn.done_any {
+            Disposition::RemoveDone
         } else {
-            Phase::Tracking
-        }
-    }
-
-    /// Processes one packet that the software packet filter matched.
-    pub fn process(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, filter_result: FilterResult) {
-        // Time the whole tracker pass here (not in the body) so early
-        // exits — TIME_WAIT trailing packets, key collisions — still
-        // land in the stage histogram.
-        let t0 = self.profile.then(rdtsc);
-        self.stats.conn_tracking.runs += 1;
-        self.process_inner(mbuf, pkt, filter_result);
-        if let Some(t) = t0 {
-            self.stats
-                .conn_tracking
-                .record_cycles(rdtsc().wrapping_sub(t));
-        }
-    }
-
-    fn process_inner(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, filter_result: FilterResult) {
-        let now = mbuf.timestamp_ns;
-        let key = ConnKey::from_packet(pkt);
-
-        if self.table.get_mut(&key).is_none() {
-            match self.closed.get(&key) {
-                Some(&closed_at) if now < closed_at.saturating_add(TIME_WAIT_NS) => {
-                    return; // trailing packet of a closed connection
-                }
-                Some(_) => {
-                    self.closed.remove(&key);
-                }
-                None => {}
-            }
-            self.stats.conns_created += 1;
-            let tuple = FiveTuple::from_packet(pkt);
-            let matched = filter_result.is_terminal();
-            let phase = self.initial_phase(matched);
-            if matches!(phase, Phase::Dropped) {
-                // Degraded path: the filter can never match this
-                // connection, so it is born a tombstone. Attribute it
-                // now — finalize() skips dropped connections.
-                self.stats.conns_discarded += 1;
-                self.stats.discard_conn_filter += 1;
-            }
-            let mut conn = Conn {
-                flow: TcpFlow::new(now, self.ooo_capacity),
-                tracked: S::Tracked::new(&tuple, now),
-                phase,
-                pkt_term_node: filter_result.node().unwrap_or(0),
-                matched,
-                service: None,
-            };
-            if matched && S::level() != Level::Session {
-                // Filter fully decided at the packet layer: emit whatever
-                // the subscription has ready (Figure 4a's "run callback").
-                conn.tracked
-                    .on_match(None, None, &conn.flow, &mut self.outputs);
-            }
-            self.table.get_or_insert_with(key, now, || (tuple, conn));
-        }
-
-        let entry = self.table.get_mut(&key).expect("just inserted");
-        let Some(dir) = entry.tuple.dir_of(pkt) else {
-            return; // key collision across address families: ignore
-        };
-        entry.last_seen_ns = now;
-        let conn = &mut entry.value;
-        // Decide whether reconstructed bytes are still needed *before*
-        // updating the flow: Track/Dropped connections get counting-only
-        // sequence tracking, never buffering (§5.2). Under governor
-        // shedding, probe/parse work is skipped too — those connections
-        // degrade to counting-only until fidelity is restored.
-        let app_needed =
-            matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. }) && !self.shed_parsing;
-        let stream_needed =
-            app_needed || (S::Tracked::needs_stream() && !matches!(conn.phase, Phase::Dropped));
-        let update = conn.flow.update(pkt, mbuf, dir, now, stream_needed);
-        entry.established = conn.flow.established;
-
-        // Subscription packet hooks.
-        if conn.matched {
-            if S::Tracked::needs_packets_post_match() {
-                conn.tracked.post_match(mbuf, pkt, &mut self.outputs);
-            }
-        } else if !matches!(conn.phase, Phase::Dropped) {
-            conn.tracked.pre_match(mbuf, pkt);
-        }
-
-        // Stream processing: only while the app layer still needs bytes.
-        let mut disposition = Disposition::Keep;
-        if stream_needed {
-            match update.reassembly {
-                Reassembled::InOrder => {
-                    let tr = self.profile.then(rdtsc);
-                    self.stats.reassembly.runs += 1;
-                    let payload = pkt.payload(mbuf.data());
-                    if !payload.is_empty() {
-                        disposition = Self::stream_data(
-                            &self.filter,
-                            &mut self.stats,
-                            &mut self.outputs,
-                            self.profile,
-                            self.shed_parsing,
-                            &entry.tuple,
-                            conn,
-                            dir,
-                            payload,
-                        );
-                    }
-                    // Flush any buffered successors the hole-fill released.
-                    loop {
-                        if disposition != Disposition::Keep {
-                            break;
-                        }
-                        let flushed = conn.flow.reassembler(dir).flush();
-                        if flushed.is_empty() {
-                            break;
-                        }
-                        for fmbuf in flushed {
-                            if disposition != Disposition::Keep {
-                                break;
-                            }
-                            let Ok(fpkt) = ParsedPacket::parse(fmbuf.data()) else {
-                                continue;
-                            };
-                            let fpayload = fpkt.payload(fmbuf.data());
-                            if fpayload.is_empty() {
-                                continue;
-                            }
-                            self.stats.reassembly.runs += 1;
-                            disposition = Self::stream_data(
-                                &self.filter,
-                                &mut self.stats,
-                                &mut self.outputs,
-                                self.profile,
-                                self.shed_parsing,
-                                &entry.tuple,
-                                conn,
-                                dir,
-                                fpayload,
-                            );
-                        }
-                    }
-                    if let Some(t) = tr {
-                        self.stats.reassembly.record_cycles(rdtsc().wrapping_sub(t));
-                    }
-                }
-                Reassembled::Buffered => {
-                    self.stats.reassembly.runs += 1;
-                    self.stats.ooo_buffered += 1;
-                }
-                Reassembled::Duplicate | Reassembled::OverCapacity => {}
-            }
-        } else if update.reassembly == Reassembled::Buffered {
-            // Counting-only mode still surfaces out-of-order arrivals.
-            self.stats.ooo_buffered += 1;
-        }
-
-        let terminated = update.terminated;
-        if disposition == Disposition::RemoveDone {
-            // Subscription is finished with this connection (e.g. TLS
-            // handshake delivered): remove mid-stream (§5.2). Counted
-            // within conns_discarded (early removal) but attributed
-            // separately — this is a win, not a filter rejection.
-            self.table.remove(&key);
-            self.closed.insert(key, now);
             self.stats.conns_discarded += 1;
-            self.stats.conns_completed_early += 1;
-        } else if terminated {
-            if let Some(entry) = self.table.remove(&key) {
-                self.closed.insert(key, now);
-                self.finalize(entry, FinalizeReason::Terminated);
+            match cause {
+                DiscardCause::ConnFilter => self.stats.discard_conn_filter += 1,
+                DiscardCause::SessionFilter => self.stats.discard_session_filter += 1,
+            }
+            conn.phase = Phase::Dropped;
+            Disposition::Keep
+        }
+    }
+
+    /// The connection layer can no longer resolve anything (probe
+    /// overflow, every candidate eliminated, or a parse error): all
+    /// still-live subscriptions fall off, parsing stops.
+    fn conn_layer_failed(&mut self, conn: &mut Conn) -> Disposition {
+        for i in conn.live.iter() {
+            self.kill_sub(conn, i);
+        }
+        conn.want_parse = SubscriptionSet::empty();
+        self.settle(conn, DiscardCause::ConnFilter)
+    }
+
+    /// Applies the connection-filter verdict for a freshly identified
+    /// `service`: live subscriptions either match now, stay live for the
+    /// session filter, or fall off.
+    fn apply_conn_verdict(&mut self, conn: &mut Conn, service: &'static str) {
+        let v = self
+            .filter
+            .conn_filter_set(Some(service), &conn.frontiers, conn.live);
+        let dying = conn.live - (v.matched | v.live);
+        for i in dying.iter() {
+            self.kill_sub(conn, i);
+        }
+        conn.live = v.live;
+        for i in v.matched.iter() {
+            conn.matched.insert(i);
+            if !self.session_mask.contains(i) {
+                // Connection-level (or packet-level) subscription fully
+                // decided: deliver and stop parsing on its behalf.
+                conn.want_parse.remove(i);
+                self.emit_match(conn, i, Some(service), None);
             }
         }
     }
 
-    /// Feeds in-order payload through probe/parse and the subscription's
-    /// stream hook. Free of `&mut self` so field borrows stay disjoint.
-    #[allow(clippy::too_many_arguments)]
+    /// Feeds in-order payload through probe/parse and the subscriptions'
+    /// stream hooks.
     fn stream_data(
-        filter: &Arc<F>,
-        stats: &mut CoreStats,
-        outputs: &mut Vec<S>,
-        profile: bool,
-        shed_parsing: bool,
+        &mut self,
         tuple: &FiveTuple,
-        conn: &mut Conn<S::Tracked>,
+        conn: &mut Conn,
         dir: Dir,
         data: &[u8],
     ) -> Disposition {
-        if S::Tracked::needs_stream() && conn.matched {
-            conn.tracked.on_stream(dir, data);
+        let stream_subs = conn.matched & self.stream_mask;
+        for i in stream_subs.iter() {
+            if let Some(t) = conn.tracked[i].as_mut() {
+                t.on_stream(dir, data);
+            }
         }
-        // Shed tier 1: the stream hook above still runs (packet
+        // Shed tier 1: the stream hooks above still run (packet
         // delivery work), but probe/parse make no progress.
-        if shed_parsing && matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. }) {
+        if self.shed_parsing && matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. }) {
             return Disposition::Keep;
         }
         let pdir = match dir {
@@ -431,7 +295,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                     Direction::ToClient => &mut ps.buf_tc,
                 };
                 if buf.len() + data.len() > PROBE_BUFFER_CAP {
-                    return Self::probe_failed(filter, stats, outputs, conn);
+                    return self.conn_layer_failed(conn);
                 }
                 buf.extend_from_slice(data);
 
@@ -455,7 +319,7 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                             parser.probe(buf, d)
                         }))
                         .unwrap_or_else(|_| {
-                            stats.parser_panics += 1;
+                            self.stats.parser_panics += 1;
                             ProbeResult::NotForUs
                         });
                         match probed {
@@ -481,38 +345,21 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                     let buf_tc = std::mem::take(&mut ps.buf_tc);
                     conn.service = Some(service);
 
-                    // Connection filter (Figure 4's first pseudostate).
-                    if !conn.matched {
-                        let r = filter.conn_filter(Some(service), conn.pkt_term_node);
-                        match r {
-                            FilterResult::NoMatch => {
-                                return Self::discard(stats, conn, tuple, DiscardCause::ConnFilter);
-                            }
-                            FilterResult::MatchTerminal(_) => {
-                                conn.matched = true;
-                                if S::level() != Level::Session {
-                                    conn.tracked
-                                        .on_match(Some(service), None, &conn.flow, outputs);
-                                    conn.phase = Phase::Tracking;
-                                    return Disposition::Keep;
-                                }
-                            }
-                            FilterResult::MatchNonTerminal(_) => {}
-                        }
-                    } else if S::level() != Level::Session {
-                        // Already matched and sessions are not needed.
-                        conn.phase = Phase::Tracking;
-                        return Disposition::Keep;
+                    // Connection filter (Figure 4's first pseudostate)
+                    // over the still-live subscriptions.
+                    self.apply_conn_verdict(conn, service);
+                    if conn.want_parse.is_empty() {
+                        // Nothing needs sessions: track, remove early, or
+                        // tombstone depending on what is left.
+                        return self.settle(conn, DiscardCause::ConnFilter);
                     }
-
                     conn.phase = Phase::Parsing { parser, service };
                     // Replay the buffered prefixes through the parser.
                     for (buf, d) in [(buf_ts, Direction::ToServer), (buf_tc, Direction::ToClient)] {
                         if buf.is_empty() {
                             continue;
                         }
-                        let disp =
-                            Self::parse_data(filter, stats, outputs, profile, tuple, conn, &buf, d);
+                        let disp = self.parse_data(tuple, conn, &buf, d);
                         if disp != Disposition::Keep {
                             return disp;
                         }
@@ -523,70 +370,20 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                     let mut keep_iter = alive.into_iter();
                     ps.parsers.retain(|_| keep_iter.next().unwrap_or(false));
                     if ps.parsers.is_empty() {
-                        return Self::probe_failed(filter, stats, outputs, conn);
+                        return self.conn_layer_failed(conn);
                     }
                     Disposition::Keep
                 }
             }
-            Phase::Parsing { .. } => {
-                Self::parse_data(filter, stats, outputs, profile, tuple, conn, data, pdir)
-            }
+            Phase::Parsing { .. } => self.parse_data(tuple, conn, data, pdir),
             Phase::Tracking | Phase::Dropped => Disposition::Keep,
         }
     }
 
-    fn probe_failed(
-        filter: &Arc<F>,
-        stats: &mut CoreStats,
-        _outputs: &mut Vec<S>,
-        conn: &mut Conn<S::Tracked>,
-    ) -> Disposition {
-        if conn.matched {
-            // Filter satisfied but no parser applies (e.g. a session-level
-            // subscription on a non-TLS connection): nothing more to do at
-            // the app layer.
-            conn.phase = Phase::Tracking;
-            Disposition::Keep
-        } else {
-            let r = filter.conn_filter(None, conn.pkt_term_node);
-            if r.is_match() {
-                conn.matched = true;
-                conn.phase = Phase::Tracking;
-                Disposition::Keep
-            } else {
-                stats.conns_discarded += 1;
-                stats.discard_conn_filter += 1;
-                conn.phase = Phase::Dropped;
-                Disposition::Keep
-            }
-        }
-    }
-
-    fn discard(
-        stats: &mut CoreStats,
-        conn: &mut Conn<S::Tracked>,
-        tuple: &FiveTuple,
-        cause: DiscardCause,
-    ) -> Disposition {
-        stats.conns_discarded += 1;
-        match cause {
-            DiscardCause::ConnFilter => stats.discard_conn_filter += 1,
-            DiscardCause::SessionFilter => stats.discard_session_filter += 1,
-        }
-        conn.phase = Phase::Dropped;
-        // Release anything the subscription buffered pre-match.
-        conn.tracked = S::Tracked::new(tuple, conn.flow.first_seen_ns);
-        Disposition::Keep
-    }
-
-    #[allow(clippy::too_many_arguments)]
     fn parse_data(
-        filter: &Arc<F>,
-        stats: &mut CoreStats,
-        outputs: &mut Vec<S>,
-        profile: bool,
-        tuple: &FiveTuple,
-        conn: &mut Conn<S::Tracked>,
+        &mut self,
+        _tuple: &FiveTuple,
+        conn: &mut Conn,
         data: &[u8],
         pdir: Direction,
     ) -> Disposition {
@@ -594,8 +391,8 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
             return Disposition::Keep;
         };
         let service = *service;
-        let tp = profile.then(rdtsc);
-        stats.app_parsing.runs += 1;
+        let tp = self.profile.then(rdtsc);
+        self.stats.app_parsing.runs += 1;
         // A panicking protocol parser must not take the worker core (and
         // its whole RX queue) down with it: convert the panic into a
         // recoverable parse error and let the filter decide the
@@ -603,11 +400,13 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parser.parse(data, pdir)))
                 .unwrap_or_else(|_| {
-                    stats.parser_panics += 1;
+                    self.stats.parser_panics += 1;
                     ParseResult::Error
                 });
         if let Some(t) = tp {
-            stats.app_parsing.record_cycles(rdtsc().wrapping_sub(t));
+            self.stats
+                .app_parsing
+                .record_cycles(rdtsc().wrapping_sub(t));
         }
         match result {
             ParseResult::Continue => Disposition::Keep,
@@ -615,79 +414,488 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                 let sessions = parser.drain_sessions();
                 let match_state = parser.session_match_state();
                 let nomatch_state = parser.session_nomatch_state();
-                let mut any_matched = false;
-                let mut any_failed = false;
-                for session in sessions {
-                    let ts = profile.then(rdtsc);
-                    stats.session_filter.runs += 1;
-                    let pass = conn.matched || filter.session_filter(&session, conn.pkt_term_node);
+                if sessions.is_empty() {
+                    return Disposition::Keep;
+                }
+                for session in &sessions {
+                    let ts = self.profile.then(rdtsc);
+                    self.stats.session_filter.runs += 1;
+                    let hits = self
+                        .filter
+                        .session_filter_set(session, &conn.frontiers, conn.live);
                     if let Some(t) = ts {
-                        stats.session_filter.record_cycles(rdtsc().wrapping_sub(t));
+                        self.stats
+                            .session_filter
+                            .record_cycles(rdtsc().wrapping_sub(t));
                     }
-                    if pass {
-                        any_matched = true;
-                        let first = !conn.matched;
-                        conn.matched = true;
-                        if S::level() == Level::Session || first {
-                            conn.tracked.on_match(
-                                Some(service),
-                                Some(&session),
-                                &conn.flow,
-                                outputs,
-                            );
-                        }
-                    } else {
-                        any_failed = true;
+                    // Matched session-level subscriptions receive every
+                    // session the protocol produces.
+                    let sess_matched = conn.matched & self.session_mask;
+                    for i in sess_matched.iter() {
+                        self.emit_match(conn, i, Some(service), Some(session));
+                    }
+                    // Still-live subscriptions whose session predicate
+                    // passed: first full match.
+                    for i in hits.iter() {
+                        conn.live.remove(i);
+                        conn.matched.insert(i);
+                        self.emit_match(conn, i, Some(service), Some(session));
                     }
                 }
-                if any_matched {
-                    match match_state {
-                        SessionState::Remove => {
-                            // The protocol is done producing sessions.
-                            if S::level() == Level::Session
-                                && !S::Tracked::needs_packets_post_match()
-                                && !S::Tracked::needs_stream()
-                            {
-                                // Drop the connection mid-stream: the
-                                // paper's TLS-handshake optimization.
-                                Disposition::RemoveDone
-                            } else {
-                                conn.phase = Phase::Tracking;
-                                Disposition::Keep
-                            }
+                // Batch disposition. Subscriptions that matched stop
+                // parsing when the protocol is done producing sessions;
+                // session-level ones with nothing further to deliver are
+                // fully served and retire from the connection.
+                if match_state == SessionState::Remove {
+                    let stop = conn.matched & conn.want_parse;
+                    for i in stop.iter() {
+                        conn.want_parse.remove(i);
+                        if self.session_mask.contains(i)
+                            && !self.post_mask.contains(i)
+                            && !self.stream_mask.contains(i)
+                        {
+                            self.finish_sub(conn, i);
                         }
-                        SessionState::KeepParsing => Disposition::Keep,
                     }
-                } else if any_failed {
-                    match nomatch_state {
-                        SessionState::Remove => {
-                            if conn.matched {
-                                conn.phase = Phase::Tracking;
-                                Disposition::Keep
-                            } else {
-                                Self::discard(stats, conn, tuple, DiscardCause::SessionFilter)
-                            }
-                        }
-                        SessionState::KeepParsing => Disposition::Keep,
+                }
+                // Still-live subscriptions that passed nothing in a
+                // nonempty batch failed the session filter.
+                if nomatch_state == SessionState::Remove {
+                    for i in conn.live.iter() {
+                        self.kill_sub(conn, i);
                     }
-                } else {
-                    Disposition::Keep
+                }
+                self.settle(conn, DiscardCause::SessionFilter)
+            }
+            ParseResult::Error => self.conn_layer_failed(conn),
+        }
+    }
+}
+
+/// The per-core connection tracker, serving N subscriptions in one pass.
+pub struct ConnTracker<F: FilterFns> {
+    table: ConnTable<Conn>,
+    filter: Arc<F>,
+    registry: ParserRegistry,
+    subs: Vec<SubSpec>,
+    /// All subscription indices (guards against verdicts wider than the
+    /// subscription table).
+    all_mask: SubscriptionSet,
+    /// Session-level subscriptions.
+    session_mask: SubscriptionSet,
+    /// Subscriptions whose tracked state wants in-order payload bytes.
+    stream_mask: SubscriptionSet,
+    /// Subscriptions wanting per-packet delivery after a match.
+    post_mask: SubscriptionSet,
+    /// Memoized probe-candidate unions, keyed by want-parse bitmap.
+    probe_cache: HashMap<u64, Arc<Vec<String>>>,
+    ooo_capacity: usize,
+    profile: bool,
+    /// Load-shedding flag mirrored from the governor: while set, probe
+    /// and parse work is skipped (connections hold their phase) so the
+    /// core's cycles go to packet delivery instead of session parsing.
+    shed_parsing: bool,
+    /// Per-stage statistics for this core.
+    pub stats: CoreStats,
+    /// Per-subscription delivery/discard tallies for this core.
+    pub sub_tallies: Vec<SubTally>,
+    outputs: Vec<(u32, ErasedOutput)>,
+    /// Recently-closed connections (TIME_WAIT analogue): trailing packets
+    /// of a removed connection (e.g. the final ACK after FIN/FIN, or the
+    /// encrypted tail after a delivered TLS handshake) must not recreate
+    /// state.
+    closed: HashMap<ConnKey, u64>,
+}
+
+/// How long a removed connection's key stays in the closed set.
+const TIME_WAIT_NS: u64 = 10_000_000_000;
+
+impl<F: FilterFns> ConnTracker<F> {
+    /// Creates a tracker for one core with the default protocol modules.
+    pub fn new(
+        filter: Arc<F>,
+        subs: &[Arc<dyn ErasedSubscription>],
+        timeouts: TimeoutConfig,
+        ooo_capacity: usize,
+        profile: bool,
+    ) -> Self {
+        Self::with_registry(
+            filter,
+            subs,
+            timeouts,
+            ooo_capacity,
+            profile,
+            ParserRegistry::default(),
+        )
+    }
+
+    /// Creates a single-subscription tracker for subscribable type `S`
+    /// (outputs are drained through [`ConnTracker::take_outputs`]).
+    pub fn single<S: Subscribable>(
+        filter: Arc<F>,
+        timeouts: TimeoutConfig,
+        ooo_capacity: usize,
+        profile: bool,
+    ) -> Self {
+        let sub: Arc<dyn ErasedSubscription> = Arc::new(TypedSubscription::<S>::spec_only("sub0"));
+        Self::new(filter, &[sub], timeouts, ooo_capacity, profile)
+    }
+
+    /// [`ConnTracker::single`] with a custom parser registry.
+    pub fn single_with_registry<S: Subscribable>(
+        filter: Arc<F>,
+        timeouts: TimeoutConfig,
+        ooo_capacity: usize,
+        profile: bool,
+        registry: ParserRegistry,
+    ) -> Self {
+        let sub: Arc<dyn ErasedSubscription> = Arc::new(TypedSubscription::<S>::spec_only("sub0"));
+        Self::with_registry(filter, &[sub], timeouts, ooo_capacity, profile, registry)
+    }
+
+    /// Creates a tracker with a custom parser registry (§3.3).
+    pub fn with_registry(
+        filter: Arc<F>,
+        subs: &[Arc<dyn ErasedSubscription>],
+        timeouts: TimeoutConfig,
+        ooo_capacity: usize,
+        profile: bool,
+        registry: ParserRegistry,
+    ) -> Self {
+        assert!(
+            subs.len() <= SubscriptionSet::MAX,
+            "at most {} subscriptions per tracker",
+            SubscriptionSet::MAX
+        );
+        let mut session_mask = SubscriptionSet::empty();
+        let mut stream_mask = SubscriptionSet::empty();
+        let mut post_mask = SubscriptionSet::empty();
+        let mut specs = Vec::with_capacity(subs.len());
+        for (i, sub) in subs.iter().enumerate() {
+            if sub.level() == Level::Session {
+                session_mask.insert(i);
+            }
+            if sub.needs_stream() {
+                stream_mask.insert(i);
+            }
+            if sub.needs_packets_post_match() {
+                post_mask.insert(i);
+            }
+            let mut probe_protos = filter.conn_protocols_for(i);
+            for p in sub.parsers() {
+                if !probe_protos.iter().any(|x| x == p) {
+                    probe_protos.push(p.to_string());
                 }
             }
-            ParseResult::Error => {
-                if conn.matched {
-                    conn.phase = Phase::Tracking;
-                    Disposition::Keep
+            specs.push(SubSpec {
+                erased: Arc::clone(sub),
+                probe_protos,
+            });
+        }
+        ConnTracker {
+            table: ConnTable::new(timeouts),
+            filter,
+            registry,
+            all_mask: SubscriptionSet::first_n(specs.len()),
+            session_mask,
+            stream_mask,
+            post_mask,
+            probe_cache: HashMap::new(),
+            ooo_capacity,
+            profile,
+            shed_parsing: false,
+            stats: CoreStats::default(),
+            sub_tallies: vec![SubTally::default(); specs.len()],
+            outputs: Vec::new(),
+            closed: HashMap::new(),
+            subs: specs,
+        }
+    }
+
+    /// Number of connections currently tracked (Figure 8's metric).
+    pub fn connections(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Takes the subscription data produced since the last call, each
+    /// tagged with its subscription index.
+    pub fn take_outputs(&mut self) -> Vec<(u32, ErasedOutput)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Sets the parsing-shed flag (governor overload response, tier 1).
+    /// While shed, probing and parsing connections stop consuming
+    /// reassembly and parser cycles — they keep counting-only sequence
+    /// tracking and resume where they left off once restored.
+    pub fn set_shed_parsing(&mut self, shed: bool) {
+        self.shed_parsing = shed;
+    }
+
+    /// Whether session-parsing work is currently shed.
+    pub fn shed_parsing(&self) -> bool {
+        self.shed_parsing
+    }
+
+    /// Estimated bytes of connection state in memory (table entries plus
+    /// probe buffers), for the Figure 8 memory series.
+    pub fn state_bytes(&self) -> usize {
+        let per_conn = std::mem::size_of::<ConnEntry<Conn>>() + 64;
+        let mut total = self.table.len() * per_conn;
+        for (_, entry) in self.table.iter() {
+            if let Phase::Probing(ps) = &entry.value.phase {
+                total += ps.buf_ts.capacity() + ps.buf_tc.capacity();
+            }
+        }
+        total
+    }
+
+    /// The probe-candidate union for a want-parse set: each
+    /// subscription's conn-layer filter protocols plus its subscribable
+    /// type's parsers, deduplicated in subscription order. Memoized —
+    /// distinct want-parse sets are few (bounded by packet-filter
+    /// outcomes), connections are many.
+    fn probe_protos_for(&mut self, want: SubscriptionSet) -> Arc<Vec<String>> {
+        if let Some(cached) = self.probe_cache.get(&want.bits()) {
+            return Arc::clone(cached);
+        }
+        let mut protos: Vec<String> = Vec::new();
+        for i in want.iter() {
+            for p in &self.subs[i].probe_protos {
+                if !protos.contains(p) {
+                    protos.push(p.clone());
+                }
+            }
+        }
+        let protos = Arc::new(protos);
+        self.probe_cache.insert(want.bits(), Arc::clone(&protos));
+        protos
+    }
+
+    /// Processes one packet that the software packet filter matched for
+    /// at least one subscription.
+    pub fn process(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, verdict: PacketVerdict) {
+        // Time the whole tracker pass here (not in the body) so early
+        // exits — TIME_WAIT trailing packets, key collisions — still
+        // land in the stage histogram.
+        let t0 = self.profile.then(rdtsc);
+        self.stats.conn_tracking.runs += 1;
+        self.process_inner(mbuf, pkt, verdict);
+        if let Some(t) = t0 {
+            self.stats
+                .conn_tracking
+                .record_cycles(rdtsc().wrapping_sub(t));
+        }
+    }
+
+    fn process_inner(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, verdict: PacketVerdict) {
+        let now = mbuf.timestamp_ns;
+        let key = ConnKey::from_packet(pkt);
+
+        if self.table.get_mut(&key).is_none() {
+            match self.closed.get(&key) {
+                Some(&closed_at) if now < closed_at.saturating_add(TIME_WAIT_NS) => {
+                    return; // trailing packet of a closed connection
+                }
+                Some(_) => {
+                    self.closed.remove(&key);
+                }
+                None => {}
+            }
+            self.stats.conns_created += 1;
+            let tuple = FiveTuple::from_packet(pkt);
+            let matched = verdict.matched & self.all_mask;
+            let mut live = verdict.live & self.all_mask;
+            // Parsing is needed by undecided subscriptions and by
+            // matched session-level ones (they consume every session).
+            let mut want_parse = live | (matched & self.session_mask);
+            let engaged = matched | live;
+            let mut tracked: Vec<Option<Box<dyn ErasedTracked>>> = Vec::new();
+            for i in 0..self.subs.len() {
+                tracked.push(
+                    engaged
+                        .contains(i)
+                        .then(|| self.subs[i].erased.new_tracked(&tuple, now)),
+                );
+            }
+            let phase;
+            if want_parse.is_empty() {
+                phase = if matched.is_empty() {
+                    Phase::Dropped
                 } else {
-                    let r = filter.conn_filter(None, conn.pkt_term_node);
-                    if r.is_match() {
-                        conn.matched = true;
-                        conn.phase = Phase::Tracking;
-                        Disposition::Keep
+                    Phase::Tracking
+                };
+            } else {
+                let protos = self.probe_protos_for(want_parse);
+                if protos.is_empty() {
+                    // Degraded path: no parser can ever resolve the
+                    // still-live filters, so those subscriptions are
+                    // born dead; matched ones carry the connection.
+                    for i in live.iter() {
+                        if tracked[i].take().is_some() {
+                            self.sub_tallies[i].discarded += 1;
+                        }
+                    }
+                    live = SubscriptionSet::empty();
+                    want_parse = SubscriptionSet::empty();
+                    phase = if matched.is_empty() {
+                        Phase::Dropped
                     } else {
-                        Self::discard(stats, conn, tuple, DiscardCause::ConnFilter)
+                        Phase::Tracking
+                    };
+                } else {
+                    phase = Phase::Probing(ProbeState {
+                        parsers: self.registry.new_parsers(&protos),
+                        buf_ts: Vec::new(),
+                        buf_tc: Vec::new(),
+                    });
+                }
+            }
+            if matches!(phase, Phase::Dropped) {
+                // The filter can never match this connection for anyone:
+                // born a tombstone. Attribute it now — finalize() skips
+                // dropped connections.
+                self.stats.conns_discarded += 1;
+                self.stats.discard_conn_filter += 1;
+            }
+            let mut conn = Conn {
+                flow: TcpFlow::new(now, self.ooo_capacity),
+                tracked,
+                phase,
+                frontiers: verdict.frontiers,
+                matched,
+                live,
+                want_parse,
+                done_any: false,
+                service: None,
+            };
+            // Filter fully decided at the packet layer for these
+            // subscriptions: emit whatever they have ready (Figure 4a's
+            // "run callback"). Session-level ones wait for sessions.
+            for i in (matched - self.session_mask).iter() {
+                let mut tmp = Vec::new();
+                if let Some(t) = conn.tracked[i].as_mut() {
+                    t.on_match(None, None, &conn.flow, &mut tmp);
+                }
+                for o in tmp {
+                    self.outputs.push((i as u32, o));
+                    self.sub_tallies[i].delivered += 1;
+                }
+            }
+            self.table.get_or_insert_with(key, now, || (tuple, conn));
+        }
+
+        let entry = self.table.get_mut(&key).expect("just inserted");
+        let Some(dir) = entry.tuple.dir_of(pkt) else {
+            return; // key collision across address families: ignore
+        };
+        entry.last_seen_ns = now;
+        let conn = &mut entry.value;
+        let mut ctx = Ctx {
+            filter: &self.filter,
+            stats: &mut self.stats,
+            tallies: &mut self.sub_tallies,
+            outputs: &mut self.outputs,
+            session_mask: self.session_mask,
+            stream_mask: self.stream_mask,
+            post_mask: self.post_mask,
+            profile: self.profile,
+            shed_parsing: self.shed_parsing,
+        };
+        // Decide whether reconstructed bytes are still needed *before*
+        // updating the flow: Track/Dropped connections get counting-only
+        // sequence tracking, never buffering (§5.2), unless an active
+        // subscription wants the stream. Under governor shedding,
+        // probe/parse work is skipped too — those connections degrade to
+        // counting-only until fidelity is restored.
+        let app_needed =
+            matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. }) && !ctx.shed_parsing;
+        let stream_needed = app_needed || !(conn.active() & ctx.stream_mask).is_empty();
+        let update = conn.flow.update(pkt, mbuf, dir, now, stream_needed);
+        entry.established = conn.flow.established;
+
+        // Subscription packet hooks: matched subscriptions that want
+        // post-match packets get them; undecided ones buffer lazily.
+        for i in conn.active().iter() {
+            if conn.matched.contains(i) {
+                if ctx.post_mask.contains(i) {
+                    let mut tmp = Vec::new();
+                    if let Some(t) = conn.tracked[i].as_mut() {
+                        t.post_match(mbuf, pkt, &mut tmp);
+                    }
+                    for o in tmp {
+                        ctx.outputs.push((i as u32, o));
+                        ctx.tallies[i].delivered += 1;
                     }
                 }
+            } else if let Some(t) = conn.tracked[i].as_mut() {
+                t.pre_match(mbuf, pkt);
+            }
+        }
+
+        // Stream processing: only while the app layer still needs bytes.
+        let mut disposition = Disposition::Keep;
+        if stream_needed {
+            match update.reassembly {
+                Reassembled::InOrder => {
+                    let tr = ctx.profile.then(rdtsc);
+                    ctx.stats.reassembly.runs += 1;
+                    let payload = pkt.payload(mbuf.data());
+                    if !payload.is_empty() {
+                        disposition = ctx.stream_data(&entry.tuple, conn, dir, payload);
+                    }
+                    // Flush any buffered successors the hole-fill released.
+                    loop {
+                        if disposition != Disposition::Keep {
+                            break;
+                        }
+                        let flushed = conn.flow.reassembler(dir).flush();
+                        if flushed.is_empty() {
+                            break;
+                        }
+                        for fmbuf in flushed {
+                            if disposition != Disposition::Keep {
+                                break;
+                            }
+                            let Ok(fpkt) = ParsedPacket::parse(fmbuf.data()) else {
+                                continue;
+                            };
+                            let fpayload = fpkt.payload(fmbuf.data());
+                            if fpayload.is_empty() {
+                                continue;
+                            }
+                            ctx.stats.reassembly.runs += 1;
+                            disposition = ctx.stream_data(&entry.tuple, conn, dir, fpayload);
+                        }
+                    }
+                    if let Some(t) = tr {
+                        ctx.stats.reassembly.record_cycles(rdtsc().wrapping_sub(t));
+                    }
+                }
+                Reassembled::Buffered => {
+                    ctx.stats.reassembly.runs += 1;
+                    ctx.stats.ooo_buffered += 1;
+                }
+                Reassembled::Duplicate | Reassembled::OverCapacity => {}
+            }
+        } else if update.reassembly == Reassembled::Buffered {
+            // Counting-only mode still surfaces out-of-order arrivals.
+            ctx.stats.ooo_buffered += 1;
+        }
+
+        let terminated = update.terminated;
+        if disposition == Disposition::RemoveDone {
+            // Every subscription is finished with this connection (e.g.
+            // TLS handshake delivered): remove mid-stream (§5.2).
+            // Counted within conns_discarded (early removal) but
+            // attributed separately — this is a win, not a rejection.
+            self.table.remove(&key);
+            self.closed.insert(key, now);
+            self.stats.conns_discarded += 1;
+            self.stats.conns_completed_early += 1;
+        } else if terminated {
+            if let Some(entry) = self.table.remove(&key) {
+                self.closed.insert(key, now);
+                self.finalize(entry, FinalizeReason::Terminated);
             }
         }
     }
@@ -697,31 +905,41 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
     /// Discarded tombstones (`Phase::Dropped`) were already attributed
     /// at discard time; counting them again here would double-book the
     /// connection and break the exclusive-outcome invariant.
-    fn finalize(&mut self, entry: ConnEntry<Conn<S::Tracked>>, reason: FinalizeReason) {
+    fn finalize(&mut self, entry: ConnEntry<Conn>, reason: FinalizeReason) {
         let mut conn = entry.value;
         let was_discarded = matches!(conn.phase, Phase::Dropped);
         // Drain partial sessions (e.g. an unanswered DNS query).
-        if let Phase::Parsing { parser, service } = &mut conn.phase {
-            let service = *service;
-            for session in parser.drain_sessions() {
+        let drained = if let Phase::Parsing { parser, service } = &mut conn.phase {
+            Some((*service, parser.drain_sessions()))
+        } else {
+            None
+        };
+        if let Some((service, sessions)) = drained {
+            for session in &sessions {
                 self.stats.session_filter.runs += 1;
-                let pass = conn.matched || self.filter.session_filter(&session, conn.pkt_term_node);
-                if pass {
-                    let first = !conn.matched;
-                    conn.matched = true;
-                    if S::level() == Level::Session || first {
-                        conn.tracked.on_match(
-                            Some(service),
-                            Some(&session),
-                            &conn.flow,
-                            &mut self.outputs,
-                        );
-                    }
+                let hits = self
+                    .filter
+                    .session_filter_set(session, &conn.frontiers, conn.live);
+                let sess_matched = conn.matched & self.session_mask;
+                for i in sess_matched.iter() {
+                    self.deliver_match(&mut conn, i, service, session);
+                }
+                for i in hits.iter() {
+                    conn.live.remove(i);
+                    conn.matched.insert(i);
+                    self.deliver_match(&mut conn, i, service, session);
                 }
             }
         }
-        if conn.matched {
-            conn.tracked.on_terminate(&conn.flow, &mut self.outputs);
+        for i in conn.matched.iter() {
+            let mut tmp = Vec::new();
+            if let Some(t) = conn.tracked[i].as_mut() {
+                t.on_terminate(&conn.flow, &mut tmp);
+            }
+            for o in tmp {
+                self.outputs.push((i as u32, o));
+                self.sub_tallies[i].delivered += 1;
+            }
         }
         if !was_discarded {
             match reason {
@@ -729,6 +947,23 @@ impl<S: Subscribable, F: FilterFns> ConnTracker<S, F> {
                 FinalizeReason::Expired => self.stats.conns_expired += 1,
                 FinalizeReason::Drained => self.stats.conns_drained += 1,
             }
+        }
+    }
+
+    fn deliver_match(
+        &mut self,
+        conn: &mut Conn,
+        i: usize,
+        service: &'static str,
+        session: &retina_protocols::Session,
+    ) {
+        let mut tmp = Vec::new();
+        if let Some(t) = conn.tracked[i].as_mut() {
+            t.on_match(Some(service), Some(session), &conn.flow, &mut tmp);
+        }
+        for o in tmp {
+            self.outputs.push((i as u32, o));
+            self.sub_tallies[i].delivered += 1;
         }
     }
 

@@ -441,7 +441,7 @@ mod tests {
                 "dns",
             ] {
                 let filter = CompiledFilter::build(src, &registry).unwrap();
-                let engine = engine_with(filter.hw_rules(caps), caps);
+                let engine = engine_with(filter.hw_rules(caps, &registry).unwrap(), caps);
                 let pkts = [
                     tcp_pkt("10.1.2.3:50000", "93.184.216.34:443"),
                     tcp_pkt("10.1.2.3:80", "10.9.9.9:90"),
@@ -468,5 +468,154 @@ mod tests {
         // `tcp.port = 443` → src and dst variants, for v4 and v6 = 4 rules.
         let rs = rules("tcp.port = 443", DeviceCaps::connectx5());
         assert_eq!(rs.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::registry::ProtocolRegistry;
+    use retina_nic::flow::FlowAction;
+    use retina_support::proptest::prelude::*;
+    use retina_wire::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+    use retina_wire::{ParsedPacket, TcpFlags};
+
+    /// Subscription filter pool: a spread of packet-only, connection-,
+    /// and session-layer filters, plus a match-everything entry (the
+    /// empty source) to exercise the no-rules broadest case.
+    const SOURCES: &[&str] = &[
+        "",
+        "tls",
+        "http",
+        "dns",
+        "ipv4 and tcp",
+        "udp",
+        "tcp.port = 443",
+        "tcp.port >= 1024",
+        "ipv4.src_addr = 10.0.0.0/8 and tcp",
+        "tls.sni ~ 'netflix'",
+        "ipv6 and tcp.dst_port = 80",
+    ];
+
+    fn caps_for(sel: u8) -> DeviceCaps {
+        match sel % 3 {
+            0 => DeviceCaps::full(),
+            1 => DeviceCaps::connectx5(),
+            _ => DeviceCaps::basic(),
+        }
+    }
+
+    fn merged_rules(srcs: &[&str], caps: DeviceCaps) -> Vec<FlowRule> {
+        let trie = PredicateTrie::from_sources(srcs, &ProtocolRegistry::default()).unwrap();
+        synthesize(&trie, caps)
+    }
+
+    fn single_rules(src: &str, caps: DeviceCaps) -> Vec<FlowRule> {
+        let trie = PredicateTrie::from_source(src, &ProtocolRegistry::default()).unwrap();
+        synthesize(&trie, caps)
+    }
+
+    fn engine_with(rules: &[FlowRule], caps: DeviceCaps) -> FlowRuleEngine {
+        let mut e = FlowRuleEngine::new(caps);
+        for r in rules {
+            e.install(r.clone()).expect("synthesized rule must install");
+        }
+        e
+    }
+
+    fn packet(is_udp: bool, v6: bool, sport: u16, dport: u16) -> ParsedPacket {
+        let (src, dst) = if v6 {
+            (
+                format!("[2001:db8::1]:{sport}"),
+                format!("[2001:db8::2]:{dport}"),
+            )
+        } else {
+            (
+                format!("10.1.2.3:{sport}"),
+                format!("93.184.216.34:{dport}"),
+            )
+        };
+        let frame = if is_udp {
+            build_udp(&UdpSpec {
+                src: src.parse().unwrap(),
+                dst: dst.parse().unwrap(),
+                ttl: 64,
+                payload: b"x",
+            })
+        } else {
+            build_tcp(&TcpSpec {
+                src: src.parse().unwrap(),
+                dst: dst.parse().unwrap(),
+                seq: 1,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 64,
+                ttl: 64,
+                payload: b"",
+            })
+        };
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The merged trie's hardware rules are the deduplicated union of
+        /// the individual subscriptions' rules: every rule a subscription
+        /// would install on its own is present (unless the merged set is
+        /// the broadest possible — empty, delivering everything), no rule
+        /// appears twice, and every rule passes device validation (caps
+        /// fallback widened it rather than producing a rejected rule).
+        #[test]
+        fn union_superset_dedup_and_caps_fallback(
+            srcs in sample::subsequence(SOURCES.to_vec(), 1..=6),
+            capsel in 0u8..3,
+        ) {
+            let caps = caps_for(capsel);
+            let merged = merged_rules(&srcs, caps);
+            for (i, r) in merged.iter().enumerate() {
+                prop_assert!(!merged[i + 1..].contains(r), "duplicate rule {r:?}");
+            }
+            // Installs cleanly within caps (validates every rule).
+            let _ = engine_with(&merged, caps);
+            // An empty merged set is the broadest possible (deliver
+            // everything); otherwise it must contain every rule each
+            // subscription would install on its own.
+            if !merged.is_empty() {
+                for src in &srcs {
+                    for r in single_rules(src, caps) {
+                        prop_assert!(
+                            merged.contains(&r),
+                            "rule {r:?} from {src:?} missing from the merged set",
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Per-packet broadness: any packet an individual subscription's
+        /// hardware filter would deliver, the merged filter also delivers
+        /// (the union never narrows any subscription, on any device).
+        #[test]
+        fn union_never_narrows_a_subscription(
+            srcs in sample::subsequence(SOURCES.to_vec(), 1..=6),
+            capsel in 0u8..3,
+            sport in 1u16..u16::MAX,
+            dport in 1u16..u16::MAX,
+            shape in 0u8..4,
+        ) {
+            let caps = caps_for(capsel);
+            let merged = engine_with(&merged_rules(&srcs, caps), caps);
+            let pkt = packet(shape & 1 == 1, shape & 2 == 2, sport, dport);
+            for src in &srcs {
+                let single = engine_with(&single_rules(src, caps), caps);
+                if single.apply(&pkt) == FlowAction::Rss {
+                    prop_assert!(
+                        merged.apply(&pkt) == FlowAction::Rss,
+                        "packet delivered by {src:?} alone but dropped by the union",
+                    );
+                }
+            }
+        }
     }
 }

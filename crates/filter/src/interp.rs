@@ -17,17 +17,35 @@ use retina_support::rematch::Regex;
 use retina_wire::ParsedPacket;
 
 use crate::ast::{Predicate, Value};
-use crate::datatypes::{FilterError, FilterResult, SessionData};
+use crate::datatypes::{
+    ConnVerdict, FilterError, FilterResult, Frontiers, PacketVerdict, SessionData, SubscriptionSet,
+};
 use crate::registry::{FilterLayer, ProtocolRegistry};
 use crate::subfilters::{eval_packet_pred, eval_session_pred};
 use crate::trie::PredicateTrie;
 
-/// The three filter functions every execution strategy provides.
+/// The filter functions every execution strategy provides.
 ///
 /// Implemented by [`CompiledFilter`] (interpreted) and by the structs the
 /// `retina-filtergen` proc-macro generates (static code). The runtime is
 /// generic over this trait, so switching strategies is a type parameter,
 /// not a code change.
+///
+/// The trait has two views of the same filter:
+///
+/// - the **single-subscription** methods ([`FilterFns::packet_filter`],
+///   [`FilterFns::conn_filter`], [`FilterFns::session_filter`]) return
+///   match/no-match plus one resume node, as in Figure 3;
+/// - the **multi-subscription** methods (`*_set`) return
+///   [`SubscriptionSet`]s saying *which* of the N subscriptions sharing
+///   the filter matched or remain live, plus the [`Frontiers`] at which
+///   later layers resume. The runtime drives these, so one filter pass
+///   serves every subscription.
+///
+/// Single-subscription implementations get the `*_set` methods for free:
+/// the provided defaults adapt the single-subscription results to
+/// one-element sets, so existing generated filters work unmodified in
+/// the multi-subscription engine.
 pub trait FilterFns: Send + Sync {
     /// Applies the software packet filter to a parsed packet.
     fn packet_filter(&self, pkt: &ParsedPacket) -> FilterResult;
@@ -44,8 +62,8 @@ pub trait FilterFns: Send + Sync {
     /// Connection-layer protocols this filter needs probed.
     fn conn_protocols(&self) -> Vec<String>;
 
-    /// The original filter source text (used by the runtime to synthesize
-    /// hardware rules and for diagnostics).
+    /// The original filter source text (used for diagnostics and, by the
+    /// default [`FilterFns::hw_rules`], to synthesize hardware rules).
     fn source(&self) -> &str;
 
     /// True when the filter has connection- or session-layer predicates.
@@ -53,21 +71,140 @@ pub trait FilterFns: Send + Sync {
 
     /// True when the filter has session-layer predicates.
     fn needs_session_layer(&self) -> bool;
+
+    // --- multi-subscription view -------------------------------------
+
+    /// Number of subscriptions this filter decides (1 unless the filter
+    /// was built as a union of per-subscription filters).
+    fn num_subscriptions(&self) -> usize {
+        1
+    }
+
+    /// Applies the software packet filter for every subscription at
+    /// once, returning which subscriptions matched terminally, which
+    /// remain live for deeper layers, and the frontier nodes at which
+    /// those layers resume.
+    fn packet_filter_set(&self, pkt: &ParsedPacket) -> PacketVerdict {
+        let mut v = PacketVerdict::default();
+        match self.packet_filter(pkt) {
+            FilterResult::NoMatch => {}
+            FilterResult::MatchTerminal(_) => {
+                v.matched = SubscriptionSet::single(0);
+            }
+            FilterResult::MatchNonTerminal(n) => {
+                v.live = SubscriptionSet::single(0);
+                v.frontiers.push(n as u32);
+            }
+        }
+        v
+    }
+
+    /// Applies the connection filter for the still-`live` subscriptions
+    /// of a connection tagged with `frontiers`. Subscriptions absent
+    /// from both returned sets have failed and can drop their state.
+    fn conn_filter_set(
+        &self,
+        service: Option<&str>,
+        frontiers: &Frontiers,
+        live: SubscriptionSet,
+    ) -> ConnVerdict {
+        let mut v = ConnVerdict::default();
+        if !live.contains(0) {
+            return v;
+        }
+        let node = frontiers.first().unwrap_or(0) as usize;
+        match self.conn_filter(service, node) {
+            FilterResult::NoMatch => {}
+            FilterResult::MatchTerminal(_) => v.matched = SubscriptionSet::single(0),
+            FilterResult::MatchNonTerminal(_) => v.live = SubscriptionSet::single(0),
+        }
+        v
+    }
+
+    /// Applies the session filter for the still-`live` subscriptions,
+    /// returning the set whose filter the session satisfies.
+    fn session_filter_set(
+        &self,
+        session: &dyn SessionData,
+        frontiers: &Frontiers,
+        live: SubscriptionSet,
+    ) -> SubscriptionSet {
+        if !live.contains(0) {
+            return SubscriptionSet::empty();
+        }
+        let node = frontiers.first().unwrap_or(0) as usize;
+        if self.session_filter(session, node) {
+            SubscriptionSet::single(0)
+        } else {
+            SubscriptionSet::empty()
+        }
+    }
+
+    /// Connection-layer protocols subscription `sub` needs probed.
+    fn conn_protocols_for(&self, sub: usize) -> Vec<String> {
+        let _ = sub;
+        self.conn_protocols()
+    }
+
+    /// True when subscription `sub`'s filter has connection- or
+    /// session-layer predicates.
+    fn needs_conn_layer_for(&self, sub: usize) -> bool {
+        let _ = sub;
+        self.needs_conn_layer()
+    }
+
+    /// True when subscription `sub`'s filter has session-layer predicates.
+    fn needs_session_layer_for(&self, sub: usize) -> bool {
+        let _ = sub;
+        self.needs_session_layer()
+    }
+
+    /// Synthesizes the hardware flow rules for a device with `caps`
+    /// (§4.1: at least as broad as the filter, widened where the NIC
+    /// cannot express a predicate). For a merged filter this is the
+    /// union of every subscription's rules, deduplicated.
+    ///
+    /// The default re-derives the trie from [`FilterFns::source`];
+    /// implementations that already hold a trie (like
+    /// [`CompiledFilter`]) override this so the filter is compiled
+    /// exactly once.
+    fn hw_rules(
+        &self,
+        caps: DeviceCaps,
+        registry: &ProtocolRegistry,
+    ) -> Result<Vec<FlowRule>, FilterError> {
+        let trie = PredicateTrie::from_source(self.source(), registry)?;
+        Ok(crate::hw::synthesize(&trie, caps))
+    }
 }
 
 /// A fully compiled filter: trie + dispatch tables + regex cache.
+///
+/// Compiles one source ([`CompiledFilter::build`]) or the merged trie of
+/// N subscription sources ([`CompiledFilter::build_union`]); in the
+/// latter case the `*_set` methods natively evaluate every subscription
+/// in one trie walk.
 #[derive(Debug, Clone)]
 pub struct CompiledFilter {
     trie: Arc<PredicateTrie>,
     regexes: Arc<HashMap<String, Regex>>,
     /// pkt frontier node → connection-layer candidate nodes.
     conn_cands: Arc<BTreeMap<usize, Vec<usize>>>,
+    /// pkt frontier node → subscriptions still live through it.
+    frontier_live: Arc<BTreeMap<usize, SubscriptionSet>>,
 }
 
 impl CompiledFilter {
     /// Parses, expands, and compiles `src` against `registry`.
     pub fn build(src: &str, registry: &ProtocolRegistry) -> Result<Self, FilterError> {
         let trie = PredicateTrie::from_source(src, registry)?;
+        Self::from_trie(trie)
+    }
+
+    /// Compiles N per-subscription sources into one merged filter whose
+    /// `*_set` methods decide all of them in a single pass.
+    pub fn build_union(srcs: &[&str], registry: &ProtocolRegistry) -> Result<Self, FilterError> {
+        let trie = PredicateTrie::from_sources(srcs, registry)?;
         Self::from_trie(trie)
     }
 
@@ -91,13 +228,21 @@ impl CompiledFilter {
             }
         }
         let mut conn_cands = BTreeMap::new();
+        let mut frontier_live = BTreeMap::new();
         for frontier in trie.packet_frontiers() {
-            conn_cands.insert(frontier, trie.conn_candidates(frontier));
+            let cands = trie.conn_candidates(frontier);
+            let mut live = SubscriptionSet::empty();
+            for &c in &cands {
+                live |= trie.node(c).subtree_subs;
+            }
+            conn_cands.insert(frontier, cands);
+            frontier_live.insert(frontier, live);
         }
         Ok(CompiledFilter {
             trie: Arc::new(trie),
             regexes: Arc::new(regexes),
             conn_cands: Arc::new(conn_cands),
+            frontier_live: Arc::new(frontier_live),
         })
     }
 
@@ -106,11 +251,27 @@ impl CompiledFilter {
         &self.trie
     }
 
-    /// Synthesizes the hardware flow rules for a device with `caps`
-    /// (§4.1: at least as broad as the filter, widened where the NIC
-    /// cannot express a predicate).
-    pub fn hw_rules(&self, caps: DeviceCaps) -> Vec<FlowRule> {
-        crate::hw::synthesize(&self.trie, caps)
+    /// Walks every satisfied packet-layer branch, collecting terminal
+    /// subscription sets and frontier handoffs. Unlike the
+    /// single-subscription walk this never early-returns: divergent
+    /// branches can decide different subscriptions.
+    fn walk_packet_collect(&self, id: usize, pkt: &ParsedPacket, v: &mut PacketVerdict) {
+        let node = self.trie.node(id);
+        v.matched |= node.subs;
+        if let Some(&live) = self.frontier_live.get(&id) {
+            v.frontiers.push(id as u32);
+            v.live |= live;
+        }
+        for &c in &node.children {
+            let child = self.trie.node(c);
+            if child.layer != FilterLayer::Packet {
+                continue;
+            }
+            let pred = child.pred.as_ref().expect("non-root has predicate");
+            if eval_packet_pred(pred, pkt) {
+                self.walk_packet_collect(c, pkt, v);
+            }
+        }
     }
 
     fn walk_packet(
@@ -226,9 +387,116 @@ impl FilterFns for CompiledFilter {
     fn needs_session_layer(&self) -> bool {
         self.trie.needs_session_layer()
     }
+
+    fn num_subscriptions(&self) -> usize {
+        self.trie.num_subscriptions()
+    }
+
+    fn packet_filter_set(&self, pkt: &ParsedPacket) -> PacketVerdict {
+        let mut v = PacketVerdict::default();
+        self.walk_packet_collect(0, pkt, &mut v);
+        // A terminal disjunct subsumes the same subscription's deeper
+        // branches: matched wins over live.
+        v.live -= v.matched;
+        v
+    }
+
+    fn conn_filter_set(
+        &self,
+        service: Option<&str>,
+        frontiers: &Frontiers,
+        live: SubscriptionSet,
+    ) -> ConnVerdict {
+        let mut v = ConnVerdict::default();
+        let Some(service) = service else {
+            // No protocol identified: no conn-layer predicate can pass.
+            return v;
+        };
+        for f in frontiers.iter() {
+            let Some(cands) = self.conn_cands.get(&(f as usize)) else {
+                continue;
+            };
+            for &c in cands {
+                let node = self.trie.node(c);
+                let proto = node.pred.as_ref().expect("conn node has pred").protocol();
+                if proto == service {
+                    v.matched |= node.subs & live;
+                    v.live |= (node.subtree_subs - node.subs) & live;
+                }
+            }
+        }
+        v.live -= v.matched;
+        v
+    }
+
+    fn session_filter_set(
+        &self,
+        session: &dyn SessionData,
+        frontiers: &Frontiers,
+        live: SubscriptionSet,
+    ) -> SubscriptionSet {
+        let mut pass = SubscriptionSet::empty();
+        for f in frontiers.iter() {
+            let Some(cands) = self.conn_cands.get(&(f as usize)) else {
+                continue;
+            };
+            for &c in cands {
+                let node = self.trie.node(c);
+                let proto = node.pred.as_ref().expect("conn node has pred").protocol();
+                if proto != session.protocol() {
+                    continue;
+                }
+                // Conn-terminal patterns default-pass (Figure 4a).
+                pass |= node.subs & live;
+                self.walk_session_collect(c, session, live, &mut pass);
+            }
+        }
+        pass & live
+    }
+
+    fn conn_protocols_for(&self, sub: usize) -> Vec<String> {
+        self.trie.conn_protocols_for(sub)
+    }
+
+    fn needs_conn_layer_for(&self, sub: usize) -> bool {
+        self.trie.needs_conn_layer_for(sub)
+    }
+
+    fn needs_session_layer_for(&self, sub: usize) -> bool {
+        self.trie.needs_session_layer_for(sub)
+    }
+
+    fn hw_rules(
+        &self,
+        caps: DeviceCaps,
+        _registry: &ProtocolRegistry,
+    ) -> Result<Vec<FlowRule>, FilterError> {
+        // The trie is already built: no re-compilation.
+        Ok(crate::hw::synthesize(&self.trie, caps))
+    }
 }
 
 impl CompiledFilter {
+    fn walk_session_collect(
+        &self,
+        id: usize,
+        session: &dyn SessionData,
+        live: SubscriptionSet,
+        pass: &mut SubscriptionSet,
+    ) {
+        for &c in &self.trie.node(id).children {
+            let child = self.trie.node(c);
+            if child.layer != FilterLayer::Session {
+                continue;
+            }
+            let pred = child.pred.as_ref().expect("session node has pred");
+            if eval_session_pred(pred, session, &self.regexes) {
+                *pass |= child.subs & live;
+                self.walk_session_collect(c, session, live, pass);
+            }
+        }
+    }
+
     fn walk_session(&self, id: usize, session: &dyn SessionData) -> bool {
         for &c in &self.trie.node(id).children {
             let child = self.trie.node(c);
@@ -494,6 +762,188 @@ mod tests {
             CompiledFilter::build("tls.sni ~ '[bad'", &ProtocolRegistry::default()),
             Err(FilterError::BadRegex(_))
         ));
+    }
+
+    fn compile_union(srcs: &[&str]) -> CompiledFilter {
+        CompiledFilter::build_union(srcs, &ProtocolRegistry::default()).unwrap()
+    }
+
+    #[test]
+    fn single_sub_set_methods_match_scalar_methods() {
+        // The set view of a single-subscription filter must agree with
+        // the scalar view on every packet and layer.
+        for src in [
+            "tcp.port = 443",
+            "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+            "tls",
+            "",
+            "tcp.port = 80 or tls.sni ~ 'x'",
+        ] {
+            let f = compile(src);
+            for pkt in [
+                tcp_pkt("10.0.0.1:50000", "1.1.1.1:443"),
+                tcp_pkt("10.0.0.1:80", "1.1.1.1:90"),
+                udp_pkt("10.0.0.1:5353", "8.8.8.8:53"),
+                tcp_pkt("[2001:db8::1]:50000", "[2001:db8::2]:443"),
+            ] {
+                let scalar = f.packet_filter(&pkt);
+                let set = f.packet_filter_set(&pkt);
+                assert_eq!(set.matched.contains(0), scalar.is_terminal(), "{src}");
+                assert_eq!(
+                    set.matched.contains(0) || set.live.contains(0),
+                    scalar.is_match(),
+                    "{src}"
+                );
+                if let FilterResult::MatchNonTerminal(node) = scalar {
+                    // Conn layer agreement on every service.
+                    for service in [Some("tls"), Some("http"), Some("dns"), None] {
+                        let sr = f.conn_filter(service, node);
+                        let sv = f.conn_filter_set(service, &set.frontiers, set.live);
+                        assert_eq!(
+                            sv.matched.contains(0),
+                            sr.is_terminal(),
+                            "{src} {service:?}"
+                        );
+                        assert_eq!(
+                            sv.matched.contains(0) || sv.live.contains(0),
+                            sr.is_match(),
+                            "{src} {service:?}"
+                        );
+                    }
+                    // Session layer agreement.
+                    for session in [
+                        &Tls("video.netflix.com") as &dyn SessionData,
+                        &Tls("example.com"),
+                    ] {
+                        assert_eq!(
+                            f.session_filter_set(session, &set.frontiers, set.live)
+                                .contains(0),
+                            f.session_filter(session, node),
+                            "{src}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_packet_filter_decides_each_subscription() {
+        // Sub 0: terminal on port 443. Sub 1: conn-layer tls. Sub 2: http.
+        let f = compile_union(&["tcp.port = 443", "tls", "http"]);
+        assert_eq!(f.num_subscriptions(), 3);
+        let v = f.packet_filter_set(&tcp_pkt("10.0.0.1:50000", "1.1.1.1:443"));
+        assert!(v.matched.contains(0));
+        assert!(v.live.contains(1) && v.live.contains(2));
+        // Non-443 TCP: sub 0 out, 1 and 2 live.
+        let v = f.packet_filter_set(&tcp_pkt("10.0.0.1:50000", "1.1.1.1:80"));
+        assert!(!v.matched.contains(0) && !v.live.contains(0));
+        assert!(v.live.contains(1) && v.live.contains(2));
+        // UDP: nothing survives (tls/http are tcp-only, port is tcp.port).
+        let v = f.packet_filter_set(&udp_pkt("1.1.1.1:1", "2.2.2.2:2"));
+        assert!(v.is_no_match());
+    }
+
+    #[test]
+    fn union_conn_filter_routes_by_service() {
+        let f = compile_union(&["tls", "http", "tls.sni ~ 'netflix'"]);
+        let v = f.packet_filter_set(&tcp_pkt("10.0.0.1:50000", "1.1.1.1:443"));
+        assert_eq!(v.live.len(), 3);
+        let cv = f.conn_filter_set(Some("tls"), &v.frontiers, v.live);
+        // Sub 0 conn-terminal; sub 2 stays live for the session filter;
+        // sub 1 (http) fails.
+        assert!(cv.matched.contains(0));
+        assert!(cv.live.contains(2));
+        assert!(!cv.matched.contains(1) && !cv.live.contains(1));
+        let cv = f.conn_filter_set(Some("http"), &v.frontiers, v.live);
+        assert!(cv.matched.contains(1) && cv.matched.len() == 1);
+        assert!(cv.live.is_empty());
+        // Unknown service: everything falls off.
+        let cv = f.conn_filter_set(Some("ssh"), &v.frontiers, v.live);
+        assert!(cv.matched.is_empty() && cv.live.is_empty());
+        // No service identified: same.
+        let cv = f.conn_filter_set(None, &v.frontiers, v.live);
+        assert!(cv.matched.is_empty() && cv.live.is_empty());
+    }
+
+    #[test]
+    fn union_session_filter_per_subscription() {
+        let f = compile_union(&["tls.sni ~ 'netflix'", "tls.sni ~ 'googlevideo'", "http"]);
+        let v = f.packet_filter_set(&tcp_pkt("10.0.0.1:50000", "1.1.1.1:443"));
+        let cv = f.conn_filter_set(Some("tls"), &v.frontiers, v.live);
+        assert!(cv.live.contains(0) && cv.live.contains(1) && !cv.live.contains(2));
+        let pass = f.session_filter_set(&Tls("a.netflix.com"), &v.frontiers, cv.live);
+        assert!(pass.contains(0) && !pass.contains(1));
+        let pass = f.session_filter_set(&Tls("r1.googlevideo.com"), &v.frontiers, cv.live);
+        assert!(!pass.contains(0) && pass.contains(1));
+        let pass = f.session_filter_set(&Tls("example.org"), &v.frontiers, cv.live);
+        assert!(pass.is_empty());
+    }
+
+    #[test]
+    fn union_divergent_packet_branches_stay_live() {
+        // Sub 0 needs port >= 100 before tls; sub 1 matches http on any
+        // tcp. A packet satisfying both tags BOTH frontiers — the
+        // one-frontier single-subscription walk could only keep the
+        // deepest.
+        let f = compile_union(&["ipv4 and tcp.port >= 100 and tls.sni ~ 'n'", "http"]);
+        let v = f.packet_filter_set(&tcp_pkt("10.0.0.1:50000", "1.1.1.1:443"));
+        assert!(v.live.contains(0) && v.live.contains(1));
+        assert!(v.frontiers.len() >= 2, "{:?}", v.frontiers);
+        // Low ports: only http remains live.
+        let v = f.packet_filter_set(&tcp_pkt("10.0.0.1:80", "1.1.1.1:90"));
+        assert!(!v.live.contains(0) && v.live.contains(1));
+    }
+
+    #[test]
+    fn union_with_match_all_subscription() {
+        let f = compile_union(&["", "tls"]);
+        let v = f.packet_filter_set(&udp_pkt("1.1.1.1:1", "2.2.2.2:2"));
+        assert!(v.matched.contains(0));
+        assert!(!v.live.contains(1)); // tls needs tcp
+        let v = f.packet_filter_set(&tcp_pkt("1.1.1.1:1", "2.2.2.2:2"));
+        assert!(v.matched.contains(0) && v.live.contains(1));
+        let cv = f.conn_filter_set(Some("tls"), &v.frontiers, v.live);
+        assert!(cv.matched.contains(1));
+    }
+
+    #[test]
+    fn union_per_sub_metadata() {
+        let f = compile_union(&["tls", "tcp.port = 80", "dns or http"]);
+        assert_eq!(f.conn_protocols_for(0), vec!["tls".to_string()]);
+        assert!(f.conn_protocols_for(1).is_empty());
+        assert_eq!(f.conn_protocols_for(2).len(), 2);
+        assert!(f.needs_conn_layer_for(0));
+        assert!(!f.needs_conn_layer_for(1));
+        assert!(!f.needs_session_layer_for(0));
+        let protos = f.conn_protocols();
+        assert_eq!(protos.len(), 3);
+    }
+
+    #[test]
+    fn union_matches_independent_filters_on_packets() {
+        // Semantic equivalence: for every packet, each subscription's
+        // verdict in the union equals its verdict standalone.
+        let srcs = ["tcp.port = 443", "tls", "http", "udp"];
+        let union = compile_union(&srcs);
+        let singles: Vec<_> = srcs.iter().map(|s| compile(s)).collect();
+        for pkt in [
+            tcp_pkt("10.0.0.1:50000", "1.1.1.1:443"),
+            tcp_pkt("10.0.0.1:80", "1.1.1.1:90"),
+            udp_pkt("10.0.0.1:53", "8.8.8.8:53"),
+            tcp_pkt("[2001:db8::1]:50000", "[2001:db8::2]:443"),
+        ] {
+            let v = union.packet_filter_set(&pkt);
+            for (i, single) in singles.iter().enumerate() {
+                let r = single.packet_filter(&pkt);
+                assert_eq!(v.matched.contains(i), r.is_terminal(), "sub {i}");
+                assert_eq!(
+                    v.matched.contains(i) || v.live.contains(i),
+                    r.is_match(),
+                    "sub {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -55,13 +55,18 @@ pub mod parser;
 pub mod registry;
 pub mod subfilters;
 pub mod trie;
+pub mod union;
 
 pub use ast::{Expr, Op, Predicate, Value};
-pub use datatypes::{ConnData, FieldValue, FilterError, FilterResult, SessionData};
+pub use datatypes::{
+    ConnData, ConnVerdict, FieldValue, FilterError, FilterResult, Frontiers, PacketVerdict,
+    SessionData, SubscriptionSet,
+};
 pub use interp::{CompiledFilter, ConnFilter, FilterFns, PacketFilter, SessionFilter};
 pub use parser::parse;
 pub use registry::ProtocolRegistry;
 pub use trie::{FilterLayer, PredicateTrie};
+pub use union::FilterUnion;
 
 // Re-exported so macro-generated code can reference these crates through
 // `retina_filter::` without the user adding direct dependencies.

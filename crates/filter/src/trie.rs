@@ -15,7 +15,7 @@
 pub use crate::registry::FilterLayer;
 
 use crate::ast::Predicate;
-use crate::datatypes::FilterError;
+use crate::datatypes::{FilterError, SubscriptionSet};
 use crate::dnf::{self, FlatPattern};
 use crate::registry::ProtocolRegistry;
 
@@ -32,34 +32,92 @@ pub struct TrieNode {
     pub parent: Option<usize>,
     /// Child node IDs in insertion order.
     pub children: Vec<usize>,
-    /// True when a complete filter pattern ends at this node.
+    /// True when a complete filter pattern ends at this node (for any
+    /// subscription; equivalent to `!subs.is_empty()`).
     pub pattern_end: bool,
+    /// Subscriptions whose pattern ends at this node (the per-node action
+    /// bitset of the merged trie). For a single-subscription trie this is
+    /// `{0}` wherever `pattern_end` is true.
+    pub subs: SubscriptionSet,
+    /// Subscriptions with a pattern ending at or below this node — the
+    /// set that is still *live* when evaluation reaches this node.
+    pub subtree_subs: SubscriptionSet,
 }
 
-/// The predicate trie for one compiled filter.
+/// The predicate trie for one compiled filter, shared by one or more
+/// subscriptions.
+///
+/// When built with [`PredicateTrie::from_sources`], the patterns of all N
+/// subscription filters are merged into one trie; terminal nodes carry a
+/// [`SubscriptionSet`] recording which subscriptions' pattern ends there,
+/// so one walk decides every subscription at once (the shared-computation
+/// design of the multi-subscription runtime).
 #[derive(Debug, Clone)]
 pub struct PredicateTrie {
     nodes: Vec<TrieNode>,
     source: String,
+    sources: Vec<String>,
 }
 
 impl PredicateTrie {
-    /// Parses, expands, and builds the trie for `src`.
+    /// Parses, expands, and builds the trie for `src` (one subscription).
     pub fn from_source(src: &str, registry: &ProtocolRegistry) -> Result<Self, FilterError> {
-        let patterns = if src.trim().is_empty() {
+        Self::from_sources(&[src], registry)
+    }
+
+    /// Parses N filter sources and merges them into one trie, tagging
+    /// each source's pattern ends with its subscription index.
+    pub fn from_sources(srcs: &[&str], registry: &ProtocolRegistry) -> Result<Self, FilterError> {
+        if srcs.is_empty() || srcs.len() > SubscriptionSet::MAX {
+            return Err(FilterError::parse(
+                0,
+                format!(
+                    "a merged trie serves between 1 and {} subscriptions, got {}",
+                    SubscriptionSet::MAX,
+                    srcs.len()
+                ),
+            ));
+        }
+        let mut trie = Self::empty_trie(&Self::combined_source(srcs), srcs);
+        for (sub, src) in srcs.iter().enumerate() {
+            for pattern in Self::expand(src, registry)? {
+                trie.insert(&pattern, registry, sub);
+            }
+        }
+        trie.finalize();
+        Ok(trie)
+    }
+
+    fn expand(src: &str, registry: &ProtocolRegistry) -> Result<Vec<FlatPattern>, FilterError> {
+        if src.trim().is_empty() {
             // The empty filter subscribes to everything.
-            vec![FlatPattern { predicates: vec![] }]
+            Ok(vec![FlatPattern { predicates: vec![] }])
         } else {
             let expr = crate::parser::parse(src)?;
             let conjunctions = dnf::to_dnf(&expr);
-            dnf::expand_patterns(&conjunctions, registry)?
-        };
-        Ok(Self::build(&patterns, registry, src))
+            dnf::expand_patterns(&conjunctions, registry)
+        }
     }
 
-    /// Builds a trie from expanded patterns.
-    pub fn build(patterns: &[FlatPattern], registry: &ProtocolRegistry, src: &str) -> Self {
-        let mut trie = PredicateTrie {
+    /// The disjunction of N sources as a single parseable source string
+    /// (used for diagnostics and default hardware-rule synthesis). A
+    /// single source is kept verbatim; if any source matches everything,
+    /// so does the union.
+    fn combined_source(srcs: &[&str]) -> String {
+        if srcs.len() == 1 {
+            return srcs[0].to_string();
+        }
+        if srcs.iter().any(|s| s.trim().is_empty()) {
+            return String::new();
+        }
+        srcs.iter()
+            .map(|s| format!("({s})"))
+            .collect::<Vec<_>>()
+            .join(" or ")
+    }
+
+    fn empty_trie(src: &str, srcs: &[&str]) -> Self {
+        PredicateTrie {
             nodes: vec![TrieNode {
                 id: 0,
                 pred: None,
@@ -67,17 +125,25 @@ impl PredicateTrie {
                 parent: None,
                 children: Vec::new(),
                 pattern_end: false,
+                subs: SubscriptionSet::empty(),
+                subtree_subs: SubscriptionSet::empty(),
             }],
             source: src.to_string(),
-        };
-        for pattern in patterns {
-            trie.insert(pattern, registry);
+            sources: srcs.iter().map(|s| s.to_string()).collect(),
         }
-        trie.prune_subsumed(0);
+    }
+
+    /// Builds a single-subscription trie from already-expanded patterns.
+    pub fn build(patterns: &[FlatPattern], registry: &ProtocolRegistry, src: &str) -> Self {
+        let mut trie = Self::empty_trie(src, &[src]);
+        for pattern in patterns {
+            trie.insert(pattern, registry, 0);
+        }
+        trie.finalize();
         trie
     }
 
-    fn insert(&mut self, pattern: &FlatPattern, registry: &ProtocolRegistry) {
+    fn insert(&mut self, pattern: &FlatPattern, registry: &ProtocolRegistry, sub: usize) {
         let mut cur = 0usize;
         for pred in &pattern.predicates {
             let existing = self.nodes[cur]
@@ -97,31 +163,83 @@ impl PredicateTrie {
                         parent: Some(cur),
                         children: Vec::new(),
                         pattern_end: false,
+                        subs: SubscriptionSet::empty(),
+                        subtree_subs: SubscriptionSet::empty(),
                     });
                     self.nodes[cur].children.push(id);
                     id
                 }
             };
         }
-        self.nodes[cur].pattern_end = true;
+        self.nodes[cur].subs.insert(sub);
     }
 
-    /// Removes branches subsumed by completed patterns: once a pattern
-    /// ends at a node, any longer pattern through that node is redundant.
-    fn prune_subsumed(&mut self, id: usize) {
-        if self.nodes[id].pattern_end {
-            self.nodes[id].children.clear();
-            return;
+    /// Post-construction pass: per-subscription subsumption clearing,
+    /// subtree live-set computation, pruning, and `pattern_end` sync.
+    fn finalize(&mut self) {
+        self.shadow_clear(0, SubscriptionSet::empty());
+        self.compute_subtrees(0);
+        self.prune(0);
+        for node in &mut self.nodes {
+            node.pattern_end = !node.subs.is_empty();
         }
+    }
+
+    /// Per-subscription subsumption: once a subscription's pattern ends
+    /// at a node, any longer pattern of the *same* subscription through
+    /// that node is redundant (the filter is a disjunction), so the
+    /// subscription is cleared from every descendant. Other
+    /// subscriptions' deeper patterns are untouched.
+    fn shadow_clear(&mut self, id: usize, ended: SubscriptionSet) {
+        self.nodes[id].subs -= ended;
+        let ended = ended | self.nodes[id].subs;
         let children = self.nodes[id].children.clone();
         for c in children {
-            self.prune_subsumed(c);
+            self.shadow_clear(c, ended);
         }
     }
 
-    /// The original filter source text.
+    fn compute_subtrees(&mut self, id: usize) -> SubscriptionSet {
+        let mut acc = self.nodes[id].subs;
+        let children = self.nodes[id].children.clone();
+        for c in children {
+            acc |= self.compute_subtrees(c);
+        }
+        self.nodes[id].subtree_subs = acc;
+        acc
+    }
+
+    /// Removes branches no subscription can complete through (all their
+    /// pattern ends were shadow-cleared). Nodes stay in the arena so IDs
+    /// remain stable; they just become unreachable.
+    fn prune(&mut self, id: usize) {
+        let kept: Vec<usize> = self.nodes[id]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| !self.nodes[c].subtree_subs.is_empty())
+            .collect();
+        self.nodes[id].children = kept.clone();
+        for c in kept {
+            self.prune(c);
+        }
+    }
+
+    /// The filter source text: the original source for a
+    /// single-subscription trie, or the disjunction of all sources for a
+    /// merged trie (empty if the union matches everything).
     pub fn source(&self) -> &str {
         &self.source
+    }
+
+    /// The per-subscription source texts, indexed by subscription.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// Number of subscriptions merged into this trie.
+    pub fn num_subscriptions(&self) -> usize {
+        self.sources.len()
     }
 
     /// Node by ID.
@@ -256,6 +374,41 @@ impl PredicateTrie {
             .any(|id| self.nodes[id].layer == FilterLayer::Session)
     }
 
+    /// Connection-layer protocols subscription `sub` needs probed: the
+    /// protocols of conn-layer nodes its patterns run through.
+    pub fn conn_protocols_for(&self, sub: usize) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for id in self.reachable() {
+            let node = &self.nodes[id];
+            if node.layer == FilterLayer::Connection && node.subtree_subs.contains(sub) {
+                if let Some(pred) = &node.pred {
+                    let p = pred.protocol().to_string();
+                    if !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True when subscription `sub`'s filter has connection- or
+    /// session-layer predicates.
+    pub fn needs_conn_layer_for(&self, sub: usize) -> bool {
+        self.reachable().into_iter().any(|id| {
+            let node = &self.nodes[id];
+            node.layer != FilterLayer::Packet && node.subtree_subs.contains(sub)
+        })
+    }
+
+    /// True when subscription `sub`'s filter has session-layer predicates.
+    pub fn needs_session_layer_for(&self, sub: usize) -> bool {
+        self.reachable().into_iter().any(|id| {
+            let node = &self.nodes[id];
+            node.layer == FilterLayer::Session && node.subtree_subs.contains(sub)
+        })
+    }
+
     /// Renders the trie as an indented outline (for debugging and docs).
     pub fn dump(&self) -> String {
         let mut out = String::new();
@@ -271,13 +424,14 @@ impl PredicateTrie {
             .map(|p| p.to_string())
             .unwrap_or_else(|| "eth".to_string());
         out.push_str(&"  ".repeat(depth));
-        out.push_str(&format!(
-            "[{}] {} ({:?}){}\n",
-            id,
-            label,
-            node.layer,
-            if node.pattern_end { " *" } else { "" }
-        ));
+        let end = if !node.pattern_end {
+            String::new()
+        } else if self.num_subscriptions() > 1 {
+            format!(" *{}", node.subs)
+        } else {
+            " *".to_string()
+        };
+        out.push_str(&format!("[{}] {} ({:?}){}\n", id, label, node.layer, end));
         for &c in &node.children {
             self.dump_node(c, depth + 1, out);
         }
@@ -452,5 +606,113 @@ mod tests {
         // The pruned tcp node is still in the arena but not reachable.
         let reachable = trie.reachable();
         assert!(reachable.len() < trie.len());
+    }
+
+    fn build_multi(srcs: &[&str]) -> PredicateTrie {
+        PredicateTrie::from_sources(srcs, &ProtocolRegistry::default()).unwrap()
+    }
+
+    #[test]
+    fn merged_trie_tags_pattern_ends_per_subscription() {
+        let trie = build_multi(&["tls", "http", "tls or dns"]);
+        assert_eq!(trie.num_subscriptions(), 3);
+        // The tls conn nodes (v4 + v6) end patterns for subs 0 and 2.
+        let tls_ends: Vec<_> = trie
+            .reachable()
+            .into_iter()
+            .filter(|&id| {
+                let n = trie.node(id);
+                n.pattern_end && n.pred.as_ref().is_some_and(|p| p.protocol() == "tls")
+            })
+            .collect();
+        assert!(!tls_ends.is_empty());
+        for id in tls_ends {
+            let subs = trie.node(id).subs;
+            assert!(subs.contains(0) && subs.contains(2) && !subs.contains(1));
+        }
+        // Union of protocols across subscriptions.
+        let protos = trie.conn_protocols();
+        assert_eq!(protos.len(), 3);
+        // Per-subscription protocol needs.
+        assert_eq!(trie.conn_protocols_for(0), vec!["tls".to_string()]);
+        assert_eq!(trie.conn_protocols_for(1), vec!["http".to_string()]);
+        let p2 = trie.conn_protocols_for(2);
+        assert!(p2.contains(&"tls".to_string()) && p2.contains(&"dns".to_string()));
+    }
+
+    #[test]
+    fn merged_trie_shares_prefixes_across_subscriptions() {
+        let merged = build_multi(&["tls", "http"]);
+        let single = build("tls or http");
+        // Same node count: tcp/ip prefixes are shared across subs just as
+        // they are across disjuncts of one filter.
+        assert_eq!(merged.len(), single.len());
+    }
+
+    #[test]
+    fn shadow_clear_is_per_subscription() {
+        // Sub 0 ends at ipv4; sub 1 continues through ipv4 to tls. The
+        // tls branch must survive for sub 1 even though sub 0's pattern
+        // ends at its ancestor.
+        let trie = build_multi(&["ipv4", "ipv4 and tls"]);
+        let ipv4 = trie.root().children[0];
+        assert!(trie.node(ipv4).subs.contains(0));
+        assert!(!trie.node(ipv4).children.is_empty());
+        assert!(trie.needs_conn_layer_for(1));
+        assert!(!trie.needs_conn_layer_for(0));
+        // Within one subscription, subsumption still prunes.
+        let single = build_multi(&["ipv4 or (ipv4 and tls)", "dns"]);
+        let ipv4 = single.root().children[0];
+        // ipv4's children may include udp/tcp for dns (sub 1) but no tls
+        // branch for sub 0.
+        for &c in &single.node(ipv4).children {
+            assert!(!single.node(c).subtree_subs.contains(0));
+        }
+    }
+
+    #[test]
+    fn merged_trie_per_sub_layer_needs() {
+        let trie = build_multi(&["tcp.port = 80", "tls.sni ~ 'x'"]);
+        assert!(!trie.needs_conn_layer_for(0));
+        assert!(!trie.needs_session_layer_for(0));
+        assert!(trie.needs_conn_layer_for(1));
+        assert!(trie.needs_session_layer_for(1));
+        assert!(trie.needs_conn_layer());
+        assert!(trie.needs_session_layer());
+    }
+
+    #[test]
+    fn merged_trie_match_everything_sub() {
+        let trie = build_multi(&["", "tls"]);
+        assert!(trie.matches_everything());
+        assert!(trie.root().subs.contains(0));
+        // Sub 1's tls branch survives under the match-all root.
+        assert!(trie.needs_conn_layer_for(1));
+        assert_eq!(trie.source(), "");
+        let named = build_multi(&["tls", "http"]);
+        assert_eq!(named.source(), "(tls) or (http)");
+    }
+
+    #[test]
+    fn subtree_subs_reflect_live_sets() {
+        let trie = build_multi(&["tls.sni ~ 'a'", "http"]);
+        // Every reachable node's subtree set is the union of its
+        // children's plus its own ends.
+        for id in trie.reachable() {
+            let node = trie.node(id);
+            let mut acc = node.subs;
+            for &c in &node.children {
+                acc |= trie.node(c).subtree_subs;
+            }
+            assert_eq!(acc, node.subtree_subs, "node {id}");
+        }
+        assert_eq!(trie.root().subtree_subs, SubscriptionSet::first_n(2));
+    }
+
+    #[test]
+    fn too_many_subscriptions_rejected() {
+        let srcs: Vec<&str> = (0..65).map(|_| "tcp").collect();
+        assert!(PredicateTrie::from_sources(&srcs, &ProtocolRegistry::default()).is_err());
+        assert!(PredicateTrie::from_sources(&[], &ProtocolRegistry::default()).is_err());
     }
 }

@@ -1,0 +1,374 @@
+//! Composing independently compiled filters into one multi-subscription
+//! filter.
+//!
+//! [`CompiledFilter::build_union`](crate::CompiledFilter::build_union)
+//! merges N filter *sources* into one trie — the right tool when sources
+//! are available at runtime. [`FilterUnion`] solves the complementary
+//! problem: composing N already-built [`FilterFns`] values — typically
+//! structs generated at compile time by the `retina-filtergen` macros —
+//! into a single filter whose `*_set` methods decide every subscription
+//! per call, without giving up static code generation for the per-part
+//! predicate logic.
+//!
+//! Each part keeps its private trie-node ID space; `FilterUnion` tags
+//! every frontier it hands the runtime with the owning part's index (in
+//! the upper bits of the opaque `u32`), so later layers route resume
+//! nodes back to the right part.
+
+use retina_nic::{DeviceCaps, FlowRule};
+use retina_wire::ParsedPacket;
+
+use crate::datatypes::{
+    ConnVerdict, FilterError, FilterResult, Frontiers, PacketVerdict, SessionData, SubscriptionSet,
+};
+use crate::interp::FilterFns;
+use crate::registry::ProtocolRegistry;
+
+/// How many low bits of a frontier word hold the part-local node ID; the
+/// remaining high bits hold the part index.
+const SUB_SHIFT: u32 = 24;
+const NODE_MASK: u32 = (1 << SUB_SHIFT) - 1;
+
+/// N filters composed into one multi-subscription [`FilterFns`]:
+/// subscription `i`'s verdict at every layer comes from part `i`.
+///
+/// Parts are boxed trait objects, so generated (static-code) filters,
+/// [`crate::CompiledFilter`]s, and hand-written implementations can be
+/// mixed freely in one union.
+pub struct FilterUnion {
+    parts: Vec<Box<dyn FilterFns>>,
+    source: String,
+}
+
+impl FilterUnion {
+    /// Composes `parts` (subscription `i` = `parts[i]`).
+    ///
+    /// # Panics
+    /// When `parts` is empty, when there are more than
+    /// [`SubscriptionSet::MAX`], or when a part's trie is too large for
+    /// the frontier encoding (node IDs must fit in 24 bits).
+    pub fn new(parts: Vec<Box<dyn FilterFns>>) -> Self {
+        assert!(!parts.is_empty(), "FilterUnion needs at least one part");
+        assert!(
+            parts.len() <= SubscriptionSet::MAX,
+            "at most {} subscriptions per union",
+            SubscriptionSet::MAX
+        );
+        // Mirror `PredicateTrie::combined_source`: any match-everything
+        // part makes the whole union match everything.
+        let source = if parts.iter().any(|p| p.source().is_empty()) {
+            String::new()
+        } else {
+            parts
+                .iter()
+                .map(|p| format!("({})", p.source()))
+                .collect::<Vec<_>>()
+                .join(" or ")
+        };
+        FilterUnion { parts, source }
+    }
+
+    /// The composed parts, in subscription order.
+    pub fn parts(&self) -> &[Box<dyn FilterFns>] {
+        &self.parts
+    }
+
+    fn encode(sub: usize, node: usize) -> u32 {
+        debug_assert!(node as u32 <= NODE_MASK, "trie node ID exceeds 24 bits");
+        ((sub as u32) << SUB_SHIFT) | (node as u32 & NODE_MASK)
+    }
+
+    /// The part-local resume node subscription `sub` was tagged with.
+    fn frontier_for(frontiers: &Frontiers, sub: usize) -> Option<usize> {
+        frontiers
+            .iter()
+            .find(|f| (f >> SUB_SHIFT) as usize == sub)
+            .map(|f| (f & NODE_MASK) as usize)
+    }
+}
+
+impl std::fmt::Debug for FilterUnion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterUnion")
+            .field("parts", &self.parts.len())
+            .field("source", &self.source)
+            .finish()
+    }
+}
+
+impl FilterFns for FilterUnion {
+    // Single-subscription view: "did any part match", with encoded
+    // resume nodes so the scalar methods round-trip through each other.
+    fn packet_filter(&self, pkt: &ParsedPacket) -> FilterResult {
+        let mut frontier = None;
+        for (i, p) in self.parts.iter().enumerate() {
+            match p.packet_filter(pkt) {
+                FilterResult::NoMatch => {}
+                FilterResult::MatchTerminal(n) => {
+                    return FilterResult::MatchTerminal(Self::encode(i, n) as usize)
+                }
+                FilterResult::MatchNonTerminal(n) => {
+                    frontier.get_or_insert(Self::encode(i, n) as usize);
+                }
+            }
+        }
+        match frontier {
+            Some(n) => FilterResult::MatchNonTerminal(n),
+            None => FilterResult::NoMatch,
+        }
+    }
+
+    fn conn_filter(&self, service: Option<&str>, pkt_term_node: usize) -> FilterResult {
+        let sub = pkt_term_node >> SUB_SHIFT;
+        let node = pkt_term_node & NODE_MASK as usize;
+        match self.parts[sub].conn_filter(service, node) {
+            FilterResult::NoMatch => FilterResult::NoMatch,
+            FilterResult::MatchTerminal(n) => {
+                FilterResult::MatchTerminal(Self::encode(sub, n) as usize)
+            }
+            FilterResult::MatchNonTerminal(n) => {
+                FilterResult::MatchNonTerminal(Self::encode(sub, n) as usize)
+            }
+        }
+    }
+
+    fn session_filter(&self, session: &dyn SessionData, pkt_term_node: usize) -> bool {
+        let sub = pkt_term_node >> SUB_SHIFT;
+        let node = pkt_term_node & NODE_MASK as usize;
+        self.parts[sub].session_filter(session, node)
+    }
+
+    fn conn_protocols(&self) -> Vec<String> {
+        let mut protos: Vec<String> = Vec::new();
+        for p in &self.parts {
+            for proto in p.conn_protocols() {
+                if !protos.contains(&proto) {
+                    protos.push(proto);
+                }
+            }
+        }
+        protos
+    }
+
+    fn source(&self) -> &str {
+        &self.source
+    }
+
+    fn needs_conn_layer(&self) -> bool {
+        self.parts.iter().any(|p| p.needs_conn_layer())
+    }
+
+    fn needs_session_layer(&self) -> bool {
+        self.parts.iter().any(|p| p.needs_session_layer())
+    }
+
+    // Multi-subscription view: one call per layer decides every part.
+    fn num_subscriptions(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn packet_filter_set(&self, pkt: &ParsedPacket) -> PacketVerdict {
+        let mut v = PacketVerdict::default();
+        for (i, p) in self.parts.iter().enumerate() {
+            match p.packet_filter(pkt) {
+                FilterResult::NoMatch => {}
+                FilterResult::MatchTerminal(_) => v.matched.insert(i),
+                FilterResult::MatchNonTerminal(n) => {
+                    v.live.insert(i);
+                    v.frontiers.push(Self::encode(i, n));
+                }
+            }
+        }
+        v
+    }
+
+    fn conn_filter_set(
+        &self,
+        service: Option<&str>,
+        frontiers: &Frontiers,
+        live: SubscriptionSet,
+    ) -> ConnVerdict {
+        let mut v = ConnVerdict::default();
+        for i in live.iter() {
+            let Some(node) = Self::frontier_for(frontiers, i) else {
+                continue;
+            };
+            match self.parts[i].conn_filter(service, node) {
+                FilterResult::NoMatch => {}
+                FilterResult::MatchTerminal(_) => v.matched.insert(i),
+                // Still undecided: the session filter resumes from the
+                // same packet-layer frontier (scalar contract).
+                FilterResult::MatchNonTerminal(_) => v.live.insert(i),
+            }
+        }
+        v
+    }
+
+    fn session_filter_set(
+        &self,
+        session: &dyn SessionData,
+        frontiers: &Frontiers,
+        live: SubscriptionSet,
+    ) -> SubscriptionSet {
+        let mut matched = SubscriptionSet::empty();
+        for i in live.iter() {
+            let Some(node) = Self::frontier_for(frontiers, i) else {
+                continue;
+            };
+            if self.parts[i].session_filter(session, node) {
+                matched.insert(i);
+            }
+        }
+        matched
+    }
+
+    fn conn_protocols_for(&self, sub: usize) -> Vec<String> {
+        self.parts[sub].conn_protocols()
+    }
+
+    fn needs_conn_layer_for(&self, sub: usize) -> bool {
+        self.parts[sub].needs_conn_layer()
+    }
+
+    fn needs_session_layer_for(&self, sub: usize) -> bool {
+        self.parts[sub].needs_session_layer()
+    }
+
+    fn hw_rules(
+        &self,
+        caps: DeviceCaps,
+        registry: &ProtocolRegistry,
+    ) -> Result<Vec<FlowRule>, FilterError> {
+        let mut rules: Vec<FlowRule> = Vec::new();
+        for p in &self.parts {
+            let part_rules = p.hw_rules(caps, registry)?;
+            if part_rules.is_empty() {
+                // One part wants everything: no rules is the broadest
+                // possible set, so the union installs none.
+                return Ok(Vec::new());
+            }
+            for r in part_rules {
+                if !rules.contains(&r) {
+                    rules.push(r);
+                }
+            }
+        }
+        Ok(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::CompiledFilter;
+    use crate::registry::ProtocolRegistry;
+    use retina_wire::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+    use retina_wire::TcpFlags;
+
+    const SRCS: [&str; 3] = ["tls", "ipv4 and tcp.port = 80", "udp"];
+
+    fn union() -> FilterUnion {
+        let reg = ProtocolRegistry::default();
+        FilterUnion::new(
+            SRCS.iter()
+                .map(|s| Box::new(CompiledFilter::build(s, &reg).unwrap()) as Box<dyn FilterFns>)
+                .collect(),
+        )
+    }
+
+    fn tcp_pkt(dport: u16) -> ParsedPacket {
+        let frame = build_tcp(&TcpSpec {
+            src: "10.0.0.1:40000".parse().unwrap(),
+            dst: format!("93.184.216.34:{dport}").parse().unwrap(),
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64,
+            ttl: 64,
+            payload: b"",
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    fn udp_pkt() -> ParsedPacket {
+        let frame = build_udp(&UdpSpec {
+            src: "10.0.0.1:40000".parse().unwrap(),
+            dst: "8.8.8.8:53".parse().unwrap(),
+            ttl: 64,
+            payload: b"x",
+        });
+        ParsedPacket::parse(&frame).unwrap()
+    }
+
+    #[test]
+    fn packet_sets_match_trie_union() {
+        // The composed union and the merged-trie union agree on which
+        // subscriptions match / stay live (frontier encodings differ).
+        let u = union();
+        let reg = ProtocolRegistry::default();
+        let merged = CompiledFilter::build_union(&SRCS, &reg).unwrap();
+        for pkt in [tcp_pkt(80), tcp_pkt(443), udp_pkt()] {
+            let a = u.packet_filter_set(&pkt);
+            let b = merged.packet_filter_set(&pkt);
+            assert_eq!(a.matched, b.matched, "matched sets differ");
+            assert_eq!(a.live, b.live, "live sets differ");
+        }
+    }
+
+    #[test]
+    fn conn_layer_routes_to_owning_part() {
+        let u = union();
+        let v = u.packet_filter_set(&tcp_pkt(443));
+        // Port-80 sub misses; tls stays live pending the conn layer.
+        assert!(v.matched.is_empty());
+        assert_eq!(v.live, SubscriptionSet::single(0));
+        let cv = u.conn_filter_set(Some("tls"), &v.frontiers, v.live);
+        assert_eq!(cv.matched, SubscriptionSet::single(0));
+        let cv = u.conn_filter_set(Some("http"), &v.frontiers, v.live);
+        assert!(cv.matched.is_empty() && cv.live.is_empty());
+    }
+
+    #[test]
+    fn packet_terminal_subs_decided_immediately() {
+        let u = union();
+        let v = u.packet_filter_set(&tcp_pkt(80));
+        assert!(v.matched.contains(1));
+        let v = u.packet_filter_set(&udp_pkt());
+        assert!(v.matched.contains(2));
+        assert!(!v.matched.contains(1));
+    }
+
+    #[test]
+    fn hw_rules_union_dedups_and_widens_to_empty() {
+        let reg = ProtocolRegistry::default();
+        let u = union();
+        let rules = u.hw_rules(retina_nic::DeviceCaps::full(), &reg).unwrap();
+        assert!(!rules.is_empty());
+        for (i, r) in rules.iter().enumerate() {
+            assert!(!rules[i + 1..].contains(r), "duplicate rule");
+        }
+        // Adding a match-everything part collapses the rule set to the
+        // broadest possible (none installed = deliver all).
+        let all = FilterUnion::new(vec![
+            Box::new(CompiledFilter::build("tls", &reg).unwrap()),
+            Box::new(CompiledFilter::build("", &reg).unwrap()),
+        ]);
+        assert!(all
+            .hw_rules(retina_nic::DeviceCaps::full(), &reg)
+            .unwrap()
+            .is_empty());
+        assert_eq!(all.source(), "");
+    }
+
+    #[test]
+    fn metadata_is_per_subscription() {
+        let u = union();
+        assert_eq!(u.num_subscriptions(), 3);
+        assert!(u.needs_conn_layer_for(0));
+        assert!(!u.needs_conn_layer_for(1));
+        assert!(!u.needs_conn_layer_for(2));
+        assert_eq!(u.conn_protocols_for(0), vec!["tls".to_string()]);
+        assert!(u.conn_protocols_for(1).is_empty());
+        assert_eq!(u.source(), "(tls) or (ipv4 and tcp.port = 80) or (udp)");
+    }
+}

@@ -9,7 +9,7 @@
 //! macros perform that step at *compile time*, so no filter interpretation
 //! happens at runtime (Appendix B quantifies the benefit).
 //!
-//! Two forms are provided:
+//! Three forms are provided:
 //!
 //! ```ignore
 //! // Function-like: declares the struct and its FilterFns impl.
@@ -18,11 +18,18 @@
 //! // Attribute: annotate an existing unit struct.
 //! #[retina_filtergen::filter(r"tls.sni matches '.*\.com$'")]
 //! struct ComFilter;
+//!
+//! // Union: one multi-subscription filter from N sources, each source
+//! // compiled to static code and composed via retina_filter::FilterUnion.
+//! retina_filtergen::filter_union!(tls_and_http, "tls", "http");
+//! let f = tls_and_http(); // FilterFns with num_subscriptions() == 2
 //! ```
 //!
-//! Both expand to `impl retina_filter::FilterFns for ComFilter`, usable
-//! anywhere a filter is accepted (e.g. `Runtime::new`). Filter syntax or
-//! type errors surface as compile errors with the offending message.
+//! The first two expand to `impl retina_filter::FilterFns for ComFilter`,
+//! usable anywhere a filter is accepted (e.g. `Runtime::new`); the union
+//! form produces a constructor function whose result drives a
+//! `MultiRuntime` directly. Filter syntax or type errors surface as
+//! compile errors with the offending message.
 //!
 //! The macro is deliberately built without `syn`/`quote`: the input
 //! grammar is just an identifier and a string literal, parsed by hand from
@@ -86,6 +93,72 @@ pub fn filter_attr(attr: TokenStream, item: TokenStream) -> TokenStream {
     let mut out = item;
     out.extend(generated);
     out
+}
+
+/// Union form: `filter_union!(make_filter, "tls", "http", ...)`.
+///
+/// Generates one statically-compiled filter struct per source (exactly
+/// what [`filter!`] would emit) plus a constructor function `make_filter()`
+/// returning a `retina_filter::FilterUnion` that composes them: one
+/// multi-subscription filter whose subscription `i` is source `i`, with
+/// every predicate still baked into the binary as native conditionals.
+///
+/// ```ignore
+/// retina_filtergen::filter_union!(tls_and_http, "tls", "http");
+/// let filter = tls_and_http(); // FilterFns with num_subscriptions() == 2
+/// ```
+#[proc_macro]
+pub fn filter_union(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut iter = tokens.iter();
+    let Some(TokenTree::Ident(name)) = iter.next() else {
+        return compile_error("expected `filter_union!(fn_name, \"src0\", \"src1\", ...)`");
+    };
+    let name = name.to_string();
+    let mut sources = Vec::new();
+    loop {
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            _ => return compile_error("expected `,` between filter_union! arguments"),
+        }
+        match iter.next() {
+            None => break, // trailing comma
+            Some(TokenTree::Literal(lit)) => match parse_string_literal(&lit.to_string()) {
+                Some(s) => sources.push(s),
+                None => return compile_error("filter_union! sources must be string literals"),
+            },
+            _ => return compile_error("filter_union! sources must be string literals"),
+        }
+    }
+    if sources.is_empty() {
+        return compile_error("filter_union! needs at least one filter source");
+    }
+    let mut out = String::new();
+    let mut ctors = Vec::new();
+    for (i, src) in sources.iter().enumerate() {
+        let part = format!("__{name}_Part{i}");
+        let registry = ProtocolRegistry::default();
+        let trie = match PredicateTrie::from_source(src, &registry) {
+            Ok(t) => t,
+            Err(e) => return compile_error(&format!("invalid filter '{src}': {e}")),
+        };
+        out.push_str("#[allow(non_camel_case_types)]\n");
+        out.push_str(&retina_filter::codegen::generate(&trie, &part));
+        out.push('\n');
+        ctors.push(format!("Box::new({part})"));
+    }
+    out.push_str(&format!(
+        "/// Builds the `{name}` filter union ({} statically-generated parts).\n\
+         pub fn {name}() -> retina_filter::FilterUnion {{\n    \
+             retina_filter::FilterUnion::new(vec![{}])\n}}\n",
+        sources.len(),
+        ctors.join(", "),
+    ));
+    match out.parse::<TokenStream>() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("internal codegen error: {e}")),
+    }
 }
 
 fn parse_args(tokens: &[TokenTree]) -> Result<(String, String), String> {

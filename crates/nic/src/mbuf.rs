@@ -32,8 +32,8 @@ pub struct Mbuf {
     /// packet matched, used to resume filter evaluation at later layers
     /// without re-walking the trie (§4.1). `0` means "not yet filtered".
     pub mark: u32,
-    // Held only for its Drop side effect (pool accounting).
-    #[allow(dead_code)]
+    // Pool accounting guard: released (with the charge) when the last
+    // clone drops. See [`Mbuf::pooled`].
     charge: Option<Arc<PoolCharge>>,
 }
 
@@ -110,6 +110,18 @@ impl Mbuf {
     pub fn bytes(&self) -> Bytes {
         self.data.clone()
     }
+
+    /// Whether this buffer is charged to a [`Mempool`] (true for frames
+    /// delivered by the NIC, false for [`Mbuf::from_bytes`] wrappers).
+    pub fn pooled(&self) -> bool {
+        self.charge.is_some()
+    }
+
+    /// Handles (this mbuf plus clones) sharing the pool charge, or 0 for
+    /// an unpooled buffer. Diagnostic mirror of DPDK's `rte_mbuf_refcnt`.
+    pub fn refcnt(&self) -> usize {
+        self.charge.as_ref().map_or(0, Arc::strong_count)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -182,6 +194,8 @@ mod tests {
         assert_eq!(pool.in_use(), 0);
         let m1 = Mbuf::from_bytes_in(Bytes::from_static(b"abcd"), &pool);
         let m2 = Mbuf::from_bytes_in(Bytes::from_static(b"efgh12"), &pool);
+        assert!(m1.pooled());
+        assert_eq!(m1.refcnt(), 1);
         assert_eq!(pool.in_use(), 2);
         assert_eq!(pool.bytes_in_use(), 10);
         drop(m1);
@@ -200,6 +214,7 @@ mod tests {
         // A clone shares the charge: cloning is the "hold by reference"
         // mechanism, and the pool tracks delivered buffers, not handles.
         assert_eq!(pool.in_use(), 1);
+        assert_eq!(m1.refcnt(), 2);
         drop(m1);
         // The clone still holds the charge.
         assert_eq!(pool.in_use(), 1);
@@ -245,5 +260,7 @@ mod tests {
         assert_eq!(m.len(), 5);
         assert_eq!(m.data(), b"frame");
         assert!(!m.is_empty());
+        assert!(!m.pooled());
+        assert_eq!(m.refcnt(), 0);
     }
 }

@@ -10,15 +10,15 @@
 //! | [`sync`]          | `parking_lot`, `crossbeam` | NIC rings, executor channels |
 //! | [`rand`]          | `rand` (`SmallRng`)        | seeded traffic generation    |
 //! | [`rematch`]       | `regex` (`Regex`)          | filter `~` string matching   |
-//! | [`proptest`]      | `proptest`                 | property tests everywhere    |
-//! | [`bench`]         | `criterion`                | `crates/bench/benches`       |
+//! | [`mod@proptest`]  | `proptest`                 | property tests everywhere    |
+//! | [`mod@bench`]     | `criterion`                | `crates/bench/benches`       |
 //!
 //! The replacements implement the *subset* of each upstream API this
 //! repository actually uses, with the same call-site shapes, so the
 //! migration is an import swap rather than a rewrite. Determinism is a
 //! design goal throughout: nothing in this crate reads ambient entropy,
 //! the clock only feeds benchmark timing, and property tests derive
-//! their seeds from test names (see [`proptest`] module docs).
+//! their seeds from test names (see [`mod@proptest`] module docs).
 
 pub mod bench;
 pub mod bytes;

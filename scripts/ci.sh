@@ -10,14 +10,15 @@
 #   fmt         cargo fmt --check (no diffs tolerated)
 #   clippy      cargo clippy --offline --all-targets -- -D warnings
 #   build       release build of every lib and binary
+#   doc         cargo doc --offline --no-deps with warnings denied
 #   test        cargo test -q --offline (whole workspace)
-#   smoke       telemetry_smoke + governor_storm (--quick), emitting
-#               results/BENCH_ci.json
+#   smoke       telemetry_smoke + governor_storm + fig_multi (--quick),
+#               emitting results/BENCH_ci.json
 #   bench-gate  scripts/bench_gate.sh vs results/BENCH_baseline.json
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy build test smoke bench-gate)
+ALL_STAGES=(fmt clippy build doc test smoke bench-gate)
 if [ "$#" -gt 0 ]; then STAGES=("$@"); else STAGES=("${ALL_STAGES[@]}"); fi
 
 FAILED=()
@@ -44,6 +45,8 @@ stage_build() {
         cargo build --release --offline --bins
 }
 
+stage_doc() { RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps; }
+
 stage_test() { cargo test -q --offline; }
 
 stage_smoke() {
@@ -51,6 +54,8 @@ stage_smoke() {
     cargo run --release --offline -q -p retina-bench --bin telemetry_smoke -- \
         --quick --json-out results/BENCH_ci.json &&
         cargo run --release --offline -q -p retina-bench --bin governor_storm -- \
+            --quick --json-out results/BENCH_ci.json &&
+        cargo run --release --offline -q -p retina-bench --bin fig_multi -- \
             --quick --json-out results/BENCH_ci.json
 }
 
@@ -61,6 +66,7 @@ for stage in "${STAGES[@]}"; do
     fmt) run_stage fmt stage_fmt ;;
     clippy) run_stage clippy stage_clippy ;;
     build) run_stage build stage_build ;;
+    doc) run_stage doc stage_doc ;;
     test) run_stage test stage_test ;;
     smoke) run_stage smoke stage_smoke ;;
     bench-gate) run_stage bench-gate stage_bench_gate ;;

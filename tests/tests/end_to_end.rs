@@ -273,3 +273,81 @@ fn session_records_match_generated_composition() {
     assert!(tls > ssh, "tls={tls} ssh={ssh}");
     assert!(dns > 0 && http > 0);
 }
+
+#[test]
+fn merged_runtime_equals_independent_runtimes() {
+    // The tentpole invariant of the multi-subscription runtime: one
+    // merged 4-subscription pass delivers byte-identical per-subscription
+    // results to four independent single-subscription runtimes over the
+    // same traffic. "Byte-identical" is literal: the full Debug rendering
+    // of every delivered record, compared as sorted multisets (multi-core
+    // interleaving may permute delivery order, nothing else).
+    use retina_core::subscribables::{DnsTransactionData, HttpTransactionData};
+    use retina_core::RuntimeBuilder;
+
+    let packets = generate(&CampusConfig::small(0x4111));
+
+    fn run_alone<S: retina_core::Subscribable + std::fmt::Debug + 'static>(
+        src: &str,
+        packets: Vec<(retina_support::bytes::Bytes, u64)>,
+    ) -> Vec<String> {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o2 = Arc::clone(&out);
+        let filter = compile(src).unwrap();
+        let mut rt = Runtime::<S, _>::new(RuntimeConfig::with_cores(2), filter, move |rec| {
+            o2.lock().unwrap().push(format!("{rec:?}"));
+        })
+        .unwrap();
+        assert!(rt.run(PreloadedSource::new(packets)).zero_loss());
+        let mut v = out.lock().unwrap().clone();
+        v.sort();
+        v
+    }
+
+    let alone = [
+        run_alone::<TlsHandshakeData>("tls", packets.clone()),
+        run_alone::<HttpTransactionData>("http", packets.clone()),
+        run_alone::<DnsTransactionData>("dns", packets.clone()),
+        run_alone::<ConnRecord>("ipv4 and tcp", packets.clone()),
+    ];
+
+    let merged: [Arc<Mutex<Vec<String>>>; 4] = std::array::from_fn(|_| Arc::default());
+    let (m0, m1, m2, m3) = (
+        Arc::clone(&merged[0]),
+        Arc::clone(&merged[1]),
+        Arc::clone(&merged[2]),
+        Arc::clone(&merged[3]),
+    );
+    let mut rt = RuntimeBuilder::new(RuntimeConfig::with_cores(2))
+        .subscribe_named::<TlsHandshakeData>("tls", "tls", move |hs| {
+            m0.lock().unwrap().push(format!("{hs:?}"));
+        })
+        .subscribe_named::<HttpTransactionData>("http", "http", move |tx| {
+            m1.lock().unwrap().push(format!("{tx:?}"));
+        })
+        .subscribe_named::<DnsTransactionData>("dns", "dns", move |dns| {
+            m2.lock().unwrap().push(format!("{dns:?}"));
+        })
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", move |c| {
+            m3.lock().unwrap().push(format!("{c:?}"));
+        })
+        .build()
+        .unwrap();
+    let report = rt.run(PreloadedSource::new(packets));
+    assert!(report.zero_loss());
+
+    for (i, name) in ["tls", "http", "dns", "conns"].iter().enumerate() {
+        let mut got = merged[i].lock().unwrap().clone();
+        got.sort();
+        assert!(!got.is_empty(), "subscription {name} delivered nothing");
+        assert_eq!(
+            got, alone[i],
+            "subscription {name} diverged from its solo run"
+        );
+        assert_eq!(
+            report.subs[i].delivered,
+            got.len() as u64,
+            "telemetry for {name} disagrees with callback count"
+        );
+    }
+}

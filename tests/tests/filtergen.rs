@@ -260,3 +260,83 @@ fn offline_mode_agrees_between_engines() {
     assert_eq!(interp_count, static_count);
     assert!(interp_count > 0);
 }
+
+// Union form: each source compiled to static code, composed into one
+// multi-subscription filter.
+retina_filtergen::filter_union!(tls_http_dns, "tls", "http", "dns");
+
+#[test]
+fn filter_union_agrees_with_interpreted_union() {
+    let static_u = tls_http_dns();
+    let interp_u =
+        CompiledFilter::build_union(&["tls", "http", "dns"], &ProtocolRegistry::default()).unwrap();
+    assert_eq!(static_u.num_subscriptions(), 3);
+    assert_eq!(interp_u.num_subscriptions(), 3);
+
+    let packets = generate(&CampusConfig::small(0x7E57));
+    let mut matched = 0usize;
+    for (frame, _) in packets.iter().take(30_000) {
+        let Ok(pkt) = ParsedPacket::parse(frame) else {
+            continue;
+        };
+        let a = static_u.packet_filter_set(&pkt);
+        let b = interp_u.packet_filter_set(&pkt);
+        assert_eq!(a.matched, b.matched, "matched sets diverge on {pkt:?}");
+        assert_eq!(a.live, b.live, "live sets diverge on {pkt:?}");
+        if !a.is_no_match() {
+            matched += 1;
+            // Conn-layer verdicts must agree per service for the same
+            // packet-layer frontiers.
+            for service in [Some("tls"), Some("http"), Some("dns"), None] {
+                let ca = static_u.conn_filter_set(service, &a.frontiers, a.live);
+                let cb = interp_u.conn_filter_set(service, &b.frontiers, b.live);
+                assert_eq!(ca.matched, cb.matched, "conn matched diverge ({service:?})");
+                assert_eq!(ca.live, cb.live, "conn live diverge ({service:?})");
+            }
+        }
+    }
+    assert!(matched > 0, "workload should exercise the union");
+}
+
+#[test]
+fn filter_union_drives_multi_runtime() {
+    // The macro-generated union powers a MultiRuntime with one typed
+    // subscription per source.
+    use retina_core::subscribables::{ConnRecord, TlsHandshakeData};
+    use retina_core::{MultiRuntime, RuntimeConfig, TypedSubscription};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let wl = retina_trafficgen::HttpsWorkload {
+        requests_per_sec: 50,
+        response_bytes: 4096,
+        duration_secs: 0.5,
+        ..Default::default()
+    };
+    let tls_seen = Arc::new(AtomicUsize::new(0));
+    let conn_seen = Arc::new(AtomicUsize::new(0));
+    let t2 = Arc::clone(&tls_seen);
+    let c2 = Arc::clone(&conn_seen);
+    retina_filtergen::filter_union!(tls_and_all, "tls", "");
+    let subs: Vec<Arc<dyn retina_core::ErasedSubscription>> = vec![
+        Arc::new(TypedSubscription::<TlsHandshakeData>::new(
+            "tls",
+            move |_| {
+                t2.fetch_add(1, Ordering::Relaxed);
+            },
+        )),
+        Arc::new(TypedSubscription::<ConnRecord>::new(
+            "all_conns",
+            move |_| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            },
+        )),
+    ];
+    let mut rt = MultiRuntime::new(RuntimeConfig::with_cores(2), tls_and_all(), subs).unwrap();
+    let report = rt.run(wl.source());
+    assert_eq!(tls_seen.load(Ordering::Relaxed), 25);
+    assert!(conn_seen.load(Ordering::Relaxed) >= 25);
+    assert!(report.zero_loss());
+    assert_eq!(report.subs.len(), 2);
+    assert_eq!(report.subs[0].delivered, 25);
+}
