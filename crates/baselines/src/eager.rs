@@ -3,6 +3,9 @@
 //! reassembly (the traditional design §5.2 contrasts with Retina's
 //! pass-through reassembler).
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::HashMap;
 
 use retina_conntrack::ConnKey;

@@ -103,7 +103,7 @@ impl Monitor for ZeekLike {
                 }
             }
         }
-        if pkt.tcp_flags().map(|f| f.rst() || f.fin()).unwrap_or(false) {
+        if pkt.tcp_flags().is_some_and(|f| f.rst() || f.fin()) {
             // connection_finished event, then state teardown.
             self.sink ^= self.vm.run_event(0xf1);
             self.report.work_units += 1;
@@ -213,7 +213,7 @@ impl Monitor for SnortLike {
                 self.report.matches += 1;
             }
         }
-        if pkt.tcp_flags().map(|f| f.rst()).unwrap_or(false) {
+        if pkt.tcp_flags().is_some_and(retina_wire::TcpFlags::rst) {
             self.table.remove(&pkt);
         }
     }
@@ -290,8 +290,7 @@ impl Monitor for SuricataLike {
         }
         if pkt
             .tcp_flags()
-            .map(|f| f.0 & (TcpFlags::FIN | TcpFlags::RST) != 0)
-            .unwrap_or(false)
+            .is_some_and(|f| f.0 & (TcpFlags::FIN | TcpFlags::RST) != 0)
         {
             self.table.remove(&pkt);
         }

@@ -9,6 +9,9 @@
 //! profile (tens of ops + a hash probe per event) resembling a small
 //! Zeek script.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 /// Bytecode operations.
 #[derive(Debug, Clone, Copy)]
 pub enum Op {

@@ -3,6 +3,9 @@
 //! timer-wheel operations, and the two reassembly designs (Retina's
 //! pass-through vs. the eager copy-based ablation).
 
+// Narrowing casts in this file are intentional: test and bench harnesses narrow seeded draws and counter math to compact fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_support::bench::{Criterion, Throughput};
 use retina_support::{criterion_group, criterion_main};
 use std::hint::black_box;
@@ -32,7 +35,7 @@ fn bench_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire");
     group.throughput(Throughput::Bytes(frame.len() as u64));
     group.bench_function("parse_packet_1460B", |b| {
-        b.iter(|| ParsedPacket::parse(black_box(&frame)).unwrap())
+        b.iter(|| ParsedPacket::parse(black_box(&frame)).unwrap());
     });
     group.finish();
 }
@@ -42,7 +45,7 @@ fn bench_rss(c: &mut Criterion) {
     let pkt = ParsedPacket::parse(&frame).unwrap();
     let hasher = RssHasher::symmetric();
     c.bench_function("rss/toeplitz_v4_tuple", |b| {
-        b.iter(|| hasher.hash_packet(black_box(&pkt)))
+        b.iter(|| hasher.hash_packet(black_box(&pkt)));
     });
 }
 
@@ -58,13 +61,13 @@ fn bench_tls_parse(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(ch.len() as u64));
     group.bench_function("probe_client_hello", |b| {
         let parser = retina_protocols::tls::TlsParser::new();
-        b.iter(|| parser.probe(black_box(&ch), Direction::ToServer))
+        b.iter(|| parser.probe(black_box(&ch), Direction::ToServer));
     });
     group.bench_function("parse_client_hello", |b| {
         b.iter(|| {
             let mut parser = retina_protocols::tls::TlsParser::new();
             parser.parse(black_box(&ch), Direction::ToServer)
-        })
+        });
     });
     group.finish();
 }
@@ -104,7 +107,7 @@ fn bench_conn_table(c: &mut Criterion) {
                 table.get_or_insert_with(*key, i as u64 * 1000, || (*tuple, 0u32));
             }
             black_box(table.len())
-        })
+        });
     });
     c.bench_function("conntrack/lookup_hit", |b| {
         let mut table: ConnTable<u32> = ConnTable::new(TimeoutConfig::retina_default());
@@ -115,7 +118,7 @@ fn bench_conn_table(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % keys.len();
             black_box(table.get_mut(&keys[i]).is_some())
-        })
+        });
     });
 }
 
@@ -138,7 +141,7 @@ fn bench_timer_wheel(c: &mut Criterion) {
             let mut out = Vec::new();
             wheel.advance(60_000_000_000, &mut out);
             black_box(out.len())
-        })
+        });
     });
 }
 
@@ -158,7 +161,7 @@ fn bench_reassembly_designs(c: &mut Criterion) {
                 black_box(r.offer(i * 1460, 1460, &mbuf));
             }
             black_box(r.next_seq())
-        })
+        });
     });
     group.bench_function("eager_copy", |b| {
         b.iter(|| {
@@ -167,7 +170,7 @@ fn bench_reassembly_designs(c: &mut Criterion) {
                 buf.add(i * 1460, black_box(&payload));
             }
             black_box(buf.data.len())
-        })
+        });
     });
     group.finish();
 }

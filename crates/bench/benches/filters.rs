@@ -72,7 +72,7 @@ fn bench_packet_filters(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
         group.bench_function(format!("{name}/interpreted"), |b| {
             b.iter(|| {
@@ -83,7 +83,7 @@ fn bench_packet_filters(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
     }
     group.finish();
@@ -97,7 +97,7 @@ fn bench_filter_compilation(c: &mut Criterion) {
             || (),
             |_| compile("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http").unwrap(),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 

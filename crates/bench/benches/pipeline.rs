@@ -34,7 +34,7 @@ fn bench_subscriptions(c: &mut Criterion) {
             let mut n = 0u64;
             run_offline::<ZcFrame, _>(&filter, &config, packets.clone(), |_| n += 1);
             black_box(n)
-        })
+        });
     });
     group.bench_function("conn_records_tcp", |b| {
         let filter = Arc::new(compile("tcp").unwrap());
@@ -42,7 +42,7 @@ fn bench_subscriptions(c: &mut Criterion) {
             let mut n = 0u64;
             run_offline::<ConnRecord, _>(&filter, &config, packets.clone(), |_| n += 1);
             black_box(n)
-        })
+        });
     });
     group.bench_function("tls_handshakes", |b| {
         let filter = Arc::new(compile("tls").unwrap());
@@ -50,7 +50,7 @@ fn bench_subscriptions(c: &mut Criterion) {
             let mut n = 0u64;
             run_offline::<TlsHandshakeData, _>(&filter, &config, packets.clone(), |_| n += 1);
             black_box(n)
-        })
+        });
     });
     group.bench_function("tls_handshakes_narrow_filter", |b| {
         // A narrow session filter costs the same as the broad one up to
@@ -63,7 +63,7 @@ fn bench_subscriptions(c: &mut Criterion) {
             let mut n = 0u64;
             run_offline::<TlsHandshakeData, _>(&filter, &config, packets.clone(), |_| n += 1);
             black_box(n)
-        })
+        });
     });
     group.finish();
 }
@@ -89,7 +89,7 @@ fn bench_vs_baselines(c: &mut Criterion) {
             let mut n = 0u64;
             run_offline::<TlsHandshakeData, _>(&filter, &config, packets.clone(), |_| n += 1);
             black_box(n)
-        })
+        });
     });
     group.bench_function("suricata_model", |b| {
         b.iter(|| {
@@ -98,7 +98,7 @@ fn bench_vs_baselines(c: &mut Criterion) {
                 m.process(frame, *ts);
             }
             black_box(m.report().matches)
-        })
+        });
     });
     group.bench_function("zeek_model", |b| {
         b.iter(|| {
@@ -107,7 +107,7 @@ fn bench_vs_baselines(c: &mut Criterion) {
                 m.process(frame, *ts);
             }
             black_box(m.report().matches)
-        })
+        });
     });
     group.bench_function("snort_model", |b| {
         b.iter(|| {
@@ -116,7 +116,7 @@ fn bench_vs_baselines(c: &mut Criterion) {
                 m.process(frame, *ts);
             }
             black_box(m.report().matches)
-        })
+        });
     });
     group.finish();
 }

@@ -105,7 +105,7 @@ fn main() {
                 interp_hits = 0;
                 let (_, secs) = timed(|| {
                     run_offline::<TlsHandshakeData, _>(&interp, &config, packets.clone(), |_| {
-                        interp_hits += 1
+                        interp_hits += 1;
                     })
                 });
                 interp_best = interp_best.min(secs);
@@ -117,7 +117,7 @@ fn main() {
                         &config,
                         packets.clone(),
                         &mut static_hits,
-                    )
+                    );
                 });
                 static_best = static_best.min(secs);
             }

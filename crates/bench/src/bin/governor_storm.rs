@@ -26,6 +26,9 @@
 //! (see `retina_bench::ci`); `scripts/bench_gate.sh` compares them
 //! against the committed baseline.
 
+// Narrowing casts in this file are intentional: test and bench harnesses narrow seeded draws and counter math to compact fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::process::exit;
 use std::time::{Duration, Instant};
 

@@ -4,6 +4,9 @@
 //! the flow statistics and a raw-packet subscription for the packet-size
 //! distribution.
 
+// Narrowing casts in this file are intentional: test and bench harnesses narrow seeded draws and counter math to compact fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 

@@ -18,7 +18,7 @@ use std::time::Duration;
 use retina_bench::{bench_args, ci};
 use retina_core::subscribables::ConnRecord;
 use retina_core::telemetry::{json, CsvSink, JsonSink, LogSink, PrometheusSink, Sample, SharedBuf};
-use retina_core::{compile, Monitor, Runtime, RuntimeConfig, TrafficSource};
+use retina_core::{compile, Monitor, Runtime, RuntimeConfig, StageSummary, TrafficSource};
 use retina_support::bytes::Bytes;
 use retina_trafficgen::campus::{generate, CampusConfig};
 
@@ -106,14 +106,17 @@ fn main() {
     let delivered = final_
         .get("counters")
         .and_then(|c| c.get("nic.rx_delivered"))
-        .and_then(|v| v.as_u64());
+        .and_then(json::Json::as_u64);
     if delivered != Some(report.nic.rx_delivered) {
         fail(&format!(
             "JSON final.counters[nic.rx_delivered] = {delivered:?}, want {}",
             report.nic.rx_delivered
         ));
     }
-    let n_samples = doc.get("samples").and_then(|s| s.as_arr()).map(|s| s.len());
+    let n_samples = doc
+        .get("samples")
+        .and_then(json::Json::as_arr)
+        .map(<[json::Json]>::len);
     if n_samples != Some(samples.len()) {
         fail(&format!(
             "JSON samples array has {n_samples:?} entries, monitor collected {}",
@@ -180,8 +183,8 @@ fn main() {
     println!(
         "  mbuf high-water: {} buffers; stage p99 (cycles): packet_filter={} conn_tracking={}",
         report.mbuf_high_water,
-        snap.stage("packet_filter").map(|s| s.p99()).unwrap_or(0),
-        snap.stage("conn_tracking").map(|s| s.p99()).unwrap_or(0),
+        snap.stage("packet_filter").map_or(0, StageSummary::p99),
+        snap.stage("conn_tracking").map_or(0, StageSummary::p99),
     );
 
     if let Some(path) = &args.json_out {

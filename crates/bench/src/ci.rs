@@ -21,6 +21,9 @@
 //! pass/fail booleans) therefore gate exactly, while machine-dependent
 //! numbers are visible but harmless.
 
+// Narrowing casts in this file are intentional: test and bench harnesses narrow seeded draws and counter math to compact fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_core::telemetry::json::{escape, parse, Json};
 
 /// Default relative tolerance for gated metrics.
@@ -144,7 +147,7 @@ pub fn compare(baseline: &str, current: &str) -> Result<Vec<Regression>, String>
             let observed = cur
                 .get(section)
                 .and_then(|s| s.get(name))
-                .and_then(|v| v.as_num());
+                .and_then(Json::as_num);
             let Some(observed) = observed else {
                 regressions.push(Regression {
                     metric: format!("{section}.{name} (missing from current results)"),

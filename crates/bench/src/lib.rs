@@ -7,6 +7,9 @@
 //! accept `--quick` for a reduced run and `--packets N` to scale the
 //! workload.
 
+// Narrowing casts in this file are intentional: test and bench harnesses narrow seeded draws and counter math to compact fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::time::Instant;
 
 use retina_core::{FilterFns, RunReport, Runtime, RuntimeConfig, Subscribable};

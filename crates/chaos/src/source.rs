@@ -7,6 +7,9 @@
 //! and wall-clock time cannot change which frames are perturbed, so a
 //! chaos run replays exactly from its seed.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_core::runtime::TrafficSource;
 use retina_support::bytes::Bytes;
 

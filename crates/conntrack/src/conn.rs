@@ -1,5 +1,8 @@
 //! Per-connection TCP flow state and statistics.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_wire::{L4Header, ParsedPacket, TcpFlags};
 
 use crate::reassembly::{Reassembled, StreamReassembler};

@@ -8,6 +8,9 @@
 //! through; out-of-order packets are held by reference ([`Mbuf`] clones)
 //! in a bounded buffer and flushed the moment the hole fills.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_nic::Mbuf;
 
 /// Default maximum out-of-order packets held per direction (paper §5.2).
@@ -85,13 +88,10 @@ impl StreamReassembler {
     /// Offers a segment. `consumed` is the sequence space it occupies
     /// (payload length, +1 for SYN/FIN which the caller accounts).
     pub fn offer(&mut self, seq: u32, consumed: u32, mbuf: &Mbuf) -> Reassembled {
-        let next = match self.next_seq {
-            Some(n) => n,
-            None => {
-                // Mid-stream pickup: adopt this segment's seq.
-                self.next_seq = Some(seq.wrapping_add(consumed));
-                return Reassembled::InOrder;
-            }
+        let Some(next) = self.next_seq else {
+            // Mid-stream pickup: adopt this segment's seq.
+            self.next_seq = Some(seq.wrapping_add(consumed));
+            return Reassembled::InOrder;
         };
         if seq == next {
             self.next_seq = Some(next.wrapping_add(consumed));
@@ -129,12 +129,9 @@ impl StreamReassembler {
     /// flows after identifying the protocol", §5.2) while keeping the
     /// out-of-order statistics flowing.
     pub fn track_only(&mut self, seq: u32, consumed: u32) -> Reassembled {
-        let next = match self.next_seq {
-            Some(n) => n,
-            None => {
-                self.next_seq = Some(seq.wrapping_add(consumed));
-                return Reassembled::InOrder;
-            }
+        let Some(next) = self.next_seq else {
+            self.next_seq = Some(seq.wrapping_add(consumed));
+            return Reassembled::InOrder;
         };
         if seq == next {
             self.next_seq = Some(next.wrapping_add(consumed));

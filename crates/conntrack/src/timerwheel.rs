@@ -11,6 +11,9 @@
 //! revalidation naturally reschedules them, giving unbounded range with a
 //! fixed-size wheel (the "hierarchical" behavior).
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::tuple::ConnKey;
 
 /// A fixed-size timer wheel keyed by [`ConnKey`].

@@ -370,14 +370,15 @@ impl Governor {
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let mut brain = GovernorBrain::new(config.clone());
-        let log = brain.log();
+        let interval = config.interval;
         nic.set_sink_fraction(config.floor);
+        let mut brain = GovernorBrain::new(config);
+        let log = brain.log();
         shed.set_parsing_shed(false);
         let handle = std::thread::spawn(move || {
             let mut prev_lost = nic.stats().lost();
             while !stop2.load(Ordering::Acquire) {
-                std::thread::sleep(config.interval);
+                std::thread::sleep(interval);
                 let stats = nic.stats();
                 let lost = stats.lost();
                 let mempool = nic.mempool();
@@ -423,10 +424,10 @@ impl Governor {
     pub fn stop(mut self) -> GovernorReport {
         self.stop.store(true, Ordering::Release);
         match self.handle.take() {
-            Some(h) => h
-                .join()
-                .map(GovernorBrain::into_report)
-                .unwrap_or_else(|_| GovernorBrain::new(GovernorConfig::default()).into_report()),
+            Some(h) => h.join().map_or_else(
+                |_| GovernorBrain::new(GovernorConfig::default()).into_report(),
+                GovernorBrain::into_report,
+            ),
             None => GovernorBrain::new(GovernorConfig::default()).into_report(),
         }
     }

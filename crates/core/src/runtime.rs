@@ -33,6 +33,9 @@
 //! [`Runtime`] remains the single-subscription view from Figure 1; it is
 //! a thin wrapper over a one-entry [`MultiRuntime`].
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -216,6 +219,11 @@ pub struct RunReport {
     pub sim_duration_ns: u64,
     /// Peak mempool occupancy over the run (buffers).
     pub mbuf_high_water: usize,
+    /// Filter-analyzer warnings recorded at build time (W-code summaries
+    /// from [`retina_filter::analyze_union`]): dead disjuncts, lost
+    /// hardware offload, redundant predicates. Empty when the filters are
+    /// clean or the runtime was built without [`RuntimeBuilder`].
+    pub filter_warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -493,16 +501,51 @@ impl RuntimeBuilder {
     /// Merges the registered filters and builds the runtime. The merged
     /// trie is compiled exactly once; hardware rules are synthesized from
     /// it (the union of every subscription's rules, deduplicated).
+    ///
+    /// The semantic analyzer runs first, against the configured registry
+    /// and the device's capabilities: any E-code diagnostic (unsatisfiable
+    /// conjunction, contradictory constraints, a filter with no satisfiable
+    /// disjunct, …) rejects the build with [`RuntimeError::Filter`] carrying
+    /// the same code and message `retina-flint` and the `filter!` macro
+    /// report. W-code warnings are recorded on the runtime and surfaced in
+    /// every [`RunReport::filter_warnings`].
     pub fn build(self) -> Result<MultiRuntime<CompiledFilter>, RuntimeError> {
         if self.subs.is_empty() {
             return Err(RuntimeError::Subscriptions(
                 "no subscriptions registered".to_string(),
             ));
         }
-        let srcs: Vec<&str> = self.sources.iter().map(|s| s.as_str()).collect();
+        let srcs: Vec<&str> = self
+            .sources
+            .iter()
+            .map(std::string::String::as_str)
+            .collect();
+        let mut warnings = Vec::new();
+        // Lex/parse errors fall through to build_union below, which
+        // reports them with the subscription's source text.
+        if let Ok(analysis) = retina_filter::analyze_union(
+            &srcs,
+            &self.config.filter_registry,
+            Some(&self.config.device.caps),
+        ) {
+            if analysis.has_errors() {
+                let msg = analysis
+                    .errors()
+                    .map(retina_filter::Diagnostic::summary)
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(RuntimeError::Filter(msg));
+            }
+            warnings = analysis
+                .warnings()
+                .map(retina_filter::Diagnostic::summary)
+                .collect();
+        }
         let filter = CompiledFilter::build_union(&srcs, &self.config.filter_registry)
             .map_err(|e| RuntimeError::Filter(e.to_string()))?;
-        MultiRuntime::new(self.config, filter, self.subs)
+        let mut rt = MultiRuntime::new(self.config, filter, self.subs)?;
+        rt.filter_warnings = warnings;
+        Ok(rt)
     }
 }
 
@@ -515,6 +558,7 @@ pub struct MultiRuntime<F: FilterFns + 'static> {
     nic: Arc<VirtualNic>,
     gauges: Arc<RuntimeGauges>,
     shed: Arc<ShedState>,
+    filter_warnings: Vec<String>,
 }
 
 impl<F: FilterFns + 'static> MultiRuntime<F> {
@@ -567,7 +611,14 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             nic,
             gauges,
             shed: Arc::new(ShedState::new()),
+            filter_warnings: Vec::new(),
         })
+    }
+
+    /// Filter-analyzer warnings recorded at build time (also copied into
+    /// every [`RunReport`] this runtime produces).
+    pub fn filter_warnings(&self) -> &[String] {
+        &self.filter_warnings
     }
 
     /// The virtual NIC (for sink-fraction control and port stats).
@@ -672,7 +723,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                     &nic,
                     &filter,
                     &subs,
-                    sinks,
+                    &sinks,
                     packet_mask,
                     &done,
                     &gauges,
@@ -717,6 +768,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             subs,
             sim_duration_ns,
             mbuf_high_water,
+            filter_warnings: self.filter_warnings.clone(),
         }
     }
 }
@@ -777,7 +829,7 @@ fn worker_loop<F: FilterFns>(
     nic: &VirtualNic,
     filter: &Arc<F>,
     subs: &[Arc<dyn ErasedSubscription>],
-    sinks: Vec<Box<dyn ErasedSink>>,
+    sinks: &[Box<dyn ErasedSink>],
     packet_mask: SubscriptionSet,
     ingest_done: &AtomicBool,
     gauges: &RuntimeGauges,

@@ -1,5 +1,8 @@
 //! Built-in subscribable types, one per data abstraction level (§3.2.2).
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_conntrack::{Dir, FiveTuple, TcpFlow};
 use retina_nic::Mbuf;
 use retina_protocols::http::HttpTransaction;

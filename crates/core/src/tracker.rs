@@ -26,6 +26,9 @@
 //! state is dropped eagerly; the connection itself leaves the table when
 //! the last subscription does.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

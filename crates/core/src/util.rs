@@ -6,6 +6,8 @@
 #[inline]
 pub fn rdtsc() -> u64 {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_rdtsc` is unconditionally available on x86_64 (RDTSC has no
+    // CPUID feature gate) and has no memory-safety preconditions.
     unsafe {
         core::arch::x86_64::_rdtsc()
     }

@@ -12,6 +12,9 @@
 //! convention for reproducible randomness (`retina_support::rand` is
 //! fully seeded; nothing reads ambient entropy).
 
+// Narrowing casts in this file are intentional: test and bench harnesses narrow seeded draws and counter math to compact fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 
@@ -229,7 +232,7 @@ fn single_syn_conn_record() {
     });
     let mut out: Vec<ConnRecord> = Vec::new();
     run_offline::<ConnRecord, _>(&filter, &cfg(), vec![(Bytes::from(frame), 0)], |r| {
-        out.push(r)
+        out.push(r);
     });
     assert_eq!(out.len(), 1, "unanswered SYNs are still connections (§5.2)");
     assert!(out[0].single_syn);
@@ -369,7 +372,7 @@ fn session_record_all_protocols() {
 
     let mut protos = Vec::new();
     run_offline::<SessionRecord, _>(&filter, &cfg(), packets, |s| {
-        protos.push(retina_filter::SessionData::protocol(&s.session).to_string())
+        protos.push(retina_filter::SessionData::protocol(&s.session).to_string());
     });
     protos.sort();
     assert_eq!(protos, vec!["dns", "http", "ssh", "tls"]);

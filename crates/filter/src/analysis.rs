@@ -1,0 +1,1127 @@
+//! Semantic analysis of filters: satisfiability, subsumption, and
+//! layer-placement diagnostics.
+//!
+//! The parser and type checker accept any *well-formed* filter, but a
+//! well-formed filter can still be wrong in ways that only show up as
+//! silently-dead trie branches or lost hardware offload:
+//!
+//! - `tcp and udp` — no packet has two transport protocols, so the
+//!   conjunction expands to zero patterns and is dropped without a word;
+//! - `tcp.port < 80 and tcp.src_port > 100 and tcp.src_port < 50` — an
+//!   empty integer interval;
+//! - `tls or tcp` — every `tls` connection is a `tcp` connection, so the
+//!   `tls` branch of the trie is dead weight;
+//! - `tcp.port in 440..450` on a ConnectX-5 — the NIC supports exact port
+//!   matches but not ranges, so the whole predicate silently falls back to
+//!   software although eleven exact-match rules would keep it in hardware.
+//!
+//! [`analyze`] / [`analyze_union`] run after DNF conversion and pattern
+//! expansion and report each of these as a structured [`Diagnostic`] with a
+//! stable code and a source span. Errors (`E…`) reject the filter at
+//! `filter!`-expansion and `RuntimeBuilder::build` time; warnings (`W…`)
+//! surface through build notes, telemetry, and `retina-flint`.
+//!
+//! # Diagnostic codes
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | E001 | error    | conjunction has no consistent protocol chain (`tcp and udp`) |
+//! | E002 | error    | contradictory field constraints (empty interval, disjoint prefixes, conflicting string equalities, out-of-range literal) |
+//! | E003 | error    | unknown protocol/field, operator–type mismatch, bad regex (the registry check, now with a span) |
+//! | E004 | error    | every disjunct is unsatisfiable: the filter can never match |
+//! | W001 | warning  | dead disjunct: pattern strictly covered by another pattern of the same subscription |
+//! | W002 | warning  | predicate falls back to software on the given `DeviceCaps` although a hardware-expressible rewrite exists |
+//! | W003 | warning  | predicate implied by the rest of its conjunction; re-checked redundantly at a later layer |
+//! | W004 | warning  | duplicate subscription: same normalized pattern set as an earlier union member |
+//! | W005 | warning  | subscription entirely contained in another union member |
+//!
+//! # Semantics-preserving pruning
+//!
+//! [`dead_pattern_indices`] is also the engine behind trie-level dead-branch
+//! elimination: [`crate::trie::PredicateTrie::from_sources`] drops W001
+//! patterns before insertion. Dropping a pattern `B` with `A ⊆ B` (as
+//! predicate sets, same subscription) never changes verdicts, because any
+//! input satisfying all of `B`'s predicates satisfies all of `A`'s, and the
+//! filter is a disjunction. The differential proptest in
+//! `tests/tests/analysis.rs` checks this against an unpruned trie on random
+//! filters and packets across all four layers.
+
+use std::collections::BTreeSet;
+
+use retina_nic::flow::DeviceCaps;
+
+use crate::ast::{Op, Predicate, SpanMap, Value};
+use crate::datatypes::FilterError;
+use crate::diag::Diagnostic;
+use crate::dnf::{self, Conjunction, FlatPattern};
+use crate::parser::parse_with_spans;
+use crate::registry::ProtocolRegistry;
+
+/// The result of analyzing one filter or a union of filters.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// All findings, in subscription order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// True when any error-severity diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Error-severity diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+
+    /// Warning-severity diagnostics only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.is_error())
+    }
+
+    /// Diagnostics with the given code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Renders every diagnostic against the per-subscription sources.
+    /// `origin` names the source in `-->` lines.
+    pub fn render_all(&self, srcs: &[&str], origin: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let src = srcs.get(d.sub).copied().unwrap_or("");
+            out.push_str(&d.render(src, origin));
+        }
+        out
+    }
+}
+
+/// Analyzes a single filter. Equivalent to a one-subscription union.
+///
+/// Returns `Err` only for filters that do not parse (lex/parse errors);
+/// every semantic finding is a [`Diagnostic`] inside the [`Analysis`].
+pub fn analyze(
+    src: &str,
+    registry: &ProtocolRegistry,
+    caps: Option<&DeviceCaps>,
+) -> Result<Analysis, FilterError> {
+    analyze_union(&[src], registry, caps)
+}
+
+/// Analyzes a union of subscription filters. Per-subscription findings
+/// carry the subscription index in [`Diagnostic::sub`]; union-level
+/// findings (W004/W005) point at the later of the two subscriptions.
+pub fn analyze_union(
+    srcs: &[&str],
+    registry: &ProtocolRegistry,
+    caps: Option<&DeviceCaps>,
+) -> Result<Analysis, FilterError> {
+    let mut diags = Vec::new();
+    // Per subscription: expanded patterns, or None when analysis could not
+    // get that far (type errors). The empty filter is the match-all pattern.
+    let mut sub_patterns: Vec<Option<Vec<FlatPattern>>> = Vec::new();
+
+    for (sub, src) in srcs.iter().enumerate() {
+        if src.trim().is_empty() {
+            sub_patterns.push(Some(vec![FlatPattern { predicates: vec![] }]));
+            continue;
+        }
+        let (expr, spans) = parse_with_spans(src)?;
+        let conjunctions = dnf::to_dnf(&expr);
+
+        // E003: registry/type errors, now located by span.
+        let mut typed_ok = true;
+        for conj in &conjunctions {
+            for pred in conj {
+                if let Err(e) = registry.check(pred) {
+                    let mut d = Diagnostic::error("E003", sub, e.to_string());
+                    if let Some(span) = spans.get(pred) {
+                        d = d.with_span(span);
+                    }
+                    if !diags.contains(&d) {
+                        diags.push(d);
+                    }
+                    typed_ok = false;
+                }
+            }
+        }
+        if !typed_ok {
+            sub_patterns.push(None);
+            continue;
+        }
+
+        let mut patterns = Vec::new();
+        let mut any_satisfiable = false;
+        for conj in &conjunctions {
+            match dnf::expand_patterns(std::slice::from_ref(conj), registry) {
+                Ok(expanded) => {
+                    any_satisfiable = true;
+                    check_field_contradictions(conj, &spans, sub, &mut diags);
+                    check_redundant_predicates(conj, &spans, sub, registry, &mut diags);
+                    patterns.extend(expanded);
+                }
+                Err(_) => diags.push(unsatisfiable_chain_diag(conj, &spans, sub)),
+            }
+        }
+        if !any_satisfiable && !conjunctions.is_empty() {
+            diags.push(Diagnostic::error(
+                "E004",
+                sub,
+                "filter can never match: every disjunct is unsatisfiable",
+            ));
+        }
+
+        // W001: dead disjuncts (patterns subsumed within this subscription).
+        for (dead, by) in dead_pattern_indices(&patterns) {
+            let dead_text = pattern_text(&patterns[dead]);
+            let by_text = pattern_text(&patterns[by]);
+            let mut d = Diagnostic::warning(
+                "W001",
+                sub,
+                format!(
+                    "dead disjunct: every input matching '{dead_text}' already matches '{by_text}'"
+                ),
+            )
+            .with_note("the corresponding trie branch is removed; drop the narrower disjunct");
+            // Point at a predicate the user wrote that is unique to the
+            // dead pattern, if there is one.
+            if let Some(span) = patterns[dead]
+                .predicates
+                .iter()
+                .filter(|p| !patterns[by].predicates.contains(p))
+                .find_map(|p| spans.get(p))
+            {
+                d = d.with_span(span);
+            }
+            diags.push(d);
+        }
+
+        // W002: predicates that lose hardware offload although an
+        // equivalent hardware-expressible rewrite exists.
+        if let Some(caps) = caps {
+            check_hw_fallback(&patterns, &spans, sub, caps, &mut diags);
+        }
+
+        sub_patterns.push(Some(patterns));
+    }
+
+    // Union-level findings: duplicates (W004) and cross-subscription
+    // containment (W005).
+    let normalized: Vec<Option<BTreeSet<String>>> = sub_patterns
+        .iter()
+        .map(|p| {
+            p.as_ref()
+                .map(|pats| pats.iter().map(pattern_text).collect())
+        })
+        .collect();
+    for j in 1..sub_patterns.len() {
+        let Some(nj) = &normalized[j] else { continue };
+        if let Some(i) = (0..j).find(|&i| normalized[i].as_ref() == Some(nj)) {
+            diags.push(
+                Diagnostic::warning(
+                    "W004",
+                    j,
+                    format!(
+                        "subscription {j} ('{}') is a duplicate of subscription {i} ('{}')",
+                        srcs[j], srcs[i]
+                    ),
+                )
+                .with_note("both receive identical verdicts; the trie is shared either way"),
+            );
+        }
+    }
+    for j in 0..sub_patterns.len() {
+        let Some(pj) = &sub_patterns[j] else { continue };
+        for (i, pi) in sub_patterns.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let Some(pi) = pi else { continue };
+            // Skip exact duplicates (already W004).
+            if normalized[i] == normalized[j] {
+                continue;
+            }
+            let contained = pj.iter().all(|q| {
+                pi.iter()
+                    .any(|p| predicate_subset(&p.predicates, &q.predicates))
+            });
+            if contained {
+                diags.push(
+                    Diagnostic::warning(
+                        "W005",
+                        j,
+                        format!(
+                            "subscription {j} ('{}') is entirely contained in subscription {i} ('{}')",
+                            srcs[j], srcs[i]
+                        ),
+                    )
+                    .with_note("every input it matches also matches the broader subscription"),
+                );
+                break;
+            }
+        }
+    }
+
+    Ok(Analysis { diagnostics: diags })
+}
+
+/// Within one subscription's expanded patterns, returns `(dead, subsumer)`
+/// index pairs: pattern `dead` is covered by pattern `subsumer` (its
+/// predicate set is a superset — any input matching `dead` matches
+/// `subsumer`), so `dead`'s trie branch can never contribute a verdict.
+/// Exact duplicates keep the first occurrence. `subsumer` is always a
+/// *kept* (non-dead) pattern.
+pub fn dead_pattern_indices(patterns: &[FlatPattern]) -> Vec<(usize, usize)> {
+    let n = patterns.len();
+    let mut dead: Vec<Option<usize>> = vec![None; n];
+    for j in 0..n {
+        for i in 0..n {
+            if i == j || dead[i].is_some() {
+                continue;
+            }
+            if !predicate_subset(&patterns[i].predicates, &patterns[j].predicates) {
+                continue;
+            }
+            let equal = predicate_subset(&patterns[j].predicates, &patterns[i].predicates);
+            if !equal || i < j {
+                dead[j] = Some(i);
+                break;
+            }
+        }
+    }
+    // Resolve subsumer chains so the reported subsumer is itself kept.
+    (0..n)
+        .filter_map(|j| {
+            dead[j].map(|mut by| {
+                while let Some(next) = dead[by] {
+                    by = next;
+                }
+                (j, by)
+            })
+        })
+        .collect()
+}
+
+/// Keep-mask over a subscription's patterns: `false` for dead ones.
+/// This is the hook [`crate::trie::PredicateTrie`] uses for analyzer-driven
+/// dead-branch elimination.
+pub fn live_pattern_mask(patterns: &[FlatPattern]) -> Vec<bool> {
+    let mut mask = vec![true; patterns.len()];
+    for (dead, _) in dead_pattern_indices(patterns) {
+        mask[dead] = false;
+    }
+    mask
+}
+
+/// `a ⊆ b` on predicate lists viewed as sets.
+fn predicate_subset(a: &[Predicate], b: &[Predicate]) -> bool {
+    a.iter().all(|p| b.contains(p))
+}
+
+fn pattern_text(p: &FlatPattern) -> String {
+    if p.predicates.is_empty() {
+        return "<match-all>".to_string();
+    }
+    p.predicates
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" and ")
+}
+
+fn conjunction_text(conj: &Conjunction) -> String {
+    conj.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" and ")
+}
+
+/// E001: the conjunction's protocols admit no consistent encapsulation
+/// chain (e.g. `tcp and udp`, `ipv4 and ipv6`, `tls and dns`).
+fn unsatisfiable_chain_diag(conj: &Conjunction, spans: &SpanMap, sub: usize) -> Diagnostic {
+    let mut protos: Vec<&str> = Vec::new();
+    for p in conj {
+        if !protos.contains(&p.protocol()) {
+            protos.push(p.protocol());
+        }
+    }
+    let mut d = Diagnostic::error(
+        "E001",
+        sub,
+        format!(
+            "conjunction '{}' can never match: no protocol chain contains all of [{}]",
+            conjunction_text(conj),
+            protos.join(", ")
+        ),
+    )
+    .with_note(
+        "mutually exclusive protocols (one network layer, one transport, one application \
+         protocol per connection) make this conjunction unsatisfiable; it would compile to a \
+         silently dropped trie branch",
+    );
+    if let Some(span) = conj.iter().rev().find_map(|p| spans.get(p)) {
+        d = d.with_span(span);
+    }
+    d
+}
+
+/// Upper bound of a wire field, where the width is known. Used to catch
+/// literals that can never be reached (`tcp.port > 65535`).
+fn field_max(protocol: &str, field: &str) -> Option<u64> {
+    match (protocol, field) {
+        ("tcp" | "udp", "port" | "src_port" | "dst_port") => Some(u64::from(u16::MAX)),
+        ("ipv4", "ttl") | ("ipv6", "hop_limit") | ("icmp", "type" | "code") => {
+            Some(u64::from(u8::MAX))
+        }
+        ("tcp", "window") | ("ipv4", "total_len") => Some(u64::from(u16::MAX)),
+        _ => None,
+    }
+}
+
+/// `addr` and `port` compare against *either* endpoint of the packet
+/// (`src or dst`), so two different constraints on them can be satisfied
+/// by different endpoints and must not be intersected across predicates.
+fn is_pair_field(field: &str) -> bool {
+    matches!(field, "addr" | "port")
+}
+
+fn net_family_matches(protocol: &str, value: &Value) -> bool {
+    match value {
+        Value::Ipv4Net(..) => protocol != "ipv6",
+        Value::Ipv6Net(..) => protocol != "ipv4",
+        _ => true,
+    }
+}
+
+/// `a` contains `b` (as CIDR sets). False across address families.
+fn net_contains(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Ipv4Net(na, pa), Value::Ipv4Net(nb, pb)) => {
+            if pa > pb {
+                return false;
+            }
+            let mask = if *pa == 0 { 0 } else { !(u32::MAX >> pa) };
+            (u32::from(*na) & mask) == (u32::from(*nb) & mask)
+        }
+        (Value::Ipv6Net(na, pa), Value::Ipv6Net(nb, pb)) => {
+            if pa > pb {
+                return false;
+            }
+            let mask = if *pa == 0 { 0 } else { !(u128::MAX >> pa) };
+            (u128::from(*na) & mask) == (u128::from(*nb) & mask)
+        }
+        _ => false,
+    }
+}
+
+fn net_intersects(a: &Value, b: &Value) -> bool {
+    net_contains(a, b) || net_contains(b, a)
+}
+
+/// E002 (with a couple of always-true W003 cases): per-(protocol, field)
+/// constraint solving inside one conjunction.
+fn check_field_contradictions(
+    conj: &Conjunction,
+    spans: &SpanMap,
+    sub: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // --- Single-predicate impossibilities (these apply to pair fields
+    // too: both endpoints share the field's width and address family).
+    let mut empty_preds: Vec<&Predicate> = Vec::new();
+    for pred in conj {
+        let Predicate::Binary {
+            protocol,
+            field,
+            op,
+            value,
+        } = pred
+        else {
+            continue;
+        };
+        let max = field_max(protocol, field);
+        let empty = match (op, value) {
+            (Op::Lt, Value::Int(0)) => true,
+            (Op::Eq, Value::Int(v)) => max.is_some_and(|m| *v > m),
+            (Op::Gt, Value::Int(v)) => max.is_some_and(|m| *v >= m),
+            (Op::Ge, Value::Int(v)) => max.is_some_and(|m| *v > m),
+            (Op::In, Value::IntRange(lo, _)) => max.is_some_and(|m| *lo > m),
+            (Op::Eq | Op::In, v @ (Value::Ipv4Net(..) | Value::Ipv6Net(..))) => {
+                !net_family_matches(protocol, v)
+            }
+            _ => false,
+        };
+        let always_true = match (op, value) {
+            (Op::Ne, Value::Int(v)) => max.is_some_and(|m| *v > m),
+            (Op::Ne, v @ (Value::Ipv4Net(..) | Value::Ipv6Net(..))) => {
+                !net_family_matches(protocol, v)
+            }
+            _ => false,
+        };
+        if empty {
+            let mut d = Diagnostic::error(
+                "E002",
+                sub,
+                format!("'{pred}' can never match: the value is outside the field's range"),
+            );
+            if let Some(m) = max {
+                d = d.with_note(format!("{protocol}.{field} is at most {m}"));
+            } else {
+                d = d.with_note(format!(
+                    "{protocol} carries no {} addresses",
+                    if matches!(value, Value::Ipv4Net(..)) {
+                        "IPv4"
+                    } else {
+                        "IPv6"
+                    }
+                ));
+            }
+            if let Some(span) = spans.get(pred) {
+                d = d.with_span(span);
+            }
+            diags.push(d);
+            empty_preds.push(pred);
+        } else if always_true {
+            let mut d = Diagnostic::warning(
+                "W003",
+                sub,
+                format!("'{pred}' is always true and is checked redundantly"),
+            );
+            if let Some(span) = spans.get(pred) {
+                d = d.with_span(span);
+            }
+            diags.push(d);
+        }
+    }
+
+    // --- Cross-predicate intersection per (protocol, field), single-valued
+    // fields only.
+    let mut groups: Vec<(&str, &str)> = Vec::new();
+    for pred in conj {
+        if let Predicate::Binary {
+            protocol, field, ..
+        } = pred
+        {
+            if !is_pair_field(field) && !groups.contains(&(protocol.as_str(), field.as_str())) {
+                groups.push((protocol, field));
+            }
+        }
+    }
+    for (protocol, field) in groups {
+        let preds: Vec<&Predicate> = conj
+            .iter()
+            .filter(|p| {
+                // Single-predicate impossibilities are already reported;
+                // keep them out of the intersection to avoid double counts.
+                !empty_preds.contains(p)
+                    && matches!(p, Predicate::Binary { protocol: pp, field: ff, .. }
+                             if pp == protocol && ff == field)
+            })
+            .collect();
+        if preds.len() < 2 {
+            continue;
+        }
+        check_group_contradiction(protocol, field, &preds, spans, sub, diags);
+    }
+}
+
+fn push_conflict(
+    sub: usize,
+    cur: &Predicate,
+    prev: &Predicate,
+    spans: &SpanMap,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut d = Diagnostic::error(
+        "E002",
+        sub,
+        format!("'{cur}' contradicts '{prev}': no value satisfies both"),
+    )
+    .with_note("the conjunction can never match and its trie branch would be dead");
+    if let Some(span) = spans.get(cur) {
+        d = d.with_span(span);
+    }
+    diags.push(d);
+}
+
+fn check_group_contradiction(
+    protocol: &str,
+    field: &str,
+    preds: &[&Predicate],
+    spans: &SpanMap,
+    sub: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Integer interval intersection with != exclusions.
+    let mut lo = 0u64;
+    let mut hi = field_max(protocol, field).unwrap_or(u64::MAX);
+    let mut last_int: Option<&Predicate> = None;
+    let mut ne_points: Vec<(u64, &Predicate)> = Vec::new();
+    // String equality constraints.
+    let mut eq_str: Option<(&str, &Predicate)> = None;
+    let mut ne_str: Vec<(&str, &Predicate)> = Vec::new();
+    // Positive (must-be-inside) nets.
+    let mut pos_nets: Vec<(&Value, &Predicate)> = Vec::new();
+
+    for &pred in preds {
+        let Predicate::Binary { op, value, .. } = pred else {
+            continue;
+        };
+        match (op, value) {
+            (Op::Eq, Value::Int(v)) => {
+                let (nlo, nhi) = (lo.max(*v), hi.min(*v));
+                if nlo > nhi {
+                    push_conflict(sub, pred, last_int.unwrap_or(pred), spans, diags);
+                    return;
+                }
+                (lo, hi) = (nlo, nhi);
+                last_int = Some(pred);
+            }
+            (Op::Lt, Value::Int(v)) => {
+                if *v == 0 {
+                    return; // already reported as single-predicate empty
+                }
+                if lo > v - 1 {
+                    push_conflict(sub, pred, last_int.unwrap_or(pred), spans, diags);
+                    return;
+                }
+                hi = hi.min(v - 1);
+                last_int = Some(pred);
+            }
+            (Op::Le, Value::Int(v)) => {
+                if lo > *v {
+                    push_conflict(sub, pred, last_int.unwrap_or(pred), spans, diags);
+                    return;
+                }
+                hi = hi.min(*v);
+                last_int = Some(pred);
+            }
+            (Op::Gt, Value::Int(v)) => {
+                if *v >= hi {
+                    push_conflict(sub, pred, last_int.unwrap_or(pred), spans, diags);
+                    return;
+                }
+                lo = lo.max(v + 1);
+                last_int = Some(pred);
+            }
+            (Op::Ge, Value::Int(v)) => {
+                if *v > hi {
+                    push_conflict(sub, pred, last_int.unwrap_or(pred), spans, diags);
+                    return;
+                }
+                lo = lo.max(*v);
+                last_int = Some(pred);
+            }
+            (Op::In, Value::IntRange(rlo, rhi)) => {
+                let (nlo, nhi) = (lo.max(*rlo), hi.min(*rhi));
+                if nlo > nhi {
+                    push_conflict(sub, pred, last_int.unwrap_or(pred), spans, diags);
+                    return;
+                }
+                (lo, hi) = (nlo, nhi);
+                last_int = Some(pred);
+            }
+            (Op::Ne, Value::Int(v)) => ne_points.push((*v, pred)),
+            (Op::Eq, Value::Str(s)) => {
+                if let Some((w, prev)) = eq_str {
+                    if w != s.as_str() {
+                        push_conflict(sub, pred, prev, spans, diags);
+                        return;
+                    }
+                }
+                if let Some(&(_, prev)) = ne_str.iter().find(|(w, _)| *w == s.as_str()) {
+                    push_conflict(sub, pred, prev, spans, diags);
+                    return;
+                }
+                eq_str = Some((s, pred));
+            }
+            (Op::Ne, Value::Str(s)) => {
+                if let Some((w, prev)) = eq_str {
+                    if w == s.as_str() {
+                        push_conflict(sub, pred, prev, spans, diags);
+                        return;
+                    }
+                }
+                ne_str.push((s, pred));
+            }
+            (Op::Eq | Op::In, v @ (Value::Ipv4Net(..) | Value::Ipv6Net(..))) => {
+                if let Some(&(_, prev)) = pos_nets.iter().find(|&&(o, _)| !net_intersects(o, v)) {
+                    push_conflict(sub, pred, prev, spans, diags);
+                    return;
+                }
+                pos_nets.push((v, pred));
+            }
+            (Op::Ne, v @ (Value::Ipv4Net(..) | Value::Ipv6Net(..))) => {
+                // Must be *outside* v: contradiction when a positive net is
+                // entirely inside it.
+                if let Some(&(_, prev)) = pos_nets.iter().find(|&&(p, _)| net_contains(v, p)) {
+                    push_conflict(sub, pred, prev, spans, diags);
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+    // A pinned integer value excluded by a != constraint.
+    if lo == hi {
+        if let Some(&(_, ne_pred)) = ne_points.iter().find(|(v, _)| *v == lo) {
+            push_conflict(sub, ne_pred, last_int.unwrap_or(ne_pred), spans, diags);
+        }
+    }
+}
+
+/// W003: a unary predicate implied by the other predicates in the same
+/// conjunction — every protocol chain consistent with the rest already
+/// passes through it, so a later layer re-establishes it anyway
+/// (`tcp and tls.sni ~ 'x'`: TLS runs over TCP).
+fn check_redundant_predicates(
+    conj: &Conjunction,
+    spans: &SpanMap,
+    sub: usize,
+    registry: &ProtocolRegistry,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for pred in conj {
+        let Predicate::Unary { protocol } = pred else {
+            continue;
+        };
+        if protocol == "eth" {
+            continue;
+        }
+        let rest: Vec<&str> = conj
+            .iter()
+            .filter(|p| *p != pred)
+            .map(super::ast::Predicate::protocol)
+            .fold(Vec::new(), |mut acc, p| {
+                if !acc.contains(&p) {
+                    acc.push(p);
+                }
+                acc
+            });
+        if rest.is_empty() {
+            continue;
+        }
+        let chains = covering_chains(&rest, registry);
+        if !chains.is_empty() && chains.iter().all(|c| c.iter().any(|p| p == protocol)) {
+            let mut d = Diagnostic::warning(
+                "W003",
+                sub,
+                format!(
+                    "'{protocol}' is implied by the other predicates in this conjunction \
+                     and is re-checked redundantly at a later layer"
+                ),
+            )
+            .with_note(format!(
+                "every protocol chain consistent with the rest of the conjunction already \
+                 contains '{protocol}'; the explicit check adds work without narrowing the filter"
+            ));
+            if let Some(span) = spans.get(pred) {
+                d = d.with_span(span);
+            }
+            diags.push(d);
+        }
+    }
+}
+
+/// Candidate protocol chains covering all `required` protocols (the same
+/// search [`dnf::expand_patterns`] performs per conjunction).
+fn covering_chains(required: &[&str], registry: &ProtocolRegistry) -> Vec<Vec<&'static str>> {
+    let mut chains: Vec<Vec<&'static str>> = Vec::new();
+    for proto in required {
+        for chain in registry.chains(proto) {
+            if required.iter().all(|r| chain.iter().any(|c| c == r)) && !chains.contains(&chain) {
+                chains.push(chain);
+            }
+        }
+    }
+    chains
+}
+
+/// W002: hardware-offload opportunities lost to `DeviceCaps` limits when a
+/// semantically equivalent, hardware-expressible rewrite exists.
+fn check_hw_fallback(
+    patterns: &[FlatPattern],
+    spans: &SpanMap,
+    sub: usize,
+    caps: &DeviceCaps,
+    diags: &mut Vec<Diagnostic>,
+) {
+    /// Port ranges wider than this are not worth expanding into exact rules.
+    const MAX_PORT_EXPANSION: u64 = 16;
+    /// Prefixes expanding to more than this many exact addresses stay put.
+    const MAX_ADDR_EXPANSION: u32 = 8;
+
+    let mut seen: Vec<&Predicate> = Vec::new();
+    for pattern in patterns {
+        for pred in &pattern.predicates {
+            let Predicate::Binary {
+                protocol,
+                field,
+                op,
+                value,
+            } = pred
+            else {
+                continue;
+            };
+            if seen.contains(&pred) {
+                continue;
+            }
+            seen.push(pred);
+
+            // Port range on a device with exact-port but no range support.
+            if matches!(protocol.as_str(), "tcp" | "udp")
+                && matches!(field.as_str(), "port" | "src_port" | "dst_port")
+                && caps.l4_port_match
+                && !caps.port_ranges
+            {
+                let range = match (op, value) {
+                    (Op::In, Value::IntRange(lo, hi)) => Some((*lo, *hi)),
+                    (Op::Le, Value::Int(v)) => Some((0, *v)),
+                    (Op::Lt, Value::Int(v)) if *v > 0 => Some((0, v - 1)),
+                    (Op::Ge, Value::Int(v)) => Some((*v, u64::from(u16::MAX))),
+                    (Op::Gt, Value::Int(v)) => Some((v + 1, u64::from(u16::MAX))),
+                    _ => None,
+                };
+                if let Some((lo, hi)) = range {
+                    let hi = hi.min(u64::from(u16::MAX));
+                    if lo <= hi {
+                        let count = hi - lo + 1;
+                        if count <= MAX_PORT_EXPANSION {
+                            let mut d = Diagnostic::warning(
+                                "W002",
+                                sub,
+                                format!(
+                                    "'{pred}' falls back to software: this device supports exact \
+                                     L4 port matches but not ranges"
+                                ),
+                            )
+                            .with_note(format!(
+                                "rewrite as {count} exact-match disjuncts \
+                                 ({protocol}.{field} = {lo} or …) to keep it in hardware"
+                            ));
+                            if let Some(span) = spans.get(pred) {
+                                d = d.with_span(span);
+                            }
+                            diags.push(d);
+                        }
+                    }
+                }
+            }
+
+            // Narrow IP prefix on a device without prefix support (exact
+            // /32 and /128 matches still work).
+            if !caps.ip_prefixes && matches!(op, Op::Eq | Op::In) {
+                let expansion = match value {
+                    Value::Ipv4Net(_, p) if *p < 32 => Some(1u32 << (32 - p).min(31)),
+                    Value::Ipv6Net(_, p) if *p < 128 && u32::from(128 - p) < 31 => {
+                        Some(1u32 << (128 - p))
+                    }
+                    _ => None,
+                };
+                if let Some(count) = expansion {
+                    if count <= MAX_ADDR_EXPANSION {
+                        let mut d = Diagnostic::warning(
+                            "W002",
+                            sub,
+                            format!(
+                                "'{pred}' falls back to software: this device supports exact \
+                                 address matches but not prefixes"
+                            ),
+                        )
+                        .with_note(format!(
+                            "rewrite as {count} exact-address disjuncts to keep it in hardware"
+                        ));
+                        if let Some(span) = spans.get(pred) {
+                            d = d.with_span(span);
+                        }
+                        diags.push(d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Analysis {
+        analyze(src, &ProtocolRegistry::default(), None).unwrap()
+    }
+
+    fn run_caps(src: &str, caps: &DeviceCaps) -> Analysis {
+        analyze(src, &ProtocolRegistry::default(), Some(caps)).unwrap()
+    }
+
+    fn codes(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_filters_have_no_diagnostics() {
+        for src in [
+            "tcp",
+            "ipv4 and tcp.port >= 100",
+            "tls.sni ~ 'netflix'",
+            "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+            "ipv4.addr in 171.64.0.0/14 and udp",
+            "tls or http or dns or ssh or quic",
+            "",
+        ] {
+            let a = run(src);
+            assert!(
+                a.diagnostics.is_empty(),
+                "{src}: unexpected {:?}",
+                a.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn e001_impossible_transport_pair() {
+        let a = run("tcp and udp");
+        assert!(codes(&a).contains(&"E001"), "{:?}", a.diagnostics);
+        assert!(codes(&a).contains(&"E004"));
+        let d = a.with_code("E001").next().unwrap();
+        // The span points at one of the conflicting unary predicates.
+        assert!(d.span.is_some());
+    }
+
+    #[test]
+    fn e001_in_one_disjunct_only() {
+        let a = run("(ipv4 and ipv6) or tcp");
+        assert!(codes(&a).contains(&"E001"));
+        // The filter as a whole still matches (tcp), so no E004.
+        assert!(!codes(&a).contains(&"E004"));
+    }
+
+    #[test]
+    fn e001_session_protocol_conflict() {
+        let a = run("tls and dns");
+        assert!(codes(&a).contains(&"E001"));
+    }
+
+    #[test]
+    fn e002_empty_port_interval() {
+        let a = run("tcp.src_port > 100 and tcp.src_port < 50");
+        assert!(codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn e002_conflicting_equalities() {
+        let a = run("tcp.src_port = 80 and tcp.src_port = 443");
+        assert!(codes(&a).contains(&"E002"));
+    }
+
+    #[test]
+    fn e002_eq_excluded_by_ne() {
+        let a = run("tcp.src_port = 80 and tcp.src_port != 80");
+        assert!(codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn e002_out_of_range_literal() {
+        let a = run("tcp.src_port = 70000");
+        assert!(codes(&a).contains(&"E002"));
+        let a = run("ipv4.ttl > 255");
+        assert!(codes(&a).contains(&"E002"));
+    }
+
+    #[test]
+    fn e002_disjoint_prefixes() {
+        let a = run("ipv4.src_addr in 10.0.0.0/8 and ipv4.src_addr in 192.168.0.0/16");
+        assert!(codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn nested_prefixes_are_fine() {
+        let a = run("ipv4.src_addr in 10.0.0.0/8 and ipv4.src_addr in 10.1.0.0/16");
+        assert!(!codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn e002_family_mismatch() {
+        let a = run("ipv4.src_addr = 2001:db8::1");
+        assert!(codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn e002_conflicting_session_strings() {
+        let a = run("tls.sni = 'a.com' and tls.sni = 'b.com'");
+        assert!(codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn pair_fields_are_not_intersected() {
+        // `port` compares either endpoint: src=80, dst=443 satisfies both.
+        let a = run("tcp.port = 80 and tcp.port = 443");
+        assert!(!codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+        // Same for `addr`.
+        let a = run("ipv4.addr = 1.2.3.4 and ipv4.addr = 5.6.7.8");
+        assert!(!codes(&a).contains(&"E002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn e003_unknown_field_with_span() {
+        let src = "tcp and udp.ttl = 5";
+        let a = run(src);
+        let d = a.with_code("E003").next().expect("E003");
+        let span = d.span.expect("span");
+        assert_eq!(&src[span.start..span.end], "udp.ttl = 5");
+    }
+
+    #[test]
+    fn e003_unknown_protocol() {
+        let a = run("bogus");
+        assert!(codes(&a).contains(&"E003"));
+    }
+
+    #[test]
+    fn w001_subsumed_disjunct() {
+        // Every tls connection is a tcp connection.
+        let a = run("tcp or tls");
+        assert!(codes(&a).contains(&"W001"), "{:?}", a.diagnostics);
+        assert!(!a.has_errors());
+    }
+
+    #[test]
+    fn w001_subset_beyond_prefix() {
+        // [ipv4] subsumes [ipv4, ttl, tcp] even though the trie paths
+        // diverge (subset, not prefix).
+        let a = run("ipv4 or (ipv4.ttl > 64 and tcp)");
+        assert!(codes(&a).contains(&"W001"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn w001_duplicate_disjunct() {
+        let a = run("tcp or tcp");
+        assert!(codes(&a).contains(&"W001"));
+    }
+
+    #[test]
+    fn independent_disjuncts_not_flagged() {
+        let a = run("tcp.src_port = 80 or tcp.src_port = 443");
+        assert!(!codes(&a).contains(&"W001"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn w002_port_range_on_connectx5() {
+        let caps = DeviceCaps::connectx5();
+        let a = run_caps("tcp.port in 440..450", &caps);
+        let d = a.with_code("W002").next().expect("W002");
+        assert!(d.note.as_deref().unwrap().contains("11 exact-match"));
+        // With range support there is nothing to warn about.
+        let a = run_caps("tcp.port in 440..450", &DeviceCaps::full());
+        assert!(!codes(&a).contains(&"W002"));
+    }
+
+    #[test]
+    fn w002_not_emitted_for_wide_ranges() {
+        let caps = DeviceCaps::connectx5();
+        let a = run_caps("tcp.port >= 100", &caps);
+        // 65436 exact rules is not a sensible rewrite.
+        assert!(!codes(&a).contains(&"W002"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn w002_narrow_prefix_without_prefix_support() {
+        let caps = DeviceCaps::basic();
+        let a = run_caps("ipv4.src_addr in 10.0.0.0/30", &caps);
+        assert!(codes(&a).contains(&"W002"), "{:?}", a.diagnostics);
+        let a = run_caps("ipv4.src_addr in 10.0.0.0/8", &caps);
+        assert!(!codes(&a).contains(&"W002"));
+    }
+
+    #[test]
+    fn w003_transport_implied_by_session() {
+        let a = run("tcp and tls.sni ~ 'x'");
+        let d = a.with_code("W003").next().expect("W003");
+        assert!(d.message.contains("'tcp'"));
+        assert!(!a.has_errors());
+    }
+
+    #[test]
+    fn w003_not_emitted_when_unary_narrows() {
+        // ipv4 restricts tls to the v4 chain: not redundant.
+        let a = run("ipv4 and tls");
+        assert!(!codes(&a).contains(&"W003"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn w004_duplicate_subscription() {
+        let a = analyze_union(
+            &["tcp.port = 443", "tcp.port = 443"],
+            &ProtocolRegistry::default(),
+            None,
+        )
+        .unwrap();
+        let d = a.with_code("W004").next().expect("W004");
+        assert_eq!(d.sub, 1);
+        assert!(!a.has_errors());
+    }
+
+    #[test]
+    fn w005_contained_subscription() {
+        let a = analyze_union(&["tcp", "tls"], &ProtocolRegistry::default(), None).unwrap();
+        let d = a.with_code("W005").next().expect("W005");
+        assert_eq!(d.sub, 1, "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn union_of_distinct_filters_is_clean() {
+        let a = analyze_union(
+            &["tls", "dns", "ipv4.addr in 171.64.0.0/14 and udp"],
+            &ProtocolRegistry::default(),
+            None,
+        )
+        .unwrap();
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn empty_union_is_clean() {
+        let a = analyze_union(&[], &ProtocolRegistry::default(), None).unwrap();
+        assert!(a.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(analyze("tcp.port >=", &ProtocolRegistry::default(), None).is_err());
+    }
+
+    #[test]
+    fn dead_pattern_indices_chain_resolution() {
+        // p0 ⊂ p1 ⊂ p2: both p1 and p2 die, and p2's reported subsumer is
+        // the *kept* p0, not the dead p1.
+        let p = |srcs: &[&str]| FlatPattern {
+            predicates: srcs
+                .iter()
+                .map(|s| {
+                    let crate::ast::Expr::Predicate(p) = crate::parser::parse(s).unwrap() else {
+                        unreachable!()
+                    };
+                    p
+                })
+                .collect(),
+        };
+        let patterns = vec![
+            p(&["ipv4"]),
+            p(&["ipv4", "tcp"]),
+            p(&["ipv4", "tcp", "tcp.src_port = 80"]),
+        ];
+        let dead = dead_pattern_indices(&patterns);
+        assert_eq!(dead, vec![(1, 0), (2, 0)]);
+        assert_eq!(live_pattern_mask(&patterns), vec![true, false, false]);
+    }
+
+    #[test]
+    fn render_all_produces_carets() {
+        let src = "tcp and udp";
+        let a = run(src);
+        let rendered = a.render_all(&[src], "filter");
+        assert!(rendered.contains("error[E001]"));
+        assert!(rendered.contains("^"));
+    }
+}

@@ -3,6 +3,69 @@
 use core::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
+/// A half-open byte range `start..end` into the filter source text.
+///
+/// Spans are carried *alongside* the AST (see [`SpanMap`]) rather than inside
+/// [`Predicate`] so that structural equality — which the trie builder relies
+/// on for deduplication — is unaffected by where a predicate was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span from start/end byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a byte offset (used for plain positions).
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos + 1,
+        }
+    }
+}
+
+/// Side table mapping predicates to the source span where they were first
+/// written. Lookup is by structural equality: if the same predicate text
+/// appears twice, the first occurrence's span is reported.
+#[derive(Debug, Clone, Default)]
+pub struct SpanMap {
+    entries: Vec<(Predicate, Span)>,
+}
+
+impl SpanMap {
+    /// Records a predicate span (first occurrence wins).
+    pub fn insert(&mut self, pred: Predicate, span: Span) {
+        if !self.entries.iter().any(|(p, _)| *p == pred) {
+            self.entries.push((pred, span));
+        }
+    }
+
+    /// Looks up the span for a structurally equal predicate.
+    pub fn get(&self, pred: &Predicate) -> Option<Span> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p == pred)
+            .map(|(_, s)| *s)
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A right-hand-side constant in a binary predicate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Value {

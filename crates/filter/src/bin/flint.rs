@@ -1,0 +1,337 @@
+//! `retina-flint` — the filter linter.
+//!
+//! Runs the semantic analyzer ([`retina_filter::analysis`]) over filter
+//! files and prints rustc-style caret diagnostics, or machine-readable
+//! JSON for CI consumption. Exit status is non-zero when any
+//! error-severity finding (or unparseable filter) is present, so a CI
+//! stage can gate on it directly.
+//!
+//! ```text
+//! retina-flint [--json] [--union] [--caps basic|connectx5|full|none] \
+//!              [--expr FILTER]... [FILE]...
+//! ```
+//!
+//! Each input file holds one filter per line; blank lines and lines
+//! starting with `#` are ignored. With `--union`, all filters in a file
+//! are analyzed as one multi-subscription union (enabling the W004/W005
+//! duplicate/containment checks); by default each line is analyzed
+//! independently.
+
+use std::process::ExitCode;
+
+use retina_filter::analysis::{analyze, analyze_union, Analysis};
+use retina_filter::ast::Span;
+use retina_filter::diag::{json_escape, render_filter_error, Diagnostic, Severity};
+use retina_filter::registry::ProtocolRegistry;
+use retina_nic::flow::DeviceCaps;
+
+/// One filter queued for analysis, with its provenance.
+struct Entry {
+    /// Display origin: file path, or `<expr>` for `--expr` filters.
+    origin: String,
+    /// 1-based line number within the origin file.
+    line: usize,
+    /// The filter source text.
+    filter: String,
+}
+
+/// One finding, flattened for output.
+struct Finding {
+    origin: String,
+    line: usize,
+    filter: String,
+    code: String,
+    severity: Severity,
+    message: String,
+    span: Option<Span>,
+    note: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "retina-flint: lint Retina filter expressions\n\
+     \n\
+     usage: retina-flint [options] [FILE]...\n\
+     \n\
+     options:\n\
+       --expr FILTER   lint FILTER directly (repeatable)\n\
+       --json          emit machine-readable JSON instead of caret diagnostics\n\
+       --union         analyze each file's filters as one subscription union\n\
+       --caps PROFILE  DeviceCaps for offload warnings: basic | connectx5\n\
+                       | full | none (default: connectx5)\n\
+       -h, --help      show this help\n\
+     \n\
+     input files hold one filter per line; '#' starts a comment line.\n\
+     exit status: 0 clean (warnings allowed), 1 on any E-code or usage error."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut union = false;
+    let mut caps: Option<DeviceCaps> = Some(DeviceCaps::connectx5());
+    let mut files: Vec<String> = Vec::new();
+    let mut exprs: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--union" => union = true,
+            "--caps" => {
+                i += 1;
+                let Some(profile) = args.get(i) else {
+                    eprintln!("error: --caps needs a profile\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                caps = match profile.as_str() {
+                    "basic" => Some(DeviceCaps::basic()),
+                    "connectx5" => Some(DeviceCaps::connectx5()),
+                    "full" => Some(DeviceCaps::full()),
+                    "none" => None,
+                    other => {
+                        eprintln!("error: unknown caps profile '{other}'\n\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--expr" => {
+                i += 1;
+                let Some(e) = args.get(i) else {
+                    eprintln!("error: --expr needs a filter\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                exprs.push(e.clone());
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option '{other}'\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() && exprs.is_empty() {
+        eprintln!("error: no input\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let registry = ProtocolRegistry::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut broken = false;
+
+    // Group entries per origin so --union can merge a file's filters.
+    let mut groups: Vec<Vec<Entry>> = Vec::new();
+    for (n, expr) in exprs.iter().enumerate() {
+        groups.push(vec![Entry {
+            origin: format!("<expr {}>", n + 1),
+            line: 1,
+            filter: expr.clone(),
+        }]);
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let entries: Vec<Entry> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            })
+            .map(|(idx, l)| Entry {
+                origin: file.clone(),
+                line: idx + 1,
+                filter: l.trim().to_string(),
+            })
+            .collect();
+        groups.push(entries);
+    }
+
+    for group in &groups {
+        if group.is_empty() {
+            continue;
+        }
+        if union && group.len() > 1 {
+            let srcs: Vec<&str> = group.iter().map(|e| e.filter.as_str()).collect();
+            match analyze_union(&srcs, &registry, caps.as_ref()) {
+                Ok(analysis) => collect(&analysis, group, &mut findings),
+                Err(e) => {
+                    // A union fails to parse as a whole; attribute the
+                    // error by finding the first unparseable member.
+                    for entry in group {
+                        if let Err(err) = retina_filter::parser::parse(&entry.filter) {
+                            report_parse_error(entry, &err, json, &mut findings);
+                            broken = true;
+                        }
+                    }
+                    let _ = e;
+                }
+            }
+        } else {
+            for entry in group {
+                match analyze(&entry.filter, &registry, caps.as_ref()) {
+                    Ok(analysis) => {
+                        collect(&analysis, std::slice::from_ref(entry), &mut findings);
+                    }
+                    Err(err) => {
+                        report_parse_error(entry, &err, json, &mut findings);
+                        broken = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+
+    if json {
+        print_json(&findings);
+    } else {
+        for f in &findings {
+            print!("{}", render_finding(f));
+        }
+        eprintln!(
+            "retina-flint: {errors} error{}, {warnings} warning{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" }
+        );
+    }
+
+    if errors > 0 || broken {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Flattens an [`Analysis`] into findings tagged with each subscription's
+/// origin entry.
+fn collect(analysis: &Analysis, entries: &[Entry], findings: &mut Vec<Finding>) {
+    for d in &analysis.diagnostics {
+        let entry = &entries[d.sub.min(entries.len().saturating_sub(1))];
+        findings.push(Finding {
+            origin: entry.origin.clone(),
+            line: entry.line,
+            filter: entry.filter.clone(),
+            code: d.code.to_string(),
+            severity: d.severity,
+            message: d.message.clone(),
+            span: d.span,
+            note: d.note.clone(),
+        });
+    }
+}
+
+/// Records an unparseable filter as an `E000` finding (and prints the
+/// caret rendering immediately in human mode via [`render_finding`]).
+fn report_parse_error(
+    entry: &Entry,
+    err: &retina_filter::FilterError,
+    _json: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let span = retina_filter::diag::error_span(err);
+    findings.push(Finding {
+        origin: entry.origin.clone(),
+        line: entry.line,
+        filter: entry.filter.clone(),
+        code: "E000".to_string(),
+        severity: Severity::Error,
+        message: err.to_string(),
+        span,
+        note: None,
+    });
+}
+
+/// Renders one finding rustc-style, locating it at its real line within
+/// the origin file (the filter source is padded with newlines so the
+/// caret snippet reports file coordinates, not filter-local ones).
+fn render_finding(f: &Finding) -> String {
+    let padded = format!("{}{}", "\n".repeat(f.line - 1), f.filter);
+    let pad = f.line - 1;
+    let d = Diagnostic {
+        code: leak_code(&f.code),
+        severity: f.severity,
+        message: f.message.clone(),
+        span: f.span.map(|s| Span::new(s.start + pad, s.end + pad)),
+        sub: 0,
+        note: f.note.clone(),
+    };
+    if f.code == "E000" {
+        // Parse/lex errors re-render through the shared error path so the
+        // output matches what the proc macros print.
+        let err = retina_filter::parser::parse(&f.filter).unwrap_err();
+        return render_filter_error(&padded, &f.origin, &shift_error(err, pad));
+    }
+    d.render(&padded, &f.origin)
+}
+
+/// `Diagnostic::code` is `&'static str`; the handful of distinct codes are
+/// interned here when round-tripping through the flattened form.
+fn leak_code(code: &str) -> &'static str {
+    const CODES: &[&str] = &[
+        "E000", "E001", "E002", "E003", "E004", "W001", "W002", "W003", "W004", "W005",
+    ];
+    CODES
+        .iter()
+        .find(|c| **c == code)
+        .copied()
+        .unwrap_or("E???")
+}
+
+fn shift_error(err: retina_filter::FilterError, pad: usize) -> retina_filter::FilterError {
+    use retina_filter::FilterError as FE;
+    match err {
+        FE::Lex { pos, msg } => FE::Lex {
+            pos: pos + pad,
+            msg,
+        },
+        FE::Parse { pos, msg } => FE::Parse {
+            pos: pos + pad,
+            msg,
+        },
+        other => other,
+    }
+}
+
+fn print_json(findings: &[Finding]) {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        let span = match f.span {
+            Some(s) => format!("{{\"start\":{},\"end\":{}}}", s.start, s.end),
+            None => "null".to_string(),
+        };
+        let note = match &f.note {
+            Some(n) => format!("\"{}\"", json_escape(n)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"file\":\"{}\",\"line\":{},\"filter\":\"{}\",\"code\":\"{}\",\
+             \"severity\":\"{}\",\"message\":\"{}\",\"span\":{},\"note\":{}}}{}\n",
+            json_escape(&f.origin),
+            f.line,
+            json_escape(&f.filter),
+            f.code,
+            f.severity,
+            json_escape(&f.message),
+            span,
+            note,
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    println!("{out}");
+}

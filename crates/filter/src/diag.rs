@@ -1,0 +1,276 @@
+//! Structured, span-carrying diagnostics for the filter compiler.
+//!
+//! Every diagnostic carries a stable code (`E001`, `W002`, …) so that build
+//! tooling — the `filter!` proc macros, `RuntimeBuilder`, the `retina-flint`
+//! CLI, and the CI lint stage — can match on the *kind* of problem rather
+//! than on message text. Rendering follows the rustc caret style:
+//!
+//! ```text
+//! error[E001]: conjunction can never match: 'tcp' and 'udp' ...
+//!   --> filter:1:9
+//!    |
+//!  1 | tcp and udp
+//!    |         ^^^
+//!    = note: every packet has exactly one transport protocol
+//! ```
+
+use core::fmt;
+
+use crate::ast::Span;
+use crate::datatypes::FilterError;
+
+/// Diagnostic severity. Errors reject the filter; warnings do not change
+/// behavior but flag dead branches, redundant work, or lost hardware offload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The filter (or one subscription in a union) is rejected.
+    Error,
+    /// The filter is accepted; something about it is wasteful or suspicious.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One analyzer finding: a stable code, a message, and (when the finding
+/// points at a specific predicate) a byte span into the subscription's
+/// filter source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code: `E001`…`E004`, `W001`…`W005`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Byte span of the offending predicate in the subscription source,
+    /// when the finding is localized.
+    pub span: Option<Span>,
+    /// Index of the subscription (within the analyzed union) the finding
+    /// belongs to. Always 0 for single-filter analysis.
+    pub sub: usize,
+    /// Optional follow-up note (rationale or suggested rewrite).
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(code: &'static str, sub: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            sub,
+            note: None,
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(code: &'static str, sub: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            span: None,
+            sub,
+            note: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// True for error-severity diagnostics.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Renders the diagnostic in rustc caret style against the filter
+    /// source it was produced from. `origin` names the source in the
+    /// `-->` line (e.g. `filter` or a file path).
+    pub fn render(&self, src: &str, origin: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        if let Some(span) = self.span {
+            out.push_str(&render_snippet(src, origin, span));
+        } else {
+            out.push_str(&format!("  --> {origin}: {src}\n"));
+        }
+        if let Some(note) = &self.note {
+            out.push_str(&format!("   = note: {note}\n"));
+        }
+        out
+    }
+
+    /// One-line summary: `E001: message` (used for telemetry/`RunReport`).
+    pub fn summary(&self) -> String {
+        format!("{}: {}", self.code, self.message)
+    }
+}
+
+/// Converts a byte offset into 1-based `(line, col)` coordinates.
+/// Columns count bytes (the filter language is ASCII).
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(src.len());
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= clamped {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    (line, clamped - line_start + 1)
+}
+
+/// Renders the `-->` location line plus a caret snippet for a span.
+pub fn render_snippet(src: &str, origin: &str, span: Span) -> String {
+    let (line, col) = line_col(src, span.start);
+    let line_text = src.lines().nth(line - 1).unwrap_or("");
+    // Clamp the caret run to the first line of the span.
+    let width = span
+        .end
+        .saturating_sub(span.start)
+        .max(1)
+        .min(line_text.len().saturating_sub(col - 1).max(1));
+    let gutter = line.to_string().len();
+    let mut out = String::new();
+    out.push_str(&format!("  --> {origin}:{line}:{col}\n"));
+    out.push_str(&format!("{:gutter$} |\n", ""));
+    out.push_str(&format!("{line} | {line_text}\n"));
+    out.push_str(&format!(
+        "{:gutter$} | {:pad$}{}\n",
+        "",
+        "",
+        "^".repeat(width),
+        pad = col - 1
+    ));
+    out
+}
+
+/// The span a [`FilterError`] points at, when it carries a position
+/// (lex and parse errors do; registry errors are located by the analyzer).
+pub fn error_span(err: &FilterError) -> Option<Span> {
+    match err {
+        FilterError::Lex { pos, .. } | FilterError::Parse { pos, .. } => Some(Span::point(*pos)),
+        _ => None,
+    }
+}
+
+/// Renders a [`FilterError`] with a caret snippet when it carries a source
+/// position, falling back to the plain message otherwise. This is how
+/// pre-analysis errors (tokenizer, parser) get `line:col` + caret output.
+pub fn render_filter_error(src: &str, origin: &str, err: &FilterError) -> String {
+    let msg = match err {
+        FilterError::Lex { msg, .. } => format!("lex error: {msg}"),
+        FilterError::Parse { msg, .. } => format!("parse error: {msg}"),
+        other => other.to_string(),
+    };
+    let mut out = format!("error: {msg}\n");
+    match error_span(err) {
+        Some(span) => out.push_str(&render_snippet(src, origin, span)),
+        None => out.push_str(&format!("  --> {origin}: {src}\n")),
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal (used by the
+/// `retina-flint --json` output; the workspace is hermetic, so JSON is
+/// written by hand).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_single_line() {
+        assert_eq!(line_col("tcp and udp", 0), (1, 1));
+        assert_eq!(line_col("tcp and udp", 8), (1, 9));
+        // Offsets past the end clamp to the last column.
+        assert_eq!(line_col("tcp", 99), (1, 4));
+    }
+
+    #[test]
+    fn line_col_multi_line() {
+        let src = "tcp\nand\nudp";
+        assert_eq!(line_col(src, 4), (2, 1));
+        assert_eq!(line_col(src, 8), (3, 1));
+    }
+
+    #[test]
+    fn caret_snippet_rendering() {
+        let src = "tcp and udp";
+        let d = Diagnostic::error("E001", 0, "conjunction can never match")
+            .with_span(Span::new(8, 11))
+            .with_note("every packet has exactly one transport protocol");
+        let rendered = d.render(src, "filter");
+        assert!(rendered.contains("error[E001]: conjunction can never match"));
+        assert!(rendered.contains("--> filter:1:9"));
+        assert!(rendered.contains("1 | tcp and udp"));
+        assert!(rendered.contains("^^^"));
+        assert!(rendered.contains("= note: every packet"));
+        // The caret line aligns under `udp` (8 spaces of padding after the
+        // gutter).
+        let caret_line = rendered
+            .lines()
+            .find(|l| l.contains('^'))
+            .expect("caret line");
+        // First caret sits at gutter(1) + " | "(3) + col-1(8) = byte 12.
+        assert_eq!(caret_line.find('^'), Some(12));
+        assert!(caret_line.ends_with("^^^"));
+    }
+
+    #[test]
+    fn parse_error_renders_caret() {
+        let err = crate::parser::parse("tcp.port >=").unwrap_err();
+        let rendered = render_filter_error("tcp.port >=", "filter", &err);
+        assert!(rendered.contains("error: parse error"), "{rendered}");
+        assert!(rendered.contains("--> filter:1:"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn lex_error_renders_line_col() {
+        let err = crate::parser::parse("tcp and $").unwrap_err();
+        let rendered = render_filter_error("tcp and $", "f.flt", &err);
+        assert!(rendered.contains("--> f.flt:1:9"), "{rendered}");
+    }
+
+    #[test]
+    fn json_escape_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

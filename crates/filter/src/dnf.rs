@@ -123,7 +123,7 @@ fn expand_one(conj: &Conjunction, registry: &ProtocolRegistry) -> Vec<FlatPatter
     for chain in &chains {
         let mut predicates = Vec::new();
         let mut ok = true;
-        for proto_name in chain.iter() {
+        for proto_name in chain {
             let def = registry.get(proto_name).expect("chain proto registered");
             // Unary predicate for the protocol itself ("eth" root implied).
             if *proto_name != "eth" {
@@ -163,8 +163,9 @@ fn expand_one(conj: &Conjunction, registry: &ProtocolRegistry) -> Vec<FlatPatter
 pub fn predicate_layer(pred: &Predicate, registry: &ProtocolRegistry) -> FilterLayer {
     registry
         .get(pred.protocol())
-        .map(|def| def.predicate_layer(pred.is_unary()))
-        .unwrap_or(FilterLayer::Packet)
+        .map_or(FilterLayer::Packet, |def| {
+            def.predicate_layer(pred.is_unary())
+        })
 }
 
 #[cfg(test)]
@@ -185,7 +186,12 @@ mod tests {
         expand_patterns(&dnf, &registry)
             .unwrap()
             .into_iter()
-            .map(|p| p.predicates.iter().map(|x| x.to_string()).collect())
+            .map(|p| {
+                p.predicates
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect()
+            })
             .collect()
     }
 

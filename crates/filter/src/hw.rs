@@ -12,6 +12,9 @@
 //! rules (source-side and destination-side), since NIC patterns constrain
 //! one direction at a time.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_nic::flow::{DeviceCaps, FlowRule, FlowRuleEngine, PortMatch, RuleItem};
 use retina_wire::EtherType;
 

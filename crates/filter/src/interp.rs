@@ -8,6 +8,9 @@
 //! static code (the paper's default), and Figure 12's bench compares the
 //! two.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 

@@ -2,13 +2,15 @@
 
 use crate::datatypes::FilterError;
 
-/// A lexical token with its byte offset in the source (for error messages).
+/// A lexical token with its byte span in the source (for error messages).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// Token kind and payload.
     pub kind: TokenKind,
     /// Byte offset of the token start.
     pub pos: usize,
+    /// Byte offset one past the token end (exclusive).
+    pub end: usize,
 }
 
 /// Token kinds.
@@ -61,72 +63,81 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
                 i += 1;
             }
             '(' => {
+                i += 1;
                 tokens.push(Token {
                     kind: TokenKind::LParen,
                     pos,
+                    end: i,
                 });
-                i += 1;
             }
             ')' => {
+                i += 1;
                 tokens.push(Token {
                     kind: TokenKind::RParen,
                     pos,
+                    end: i,
                 });
-                i += 1;
             }
             '~' => {
+                i += 1;
                 tokens.push(Token {
                     kind: TokenKind::Tilde,
                     pos,
+                    end: i,
                 });
-                i += 1;
             }
             '=' => {
+                i += 1;
                 tokens.push(Token {
                     kind: TokenKind::Eq,
                     pos,
+                    end: i,
                 });
-                i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
                     tokens.push(Token {
                         kind: TokenKind::Ne,
                         pos,
+                        end: i,
                     });
-                    i += 2;
                 } else {
                     return Err(FilterError::lex(pos, "expected '=' after '!'"));
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
                     tokens.push(Token {
                         kind: TokenKind::Le,
                         pos,
+                        end: i,
                     });
-                    i += 2;
                 } else {
+                    i += 1;
                     tokens.push(Token {
                         kind: TokenKind::Lt,
                         pos,
+                        end: i,
                     });
-                    i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
                     tokens.push(Token {
                         kind: TokenKind::Ge,
                         pos,
+                        end: i,
                     });
-                    i += 2;
                 } else {
+                    i += 1;
                     tokens.push(Token {
                         kind: TokenKind::Gt,
                         pos,
+                        end: i,
                     });
-                    i += 1;
                 }
             }
             '\'' => {
@@ -162,21 +173,24 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
                 tokens.push(Token {
                     kind: TokenKind::Str(s),
                     pos,
+                    end: i,
                 });
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
+                    i += 2;
                     tokens.push(Token {
                         kind: TokenKind::DotDot,
                         pos,
+                        end: i,
                     });
-                    i += 2;
                 } else {
+                    i += 1;
                     tokens.push(Token {
                         kind: TokenKind::Dot,
                         pos,
+                        end: i,
                     });
-                    i += 1;
                 }
             }
             '0'..='9' => {
@@ -198,11 +212,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
                     tokens.push(Token {
                         kind: TokenKind::Addr(text.to_string()),
                         pos,
+                        end: i,
                     });
                 } else if let Ok(n) = text.parse::<u64>() {
                     tokens.push(Token {
                         kind: TokenKind::Int(n),
                         pos,
+                        end: i,
                     });
                 } else {
                     return Err(FilterError::lex(pos, "invalid numeric literal"));
@@ -226,11 +242,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
                     tokens.push(Token {
                         kind: TokenKind::Addr(src[start..i].to_string()),
                         pos,
+                        end: i,
                     });
                 } else {
                     tokens.push(Token {
                         kind: TokenKind::Ident(src[start..i].to_string()),
                         pos,
+                        end: i,
                     });
                 }
             }
@@ -265,6 +283,22 @@ mod tests {
                 TokenKind::Int(100),
             ]
         );
+    }
+
+    #[test]
+    fn token_spans_cover_source() {
+        let toks = lex("tcp.port >= 100").unwrap();
+        // `tcp` spans bytes 0..3, `>=` spans 9..11, `100` spans 12..15.
+        assert_eq!((toks[0].pos, toks[0].end), (0, 3));
+        assert_eq!((toks[3].pos, toks[3].end), (9, 11));
+        assert_eq!((toks[4].pos, toks[4].end), (12, 15));
+    }
+
+    #[test]
+    fn string_token_span_includes_quotes() {
+        let toks = lex("tls.sni ~ 'abc'").unwrap();
+        let s = toks.last().unwrap();
+        assert_eq!((s.pos, s.end), (10, 15));
     }
 
     #[test]

@@ -44,9 +44,11 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod codegen;
 pub mod datatypes;
+pub mod diag;
 pub mod dnf;
 pub mod hw;
 pub mod interp;
@@ -57,11 +59,13 @@ pub mod subfilters;
 pub mod trie;
 pub mod union;
 
-pub use ast::{Expr, Op, Predicate, Value};
+pub use analysis::{analyze, analyze_union, Analysis};
+pub use ast::{Expr, Op, Predicate, Span, Value};
 pub use datatypes::{
     ConnData, ConnVerdict, FieldValue, FilterError, FilterResult, Frontiers, PacketVerdict,
     SessionData, SubscriptionSet,
 };
+pub use diag::{Diagnostic, Severity};
 pub use interp::{CompiledFilter, ConnFilter, FilterFns, PacketFilter, SessionFilter};
 pub use parser::parse;
 pub use registry::ProtocolRegistry;

@@ -14,14 +14,25 @@
 
 use std::net::{Ipv4Addr, Ipv6Addr};
 
-use crate::ast::{Expr, Op, Predicate, Value};
+use crate::ast::{Expr, Op, Predicate, Span, SpanMap, Value};
 use crate::datatypes::FilterError;
 use crate::lexer::{lex, Token, TokenKind};
 
 /// Parses filter source text into an expression tree.
 pub fn parse(src: &str) -> Result<Expr, FilterError> {
+    parse_with_spans(src).map(|(expr, _)| expr)
+}
+
+/// Parses filter source text, additionally returning a [`SpanMap`] that maps
+/// every predicate to the byte span where it was written. Diagnostics use the
+/// spans to point at the offending predicate in the original source.
+pub fn parse_with_spans(src: &str) -> Result<(Expr, SpanMap), FilterError> {
     let tokens = lex(src)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        spans: SpanMap::default(),
+    };
     let expr = parser.expr()?;
     if let Some(tok) = parser.peek() {
         return Err(FilterError::parse(
@@ -29,17 +40,26 @@ pub fn parse(src: &str) -> Result<Expr, FilterError> {
             format!("unexpected trailing token {:?}", tok.kind),
         ));
     }
-    Ok(expr)
+    Ok((expr, parser.spans))
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    spans: SpanMap,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
+    }
+
+    /// Exclusive end offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.tokens.get(i))
+            .map_or(0, |t| t.end)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -51,7 +71,7 @@ impl Parser {
     }
 
     fn err_here(&self, msg: impl Into<String>) -> FilterError {
-        let pos = self.peek().map(|t| t.pos).unwrap_or(usize::MAX);
+        let pos = self.peek().map_or(usize::MAX, |t| t.pos);
         FilterError::parse(if pos == usize::MAX { 0 } else { pos }, msg)
     }
 
@@ -110,7 +130,8 @@ impl Parser {
     fn predicate(&mut self) -> Result<Expr, FilterError> {
         let Some(Token {
             kind: TokenKind::Ident(protocol),
-            ..
+            pos: start,
+            end: proto_end,
         }) = self.next()
         else {
             return Err(self.err_here("expected protocol name"));
@@ -126,7 +147,9 @@ impl Parser {
                 ..
             })
         ) {
-            return Ok(Expr::Predicate(Predicate::Unary { protocol }));
+            let pred = Predicate::Unary { protocol };
+            self.spans.insert(pred.clone(), Span::new(start, proto_end));
+            return Ok(Expr::Predicate(pred));
         }
         self.next(); // consume '.'
         let Some(Token {
@@ -152,12 +175,15 @@ impl Parser {
             None => return Err(self.err_here("expected operator")),
         };
         let value = self.value()?;
-        Ok(Expr::Predicate(Predicate::Binary {
+        let pred = Predicate::Binary {
             protocol,
             field,
             op,
             value,
-        }))
+        };
+        self.spans
+            .insert(pred.clone(), Span::new(start, self.prev_end()));
+        Ok(Expr::Predicate(pred))
     }
 
     fn value(&mut self) -> Result<Value, FilterError> {
@@ -179,6 +205,7 @@ impl Parser {
                         Some(Token {
                             kind: TokenKind::Int(hi),
                             pos,
+                            ..
                         }) => {
                             if hi < n {
                                 return Err(FilterError::parse(
@@ -201,6 +228,7 @@ impl Parser {
             Some(Token {
                 kind: TokenKind::Addr(text),
                 pos,
+                ..
             }) => parse_addr(&text).ok_or_else(|| {
                 FilterError::parse(pos, format!("invalid address literal '{text}'"))
             }),
@@ -357,6 +385,35 @@ mod tests {
     #[test]
     fn trailing_tokens_rejected() {
         assert!(parse("tcp )").is_err());
+    }
+
+    #[test]
+    fn spans_point_at_predicates() {
+        let src = "ipv4 and tcp.port >= 100";
+        let (_, spans) = parse_with_spans(src).unwrap();
+        let unary = Predicate::Unary {
+            protocol: "ipv4".into(),
+        };
+        let binary = Predicate::Binary {
+            protocol: "tcp".into(),
+            field: "port".into(),
+            op: Op::Ge,
+            value: Value::Int(100),
+        };
+        let s = spans.get(&unary).unwrap();
+        assert_eq!(&src[s.start..s.end], "ipv4");
+        let s = spans.get(&binary).unwrap();
+        assert_eq!(&src[s.start..s.end], "tcp.port >= 100");
+    }
+
+    #[test]
+    fn spans_first_occurrence_wins() {
+        let src = "tcp or (ipv4 and tcp)";
+        let (_, spans) = parse_with_spans(src).unwrap();
+        let tcp = Predicate::Unary {
+            protocol: "tcp".into(),
+        };
+        assert_eq!(spans.get(&tcp).unwrap(), crate::ast::Span::new(0, 3));
     }
 
     #[test]

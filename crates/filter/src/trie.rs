@@ -67,7 +67,40 @@ impl PredicateTrie {
 
     /// Parses N filter sources and merges them into one trie, tagging
     /// each source's pattern ends with its subscription index.
+    ///
+    /// Per subscription, patterns proven dead by the semantic analyzer
+    /// (subsumed by a broader pattern of the *same* subscription, see
+    /// [`crate::analysis::dead_pattern_indices`]) are dropped before
+    /// insertion — this is strictly more general than the prefix-based
+    /// `shadow_clear` pass, which still runs to catch cross-insertion
+    /// shadowing. The `tests/tests/analysis.rs` differential proptest
+    /// checks the pruned trie against [`Self::from_sources_naive`].
     pub fn from_sources(srcs: &[&str], registry: &ProtocolRegistry) -> Result<Self, FilterError> {
+        Self::from_sources_inner(srcs, registry, true)
+    }
+
+    /// Builds the same merged trie as [`Self::from_sources`] but with every
+    /// optimization disabled: no analyzer-driven dead-pattern elimination,
+    /// no `shadow_clear`, no branch pruning. Exists as the reference
+    /// implementation for differential testing of the optimizing build;
+    /// not intended for production use.
+    pub fn from_sources_naive(
+        srcs: &[&str],
+        registry: &ProtocolRegistry,
+    ) -> Result<Self, FilterError> {
+        Self::from_sources_inner(srcs, registry, false)
+    }
+
+    /// Single-subscription variant of [`Self::from_sources_naive`].
+    pub fn from_source_naive(src: &str, registry: &ProtocolRegistry) -> Result<Self, FilterError> {
+        Self::from_sources_naive(&[src], registry)
+    }
+
+    fn from_sources_inner(
+        srcs: &[&str],
+        registry: &ProtocolRegistry,
+        optimize: bool,
+    ) -> Result<Self, FilterError> {
         if srcs.is_empty() || srcs.len() > SubscriptionSet::MAX {
             return Err(FilterError::parse(
                 0,
@@ -80,11 +113,23 @@ impl PredicateTrie {
         }
         let mut trie = Self::empty_trie(&Self::combined_source(srcs), srcs);
         for (sub, src) in srcs.iter().enumerate() {
-            for pattern in Self::expand(src, registry)? {
-                trie.insert(&pattern, registry, sub);
+            let patterns = Self::expand(src, registry)?;
+            let keep = if optimize {
+                crate::analysis::live_pattern_mask(&patterns)
+            } else {
+                vec![true; patterns.len()]
+            };
+            for (pattern, keep) in patterns.iter().zip(keep) {
+                if keep {
+                    trie.insert(pattern, registry, sub);
+                }
             }
         }
-        trie.finalize();
+        if optimize {
+            trie.finalize();
+        } else {
+            trie.finalize_naive();
+        }
         Ok(trie)
     }
 
@@ -129,7 +174,7 @@ impl PredicateTrie {
                 subtree_subs: SubscriptionSet::empty(),
             }],
             source: src.to_string(),
-            sources: srcs.iter().map(|s| s.to_string()).collect(),
+            sources: srcs.iter().map(std::string::ToString::to_string).collect(),
         }
     }
 
@@ -180,6 +225,17 @@ impl PredicateTrie {
         self.shadow_clear(0, SubscriptionSet::empty());
         self.compute_subtrees(0);
         self.prune(0);
+        for node in &mut self.nodes {
+            node.pattern_end = !node.subs.is_empty();
+        }
+    }
+
+    /// Finalization without the optimization passes: only the bookkeeping
+    /// (`subtree_subs`, `pattern_end`) needed for a walkable trie. Used by
+    /// [`Self::from_sources_naive`] so differential tests can compare the
+    /// optimized trie against an unoptimized reference.
+    fn finalize_naive(&mut self) {
+        self.compute_subtrees(0);
         for node in &mut self.nodes {
             node.pattern_end = !node.subs.is_empty();
         }
@@ -421,8 +477,7 @@ impl PredicateTrie {
         let label = node
             .pred
             .as_ref()
-            .map(|p| p.to_string())
-            .unwrap_or_else(|| "eth".to_string());
+            .map_or_else(|| "eth".to_string(), std::string::ToString::to_string);
         out.push_str(&"  ".repeat(depth));
         let end = if !node.pattern_end {
             String::new()
@@ -602,10 +657,29 @@ mod tests {
 
     #[test]
     fn reachable_excludes_pruned() {
+        // The analyzer drops the dead `ipv4 and tcp` pattern before
+        // insertion, so the optimized arena never grows the tcp node at
+        // all; the naive build keeps it and marks it reachable.
         let trie = build("ipv4 or (ipv4 and tcp)");
-        // The pruned tcp node is still in the arena but not reachable.
-        let reachable = trie.reachable();
-        assert!(reachable.len() < trie.len());
+        assert_eq!(trie.reachable().len(), trie.len());
+        let naive = PredicateTrie::from_source_naive(
+            "ipv4 or (ipv4 and tcp)",
+            &ProtocolRegistry::default(),
+        )
+        .unwrap();
+        assert!(trie.len() < naive.len());
+        assert_eq!(naive.reachable().len(), naive.len());
+    }
+
+    #[test]
+    fn analyzer_prunes_subset_not_just_prefix() {
+        // [ipv4] subsumes [ipv4, ipv4.ttl > 64, tcp] although their trie
+        // paths diverge after the ipv4 node — prefix-based shadow_clear
+        // alone cannot catch this.
+        let pruned = build("ipv4 or (ipv4.ttl > 64 and tcp)");
+        let solo = build("ipv4");
+        assert_eq!(pruned.len(), solo.len());
+        assert!(pruned.root().children.len() == 1);
     }
 
     fn build_multi(srcs: &[&str]) -> PredicateTrie {

@@ -15,6 +15,9 @@
 //! the upper bits of the opaque `u32`), so later layers route resume
 //! nodes back to the right part.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_nic::{DeviceCaps, FlowRule};
 use retina_wire::ParsedPacket;
 

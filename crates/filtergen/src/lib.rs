@@ -38,8 +38,48 @@
 
 use proc_macro::{TokenStream, TokenTree};
 
+use retina_filter::diag::render_filter_error;
 use retina_filter::registry::ProtocolRegistry;
 use retina_filter::trie::PredicateTrie;
+
+/// Runs the semantic analyzer over the filter sources before codegen.
+///
+/// Hard E-code diagnostics (unsatisfiable conjunctions, contradictory
+/// constraints, duplicate union subscriptions, …) abort the expansion with
+/// the full rustc-style rendering — caret snippet included — as the
+/// `compile_error!` message. Warnings (dead disjuncts, lost hardware
+/// offload, redundant predicates) are printed to stderr as build notes,
+/// exactly once per macro expansion.
+fn analyze_sources(srcs: &[&str], origin: &str) -> Result<(), String> {
+    let registry = ProtocolRegistry::default();
+    match retina_filter::analyze_union(srcs, &registry, None) {
+        Ok(analysis) => {
+            for w in analysis.warnings() {
+                let src = srcs.get(w.sub).copied().unwrap_or("");
+                eprint!("{}", w.render(src, origin));
+            }
+            if analysis.has_errors() {
+                let mut msg = String::new();
+                for d in analysis.errors() {
+                    let src = srcs.get(d.sub).copied().unwrap_or("");
+                    msg.push_str(&d.render(src, origin));
+                }
+                return Err(msg);
+            }
+            Ok(())
+        }
+        Err(_) => {
+            // Re-parse each source individually to attribute the lex/parse
+            // error to the right subscription and render a caret snippet.
+            for src in srcs {
+                if let Err(err) = retina_filter::parse(src) {
+                    return Err(render_filter_error(src, origin, &err));
+                }
+            }
+            unreachable!("analyze_union failed but every source parses");
+        }
+    }
+}
 
 /// Function-like form: `filter!(StructName, "filter expression")`.
 #[proc_macro]
@@ -134,6 +174,10 @@ pub fn filter_union(input: TokenStream) -> TokenStream {
     if sources.is_empty() {
         return compile_error("filter_union! needs at least one filter source");
     }
+    let src_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    if let Err(msg) = analyze_sources(&src_refs, "filter_union!") {
+        return compile_error(&msg);
+    }
     let mut out = String::new();
     let mut ctors = Vec::new();
     for (i, src) in sources.iter().enumerate() {
@@ -220,6 +264,7 @@ fn parse_string_literal(text: &str) -> Option<String> {
 }
 
 fn generate(filter_src: &str, name: &str, with_struct: bool) -> Result<TokenStream, String> {
+    analyze_sources(&[filter_src], "filter!")?;
     let registry = ProtocolRegistry::default();
     let trie = PredicateTrie::from_source(filter_src, &registry)
         .map_err(|e| format!("invalid filter '{filter_src}': {e}"))?;
@@ -234,4 +279,46 @@ fn generate(filter_src: &str, name: &str, with_struct: bool) -> Result<TokenStre
 
 fn compile_error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::analyze_sources;
+
+    // `filter!("tcp and udp")` must expand to a `compile_error!` whose
+    // message carries the same stable E-codes `RuntimeBuilder::build`
+    // reports for the same source (see
+    // `tests/tests/analysis.rs::runtime_builder_rejects_unsatisfiable_filter_with_e_code`),
+    // plus the caret snippet pointing at the offending predicate.
+    #[test]
+    fn unsatisfiable_filter_is_a_compile_error_with_span() {
+        let msg = analyze_sources(&["tcp and udp"], "filter!").unwrap_err();
+        assert!(msg.contains("error[E001]"), "{msg}");
+        assert!(msg.contains("error[E004]"), "{msg}");
+        assert!(msg.contains("--> filter!:1:"), "{msg}");
+        assert!(msg.contains("tcp and udp"), "{msg}");
+        assert!(msg.contains('^'), "{msg}");
+    }
+
+    #[test]
+    fn contradictory_constraints_are_a_compile_error() {
+        let msg =
+            analyze_sources(&["tcp.src_port > 100 and tcp.src_port < 50"], "filter!").unwrap_err();
+        assert!(msg.contains("error[E002]"), "{msg}");
+    }
+
+    #[test]
+    fn union_duplicates_are_not_errors() {
+        // W004 is a warning: the union still compiles.
+        assert!(analyze_sources(&["tls", "tls"], "filter_union!").is_ok());
+    }
+
+    #[test]
+    fn clean_filters_pass() {
+        assert!(analyze_sources(
+            &["(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http"],
+            "filter!"
+        )
+        .is_ok());
+    }
 }

@@ -7,6 +7,9 @@
 //! mempool is exhausted the packet is lost and counted, which is exactly
 //! the signal the paper's zero-loss throughput methodology keys off.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -238,7 +241,9 @@ impl VirtualNic {
 
     /// Per-ring descriptor capacity.
     pub fn ring_capacity(&self) -> usize {
-        self.queues.first().map_or(0, |q| q.capacity())
+        self.queues
+            .first()
+            .map_or(0, retina_support::sync::ArrayQueue::capacity)
     }
 
     /// The deepest RX ring's occupancy as a fraction of its capacity —
@@ -248,7 +253,12 @@ impl VirtualNic {
         if cap == 0 {
             return 0.0;
         }
-        let deepest = self.queues.iter().map(|q| q.len()).max().unwrap_or(0);
+        let deepest = self
+            .queues
+            .iter()
+            .map(retina_support::sync::ArrayQueue::len)
+            .max()
+            .unwrap_or(0);
         deepest as f64 / cap as f64
     }
 
@@ -499,7 +509,7 @@ mod tests {
                 match (first, again) {
                     (IngestOutcome::Sunk, IngestOutcome::Sunk) => {}
                     (IngestOutcome::Delivered(a), IngestOutcome::Delivered(b)) => {
-                        assert_eq!(a, b)
+                        assert_eq!(a, b);
                     }
                     other => panic!("inconsistent sampling: {other:?}"),
                 }

@@ -7,6 +7,9 @@
 //! per-hash-bucket, sampling preserves flow consistency: every packet of a
 //! given connection is either fully delivered or fully sunk.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 /// Queue index reserved for "sink" entries.
 ///
 /// The device treats packets mapped here as intentionally dropped; they are

@@ -10,6 +10,8 @@
 //! [`PcapWriter`] lets the traffic generator persist synthetic traces.
 
 #![warn(missing_docs)]
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};

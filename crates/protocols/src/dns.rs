@@ -5,6 +5,9 @@
 //! answer count. Compressed names are followed with a strict jump bound so
 //! malicious pointer loops terminate.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_filter::FieldValue;
 
 use crate::parser::{ConnParser, Direction, ParseResult, ProbeResult, Session};

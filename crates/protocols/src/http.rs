@@ -8,6 +8,9 @@
 //! (Figure 4a) keeps a connection in the Track state after the first
 //! match.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_filter::FieldValue;
 
 use crate::parser::{ConnParser, Direction, ParseResult, ProbeResult, Session};

@@ -8,6 +8,9 @@
 //! repository's dependency budget, so `quic.sni` is intentionally not a
 //! field.)
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_filter::FieldValue;
 
 use crate::parser::{ConnParser, Direction, ParseResult, ProbeResult, Session, SessionState};

@@ -3,6 +3,9 @@
 //! large-scale SSH measurement studies key on. Parsing stops before the
 //! encrypted transport begins.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use retina_filter::FieldValue;
 
 use crate::parser::{ConnParser, Direction, ParseResult, ProbeResult, Session};

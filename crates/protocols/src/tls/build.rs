@@ -3,6 +3,9 @@
 //! Used by the synthetic traffic generator to emit realistic handshakes,
 //! and by the parser tests as round-trip vectors.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 /// Parameters for a synthesized ClientHello.
 #[derive(Debug, Clone)]
 pub struct ClientHelloSpec {

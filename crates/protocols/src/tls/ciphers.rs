@@ -38,8 +38,7 @@ pub fn cipher_name_static(id: u16) -> &'static str {
     NAMES
         .iter()
         .find(|(i, _)| *i == id)
-        .map(|(_, n)| *n)
-        .unwrap_or("TLS_UNKNOWN")
+        .map_or("TLS_UNKNOWN", |(_, n)| *n)
 }
 
 #[cfg(test)]

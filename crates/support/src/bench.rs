@@ -101,7 +101,7 @@ fn run_one(
         f(&mut b);
         per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }
-    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    per_iter_ns.sort_by(f64::total_cmp);
     let median = per_iter_ns[per_iter_ns.len() / 2];
     let p95 = per_iter_ns[((per_iter_ns.len() - 1) * 95) / 100];
 
@@ -216,7 +216,7 @@ mod tests {
             b.iter(|| {
                 runs += 1;
                 std::hint::black_box(runs)
-            })
+            });
         });
         assert!(runs > 0, "routine never executed");
     }
@@ -240,7 +240,7 @@ mod tests {
                     v.len()
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
         group.finish();
         assert_eq!(setups, routines, "setup must run once per routine call");

@@ -284,6 +284,8 @@ mod tests {
         let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
         let s = a.slice(2..6);
         assert_eq!(s.as_slice(), &[2, 3, 4, 5]);
+        // SAFETY: `a` is 8 bytes long, so offset 2 is in bounds of the
+        // same allocation.
         assert_eq!(s.as_slice().as_ptr(), unsafe {
             a.as_slice().as_ptr().add(2)
         });
@@ -319,6 +321,8 @@ mod tests {
         assert_eq!(a.as_slice(), &[12, 13, 14]);
         // Both halves still share the original storage.
         assert_eq!(
+            // SAFETY: `head` views the first 2 bytes of the shared 5-byte
+            // allocation; offset 2 stays one-past-the-end at most.
             unsafe { head.as_slice().as_ptr().add(2) },
             a.as_slice().as_ptr()
         );

@@ -1,5 +1,8 @@
 //! Case execution, rejection handling, and choice-stream shrinking.
 
+// Narrowing casts in this file are intentional: PRNG/fuzzing utilities extract lanes and bytes from u64 state.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::cell::{Cell, RefCell};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
@@ -24,7 +27,7 @@ fn install_quiet_hook() {
     INSTALL_HOOK.call_once(|| {
         let previous = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            if !QUIET.with(|q| q.get()) {
+            if !QUIET.with(std::cell::Cell::get) {
                 previous(info);
             }
         }));
@@ -89,9 +92,7 @@ fn env_u64(var: &str) -> Option<u64> {
 pub fn run(name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut DataSource)) {
     install_quiet_hook();
     let base = name_seed(name) ^ env_u64("RETINA_PROPTEST_SEED").unwrap_or(0);
-    let cases = env_u64("RETINA_PROPTEST_CASES")
-        .map(|c| c as u32)
-        .unwrap_or(config.cases);
+    let cases = env_u64("RETINA_PROPTEST_CASES").map_or(config.cases, |c| c as u32);
     let mut rejects = 0u32;
     let mut passed = 0u32;
     let mut stream = base;

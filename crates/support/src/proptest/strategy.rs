@@ -1,5 +1,8 @@
 //! Strategy combinators: how values are derived from the choice stream.
 
+// Narrowing casts in this file are intentional: PRNG/fuzzing utilities extract lanes and bytes from u64 state.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};

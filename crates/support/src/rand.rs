@@ -8,6 +8,9 @@
 //! bit-for-bit (the paper's evaluation methodology demands replayable
 //! inputs).
 
+// Narrowing casts in this file are intentional: PRNG/fuzzing utilities extract lanes and bytes from u64 state.
+#![allow(clippy::cast_possible_truncation)]
+
 /// Mixes a 64-bit seed into a well-distributed stream (SplitMix64).
 /// Used for seeding and for cheap stateless hashing of test names.
 #[inline]

@@ -12,6 +12,9 @@
 //! random string matching the pattern, which the property-test harness
 //! uses for `"[a-z][a-z0-9_]{0,8}"`-style string strategies.
 
+// Narrowing casts in this file are intentional: PRNG/fuzzing utilities extract lanes and bytes from u64 state.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::fmt;
 
 /// A compiled pattern.

@@ -114,7 +114,15 @@ pub struct ArrayQueue<T> {
     head: AtomicUsize,
 }
 
+// SAFETY: every slot is guarded by its `seq` ticket. A value is written
+// exactly once by the producer that won the tail CAS and read exactly once
+// by the consumer that won the head CAS; the Release store on `seq` after a
+// write happens-before the Acquire load that lets the reader in, so no two
+// threads ever touch the same `UnsafeCell` concurrently. Moving values
+// across threads only needs `T: Send`.
 unsafe impl<T: Send> Send for ArrayQueue<T> {}
+// SAFETY: see the `Send` impl above — shared access is mediated entirely by
+// the per-slot atomic tickets, so `&ArrayQueue<T>` is safe to share.
 unsafe impl<T: Send> Sync for ArrayQueue<T> {}
 
 impl<T> ArrayQueue<T> {
@@ -170,7 +178,10 @@ impl<T> ArrayQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // We own the slot; publish the value.
+                        // SAFETY: the tail CAS just succeeded, so this
+                        // thread exclusively owns the slot for ticket
+                        // `tail`; no reader is admitted until the Release
+                        // store of `tail + 1` to `seq` below.
                         unsafe { (*slot.value.get()).write(value) };
                         slot.seq.store(tail.wrapping_add(1), Ordering::Release);
                         return Ok(());
@@ -203,6 +214,11 @@ impl<T> ArrayQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // SAFETY: `seq == head + 1` (Acquire) proves the
+                        // producer's `write` is visible and complete, and
+                        // the head CAS gave this thread exclusive ownership
+                        // of the slot, so the value is initialized and read
+                        // exactly once.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
                         // Mark the slot free for the push one lap ahead.
                         slot.seq

@@ -7,6 +7,9 @@
 //! so recording is a handful of instructions and merging shards is a
 //! vector add, both cheap enough to stay on when profiling is enabled.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 /// Number of buckets: bucket 0 holds zeros, bucket `k` (1..=64) holds
 /// values in `[2^(k-1), 2^k)`.
 pub const NUM_BUCKETS: usize = 65;
@@ -157,8 +160,7 @@ impl LogHistogram {
         self.buckets
             .iter()
             .rposition(|&n| n > 0)
-            .map(Self::bucket_upper)
-            .unwrap_or(0)
+            .map_or(0, Self::bucket_upper)
     }
 
     /// Iterates non-empty buckets as `(lower, upper, count)`.

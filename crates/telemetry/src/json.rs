@@ -5,6 +5,9 @@
 //! strings with `\"`/`\\`/`\/`/`\b`/`\f`/`\n`/`\r`/`\t`/`\uXXXX`
 //! escapes, numbers, booleans, null — and rejects trailing garbage.
 
+// Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

@@ -15,6 +15,9 @@
 //!   Netflix/YouTube video domains the paper's filters target;
 //! - a small rate of broken TLS client randoms (§7.1's anomaly).
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 
 use retina_support::bytes::Bytes;
@@ -458,10 +461,7 @@ mod tests {
             };
             let entry = conns.entry(key).or_insert_with(|| Conn {
                 proto: pkt.protocol.into(),
-                syn_only: pkt
-                    .tcp_flags()
-                    .map(|f| f.syn() && !f.ack())
-                    .unwrap_or(false),
+                syn_only: pkt.tcp_flags().is_some_and(|f| f.syn() && !f.ack()),
                 ..Default::default()
             });
             entry.packets += 1;

@@ -2,6 +2,9 @@
 //! MSS segmentation, timing, out-of-order injection, and teardown; plus
 //! UDP exchanges and ICMP pings.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::SocketAddr;
 
 use retina_protocols::tls::build::{

@@ -7,6 +7,9 @@
 //! connections the workload packs into each simulated second, which is
 //! the x-axis of Figure 6.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::{Ipv4Addr, SocketAddr};
 
 use retina_support::bytes::Bytes;

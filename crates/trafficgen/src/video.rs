@@ -11,6 +11,9 @@
 //! to keep bench runtimes reasonable; the CDF *shapes* and the
 //! Netflix-vs-YouTube ordering are preserved (see EXPERIMENTS.md).
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::{Ipv4Addr, SocketAddr};
 
 use retina_support::bytes::Bytes;

@@ -4,6 +4,9 @@
 //! suites to construct valid Ethernet/IP/TCP/UDP frames, with correct length
 //! fields and checksums, from a declarative spec.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::{IpAddr, SocketAddr};
 
 use crate::ethernet::{self, EtherType, MacAddr};

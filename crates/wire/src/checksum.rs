@@ -1,5 +1,8 @@
 //! Internet checksum (RFC 1071) helpers shared by IPv4, TCP, UDP and ICMP.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::ip::IpAddr;
 
 /// Incremental ones-complement sum accumulator.

@@ -1,5 +1,8 @@
 //! ICMPv4 (RFC 792) and ICMPv6 (RFC 4443) message views.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::checksum::{self, Checksum};
 use crate::error::check_len;
 use crate::ip::IpAddr;

@@ -1,5 +1,8 @@
 //! IPv6 packet view (RFC 8200), including extension-header traversal.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::Ipv6Addr;
 
 use crate::error::check_len;

@@ -194,8 +194,7 @@ impl<'a> PacketParsable<'a> for Ipv6<'a> {
         // layer.
         self.view
             .upper_layer()
-            .map(|(_, off)| off)
-            .unwrap_or(crate::ipv6::HEADER_LEN)
+            .map_or(crate::ipv6::HEADER_LEN, |(_, off)| off)
     }
 
     fn next_header(&self) -> Option<usize> {

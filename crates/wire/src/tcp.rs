@@ -1,5 +1,8 @@
 //! TCP segment view (RFC 9293), including option parsing.
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use core::fmt;
 
 use crate::checksum::Checksum;

@@ -1,5 +1,8 @@
 //! UDP datagram view (RFC 768).
 
+// Narrowing casts in this file are intentional: wire formats pack values into fixed-width header fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::checksum::Checksum;
 use crate::error::check_len;
 use crate::ip::IpAddr;

@@ -8,6 +8,9 @@
 //! prefixes anonymize to identical prefixes, so subnet structure survives
 //! for research use while addresses do not.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::net::IpAddr;

@@ -6,6 +6,9 @@
 //! minutes of campus traffic. The synthetic mix plants the same anomaly
 //! (see `retina_trafficgen::campus`); this application finds it.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 

@@ -5,6 +5,9 @@
 //! Writes JSON-lines records to `/tmp/retina_conns.jsonl` via a buffered
 //! writer — the mitigation §5.3 suggests for expensive callbacks.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
@@ -37,7 +40,7 @@ fn main() {
             rec.established,
             rec.terminated,
             rec.single_syn,
-            rec.service.as_deref().map(|s| format!("\"{s}\"")).unwrap_or("null".into()),
+            rec.service.as_deref().map_or("null".into(), |s| format!("\"{s}\"")),
         );
         let _ = sink.lock().unwrap().write_all(line.as_bytes());
     };

@@ -7,6 +7,9 @@
 //! cargo run --release -p retina-examples --bin pcap_offline
 //! ```
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::sync::Arc;
 
 use retina_core::offline::run_offline;
@@ -32,7 +35,7 @@ fn main() {
         writer.write_packet(frame, *ts).expect("write packet");
     }
     writer.flush().expect("flush");
-    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
     println!(
         "wrote {} packets ({} MB) to {path}",
         packets.len(),

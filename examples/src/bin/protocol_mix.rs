@@ -3,6 +3,9 @@
 //! using the generic [`SessionRecord`] subscription over every built-in
 //! protocol module.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 

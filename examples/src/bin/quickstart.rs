@@ -6,6 +6,9 @@
 //! cargo run --release -p retina-examples --bin quickstart
 //! ```
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

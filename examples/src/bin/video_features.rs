@@ -6,6 +6,9 @@
 //! service, overlapping in time), and reports per-session features:
 //! parallel flows, bytes up/down, out-of-order counts, and throughput.
 
+// Narrowing casts in this file are intentional: synthetic traffic narrows seeded PRNG draws into ports, lengths, and header bytes.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::{Arc, Mutex};

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Every `unsafe` block, `unsafe impl`, and `unsafe fn` in the workspace must
+# be preceded by a `// SAFETY:` comment within the few lines above it.
+#
+# This is a textual audit, not a parser: it scans crates/**/*.rs for lines
+# introducing unsafe code and walks upward past attributes, cfg gates, and
+# blank-ish lines looking for the justification comment. Run as the `safety`
+# stage of scripts/ci.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+while IFS=: read -r file line text; do
+    # Skip the lint-configuration mention and doc/comment lines.
+    trimmed="${text#"${text%%[![:space:]]*}"}"
+    case "$trimmed" in
+        //*|\#*|\**) continue ;;
+    esac
+    case "$text" in
+        *unsafe_op_in_unsafe_fn*) continue ;;
+    esac
+
+    # Walk up to 8 lines back looking for `// SAFETY:`; tolerate attributes
+    # (`#[...]`), cfg gates, and continuation lines of the comment itself.
+    found=0
+    for back in 1 2 3 4 5 6 7 8; do
+        prev=$((line - back))
+        [ "$prev" -lt 1 ] && break
+        ptext=$(sed -n "${prev}p" "$file")
+        ptrim="${ptext#"${ptext%%[![:space:]]*}"}"
+        case "$ptrim" in
+            "// SAFETY:"*) found=1; break ;;
+            "//"*|"#["*) continue ;;
+            *) break ;;
+        esac
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "error: unsafe without // SAFETY: comment at $file:$line" >&2
+        echo "    $trimmed" >&2
+        fail=1
+    fi
+done < <(grep -rn --include='*.rs' -E '(^|[^[:alnum:]_"])unsafe([[:space:]]*\{|[[:space:]]+(impl|fn|extern))' crates/)
+
+if [ "$fail" -ne 0 ]; then
+    echo "safety audit failed: annotate each unsafe site with // SAFETY: <why it is sound>" >&2
+    exit 1
+fi
+echo "safety audit: all unsafe sites carry // SAFETY: comments"

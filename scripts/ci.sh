@@ -7,18 +7,22 @@
 #   scripts/ci.sh fmt clippy      # just these stages
 #
 # Stages:
-#   fmt         cargo fmt --check (no diffs tolerated)
-#   clippy      cargo clippy --offline --all-targets -- -D warnings
-#   build       release build of every lib and binary
-#   doc         cargo doc --offline --no-deps with warnings denied
-#   test        cargo test -q --offline (whole workspace)
-#   smoke       telemetry_smoke + governor_storm + fig_multi (--quick),
-#               emitting results/BENCH_ci.json
-#   bench-gate  scripts/bench_gate.sh vs results/BENCH_baseline.json
+#   fmt           cargo fmt --check (no diffs tolerated)
+#   clippy        cargo clippy --offline --all-targets -- -D warnings
+#   pedantic      curated clippy::pedantic subset, denied (see below)
+#   safety        every unsafe site carries a // SAFETY: comment
+#   lint-filters  retina-flint --json over scripts/filters.flt (the
+#                 filters used by benches/examples); fails on E-codes
+#   build         release build of every lib and binary
+#   doc           cargo doc --offline --no-deps with warnings denied
+#   test          cargo test -q --offline (whole workspace)
+#   smoke         telemetry_smoke + governor_storm + fig_multi (--quick),
+#                 emitting results/BENCH_ci.json
+#   bench-gate    scripts/bench_gate.sh vs results/BENCH_baseline.json
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy build doc test smoke bench-gate)
+ALL_STAGES=(fmt clippy pedantic safety lint-filters build doc test smoke bench-gate)
 if [ "$#" -gt 0 ]; then STAGES=("$@"); else STAGES=("${ALL_STAGES[@]}"); fi
 
 FAILED=()
@@ -39,6 +43,38 @@ run_stage() {
 stage_fmt() { cargo fmt --check; }
 
 stage_clippy() { cargo clippy --offline --all-targets -- -D warnings; }
+
+# Curated subset of clippy::pedantic, denied. Deliberately curated, not
+# the whole group: documentation-volume lints (missing_panics_doc,
+# missing_errors_doc) and pure-style churn (module_name_repetitions,
+# uninlined_format_args) are excluded; correctness-adjacent and
+# API-shape lints are enforced. cast_sign_loss and unused_self were
+# evaluated and left out: both fire only on intentional patterns here
+# (f64 statistics rounding; &self kept for API symmetry).
+stage_pedantic() {
+    cargo clippy --offline --workspace --all-targets -- \
+        -D clippy::cast_possible_truncation \
+        -D clippy::needless_pass_by_value \
+        -D clippy::semicolon_if_nothing_returned \
+        -D clippy::redundant_closure_for_method_calls \
+        -D clippy::inefficient_to_string \
+        -D clippy::map_unwrap_or \
+        -D clippy::unnecessary_wraps \
+        -D clippy::manual_let_else \
+        -D clippy::explicit_iter_loop \
+        -D clippy::cloned_instead_of_copied
+}
+
+stage_safety() { scripts/check_safety_comments.sh; }
+
+# Lint the filter corpus (every filter the benches, figure binaries and
+# examples use) with the semantic analyzer. retina-flint exits non-zero
+# on any E-code; warnings are printed but tolerated. --json so a CI
+# consumer can archive the findings.
+stage_lint_filters() {
+    cargo run --release --offline -q -p retina-filter --bin retina-flint -- \
+        --json scripts/filters.flt
+}
 
 stage_build() {
     cargo build --release --offline &&
@@ -65,6 +101,9 @@ for stage in "${STAGES[@]}"; do
     case "$stage" in
     fmt) run_stage fmt stage_fmt ;;
     clippy) run_stage clippy stage_clippy ;;
+    pedantic) run_stage pedantic stage_pedantic ;;
+    safety) run_stage safety stage_safety ;;
+    lint-filters) run_stage lint-filters stage_lint_filters ;;
     build) run_stage build stage_build ;;
     doc) run_stage doc stage_doc ;;
     test) run_stage test stage_test ;;

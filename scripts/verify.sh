@@ -6,9 +6,9 @@
 # tests/tests/hermetic.rs).
 #
 #   scripts/verify.sh          # full: release build + bins, tests, smoke
-#   scripts/verify.sh --fast   # debug build + tests only (skips the
-#                              # release binaries and smoke runs; used
-#                              # by the quick CI job)
+#   scripts/verify.sh --fast   # debug build + tests + filter lint only
+#                              # (skips the release binaries and smoke
+#                              # runs; used by the quick CI job)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +26,10 @@ done
 if [ "$FAST" = 1 ]; then
     cargo build --offline
     cargo test -q --offline
+    # Filter-corpus lint stays in the fast path: a filter that stops
+    # compiling (or turns unsatisfiable) should fail the quick job too.
+    cargo run --offline -q -p retina-filter --bin retina-flint -- \
+        --json scripts/filters.flt
     exit 0
 fi
 
@@ -46,3 +50,8 @@ cargo run --release --offline -q -p retina-bench --bin telemetry_smoke -- --quic
 # within a bounded number of monitor intervals. Exits non-zero on
 # violation.
 cargo run --release --offline -q -p retina-bench --bin governor_storm -- --quick
+
+# Filter-corpus lint: the semantic analyzer must find no E-code
+# diagnostics in any filter the benches and examples rely on.
+cargo run --release --offline -q -p retina-filter --bin retina-flint -- \
+    --json scripts/filters.flt

@@ -79,7 +79,7 @@ proptest! {
     /// what the plan throws at the pipeline.
     #[test]
     fn accounting_balances_under_any_fault_plan(seed in any::<u64>()) {
-        let _guard = ARM_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = ARM_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         with_quiet_panics(|| {
             let plan = FaultPlan::from_seed(seed, workload().len() as u64, 2);
             // Register the chaos parser so ParserPanic faults actually
@@ -138,7 +138,9 @@ proptest! {
 /// the identical workload produce bit-for-bit identical digests.
 #[test]
 fn chaos_runs_replay_bit_for_bit() {
-    let _guard = ARM_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = ARM_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     with_quiet_panics(|| {
         let plan = FaultPlan::new(0xDEAD_BEEF)
             .with(Fault::MempoolSqueeze {
@@ -181,7 +183,9 @@ fn chaos_runs_replay_bit_for_bit() {
 /// sensitive to the plan, not constant).
 #[test]
 fn different_seeds_diverge() {
-    let _guard = ARM_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = ARM_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mk = |seed| {
         FaultPlan::new(seed)
             .with(Fault::TruncateFrames { ppm: 100_000 })
@@ -248,7 +252,9 @@ fn conntrack_survives_duplication_and_reordering() {
 /// are counted, and accounting still balances.
 #[test]
 fn parser_panics_are_recoverable() {
-    let _guard = ARM_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = ARM_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     with_quiet_panics(|| {
         // `install` arms the switch from the plan; arming up front too
         // exercises the idempotent path.

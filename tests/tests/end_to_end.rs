@@ -174,11 +174,11 @@ fn pcap_roundtrip_preserves_analysis() {
     let filter = Arc::new(compile("tls").unwrap());
     let mut direct = 0;
     run_offline::<TlsHandshakeData, _>(&filter, &RuntimeConfig::default(), packets, |_| {
-        direct += 1
+        direct += 1;
     });
     let mut via_pcap = 0;
     run_offline::<TlsHandshakeData, _>(&filter, &RuntimeConfig::default(), restored, |_| {
-        via_pcap += 1
+        via_pcap += 1;
     });
     assert_eq!(direct, via_pcap);
     assert_eq!(direct, 15);
@@ -200,7 +200,7 @@ fn retina_and_baselines_agree_on_matches() {
     let filter = Arc::new(compile("tls.sni ~ 'nginx'").unwrap());
     let mut retina_matches = 0u64;
     run_offline::<TlsHandshakeData, _>(&filter, &RuntimeConfig::default(), packets.clone(), |_| {
-        retina_matches += 1
+        retina_matches += 1;
     });
 
     let mut zeek = ZeekLike::new("nginx");

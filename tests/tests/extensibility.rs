@@ -6,6 +6,9 @@
 //! The toy protocol is "MEMO": a line-based exchange where the client
 //! sends `MEMO <topic>: <text>\n` and the server replies `ACK <topic>\n`.
 
+// Narrowing casts in this file are intentional: test and bench harnesses narrow seeded draws and counter math to compact fields.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::SocketAddr;
 use std::sync::Arc;
 
@@ -386,7 +389,7 @@ fn custom_protocol_coexists_with_builtins() {
 
     let mut protos: Vec<String> = Vec::new();
     run_offline::<SessionRecord, _>(&filter, &config, packets, |s| {
-        protos.push(s.session.protocol().to_string())
+        protos.push(s.session.protocol().to_string());
     });
     protos.sort();
     assert_eq!(protos, vec!["http".to_string(), "memo".to_string()]);

@@ -141,7 +141,9 @@ fn all_four_exporters_round_trip_final_snapshot() {
     let counters = final_.get("counters").unwrap();
     for (name, value) in &snap.counters {
         assert_eq!(
-            counters.get(name).and_then(|v| v.as_u64()),
+            counters
+                .get(name)
+                .and_then(retina_telemetry::json::Json::as_u64),
             Some(*value),
             "counter {name}"
         );
@@ -149,7 +151,9 @@ fn all_four_exporters_round_trip_final_snapshot() {
     let jdrops = final_.get("drops").unwrap();
     for (reason, n) in snap.drops.iter() {
         assert_eq!(
-            jdrops.get(reason.label()).and_then(|v| v.as_u64()),
+            jdrops
+                .get(reason.label())
+                .and_then(retina_telemetry::json::Json::as_u64),
             Some(n),
             "drop {reason}"
         );
@@ -157,11 +161,15 @@ fn all_four_exporters_round_trip_final_snapshot() {
     for (name, stage) in &snap.stages {
         let jstage = final_.get("stages").unwrap().get(name).unwrap();
         assert_eq!(
-            jstage.get("runs").and_then(|v| v.as_u64()),
+            jstage
+                .get("runs")
+                .and_then(retina_telemetry::json::Json::as_u64),
             Some(stage.runs)
         );
         assert_eq!(
-            jstage.get("p99").and_then(|v| v.as_u64()),
+            jstage
+                .get("p99")
+                .and_then(retina_telemetry::json::Json::as_u64),
             Some(stage.p99())
         );
     }
