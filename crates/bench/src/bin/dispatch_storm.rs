@@ -1,0 +1,206 @@
+//! Dispatch storm smoke: gates the multicore callback-dispatch layer
+//! end to end.
+//!
+//! Three checks, each deterministic (schedule-independent):
+//!
+//! 1. **Equivalence** — the stepped executor proves a dispatched union
+//!    (shared and dedicated) delivers the same per-subscription digest
+//!    as inline execution across three seeded schedules.
+//! 2. **Backpressure isolation** — a chaos [`Fault::CallbackStall`]
+//!    pins one dedicated worker over a tiny shedding ring mid-run; the
+//!    heavy subscription must shed with exact drop accounting while the
+//!    lossless sibling's ledger stays untouched.
+//! 3. **Governor coupling** — rerunning the same stall under a
+//!    governor tuned to the dispatch-occupancy input must shed at least
+//!    once, with the shed/restore ledger passing its accounting check.
+//!
+//! With `--json-out PATH` the results merge into the CI bench file
+//! (see `retina_bench::ci`); `scripts/bench_gate.sh` compares them
+//! against the committed baseline.
+
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use retina_bench::{bench_args, ci};
+use retina_chaos::{ChaosSource, Fault, FaultPlan};
+use retina_core::subscribables::ConnRecord;
+use retina_core::{
+    DispatchMode, GovernorConfig, MultiRuntime, RunReport, RuntimeBuilder, RuntimeConfig,
+    StepConfig,
+};
+use retina_support::bytes::Bytes;
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_trafficgen::PreloadedSource;
+
+/// Injected latency per stalled callback item.
+const STALL_DELAY: Duration = Duration::from_millis(2);
+
+/// Stalled items: long enough to fill a depth-4 ring many times over.
+const STALL_ITEMS: u64 = 150;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dispatch storm FAILED: {msg}");
+    exit(1);
+}
+
+fn config() -> RuntimeConfig {
+    let mut config = RuntimeConfig::with_cores(2);
+    // The stall must land as ring backpressure, never as NIC loss.
+    config.paced_ingest = true;
+    config
+}
+
+/// The heavy/light pair every phase runs: an expensive subscription on
+/// a tiny shedding dedicated ring next to a lossless inline sibling.
+fn build(cfg: RuntimeConfig) -> MultiRuntime<impl retina_filter::FilterFns> {
+    RuntimeBuilder::new(cfg)
+        .subscribe_dispatched::<ConnRecord>(
+            "heavy",
+            "ipv4 and tcp",
+            DispatchMode::dedicated(4).shedding(),
+            |_| {},
+        )
+        .subscribe_named::<ConnRecord>("light", "ipv4 and tcp", |_| {})
+        .build()
+        .expect("runtime")
+}
+
+fn stall_plan() -> FaultPlan {
+    FaultPlan::new(0xD157).with(Fault::CallbackStall {
+        sub: 0,
+        start_item: 0,
+        items: STALL_ITEMS,
+        delay: STALL_DELAY,
+    })
+}
+
+fn run_stalled(packets: &[(Bytes, u64)], governed: bool) -> (RunReport, u64, bool) {
+    let plan = stall_plan();
+    let mut runtime = build(config());
+    retina_chaos::install(runtime.nic(), &plan);
+    let governor = governed.then(|| {
+        runtime.start_governor(GovernorConfig {
+            interval: Duration::from_millis(2),
+            // Only the dispatch-occupancy input may trigger: park the
+            // other thresholds out of reach.
+            mempool_high: 2.0,
+            ring_high: 2.0,
+            loss_tolerance: u64::MAX,
+            dispatch_high: 0.5,
+            ..GovernorConfig::default()
+        })
+    });
+    let report = runtime.run(ChaosSource::new(
+        PreloadedSource::new(packets.to_vec()),
+        &plan,
+    ));
+    let (shed_steps, ledger_ok) = governor.map_or((0, true), |g| {
+        let r = g.stop();
+        (r.shed_steps(), r.check_accounting().is_ok())
+    });
+    runtime.nic().clear_fault_hooks();
+    (report, shed_steps, ledger_ok)
+}
+
+fn main() {
+    let args = bench_args();
+    let packets = generate(&CampusConfig {
+        target_packets: if args.quick {
+            4_000
+        } else {
+            args.packets.min(40_000)
+        },
+        duration_secs: 5.0,
+        ..CampusConfig::default()
+    });
+    let offered = packets.len();
+    println!(
+        "dispatch storm: {offered} packets, stall sub 0 for {STALL_ITEMS} items x {STALL_DELAY:?}"
+    );
+    let t0 = Instant::now();
+
+    // 1. Stepped equivalence: shared and dedicated dispatch match
+    //    inline bit-for-bit across three schedules.
+    let digest_of = |mode: DispatchMode, seed: u64| {
+        let rt = RuntimeBuilder::new(config())
+            .subscribe_dispatched::<ConnRecord>("heavy", "ipv4 and tcp", mode, |_| {})
+            .subscribe_named::<ConnRecord>("light", "ipv4 and tcp", |_| {})
+            .build()
+            .expect("runtime");
+        let report = rt.run_stepped(&packets, &StepConfig::seeded(seed));
+        if let Err(msg) = report.check_accounting() {
+            fail(&format!(
+                "stepped accounting ({mode:?}, seed {seed}): {msg}"
+            ));
+        }
+        report.deterministic_digest()
+    };
+    let inline_digest = digest_of(DispatchMode::Inline, 0);
+    for seed in [1u64, 2, 3] {
+        for mode in [DispatchMode::shared(8), DispatchMode::dedicated(8)] {
+            if digest_of(mode, seed) != inline_digest {
+                fail(&format!(
+                    "{mode:?} digest diverged from inline at seed {seed}"
+                ));
+            }
+        }
+    }
+    println!("  equivalence: shared + dedicated match inline across 3 schedules");
+
+    // 2. Stall without governor: heavy sheds with exact accounting,
+    //    the lossless sibling is untouched.
+    let (report, _, _) = run_stalled(&packets, false);
+    if let Err(msg) = report.check_accounting() {
+        fail(&format!("stalled accounting: {msg}"));
+    }
+    let heavy = &report.subs[0];
+    let light = &report.subs[1];
+    println!(
+        "  stalled: heavy delivered {} (executed {}, shed {}), light delivered {} (shed {})",
+        heavy.delivered,
+        heavy.cb_executed,
+        heavy.cb_dropped_full,
+        light.delivered,
+        light.cb_dropped_full,
+    );
+    if heavy.cb_dropped_full == 0 {
+        fail("stall never filled the shedding ring — no backpressure exercised");
+    }
+    if light.cb_dropped_full != 0 || light.cb_executed != light.delivered {
+        fail("lossless sibling was damaged by its neighbor's stall");
+    }
+
+    // 3. Same stall, governed on the dispatch-occupancy input.
+    let (governed, shed_steps, ledger_ok) = run_stalled(&packets, true);
+    if let Err(msg) = governed.check_accounting() {
+        fail(&format!("governed accounting: {msg}"));
+    }
+    if shed_steps == 0 {
+        fail("governor never shed on the dispatch-occupancy input");
+    }
+    if !ledger_ok {
+        fail("governor shed/restore ledger failed its accounting check");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("  governed: {shed_steps} shed step(s) from queue pressure, ledger exact");
+    println!("dispatch storm OK ({elapsed:.2}s)");
+
+    if let Some(path) = &args.json_out {
+        let metrics: Vec<(&str, f64)> = vec![
+            ("packets", offered as f64),
+            ("equivalence_ok", 1.0),
+            ("accounting_ok", 1.0),
+            ("heavy_delivered", heavy.delivered as f64),
+            ("light_delivered", light.delivered as f64),
+            ("heavy_sheds", 1.0),
+            ("sibling_lossless", 1.0),
+            ("governor_sheds", 1.0),
+            ("governor_ledger_ok", 1.0),
+            ("_heavy_dropped_full", heavy.cb_dropped_full as f64),
+            ("_shed_steps", shed_steps as f64),
+            ("_elapsed_secs", elapsed),
+        ];
+        ci::merge_section(path, "dispatch_storm", &metrics).expect("write json-out");
+        println!("merged section dispatch_storm into {path}");
+    }
+}

@@ -1,20 +1,35 @@
 //! Figure 9: CDF of byte counts up/down for video sessions from Netflix
-//! and YouTube (§7.3's feature-extraction application).
+//! and YouTube (§7.3's feature-extraction application), followed by the
+//! multicore callback-dispatch scaling experiment.
 //!
 //! Runs the video-features pipeline (TCP connection records filtered on
 //! the services' TLS server names, aggregated into sessions) over the
 //! streaming workload and prints the four CDFs. Byte volumes are scaled
 //! down ~10x from production values (see EXPERIMENTS.md); the
 //! distributional shape and Netflix-vs-YouTube ordering are preserved.
+//!
+//! The scaling section runs the merged four-subscription union with a
+//! synthetic per-callback cost sweep, inline vs dedicated-dispatch,
+//! across core counts: per-delivery RX-core cycles must stay flat under
+//! dispatch as the callback cost grows (the cost moves to the workers),
+//! and results must be identical everywhere. With `--json-out PATH`
+//! the deterministic numbers gate via `scripts/bench_gate.sh`;
+//! wall-clock throughput is record-only.
 
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use retina_bench::{bench_args, percentiles, rule};
-use retina_core::subscribables::ConnRecord;
-use retina_core::{compile, Runtime, RuntimeConfig};
+use retina_bench::{bench_args, ci, gbps, percentiles, rule, stream_bytes, BenchArgs};
+use retina_core::subscribables::{
+    ConnRecord, DnsTransactionData, HttpTransactionData, TlsHandshakeData,
+};
+use retina_core::{compile, DispatchMode, Runtime, RuntimeBuilder, RuntimeConfig};
+use retina_support::bytes::Bytes;
+use retina_trafficgen::campus::{generate, CampusConfig};
 use retina_trafficgen::video::{VideoConfig, VideoWorkload};
+use retina_trafficgen::PreloadedSource;
 
 /// Per-(responder IP, is-netflix) up/down byte totals, shared with the
 /// runtime callback.
@@ -97,4 +112,184 @@ fn main() {
         "\nexpected shape (paper): Up curves sit 1-2 orders of magnitude left\n\
          of Down curves; Netflix Down sits right of YouTube Down."
     );
+
+    scaling(&args);
+}
+
+/// Synthetic per-callback cost: `units` rounds of dependency-chained
+/// arithmetic the optimizer cannot remove, so "expensive analysis" is
+/// cycle-denominated rather than wall-clock-denominated.
+fn spin(units: u64) {
+    let mut acc = 0u64;
+    for i in 0..units * 64 {
+        acc = std::hint::black_box(acc.wrapping_mul(0x9E37_79B9).wrapping_add(i));
+    }
+    std::hint::black_box(acc);
+}
+
+/// Runs the merged four-subscription union over `packets` with a
+/// per-callback cost of `units`, either inline or dedicated-dispatched,
+/// returning (per-sub delivered counts, avg RX-core cycles per
+/// delivery, wall-clock Gbps).
+fn run_union(
+    packets: &[(Bytes, u64)],
+    cores: u16,
+    mode: DispatchMode,
+    units: u64,
+) -> ([u64; 4], f64, f64) {
+    let mut config = RuntimeConfig::with_cores(cores);
+    config.paced_ingest = true; // the sweep measures work, not loss
+    config.profile_stages = true;
+    let counts: Arc<[AtomicU64; 4]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+    let (c0, c1, c2, c3) = (
+        Arc::clone(&counts),
+        Arc::clone(&counts),
+        Arc::clone(&counts),
+        Arc::clone(&counts),
+    );
+    let mut rt = RuntimeBuilder::new(config)
+        .subscribe_dispatched::<TlsHandshakeData>("tls", "tls", mode, move |_| {
+            spin(units);
+            c0[0].fetch_add(1, Ordering::Relaxed);
+        })
+        .subscribe_dispatched::<HttpTransactionData>("http", "http", mode, move |_| {
+            spin(units);
+            c1[1].fetch_add(1, Ordering::Relaxed);
+        })
+        .subscribe_dispatched::<DnsTransactionData>("dns", "dns", mode, move |_| {
+            spin(units);
+            c2[2].fetch_add(1, Ordering::Relaxed);
+        })
+        .subscribe_dispatched::<ConnRecord>("conns", "ipv4 and tcp", mode, move |_| {
+            spin(units);
+            c3[3].fetch_add(1, Ordering::Relaxed);
+        })
+        .build()
+        .expect("union runtime");
+    let report = rt.run(PreloadedSource::new(packets.to_vec()));
+    if !report.zero_loss() {
+        eprintln!("fig9 scaling FAILED: union run lost packets");
+        std::process::exit(1);
+    }
+    if let Err(msg) = report.check_accounting() {
+        eprintln!("fig9 scaling FAILED: accounting: {msg}");
+        std::process::exit(1);
+    }
+    let delivered = std::array::from_fn(|i| report.subs[i].delivered);
+    // The callbacks stage is timed on the RX core around `deliver`: the
+    // full callback inline, only the ring handoff when dispatched.
+    let cb = &report.cores.callbacks;
+    let rx_cycles = cb.cycles as f64 / cb.runs.max(1) as f64;
+    let rate = gbps(
+        stream_bytes(packets),
+        report.elapsed.as_secs_f64().max(1e-9),
+    );
+    (delivered, rx_cycles, rate)
+}
+
+/// The dispatch-scaling experiment behind the figure's second panel.
+fn scaling(args: &BenchArgs) {
+    let packets = generate(&CampusConfig {
+        target_packets: if args.quick {
+            8_000
+        } else {
+            args.packets.min(60_000)
+        },
+        duration_secs: 10.0,
+        ..CampusConfig::default()
+    });
+    println!(
+        "\nFigure 9 (scaling): merged 4-subscription union, callback cost sweep\n\
+         workload: {} packets",
+        packets.len()
+    );
+
+    // Cost sweep at a fixed core count: RX-core cycles per delivery
+    // grow with cost when inline, stay flat under dedicated dispatch.
+    let costs = [0u64, 8, 64];
+    println!(
+        "\n{:<26}{:>14}{:>16}{:>12}",
+        "series", "cost (units)", "RX cyc/deliver", "Gbps"
+    );
+    rule(26 + 14 + 16 + 12);
+    let mut baseline: Option<[u64; 4]> = None;
+    let mut results_match = true;
+    let mut inline_hi = 0.0f64;
+    let mut disp_hi = 0.0f64;
+    let mut disp_lo = 0.0f64;
+    for &units in &costs {
+        for (name, mode) in [
+            ("inline", DispatchMode::Inline),
+            ("dedicated", DispatchMode::dedicated(256)),
+        ] {
+            let (delivered, rx_cycles, rate) = run_union(&packets, 2, mode, units);
+            println!("{name:<26}{units:>14}{rx_cycles:>16.0}{rate:>12.3}");
+            match &baseline {
+                None => baseline = Some(delivered),
+                Some(b) => results_match &= *b == delivered,
+            }
+            match (name, units) {
+                ("inline", u) if u == costs[2] => inline_hi = rx_cycles,
+                ("dedicated", 0) => disp_lo = rx_cycles,
+                ("dedicated", u) if u == costs[2] => disp_hi = rx_cycles,
+                _ => {}
+            }
+        }
+    }
+    // Flat = the RX-side handoff cost under the heaviest callback stays
+    // far below the inline callback cost, and within a small factor of
+    // the zero-cost handoff.
+    let rx_flat = disp_hi * 4.0 < inline_hi && disp_hi < disp_lo.max(1.0) * 8.0;
+
+    // Core sweep at the heaviest cost, dispatched: the union keeps
+    // delivering identical results as RX cores scale (throughput is
+    // wall-clock and machine-dependent, so it records but never gates).
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut sweep: Vec<u16> = vec![1, 2, 4, 8];
+    sweep.retain(|&c| usize::from(c) <= host.max(2) * 2);
+    println!(
+        "\n{:<26}{:>14}{:>12}",
+        "cores (dedicated, cost 64)", "", "Gbps"
+    );
+    rule(26 + 14 + 12);
+    let mut core_rates: Vec<(u16, f64)> = Vec::new();
+    for &cores in &sweep {
+        let (delivered, _, rate) =
+            run_union(&packets, cores, DispatchMode::dedicated(256), costs[2]);
+        results_match &= baseline == Some(delivered);
+        core_rates.push((cores, rate));
+        println!("{cores:<26}{:>14}{rate:>12.3}", "");
+    }
+
+    println!(
+        "\nexpected shape (paper): dispatched RX work per delivery is flat in\n\
+         callback cost (flat: {rx_flat}), and the merged union scales with RX\n\
+         cores while results stay identical (match: {results_match})."
+    );
+    if !rx_flat || !results_match {
+        eprintln!("fig9 scaling FAILED: rx_flat={rx_flat} results_match={results_match}");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &args.json_out {
+        let d = baseline.unwrap_or_default();
+        let mut metrics: Vec<(String, f64)> = vec![
+            ("packets".into(), packets.len() as f64),
+            ("delivered_tls".into(), d[0] as f64),
+            ("delivered_http".into(), d[1] as f64),
+            ("delivered_dns".into(), d[2] as f64),
+            ("delivered_conns".into(), d[3] as f64),
+            ("results_match".into(), 1.0),
+            ("rx_work_flat".into(), 1.0),
+            ("_inline_hi_cycles".into(), inline_hi),
+            ("_dispatched_hi_cycles".into(), disp_hi),
+            ("_dispatched_lo_cycles".into(), disp_lo),
+        ];
+        for (cores, rate) in &core_rates {
+            metrics.push((format!("_gbps_c{cores}"), *rate));
+        }
+        let named: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        ci::merge_section(path, "fig9_scaling", &named).expect("write json-out");
+        println!("merged section fig9_scaling into {path}");
+    }
 }

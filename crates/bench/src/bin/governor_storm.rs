@@ -132,6 +132,9 @@ fn main() {
         step: 0.2,
         mempool_high: 0.8,
         ring_high: 0.3,
+        // This storm is about ring pressure; the dispatch-occupancy
+        // input has its own smoke (dispatch_storm).
+        dispatch_high: 2.0,
         loss_tolerance: 0,
         hysteresis: 0.5,
         cooldown: 2,

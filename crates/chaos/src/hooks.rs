@@ -88,6 +88,21 @@ impl FaultHooks for ChaosHooks {
             _ => None,
         })
     }
+
+    fn callback_delay(&self, sub: u16, seq: u64) -> Option<Duration> {
+        // Stateless: the dispatch worker supplies the per-subscription
+        // item sequence, so the window check needs no counter here and
+        // the decision is replayable from the plan alone.
+        self.plan.faults.iter().find_map(|f| match f {
+            Fault::CallbackStall {
+                sub: s,
+                start_item,
+                items,
+                delay,
+            } if *s == sub && seq >= *start_item && seq - *start_item < *items => Some(*delay),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +154,24 @@ mod tests {
         assert_eq!(hooks.worker_delay(0), Some(Duration::from_millis(7)));
         assert_eq!(hooks.worker_delay(0), None);
         assert_eq!(hooks.worker_delay(5), None, "unknown core is unfaulted");
+    }
+
+    #[test]
+    fn callback_stall_windows_are_stateless() {
+        let plan = FaultPlan::new(0).with(Fault::CallbackStall {
+            sub: 1,
+            start_item: 2,
+            items: 2,
+            delay: Duration::from_millis(3),
+        });
+        let hooks = ChaosHooks::new(plan, 1);
+        assert_eq!(hooks.callback_delay(0, 2), None, "other sub unfaulted");
+        assert_eq!(hooks.callback_delay(1, 1), None);
+        assert_eq!(hooks.callback_delay(1, 2), Some(Duration::from_millis(3)));
+        assert_eq!(hooks.callback_delay(1, 3), Some(Duration::from_millis(3)));
+        assert_eq!(hooks.callback_delay(1, 4), None);
+        // Stateless: re-asking for the same item gives the same answer.
+        assert_eq!(hooks.callback_delay(1, 2), Some(Duration::from_millis(3)));
     }
 
     #[test]

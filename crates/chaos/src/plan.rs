@@ -74,6 +74,22 @@ pub enum Fault {
         /// Faults per million frames.
         ppm: u32,
     },
+    /// A dispatch worker sleeps `delay` before each of subscription
+    /// `sub`'s callbacks whose per-subscription item sequence falls in
+    /// `[start_item, start_item + items)` — an expensive-analysis
+    /// stall that backs the subscription's dispatch rings up without
+    /// touching the RX path. Item-indexed, so the decision is a pure
+    /// function of the delivery order the workload itself drives.
+    CallbackStall {
+        /// Affected subscription (registration order).
+        sub: u16,
+        /// First item (0-based, per subscription) that is delayed.
+        start_item: u64,
+        /// Number of consecutive delayed items.
+        items: u64,
+        /// Injected extra latency per item.
+        delay: Duration,
+    },
     /// Registered chaos parsers panic when a payload's content hash is
     /// `0 (mod modulus)`; the runtime must convert the panic into a
     /// recoverable parse error. Content-based, so the decision is
@@ -107,6 +123,15 @@ impl Fault {
             } => format!(
                 "worker slowdown: core {core}, polls [{start_poll}, {}), +{delay:?}/poll",
                 start_poll + polls
+            ),
+            Fault::CallbackStall {
+                sub,
+                start_item,
+                items,
+                delay,
+            } => format!(
+                "callback stall: sub {sub}, items [{start_item}, {}), +{delay:?}/item",
+                start_item + items
             ),
             Fault::TruncateFrames { ppm } => format!("truncate frames: {ppm} ppm"),
             Fault::CorruptFrames { ppm } => format!("corrupt frames: {ppm} ppm"),

@@ -31,8 +31,13 @@ pub struct RuntimeConfig {
     /// Collect per-stage cycle accounting (Figure 7). Adds a few rdtsc
     /// reads per packet, so it is off by default.
     pub profile_stages: bool,
-    /// Callback execution model (§5.3; default inline).
+    /// Callback execution model (§5.3; default inline). Applied to
+    /// every subscription that has no explicit per-subscription
+    /// [`crate::DispatchMode`].
     pub callback_mode: CallbackMode,
+    /// Worker threads in the shared callback pool (subscriptions with
+    /// [`crate::DispatchMode::Shared`]; default 1).
+    pub shared_workers: usize,
     /// Application-layer parser modules available to the probe stage
     /// (§3.3 extensibility: register custom protocols here).
     pub parsers: ParserRegistry,
@@ -60,6 +65,7 @@ impl Default for RuntimeConfig {
             paced_ingest: true,
             profile_stages: false,
             callback_mode: CallbackMode::Inline,
+            shared_workers: 1,
             parsers: ParserRegistry::default(),
             filter_registry: retina_filter::ProtocolRegistry::default(),
             stream_capture_limit: 1 << 20,

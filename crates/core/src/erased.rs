@@ -28,7 +28,6 @@ use retina_nic::Mbuf;
 use retina_protocols::Session;
 use retina_wire::ParsedPacket;
 
-use crate::executor::{spawn_executor, CallbackMode, CallbackSink};
 use crate::subscription::{Level, Subscribable, Tracked};
 
 /// A boxed subscription datum in flight between tracker and sink.
@@ -49,12 +48,19 @@ pub trait ErasedSubscription: Send + Sync {
     fn needs_packets_post_match(&self) -> bool;
     /// Creates per-connection tracked state.
     fn new_tracked(&self, tuple: &FiveTuple, first_ts_ns: u64) -> Box<dyn ErasedTracked>;
-    /// Creates the per-run delivery sink (and, in queued mode, the
-    /// executor thread draining it).
-    fn start_run(
-        &self,
-        mode: CallbackMode,
-    ) -> (Box<dyn ErasedSink>, Option<std::thread::JoinHandle<u64>>);
+    /// Whether a user callback is attached (false = spec-only).
+    fn has_callback(&self) -> bool;
+    /// Downcasts one boxed output and invokes the user callback on it
+    /// (a no-op for spec-only subscriptions). This is what dispatch
+    /// workers call on their side of the ring.
+    fn invoke(&self, out: ErasedOutput);
+    /// Packet-level fast path: builds the boxed datum straight from the
+    /// frame, bypassing the tracker (`None` when the frame does not
+    /// yield one).
+    fn output_from_mbuf(&self, mbuf: &Mbuf) -> Option<ErasedOutput>;
+    /// An inline delivery sink: the typed user callback, or a null sink
+    /// for spec-only subscriptions.
+    fn inline_sink(&self) -> Box<dyn ErasedSink>;
 }
 
 /// Object-safe per-connection tracked state (`Tracked` with outputs
@@ -87,8 +93,6 @@ pub trait ErasedSink: Send {
     /// and delivers it, bypassing the tracker. Returns whether a datum
     /// was produced.
     fn deliver_from_mbuf(&self, mbuf: &Mbuf) -> bool;
-    /// Clones the sink for another worker core.
-    fn clone_box(&self) -> Box<dyn ErasedSink>;
 }
 
 /// Wraps a concrete `Tracked` implementation behind [`ErasedTracked`],
@@ -206,36 +210,37 @@ impl<S: Subscribable> ErasedSubscription for TypedSubscription<S> {
         })
     }
 
-    fn start_run(
-        &self,
-        mode: CallbackMode,
-    ) -> (Box<dyn ErasedSink>, Option<std::thread::JoinHandle<u64>>) {
-        let Some(callback) = &self.callback else {
-            return (Box::new(NullSink), None);
-        };
-        match mode {
-            CallbackMode::Inline => (
-                Box::new(TypedSink::<S> {
-                    sink: CallbackSink::Inline(Arc::clone(callback)),
-                }),
-                None,
-            ),
-            CallbackMode::Queued { depth } => {
-                let (tx, handle) = spawn_executor(depth, Arc::clone(callback));
-                (
-                    Box::new(TypedSink::<S> {
-                        sink: CallbackSink::Queued(tx),
-                    }),
-                    Some(handle),
-                )
-            }
+    fn has_callback(&self) -> bool {
+        self.callback.is_some()
+    }
+
+    fn invoke(&self, out: ErasedOutput) {
+        let data = out
+            .downcast::<S>()
+            .expect("subscription output routed to a worker of another type");
+        if let Some(callback) = &self.callback {
+            callback(*data);
+        }
+    }
+
+    fn output_from_mbuf(&self, mbuf: &Mbuf) -> Option<ErasedOutput> {
+        S::from_mbuf(mbuf).map(|data| Box::new(data) as ErasedOutput)
+    }
+
+    fn inline_sink(&self) -> Box<dyn ErasedSink> {
+        match &self.callback {
+            Some(callback) => Box::new(TypedSink::<S> {
+                callback: Arc::clone(callback),
+            }),
+            None => Box::new(NullSink),
         }
     }
 }
 
-/// Delivery sink for one concrete subscribable type.
+/// Delivery sink for one concrete subscribable type: downcasts and
+/// calls the user callback on the delivering thread.
 struct TypedSink<S: Subscribable> {
-    sink: CallbackSink<S>,
+    callback: Arc<dyn Fn(S) + Send + Sync>,
 }
 
 impl<S: Subscribable> ErasedSink for TypedSink<S> {
@@ -243,23 +248,17 @@ impl<S: Subscribable> ErasedSink for TypedSink<S> {
         let data = out
             .downcast::<S>()
             .expect("subscription output routed to a sink of another type");
-        self.sink.deliver(*data);
+        (self.callback)(*data);
     }
 
     fn deliver_from_mbuf(&self, mbuf: &Mbuf) -> bool {
         match S::from_mbuf(mbuf) {
             Some(data) => {
-                self.sink.deliver(data);
+                (self.callback)(data);
                 true
             }
             None => false,
         }
-    }
-
-    fn clone_box(&self) -> Box<dyn ErasedSink> {
-        Box::new(TypedSink::<S> {
-            sink: self.sink.clone(),
-        })
     }
 }
 
@@ -271,10 +270,6 @@ impl ErasedSink for NullSink {
 
     fn deliver_from_mbuf(&self, _mbuf: &Mbuf) -> bool {
         false
-    }
-
-    fn clone_box(&self) -> Box<dyn ErasedSink> {
-        Box::new(NullSink)
     }
 }
 
@@ -298,15 +293,16 @@ mod tests {
         assert_eq!(sub.name(), "conns");
         assert_eq!(sub.level(), Level::Connection);
         assert!(!sub.needs_stream());
-        let (sink, handle) = sub.start_run(CallbackMode::Inline);
-        assert!(handle.is_none());
-        // Spec-only sinks swallow outputs without panicking.
+        assert!(!sub.has_callback());
+        let sink = sub.inline_sink();
+        // Spec-only sinks (and invoke) swallow outputs without panicking.
         let t = tuple();
         let mut tracked = sub.new_tracked(&t, 0);
         let flow = TcpFlow::new(0, 16);
         let mut out = Vec::new();
         tracked.on_match(None, None, &flow, &mut out);
         tracked.on_terminate(&flow, &mut out);
+        sub.invoke(out.pop().unwrap());
         for o in out {
             sink.deliver(o);
         }
@@ -319,18 +315,17 @@ mod tests {
         let sub = TypedSubscription::<ConnRecord>::new("conns", move |_r: ConnRecord| {
             h.fetch_add(1, Ordering::Relaxed);
         });
-        let (sink, handle) = sub.start_run(CallbackMode::Inline);
-        assert!(handle.is_none());
+        assert!(sub.has_callback());
         let t = tuple();
-        let mut tracked = sub.new_tracked(&t, 0);
         let flow = TcpFlow::new(0, 16);
         let mut out = Vec::new();
-        tracked.on_terminate(&flow, &mut out);
-        assert_eq!(out.len(), 1);
-        let sink2 = sink.clone_box();
-        for o in out {
-            sink2.deliver(o);
-        }
-        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        // One tracked connection per delivery path: inline sink and the
+        // worker path (`invoke`) must reach the same callback.
+        sub.new_tracked(&t, 0).on_terminate(&flow, &mut out);
+        sub.new_tracked(&t, 0).on_terminate(&flow, &mut out);
+        assert_eq!(out.len(), 2);
+        sub.inline_sink().deliver(out.pop().unwrap());
+        sub.invoke(out.pop().unwrap());
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 }

@@ -34,7 +34,8 @@ use std::time::Duration;
 
 use retina_nic::VirtualNic;
 use retina_telemetry::{
-    check_governor_accounting, EventLog, GovernorAction, GovernorEvent, PressureSignals,
+    check_governor_accounting, DispatchHub, EventLog, GovernorAction, GovernorEvent,
+    PressureSignals,
 };
 
 use crate::runtime::RuntimeGauges;
@@ -80,6 +81,10 @@ pub struct GovernorConfig {
     pub mempool_high: f64,
     /// Deepest-ring occupancy fraction above which pressure is declared.
     pub ring_high: f64,
+    /// Worst callback-dispatch queue occupancy above which pressure is
+    /// declared (a saturated dispatch worker backs its rings up long
+    /// before frames are lost).
+    pub dispatch_high: f64,
     /// Frames lost per interval above which pressure is declared.
     pub loss_tolerance: u64,
     /// Hysteresis: pressure clears only below `high * hysteresis`
@@ -98,6 +103,7 @@ impl Default for GovernorConfig {
             step: 0.15,
             mempool_high: 0.75,
             ring_high: 0.5,
+            dispatch_high: 0.75,
             loss_tolerance: 0,
             hysteresis: 0.6,
             cooldown: 2,
@@ -244,12 +250,14 @@ impl GovernorBrain {
         let c = &self.config;
         if s.mempool_occupancy >= c.mempool_high
             || s.ring_occupancy >= c.ring_high
+            || s.dispatch_occupancy >= c.dispatch_high
             || s.lost_delta > c.loss_tolerance
         {
             return Some(true);
         }
         if s.mempool_occupancy < c.mempool_high * c.hysteresis
             && s.ring_occupancy < c.ring_high * c.hysteresis
+            && s.dispatch_occupancy < c.dispatch_high * c.hysteresis
             && s.lost_delta == 0
         {
             return Some(false);
@@ -362,10 +370,13 @@ impl Governor {
     ///
     /// The caller's current sink fraction is overwritten with the
     /// configured floor (the governor owns the RETA from here on).
+    /// `dispatch` adds the callback-dispatch queue occupancy as a
+    /// pressure input (pass `None` when every subscription is inline).
     pub fn start(
         nic: Arc<VirtualNic>,
         gauges: Arc<RuntimeGauges>,
         shed: Arc<ShedState>,
+        dispatch: Option<Arc<DispatchHub>>,
         config: GovernorConfig,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
@@ -390,6 +401,7 @@ impl Governor {
                     },
                     ring_occupancy: nic.max_ring_occupancy(),
                     lost_delta: lost - prev_lost,
+                    dispatch_occupancy: dispatch.as_ref().map_or(0.0, |hub| hub.max_occupancy()),
                 };
                 prev_lost = lost;
                 // Mirror the mempool peak into the registry while here,
@@ -451,6 +463,7 @@ mod tests {
             mempool_occupancy: 0.9,
             ring_occupancy: 0.8,
             lost_delta: 10,
+            dispatch_occupancy: 0.0,
         }
     }
 
@@ -463,6 +476,7 @@ mod tests {
             mempool_occupancy: 0.6, // between 0.75*0.6=0.45 and 0.75
             ring_occupancy: 0.0,
             lost_delta: 0,
+            dispatch_occupancy: 0.0,
         }
     }
 
@@ -590,6 +604,33 @@ mod tests {
             0,
             "cooldown prevents chatter"
         );
+    }
+
+    #[test]
+    fn dispatch_pressure_alone_triggers_shedding() {
+        // A backed-up callback queue is a pressure source in its own
+        // right: no mempool, ring, or loss signal needed.
+        let mut brain = GovernorBrain::new(GovernorConfig::default());
+        let queue_pressure = PressureSignals {
+            dispatch_occupancy: 0.8, // >= dispatch_high (0.75)
+            ..PressureSignals::default()
+        };
+        assert_eq!(
+            brain.decide(queue_pressure).action,
+            GovernorAction::ShedParsing
+        );
+        // Inside the deadband (0.75*0.6=0.45 .. 0.75): hold, no restore.
+        let queue_deadband = PressureSignals {
+            dispatch_occupancy: 0.6,
+            ..PressureSignals::default()
+        };
+        for _ in 0..4 {
+            assert_eq!(brain.decide(queue_deadband).action, GovernorAction::Hold);
+        }
+        assert!(brain.parsing_shed());
+        // Fully drained queue: calm accumulates and parsing restores.
+        brain.decide(calm());
+        assert_eq!(brain.decide(calm()).action, GovernorAction::RestoreParsing);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod monitor;
 pub mod offline;
 pub mod runtime;
 pub mod stats;
+pub mod step;
 pub mod subscribables;
 pub mod subscription;
 pub mod tracker;
@@ -71,7 +72,7 @@ pub mod util;
 
 pub use config::RuntimeConfig;
 pub use erased::{ErasedOutput, ErasedSink, ErasedSubscription, ErasedTracked, TypedSubscription};
-pub use executor::CallbackMode;
+pub use executor::{CallbackMode, DispatchMode, Dispatcher, QueuePolicy};
 pub use governor::{Governor, GovernorBrain, GovernorConfig, GovernorReport, ShedState};
 pub use monitor::{Monitor, MonitorSample};
 pub use offline::run_offline;
@@ -80,6 +81,7 @@ pub use runtime::{
     TrafficSource,
 };
 pub use stats::{CoreStats, StageStats};
+pub use step::{StepConfig, WorkerStall};
 pub use subscription::{Level, Subscribable, Tracked};
 
 // Re-exports so applications need only depend on retina-core.
@@ -89,7 +91,7 @@ pub use retina_nic::Mbuf;
 pub use retina_protocols::Session;
 pub use retina_telemetry as telemetry;
 pub use retina_telemetry::{
-    CsvSink, DropBreakdown, DropReason, JsonSink, LogHistogram, LogSink, MetricSink,
-    PrometheusSink, SharedBuf, StageSummary, TelemetrySnapshot,
+    CsvSink, DispatchHub, DispatchSnapshot, DispatchStats, DropBreakdown, DropReason, JsonSink,
+    LogHistogram, LogSink, MetricSink, PrometheusSink, SharedBuf, StageSummary, TelemetrySnapshot,
 };
 pub use retina_wire::ParsedPacket;

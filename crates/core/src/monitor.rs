@@ -73,11 +73,77 @@ impl MonitorSample {
 /// Boxed per-sample callback handed to the monitor thread.
 type SampleClosure = Box<dyn FnMut(&MonitorSample) + Send>;
 
+/// The sampling state proper: counters-to-deltas bookkeeping plus the
+/// per-sample fan-out to the closure and the exporter sinks. Shared
+/// (behind a mutex) between the interval thread and
+/// [`Monitor::sample_now`], so tests can force a sample synchronously
+/// instead of racing a wall-clock interval.
+struct Sampler {
+    nic: Arc<VirtualNic>,
+    gauges: Arc<RuntimeGauges>,
+    start: Instant,
+    prev: PortStatsSnapshot,
+    prev_t: Instant,
+    closure: Option<SampleClosure>,
+    sinks: Vec<Box<dyn MetricSink>>,
+    samples: Vec<MonitorSample>,
+}
+
+impl Sampler {
+    fn tick(&mut self) -> MonitorSample {
+        let now = Instant::now();
+        let stats = self.nic.stats();
+        let dt = now.duration_since(self.prev_t);
+        self.gauges
+            .note_mbuf_high_water(self.nic.mempool().high_water());
+        let sample = MonitorSample {
+            elapsed: now.duration_since(self.start),
+            interval: dt,
+            gbps: ((stats.rx_bytes - self.prev.rx_bytes) as f64 * 8.0)
+                / dt.as_secs_f64().max(1e-9)
+                / 1e9,
+            lost: stats.lost() - self.prev.lost(),
+            hw_dropped: stats.hw_dropped - self.prev.hw_dropped,
+            parse_failures: self.gauges.parse_failures(),
+            connections: self.gauges.connections(),
+            state_bytes: self.gauges.state_bytes(),
+            mbufs_in_use: self.nic.mempool().in_use(),
+            mbuf_high_water: self.nic.mempool().high_water(),
+            sim_clock_ns: self.gauges.sim_clock_ns(),
+        };
+        if let Some(f) = self.closure.as_mut() {
+            f(&sample);
+        }
+        if !self.sinks.is_empty() {
+            let s = sample.to_sample();
+            for sink in &mut self.sinks {
+                sink.on_sample(&s);
+            }
+        }
+        self.samples.push(sample);
+        self.prev = stats;
+        self.prev_t = now;
+        sample
+    }
+
+    fn finish(&mut self, snapshot: Option<&TelemetrySnapshot>) {
+        if let Some(snapshot) = snapshot {
+            for sink in &mut self.sinks {
+                sink.on_snapshot(snapshot);
+            }
+        }
+        for sink in &mut self.sinks {
+            sink.close();
+        }
+    }
+}
+
 /// A periodic sampler over a running [`crate::Runtime`]'s NIC and gauges.
 pub struct Monitor {
     stop: Arc<AtomicBool>,
     final_snapshot: Arc<Mutex<Option<TelemetrySnapshot>>>,
-    handle: Option<std::thread::JoinHandle<Vec<MonitorSample>>>,
+    sampler: Arc<Mutex<Sampler>>,
+    handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Monitor {
@@ -115,76 +181,57 @@ impl Monitor {
         nic: Arc<VirtualNic>,
         gauges: Arc<RuntimeGauges>,
         interval: Duration,
-        mut closure: Option<SampleClosure>,
-        mut sinks: Vec<Box<dyn MetricSink>>,
+        closure: Option<SampleClosure>,
+        sinks: Vec<Box<dyn MetricSink>>,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let final_snapshot: Arc<Mutex<Option<TelemetrySnapshot>>> = Arc::new(Mutex::new(None));
         let final2 = Arc::clone(&final_snapshot);
+        let start = Instant::now();
+        let sampler = Arc::new(Mutex::new(Sampler {
+            prev: nic.stats(),
+            nic,
+            gauges,
+            start,
+            prev_t: start,
+            closure,
+            sinks,
+            samples: Vec::new(),
+        }));
+        let sampler2 = Arc::clone(&sampler);
         let handle = std::thread::spawn(move || {
-            let start = Instant::now();
-            let mut samples = Vec::new();
-            let mut prev: PortStatsSnapshot = nic.stats();
-            let mut prev_t = start;
             while !stop2.load(Ordering::Acquire) {
                 std::thread::sleep(interval);
-                let now = Instant::now();
-                let stats = nic.stats();
-                let dt = now.duration_since(prev_t);
-                gauges.note_mbuf_high_water(nic.mempool().high_water());
-                let sample = MonitorSample {
-                    elapsed: now.duration_since(start),
-                    interval: dt,
-                    gbps: ((stats.rx_bytes - prev.rx_bytes) as f64 * 8.0)
-                        / dt.as_secs_f64().max(1e-9)
-                        / 1e9,
-                    lost: stats.lost() - prev.lost(),
-                    hw_dropped: stats.hw_dropped - prev.hw_dropped,
-                    parse_failures: gauges.parse_failures(),
-                    connections: gauges.connections(),
-                    state_bytes: gauges.state_bytes(),
-                    mbufs_in_use: nic.mempool().in_use(),
-                    mbuf_high_water: nic.mempool().high_water(),
-                    sim_clock_ns: gauges.sim_clock_ns(),
-                };
-                if let Some(f) = closure.as_mut() {
-                    f(&sample);
-                }
-                if !sinks.is_empty() {
-                    let s = sample.to_sample();
-                    for sink in &mut sinks {
-                        sink.on_sample(&s);
-                    }
-                }
-                samples.push(sample);
-                prev = stats;
-                prev_t = now;
+                sampler2.lock().unwrap().tick();
             }
-            if let Some(snapshot) = final2.lock().unwrap().take() {
-                for sink in &mut sinks {
-                    sink.on_snapshot(&snapshot);
-                }
-            }
-            for sink in &mut sinks {
-                sink.close();
-            }
-            samples
+            let snapshot = final2.lock().unwrap().take();
+            sampler2.lock().unwrap().finish(snapshot.as_ref());
         });
         Monitor {
             stop,
             final_snapshot,
+            sampler,
             handle: Some(handle),
         }
+    }
+
+    /// Takes one sample immediately on the calling thread, feeding the
+    /// closure and every sink exactly as an interval tick would. This
+    /// is the deterministic alternative to waiting out a wall-clock
+    /// interval: a test runs the workload, calls `sample_now`, and
+    /// asserts on the returned sample without any timing dependence.
+    pub fn sample_now(&self) -> MonitorSample {
+        self.sampler.lock().unwrap().tick()
     }
 
     /// Stops the monitor and returns every collected sample.
     pub fn stop(mut self) -> Vec<MonitorSample> {
         self.stop.store(true, Ordering::Release);
-        self.handle
-            .take()
-            .map(|h| h.join().unwrap_or_default())
-            .unwrap_or_default()
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        std::mem::take(&mut self.sampler.lock().unwrap().samples)
     }
 
     /// Stops the monitor, delivering `snapshot` to every sink's

@@ -44,13 +44,14 @@ use retina_filter::{CompiledFilter, FilterFns, PacketVerdict, SubscriptionSet};
 use retina_nic::{PortStatsSnapshot, VirtualNic};
 use retina_support::bytes::Bytes;
 use retina_telemetry::{
-    CounterId, DropBreakdown, DropReason, GaugeId, GaugeMerge, Registry, StageSummary,
+    CounterId, DispatchHub, DropBreakdown, DropReason, GaugeId, GaugeMerge, Registry, StageSummary,
     TelemetrySnapshot,
 };
 use retina_wire::ParsedPacket;
 
 use crate::config::RuntimeConfig;
 use crate::erased::{ErasedSink, ErasedSubscription, TypedSubscription};
+use crate::executor::{channel_dispatcher, CallbackDelayFn, DispatchMode};
 use crate::governor::{Governor, GovernorConfig, ShedState};
 use crate::stats::CoreStats;
 use crate::subscription::{Level, Subscribable};
@@ -197,11 +198,22 @@ impl std::error::Error for RuntimeError {}
 pub struct SubReport {
     /// Subscription name (as registered with the builder).
     pub name: String,
-    /// Data items delivered to the subscription's callback.
+    /// Data items handed to the subscription's delivery layer (inline
+    /// invocation or dispatch-ring enqueue).
     pub delivered: u64,
     /// Connections on which the subscription was engaged and then
     /// rejected by a later filter layer.
     pub discarded: u64,
+    /// Callbacks that actually ran (inline or on a dispatch worker).
+    pub cb_executed: u64,
+    /// Results shed on a full dispatch ring ([`crate::QueuePolicy::Shed`]).
+    pub cb_dropped_full: u64,
+    /// Results lost to a disconnected dispatch worker.
+    pub cb_dropped_disconnected: u64,
+    /// Dispatch-ring depth high-water mark over the run.
+    pub queue_depth_peak: u64,
+    /// Total dispatch-ring capacity (0 = inline execution).
+    pub queue_capacity: u64,
 }
 
 /// Result of a completed run.
@@ -343,6 +355,19 @@ impl RunReport {
         for sub in &self.subs {
             counters.push((format!("sub.{}.delivered", sub.name), sub.delivered));
             counters.push((format!("sub.{}.discarded", sub.name), sub.discarded));
+            counters.push((format!("sub.{}.cb_executed", sub.name), sub.cb_executed));
+            counters.push((
+                format!("sub.{}.cb_dropped_full", sub.name),
+                sub.cb_dropped_full,
+            ));
+            counters.push((
+                format!("sub.{}.cb_dropped_disconnected", sub.name),
+                sub.cb_dropped_disconnected,
+            ));
+            counters.push((
+                format!("sub.{}.queue_depth_peak", sub.name),
+                sub.queue_depth_peak,
+            ));
         }
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let gauges = vec![
@@ -449,6 +474,24 @@ impl RunReport {
                 self.cores.rx_packets, self.cores.parse_failures, self.cores.packet_filter.runs,
             ));
         }
+        // Dispatch accounting: every handoff to the delivery layer is
+        // attributed to exactly one outcome — executed, shed on a full
+        // ring, or lost to a dead worker. Holds for inline subs too
+        // (delivered == executed, drops zero).
+        for sub in &self.subs {
+            let attributed = sub.cb_executed + sub.cb_dropped_full + sub.cb_dropped_disconnected;
+            if sub.delivered != attributed {
+                return Err(format!(
+                    "sub {}: delivered ({}) != cb_executed ({}) + cb_dropped_full ({}) + \
+                     cb_dropped_disconnected ({})",
+                    sub.name,
+                    sub.delivered,
+                    sub.cb_executed,
+                    sub.cb_dropped_full,
+                    sub.cb_dropped_disconnected,
+                ));
+            }
+        }
         self.cores.check_conn_accounting()
     }
 }
@@ -461,6 +504,7 @@ pub struct RuntimeBuilder {
     config: RuntimeConfig,
     sources: Vec<String>,
     subs: Vec<Arc<dyn ErasedSubscription>>,
+    modes: Vec<Option<DispatchMode>>,
 }
 
 impl RuntimeBuilder {
@@ -470,6 +514,7 @@ impl RuntimeBuilder {
             config,
             sources: Vec::new(),
             subs: Vec::new(),
+            modes: Vec::new(),
         }
     }
 
@@ -495,7 +540,36 @@ impl RuntimeBuilder {
         self.sources.push(filter.to_string());
         self.subs
             .push(Arc::new(TypedSubscription::<S>::new(name, callback)));
+        self.modes.push(None);
         self
+    }
+
+    /// Sets the callback execution model of the most recently registered
+    /// subscription (§5.3 execution models: [`DispatchMode::Inline`],
+    /// a [`DispatchMode::Shared`] pool, or a [`DispatchMode::Dedicated`]
+    /// worker).
+    ///
+    /// # Panics
+    /// Panics if no subscription has been registered yet.
+    #[must_use]
+    pub fn dispatch(mut self, mode: DispatchMode) -> Self {
+        *self
+            .modes
+            .last_mut()
+            .expect("dispatch() must follow a subscribe call") = Some(mode);
+        self
+    }
+
+    /// Registers a subscription with an explicit dispatch mode in one
+    /// call (`subscribe_named` + [`RuntimeBuilder::dispatch`]).
+    pub fn subscribe_dispatched<S: Subscribable>(
+        self,
+        name: impl Into<String>,
+        filter: &str,
+        mode: DispatchMode,
+        callback: impl Fn(S) + Send + Sync + 'static,
+    ) -> Self {
+        self.subscribe_named(name, filter, callback).dispatch(mode)
     }
 
     /// Merges the registered filters and builds the runtime. The merged
@@ -545,6 +619,11 @@ impl RuntimeBuilder {
             .map_err(|e| RuntimeError::Filter(e.to_string()))?;
         let mut rt = MultiRuntime::new(self.config, filter, self.subs)?;
         rt.filter_warnings = warnings;
+        for (i, mode) in self.modes.into_iter().enumerate() {
+            if let Some(mode) = mode {
+                rt.set_dispatch_mode(i, mode);
+            }
+        }
         Ok(rt)
     }
 }
@@ -552,12 +631,14 @@ impl RuntimeBuilder {
 /// The Retina runtime: N subscriptions bound to a virtual NIC and worker
 /// cores, served by one shared pipeline.
 pub struct MultiRuntime<F: FilterFns + 'static> {
-    config: RuntimeConfig,
-    filter: Arc<F>,
-    subs: Vec<Arc<dyn ErasedSubscription>>,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) filter: Arc<F>,
+    pub(crate) subs: Vec<Arc<dyn ErasedSubscription>>,
+    pub(crate) modes: Vec<DispatchMode>,
     nic: Arc<VirtualNic>,
     gauges: Arc<RuntimeGauges>,
     shed: Arc<ShedState>,
+    hub: Arc<DispatchHub>,
     filter_warnings: Vec<String>,
 }
 
@@ -604,15 +685,39 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             }
         }
         let gauges = Arc::new(RuntimeGauges::new(config.cores as usize));
+        let modes = vec![DispatchMode::from_callback_mode(config.callback_mode); subs.len()];
+        let hub = Arc::new(DispatchHub::new(&vec![0u64; subs.len()]));
         Ok(MultiRuntime {
             config,
             filter: Arc::new(filter),
             subs,
+            modes,
             nic,
             gauges,
             shed: Arc::new(ShedState::new()),
+            hub,
             filter_warnings: Vec::new(),
         })
+    }
+
+    /// Sets subscription `i`'s callback execution model (effective at
+    /// the next [`MultiRuntime::run`]).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_dispatch_mode(&mut self, i: usize, mode: DispatchMode) {
+        self.modes[i] = mode;
+    }
+
+    /// Current per-subscription dispatch modes, in registration order.
+    pub fn dispatch_modes(&self) -> &[DispatchMode] {
+        &self.modes
+    }
+
+    /// Live per-subscription dispatch stats (queue depth, drops); the
+    /// governor samples this as its queue-pressure input.
+    pub fn dispatch_hub(&self) -> Arc<DispatchHub> {
+        Arc::clone(&self.hub)
     }
 
     /// Filter-analyzer warnings recorded at build time (also copied into
@@ -646,6 +751,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             Arc::clone(&self.nic),
             Arc::clone(&self.gauges),
             Arc::clone(&self.shed),
+            Some(Arc::clone(&self.hub)),
             config,
         )
     }
@@ -684,18 +790,35 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             })
         };
 
-        // Callback execution model (§5.3): inline on the worker, or one
-        // dedicated executor thread per subscription fed over a bounded
-        // channel.
-        let mut sinks: Vec<Box<dyn ErasedSink>> = Vec::with_capacity(self.subs.len());
-        let mut executors = Vec::new();
-        for sub in &self.subs {
-            let (sink, handle) = sub.start_run(self.config.callback_mode);
-            sinks.push(sink);
-            if let Some(handle) = handle {
-                executors.push(handle);
-            }
-        }
+        // Callback execution model (§5.3): per-subscription dispatch —
+        // inline on the RX core, a shared worker pool, or a dedicated
+        // worker, each fed over per-(core, subscription) SPSC rings.
+        let cores = self.config.cores.max(1) as usize;
+        let capacities: Vec<u64> = self
+            .modes
+            .iter()
+            .zip(&self.subs)
+            .map(|(m, sub)| {
+                if sub.has_callback() {
+                    (m.depth() * cores) as u64
+                } else {
+                    0
+                }
+            })
+            .collect();
+        self.hub.configure(&capacities);
+        let delay: CallbackDelayFn = {
+            let nic = Arc::clone(&self.nic);
+            Arc::new(move |sub, seq| nic.fault_callback_delay(sub, seq))
+        };
+        let (per_core_sinks, dispatcher) = channel_dispatcher(
+            &self.subs,
+            &self.modes,
+            cores,
+            self.config.shared_workers,
+            &self.hub,
+            &delay,
+        );
 
         // Which subscriptions take the packet-level fast path (callback
         // straight off the packet filter, no connection state).
@@ -706,13 +829,14 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             }
         }
 
-        // Worker threads: one per core.
+        // Worker threads: one per core, each owning its own sink set
+        // (SPSC producers must never be shared between cores).
         let mut workers = Vec::new();
-        for core in 0..self.config.cores {
+        for (core, sinks) in per_core_sinks.into_iter().enumerate() {
+            let core = core as u16;
             let nic = Arc::clone(&self.nic);
             let filter = Arc::clone(&self.filter);
             let subs = self.subs.clone();
-            let sinks: Vec<Box<dyn ErasedSink>> = sinks.iter().map(|s| s.clone_box()).collect();
             let done = Arc::clone(&ingest_done);
             let gauges = Arc::clone(&self.gauges);
             let shed = Arc::clone(&self.shed);
@@ -732,7 +856,6 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                 )
             }));
         }
-        drop(sinks);
 
         let sim_duration_ns = ingest.join().expect("ingest thread panicked");
         let mut cores = CoreStats::default();
@@ -744,19 +867,24 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                 total.merge(t);
             }
         }
-        for handle in executors {
-            // All worker-held senders are dropped: each executor drains
-            // its queue and exits.
-            let _ = handle.join().expect("executor thread panicked");
-        }
+        // Workers dropped their sinks on exit, disconnecting every
+        // dispatch ring: each worker drains its backlog and exits.
+        let _ = dispatcher.join();
+        let dispatch = self.hub.snapshots();
         let subs = self
             .subs
             .iter()
             .zip(&tallies)
-            .map(|(sub, t)| SubReport {
+            .zip(&dispatch)
+            .map(|((sub, t), d)| SubReport {
                 name: sub.name().to_string(),
                 delivered: t.delivered,
                 discarded: t.discarded,
+                cb_executed: d.executed,
+                cb_dropped_full: d.dropped_full,
+                cb_dropped_disconnected: d.dropped_disconnected,
+                queue_depth_peak: d.depth_peak,
+                queue_capacity: d.capacity,
             })
             .collect();
         let mbuf_high_water = self.nic.mempool().high_water();
@@ -814,6 +942,17 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
     /// Starts an overload governor against this runtime.
     pub fn start_governor(&self, config: GovernorConfig) -> Governor {
         self.inner.start_governor(config)
+    }
+
+    /// Sets the subscription's callback execution model (effective at
+    /// the next [`Runtime::run`]).
+    pub fn set_dispatch_mode(&mut self, mode: DispatchMode) {
+        self.inner.set_dispatch_mode(0, mode);
+    }
+
+    /// Live dispatch stats (queue depth, drops by reason).
+    pub fn dispatch_hub(&self) -> Arc<DispatchHub> {
+        self.inner.dispatch_hub()
     }
 
     /// Runs the pipeline over a traffic source to completion, returning

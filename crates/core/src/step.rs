@@ -1,0 +1,564 @@
+//! Deterministic dispatch test harness: a virtual-time step executor.
+//!
+//! [`MultiRuntime::run`] proves nothing about dispatch correctness by
+//! itself — thread scheduling hides interleavings, and a test that
+//! passes under one kernel scheduler may never exercise the full-ring
+//! or worker-starved paths at all. [`MultiRuntime::run_stepped`] removes
+//! the scheduler from the picture: it executes the *same* pipeline
+//! logic (same packet filter, same tracker, same per-subscription
+//! dispatch modes and queue policies) on one thread, interleaving an RX
+//! actor and one virtual worker per dispatched subscription under a
+//! seeded schedule. Every interleaving is a pure function of
+//! [`StepConfig::seed`], so a failing schedule replays bit for bit.
+//!
+//! What the harness lets tests prove (and the e2e suite does prove):
+//!
+//! * **Equivalence** — for any seed, a dispatched run's
+//!   [`crate::RunReport::deterministic_digest`] is byte-identical to
+//!   the inline run over the same frames: dispatch moves *where*
+//!   callbacks run, never *what* is delivered.
+//! * **Exact accounting under backpressure** — with a full queue and
+//!   [`crate::QueuePolicy::Block`], parked results are delivered late
+//!   but never lost; with [`crate::QueuePolicy::Shed`] every drop is
+//!   counted, and [`crate::RunReport::check_accounting`] still balances.
+//! * **Isolation** — a [`WorkerStall`] freezing one subscription's
+//!   worker for a step window must not stall its siblings (their
+//!   queues keep draining while the stalled queue backs up).
+//!
+//! Virtual time means real time never appears: a "stall" is a window of
+//! step numbers, queues are plain bounded buffers, and a blocked RX
+//! core is modeled by a holding buffer that must flush (in FIFO order,
+//! exactly like a blocked SPSC `send`) before the next frame is read.
+//! The live [`crate::telemetry::DispatchHub`] is not touched; the run
+//! keeps its own stats so stepped tests never race a governor.
+
+// Narrowing casts in this file are intentional: packet counts and
+// subscription indices narrow to compact counter fields by design.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use retina_filter::{FilterFns, PacketVerdict, SubscriptionSet};
+use retina_nic::{Mbuf, PortStatsSnapshot};
+use retina_support::bytes::Bytes;
+use retina_support::rand::{RngExt, SeedableRng, SmallRng};
+use retina_telemetry::{DispatchSnapshot, DispatchStats};
+use retina_wire::ParsedPacket;
+
+use crate::erased::{ErasedOutput, ErasedSink};
+use crate::executor::QueuePolicy;
+use crate::runtime::{MultiRuntime, RunReport, SubReport};
+use crate::subscription::Level;
+use crate::tracker::ConnTracker;
+
+/// Freezes one subscription's virtual worker for a window of steps:
+/// while `step ∈ [from_step, from_step + steps)` the worker pops
+/// nothing, its queue backs up, and (under [`QueuePolicy::Block`]) the
+/// RX actor parks results destined for it. The global step counter
+/// advances every iteration — including iterations where *nothing*
+/// could run — so every stall window expires deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStall {
+    /// Index of the stalled subscription (registration order). A stall
+    /// on an inline subscription has no effect (there is no worker).
+    pub sub: usize,
+    /// First step of the stall window (the step counter starts at 1).
+    pub from_step: u64,
+    /// Window length in steps.
+    pub steps: u64,
+}
+
+impl WorkerStall {
+    fn blocks(&self, sub: usize, step: u64) -> bool {
+        self.sub == sub
+            && step >= self.from_step
+            && step < self.from_step.saturating_add(self.steps)
+    }
+}
+
+/// Parameters of one stepped run. Everything that could perturb the
+/// interleaving is explicit here, so `(frames, config)` fully
+/// determines the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepConfig {
+    /// Seed of the actor schedule (which actor — RX or a worker — runs
+    /// each step).
+    pub seed: u64,
+    /// Frames the RX actor processes per step it is scheduled.
+    pub rx_batch: usize,
+    /// Items a virtual worker pops per step it is scheduled.
+    pub worker_batch: usize,
+    /// RX steps between connection-timeout sweeps
+    /// ([`ConnTracker::advance`] cadence, mirroring the threaded
+    /// worker's every-64-bursts maintenance block).
+    pub advance_every: usize,
+    /// Optional worker freeze for isolation/backpressure tests.
+    pub stall: Option<WorkerStall>,
+}
+
+impl Default for StepConfig {
+    fn default() -> Self {
+        StepConfig {
+            seed: 0,
+            rx_batch: 4,
+            worker_batch: 4,
+            advance_every: 64,
+            stall: None,
+        }
+    }
+}
+
+impl StepConfig {
+    /// The default schedule shape under `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        StepConfig {
+            seed,
+            ..StepConfig::default()
+        }
+    }
+
+    /// Adds a worker-freeze window to this schedule.
+    #[must_use]
+    pub fn with_stall(mut self, stall: WorkerStall) -> Self {
+        self.stall = Some(stall);
+        self
+    }
+}
+
+fn stall_blocks(stall: Option<&WorkerStall>, sub: usize, step: u64) -> bool {
+    stall.is_some_and(|s| s.blocks(sub, step))
+}
+
+impl<F: FilterFns + 'static> MultiRuntime<F> {
+    /// Runs the pipeline over `packets` on the current thread under a
+    /// seeded virtual-time schedule (see the module docs). Frames are
+    /// `(bytes, timestamp-ns)` pairs, exactly what a
+    /// [`crate::TrafficSource`] batch yields.
+    ///
+    /// The run honours each subscription's [`crate::DispatchMode`] and
+    /// [`QueuePolicy`] semantically — bounded queues, parked sends,
+    /// counted sheds — without spawning a single thread, and fabricates
+    /// a loss-free NIC snapshot (no device sits in front of a stepped
+    /// run), so [`RunReport::check_accounting`] applies unchanged.
+    ///
+    /// # Panics
+    /// Panics if the schedule deadlocks, which is impossible unless the
+    /// dispatch invariants are broken (that is the point of the assert).
+    #[allow(clippy::too_many_lines)]
+    pub fn run_stepped(&self, packets: &[(Bytes, u64)], cfg: &StepConfig) -> RunReport {
+        let subs = &self.subs;
+        let n = subs.len();
+        let mut tracker: ConnTracker<F> = ConnTracker::with_registry(
+            Arc::clone(&self.filter),
+            subs,
+            self.config.timeouts,
+            self.config.ooo_capacity,
+            self.config.profile_stages,
+            self.config.parsers.clone(),
+        );
+        let shed = self.shed_state();
+
+        let mut packet_mask = SubscriptionSet::empty();
+        for (i, sub) in subs.iter().enumerate() {
+            if sub.level() == Level::Packet {
+                packet_mask.insert(i);
+            }
+        }
+
+        // Spec-only subscriptions stay inline in every mode (exactly as
+        // channel_dispatcher forces them), so stepped accounting matches
+        // the threaded runtime's.
+        let dispatched: Vec<bool> = (0..n)
+            .map(|i| self.modes[i].is_dispatched() && subs[i].has_callback())
+            .collect();
+        let caps: Vec<usize> = (0..n)
+            .map(|i| {
+                if dispatched[i] {
+                    self.modes[i].depth()
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let stats: Vec<DispatchStats> = caps
+            .iter()
+            .map(|&c| DispatchStats::with_capacity(c as u64))
+            .collect();
+        let sinks: Vec<Box<dyn ErasedSink>> = subs.iter().map(|s| s.inline_sink()).collect();
+        let mut queues: Vec<VecDeque<ErasedOutput>> =
+            caps.iter().map(|&c| VecDeque::with_capacity(c)).collect();
+        // The blocked-RX holding buffer: results a real RX core would be
+        // spinning on in a blocking SPSC send. FIFO flush order is the
+        // blocked-send order; while non-empty the RX actor reads nothing.
+        let mut pending: VecDeque<(usize, ErasedOutput)> = VecDeque::new();
+
+        let worker_subs: Vec<usize> = (0..n).filter(|&i| dispatched[i]).collect();
+        let n_actors = 1 + worker_subs.len();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        let mut next_pkt = 0usize;
+        let mut drained = false;
+        let mut step = 0u64;
+        let mut since_advance = 0usize;
+        let mut max_ts = 0u64;
+
+        macro_rules! flush_pending {
+            () => {{
+                let mut moved = false;
+                while let Some(&(i, _)) = pending.front().as_deref() {
+                    if queues[i].len() >= caps[i] {
+                        break;
+                    }
+                    let (_, out) = pending.pop_front().expect("front checked above");
+                    queues[i].push_back(out);
+                    stats[i].note_enqueued();
+                    moved = true;
+                }
+                moved
+            }};
+        }
+
+        // One handoff to the delivery layer: count the callback stage,
+        // then run inline / enqueue / park / shed per the sub's mode —
+        // the single-threaded mirror of InlineSink/QueuedSink.
+        macro_rules! route {
+            ($idx:expr, $out:expr) => {{
+                let i: usize = $idx;
+                let out: ErasedOutput = $out;
+                tracker.stats.callbacks.runs += 1;
+                if dispatched[i] {
+                    if queues[i].len() < caps[i] {
+                        queues[i].push_back(out);
+                        stats[i].note_enqueued();
+                    } else {
+                        match self.modes[i].policy() {
+                            QueuePolicy::Shed => stats[i].note_dropped_full(),
+                            QueuePolicy::Block => {
+                                stats[i].note_blocked();
+                                pending.push_back((i, out));
+                            }
+                        }
+                    }
+                } else {
+                    sinks[i].deliver(out);
+                    stats[i].note_inline();
+                }
+            }};
+        }
+
+        loop {
+            if next_pkt >= packets.len()
+                && drained
+                && pending.is_empty()
+                && queues.iter().all(VecDeque::is_empty)
+            {
+                break;
+            }
+            step += 1;
+            let choice = rng.random_range(0..n_actors);
+            let mut progressed = false;
+            // Try the scheduled actor first; fall back through the rest
+            // so a blocked actor never masks available progress (the
+            // schedule stays a pure function of the seed either way).
+            for k in 0..n_actors {
+                let actor = (choice + k) % n_actors;
+                let p = if actor == 0 {
+                    // RX actor: flush parked sends, then read frames only
+                    // if nothing is parked (a blocked send stalls the
+                    // whole RX core, exactly like the threaded runtime).
+                    let mut p = flush_pending!();
+                    if pending.is_empty() {
+                        if next_pkt < packets.len() {
+                            tracker.set_shed_parsing(shed.parsing_shed());
+                            let end = (next_pkt + cfg.rx_batch.max(1)).min(packets.len());
+                            for (frame, ts) in &packets[next_pkt..end] {
+                                let mut mbuf = Mbuf::from_bytes(frame.clone());
+                                mbuf.timestamp_ns = *ts;
+                                tracker.stats.rx_packets += 1;
+                                tracker.stats.rx_bytes += mbuf.len() as u64;
+                                max_ts = max_ts.max(mbuf.timestamp_ns);
+                                let Ok(pkt) = ParsedPacket::parse(mbuf.data()) else {
+                                    tracker.stats.parse_failures += 1;
+                                    continue;
+                                };
+                                let verdict = self.filter.packet_filter_set(&pkt);
+                                tracker.stats.packet_filter.runs += 1;
+                                if verdict.is_no_match() {
+                                    continue;
+                                }
+                                let bypass = verdict.matched & packet_mask;
+                                for i in bypass.iter() {
+                                    // NullSink's packet fast path is a
+                                    // no-op: spec-only bypass delivers
+                                    // (and counts) nothing.
+                                    if !subs[i].has_callback() {
+                                        continue;
+                                    }
+                                    if let Some(out) = subs[i].output_from_mbuf(&mbuf) {
+                                        tracker.sub_tallies[i].delivered += 1;
+                                        route!(i, out);
+                                    }
+                                }
+                                let verdict = PacketVerdict {
+                                    matched: verdict.matched - packet_mask,
+                                    live: verdict.live,
+                                    frontiers: verdict.frontiers,
+                                };
+                                if verdict.is_no_match() {
+                                    continue;
+                                }
+                                tracker.process(&mbuf, &pkt, verdict);
+                                for (idx, out) in tracker.take_outputs() {
+                                    route!(idx as usize, out);
+                                }
+                            }
+                            next_pkt = end;
+                            since_advance += 1;
+                            if since_advance >= cfg.advance_every.max(1) {
+                                since_advance = 0;
+                                tracker.advance(max_ts);
+                                for (idx, out) in tracker.take_outputs() {
+                                    route!(idx as usize, out);
+                                }
+                            }
+                            p = true;
+                        } else if !drained {
+                            tracker.drain();
+                            for (idx, out) in tracker.take_outputs() {
+                                route!(idx as usize, out);
+                            }
+                            drained = true;
+                            p = true;
+                        }
+                    }
+                    p
+                } else {
+                    // Virtual worker for one dispatched subscription.
+                    let i = worker_subs[actor - 1];
+                    if stall_blocks(cfg.stall.as_ref(), i, step) {
+                        false
+                    } else {
+                        let mut popped = false;
+                        for _ in 0..cfg.worker_batch.max(1) {
+                            match queues[i].pop_front() {
+                                Some(out) => {
+                                    subs[i].invoke(out);
+                                    stats[i].note_executed();
+                                    popped = true;
+                                }
+                                None => break,
+                            }
+                        }
+                        let flushed = popped && flush_pending!();
+                        popped || flushed
+                    }
+                };
+                if p {
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                // Only an active stall window may block every actor at
+                // once; the window is measured in steps and the counter
+                // just advanced, so it expires without progress.
+                assert!(
+                    cfg.stall.as_ref().is_some_and(
+                        |s| step >= s.from_step && step < s.from_step.saturating_add(s.steps)
+                    ),
+                    "stepped dispatch deadlocked at step {step}: no actor can run \
+                     and no stall window is active"
+                );
+            }
+        }
+
+        self.gauges().worker_update(0, &tracker.stats, 0, 0, max_ts);
+        let total_bytes: u64 = packets.iter().map(|(f, _)| f.len() as u64).sum();
+        let nic = PortStatsSnapshot {
+            rx_offered: packets.len() as u64,
+            rx_delivered: packets.len() as u64,
+            rx_bytes: total_bytes,
+            ..PortStatsSnapshot::default()
+        };
+        let dispatch: Vec<DispatchSnapshot> = stats.iter().map(DispatchStats::snapshot).collect();
+        let subs = subs
+            .iter()
+            .zip(&tracker.sub_tallies)
+            .zip(&dispatch)
+            .map(|((sub, t), d)| SubReport {
+                name: sub.name().to_string(),
+                delivered: t.delivered,
+                discarded: t.discarded,
+                cb_executed: d.executed,
+                cb_dropped_full: d.dropped_full,
+                cb_dropped_disconnected: d.dropped_disconnected,
+                queue_depth_peak: d.depth_peak,
+                queue_capacity: d.capacity,
+            })
+            .collect();
+        RunReport {
+            // Virtual time: wall-clock metrics are meaningless here.
+            elapsed: Duration::ZERO,
+            nic,
+            cores: tracker.stats,
+            subs,
+            sim_duration_ns: max_ts,
+            mbuf_high_water: 0,
+            filter_warnings: self.filter_warnings().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use crate::executor::DispatchMode;
+    use crate::runtime::RuntimeBuilder;
+    use crate::subscribables::ConnRecord;
+    use retina_wire::build::{build_tcp, TcpSpec};
+    use retina_wire::TcpFlags;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// `conns` hand-built TCP conversations (handshake, one payload
+    /// each way, FIN teardown) interleaved on the wire — enough churn
+    /// to exercise queues without any RNG.
+    fn frames(conns: usize) -> Vec<(Bytes, u64)> {
+        let mut out = Vec::new();
+        let mut ts = 0u64;
+        for c in 0..conns {
+            let client: std::net::SocketAddr =
+                format!("10.0.{}.{}:{}", c / 250, (c % 250) + 1, 10_000 + c)
+                    .parse()
+                    .unwrap();
+            let server: std::net::SocketAddr = "192.168.1.1:443".parse().unwrap();
+            let mut push = |src, dst, seq, ack, flags, payload: &[u8]| {
+                ts += 50_000;
+                let frame = build_tcp(&TcpSpec {
+                    src,
+                    dst,
+                    seq,
+                    ack,
+                    flags,
+                    window: 65535,
+                    ttl: 64,
+                    payload,
+                });
+                out.push((Bytes::from(frame), ts));
+            };
+            push(client, server, 100, 0, TcpFlags::SYN, &[]);
+            push(server, client, 500, 101, TcpFlags::SYN | TcpFlags::ACK, &[]);
+            push(client, server, 101, 501, TcpFlags::ACK, &[]);
+            push(
+                client,
+                server,
+                101,
+                501,
+                TcpFlags::ACK | TcpFlags::PSH,
+                b"ping",
+            );
+            push(
+                server,
+                client,
+                501,
+                105,
+                TcpFlags::ACK | TcpFlags::PSH,
+                b"pong",
+            );
+            push(client, server, 105, 505, TcpFlags::FIN | TcpFlags::ACK, &[]);
+            push(server, client, 505, 106, TcpFlags::FIN | TcpFlags::ACK, &[]);
+            push(client, server, 106, 506, TcpFlags::ACK, &[]);
+        }
+        out
+    }
+
+    fn build(
+        mode: DispatchMode,
+        hits: &Arc<AtomicU64>,
+    ) -> MultiRuntime<retina_filter::CompiledFilter> {
+        let h = Arc::clone(hits);
+        RuntimeBuilder::new(RuntimeConfig::default())
+            .subscribe_dispatched("conns", "ipv4 and tcp", mode, move |_: ConnRecord| {
+                h.fetch_add(1, Ordering::Relaxed);
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stepped_dispatch_matches_inline_digest() {
+        let pkts = frames(200);
+        let inline_hits = Arc::new(AtomicU64::new(0));
+        let inline =
+            build(DispatchMode::Inline, &inline_hits).run_stepped(&pkts, &StepConfig::seeded(7));
+        inline.check_accounting().unwrap();
+        for seed in [1u64, 2, 3] {
+            let hits = Arc::new(AtomicU64::new(0));
+            let rt = build(DispatchMode::dedicated(4), &hits);
+            let report = rt.run_stepped(&pkts, &StepConfig::seeded(seed));
+            report.check_accounting().unwrap();
+            assert_eq!(
+                report.deterministic_digest(),
+                inline.deterministic_digest(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                inline_hits.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    #[test]
+    fn block_policy_parks_but_never_loses_under_stall() {
+        let pkts = frames(150);
+        let hits = Arc::new(AtomicU64::new(0));
+        let rt = build(DispatchMode::dedicated(2), &hits);
+        let cfg = StepConfig::seeded(11).with_stall(WorkerStall {
+            sub: 0,
+            from_step: 5,
+            steps: 400,
+        });
+        let report = rt.run_stepped(&pkts, &cfg);
+        report.check_accounting().unwrap();
+        assert_eq!(report.subs[0].cb_dropped_full, 0, "Block never sheds");
+        assert_eq!(report.subs[0].cb_executed, report.subs[0].delivered);
+        assert_eq!(hits.load(Ordering::Relaxed), report.subs[0].cb_executed);
+    }
+
+    #[test]
+    fn shed_policy_counts_drops_under_stall() {
+        let pkts = frames(150);
+        let hits = Arc::new(AtomicU64::new(0));
+        let rt = build(DispatchMode::dedicated(2).shedding(), &hits);
+        let cfg = StepConfig::seeded(11).with_stall(WorkerStall {
+            sub: 0,
+            from_step: 1,
+            steps: 100_000,
+        });
+        let report = rt.run_stepped(&pkts, &cfg);
+        report.check_accounting().unwrap();
+        assert!(
+            report.subs[0].cb_dropped_full > 0,
+            "2-deep queue under a long stall must shed"
+        );
+        assert_eq!(
+            report.subs[0].delivered,
+            report.subs[0].cb_executed + report.subs[0].cb_dropped_full
+        );
+    }
+
+    #[test]
+    fn schedules_are_replayable() {
+        let pkts = frames(100);
+        let a = build(DispatchMode::shared(4), &Arc::new(AtomicU64::new(0)))
+            .run_stepped(&pkts, &StepConfig::seeded(42));
+        let b = build(DispatchMode::shared(4), &Arc::new(AtomicU64::new(0)))
+            .run_stepped(&pkts, &StepConfig::seeded(42));
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+        assert_eq!(a.subs[0].cb_executed, b.subs[0].cb_executed);
+    }
+}

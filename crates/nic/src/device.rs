@@ -177,6 +177,13 @@ impl VirtualNic {
         self.faults.read().as_ref()?.worker_delay(core)
     }
 
+    /// Extra latency the installed fault layer wants to inject before
+    /// subscription `sub`'s `seq`-th dispatched callback (`None` when
+    /// unfaulted).
+    pub fn fault_callback_delay(&self, sub: u16, seq: u64) -> Option<std::time::Duration> {
+        self.faults.read().as_ref()?.callback_delay(sub, seq)
+    }
+
     /// Frames currently held in flight by the fault layer (0 when
     /// unfaulted). The runtime's final drain waits for this to reach
     /// zero so injected delay lines cannot strand frames.

@@ -49,6 +49,15 @@ pub trait FaultHooks: Send + Sync {
         None
     }
 
+    /// Extra latency to inject before a callback-dispatch worker runs
+    /// subscription `sub`'s `seq`-th callback (modeling an expensive
+    /// analysis callback stalling its worker). Keyed purely on the
+    /// arguments so the decision stays replayable.
+    fn callback_delay(&self, sub: u16, seq: u64) -> Option<Duration> {
+        let _ = (sub, seq);
+        None
+    }
+
     /// Frames the injector is currently holding outside the device
     /// (e.g. a delay line). Non-zero keeps the runtime's final drain
     /// alive: workers must not exit while injected frames are still
@@ -74,6 +83,7 @@ mod tests {
         assert!(!h.mempool_squeezed(0));
         assert!(!h.ring_stalled(3));
         assert_eq!(h.worker_delay(1), None);
+        assert_eq!(h.callback_delay(0, 7), None);
         assert_eq!(h.in_flight(), 0);
     }
 }

@@ -1,7 +1,8 @@
 //! Synchronization primitives: a poison-ignoring `RwLock`, a bounded
 //! lock-free MPMC [`ArrayQueue`] (Vyukov's bounded queue, the shape of
-//! `crossbeam::queue::ArrayQueue` and of a DPDK descriptor ring), and a
-//! bounded [`channel`] for the queued callback executor.
+//! `crossbeam::queue::ArrayQueue` and of a DPDK descriptor ring), a
+//! true single-producer single-consumer [`spsc`] ring for the multicore
+//! callback dispatcher, and a bounded MPMC [`channel`].
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -259,12 +260,338 @@ pub mod channel {
     pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
     /// The receiving half of a bounded channel.
     pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+    /// Error returned by `Sender::send` when the receiver is gone: the
+    /// unsent value is handed back in `.0`.
+    pub type SendError<T> = std::sync::mpsc::SendError<T>;
 
     /// Creates a bounded channel of the given capacity. `send` blocks
-    /// when the channel is full (backpressure); `recv` returns `Err`
-    /// once every sender is dropped.
+    /// when the channel is full (backpressure) and returns
+    /// [`SendError`] — carrying the rejected value — once the receiver
+    /// has been dropped. Callers own that error: a delivery layer must
+    /// count or surface it, never `let _ =` it away (each such value is
+    /// an analysis result that silently vanished). `recv` returns
+    /// `Err` once every sender is dropped.
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::sync_channel(capacity.max(1))
+    }
+}
+
+pub mod spsc {
+    //! A true bounded single-producer single-consumer ring.
+    //!
+    //! Unlike [`super::channel`] (an MPMC `sync_channel` wrapper, with a
+    //! mutex under the hood) and [`super::ArrayQueue`] (Vyukov MPMC, one
+    //! CAS per operation), this ring exploits the single-producer
+    //! single-consumer contract for a wait-free fast path with **no
+    //! atomic RMW at all**: each side owns its index outright and keeps
+    //! a *cached* copy of the other side's, refreshed only when the ring
+    //! looks full/empty. On the common path a `push` or `pop` touches
+    //! one local `Cell` and one `Release` store — the cache-conscious
+    //! cross-core queueing discipline the multicore callback dispatcher
+    //! needs (one ring per (RX core, subscription) pair).
+    //!
+    //! Disconnect is explicit in both directions: `try_send` reports a
+    //! dropped consumer (handing the value back), `try_recv` reports a
+    //! dropped producer once the ring is drained. Nothing is ever
+    //! silently discarded.
+
+    use std::cell::{Cell, UnsafeCell};
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Error from [`Producer::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Ring full; the value is handed back.
+        Full(T),
+        /// Consumer dropped; the value is handed back.
+        Disconnected(T),
+    }
+
+    /// Error from [`Producer::send`]: the consumer is gone and the
+    /// value is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Consumer::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Ring currently empty (producer still alive).
+        Empty,
+        /// Producer dropped and the ring is drained: no value will ever
+        /// arrive again.
+        Disconnected,
+    }
+
+    /// Shared ring storage. `head` is owned by the consumer, `tail` by
+    /// the producer; each side publishes its index with a `Release`
+    /// store and the other side reads it with `Acquire` only when its
+    /// cached copy runs out.
+    struct Shared<T> {
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+        capacity: usize,
+        /// Next slot the consumer will read (published by the consumer).
+        head: AtomicUsize,
+        /// Next slot the producer will write (published by the producer).
+        tail: AtomicUsize,
+        producer_alive: AtomicBool,
+        consumer_alive: AtomicBool,
+    }
+
+    // SAFETY: slot `i % capacity` is written only by the producer while
+    // `head <= i < head + capacity` and read only by the consumer while
+    // `i < tail`, each gated on the peer's published index. The Release
+    // store of `tail`/`head` after each write/read happens-before the
+    // Acquire load that admits the other side, so no two threads ever
+    // touch the same `UnsafeCell` concurrently; moving values across
+    // the ring then needs only `T: Send`.
+    unsafe impl<T: Send> Send for Shared<T> {}
+    // SAFETY: see the `Send` impl above — shared access is mediated by
+    // the published head/tail indices and the SPSC ownership contract
+    // (`Producer`/`Consumer` are each `!Sync` and not cloneable).
+    unsafe impl<T: Send> Sync for Shared<T> {}
+
+    impl<T> Drop for Shared<T> {
+        fn drop(&mut self) {
+            // Both endpoints are gone (Arc refcount hit zero), so the
+            // indices are quiescent: drop whatever is still queued.
+            let head = self.head.load(Ordering::Relaxed);
+            let tail = self.tail.load(Ordering::Relaxed);
+            for i in head..tail {
+                // SAFETY: `[head, tail)` are exactly the initialized,
+                // unconsumed slots, and no other thread can exist here.
+                unsafe {
+                    (*self.slots[i % self.capacity].get()).assume_init_drop();
+                }
+            }
+        }
+    }
+
+    /// The sending half (single producer; `Send`, not `Sync`, not
+    /// cloneable).
+    pub struct Producer<T> {
+        shared: Arc<Shared<T>>,
+        /// Authoritative next-write index (mirrored into `shared.tail`).
+        tail: Cell<usize>,
+        /// Last head observed from the consumer.
+        cached_head: Cell<usize>,
+    }
+
+    /// The receiving half (single consumer; `Send`, not `Sync`, not
+    /// cloneable).
+    pub struct Consumer<T> {
+        shared: Arc<Shared<T>>,
+        /// Authoritative next-read index (mirrored into `shared.head`).
+        head: Cell<usize>,
+        /// Last tail observed from the producer.
+        cached_tail: Cell<usize>,
+    }
+
+    /// Creates a ring holding at most `capacity` in-flight elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        assert!(capacity > 0, "spsc ring capacity must be non-zero");
+        let shared = Arc::new(Shared {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            capacity,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            producer_alive: AtomicBool::new(true),
+            consumer_alive: AtomicBool::new(true),
+        });
+        (
+            Producer {
+                shared: Arc::clone(&shared),
+                tail: Cell::new(0),
+                cached_head: Cell::new(0),
+            },
+            Consumer {
+                shared,
+                head: Cell::new(0),
+                cached_tail: Cell::new(0),
+            },
+        )
+    }
+
+    impl<T: Send> Producer<T> {
+        /// Attempts to enqueue without blocking. On failure the value is
+        /// always handed back — a full ring and a dropped consumer are
+        /// distinct, so callers can count drops by reason.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if !self.shared.consumer_alive.load(Ordering::Acquire) {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let tail = self.tail.get();
+            if tail - self.cached_head.get() == self.shared.capacity {
+                self.cached_head
+                    .set(self.shared.head.load(Ordering::Acquire));
+                if tail - self.cached_head.get() == self.shared.capacity {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            // SAFETY: `tail - head < capacity` (head re-checked above),
+            // so this slot's previous value has been consumed; only this
+            // producer writes, and the Release store below publishes the
+            // write before the consumer can read it.
+            unsafe {
+                (*self.shared.slots[tail % self.shared.capacity].get()).write(value);
+            }
+            self.tail.set(tail + 1);
+            self.shared.tail.store(tail + 1, Ordering::Release);
+            Ok(())
+        }
+
+        /// Enqueues, spinning (with yields) while the ring is full.
+        /// Returns the value in [`SendError`] if the consumer is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut value = value;
+            let mut spins = 0u32;
+            loop {
+                match self.try_send(value) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                    Err(TrySendError::Full(v)) => {
+                        value = v;
+                        spins += 1;
+                        if spins < 64 {
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+
+        /// In-flight elements (approximate from the producer side).
+        pub fn len(&self) -> usize {
+            self.tail.get() - self.shared.head.load(Ordering::Acquire)
+        }
+
+        /// True when nothing is in flight.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Ring capacity.
+        pub fn capacity(&self) -> usize {
+            self.shared.capacity
+        }
+    }
+
+    impl<T> Drop for Producer<T> {
+        fn drop(&mut self) {
+            self.shared.producer_alive.store(false, Ordering::Release);
+        }
+    }
+
+    impl<T: Send> Consumer<T> {
+        /// Attempts to dequeue without blocking. `Disconnected` is only
+        /// reported once the ring is fully drained, so no queued value
+        /// is ever lost to a producer dropping.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let head = self.head.get();
+            if self.cached_tail.get() == head {
+                self.cached_tail
+                    .set(self.shared.tail.load(Ordering::Acquire));
+                if self.cached_tail.get() == head {
+                    // Order matters: check liveness first, then re-read
+                    // the tail. A producer pushes (Release) before its
+                    // Drop flips `producer_alive`, so if we see it dead
+                    // here, the re-read below observes its final push.
+                    if !self.shared.producer_alive.load(Ordering::Acquire) {
+                        self.cached_tail
+                            .set(self.shared.tail.load(Ordering::Acquire));
+                        if self.cached_tail.get() == head {
+                            return Err(TryRecvError::Disconnected);
+                        }
+                    } else {
+                        return Err(TryRecvError::Empty);
+                    }
+                }
+            }
+            // SAFETY: `head < tail` (tail just observed with Acquire),
+            // so the producer's write of this slot is published and
+            // complete; only this consumer reads, and the Release store
+            // of `head + 1` below frees the slot for reuse.
+            let value = unsafe {
+                (*self.shared.slots[head % self.shared.capacity].get()).assume_init_read()
+            };
+            self.head.set(head + 1);
+            self.shared.head.store(head + 1, Ordering::Release);
+            Ok(value)
+        }
+
+        /// Dequeues, spinning (with yields) while the ring is empty.
+        /// Returns `Err(())` once the producer is gone and the ring is
+        /// drained.
+        pub fn recv(&self) -> Result<T, TryRecvError> {
+            let mut spins = 0u32;
+            loop {
+                match self.try_recv() {
+                    Ok(v) => return Ok(v),
+                    Err(TryRecvError::Disconnected) => return Err(TryRecvError::Disconnected),
+                    Err(TryRecvError::Empty) => {
+                        spins += 1;
+                        if spins < 64 {
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+
+        /// True when the producer has been dropped **and** every queued
+        /// element has been consumed — the worker-exit condition.
+        pub fn is_finished(&self) -> bool {
+            matches!(self.try_peek_state(), TryRecvError::Disconnected)
+        }
+
+        /// Classifies the ring without consuming: `Empty` (producer
+        /// alive, nothing queued) or `Disconnected` (producer gone,
+        /// drained). Panics never; returns `Empty` when a value is
+        /// available (callers use `try_recv` for data).
+        fn try_peek_state(&self) -> TryRecvError {
+            let head = self.head.get();
+            let tail = self.shared.tail.load(Ordering::Acquire);
+            if tail != head {
+                return TryRecvError::Empty;
+            }
+            if !self.shared.producer_alive.load(Ordering::Acquire)
+                && self.shared.tail.load(Ordering::Acquire) == head
+            {
+                return TryRecvError::Disconnected;
+            }
+            TryRecvError::Empty
+        }
+
+        /// In-flight elements (approximate from the consumer side).
+        pub fn len(&self) -> usize {
+            self.shared.tail.load(Ordering::Acquire) - self.head.get()
+        }
+
+        /// True when nothing is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Ring capacity.
+        pub fn capacity(&self) -> usize {
+            self.shared.capacity
+        }
+    }
+
+    impl<T> Drop for Consumer<T> {
+        fn drop(&mut self) {
+            self.shared.consumer_alive.store(false, Ordering::Release);
+        }
     }
 }
 
@@ -391,5 +718,86 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv().unwrap(), 2);
         assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    /// Regression for the doc/behavior mismatch: `send` on a channel
+    /// whose receiver is gone must surface an error carrying the value,
+    /// so no delivery layer can lose data without noticing.
+    #[test]
+    fn channel_send_after_receiver_drop_errors_with_value() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        drop(rx);
+        let err = tx.send(42).expect_err("receiver gone must error");
+        assert_eq!(err.0, 42, "the rejected value is handed back");
+    }
+
+    #[test]
+    fn spsc_fifo_and_capacity() {
+        let (tx, rx) = spsc::ring::<u32>(2);
+        assert_eq!(tx.capacity(), 2);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(
+            tx.try_send(3),
+            Err(spsc::TrySendError::Full(3)),
+            "full ring hands the value back"
+        );
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(spsc::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn spsc_disconnect_both_directions() {
+        // Consumer gone: producer sees Disconnected with the value back.
+        let (tx, rx) = spsc::ring::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(spsc::TrySendError::Disconnected(9)));
+        assert_eq!(tx.send(9), Err(spsc::SendError(9)));
+
+        // Producer gone: consumer drains the backlog, then Disconnected.
+        let (tx, rx) = spsc::ring::<u32>(4);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        drop(tx);
+        assert!(!rx.is_finished(), "backlog still pending");
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(spsc::TryRecvError::Disconnected));
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn spsc_drop_releases_queued_elements() {
+        let (tx, rx) = spsc::ring::<Arc<()>>(8);
+        let item = Arc::new(());
+        tx.try_send(Arc::clone(&item)).unwrap();
+        tx.try_send(Arc::clone(&item)).unwrap();
+        assert_eq!(rx.try_recv().map(|_| ()), Ok(()));
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&item), 1, "queued element leaked");
+    }
+
+    /// Cross-thread stress: a small ring forces constant wrap-around and
+    /// full/empty transitions; every element must arrive once, in order.
+    #[test]
+    fn spsc_cross_thread_order_preserved() {
+        const N: u64 = 100_000;
+        let (tx, rx) = spsc::ring::<u64>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i).expect("consumer alive until drained");
+            }
+        });
+        for expect in 0..N {
+            assert_eq!(rx.recv(), Ok(expect), "out of order at {expect}");
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), Err(spsc::TryRecvError::Disconnected));
     }
 }

@@ -1,0 +1,291 @@
+//! Per-subscription callback-dispatch statistics.
+//!
+//! The multicore dispatcher hands each matched result from the RX core
+//! to a worker over a bounded SPSC ring. Everything that crosses (or
+//! fails to cross) that hop is counted here, per subscription, with the
+//! same exactness discipline as the drop taxonomy: after a run drains,
+//! `enqueued == executed + dropped_full + dropped_disconnected`, and
+//! the runtime's `check_accounting` ties `delivered` (sink handoffs) to
+//! the same sum. The instantaneous queue occupancy doubles as the
+//! governor's queue-pressure shed input.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live dispatch counters for one subscription (shared between its
+/// producer sinks, its worker, and the governor's sampling thread).
+#[derive(Debug, Default)]
+pub struct DispatchStats {
+    /// Total ring capacity across all per-core rings (0 = inline, no
+    /// queue — occupancy reads as 0).
+    capacity: AtomicU64,
+    /// Results handed to the dispatch layer (inline invocations count
+    /// here too, so the accounting identity is uniform across modes).
+    enqueued: AtomicU64,
+    /// Results whose callback actually ran.
+    executed: AtomicU64,
+    /// Results dropped because the ring was full (Shed policy).
+    dropped_full: AtomicU64,
+    /// Results dropped because the worker was gone.
+    dropped_disconnected: AtomicU64,
+    /// Results currently in flight in the rings.
+    depth: AtomicU64,
+    /// High-water mark of `depth`.
+    depth_peak: AtomicU64,
+    /// Sends that found the ring full and blocked (Block policy) —
+    /// RX-core stall events, the precursor signal to shedding.
+    blocked_sends: AtomicU64,
+}
+
+impl DispatchStats {
+    /// New zeroed stats with the given total ring capacity (0 = inline).
+    #[must_use]
+    pub fn with_capacity(capacity: u64) -> Self {
+        let stats = Self::default();
+        stats.capacity.store(capacity, Ordering::Relaxed);
+        stats
+    }
+
+    /// Records a successful enqueue onto a ring.
+    pub fn note_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a dequeue + callback execution by a worker.
+    pub fn note_executed(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records an inline invocation (no queue hop: enqueued and
+    /// executed in one step, depth untouched).
+    pub fn note_inline(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result shed because the ring was full.
+    pub fn note_dropped_full(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.dropped_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result lost because the worker disconnected.
+    pub fn note_dropped_disconnected(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.dropped_disconnected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a send that found the ring full and had to block.
+    pub fn note_blocked(&self) {
+        self.blocked_sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Instantaneous queue occupancy in `[0, 1]` (0 for inline subs).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let occ = self.depth.load(Ordering::Relaxed) as f64 / capacity as f64;
+        occ.min(1.0)
+    }
+
+    /// Zeroes every counter and re-arms the capacity for a new run (the
+    /// stats block itself stays shared, so a governor holding the hub
+    /// keeps reading live values across runs).
+    pub fn reset(&self, capacity: u64) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        self.enqueued.store(0, Ordering::Relaxed);
+        self.executed.store(0, Ordering::Relaxed);
+        self.dropped_full.store(0, Ordering::Relaxed);
+        self.dropped_disconnected.store(0, Ordering::Relaxed);
+        self.depth.store(0, Ordering::Relaxed);
+        self.depth_peak.store(0, Ordering::Relaxed);
+        self.blocked_sends.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> DispatchSnapshot {
+        DispatchSnapshot {
+            capacity: self.capacity.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            dropped_full: self.dropped_full.load(Ordering::Relaxed),
+            dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+            depth: self.depth.load(Ordering::Relaxed),
+            depth_peak: self.depth_peak.load(Ordering::Relaxed),
+            blocked_sends: self.blocked_sends.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen copy of one subscription's [`DispatchStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchSnapshot {
+    /// Total ring capacity (0 = inline).
+    pub capacity: u64,
+    /// Results handed to the dispatch layer.
+    pub enqueued: u64,
+    /// Results whose callback ran.
+    pub executed: u64,
+    /// Results shed on a full ring.
+    pub dropped_full: u64,
+    /// Results lost to a disconnected worker.
+    pub dropped_disconnected: u64,
+    /// Results in flight at snapshot time.
+    pub depth: u64,
+    /// Queue-depth high-water mark.
+    pub depth_peak: u64,
+    /// Blocking sends (Block policy full-ring stalls).
+    pub blocked_sends: u64,
+}
+
+impl DispatchSnapshot {
+    /// Verifies the dispatch accounting identity after a drained run:
+    /// every handoff (`delivered`, counted by the tracker at the sink
+    /// boundary) is attributed to exactly one outcome — executed, shed
+    /// on a full ring, or lost to a dead worker — and nothing remains
+    /// in flight.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated identity.
+    pub fn check(&self, delivered: u64) -> Result<(), String> {
+        if self.depth != 0 {
+            return Err(format!(
+                "{} results still in flight after drain",
+                self.depth
+            ));
+        }
+        let attributed = self.executed + self.dropped_full + self.dropped_disconnected;
+        if self.enqueued != attributed {
+            return Err(format!(
+                "enqueued {} != executed {} + dropped_full {} + dropped_disconnected {}",
+                self.enqueued, self.executed, self.dropped_full, self.dropped_disconnected
+            ));
+        }
+        if delivered != self.enqueued {
+            return Err(format!(
+                "delivered {delivered} != dispatch handoffs {}",
+                self.enqueued
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// All subscriptions' dispatch stats, indexed by subscription order —
+/// the runtime owns one and shares it with the governor.
+#[derive(Debug, Default)]
+pub struct DispatchHub {
+    subs: Vec<Arc<DispatchStats>>,
+}
+
+impl DispatchHub {
+    /// A hub with one stats block per subscription; `capacities[i]` is
+    /// subscription i's total ring capacity (0 = inline).
+    #[must_use]
+    pub fn new(capacities: &[u64]) -> Self {
+        Self {
+            subs: capacities
+                .iter()
+                .map(|&c| Arc::new(DispatchStats::with_capacity(c)))
+                .collect(),
+        }
+    }
+
+    /// Number of subscriptions tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True when no subscriptions are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Shared handle to subscription `i`'s stats.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Arc<DispatchStats> {
+        Arc::clone(&self.subs[i])
+    }
+
+    /// The worst queue occupancy across all subscriptions — the
+    /// governor's queue-pressure signal.
+    #[must_use]
+    pub fn max_occupancy(&self) -> f64 {
+        self.subs.iter().map(|s| s.occupancy()).fold(0.0, f64::max)
+    }
+
+    /// Per-subscription snapshots, in subscription order.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<DispatchSnapshot> {
+        self.subs.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Zeroes every subscription's counters and re-arms capacities for
+    /// a new run.
+    ///
+    /// # Panics
+    /// Panics if `capacities.len()` differs from the hub's size.
+    pub fn configure(&self, capacities: &[u64]) {
+        assert_eq!(capacities.len(), self.subs.len());
+        for (stats, &capacity) in self.subs.iter().zip(capacities) {
+            stats.reset(capacity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identity_holds() {
+        let stats = DispatchStats::with_capacity(8);
+        for _ in 0..5 {
+            stats.note_enqueued();
+        }
+        assert!(stats.occupancy() > 0.5);
+        for _ in 0..5 {
+            stats.note_executed();
+        }
+        stats.note_dropped_full();
+        stats.note_dropped_disconnected();
+        stats.note_inline();
+        let snap = stats.snapshot();
+        assert_eq!(snap.enqueued, 8);
+        assert_eq!(snap.depth, 0);
+        assert_eq!(snap.depth_peak, 5);
+        snap.check(8).unwrap();
+        assert!(snap.check(7).is_err(), "delivered mismatch must fail");
+    }
+
+    #[test]
+    fn inline_sub_reads_zero_occupancy() {
+        let stats = DispatchStats::with_capacity(0);
+        stats.note_inline();
+        assert_eq!(stats.occupancy(), 0.0);
+        stats.snapshot().check(1).unwrap();
+    }
+
+    #[test]
+    fn hub_reports_worst_occupancy() {
+        let hub = DispatchHub::new(&[0, 4, 8]);
+        assert_eq!(hub.len(), 3);
+        hub.get(1).note_enqueued();
+        hub.get(2).note_enqueued();
+        assert!((hub.max_occupancy() - 0.25).abs() < 1e-9);
+        let snaps = hub.snapshots();
+        assert_eq!(snaps[0].enqueued, 0);
+        assert_eq!(snaps[1].depth, 1);
+        assert!(snaps[2].check(1).is_err(), "in-flight result must fail");
+    }
+}

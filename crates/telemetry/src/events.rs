@@ -51,6 +51,10 @@ pub struct PressureSignals {
     /// Frames lost (ring overflow + mempool exhaustion) since the
     /// previous interval.
     pub lost_delta: u64,
+    /// Worst callback-dispatch queue occupancy across subscriptions as
+    /// a fraction of ring capacity (0 when every subscription is
+    /// inline).
+    pub dispatch_occupancy: f64,
 }
 
 /// One entry in the governor's decision stream.
@@ -75,7 +79,7 @@ impl GovernorEvent {
     pub fn to_log_line(&self) -> String {
         format!(
             "governor[{:>4}] {:<15} sink {:.3} -> {:.3}  parsing_shed={}  \
-             (mempool {:.0}%, ring {:.0}%, lost {})",
+             (mempool {:.0}%, ring {:.0}%, dispatch {:.0}%, lost {})",
             self.interval,
             self.action.label(),
             self.sink_before,
@@ -83,6 +87,7 @@ impl GovernorEvent {
             self.parsing_shed,
             self.signals.mempool_occupancy * 100.0,
             self.signals.ring_occupancy * 100.0,
+            self.signals.dispatch_occupancy * 100.0,
             self.signals.lost_delta,
         )
     }

@@ -19,6 +19,10 @@
 //!   [`JsonSink`], and [`PrometheusSink`] exporters, driven by the
 //!   runtime monitor with periodic [`Sample`]s and a final
 //!   [`TelemetrySnapshot`].
+//! * [`DispatchStats`] / [`DispatchHub`] — per-subscription callback
+//!   dispatch counters (queue depth, drops by reason, blocked sends)
+//!   whose worst-case occupancy feeds the governor as the
+//!   queue-pressure shed input.
 //! * [`GovernorEvent`] / [`EventLog`] — the overload governor's
 //!   decision stream, with [`check_governor_accounting`] proving that
 //!   every shed is matched by a restore and no decision exceeded the
@@ -26,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod drops;
 pub mod events;
 pub mod export;
@@ -34,6 +39,7 @@ pub mod json;
 pub mod registry;
 pub mod snapshot;
 
+pub use dispatch::{DispatchHub, DispatchSnapshot, DispatchStats};
 pub use drops::{DropBreakdown, DropReason, DropSubject};
 pub use events::{
     check_governor_accounting, EventLog, GovernorAction, GovernorEvent, PressureSignals,

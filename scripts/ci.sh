@@ -16,8 +16,9 @@
 #   build         release build of every lib and binary
 #   doc           cargo doc --offline --no-deps with warnings denied
 #   test          cargo test -q --offline (whole workspace)
-#   smoke         telemetry_smoke + governor_storm + fig_multi (--quick),
-#                 emitting results/BENCH_ci.json
+#   smoke         telemetry_smoke + governor_storm + fig_multi +
+#                 dispatch_storm + fig9 (--quick), emitting
+#                 results/BENCH_ci.json
 #   bench-gate    scripts/bench_gate.sh vs results/BENCH_baseline.json
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -92,6 +93,10 @@ stage_smoke() {
         cargo run --release --offline -q -p retina-bench --bin governor_storm -- \
             --quick --json-out results/BENCH_ci.json &&
         cargo run --release --offline -q -p retina-bench --bin fig_multi -- \
+            --quick --json-out results/BENCH_ci.json &&
+        cargo run --release --offline -q -p retina-bench --bin dispatch_storm -- \
+            --quick --json-out results/BENCH_ci.json &&
+        cargo run --release --offline -q -p retina-bench --bin fig9 -- \
             --quick --json-out results/BENCH_ci.json
 }
 

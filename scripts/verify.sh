@@ -30,6 +30,10 @@ if [ "$FAST" = 1 ]; then
     # compiling (or turns unsatisfiable) should fail the quick job too.
     cargo run --offline -q -p retina-filter --bin retina-flint -- \
         --json scripts/filters.flt
+    # Dispatch smoke stays in the fast path too: stepped equivalence,
+    # backpressure isolation, and the governor's queue-pressure input
+    # are cheap to prove and easy to regress.
+    cargo run --offline -q -p retina-bench --bin dispatch_storm -- --quick
     exit 0
 fi
 
@@ -50,6 +54,12 @@ cargo run --release --offline -q -p retina-bench --bin telemetry_smoke -- --quic
 # within a bounded number of monitor intervals. Exits non-zero on
 # violation.
 cargo run --release --offline -q -p retina-bench --bin governor_storm -- --quick
+
+# Dispatch storm: stepped-executor equivalence (dispatched == inline
+# digests across seeded schedules), backpressure isolation under a
+# chaos callback stall, and the governor's dispatch-occupancy shed
+# input. Exits non-zero on violation.
+cargo run --release --offline -q -p retina-bench --bin dispatch_storm -- --quick
 
 # Filter-corpus lint: the semantic analyzer must find no E-code
 # diagnostics in any filter the benches and examples rely on.

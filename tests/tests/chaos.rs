@@ -124,6 +124,7 @@ proptest! {
                 mempool_occupancy: (w & 0xFF) as f64 / 255.0,
                 ring_occupancy: ((w >> 8) & 0xFF) as f64 / 255.0,
                 lost_delta: (w >> 16) & 0x3,
+                dispatch_occupancy: ((w >> 18) & 0xFF) as f64 / 255.0,
             });
         }
         let report = brain.into_report();
@@ -245,6 +246,106 @@ fn conntrack_survives_duplication_and_reordering() {
     assert_eq!(
         noisy.cores.conns_created, clean.cores.conns_created,
         "duplicated/reordered segments created phantom connections"
+    );
+}
+
+/// A `CallbackStall` freezing one dedicated dispatch worker mid-run:
+/// the governor must observe the queue pressure and shed, the sibling
+/// subscription must keep delivering as if nothing happened, every
+/// dropped result must be counted, and the governor's decision ledger
+/// must stay bounded (strict shed/restore alternation).
+#[test]
+fn callback_stall_sheds_without_collateral_damage() {
+    use retina_core::{DispatchMode, GovernorConfig, RuntimeBuilder};
+    use std::time::Duration;
+
+    let build = || {
+        let mut config = RuntimeConfig::with_cores(2);
+        config.paced_ingest = true;
+        RuntimeBuilder::new(config)
+            .subscribe_dispatched(
+                "heavy",
+                "ipv4 and tcp",
+                DispatchMode::dedicated(4).shedding(),
+                |_: ConnRecord| {},
+            )
+            .subscribe_named("light", "ipv4 and tcp", |_: ConnRecord| {})
+            .build()
+            .expect("runtime")
+    };
+    // Baseline: same traffic, no fault, for the sibling-isolation check.
+    let mut clean_rt = build();
+    let clean = clean_rt.run(ChaosSource::new(
+        PreloadedSource::new(workload().to_vec()),
+        &FaultPlan::new(21),
+    ));
+    clean.check_accounting().unwrap();
+
+    // Stall the heavy subscription's worker 5 ms per item for its first
+    // 150 items: its 4-deep-per-core rings fill almost immediately and
+    // stay full for hundreds of wall-clock milliseconds.
+    let plan = FaultPlan::new(21).with(Fault::CallbackStall {
+        sub: 0,
+        start_item: 0,
+        items: 150,
+        delay: Duration::from_millis(5),
+    });
+
+    // Phase 1 — no governor: with `Shed` policy the stall must be fully
+    // contained. The RX path and the inline sibling see the identical
+    // run; only the stalled sub's own drop counters move.
+    let mut stalled_rt = build();
+    retina_chaos::install(stalled_rt.nic(), &plan);
+    let stalled = stalled_rt.run(ChaosSource::new(
+        PreloadedSource::new(workload().to_vec()),
+        &plan,
+    ));
+    stalled_rt.nic().clear_fault_hooks();
+    stalled.check_accounting().unwrap();
+    let heavy = &stalled.subs[0];
+    assert!(
+        heavy.cb_dropped_full > 0,
+        "a 5 ms/item stall against 4-deep shedding rings must drop"
+    );
+    assert_eq!(
+        heavy.delivered,
+        heavy.cb_executed + heavy.cb_dropped_full + heavy.cb_dropped_disconnected,
+        "every heavy handoff attributed exactly once"
+    );
+    let light = &stalled.subs[1];
+    assert_eq!(
+        light.delivered, clean.subs[1].delivered,
+        "an inline sibling must be untouched by another sub's stall"
+    );
+    assert_eq!(light.cb_dropped_full, 0);
+    assert_eq!(light.delivered, light.cb_executed);
+
+    // Phase 2 — with a governor watching the dispatch hub: the queue
+    // pressure must reach it as the fourth shed input and its decision
+    // ledger must stay bounded (strict shed/restore alternation).
+    let mut governed_rt = build();
+    retina_chaos::install(governed_rt.nic(), &plan);
+    let governor = governed_rt.start_governor(GovernorConfig {
+        interval: Duration::from_millis(2),
+        // Only the dispatch-occupancy input may trigger: park the other
+        // thresholds out of reach.
+        mempool_high: 2.0,
+        ring_high: 2.0,
+        loss_tolerance: u64::MAX,
+        dispatch_high: 0.5,
+        ..GovernorConfig::default()
+    });
+    let governed = governed_rt.run(ChaosSource::new(
+        PreloadedSource::new(workload().to_vec()),
+        &plan,
+    ));
+    governed_rt.nic().clear_fault_hooks();
+    let gov = governor.stop();
+    governed.check_accounting().unwrap();
+    gov.check_accounting().unwrap();
+    assert!(
+        gov.shed_steps() > 0,
+        "queue pressure from the stalled worker must reach the governor"
     );
 }
 

@@ -127,7 +127,17 @@ fn all_four_exporters_round_trip_final_snapshot() {
         ],
     );
     let report = rt.run(PreloadedSource::new(packets));
+    // Force one synchronous sample after the run: the assertions below
+    // are then guaranteed at least one row per exporter without any
+    // dependence on wall-clock interval timing.
+    let final_sample = monitor.sample_now();
+    assert_eq!(final_sample.parse_failures, report.cores.parse_failures);
+    // Workers clock only the frames they saw; the last frame may have
+    // been hw-dropped, so the gauge can trail the ingest clock.
+    assert!(final_sample.sim_clock_ns <= report.sim_duration_ns);
+    assert!(final_sample.sim_clock_ns > 0);
     let samples = monitor.stop_with_snapshot(report.telemetry());
+    assert!(!samples.is_empty(), "sample_now must be collected");
     let snap = report.telemetry();
 
     // JSON: parses with the in-tree parser and round-trips counters,
@@ -174,17 +184,18 @@ fn all_four_exporters_round_trip_final_snapshot() {
         );
     }
 
-    // CSV: stable header, rows of matching arity (when any samples
-    // landed — interval is 2 ms, so there is normally at least one).
+    // CSV: stable header, rows of matching arity. At least one sample
+    // is guaranteed by the forced `sample_now` above.
     let csv = csv_buf.contents();
-    if !samples.is_empty() {
-        let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some(Sample::CSV_HEADER));
-        let n_cols = Sample::CSV_HEADER.split(',').count();
-        for row in lines {
-            assert_eq!(row.split(',').count(), n_cols, "{row}");
-        }
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some(Sample::CSV_HEADER));
+    let n_cols = Sample::CSV_HEADER.split(',').count();
+    let mut rows = 0;
+    for row in lines {
+        assert_eq!(row.split(',').count(), n_cols, "{row}");
+        rows += 1;
     }
+    assert_eq!(rows, samples.len());
 
     // Prometheus: every drop reason appears with its exact count.
     let prom = prom_buf.contents();
