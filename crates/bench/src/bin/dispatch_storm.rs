@@ -202,5 +202,6 @@ fn main() {
         ];
         ci::merge_section(path, "dispatch_storm", &metrics).expect("write json-out");
         println!("merged section dispatch_storm into {path}");
+        ci::print_gate_keys("dispatch_storm", &metrics);
     }
 }

@@ -242,5 +242,6 @@ fn main() {
             fail(&format!("writing {path}: {e}"));
         }
         println!("  metrics merged into {path}");
+        ci::print_gate_keys("governor_storm", &metrics);
     }
 }

@@ -206,5 +206,6 @@ fn main() {
             fail(&format!("writing {path}: {e}"));
         }
         println!("  metrics merged into {path}");
+        ci::print_gate_keys("telemetry_smoke", &metrics);
     }
 }

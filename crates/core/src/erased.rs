@@ -88,11 +88,14 @@ pub trait ErasedTracked: Send {
 /// callback.
 pub trait ErasedSink: Send {
     /// Delivers one boxed datum (must be the sink's concrete type).
-    fn deliver(&self, out: ErasedOutput);
+    /// `trace_id` is the originating flow's trace id (0 when the flow
+    /// is unsampled); queued sinks carry it across the dispatch ring so
+    /// worker-side tracepoints stay attributable to the flow.
+    fn deliver(&self, out: ErasedOutput, trace_id: u64);
     /// Packet-level fast path: builds the datum straight from the frame
     /// and delivers it, bypassing the tracker. Returns whether a datum
     /// was produced.
-    fn deliver_from_mbuf(&self, mbuf: &Mbuf) -> bool;
+    fn deliver_from_mbuf(&self, mbuf: &Mbuf, trace_id: u64) -> bool;
 }
 
 /// Wraps a concrete `Tracked` implementation behind [`ErasedTracked`],
@@ -244,14 +247,14 @@ struct TypedSink<S: Subscribable> {
 }
 
 impl<S: Subscribable> ErasedSink for TypedSink<S> {
-    fn deliver(&self, out: ErasedOutput) {
+    fn deliver(&self, out: ErasedOutput, _trace_id: u64) {
         let data = out
             .downcast::<S>()
             .expect("subscription output routed to a sink of another type");
         (self.callback)(*data);
     }
 
-    fn deliver_from_mbuf(&self, mbuf: &Mbuf) -> bool {
+    fn deliver_from_mbuf(&self, mbuf: &Mbuf, _trace_id: u64) -> bool {
         match S::from_mbuf(mbuf) {
             Some(data) => {
                 (self.callback)(data);
@@ -266,9 +269,9 @@ impl<S: Subscribable> ErasedSink for TypedSink<S> {
 struct NullSink;
 
 impl ErasedSink for NullSink {
-    fn deliver(&self, _out: ErasedOutput) {}
+    fn deliver(&self, _out: ErasedOutput, _trace_id: u64) {}
 
-    fn deliver_from_mbuf(&self, _mbuf: &Mbuf) -> bool {
+    fn deliver_from_mbuf(&self, _mbuf: &Mbuf, _trace_id: u64) -> bool {
         false
     }
 }
@@ -304,7 +307,7 @@ mod tests {
         tracked.on_terminate(&flow, &mut out);
         sub.invoke(out.pop().unwrap());
         for o in out {
-            sink.deliver(o);
+            sink.deliver(o, 0);
         }
     }
 
@@ -324,7 +327,7 @@ mod tests {
         sub.new_tracked(&t, 0).on_terminate(&flow, &mut out);
         sub.new_tracked(&t, 0).on_terminate(&flow, &mut out);
         assert_eq!(out.len(), 2);
-        sub.inline_sink().deliver(out.pop().unwrap());
+        sub.inline_sink().deliver(out.pop().unwrap(), 0);
         sub.invoke(out.pop().unwrap());
         assert_eq!(hits.load(Ordering::Relaxed), 2);
     }

@@ -34,7 +34,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use retina_support::sync::spsc;
-use retina_telemetry::{DispatchHub, DispatchStats};
+use retina_telemetry::{
+    trace::TraceDropCode, DispatchHub, DispatchStats, TraceKind, Tracer, TriggerReason,
+};
 
 use crate::erased::{ErasedOutput, ErasedSink, ErasedSubscription};
 
@@ -188,63 +190,131 @@ const WORKER_BURST: usize = 256;
 struct InlineSink {
     inner: Box<dyn ErasedSink>,
     stats: Arc<DispatchStats>,
+    tracer: Option<Arc<Tracer>>,
+    lane: usize,
+    sub_idx: u16,
+}
+
+impl InlineSink {
+    fn emit(&self, trace_id: u64, kind: TraceKind) {
+        if trace_id != 0 {
+            if let Some(t) = &self.tracer {
+                t.emit(self.lane, trace_id, kind, self.sub_idx, 0, 0);
+            }
+        }
+    }
 }
 
 impl ErasedSink for InlineSink {
-    fn deliver(&self, out: ErasedOutput) {
-        self.inner.deliver(out);
+    fn deliver(&self, out: ErasedOutput, trace_id: u64) {
+        self.emit(trace_id, TraceKind::CallbackStart);
+        self.inner.deliver(out, trace_id);
         self.stats.note_inline();
+        self.emit(trace_id, TraceKind::CallbackEnd);
     }
 
-    fn deliver_from_mbuf(&self, mbuf: &retina_nic::Mbuf) -> bool {
-        let produced = self.inner.deliver_from_mbuf(mbuf);
+    fn deliver_from_mbuf(&self, mbuf: &retina_nic::Mbuf, trace_id: u64) -> bool {
+        let produced = self.inner.deliver_from_mbuf(mbuf, trace_id);
         if produced {
             self.stats.note_inline();
+            // Start/end are emitted together after the fact: whether the
+            // frame yields a datum is only known once the fast path ran.
+            self.emit(trace_id, TraceKind::CallbackStart);
+            self.emit(trace_id, TraceKind::CallbackEnd);
         }
         produced
     }
 }
 
-/// The producer half of one (core, subscription) ring.
+/// The producer half of one (core, subscription) ring. Every item
+/// crosses the ring tagged with its flow trace id, so worker-side
+/// tracepoints reconstruct the cross-thread causal chain.
 struct QueuedSink {
-    tx: spsc::Producer<ErasedOutput>,
+    tx: spsc::Producer<(u64, ErasedOutput)>,
     stats: Arc<DispatchStats>,
     policy: QueuePolicy,
     sub: Arc<dyn ErasedSubscription>,
+    tracer: Option<Arc<Tracer>>,
+    lane: usize,
+    sub_idx: u16,
 }
 
 impl QueuedSink {
-    fn push(&self, out: ErasedOutput) {
+    fn note_enqueued(&self, trace_id: u64) {
+        self.stats.note_enqueued();
+        if trace_id != 0 {
+            if let Some(t) = &self.tracer {
+                t.emit(
+                    self.lane,
+                    trace_id,
+                    TraceKind::DispatchEnqueue,
+                    self.sub_idx,
+                    0,
+                    self.stats.depth(),
+                );
+            }
+        }
+    }
+
+    fn note_drop(&self, trace_id: u64, code: TraceDropCode) {
+        if let Some(t) = &self.tracer {
+            t.emit(
+                self.lane,
+                trace_id,
+                TraceKind::Drop,
+                self.sub_idx,
+                code as u64,
+                0,
+            );
+            if code == TraceDropCode::DispatchShed {
+                t.trigger(TriggerReason::DispatchShed, u64::from(self.sub_idx));
+            }
+        }
+    }
+
+    fn push(&self, out: ErasedOutput, trace_id: u64) {
         match self.policy {
-            QueuePolicy::Block => match self.tx.try_send(out) {
-                Ok(()) => self.stats.note_enqueued(),
-                Err(spsc::TrySendError::Disconnected(_)) => self.stats.note_dropped_disconnected(),
+            QueuePolicy::Block => match self.tx.try_send((trace_id, out)) {
+                Ok(()) => self.note_enqueued(trace_id),
+                Err(spsc::TrySendError::Disconnected(_)) => {
+                    self.stats.note_dropped_disconnected();
+                    self.note_drop(trace_id, TraceDropCode::WorkerDisconnected);
+                }
                 Err(spsc::TrySendError::Full(out)) => {
                     self.stats.note_blocked();
                     match self.tx.send(out) {
-                        Ok(()) => self.stats.note_enqueued(),
-                        Err(spsc::SendError(_)) => self.stats.note_dropped_disconnected(),
+                        Ok(()) => self.note_enqueued(trace_id),
+                        Err(spsc::SendError(_)) => {
+                            self.stats.note_dropped_disconnected();
+                            self.note_drop(trace_id, TraceDropCode::WorkerDisconnected);
+                        }
                     }
                 }
             },
-            QueuePolicy::Shed => match self.tx.try_send(out) {
-                Ok(()) => self.stats.note_enqueued(),
-                Err(spsc::TrySendError::Full(_)) => self.stats.note_dropped_full(),
-                Err(spsc::TrySendError::Disconnected(_)) => self.stats.note_dropped_disconnected(),
+            QueuePolicy::Shed => match self.tx.try_send((trace_id, out)) {
+                Ok(()) => self.note_enqueued(trace_id),
+                Err(spsc::TrySendError::Full(_)) => {
+                    self.stats.note_dropped_full();
+                    self.note_drop(trace_id, TraceDropCode::DispatchShed);
+                }
+                Err(spsc::TrySendError::Disconnected(_)) => {
+                    self.stats.note_dropped_disconnected();
+                    self.note_drop(trace_id, TraceDropCode::WorkerDisconnected);
+                }
             },
         }
     }
 }
 
 impl ErasedSink for QueuedSink {
-    fn deliver(&self, out: ErasedOutput) {
-        self.push(out);
+    fn deliver(&self, out: ErasedOutput, trace_id: u64) {
+        self.push(out, trace_id);
     }
 
-    fn deliver_from_mbuf(&self, mbuf: &retina_nic::Mbuf) -> bool {
+    fn deliver_from_mbuf(&self, mbuf: &retina_nic::Mbuf, trace_id: u64) -> bool {
         match self.sub.output_from_mbuf(mbuf) {
             Some(out) => {
-                self.push(out);
+                self.push(out, trace_id);
                 true
             }
             None => false,
@@ -256,7 +326,7 @@ impl ErasedSink for QueuedSink {
 /// subscription it belongs to.
 struct WorkerRing {
     sub: usize,
-    rx: spsc::Consumer<ErasedOutput>,
+    rx: spsc::Consumer<(u64, ErasedOutput)>,
 }
 
 /// Handle over the dispatch worker threads; joins once every producer
@@ -305,6 +375,7 @@ pub fn channel_dispatcher(
     shared_workers: usize,
     hub: &DispatchHub,
     delay: &CallbackDelayFn,
+    tracer: Option<&Arc<Tracer>>,
 ) -> (Vec<Vec<Box<dyn ErasedSink>>>, Dispatcher) {
     assert_eq!(
         subs.len(),
@@ -320,26 +391,33 @@ pub fn channel_dispatcher(
     for (i, sub) in subs.iter().enumerate() {
         let stats = hub.get(i);
         let mode = modes[i];
+        let sub_idx = u16::try_from(i).unwrap_or(u16::MAX);
         // Spec-only subscriptions have nothing to run on a worker;
         // keep them inline so delivery accounting is identical across
         // modes (their packet fast path must stay a no-op).
         if !mode.is_dispatched() || !sub.has_callback() {
-            for sinks in &mut per_core {
+            for (core, sinks) in per_core.iter_mut().enumerate() {
                 sinks.push(Box::new(InlineSink {
                     inner: sub.inline_sink(),
                     stats: Arc::clone(&stats),
+                    tracer: tracer.map(Arc::clone),
+                    lane: tracer.map_or(0, |t| t.rx_lane(core)),
+                    sub_idx,
                 }));
             }
             continue;
         }
         let mut rings = Vec::with_capacity(per_core.len());
-        for sinks in &mut per_core {
-            let (tx, rx) = spsc::ring::<ErasedOutput>(mode.depth());
+        for (core, sinks) in per_core.iter_mut().enumerate() {
+            let (tx, rx) = spsc::ring::<(u64, ErasedOutput)>(mode.depth());
             sinks.push(Box::new(QueuedSink {
                 tx,
                 stats: Arc::clone(&stats),
                 policy: mode.policy(),
                 sub: Arc::clone(sub),
+                tracer: tracer.map(Arc::clone),
+                lane: tracer.map_or(0, |t| t.rx_lane(core)),
+                sub_idx,
             }));
             rings.push(WorkerRing { sub: i, rx });
         }
@@ -349,6 +427,9 @@ pub fn channel_dispatcher(
         }
     }
 
+    // Worker lanes are assigned in spawn order: dedicated workers in
+    // subscription order, then the shared pool.
+    let mut worker_idx = 0usize;
     let mut handles = Vec::new();
     for (i, rings) in dedicated {
         handles.push(spawn_worker(
@@ -357,7 +438,9 @@ pub fn channel_dispatcher(
             subs,
             hub,
             delay,
+            tracer.map(|t| (Arc::clone(t), t.worker_lane(worker_idx))),
         ));
+        worker_idx += 1;
     }
     if !shared.is_empty() {
         let workers = shared_workers.max(1).min(shared.len());
@@ -372,7 +455,9 @@ pub fn channel_dispatcher(
                 subs,
                 hub,
                 delay,
+                tracer.map(|t| (Arc::clone(t), t.worker_lane(worker_idx))),
             ));
+            worker_idx += 1;
         }
     }
     (per_core, Dispatcher { handles })
@@ -386,6 +471,7 @@ fn spawn_worker(
     subs: &[Arc<dyn ErasedSubscription>],
     hub: &DispatchHub,
     delay: &CallbackDelayFn,
+    tracer: Option<(Arc<Tracer>, usize)>,
 ) -> std::thread::JoinHandle<u64> {
     let subs: Vec<Arc<dyn ErasedSubscription>> =
         rings.iter().map(|r| Arc::clone(&subs[r.sub])).collect();
@@ -400,6 +486,13 @@ fn spawn_worker(
             // thread, so its sequence is the subscription-global order.
             let mut seqs: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
             let mut done = vec![false; rings.len()];
+            let emit = |trace_id: u64, kind: TraceKind, sub: u16, b: u64| {
+                if trace_id != 0 {
+                    if let Some((t, lane)) = &tracer {
+                        t.emit(*lane, trace_id, kind, sub, 0, b);
+                    }
+                }
+            };
             loop {
                 let mut progress = false;
                 for (ri, ring) in rings.iter().enumerate() {
@@ -408,14 +501,22 @@ fn spawn_worker(
                     }
                     for _ in 0..WORKER_BURST {
                         match ring.rx.try_recv() {
-                            Ok(out) => {
+                            Ok((trace_id, out)) => {
                                 let seq = seqs.entry(ring.sub).or_insert(0);
                                 let sub16 = u16::try_from(ring.sub).unwrap_or(u16::MAX);
+                                emit(
+                                    trace_id,
+                                    TraceKind::DispatchDequeue,
+                                    sub16,
+                                    stats[ri].depth(),
+                                );
                                 if let Some(d) = delay(sub16, *seq) {
                                     std::thread::sleep(d);
                                 }
                                 *seq += 1;
+                                emit(trace_id, TraceKind::CallbackStart, sub16, 0);
                                 subs[ri].invoke(out);
+                                emit(trace_id, TraceKind::CallbackEnd, sub16, 0);
                                 stats[ri].note_executed();
                                 executed += 1;
                                 progress = true;
@@ -499,11 +600,12 @@ mod tests {
             1,
             &hub,
             &no_delay(),
+            None,
         );
         assert_eq!(dispatcher.worker_count(), 1);
         for core_sinks in &sinks {
             for _ in 0..50 {
-                core_sinks[0].deliver(one_output(&sub));
+                core_sinks[0].deliver(one_output(&sub), 0);
             }
         }
         sinks.clear(); // disconnect the rings
@@ -526,11 +628,12 @@ mod tests {
             2,
             &hub,
             &no_delay(),
+            None,
         );
         assert_eq!(dispatcher.worker_count(), 2);
         for _ in 0..30 {
-            sinks[0][0].deliver(one_output(&a));
-            sinks[0][1].deliver(one_output(&b));
+            sinks[0][0].deliver(one_output(&a), 0);
+            sinks[0][1].deliver(one_output(&b), 0);
         }
         sinks.clear();
         assert_eq!(dispatcher.join(), 60);
@@ -556,9 +659,10 @@ mod tests {
             1,
             &hub,
             &delay,
+            None,
         );
         for _ in 0..40 {
-            sinks[0][0].deliver(one_output(&sub));
+            sinks[0][0].deliver(one_output(&sub), 0);
         }
         sinks.clear();
         let executed = dispatcher.join();
@@ -574,10 +678,17 @@ mod tests {
         let sub = counted_sub(&count);
         let subs = vec![Arc::clone(&sub)];
         let hub = DispatchHub::new(&[0]);
-        let (sinks, dispatcher) =
-            channel_dispatcher(&subs, &[DispatchMode::Inline], 1, 1, &hub, &no_delay());
+        let (sinks, dispatcher) = channel_dispatcher(
+            &subs,
+            &[DispatchMode::Inline],
+            1,
+            1,
+            &hub,
+            &no_delay(),
+            None,
+        );
         assert_eq!(dispatcher.worker_count(), 0);
-        sinks[0][0].deliver(one_output(&sub));
+        sinks[0][0].deliver(one_output(&sub), 0);
         assert_eq!(count.load(Ordering::Relaxed), 1);
         assert_eq!(dispatcher.join(), 0);
         hub.snapshots()[0].check(1).unwrap();

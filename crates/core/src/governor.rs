@@ -35,10 +35,10 @@ use std::time::Duration;
 use retina_nic::VirtualNic;
 use retina_telemetry::{
     check_governor_accounting, DispatchHub, EventLog, GovernorAction, GovernorEvent,
-    PressureSignals,
+    PressureSignals, TriggerReason,
 };
 
-use crate::runtime::RuntimeGauges;
+use crate::runtime::{RuntimeGauges, TraceHandle};
 
 /// Shared shedding flags: written by the governor, read by the worker
 /// cores each burst. Lives outside the governor so a runtime can be
@@ -379,6 +379,29 @@ impl Governor {
         dispatch: Option<Arc<DispatchHub>>,
         config: GovernorConfig,
     ) -> Self {
+        Self::start_traced(
+            nic,
+            gauges,
+            shed,
+            dispatch,
+            config,
+            Arc::new(std::sync::RwLock::new(None)),
+        )
+    }
+
+    /// [`Governor::start`], plus a shared trace handle: whenever a shed
+    /// decision fires while a run has a tracer installed, the governor
+    /// freezes the flight recorder with a
+    /// [`TriggerReason::GovernorShed`] trigger so the events leading up
+    /// to the overload survive into the run's [`crate::RunReport`].
+    pub fn start_traced(
+        nic: Arc<VirtualNic>,
+        gauges: Arc<RuntimeGauges>,
+        shed: Arc<ShedState>,
+        dispatch: Option<Arc<DispatchHub>>,
+        config: GovernorConfig,
+        trace: TraceHandle,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let interval = config.interval;
@@ -411,6 +434,13 @@ impl Governor {
                 match event.action {
                     GovernorAction::ShedParsing | GovernorAction::RestoreParsing => {
                         shed.set_parsing_shed(event.parsing_shed);
+                        if event.action == GovernorAction::ShedParsing {
+                            if let Ok(guard) = trace.read() {
+                                if let Some(t) = guard.as_ref() {
+                                    t.trigger(TriggerReason::GovernorShed, event.interval);
+                                }
+                            }
+                        }
                     }
                     GovernorAction::SinkRaise | GovernorAction::SinkLower => {
                         nic.set_sink_fraction(event.sink_after);

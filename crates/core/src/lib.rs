@@ -78,7 +78,7 @@ pub use monitor::{Monitor, MonitorSample};
 pub use offline::run_offline;
 pub use runtime::{
     MultiRuntime, RunReport, Runtime, RuntimeBuilder, RuntimeError, RuntimeGauges, SubReport,
-    TrafficSource,
+    TraceHandle, TrafficSource,
 };
 pub use stats::{CoreStats, StageStats};
 pub use step::{StepConfig, WorkerStall};
@@ -93,5 +93,6 @@ pub use retina_telemetry as telemetry;
 pub use retina_telemetry::{
     CsvSink, DispatchHub, DispatchSnapshot, DispatchStats, DropBreakdown, DropReason, JsonSink,
     LogHistogram, LogSink, MetricSink, PrometheusSink, SharedBuf, StageSummary, TelemetrySnapshot,
+    TraceConfig, TraceReport, Tracer, TriggerReason,
 };
 pub use retina_wire::ParsedPacket;

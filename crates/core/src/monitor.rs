@@ -13,9 +13,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use retina_nic::{PortStatsSnapshot, VirtualNic};
-use retina_telemetry::{MetricSink, Sample, TelemetrySnapshot};
+use retina_telemetry::{DispatchHub, MetricSink, Sample, TelemetrySnapshot, TriggerReason};
 
-use crate::runtime::RuntimeGauges;
+use crate::runtime::{RuntimeGauges, TraceHandle};
 
 /// One monitoring sample.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +43,10 @@ pub struct MonitorSample {
     pub mbuf_high_water: usize,
     /// Simulation clock high-water mark (ns).
     pub sim_clock_ns: u64,
+    /// Items currently queued across every callback-dispatch ring
+    /// (0 unless the monitor watches a hub via
+    /// [`Monitor::watch_dispatch`]).
+    pub dispatch_depth: u64,
 }
 
 impl MonitorSample {
@@ -60,6 +64,7 @@ impl MonitorSample {
             mbufs_in_use: self.mbufs_in_use as u64,
             mbuf_high_water: self.mbuf_high_water as u64,
             sim_clock_ns: self.sim_clock_ns,
+            dispatch_depth: self.dispatch_depth,
         }
     }
 
@@ -87,6 +92,8 @@ struct Sampler {
     closure: Option<SampleClosure>,
     sinks: Vec<Box<dyn MetricSink>>,
     samples: Vec<MonitorSample>,
+    dispatch: Option<Arc<DispatchHub>>,
+    trace: Option<TraceHandle>,
 }
 
 impl Sampler {
@@ -110,7 +117,19 @@ impl Sampler {
             mbufs_in_use: self.nic.mempool().in_use(),
             mbuf_high_water: self.nic.mempool().high_water(),
             sim_clock_ns: self.gauges.sim_clock_ns(),
+            dispatch_depth: self.dispatch.as_ref().map_or(0, |hub| hub.total_depth()),
         };
+        // Drop-rate burst trigger: a single interval losing more frames
+        // than the tracer's threshold freezes the flight recorder.
+        if let Some(handle) = &self.trace {
+            if let Ok(guard) = handle.read() {
+                if let Some(t) = guard.as_ref() {
+                    if sample.lost > t.config().drop_burst_threshold {
+                        t.trigger(TriggerReason::DropBurst, sample.lost);
+                    }
+                }
+            }
+        }
         if let Some(f) = self.closure.as_mut() {
             f(&sample);
         }
@@ -198,6 +217,8 @@ impl Monitor {
             closure,
             sinks,
             samples: Vec::new(),
+            dispatch: None,
+            trace: None,
         }));
         let sampler2 = Arc::clone(&sampler);
         let handle = std::thread::spawn(move || {
@@ -214,6 +235,22 @@ impl Monitor {
             sampler,
             handle: Some(handle),
         }
+    }
+
+    /// Adds the runtime's dispatch hub as a sampling input: every
+    /// subsequent sample reports the total callback-queue depth
+    /// ([`MonitorSample::dispatch_depth`], exported as the
+    /// `dispatch_depth` time series).
+    pub fn watch_dispatch(&self, hub: Arc<DispatchHub>) {
+        self.sampler.lock().unwrap().dispatch = Some(hub);
+    }
+
+    /// Adds a runtime's trace handle as an anomaly source: whenever an
+    /// interval loses more frames than the installed tracer's
+    /// `drop_burst_threshold`, the monitor freezes the flight recorder
+    /// with a [`TriggerReason::DropBurst`] trigger.
+    pub fn watch_trace(&self, handle: TraceHandle) {
+        self.sampler.lock().unwrap().trace = Some(handle);
     }
 
     /// Takes one sample immediately on the calling thread, feeding the
@@ -270,6 +307,7 @@ mod tests {
             mbufs_in_use: 77,
             mbuf_high_water: 123,
             sim_clock_ns: 1,
+            dispatch_depth: 0,
         }
     }
 

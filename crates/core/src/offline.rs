@@ -80,7 +80,7 @@ fn deliver<S: Subscribable, F: FilterFns>(
     tracker: &mut ConnTracker<F>,
     callback: &mut impl FnMut(S),
 ) {
-    for (_idx, out) in tracker.take_outputs() {
+    for (_idx, _trace_id, out) in tracker.take_outputs() {
         tracker.stats.callbacks.runs += 1;
         let data = out
             .downcast::<S>()

@@ -45,7 +45,7 @@ use retina_nic::{PortStatsSnapshot, VirtualNic};
 use retina_support::bytes::Bytes;
 use retina_telemetry::{
     CounterId, DispatchHub, DropBreakdown, DropReason, GaugeId, GaugeMerge, Registry, StageSummary,
-    TelemetrySnapshot,
+    TelemetrySnapshot, TraceConfig, TraceKind, TraceReport, Tracer, TriggerReason,
 };
 use retina_wire::ParsedPacket;
 
@@ -57,6 +57,15 @@ use crate::stats::CoreStats;
 use crate::subscription::{Level, Subscribable};
 use crate::tracker::{ConnTracker, SubTally};
 use crate::util::rdtsc;
+
+/// Shared slot holding the in-flight run's tracer.
+///
+/// Empty between runs; [`MultiRuntime::run`] installs a fresh
+/// per-run [`Tracer`] at start and clears it at the end, so long-lived
+/// observers started before the run (a [`Governor`], a
+/// [`crate::Monitor`], a fault layer) can fire anomaly triggers against
+/// whichever run is currently in flight without holding a stale tracer.
+pub type TraceHandle = Arc<std::sync::RwLock<Option<Arc<Tracer>>>>;
 
 /// A source of timestamped frames for the virtual NIC (the "wire").
 ///
@@ -236,6 +245,14 @@ pub struct RunReport {
     /// hardware offload, redundant predicates. Empty when the filters are
     /// clean or the runtime was built without [`RuntimeBuilder`].
     pub filter_warnings: Vec<String>,
+    /// Per-flow trace artifact: the sampled span-tree session plus any
+    /// frozen flight-recorder dump. `None` unless tracing was enabled
+    /// via [`RuntimeBuilder::trace`] /
+    /// [`MultiRuntime::set_trace_config`]. Excluded from
+    /// [`RunReport::deterministic_digest`] (it has its own
+    /// mode-independent form,
+    /// [`retina_telemetry::FlowTrace::canonical_bytes`]).
+    pub trace: Option<TraceReport>,
 }
 
 impl RunReport {
@@ -505,6 +522,7 @@ pub struct RuntimeBuilder {
     sources: Vec<String>,
     subs: Vec<Arc<dyn ErasedSubscription>>,
     modes: Vec<Option<DispatchMode>>,
+    trace: Option<TraceConfig>,
 }
 
 impl RuntimeBuilder {
@@ -515,7 +533,17 @@ impl RuntimeBuilder {
             sources: Vec::new(),
             subs: Vec::new(),
             modes: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Enables sampled per-flow causal tracing and the always-on
+    /// anomaly flight recorder for every run of the built runtime (see
+    /// [`retina_telemetry::trace`]).
+    #[must_use]
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
     }
 
     /// Registers a subscription: deliver traffic matching `filter` as
@@ -624,6 +652,9 @@ impl RuntimeBuilder {
                 rt.set_dispatch_mode(i, mode);
             }
         }
+        if let Some(tc) = self.trace {
+            rt.set_trace_config(tc);
+        }
         Ok(rt)
     }
 }
@@ -640,6 +671,8 @@ pub struct MultiRuntime<F: FilterFns + 'static> {
     shed: Arc<ShedState>,
     hub: Arc<DispatchHub>,
     filter_warnings: Vec<String>,
+    pub(crate) trace_config: Option<TraceConfig>,
+    trace_handle: TraceHandle,
 }
 
 impl<F: FilterFns + 'static> MultiRuntime<F> {
@@ -697,7 +730,25 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             shed: Arc::new(ShedState::new()),
             hub,
             filter_warnings: Vec::new(),
+            trace_config: None,
+            trace_handle: Arc::new(std::sync::RwLock::new(None)),
         })
+    }
+
+    /// Enables (or reconfigures) per-flow tracing for subsequent runs.
+    /// Every [`MultiRuntime::run`] / [`MultiRuntime::run_stepped`] then
+    /// builds a fresh [`Tracer`] and attaches its [`TraceReport`] to the
+    /// returned [`RunReport`].
+    pub fn set_trace_config(&mut self, config: TraceConfig) {
+        self.trace_config = Some(config);
+    }
+
+    /// Shared slot holding the live run's tracer (empty between runs).
+    /// Long-lived observers — the governor, the monitor — keep this
+    /// handle and fire flight-recorder triggers through whichever tracer
+    /// is installed when an anomaly hits.
+    pub fn trace_handle(&self) -> TraceHandle {
+        Arc::clone(&self.trace_handle)
     }
 
     /// Sets subscription `i`'s callback execution model (effective at
@@ -747,12 +798,13 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
     /// (or during) [`MultiRuntime::run`]; stop it after the run to
     /// collect the decision stream.
     pub fn start_governor(&self, config: GovernorConfig) -> Governor {
-        Governor::start(
+        Governor::start_traced(
             Arc::clone(&self.nic),
             Arc::clone(&self.gauges),
             Arc::clone(&self.shed),
             Some(Arc::clone(&self.hub)),
             config,
+            Arc::clone(&self.trace_handle),
         )
     }
 
@@ -761,6 +813,24 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
     pub fn run(&mut self, source: impl TrafficSource + 'static) -> RunReport {
         let ingest_done = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
+
+        // Fresh tracer per run (lanes are sized for this run's core and
+        // worker counts). Installed in the shared handle so long-lived
+        // observers (governor, monitor) can fire triggers into it.
+        let tracer = self.trace_config.clone().map(|tc| {
+            let clock: Arc<dyn Fn() -> u64 + Send + Sync> =
+                Arc::new(move || start.elapsed().as_nanos() as u64);
+            Arc::new(Tracer::new(
+                tc,
+                self.config.cores.max(1) as usize,
+                self.subs.len() + self.config.shared_workers.max(1),
+                clock,
+            ))
+        });
+        if let Some(t) = &tracer {
+            *self.trace_handle.write().unwrap() = Some(Arc::clone(t));
+            self.nic.set_tracer(Arc::clone(t));
+        }
 
         // Ingest thread: the wire feeding the NIC.
         let ingest = {
@@ -818,6 +888,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             self.config.shared_workers,
             &self.hub,
             &delay,
+            tracer.as_ref(),
         );
 
         // Which subscriptions take the packet-level fast path (callback
@@ -833,6 +904,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
         // (SPSC producers must never be shared between cores).
         let mut workers = Vec::new();
         for (core, sinks) in per_core_sinks.into_iter().enumerate() {
+            let core_trace = tracer.as_ref().map(|t| (Arc::clone(t), t.rx_lane(core)));
             let core = core as u16;
             let nic = Arc::clone(&self.nic);
             let filter = Arc::clone(&self.filter);
@@ -853,6 +925,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                     &gauges,
                     &shed,
                     &config,
+                    core_trace.as_ref(),
                 )
             }));
         }
@@ -889,7 +962,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             .collect();
         let mbuf_high_water = self.nic.mempool().high_water();
         self.gauges.note_mbuf_high_water(mbuf_high_water);
-        RunReport {
+        let mut report = RunReport {
             elapsed: start.elapsed(),
             nic: self.nic.stats(),
             cores,
@@ -897,7 +970,17 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             sim_duration_ns,
             mbuf_high_water,
             filter_warnings: self.filter_warnings.clone(),
+            trace: None,
+        };
+        if let Some(t) = &tracer {
+            if report.check_accounting().is_err() {
+                t.trigger(TriggerReason::AccountingFailure, 0);
+            }
+            report.trace = Some(t.report());
+            self.nic.clear_tracer();
+            *self.trace_handle.write().unwrap() = None;
         }
+        report
     }
 }
 
@@ -974,6 +1057,7 @@ fn worker_loop<F: FilterFns>(
     gauges: &RuntimeGauges,
     shed: &ShedState,
     config: &RuntimeConfig,
+    trace: Option<&(Arc<Tracer>, usize)>,
 ) -> (CoreStats, Vec<SubTally>) {
     let mut tracker: ConnTracker<F> = ConnTracker::with_registry(
         Arc::clone(filter),
@@ -983,6 +1067,9 @@ fn worker_loop<F: FilterFns>(
         config.profile_stages,
         config.parsers.clone(),
     );
+    if let Some((t, lane)) = trace {
+        tracker.set_tracer(Arc::clone(t), *lane);
+    }
     let mut burst = Vec::with_capacity(config.burst);
     let mut max_ts = 0u64;
     let mut since_advance = 0usize;
@@ -990,10 +1077,10 @@ fn worker_loop<F: FilterFns>(
 
     // Shared per-delivery bookkeeping: count the callback and time it.
     macro_rules! deliver {
-        ($idx:expr, $out:expr) => {{
+        ($idx:expr, $tid:expr, $out:expr) => {{
             let tc = profile.then(rdtsc);
             tracker.stats.callbacks.runs += 1;
-            sinks[$idx].deliver($out);
+            sinks[$idx].deliver($out, $tid);
             if let Some(t) = tc {
                 tracker
                     .stats
@@ -1055,6 +1142,28 @@ fn worker_loop<F: FilterFns>(
                     .packet_filter
                     .record_cycles(rdtsc().wrapping_sub(t));
             }
+            let tid = match trace {
+                Some((t, lane)) => {
+                    // The NIC stamped the symmetric RSS hash on the
+                    // mbuf; the sampling decision is one finalizer.
+                    let tid = t.sample_flow(mbuf.rss_hash);
+                    if tid != 0 {
+                        t.emit(
+                            *lane,
+                            tid,
+                            TraceKind::PacketVerdict,
+                            0,
+                            verdict.matched.bits(),
+                            verdict.live.bits(),
+                        );
+                        for f in verdict.frontiers.iter() {
+                            t.emit(*lane, tid, TraceKind::FilterNode, 0, u64::from(f), 0);
+                        }
+                    }
+                    tid
+                }
+                None => 0,
+            };
             if verdict.is_no_match() {
                 continue;
             }
@@ -1065,7 +1174,7 @@ fn worker_loop<F: FilterFns>(
             let bypass = verdict.matched & packet_mask;
             for i in bypass.iter() {
                 let tc = profile.then(rdtsc);
-                if sinks[i].deliver_from_mbuf(&mbuf) {
+                if sinks[i].deliver_from_mbuf(&mbuf, tid) {
                     tracker.stats.callbacks.runs += 1;
                     tracker.sub_tallies[i].delivered += 1;
                     if let Some(t) = tc {
@@ -1086,16 +1195,16 @@ fn worker_loop<F: FilterFns>(
                 continue;
             }
             tracker.process(&mbuf, &pkt, verdict);
-            for (idx, out) in tracker.take_outputs() {
-                deliver!(idx as usize, out);
+            for (idx, tid, out) in tracker.take_outputs() {
+                deliver!(idx as usize, tid, out);
             }
         }
         since_advance += 1;
         if since_advance >= 64 {
             since_advance = 0;
             tracker.advance(max_ts);
-            for (idx, out) in tracker.take_outputs() {
-                deliver!(idx as usize, out);
+            for (idx, tid, out) in tracker.take_outputs() {
+                deliver!(idx as usize, tid, out);
             }
             gauges.worker_update(
                 core as usize,
@@ -1109,8 +1218,8 @@ fn worker_loop<F: FilterFns>(
 
     // Drain still-open connections at end of input.
     tracker.drain();
-    for (idx, out) in tracker.take_outputs() {
-        deliver!(idx as usize, out);
+    for (idx, tid, out) in tracker.take_outputs() {
+        deliver!(idx as usize, tid, out);
     }
     gauges.worker_update(core as usize, &tracker.stats, 0, 0, max_ts);
     (tracker.stats, tracker.sub_tallies)

@@ -41,10 +41,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use retina_filter::{FilterFns, PacketVerdict, SubscriptionSet};
-use retina_nic::{Mbuf, PortStatsSnapshot};
+use retina_nic::{Mbuf, PortStatsSnapshot, RssHasher};
 use retina_support::bytes::Bytes;
 use retina_support::rand::{RngExt, SeedableRng, SmallRng};
-use retina_telemetry::{DispatchSnapshot, DispatchStats};
+use retina_telemetry::trace::{TraceDropCode, TraceHwAction};
+use retina_telemetry::{DispatchSnapshot, DispatchStats, TraceKind, Tracer, TriggerReason};
 use retina_wire::ParsedPacket;
 
 use crate::erased::{ErasedOutput, ErasedSink};
@@ -160,6 +161,9 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             self.config.parsers.clone(),
         );
         let shed = self.shed_state();
+        // Same fixed symmetric key the virtual NIC installs: stepped
+        // mbufs carry the hash a threaded ingest would have stamped.
+        let hasher = RssHasher::symmetric();
 
         let mut packet_mask = SubscriptionSet::empty();
         for (i, sub) in subs.iter().enumerate() {
@@ -188,16 +192,29 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             .map(|&c| DispatchStats::with_capacity(c as u64))
             .collect();
         let sinks: Vec<Box<dyn ErasedSink>> = subs.iter().map(|s| s.inline_sink()).collect();
-        let mut queues: Vec<VecDeque<ErasedOutput>> =
+        let mut queues: Vec<VecDeque<(u64, ErasedOutput)>> =
             caps.iter().map(|&c| VecDeque::with_capacity(c)).collect();
         // The blocked-RX holding buffer: results a real RX core would be
         // spinning on in a blocking SPSC send. FIFO flush order is the
         // blocked-send order; while non-empty the RX actor reads nothing.
-        let mut pending: VecDeque<(usize, ErasedOutput)> = VecDeque::new();
+        let mut pending: VecDeque<(usize, u64, ErasedOutput)> = VecDeque::new();
 
         let worker_subs: Vec<usize> = (0..n).filter(|&i| dispatched[i]).collect();
         let n_actors = 1 + worker_subs.len();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // Virtual-clock tracer: lane layout mirrors the threaded run
+        // (ingest, one RX core, one lane per virtual worker), timestamps
+        // are the step counter, so a (frames, config) pair fully
+        // determines every recorded event.
+        let tracer = self
+            .trace_config
+            .clone()
+            .map(|tc| Arc::new(Tracer::new_virtual(tc, 1, worker_subs.len().max(1))));
+        if let Some(t) = &tracer {
+            tracker.set_tracer(Arc::clone(t), t.rx_lane(0));
+        }
+        let mut chaos_fired = false;
 
         let mut next_pkt = 0usize;
         let mut drained = false;
@@ -208,13 +225,17 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
         macro_rules! flush_pending {
             () => {{
                 let mut moved = false;
-                while let Some(&(i, _)) = pending.front().as_deref() {
+                while let Some(&(i, _, _)) = pending.front() {
                     if queues[i].len() >= caps[i] {
                         break;
                     }
-                    let (_, out) = pending.pop_front().expect("front checked above");
-                    queues[i].push_back(out);
+                    let (_, tid, out) = pending.pop_front().expect("front checked above");
+                    queues[i].push_back((tid, out));
                     stats[i].note_enqueued();
+                    // No tracepoint here: the enqueue was already
+                    // recorded when the send parked (see `route!`), in
+                    // the same order a blocking threaded send commits.
+                    let _ = tid;
                     moved = true;
                 }
                 moved
@@ -223,28 +244,83 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
 
         // One handoff to the delivery layer: count the callback stage,
         // then run inline / enqueue / park / shed per the sub's mode —
-        // the single-threaded mirror of InlineSink/QueuedSink.
+        // the single-threaded mirror of InlineSink/QueuedSink (tracepoint
+        // order included).
         macro_rules! route {
-            ($idx:expr, $out:expr) => {{
+            ($idx:expr, $tid:expr, $out:expr) => {{
                 let i: usize = $idx;
+                let tid: u64 = $tid;
                 let out: ErasedOutput = $out;
                 tracker.stats.callbacks.runs += 1;
                 if dispatched[i] {
                     if queues[i].len() < caps[i] {
-                        queues[i].push_back(out);
+                        queues[i].push_back((tid, out));
                         stats[i].note_enqueued();
+                        if tid != 0 {
+                            if let Some(t) = &tracer {
+                                t.emit(
+                                    t.rx_lane(0),
+                                    tid,
+                                    TraceKind::DispatchEnqueue,
+                                    i as u16,
+                                    0,
+                                    stats[i].depth(),
+                                );
+                            }
+                        }
                     } else {
                         match self.modes[i].policy() {
-                            QueuePolicy::Shed => stats[i].note_dropped_full(),
+                            QueuePolicy::Shed => {
+                                stats[i].note_dropped_full();
+                                if let Some(t) = &tracer {
+                                    t.emit(
+                                        t.rx_lane(0),
+                                        tid,
+                                        TraceKind::Drop,
+                                        i as u16,
+                                        TraceDropCode::DispatchShed as u64,
+                                        0,
+                                    );
+                                    t.trigger(TriggerReason::DispatchShed, i as u64);
+                                }
+                            }
                             QueuePolicy::Block => {
                                 stats[i].note_blocked();
-                                pending.push_back((i, out));
+                                // Emit the enqueue tracepoint now, not
+                                // at flush: a threaded RX core blocks
+                                // inside the send, so its enqueue
+                                // events land in route order — the
+                                // parked send's order — never in
+                                // flush order.
+                                if tid != 0 {
+                                    if let Some(t) = &tracer {
+                                        t.emit(
+                                            t.rx_lane(0),
+                                            tid,
+                                            TraceKind::DispatchEnqueue,
+                                            i as u16,
+                                            0,
+                                            stats[i].depth(),
+                                        );
+                                    }
+                                }
+                                pending.push_back((i, tid, out));
                             }
                         }
                     }
                 } else {
-                    sinks[i].deliver(out);
+                    if tid != 0 {
+                        if let Some(t) = &tracer {
+                            t.emit(t.rx_lane(0), tid, TraceKind::CallbackStart, i as u16, 0, 0);
+                        }
+                    }
+                    sinks[i].deliver(out, tid);
                     stats[i].note_inline();
+                    if tid != 0 {
+                        if let Some(t) = &tracer {
+                            t.emit(t.rx_lane(0), tid, TraceKind::CallbackEnd, i as u16, 0, 0);
+                        }
+                    }
                 }
             }};
         }
@@ -258,6 +334,9 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                 break;
             }
             step += 1;
+            if let Some(t) = &tracer {
+                t.set_virtual_time(step);
+            }
             let choice = rng.random_range(0..n_actors);
             let mut progressed = false;
             // Try the scheduled actor first; fall back through the rest
@@ -274,7 +353,8 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                         if next_pkt < packets.len() {
                             tracker.set_shed_parsing(shed.parsing_shed());
                             let end = (next_pkt + cfg.rx_batch.max(1)).min(packets.len());
-                            for (frame, ts) in &packets[next_pkt..end] {
+                            for (off, (frame, ts)) in packets[next_pkt..end].iter().enumerate() {
+                                let seq = (next_pkt + off) as u64;
                                 let mut mbuf = Mbuf::from_bytes(frame.clone());
                                 mbuf.timestamp_ns = *ts;
                                 tracker.stats.rx_packets += 1;
@@ -284,8 +364,65 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                                     tracker.stats.parse_failures += 1;
                                     continue;
                                 };
+                                // Stamp the same symmetric RSS hash the
+                                // virtual NIC would have: flow sampling
+                                // derives trace ids from it, so stepped
+                                // runs must sample the exact flows a
+                                // threaded run samples.
+                                mbuf.rss_hash = hasher.hash_packet(&pkt);
+                                // Ingest-lane mirror of the virtual NIC:
+                                // one Rx and one HwVerdict (RSS, queue 0
+                                // — a stepped run has a single RX core
+                                // and no hardware rules in front of it).
+                                let tid = match &tracer {
+                                    Some(t) => {
+                                        let tid = t.sample_flow(mbuf.rss_hash);
+                                        if tid != 0 {
+                                            t.emit(
+                                                t.ingest_lane(),
+                                                tid,
+                                                TraceKind::Rx,
+                                                0,
+                                                mbuf.len() as u64,
+                                                seq,
+                                            );
+                                            t.emit(
+                                                t.ingest_lane(),
+                                                tid,
+                                                TraceKind::HwVerdict,
+                                                0,
+                                                TraceHwAction::Rss as u64,
+                                                0,
+                                            );
+                                        }
+                                        tid
+                                    }
+                                    None => 0,
+                                };
                                 let verdict = self.filter.packet_filter_set(&pkt);
                                 tracker.stats.packet_filter.runs += 1;
+                                if tid != 0 {
+                                    if let Some(t) = &tracer {
+                                        t.emit(
+                                            t.rx_lane(0),
+                                            tid,
+                                            TraceKind::PacketVerdict,
+                                            0,
+                                            verdict.matched.bits(),
+                                            verdict.live.bits(),
+                                        );
+                                        for f in verdict.frontiers.iter() {
+                                            t.emit(
+                                                t.rx_lane(0),
+                                                tid,
+                                                TraceKind::FilterNode,
+                                                0,
+                                                u64::from(f),
+                                                0,
+                                            );
+                                        }
+                                    }
+                                }
                                 if verdict.is_no_match() {
                                     continue;
                                 }
@@ -299,7 +436,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                                     }
                                     if let Some(out) = subs[i].output_from_mbuf(&mbuf) {
                                         tracker.sub_tallies[i].delivered += 1;
-                                        route!(i, out);
+                                        route!(i, tid, out);
                                     }
                                 }
                                 let verdict = PacketVerdict {
@@ -311,8 +448,8 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                                     continue;
                                 }
                                 tracker.process(&mbuf, &pkt, verdict);
-                                for (idx, out) in tracker.take_outputs() {
-                                    route!(idx as usize, out);
+                                for (idx, tid, out) in tracker.take_outputs() {
+                                    route!(idx as usize, tid, out);
                                 }
                             }
                             next_pkt = end;
@@ -320,15 +457,15 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                             if since_advance >= cfg.advance_every.max(1) {
                                 since_advance = 0;
                                 tracker.advance(max_ts);
-                                for (idx, out) in tracker.take_outputs() {
-                                    route!(idx as usize, out);
+                                for (idx, tid, out) in tracker.take_outputs() {
+                                    route!(idx as usize, tid, out);
                                 }
                             }
                             p = true;
                         } else if !drained {
                             tracker.drain();
-                            for (idx, out) in tracker.take_outputs() {
-                                route!(idx as usize, out);
+                            for (idx, tid, out) in tracker.take_outputs() {
+                                route!(idx as usize, tid, out);
                             }
                             drained = true;
                             p = true;
@@ -339,13 +476,55 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                     // Virtual worker for one dispatched subscription.
                     let i = worker_subs[actor - 1];
                     if stall_blocks(cfg.stall.as_ref(), i, step) {
+                        // First activation of the fault window freezes
+                        // the flight recorder, exactly as the chaos
+                        // layer's fault hook does in a threaded run.
+                        if !chaos_fired {
+                            chaos_fired = true;
+                            if let Some(t) = &tracer {
+                                t.trigger(TriggerReason::ChaosFault, i as u64);
+                            }
+                        }
                         false
                     } else {
+                        let lane = tracer.as_ref().map(|t| t.worker_lane(actor - 1));
                         let mut popped = false;
                         for _ in 0..cfg.worker_batch.max(1) {
                             match queues[i].pop_front() {
-                                Some(out) => {
+                                Some((tid, out)) => {
+                                    if tid != 0 {
+                                        if let (Some(t), Some(lane)) = (&tracer, lane) {
+                                            t.emit(
+                                                lane,
+                                                tid,
+                                                TraceKind::DispatchDequeue,
+                                                i as u16,
+                                                0,
+                                                stats[i].depth(),
+                                            );
+                                            t.emit(
+                                                lane,
+                                                tid,
+                                                TraceKind::CallbackStart,
+                                                i as u16,
+                                                0,
+                                                0,
+                                            );
+                                        }
+                                    }
                                     subs[i].invoke(out);
+                                    if tid != 0 {
+                                        if let (Some(t), Some(lane)) = (&tracer, lane) {
+                                            t.emit(
+                                                lane,
+                                                tid,
+                                                TraceKind::CallbackEnd,
+                                                i as u16,
+                                                0,
+                                                0,
+                                            );
+                                        }
+                                    }
                                     stats[i].note_executed();
                                     popped = true;
                                 }
@@ -399,7 +578,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                 queue_capacity: d.capacity,
             })
             .collect();
-        RunReport {
+        let mut report = RunReport {
             // Virtual time: wall-clock metrics are meaningless here.
             elapsed: Duration::ZERO,
             nic,
@@ -408,7 +587,15 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             sim_duration_ns: max_ts,
             mbuf_high_water: 0,
             filter_warnings: self.filter_warnings().to_vec(),
+            trace: None,
+        };
+        if let Some(t) = &tracer {
+            if report.check_accounting().is_err() {
+                t.trigger(TriggerReason::AccountingFailure, 0);
+            }
+            report.trace = Some(t.report());
         }
+        report
     }
 }
 

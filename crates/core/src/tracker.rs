@@ -40,6 +40,7 @@ use retina_nic::Mbuf;
 use retina_protocols::{
     ConnParser, Direction, ParseResult, ParserRegistry, ProbeResult, SessionState,
 };
+use retina_telemetry::{trace::TraceConnEnd, TraceKind, Tracer};
 use retina_wire::ParsedPacket;
 
 use crate::erased::{ErasedOutput, ErasedSubscription, ErasedTracked, TypedSubscription};
@@ -97,6 +98,9 @@ struct Conn {
     done_any: bool,
     /// Probed service name (set on protocol identification).
     service: Option<&'static str>,
+    /// Flow trace id (0 = unsampled), fixed at insert time and carried
+    /// to every tracepoint and delivery this connection produces.
+    trace_id: u64,
 }
 
 impl Conn {
@@ -163,15 +167,25 @@ struct Ctx<'a, F: FilterFns> {
     filter: &'a Arc<F>,
     stats: &'a mut CoreStats,
     tallies: &'a mut [SubTally],
-    outputs: &'a mut Vec<(u32, ErasedOutput)>,
+    outputs: &'a mut Vec<(u32, u64, ErasedOutput)>,
     session_mask: SubscriptionSet,
     stream_mask: SubscriptionSet,
     post_mask: SubscriptionSet,
     profile: bool,
     shed_parsing: bool,
+    tracer: Option<&'a (Arc<Tracer>, usize)>,
 }
 
 impl<F: FilterFns> Ctx<'_, F> {
+    /// Records a tracepoint for a sampled connection (no-op otherwise).
+    fn trace(&self, conn: &Conn, kind: TraceKind, a: u64, b: u64) {
+        if conn.trace_id != 0 {
+            if let Some((t, lane)) = self.tracer {
+                t.emit(*lane, conn.trace_id, kind, 0, a, b);
+            }
+        }
+    }
+
     /// Delivers `on_match` for subscription `i` and tags its outputs.
     fn emit_match(
         &mut self,
@@ -185,7 +199,7 @@ impl<F: FilterFns> Ctx<'_, F> {
             t.on_match(service, session, &conn.flow, &mut tmp);
         }
         for o in tmp {
-            self.outputs.push((i as u32, o));
+            self.outputs.push((i as u32, conn.trace_id, o));
             self.tallies[i].delivered += 1;
         }
     }
@@ -251,6 +265,12 @@ impl<F: FilterFns> Ctx<'_, F> {
         let v = self
             .filter
             .conn_filter_set(Some(service), &conn.frontiers, conn.live);
+        self.trace(
+            conn,
+            TraceKind::ConnVerdict,
+            v.matched.bits(),
+            v.live.bits(),
+        );
         let dying = conn.live - (v.matched | v.live);
         for i in dying.iter() {
             self.kill_sub(conn, i);
@@ -431,6 +451,12 @@ impl<F: FilterFns> Ctx<'_, F> {
                             .session_filter
                             .record_cycles(rdtsc().wrapping_sub(t));
                     }
+                    self.trace(
+                        conn,
+                        TraceKind::SessionVerdict,
+                        hits.bits(),
+                        conn.live.bits(),
+                    );
                     // Matched session-level subscriptions receive every
                     // session the protocol produces.
                     let sess_matched = conn.matched & self.session_mask;
@@ -502,7 +528,9 @@ pub struct ConnTracker<F: FilterFns> {
     pub stats: CoreStats,
     /// Per-subscription delivery/discard tallies for this core.
     pub sub_tallies: Vec<SubTally>,
-    outputs: Vec<(u32, ErasedOutput)>,
+    outputs: Vec<(u32, u64, ErasedOutput)>,
+    /// Tracepoint sink plus the lane (RX core) this tracker writes on.
+    tracer: Option<(Arc<Tracer>, usize)>,
     /// Recently-closed connections (TIME_WAIT analogue): trailing packets
     /// of a removed connection (e.g. the final ACK after FIN/FIN, or the
     /// encrypted tail after a delivered TLS handshake) must not recreate
@@ -610,9 +638,16 @@ impl<F: FilterFns> ConnTracker<F> {
             stats: CoreStats::default(),
             sub_tallies: vec![SubTally::default(); specs.len()],
             outputs: Vec::new(),
+            tracer: None,
             closed: HashMap::new(),
             subs: specs,
         }
+    }
+
+    /// Attaches a tracer; `lane` is the RX lane this tracker's core
+    /// writes tracepoints on.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>, lane: usize) {
+        self.tracer = Some((tracer, lane));
     }
 
     /// Number of connections currently tracked (Figure 8's metric).
@@ -621,8 +656,9 @@ impl<F: FilterFns> ConnTracker<F> {
     }
 
     /// Takes the subscription data produced since the last call, each
-    /// tagged with its subscription index.
-    pub fn take_outputs(&mut self) -> Vec<(u32, ErasedOutput)> {
+    /// tagged with its subscription index and the originating flow's
+    /// trace id (0 = unsampled).
+    pub fn take_outputs(&mut self) -> Vec<(u32, u64, ErasedOutput)> {
         std::mem::take(&mut self.outputs)
     }
 
@@ -760,6 +796,18 @@ impl<F: FilterFns> ConnTracker<F> {
                 self.stats.conns_discarded += 1;
                 self.stats.discard_conn_filter += 1;
             }
+            // The flow trace id is fixed at insert: derived from the
+            // symmetric RSS hash on the mbuf, so both directions (and
+            // every execution mode) derive the same id.
+            let trace_id = self
+                .tracer
+                .as_ref()
+                .map_or(0, |(t, _)| t.sample_flow(mbuf.rss_hash));
+            if let Some((t, lane)) = &self.tracer {
+                // Lifecycle events are recorded for every flow (the
+                // flight recorder wants them), not just sampled ones.
+                t.emit(*lane, trace_id, TraceKind::ConnInsert, 0, 0, 0);
+            }
             let mut conn = Conn {
                 flow: TcpFlow::new(now, self.ooo_capacity),
                 tracked,
@@ -770,6 +818,7 @@ impl<F: FilterFns> ConnTracker<F> {
                 want_parse,
                 done_any: false,
                 service: None,
+                trace_id,
             };
             // Filter fully decided at the packet layer for these
             // subscriptions: emit whatever they have ready (Figure 4a's
@@ -780,7 +829,7 @@ impl<F: FilterFns> ConnTracker<F> {
                     t.on_match(None, None, &conn.flow, &mut tmp);
                 }
                 for o in tmp {
-                    self.outputs.push((i as u32, o));
+                    self.outputs.push((i as u32, trace_id, o));
                     self.sub_tallies[i].delivered += 1;
                 }
             }
@@ -793,6 +842,15 @@ impl<F: FilterFns> ConnTracker<F> {
         };
         entry.last_seen_ns = now;
         let conn = &mut entry.value;
+        if conn.trace_id != 0 {
+            if let Some((t, lane)) = &self.tracer {
+                let d = match dir {
+                    Dir::OrigToResp => 0,
+                    Dir::RespToOrig => 1,
+                };
+                t.emit(*lane, conn.trace_id, TraceKind::ConnUpdate, 0, d, 0);
+            }
+        }
         let mut ctx = Ctx {
             filter: &self.filter,
             stats: &mut self.stats,
@@ -803,6 +861,7 @@ impl<F: FilterFns> ConnTracker<F> {
             post_mask: self.post_mask,
             profile: self.profile,
             shed_parsing: self.shed_parsing,
+            tracer: self.tracer.as_ref(),
         };
         // Decide whether reconstructed bytes are still needed *before*
         // updating the flow: Track/Dropped connections get counting-only
@@ -826,7 +885,7 @@ impl<F: FilterFns> ConnTracker<F> {
                         t.post_match(mbuf, pkt, &mut tmp);
                     }
                     for o in tmp {
-                        ctx.outputs.push((i as u32, o));
+                        ctx.outputs.push((i as u32, conn.trace_id, o));
                         ctx.tallies[i].delivered += 1;
                     }
                 }
@@ -891,7 +950,18 @@ impl<F: FilterFns> ConnTracker<F> {
             // TLS handshake delivered): remove mid-stream (§5.2).
             // Counted within conns_discarded (early removal) but
             // attributed separately — this is a win, not a rejection.
-            self.table.remove(&key);
+            if let Some(removed) = self.table.remove(&key) {
+                if let Some((t, lane)) = &self.tracer {
+                    t.emit(
+                        *lane,
+                        removed.value.trace_id,
+                        TraceKind::ConnExpire,
+                        0,
+                        TraceConnEnd::CompletedEarly as u64,
+                        0,
+                    );
+                }
+            }
             self.closed.insert(key, now);
             self.stats.conns_discarded += 1;
             self.stats.conns_completed_early += 1;
@@ -923,6 +993,18 @@ impl<F: FilterFns> ConnTracker<F> {
                 let hits = self
                     .filter
                     .session_filter_set(session, &conn.frontiers, conn.live);
+                if conn.trace_id != 0 {
+                    if let Some((t, lane)) = &self.tracer {
+                        t.emit(
+                            *lane,
+                            conn.trace_id,
+                            TraceKind::SessionVerdict,
+                            0,
+                            hits.bits(),
+                            conn.live.bits(),
+                        );
+                    }
+                }
                 let sess_matched = conn.matched & self.session_mask;
                 for i in sess_matched.iter() {
                     self.deliver_match(&mut conn, i, service, session);
@@ -940,7 +1022,7 @@ impl<F: FilterFns> ConnTracker<F> {
                 t.on_terminate(&conn.flow, &mut tmp);
             }
             for o in tmp {
-                self.outputs.push((i as u32, o));
+                self.outputs.push((i as u32, conn.trace_id, o));
                 self.sub_tallies[i].delivered += 1;
             }
         }
@@ -950,6 +1032,21 @@ impl<F: FilterFns> ConnTracker<F> {
                 FinalizeReason::Expired => self.stats.conns_expired += 1,
                 FinalizeReason::Drained => self.stats.conns_drained += 1,
             }
+        }
+        if let Some((t, lane)) = &self.tracer {
+            let end = match reason {
+                FinalizeReason::Terminated => TraceConnEnd::Terminated,
+                FinalizeReason::Expired => TraceConnEnd::Expired,
+                FinalizeReason::Drained => TraceConnEnd::Drained,
+            };
+            t.emit(
+                *lane,
+                conn.trace_id,
+                TraceKind::ConnExpire,
+                0,
+                end as u64,
+                0,
+            );
         }
     }
 
@@ -965,7 +1062,7 @@ impl<F: FilterFns> ConnTracker<F> {
             t.on_match(Some(service), Some(session), &conn.flow, &mut tmp);
         }
         for o in tmp {
-            self.outputs.push((i as u32, o));
+            self.outputs.push((i as u32, conn.trace_id, o));
             self.sub_tallies[i].delivered += 1;
         }
     }

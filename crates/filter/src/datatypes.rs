@@ -314,6 +314,18 @@ impl Frontiers {
             .chain(self.spill.iter())
             .copied()
     }
+
+    /// Iterates the frontiers decoded per the generated-union packing
+    /// convention: `(sub_filter_index, node_id)` where the sub-filter
+    /// index lives in the high 8 bits and the node id in the low 24.
+    ///
+    /// Interpreted filters never pack a sub index, so their frontiers
+    /// decode as `(0, node)` — the convention is backward compatible,
+    /// which is what lets trace tooling render any filter's frontier
+    /// uniformly.
+    pub fn iter_decoded(&self) -> impl Iterator<Item = (u8, u32)> + '_ {
+        self.iter().map(|v| ((v >> 24) as u8, v & 0x00ff_ffff))
+    }
 }
 
 /// Multi-subscription result of the software packet filter.
@@ -417,6 +429,25 @@ mod tests {
     fn conn_data_for_option() {
         let c: Option<&str> = Some("tls");
         assert_eq!(ConnData::service(&c), Some("tls"));
+    }
+
+    #[test]
+    fn frontier_decoding_splits_sub_and_node() {
+        let mut f = Frontiers::new();
+        f.push(7); // interpreted-style: bare node id
+        f.push((3 << 24) | 0x00_1234); // union-style: sub 3, node 0x1234
+        f.push((255 << 24) | 0x00ff_ffff); // both fields saturated
+        assert_eq!(
+            f.iter_decoded().collect::<Vec<_>>(),
+            vec![(0, 7), (3, 0x1234), (255, 0x00ff_ffff)]
+        );
+        // Decoding never loses information: re-packing reproduces the
+        // raw values in order.
+        let repacked: Vec<u32> = f
+            .iter_decoded()
+            .map(|(sub, node)| (u32::from(sub) << 24) | node)
+            .collect();
+        assert_eq!(repacked, f.iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -16,7 +16,10 @@ use std::sync::Arc;
 use retina_support::bytes::Bytes;
 use retina_support::sync::ArrayQueue;
 use retina_support::sync::RwLock;
-use retina_telemetry::{DropBreakdown, DropReason};
+use retina_telemetry::{
+    trace::{TraceDropCode, TraceHwAction},
+    DropBreakdown, DropReason, TraceKind, Tracer,
+};
 use retina_wire::ParsedPacket;
 
 use crate::faults::FaultHooks;
@@ -141,6 +144,9 @@ pub struct VirtualNic {
     stats: PortStats,
     /// Installed fault-injection layer (`None` in normal operation).
     faults: RwLock<Option<Arc<dyn FaultHooks>>>,
+    /// Attached tracer recording per-frame ingest tracepoints on the
+    /// ingest lane (`None` in normal operation).
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl VirtualNic {
@@ -157,6 +163,7 @@ impl VirtualNic {
             mempool: Mempool::new(cfg.mempool_capacity),
             stats: PortStats::default(),
             faults: RwLock::new(None),
+            tracer: RwLock::new(None),
         }
     }
 
@@ -169,6 +176,18 @@ impl VirtualNic {
     /// Removes the fault-injection layer, restoring clean operation.
     pub fn clear_fault_hooks(&self) {
         *self.faults.write() = None;
+    }
+
+    /// Attaches a tracer: every subsequent ingest records its outcome
+    /// (rx + hardware verdict for sampled flows; drops for all flows)
+    /// on the tracer's ingest lane.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = Some(tracer);
+    }
+
+    /// Detaches the tracer, restoring untraced ingest.
+    pub fn clear_tracer(&self) {
+        *self.tracer.write() = None;
     }
 
     /// Extra worker-core latency the installed fault layer wants to
@@ -284,6 +303,7 @@ impl VirtualNic {
 
     fn ingest_inner(&self, frame: Bytes, timestamp_ns: u64, paced: bool) -> IngestOutcome {
         let seq = self.stats.rx_offered.fetch_add(1, Ordering::Relaxed);
+        let tracer = self.tracer.read();
         // Injected mempool-squeeze windows are keyed on the ingress
         // sequence number, so they hit the same frames on every run.
         // They drop even under paced ingest: a seq-keyed squeeze never
@@ -291,6 +311,18 @@ impl VirtualNic {
         if let Some(hooks) = self.faults.read().as_ref() {
             if hooks.mempool_squeezed(seq) {
                 self.stats.rx_nombuf.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = tracer.as_ref() {
+                    // The frame was never parsed, so the flow is unknown:
+                    // the drop lands in the flight recorder only.
+                    t.emit(
+                        t.ingest_lane(),
+                        0,
+                        TraceKind::Drop,
+                        0,
+                        TraceDropCode::NoMbuf as u64,
+                        seq,
+                    );
+                }
                 return IngestOutcome::NoMbuf;
             }
         }
@@ -299,9 +331,39 @@ impl VirtualNic {
             Ok(pkt) => (self.engine.read().apply(pkt), self.hasher.hash_packet(pkt)),
             Err(_) => (self.engine.read().apply_unparsed(), 0),
         };
+        // The sampling decision reuses the RSS hash computed above:
+        // one splitmix finalizer per frame, nothing re-parsed.
+        let tid = match (tracer.as_ref(), &parsed) {
+            (Some(t), Ok(_)) => t.sample_flow(hash),
+            _ => 0,
+        };
+        if tid != 0 {
+            if let Some(t) = tracer.as_ref() {
+                t.emit(
+                    t.ingest_lane(),
+                    tid,
+                    TraceKind::Rx,
+                    0,
+                    frame.len() as u64,
+                    seq,
+                );
+            }
+        }
         let queue = match action {
             FlowAction::Drop => {
                 self.stats.hw_dropped.fetch_add(1, Ordering::Relaxed);
+                if tid != 0 {
+                    if let Some(t) = tracer.as_ref() {
+                        t.emit(
+                            t.ingest_lane(),
+                            tid,
+                            TraceKind::HwVerdict,
+                            0,
+                            TraceHwAction::Drop as u64,
+                            0,
+                        );
+                    }
+                }
                 return IngestOutcome::HwDropped;
             }
             FlowAction::Queue(q) => q.min(self.num_queues() - 1),
@@ -309,14 +371,52 @@ impl VirtualNic {
                 let q = self.reta.read().lookup(hash);
                 if q == SINK_QUEUE {
                     self.stats.sunk.fetch_add(1, Ordering::Relaxed);
+                    if tid != 0 {
+                        if let Some(t) = tracer.as_ref() {
+                            t.emit(
+                                t.ingest_lane(),
+                                tid,
+                                TraceKind::HwVerdict,
+                                0,
+                                TraceHwAction::Sunk as u64,
+                                0,
+                            );
+                        }
+                    }
                     return IngestOutcome::Sunk;
                 }
                 q
             }
         };
+        if tid != 0 {
+            if let Some(t) = tracer.as_ref() {
+                let act = match action {
+                    FlowAction::Queue(_) => TraceHwAction::Queue,
+                    _ => TraceHwAction::Rss,
+                };
+                t.emit(
+                    t.ingest_lane(),
+                    tid,
+                    TraceKind::HwVerdict,
+                    0,
+                    act as u64,
+                    u64::from(queue),
+                );
+            }
+        }
         while self.mempool.exhausted() {
             if !paced {
                 self.stats.rx_nombuf.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = tracer.as_ref() {
+                    t.emit(
+                        t.ingest_lane(),
+                        tid,
+                        TraceKind::Drop,
+                        0,
+                        TraceDropCode::NoMbuf as u64,
+                        seq,
+                    );
+                }
                 return IngestOutcome::NoMbuf;
             }
             std::thread::yield_now();
@@ -336,6 +436,16 @@ impl VirtualNic {
                 Err(rejected) => {
                     if !paced {
                         self.stats.rx_missed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = tracer.as_ref() {
+                            t.emit(
+                                t.ingest_lane(),
+                                tid,
+                                TraceKind::Drop,
+                                0,
+                                TraceDropCode::RxMissed as u64,
+                                seq,
+                            );
+                        }
                         return IngestOutcome::Missed;
                     }
                     mbuf = rejected;

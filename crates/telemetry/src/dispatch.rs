@@ -83,6 +83,15 @@ impl DispatchStats {
         self.blocked_sends.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Instantaneous queue depth in results (0 for inline subs) — the
+    /// raw count behind [`DispatchStats::occupancy`], exposed so
+    /// tracepoints and the periodic monitor can record absolute
+    /// occupancy without knowing the capacity.
+    #[must_use]
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
     /// Instantaneous queue occupancy in `[0, 1]` (0 for inline subs).
     #[must_use]
     pub fn occupancy(&self) -> f64 {
@@ -222,6 +231,13 @@ impl DispatchHub {
     #[must_use]
     pub fn max_occupancy(&self) -> f64 {
         self.subs.iter().map(|s| s.occupancy()).fold(0.0, f64::max)
+    }
+
+    /// Total items currently queued across every subscription's rings —
+    /// the monitor's periodic queue-depth sample.
+    #[must_use]
+    pub fn total_depth(&self) -> u64 {
+        self.subs.iter().map(|s| s.depth()).sum()
     }
 
     /// Per-subscription snapshots, in subscription order.

@@ -40,6 +40,9 @@ pub struct Sample {
     pub mbuf_high_water: u64,
     /// Simulation clock high-water mark (ns).
     pub sim_clock_ns: u64,
+    /// Items currently queued across every callback-dispatch ring
+    /// (0 when every subscription runs inline).
+    pub dispatch_depth: u64,
 }
 
 impl Sample {
@@ -49,7 +52,7 @@ impl Sample {
     /// append new columns at the end, never reorder.
     pub const CSV_HEADER: &'static str = "elapsed_secs,gbps,lost,lost_per_sec,hw_dropped,\
 hw_dropped_per_sec,parse_failures,connections,state_bytes,mbufs_in_use,mbuf_high_water,\
-sim_clock_ns";
+sim_clock_ns,dispatch_depth";
 
     /// Loss rate over the sample interval (packets/second).
     pub fn lost_per_sec(&self) -> f64 {
@@ -64,7 +67,7 @@ sim_clock_ns";
     /// One CSV row matching [`Sample::CSV_HEADER`].
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{:.3},{:.4},{},{:.2},{},{:.2},{},{},{},{},{},{}",
+            "{:.3},{:.4},{},{:.2},{},{:.2},{},{},{},{},{},{},{}",
             self.elapsed_secs,
             self.gbps,
             self.lost,
@@ -77,6 +80,7 @@ sim_clock_ns";
             self.mbufs_in_use,
             self.mbuf_high_water,
             self.sim_clock_ns,
+            self.dispatch_depth,
         )
     }
 
@@ -104,7 +108,8 @@ sim_clock_ns";
         format!(
             "{{\"elapsed_secs\": {:.3}, \"gbps\": {:.4}, \"lost\": {}, \"hw_dropped\": {}, \
              \"parse_failures\": {}, \"connections\": {}, \"state_bytes\": {}, \
-             \"mbufs_in_use\": {}, \"mbuf_high_water\": {}, \"sim_clock_ns\": {}}}",
+             \"mbufs_in_use\": {}, \"mbuf_high_water\": {}, \"sim_clock_ns\": {}, \
+             \"dispatch_depth\": {}}}",
             self.elapsed_secs,
             self.gbps,
             self.lost,
@@ -115,6 +120,7 @@ sim_clock_ns";
             self.mbufs_in_use,
             self.mbuf_high_water,
             self.sim_clock_ns,
+            self.dispatch_depth,
         )
     }
 }
@@ -345,6 +351,7 @@ mod tests {
             mbufs_in_use: 77,
             mbuf_high_water: 123,
             sim_clock_ns: 1,
+            dispatch_depth: 9,
         }
     }
 
@@ -366,7 +373,8 @@ mod tests {
         assert_eq!(
             Sample::CSV_HEADER,
             "elapsed_secs,gbps,lost,lost_per_sec,hw_dropped,hw_dropped_per_sec,\
-             parse_failures,connections,state_bytes,mbufs_in_use,mbuf_high_water,sim_clock_ns"
+             parse_failures,connections,state_bytes,mbufs_in_use,mbuf_high_water,sim_clock_ns,\
+             dispatch_depth"
                 .replace(" ", "")
         );
     }
@@ -421,6 +429,7 @@ mod tests {
         let samples = doc.get("samples").unwrap().as_arr().unwrap();
         assert_eq!(samples.len(), 1);
         assert_eq!(samples[0].get("lost").unwrap().as_u64(), Some(6));
+        assert_eq!(samples[0].get("dispatch_depth").unwrap().as_u64(), Some(9));
         let final_ = doc.get("final").unwrap();
         assert_eq!(
             final_

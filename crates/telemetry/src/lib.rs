@@ -38,6 +38,7 @@ pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use dispatch::{DispatchHub, DispatchSnapshot, DispatchStats};
 pub use drops::{DropBreakdown, DropReason, DropSubject};
@@ -48,3 +49,7 @@ pub use export::{CsvSink, JsonSink, LogSink, MetricSink, PrometheusSink, Sample,
 pub use histogram::{LogHistogram, NUM_BUCKETS};
 pub use registry::{CounterId, GaugeId, GaugeMerge, MetricsSnapshot, Registry, Shard};
 pub use snapshot::{StageSummary, TelemetrySnapshot};
+pub use trace::{
+    FlightDump, FlowTrace, LaneKind, TraceConfig, TraceEvent, TraceKind, TraceReport, TraceSession,
+    Tracer, TriggerReason, TriggerRecord,
+};

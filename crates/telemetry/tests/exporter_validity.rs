@@ -1,0 +1,204 @@
+//! Exporter robustness against hostile metric names.
+//!
+//! Counter/gauge/stage names are open-ended strings (subscriptions and
+//! parsers register their own), so the exporters must stay
+//! machine-readable no matter what lands in a name:
+//!
+//! * the JSON exporter must escape quotes, backslashes, and control
+//!   characters so its output still parses and round-trips the exact
+//!   name;
+//! * the Prometheus exposition must only ever emit metric names in
+//!   `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names in
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`, and label values free of unescaped
+//!   quotes, backslashes, and newlines.
+
+use retina_telemetry::json;
+use retina_telemetry::{
+    DropBreakdown, DropReason, JsonSink, LogHistogram, MetricSink, SharedBuf, StageSummary,
+    TelemetrySnapshot,
+};
+
+/// Names chosen to break naive renderers: quotes, backslashes, JSON
+/// syntax, control characters, spaces, unicode, leading digits.
+const HOSTILE_NAMES: &[&str] = &[
+    "plain.name",
+    "with\"quote",
+    "back\\slash",
+    "brace{inner=\"x\"}",
+    "new\nline",
+    "tab\there",
+    "carriage\rreturn",
+    "null\u{0}byte",
+    "spaced out name",
+    "0starts_with_digit",
+    "unicode-δλ→name",
+    "",
+];
+
+fn hostile_snapshot() -> TelemetrySnapshot {
+    let mut hist = LogHistogram::new();
+    hist.record_n(10, 9);
+    hist.record(1000);
+    let mut drops = DropBreakdown::new();
+    drops.add(DropReason::HwRule, 3);
+    TelemetrySnapshot {
+        counters: HOSTILE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ((*n).to_string(), i as u64))
+            .collect(),
+        gauges: vec![("gauge\"with\\quote".to_string(), 7)],
+        stages: HOSTILE_NAMES
+            .iter()
+            .map(|n| {
+                (
+                    (*n).to_string(),
+                    StageSummary {
+                        runs: 10,
+                        cycles: 1090,
+                        hist,
+                    },
+                )
+            })
+            .collect(),
+        drops,
+    }
+}
+
+#[test]
+fn json_escape_round_trips_hostile_strings() {
+    for name in HOSTILE_NAMES {
+        let escaped = json::escape(name);
+        let doc = format!("{{{escaped}: 1}}");
+        let parsed = json::parse(&doc)
+            .unwrap_or_else(|e| panic!("escaped {name:?} does not parse as a key: {e}"));
+        assert_eq!(
+            parsed.get(name).and_then(json::Json::as_u64),
+            Some(1),
+            "escaped key {name:?} must round-trip exactly"
+        );
+    }
+}
+
+#[test]
+fn snapshot_json_survives_hostile_names() {
+    let snap = hostile_snapshot();
+    let doc = snap.to_json();
+    let v = json::parse(&doc).expect("snapshot JSON with hostile names must parse");
+    for (i, name) in HOSTILE_NAMES.iter().enumerate() {
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get(name)
+                .and_then(json::Json::as_u64),
+            Some(i as u64),
+            "counter {name:?} must round-trip"
+        );
+        assert_eq!(
+            v.get("stages")
+                .unwrap()
+                .get(name)
+                .and_then(|s| s.get("runs"))
+                .and_then(json::Json::as_u64),
+            Some(10),
+            "stage {name:?} must round-trip"
+        );
+    }
+}
+
+#[test]
+fn json_sink_document_survives_hostile_names() {
+    let buf = SharedBuf::new();
+    let mut sink = JsonSink::new(buf.clone());
+    sink.on_snapshot(&hostile_snapshot());
+    sink.close();
+    let v = json::parse(&buf.contents()).expect("JsonSink output must parse");
+    let final_ = v.get("final").expect("document carries the snapshot");
+    assert!(final_.get("counters").unwrap().get("with\"quote").is_some());
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[test]
+fn prometheus_exposition_stays_valid_under_hostile_names() {
+    let text = hostile_snapshot().to_prometheus();
+    assert!(!text.is_empty());
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (series, value) = line.rsplit_once(' ').expect("line must be `series value`");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric value in {line:?}"
+        );
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest.strip_suffix('}').expect("unclosed label set");
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        assert!(
+            is_valid_metric_name(name),
+            "invalid Prometheus metric name {name:?} in {line:?}"
+        );
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let (label, quoted) = pair.split_once('=').expect("label=\"value\"");
+                assert!(
+                    is_valid_label_name(label),
+                    "invalid label name {label:?} in {line:?}"
+                );
+                let inner = quoted
+                    .strip_prefix('"')
+                    .and_then(|q| q.strip_suffix('"'))
+                    .expect("label value must be quoted");
+                assert!(
+                    !inner.contains(['"', '\\', '\n']),
+                    "label value needs escaping in {line:?}"
+                );
+            }
+        }
+    }
+    // The sanitizer must not conflate distinctness away entirely: the
+    // exposition still carries one series per counter.
+    let counter_lines = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && l.starts_with("retina_"))
+        .count();
+    assert!(counter_lines >= HOSTILE_NAMES.len());
+}
+
+#[test]
+fn type_comments_match_emitted_series() {
+    // Every `# TYPE <name> <kind>` comment must name a valid metric;
+    // a hostile stage name must not leak into the TYPE line either.
+    let text = hostile_snapshot().to_prometheus();
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let mut parts = line["# TYPE ".len()..].split(' ');
+        let name = parts.next().expect("TYPE line names a metric");
+        assert!(
+            is_valid_metric_name(name),
+            "invalid metric name {name:?} in TYPE comment {line:?}"
+        );
+        let kind = parts.next().expect("TYPE line carries a kind");
+        assert!(matches!(kind, "counter" | "gauge" | "summary"));
+    }
+}

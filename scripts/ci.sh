@@ -19,11 +19,15 @@
 #   smoke         telemetry_smoke + governor_storm + fig_multi +
 #                 dispatch_storm + fig9 (--quick), emitting
 #                 results/BENCH_ci.json
+#   trace-overhead  trace_smoke (--quick): proves tracing disabled
+#                 costs <1% and 1-in-1024 sampling <5% on the
+#                 telemetry-smoke workload, merging trace_off_overhead
+#                 and trace_sampled_overhead into results/BENCH_ci.json
 #   bench-gate    scripts/bench_gate.sh vs results/BENCH_baseline.json
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy pedantic safety lint-filters build doc test smoke bench-gate)
+ALL_STAGES=(fmt clippy pedantic safety lint-filters build doc test smoke trace-overhead bench-gate)
 if [ "$#" -gt 0 ]; then STAGES=("$@"); else STAGES=("${ALL_STAGES[@]}"); fi
 
 FAILED=()
@@ -100,6 +104,15 @@ stage_smoke() {
             --quick --json-out results/BENCH_ci.json
 }
 
+# Trace-overhead gate: the bin itself enforces the hard budgets
+# (disabled <1%, 1-in-1024 sampling <5%) and exits non-zero past them;
+# the merged trace_off_overhead / trace_sampled_overhead metrics are
+# additionally tracked by the bench gate.
+stage_trace_overhead() {
+    cargo run --release --offline -q -p retina-bench --bin trace_smoke -- \
+        --quick --json-out results/BENCH_ci.json
+}
+
 stage_bench_gate() { scripts/bench_gate.sh; }
 
 for stage in "${STAGES[@]}"; do
@@ -113,6 +126,7 @@ for stage in "${STAGES[@]}"; do
     doc) run_stage doc stage_doc ;;
     test) run_stage test stage_test ;;
     smoke) run_stage smoke stage_smoke ;;
+    trace-overhead) run_stage trace-overhead stage_trace_overhead ;;
     bench-gate) run_stage bench-gate stage_bench_gate ;;
     *)
         echo "unknown CI stage: ${stage} (known: ${ALL_STAGES[*]})" >&2

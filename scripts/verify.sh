@@ -61,6 +61,14 @@ cargo run --release --offline -q -p retina-bench --bin governor_storm -- --quick
 # input. Exits non-zero on violation.
 cargo run --release --offline -q -p retina-bench --bin dispatch_storm -- --quick
 
+# Trace smoke, both tracer modes: a disabled tracer must record
+# nothing while the run's accounting stays exact; a sampling tracer
+# must assemble span trees whose renderings parse, with zero
+# trace-buffer overflow. (The timing gate lives in the CI
+# trace-overhead stage.) Exits non-zero on violation.
+cargo run --release --offline -q -p retina-bench --bin trace_smoke -- --quick --mode disabled
+cargo run --release --offline -q -p retina-bench --bin trace_smoke -- --quick --mode sampled
+
 # Filter-corpus lint: the semantic analyzer must find no E-code
 # diagnostics in any filter the benches and examples rely on.
 cargo run --release --offline -q -p retina-filter --bin retina-flint -- \
