@@ -4,14 +4,18 @@
 //!
 //! - [`FiveTuple`] / [`ConnKey`] — direction-aware connection identity
 //!   with a canonical (direction-independent) table key.
-//! - [`ConnTable`] — a per-core connection hash table. Each core owns one
-//!   table and tracks only the connections symmetric RSS delivers to it,
-//!   so there is no cross-core synchronization.
-//! - [`TimerWheel`] / hierarchical timeouts — inactive-connection
-//!   expiration without per-packet timer updates. Retina's defaults (5 s
+//! - [`ConnTable`] — a per-core connection table built for million-flow
+//!   scan churn: a sharded index keyed by the NIC's symmetric RSS hash
+//!   (no SipHash re-hash per lookup) over a slot-reusing [`ConnArena`]
+//!   of entries addressed by compact generation-checked [`ConnHandle`]s.
+//!   Each core owns one table and tracks only the connections symmetric
+//!   RSS delivers to it, so there is no cross-core synchronization.
+//! - [`TimerWheel`] — hierarchical (multi-level cascading) expiration
+//!   without per-packet timer updates. Retina's defaults (5 s
 //!   establishment timeout, 5 min inactivity timeout) reflect the
 //!   observation that ~65% of connections on a real network are a single
-//!   unanswered SYN; Figure 8 shows the memory effect of these choices.
+//!   unanswered SYN; mass scan expiry drains whole wheel buckets.
+//!   Figure 8 shows the memory effect of these choices.
 //! - [`StreamReassembler`] — the lightweight "pass-through" reassembly of
 //!   §5.2: in-sequence packets (94% of flows) flow straight through,
 //!   while out-of-order packets are held *by reference* in a bounded ring
@@ -21,14 +25,16 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod conn;
 pub mod reassembly;
 pub mod table;
 pub mod timerwheel;
 pub mod tuple;
 
+pub use arena::{ConnArena, ConnEntry, ConnHandle};
 pub use conn::TcpFlow;
 pub use reassembly::{Reassembled, StreamReassembler};
-pub use table::{ConnEntry, ConnTable, TimeoutConfig};
+pub use table::{ConnTable, TimeoutConfig};
 pub use timerwheel::TimerWheel;
 pub use tuple::{ConnKey, Dir, FiveTuple};

@@ -47,6 +47,9 @@ pub struct MonitorSample {
     /// (0 unless the monitor watches a hub via
     /// [`Monitor::watch_dispatch`]).
     pub dispatch_depth: u64,
+    /// Connection-arena high-water bytes summed across cores (peak
+    /// backing-store footprint of the connection tables).
+    pub conn_arena_bytes: usize,
 }
 
 impl MonitorSample {
@@ -65,6 +68,7 @@ impl MonitorSample {
             mbuf_high_water: self.mbuf_high_water as u64,
             sim_clock_ns: self.sim_clock_ns,
             dispatch_depth: self.dispatch_depth,
+            conn_arena_bytes: self.conn_arena_bytes as u64,
         }
     }
 
@@ -118,6 +122,7 @@ impl Sampler {
             mbuf_high_water: self.nic.mempool().high_water(),
             sim_clock_ns: self.gauges.sim_clock_ns(),
             dispatch_depth: self.dispatch.as_ref().map_or(0, |hub| hub.total_depth()),
+            conn_arena_bytes: self.gauges.conn_arena_bytes(),
         };
         // Drop-rate burst trigger: a single interval losing more frames
         // than the tracer's threshold freezes the flight recorder.
@@ -308,6 +313,7 @@ mod tests {
             mbuf_high_water: 123,
             sim_clock_ns: 1,
             dispatch_depth: 0,
+            conn_arena_bytes: 8192,
         }
     }
 

@@ -88,6 +88,7 @@ pub struct RuntimeGauges {
     registry: Registry,
     connections: GaugeId,
     state_bytes: GaugeId,
+    conn_arena_bytes: GaugeId,
     sim_clock_ns: GaugeId,
     mbuf_high_water: GaugeId,
     parse_failures: CounterId,
@@ -100,6 +101,7 @@ impl RuntimeGauges {
         let mut registry = Registry::new(cores);
         let connections = registry.gauge("connections", GaugeMerge::Sum);
         let state_bytes = registry.gauge("state_bytes", GaugeMerge::Sum);
+        let conn_arena_bytes = registry.gauge("conn_arena_bytes", GaugeMerge::Sum);
         let sim_clock_ns = registry.gauge("sim_clock_ns", GaugeMerge::Max);
         let mbuf_high_water = registry.gauge("mbuf_high_water", GaugeMerge::Max);
         let parse_failures = registry.counter("parse_failures");
@@ -108,6 +110,7 @@ impl RuntimeGauges {
             registry,
             connections,
             state_bytes,
+            conn_arena_bytes,
             sim_clock_ns,
             mbuf_high_water,
             parse_failures,
@@ -128,6 +131,15 @@ impl RuntimeGauges {
     /// Estimated connection-state bytes across all cores.
     pub fn state_bytes(&self) -> usize {
         self.registry.gauge_value(self.state_bytes) as usize
+    }
+
+    /// Connection-arena high-water bytes summed across all cores: the
+    /// peak backing-store footprint of the conn tables (arena slots plus
+    /// shard index). Unlike [`RuntimeGauges::state_bytes`] this is a
+    /// high-water mark, not a live value — arena capacity is monotonic,
+    /// so it never decreases over a run.
+    pub fn conn_arena_bytes(&self) -> usize {
+        self.registry.gauge_value(self.conn_arena_bytes) as usize
     }
 
     /// Maximum packet timestamp processed so far (simulation clock, ns).
@@ -168,11 +180,13 @@ impl RuntimeGauges {
         stats: &CoreStats,
         connections: usize,
         state_bytes: usize,
+        arena_bytes: usize,
         sim_clock_ns: u64,
     ) {
         let shard = self.registry.shard(core);
         shard.set(self.connections, connections as u64);
         shard.set(self.state_bytes, state_bytes as u64);
+        shard.max(self.conn_arena_bytes, arena_bytes as u64);
         shard.max(self.sim_clock_ns, sim_clock_ns);
         shard.set_counter(self.parse_failures, stats.parse_failures);
         shard.set_counter(self.rx_packets, stats.rx_packets);
@@ -240,6 +254,12 @@ pub struct RunReport {
     pub sim_duration_ns: u64,
     /// Peak mempool occupancy over the run (buffers).
     pub mbuf_high_water: usize,
+    /// Connection-arena high-water bytes summed across cores: the peak
+    /// backing-store footprint of the per-core connection tables (arena
+    /// slots plus shard index). The memory half of the churn-bench gate.
+    /// Excluded from [`RunReport::deterministic_digest`] — allocation
+    /// capacity depends on growth timing, not on what was delivered.
+    pub conn_arena_bytes: usize,
     /// Filter-analyzer warnings recorded at build time (W-code summaries
     /// from [`retina_filter::analyze_union`]): dead disjuncts, lost
     /// hardware offload, redundant predicates. Empty when the filters are
@@ -388,6 +408,8 @@ impl RunReport {
         }
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let gauges = vec![
+            ("conn_arena_bytes".to_string(), self.conn_arena_bytes as u64),
+            ("conns_peak".to_string(), self.cores.conns_peak),
             ("mbuf_high_water".to_string(), self.mbuf_high_water as u64),
             ("sim_duration_ns".to_string(), self.sim_duration_ns),
         ];
@@ -969,6 +991,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             subs,
             sim_duration_ns,
             mbuf_high_water,
+            conn_arena_bytes: self.gauges.conn_arena_bytes(),
             filter_warnings: self.filter_warnings.clone(),
             trace: None,
         };
@@ -1211,6 +1234,7 @@ fn worker_loop<F: FilterFns>(
                 &tracker.stats,
                 tracker.connections(),
                 tracker.state_bytes(),
+                tracker.arena_bytes(),
                 max_ts,
             );
         }
@@ -1221,6 +1245,13 @@ fn worker_loop<F: FilterFns>(
     for (idx, tid, out) in tracker.take_outputs() {
         deliver!(idx as usize, tid, out);
     }
-    gauges.worker_update(core as usize, &tracker.stats, 0, 0, max_ts);
+    gauges.worker_update(
+        core as usize,
+        &tracker.stats,
+        0,
+        0,
+        tracker.arena_bytes(),
+        max_ts,
+    );
     (tracker.stats, tracker.sub_tallies)
 }

@@ -112,6 +112,12 @@ pub struct CoreStats {
     pub conns_drained: u64,
     /// Connections that terminated naturally (FIN/RST).
     pub conns_terminated: u64,
+    /// Peak number of simultaneously-tracked connections on this core
+    /// (sampled at insert). Merging across cores sums the per-core
+    /// peaks: an upper bound on the true global peak (per-core peaks
+    /// need not be simultaneous), exact for single-core and stepped
+    /// runs.
+    pub conns_peak: u64,
     /// Out-of-order segments buffered.
     pub ooo_buffered: u64,
 }
@@ -137,6 +143,7 @@ impl CoreStats {
         self.conns_expired += other.conns_expired;
         self.conns_drained += other.conns_drained;
         self.conns_terminated += other.conns_terminated;
+        self.conns_peak += other.conns_peak;
         self.ooo_buffered += other.ooo_buffered;
     }
 

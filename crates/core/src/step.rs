@@ -554,7 +554,9 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             }
         }
 
-        self.gauges().worker_update(0, &tracker.stats, 0, 0, max_ts);
+        let arena_bytes = tracker.arena_bytes();
+        self.gauges()
+            .worker_update(0, &tracker.stats, 0, 0, arena_bytes, max_ts);
         let total_bytes: u64 = packets.iter().map(|(f, _)| f.len() as u64).sum();
         let nic = PortStatsSnapshot {
             rx_offered: packets.len() as u64,
@@ -586,6 +588,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             subs,
             sim_duration_ns: max_ts,
             mbuf_high_water: 0,
+            conn_arena_bytes: arena_bytes,
             filter_warnings: self.filter_warnings().to_vec(),
             trace: None,
         };

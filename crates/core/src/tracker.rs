@@ -40,6 +40,7 @@ use retina_nic::Mbuf;
 use retina_protocols::{
     ConnParser, Direction, ParseResult, ParserRegistry, ProbeResult, SessionState,
 };
+use retina_support::hash::FlowHashState;
 use retina_telemetry::{trace::TraceConnEnd, TraceKind, Tracer};
 use retina_wire::ParsedPacket;
 
@@ -534,8 +535,10 @@ pub struct ConnTracker<F: FilterFns> {
     /// Recently-closed connections (TIME_WAIT analogue): trailing packets
     /// of a removed connection (e.g. the final ACK after FIN/FIN, or the
     /// encrypted tail after a delivered TLS handshake) must not recreate
-    /// state.
-    closed: HashMap<ConnKey, u64>,
+    /// state. Seeded in-tree hasher: probed once per packet on the miss
+    /// path, and deterministic layout keeps retain order identical
+    /// across runs.
+    closed: HashMap<ConnKey, u64, FlowHashState>,
 }
 
 /// How long a removed connection's key stays in the closed set.
@@ -639,7 +642,7 @@ impl<F: FilterFns> ConnTracker<F> {
             sub_tallies: vec![SubTally::default(); specs.len()],
             outputs: Vec::new(),
             tracer: None,
-            closed: HashMap::new(),
+            closed: HashMap::with_hasher(FlowHashState::default()),
             subs: specs,
         }
     }
@@ -675,8 +678,10 @@ impl<F: FilterFns> ConnTracker<F> {
         self.shed_parsing
     }
 
-    /// Estimated bytes of connection state in memory (table entries plus
-    /// probe buffers), for the Figure 8 memory series.
+    /// Estimated bytes of connection state in memory (live table
+    /// entries plus probe buffers), for the Figure 8 memory series.
+    /// This is the *live* series; the retained arena footprint is
+    /// [`ConnTracker::arena_bytes`].
     pub fn state_bytes(&self) -> usize {
         let per_conn = std::mem::size_of::<ConnEntry<Conn>>() + 64;
         let mut total = self.table.len() * per_conn;
@@ -686,6 +691,13 @@ impl<F: FilterFns> ConnTracker<F> {
             }
         }
         total
+    }
+
+    /// Bytes retained by the connection table's arena and shard
+    /// indexes. Capacity never shrinks, so this is the memory
+    /// high-water mark the `conn_arena_bytes` gauge reports.
+    pub fn arena_bytes(&self) -> usize {
+        self.table.bytes_high_water()
     }
 
     /// The probe-candidate union for a want-parse set: each
@@ -729,8 +741,13 @@ impl<F: FilterFns> ConnTracker<F> {
     fn process_inner(&mut self, mbuf: &Mbuf, pkt: &ParsedPacket, verdict: PacketVerdict) {
         let now = mbuf.timestamp_ns;
         let key = ConnKey::from_packet(pkt);
+        // The table is keyed by the NIC's symmetric RSS hash (both
+        // directions stamp the same value), so the lookup re-hashes a
+        // u32 instead of SipHashing the 5-tuple; `key` disambiguates
+        // hash collisions inside the table.
+        let hash = mbuf.rss_hash;
 
-        if self.table.get_mut(&key).is_none() {
+        if self.table.get_mut(hash, &key).is_none() {
             match self.closed.get(&key) {
                 Some(&closed_at) if now < closed_at.saturating_add(TIME_WAIT_NS) => {
                     return; // trailing packet of a closed connection
@@ -833,10 +850,12 @@ impl<F: FilterFns> ConnTracker<F> {
                     self.sub_tallies[i].delivered += 1;
                 }
             }
-            self.table.get_or_insert_with(key, now, || (tuple, conn));
+            self.table
+                .get_or_insert_with(hash, key, now, || (tuple, conn));
+            self.stats.conns_peak = self.stats.conns_peak.max(self.table.len() as u64);
         }
 
-        let entry = self.table.get_mut(&key).expect("just inserted");
+        let entry = self.table.get_mut(hash, &key).expect("just inserted");
         let Some(dir) = entry.tuple.dir_of(pkt) else {
             return; // key collision across address families: ignore
         };
@@ -950,7 +969,7 @@ impl<F: FilterFns> ConnTracker<F> {
             // TLS handshake delivered): remove mid-stream (§5.2).
             // Counted within conns_discarded (early removal) but
             // attributed separately — this is a win, not a rejection.
-            if let Some(removed) = self.table.remove(&key) {
+            if let Some(removed) = self.table.remove(hash, &key) {
                 if let Some((t, lane)) = &self.tracer {
                     t.emit(
                         *lane,
@@ -966,7 +985,7 @@ impl<F: FilterFns> ConnTracker<F> {
             self.stats.conns_discarded += 1;
             self.stats.conns_completed_early += 1;
         } else if terminated {
-            if let Some(entry) = self.table.remove(&key) {
+            if let Some(entry) = self.table.remove(hash, &key) {
                 self.closed.insert(key, now);
                 self.finalize(entry, FinalizeReason::Terminated);
             }

@@ -12,6 +12,7 @@
 //! | [`rematch`]       | `regex` (`Regex`)          | filter `~` string matching   |
 //! | [`mod@proptest`]  | `proptest`                 | property tests everywhere    |
 //! | [`mod@bench`]     | `criterion`                | `crates/bench/benches`       |
+//! | [`hash`]          | `fxhash`/`ahash`           | conn-table shard maps        |
 //!
 //! The replacements implement the *subset* of each upstream API this
 //! repository actually uses, with the same call-site shapes, so the
@@ -22,6 +23,7 @@
 
 pub mod bench;
 pub mod bytes;
+pub mod hash;
 pub mod proptest;
 pub mod rand;
 pub mod rematch;

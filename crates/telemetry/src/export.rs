@@ -43,6 +43,10 @@ pub struct Sample {
     /// Items currently queued across every callback-dispatch ring
     /// (0 when every subscription runs inline).
     pub dispatch_depth: u64,
+    /// Connection-arena high-water bytes summed across cores (peak
+    /// backing-store footprint of the connection tables; monotonic over
+    /// a run).
+    pub conn_arena_bytes: u64,
 }
 
 impl Sample {
@@ -52,7 +56,7 @@ impl Sample {
     /// append new columns at the end, never reorder.
     pub const CSV_HEADER: &'static str = "elapsed_secs,gbps,lost,lost_per_sec,hw_dropped,\
 hw_dropped_per_sec,parse_failures,connections,state_bytes,mbufs_in_use,mbuf_high_water,\
-sim_clock_ns,dispatch_depth";
+sim_clock_ns,dispatch_depth,conn_arena_bytes";
 
     /// Loss rate over the sample interval (packets/second).
     pub fn lost_per_sec(&self) -> f64 {
@@ -67,7 +71,7 @@ sim_clock_ns,dispatch_depth";
     /// One CSV row matching [`Sample::CSV_HEADER`].
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{:.3},{:.4},{},{:.2},{},{:.2},{},{},{},{},{},{},{}",
+            "{:.3},{:.4},{},{:.2},{},{:.2},{},{},{},{},{},{},{},{}",
             self.elapsed_secs,
             self.gbps,
             self.lost,
@@ -81,6 +85,7 @@ sim_clock_ns,dispatch_depth";
             self.mbuf_high_water,
             self.sim_clock_ns,
             self.dispatch_depth,
+            self.conn_arena_bytes,
         )
     }
 
@@ -109,7 +114,7 @@ sim_clock_ns,dispatch_depth";
             "{{\"elapsed_secs\": {:.3}, \"gbps\": {:.4}, \"lost\": {}, \"hw_dropped\": {}, \
              \"parse_failures\": {}, \"connections\": {}, \"state_bytes\": {}, \
              \"mbufs_in_use\": {}, \"mbuf_high_water\": {}, \"sim_clock_ns\": {}, \
-             \"dispatch_depth\": {}}}",
+             \"dispatch_depth\": {}, \"conn_arena_bytes\": {}}}",
             self.elapsed_secs,
             self.gbps,
             self.lost,
@@ -121,6 +126,7 @@ sim_clock_ns,dispatch_depth";
             self.mbuf_high_water,
             self.sim_clock_ns,
             self.dispatch_depth,
+            self.conn_arena_bytes,
         )
     }
 }
@@ -352,6 +358,7 @@ mod tests {
             mbuf_high_water: 123,
             sim_clock_ns: 1,
             dispatch_depth: 9,
+            conn_arena_bytes: 4096,
         }
     }
 
@@ -374,7 +381,7 @@ mod tests {
             Sample::CSV_HEADER,
             "elapsed_secs,gbps,lost,lost_per_sec,hw_dropped,hw_dropped_per_sec,\
              parse_failures,connections,state_bytes,mbufs_in_use,mbuf_high_water,sim_clock_ns,\
-             dispatch_depth"
+             dispatch_depth,conn_arena_bytes"
                 .replace(" ", "")
         );
     }
@@ -430,6 +437,10 @@ mod tests {
         assert_eq!(samples.len(), 1);
         assert_eq!(samples[0].get("lost").unwrap().as_u64(), Some(6));
         assert_eq!(samples[0].get("dispatch_depth").unwrap().as_u64(), Some(9));
+        assert_eq!(
+            samples[0].get("conn_arena_bytes").unwrap().as_u64(),
+            Some(4096)
+        );
         let final_ = doc.get("final").unwrap();
         assert_eq!(
             final_

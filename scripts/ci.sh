@@ -23,11 +23,14 @@
 #                 costs <1% and 1-in-1024 sampling <5% on the
 #                 telemetry-smoke workload, merging trace_off_overhead
 #                 and trace_sampled_overhead into results/BENCH_ci.json
+#   churn         churn_storm (--quick): scan-heavy conn-table churn
+#                 with exact accounting, merging conns_peak and the
+#                 arena memory high-water into results/BENCH_ci.json
 #   bench-gate    scripts/bench_gate.sh vs results/BENCH_baseline.json
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy pedantic safety lint-filters build doc test smoke trace-overhead bench-gate)
+ALL_STAGES=(fmt clippy pedantic safety lint-filters build doc test smoke trace-overhead churn bench-gate)
 if [ "$#" -gt 0 ]; then STAGES=("$@"); else STAGES=("${ALL_STAGES[@]}"); fi
 
 FAILED=()
@@ -113,6 +116,15 @@ stage_trace_overhead() {
         --quick --json-out results/BENCH_ci.json
 }
 
+# Churn gate: conn-table stress under the scan-storm mix. The bin
+# enforces exact accounting and stepped-run determinism itself; the
+# merged conns_peak / arena_high_water_bytes keys (the gate's first
+# memory key) are additionally tracked by the bench gate.
+stage_churn() {
+    cargo run --release --offline -q -p retina-bench --bin churn_storm -- \
+        --quick --json-out results/BENCH_ci.json
+}
+
 stage_bench_gate() { scripts/bench_gate.sh; }
 
 for stage in "${STAGES[@]}"; do
@@ -127,6 +139,7 @@ for stage in "${STAGES[@]}"; do
     test) run_stage test stage_test ;;
     smoke) run_stage smoke stage_smoke ;;
     trace-overhead) run_stage trace-overhead stage_trace_overhead ;;
+    churn) run_stage churn stage_churn ;;
     bench-gate) run_stage bench-gate stage_bench_gate ;;
     *)
         echo "unknown CI stage: ${stage} (known: ${ALL_STAGES[*]})" >&2

@@ -73,3 +73,12 @@ cargo run --release --offline -q -p retina-bench --bin trace_smoke -- --quick --
 # diagnostics in any filter the benches and examples rely on.
 cargo run --release --offline -q -p retina-filter --bin retina-flint -- \
     --json scripts/filters.flt
+
+# Churn storm, full size: the sharded / arena-backed conn table must
+# sustain >= 1M concurrent flows under the scan-heavy mix with exact
+# accounting (created == discarded + terminated + expired + drained),
+# a schedule-independent stepped digest, and a reproducible arena
+# memory high-water (the bench gate's first memory key). Exits
+# non-zero on any violation. (~40 s: generates and replays ~2M
+# packets; the quick CI variant lives in the `churn` stage.)
+cargo run --release --offline -q -p retina-bench --bin churn_storm
