@@ -1,0 +1,266 @@
+//! Reconfiguration storm smoke: gates the live hot-swap layer
+//! (epoch-based RCU reconfiguration, PR 9) end to end.
+//!
+//! Three checks:
+//!
+//! 1. **Stepped equivalence** — `run_stepped_with_swap` at the workload
+//!    midpoint across three seeded schedules: accounting stays exact
+//!    and the surviving subscription's digest is byte-identical to a
+//!    no-swap control run over the same traffic.
+//! 2. **Orphan drain** — a stepped swap that removes a connection's
+//!    last subscription must drain it through the `conns_swapped`
+//!    accounting lane, keeping the conn identity
+//!    (`created == discarded + terminated + expired + drained + swapped`)
+//!    green.
+//! 3. **Threaded storm** — a running 2-core `MultiRuntime` absorbs a
+//!    back-and-forth sequence of live swaps (remove/re-add a
+//!    subscription, add/drop a UDP log) against a gated wire: zero
+//!    loss, exact accounting, strictly monotone swap generations, and
+//!    every worker acknowledging every epoch (one pickup lag per core
+//!    per swap).
+//!
+//! With `--json-out PATH` the results merge into the CI bench file
+//! (see `retina_bench::ci`); `scripts/bench_gate.sh` compares them
+//! against the committed baseline.
+
+use std::process::exit;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use retina_bench::{bench_args, ci};
+use retina_core::subscribables::ConnRecord;
+use retina_core::{
+    MultiRuntime, RuntimeBuilder, RuntimeConfig, StepConfig, SwapSpec, TrafficSource,
+};
+use retina_filter::CompiledFilter;
+use retina_support::bytes::Bytes;
+use retina_trafficgen::campus::{generate, CampusConfig};
+
+/// Worker cores for every phase.
+const CORES: u16 = 2;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("reconfig storm FAILED: {msg}");
+    exit(1);
+}
+
+/// Original configuration: an all-TCP connection log (survives every
+/// swap) plus a port-443 log (removed and re-added by the storm).
+fn build(cfg: RuntimeConfig) -> MultiRuntime<CompiledFilter> {
+    RuntimeBuilder::new(cfg)
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", |_| {})
+        .subscribe_named::<ConnRecord>("tls443", "ipv4 and tcp.port = 443", |_| {})
+        .build()
+        .expect("runtime builds")
+}
+
+/// Swap target B: keep `conns`, drop `tls443`, add a UDP log.
+fn spec_b() -> SwapSpec {
+    SwapSpec::new()
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", |_| {})
+        .subscribe_named::<ConnRecord>("udp-conns", "udp", |_| {})
+}
+
+/// Swap target A: back to the original shape (re-adds `tls443`).
+fn spec_a() -> SwapSpec {
+    SwapSpec::new()
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", |_| {})
+        .subscribe_named::<ConnRecord>("tls443", "ipv4 and tcp.port = 443", |_| {})
+}
+
+/// A [`TrafficSource`] that parks the wire at each boundary until the
+/// gate fires once — so the storm driver can line up a live swap with
+/// an exactly-known number of offered frames, keeping the run
+/// repeatable.
+struct StormSource {
+    packets: Vec<(Bytes, u64)>,
+    boundaries: Vec<usize>,
+    next_gate: usize,
+    gate: mpsc::Receiver<()>,
+    cursor: usize,
+}
+
+impl TrafficSource for StormSource {
+    fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool {
+        const BATCH: usize = 256;
+        if self.next_gate < self.boundaries.len() && self.cursor >= self.boundaries[self.next_gate]
+        {
+            let _ = self.gate.recv();
+            self.next_gate += 1;
+        }
+        if self.cursor >= self.packets.len() {
+            return false;
+        }
+        let mut end = (self.cursor + BATCH).min(self.packets.len());
+        if self.next_gate < self.boundaries.len() {
+            end = end.min(self.boundaries[self.next_gate]);
+        }
+        out.extend(self.packets[self.cursor..end].iter().cloned());
+        self.cursor = end;
+        true
+    }
+}
+
+fn main() {
+    let args = bench_args();
+    let packets = generate(&CampusConfig {
+        seed: 0x5AFE,
+        target_packets: if args.quick {
+            6_000
+        } else {
+            args.packets.min(60_000)
+        },
+        duration_secs: 5.0,
+        ..CampusConfig::default()
+    });
+    let offered = packets.len();
+    let swaps: usize = if args.quick { 4 } else { 8 };
+    println!("reconfig storm: {offered} packets, {swaps} live swaps");
+    let t0 = Instant::now();
+
+    // 1. Stepped equivalence: the surviving subscription's ledger is
+    //    byte-identical with and without a midpoint swap, across three
+    //    seeded schedules.
+    let mid = (offered / 2) as u64;
+    for seed in [1u64, 2, 3] {
+        let control = build(RuntimeConfig::with_cores(CORES))
+            .run_stepped(&packets, &StepConfig::seeded(seed));
+        if let Err(msg) = control.check_accounting() {
+            fail(&format!("control accounting (seed {seed}): {msg}"));
+        }
+        let swapped = build(RuntimeConfig::with_cores(CORES))
+            .run_stepped_with_swap(&packets, &StepConfig::seeded(seed), mid, &spec_b())
+            .unwrap_or_else(|e| fail(&format!("stepped swap rejected (seed {seed}): {e}")));
+        if let Err(msg) = swapped.check_accounting() {
+            fail(&format!("stepped swap accounting (seed {seed}): {msg}"));
+        }
+        if swapped.sub_digest("conns") != control.sub_digest("conns") {
+            fail(&format!(
+                "survivor 'conns' digest diverged from the no-swap control at seed {seed}"
+            ));
+        }
+        let udp = swapped
+            .subs
+            .iter()
+            .find(|s| s.name == "udp-conns")
+            .unwrap_or_else(|| fail("no report row for the added udp-conns subscription"));
+        if udp.delivered == 0 {
+            fail("added udp-conns subscription never delivered after the swap");
+        }
+    }
+    println!("  stepped: survivor digest matches no-swap control across 3 schedules");
+
+    // 2. Orphan drain: removing a connection's last subscription must
+    //    route it through the conns_swapped accounting lane.
+    let orphan_rt = RuntimeBuilder::new(RuntimeConfig::with_cores(CORES))
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", |_| {})
+        .subscribe_named::<ConnRecord>("udp-conns", "udp", |_| {})
+        .build()
+        .expect("runtime builds");
+    let to_tcp_only =
+        SwapSpec::new().subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", |_| {});
+    let orphaned = orphan_rt
+        .run_stepped_with_swap(&packets, &StepConfig::seeded(7), mid, &to_tcp_only)
+        .unwrap_or_else(|e| fail(&format!("orphan swap rejected: {e}")));
+    if let Err(msg) = orphaned.check_accounting() {
+        fail(&format!("orphan swap accounting: {msg}"));
+    }
+    let conns_swapped_stepped = orphaned.cores.conns_swapped;
+    if conns_swapped_stepped == 0 {
+        fail("swap removed the UDP log but no connection was accounted as swapped");
+    }
+    println!("  orphan drain: {conns_swapped_stepped} connections accounted as swapped");
+
+    // 3. Threaded storm: alternate B/A swaps against a live runtime,
+    //    each lined up with a parked wire at a known frame boundary.
+    let boundaries: Vec<usize> = (1..=swaps).map(|k| k * offered / (swaps + 1)).collect();
+    let (tx, rx) = mpsc::channel();
+    let source = StormSource {
+        packets: packets.clone(),
+        boundaries: boundaries.clone(),
+        next_gate: 0,
+        gate: rx,
+        cursor: 0,
+    };
+    let mut rt = build(RuntimeConfig::with_cores(CORES));
+    let controller = rt.swap_controller();
+    let nic = Arc::clone(rt.nic());
+    let handle = thread::spawn(move || rt.run(source));
+    let mut max_lag_us: u64 = 0;
+    for (k, boundary) in boundaries.iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while nic.stats().rx_offered < *boundary as u64 {
+            if Instant::now() > deadline {
+                fail(&format!(
+                    "wire never reached swap boundary {k} ({boundary} frames)"
+                ));
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let spec = if k % 2 == 0 { spec_b() } else { spec_a() };
+        let event = controller
+            .swap(&spec)
+            .unwrap_or_else(|e| fail(&format!("live swap {k} rejected: {e}")));
+        if event.generation != (k + 1) as u64 {
+            fail(&format!(
+                "swap {k} published generation {} (expected {})",
+                event.generation,
+                k + 1
+            ));
+        }
+        if event.pickup_lag_us.len() != CORES as usize {
+            fail(&format!(
+                "swap {k} recorded {} pickup lags (expected one per core)",
+                event.pickup_lag_us.len()
+            ));
+        }
+        if event.retired_at < event.published_at {
+            fail(&format!("swap {k} retired before it published"));
+        }
+        max_lag_us = max_lag_us.max(event.pickup_lag_us.iter().copied().max().unwrap_or(0));
+        tx.send(()).expect("release the wire");
+    }
+    let report = handle.join().expect("runtime thread");
+    if !report.zero_loss() {
+        fail("threaded storm lost frames across the swap sequence");
+    }
+    if let Err(msg) = report.check_accounting() {
+        fail(&format!("threaded storm accounting: {msg}"));
+    }
+    let survivor = report
+        .subs
+        .iter()
+        .find(|s| s.name == "conns")
+        .unwrap_or_else(|| fail("no report row for the surviving conns subscription"));
+    if survivor.delivered == 0 {
+        fail("surviving subscription delivered nothing across the storm");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "  threaded: {swaps} swaps, survivor delivered {}, {} conns swapped, max pickup lag {max_lag_us}us",
+        survivor.delivered, report.cores.conns_swapped
+    );
+    println!("reconfig storm OK ({elapsed:.2}s)");
+
+    if let Some(path) = &args.json_out {
+        let metrics: Vec<(&str, f64)> = vec![
+            ("packets", offered as f64),
+            ("swaps_completed", swaps as f64),
+            ("zero_loss", 1.0),
+            ("accounting_ok", 1.0),
+            ("digest_match", 1.0),
+            ("orphans_drained", 1.0),
+            ("generations_monotone", 1.0),
+            ("pickups_complete", 1.0),
+            ("_survivor_delivered", survivor.delivered as f64),
+            ("_conns_swapped_stepped", conns_swapped_stepped as f64),
+            ("_conns_swapped_threaded", report.cores.conns_swapped as f64),
+            ("_pickup_lag_max_us", max_lag_us as f64),
+            ("_elapsed_secs", elapsed),
+        ];
+        ci::merge_section(path, "reconfig_storm", &metrics).expect("write json-out");
+        println!("merged section reconfig_storm into {path}");
+        ci::print_gate_keys("reconfig_storm", &metrics);
+    }
+}

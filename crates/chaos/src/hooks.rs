@@ -25,6 +25,8 @@ pub struct ChaosHooks {
     queue_polls: Vec<AtomicU64>,
     /// Per-core worker-loop counters (slowdown windows are poll-indexed).
     core_polls: Vec<AtomicU64>,
+    /// Per-core epoch-pickup counters (swap stalls are pickup-indexed).
+    core_pickups: Vec<AtomicU64>,
     /// Optional runtime trace handle: the first fault activation of the
     /// run freezes the installed tracer's flight recorder.
     trace: Option<TraceHandle>,
@@ -40,6 +42,7 @@ impl ChaosHooks {
             plan,
             queue_polls: (0..n).map(|_| AtomicU64::new(0)).collect(),
             core_polls: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            core_pickups: (0..n).map(|_| AtomicU64::new(0)).collect(),
             trace: None,
             fired: AtomicBool::new(false),
         }
@@ -136,6 +139,23 @@ impl FaultHooks for ChaosHooks {
         hit
     }
 
+    fn swap_pickup_delay(&self, core: u16) -> Option<Duration> {
+        let counter = self.core_pickups.get(core as usize)?;
+        let pickup = counter.fetch_add(1, Ordering::Relaxed);
+        let hit = self.plan.faults.iter().find_map(|f| match f {
+            Fault::SwapStall {
+                core: c,
+                pickups,
+                delay,
+            } if *c == core && pickup < *pickups => Some(*delay),
+            _ => None,
+        });
+        if hit.is_some() {
+            self.fire(pickup);
+        }
+        hit
+    }
+
     fn callback_delay(&self, sub: u16, seq: u64) -> Option<Duration> {
         // Stateless: the dispatch worker supplies the per-subscription
         // item sequence, so the window check needs no counter here and
@@ -223,6 +243,20 @@ mod tests {
         assert_eq!(hooks.callback_delay(1, 4), None);
         // Stateless: re-asking for the same item gives the same answer.
         assert_eq!(hooks.callback_delay(1, 2), Some(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn swap_stall_delays_only_the_configured_cores_first_pickups() {
+        let plan = FaultPlan::new(0).with(Fault::SwapStall {
+            core: 1,
+            pickups: 2,
+            delay: Duration::from_millis(4),
+        });
+        let hooks = ChaosHooks::new(plan, 2);
+        assert_eq!(hooks.swap_pickup_delay(0), None, "other core unfaulted");
+        assert_eq!(hooks.swap_pickup_delay(1), Some(Duration::from_millis(4)));
+        assert_eq!(hooks.swap_pickup_delay(1), Some(Duration::from_millis(4)));
+        assert_eq!(hooks.swap_pickup_delay(1), None, "window exhausted");
     }
 
     #[test]

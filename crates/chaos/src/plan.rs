@@ -90,6 +90,22 @@ pub enum Fault {
         /// Injected extra latency per item.
         delay: Duration,
     },
+    /// Worker `core` sleeps `delay` before each of its first `pickups`
+    /// configuration-epoch pickups during a live swap — a core that is
+    /// slow to reach its between-bursts safe point. The swap's grace
+    /// period must hold: the old epoch stays referenced (and therefore
+    /// allocated) until the stalled core acknowledges the new
+    /// generation. Pickup-indexed per core, so the decision is a pure
+    /// function of how many swaps the run has published.
+    SwapStall {
+        /// Affected worker core.
+        core: u16,
+        /// Number of consecutive epoch pickups to delay (from the
+        /// core's first pickup of the run).
+        pickups: u64,
+        /// Injected extra latency per pickup.
+        delay: Duration,
+    },
     /// Registered chaos parsers panic when a payload's content hash is
     /// `0 (mod modulus)`; the runtime must convert the panic into a
     /// recoverable parse error. Content-based, so the decision is
@@ -133,6 +149,11 @@ impl Fault {
                 "callback stall: sub {sub}, items [{start_item}, {}), +{delay:?}/item",
                 start_item + items
             ),
+            Fault::SwapStall {
+                core,
+                pickups,
+                delay,
+            } => format!("swap stall: core {core}, first {pickups} pickups, +{delay:?}/pickup"),
             Fault::TruncateFrames { ppm } => format!("truncate frames: {ppm} ppm"),
             Fault::CorruptFrames { ppm } => format!("corrupt frames: {ppm} ppm"),
             Fault::DuplicateFrames { ppm } => format!("duplicate frames: {ppm} ppm"),

@@ -222,6 +222,32 @@ impl<V> ConnArena<V> {
             .filter_map(|slot| slot.data.as_ref().map(|o| (&o.key, &o.entry)))
     }
 
+    /// Mutably visits every live entry in slot order; entries for which
+    /// `f` returns `false` are removed (generation bumped, slot freed)
+    /// and handed to `on_remove` with their key and RSS hash. Used by
+    /// the live-reconfiguration rebind, which must rewrite or evict
+    /// every tracked connection in one deterministic pass.
+    pub fn retain_mut(
+        &mut self,
+        mut f: impl FnMut(&ConnKey, &mut ConnEntry<V>) -> bool,
+        mut on_remove: impl FnMut(ConnKey, u32, ConnEntry<V>),
+    ) {
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            let keep = match slot.data.as_mut() {
+                Some(o) => f(&o.key, &mut o.entry),
+                None => continue,
+            };
+            if !keep {
+                let data = slot.data.take().expect("checked occupied above");
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free
+                    .push(u32::try_from(index).expect("arena exceeds u32 slots"));
+                self.live -= 1;
+                on_remove(data.key, data.hash, data.entry);
+            }
+        }
+    }
+
     /// Drains every live entry in slot order, leaving the arena empty
     /// (capacity retained).
     pub fn drain_all(&mut self) -> Vec<(ConnKey, ConnEntry<V>)> {

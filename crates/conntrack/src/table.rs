@@ -313,6 +313,52 @@ impl<V> ConnTable<V> {
         self.arena.iter()
     }
 
+    /// Mutably visits every tracked connection in deterministic
+    /// arena-slot order; entries for which `f` returns `false` are
+    /// removed from the table (index unlinked, wheel token tombstoned
+    /// via the generation bump) and handed to `on_remove`. This is the
+    /// swap-time rebind primitive: one pass rewrites surviving
+    /// connections in place and evicts the ones the new configuration
+    /// no longer watches.
+    pub fn retain_mut(
+        &mut self,
+        f: impl FnMut(&ConnKey, &mut ConnEntry<V>) -> bool,
+        mut on_remove: impl FnMut(ConnKey, ConnEntry<V>),
+    ) {
+        let mut unlinks: Vec<u32> = Vec::new();
+        self.arena.retain_mut(f, |key, hash, entry| {
+            unlinks.push(hash);
+            on_remove(key, entry);
+        });
+        // Unlink after the arena pass: the shard maps need `&mut self`
+        // while the arena borrow is held above. Liveness (not handle
+        // identity) decides what stays, so only the hash is needed.
+        for hash in unlinks {
+            let shard = &mut self.shards[shard_of(hash)];
+            if let std::collections::hash_map::Entry::Occupied(mut o) = shard.entry(hash) {
+                // The removed handles' generations are gone; drop every
+                // bucket member whose arena slot no longer resolves to a
+                // live key. (Checking liveness — rather than removing
+                // blindly — keeps colliding same-hash survivors linked.)
+                match o.get_mut() {
+                    Bucket::One(h) => {
+                        if self.arena.key(*h).is_none() {
+                            o.remove();
+                        }
+                    }
+                    Bucket::Many(chain) => {
+                        chain.retain(|h| self.arena.key(*h).is_some());
+                        if let [only] = chain.as_slice() {
+                            *o.get_mut() = Bucket::One(*only);
+                        } else if chain.is_empty() {
+                            o.remove();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Drains every tracked connection (used at shutdown to flush
     /// partial sessions) in deterministic arena-slot order.
     pub fn drain_all(&mut self) -> Vec<(ConnKey, ConnEntry<V>)> {

@@ -62,6 +62,7 @@ pub mod executor;
 pub mod governor;
 pub mod monitor;
 pub mod offline;
+pub mod reconfig;
 pub mod runtime;
 pub mod stats;
 pub mod step;
@@ -76,6 +77,7 @@ pub use executor::{CallbackMode, DispatchMode, Dispatcher, QueuePolicy};
 pub use governor::{Governor, GovernorBrain, GovernorConfig, GovernorReport, ShedState};
 pub use monitor::{Monitor, MonitorSample};
 pub use offline::run_offline;
+pub use reconfig::{SwapController, SwapError, SwapEvent, SwapSpec};
 pub use runtime::{
     MultiRuntime, RunReport, Runtime, RuntimeBuilder, RuntimeError, RuntimeGauges, SubReport,
     TraceHandle, TrafficSource,

@@ -50,6 +50,12 @@ pub struct MonitorSample {
     /// Connection-arena high-water bytes summed across cores (peak
     /// backing-store footprint of the connection tables).
     pub conn_arena_bytes: usize,
+    /// Generation of the configuration epoch the runtime is executing
+    /// (0 for the boot configuration; bumped by every live swap).
+    pub config_epoch: u64,
+    /// Worst per-core pickup lag of the most recent live swap
+    /// (microseconds; 0 when no swap has happened).
+    pub swap_pickup_lag_us: u64,
 }
 
 impl MonitorSample {
@@ -69,6 +75,8 @@ impl MonitorSample {
             sim_clock_ns: self.sim_clock_ns,
             dispatch_depth: self.dispatch_depth,
             conn_arena_bytes: self.conn_arena_bytes as u64,
+            config_epoch: self.config_epoch,
+            swap_pickup_lag_us: self.swap_pickup_lag_us,
         }
     }
 
@@ -123,6 +131,8 @@ impl Sampler {
             sim_clock_ns: self.gauges.sim_clock_ns(),
             dispatch_depth: self.dispatch.as_ref().map_or(0, |hub| hub.total_depth()),
             conn_arena_bytes: self.gauges.conn_arena_bytes(),
+            config_epoch: self.gauges.config_epoch(),
+            swap_pickup_lag_us: self.gauges.swap_pickup_lag_us(),
         };
         // Drop-rate burst trigger: a single interval losing more frames
         // than the tracer's threshold freezes the flight recorder.
@@ -314,6 +324,8 @@ mod tests {
             sim_clock_ns: 1,
             dispatch_depth: 0,
             conn_arena_bytes: 8192,
+            config_epoch: 3,
+            swap_pickup_lag_us: 42,
         }
     }
 
@@ -340,5 +352,7 @@ mod tests {
         assert_eq!(s.mbuf_high_water, 123);
         assert_eq!(s.lost_per_sec(), 12.0);
         assert_eq!(s.hw_dropped_per_sec(), 200.0);
+        assert_eq!(s.config_epoch, 3);
+        assert_eq!(s.swap_pickup_lag_us, 42);
     }
 }

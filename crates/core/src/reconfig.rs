@@ -1,0 +1,625 @@
+//! Live reconfiguration: epoch-based RCU hot-swap of subscriptions on a
+//! running [`MultiRuntime`](crate::MultiRuntime).
+//!
+//! A running pipeline's configuration — the merged filter trie, the
+//! subscription table, the per-core sink sets, the dispatch fabric, the
+//! NIC rule union — is bundled into one immutable `ConfigEpoch` and
+//! published through a generation counter. RX workers check the counter
+//! once per burst (a single `Acquire` load; the hot path takes no lock)
+//! and adopt the new epoch at their between-bursts safe point. The
+//! publisher waits for every worker to acknowledge the new generation
+//! (the RCU grace period) before retiring the old epoch, so no frame is
+//! ever seen by a half-updated configuration and no packet is lost to a
+//! swap.
+//!
+//! ## Epoch lifecycle
+//!
+//! 1. **Prepare** — the new subscription set's filter sources are run
+//!    through the semantic analyzer (E-codes reject the swap before
+//!    anything is staged; W-codes ride along in the [`SwapEvent`]) and
+//!    compiled into a fresh union trie.
+//! 2. **Stage** — the hardware rule union is recomputed and *diffed*
+//!    against the installed set; only the adds and removes are applied,
+//!    atomically, so the NIC table never transiently narrows (an empty
+//!    table means "deliver everything via RSS").
+//! 3. **Publish** — the epoch (filter, subscriptions, fresh sink sets,
+//!    a new dispatch fabric that shares surviving subscriptions'
+//!    counters) is installed and the generation counter bumped.
+//! 4. **Grace** — the publisher spins until every worker has stored the
+//!    new generation into its ack slot (or exited). Because the swap
+//!    lock serializes publishes *and* each publish waits out its grace
+//!    period, a worker can never skip a generation — the single-step
+//!    `remap` is always valid.
+//! 5. **Retire** — removed subscriptions' dispatch counters are banked
+//!    in the retired ledger (final reports fold them back in by name),
+//!    the old dispatch fabric is drained and joined, and the old epoch
+//!    is dropped; a `Weak` upgrade failure proves it is gone.
+//!
+//! ## Swap-time accounting
+//!
+//! Removed subscriptions' per-connection state is drained — matched
+//! connections get their `on_terminate` data delivered through the old
+//! sinks, undecided ones are charged a discard — and connections left
+//! with no surviving subscription are counted `conns_swapped`, a fifth
+//! outcome in the connection identity (`created == discarded +
+//! terminated + expired + drained + swapped`). Surviving subscriptions
+//! keep their per-connection state, so mid-connection matches are never
+//! lost across a swap.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use retina_filter::{CompiledFilter, FilterFns, SubscriptionSet};
+use retina_nic::VirtualNic;
+use retina_telemetry::{DispatchHub, DispatchStats, TriggerReason};
+
+use crate::config::RuntimeConfig;
+use crate::erased::{ErasedSink, ErasedSubscription, TypedSubscription};
+use crate::executor::{channel_dispatcher, CallbackDelayFn, DispatchMode, Dispatcher};
+use crate::runtime::{RuntimeGauges, TraceHandle};
+use crate::subscription::{Level, Subscribable};
+
+/// Ack-slot sentinel: the worker has exited (end of run). A grace
+/// period treats an exited worker as having acknowledged every
+/// generation.
+pub(crate) const EXITED: u64 = u64::MAX;
+
+/// The new subscription set for a live swap: filters, callbacks, and
+/// dispatch modes, registered exactly like on a
+/// [`RuntimeBuilder`](crate::RuntimeBuilder).
+///
+/// Subscriptions sharing a name with one in the running configuration
+/// *survive* the swap (their per-connection state and dispatch counters
+/// carry over); names only in the old set are removed and drained;
+/// names only in the new set are added.
+#[derive(Default)]
+pub struct SwapSpec {
+    pub(crate) sources: Vec<String>,
+    pub(crate) subs: Vec<Arc<dyn ErasedSubscription>>,
+    pub(crate) modes: Vec<Option<DispatchMode>>,
+}
+
+impl SwapSpec {
+    /// Starts an empty spec.
+    #[must_use]
+    pub fn new() -> Self {
+        SwapSpec::default()
+    }
+
+    /// Registers a subscription under an explicit telemetry name (the
+    /// identity survivor matching runs on).
+    #[must_use]
+    pub fn subscribe_named<S: Subscribable>(
+        mut self,
+        name: impl Into<String>,
+        filter: &str,
+        callback: impl Fn(S) + Send + Sync + 'static,
+    ) -> Self {
+        self.sources.push(filter.to_string());
+        self.subs
+            .push(Arc::new(TypedSubscription::<S>::new(name, callback)));
+        self.modes.push(None);
+        self
+    }
+
+    /// Registers a subscription with an explicit dispatch mode.
+    #[must_use]
+    pub fn subscribe_dispatched<S: Subscribable>(
+        self,
+        name: impl Into<String>,
+        filter: &str,
+        mode: DispatchMode,
+        callback: impl Fn(S) + Send + Sync + 'static,
+    ) -> Self {
+        let mut spec = self.subscribe_named(name, filter, callback);
+        *spec.modes.last_mut().expect("just pushed") = Some(mode);
+        spec
+    }
+
+    /// Registered subscription names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.subs.iter().map(|s| s.name()).collect()
+    }
+}
+
+/// Why a swap was rejected. No failed swap changes the running
+/// configuration: rejection happens before staging (or, for hardware
+/// rules, before publishing), and the old epoch keeps serving.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The new filter set failed semantic analysis or compilation
+    /// (carries the analyzer's E-codes, same as `retina-flint`).
+    Filter(String),
+    /// The spec itself is malformed (empty, too many subscriptions,
+    /// duplicate names).
+    Spec(String),
+    /// The new hardware rule union was rejected by the device.
+    HwFilter(String),
+    /// No run is in flight (swaps reconfigure a *running* pipeline).
+    NotRunning,
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Filter(m) => write!(f, "swap rejected by filter analysis: {m}"),
+            SwapError::Spec(m) => write!(f, "swap spec invalid: {m}"),
+            SwapError::HwFilter(m) => write!(f, "swap hardware rules rejected: {m}"),
+            SwapError::NotRunning => write!(f, "no run in flight to reconfigure"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// The ledger entry for one completed swap: what changed, when each
+/// lifecycle step happened (durations since the runtime's epoch-state
+/// creation), and how long each core took to adopt the new generation.
+#[derive(Debug, Clone)]
+pub struct SwapEvent {
+    /// The generation this swap published.
+    pub generation: u64,
+    /// When the swap was requested.
+    pub requested_at: Duration,
+    /// When preparation finished and the NIC diff was applied.
+    pub staged_at: Duration,
+    /// When the new epoch became visible to workers.
+    pub published_at: Duration,
+    /// When the grace period ended and the old epoch was retired.
+    pub retired_at: Duration,
+    /// Per-core pickup lag in microseconds: publish-to-acknowledgment
+    /// for each RX core (0 for cores that had already exited).
+    pub pickup_lag_us: Vec<u64>,
+    /// Subscription names added by this swap.
+    pub added: Vec<String>,
+    /// Subscription names removed (and drained) by this swap.
+    pub removed: Vec<String>,
+    /// Hardware rules installed by the diff.
+    pub rules_added: usize,
+    /// Hardware rules removed by the diff.
+    pub rules_removed: usize,
+    /// Analyzer W-code warnings for the new filter set.
+    pub warnings: Vec<String>,
+}
+
+/// A validated, compiled swap ready to publish.
+pub(crate) struct PreparedSwap<F> {
+    pub(crate) filter: Arc<F>,
+    pub(crate) subs: Vec<Arc<dyn ErasedSubscription>>,
+    pub(crate) modes: Vec<DispatchMode>,
+    /// Old subscription index -> new index, matched by name (`None` =
+    /// removed).
+    pub(crate) remap: Vec<Option<usize>>,
+    pub(crate) warnings: Vec<String>,
+}
+
+/// Validates and compiles a [`SwapSpec`] against the running
+/// configuration: analyzer first (E-codes reject, W-codes surface),
+/// then the union trie, then the name-based survivor remap.
+pub(crate) fn prepare(
+    spec: &SwapSpec,
+    old_subs: &[Arc<dyn ErasedSubscription>],
+    config: &RuntimeConfig,
+) -> Result<PreparedSwap<CompiledFilter>, SwapError> {
+    if spec.subs.is_empty() {
+        return Err(SwapError::Spec(
+            "swap must register at least one subscription".to_string(),
+        ));
+    }
+    if spec.subs.len() > SubscriptionSet::MAX {
+        return Err(SwapError::Spec(format!(
+            "at most {} subscriptions per runtime (got {})",
+            SubscriptionSet::MAX,
+            spec.subs.len(),
+        )));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for sub in &spec.subs {
+        if !seen.insert(sub.name()) {
+            return Err(SwapError::Spec(format!(
+                "duplicate subscription name {:?} (names are the swap's survivor identity)",
+                sub.name(),
+            )));
+        }
+    }
+    let srcs: Vec<&str> = spec.sources.iter().map(String::as_str).collect();
+    let mut warnings = Vec::new();
+    // Lex/parse errors fall through to build_union below, which reports
+    // them with the subscription's source text.
+    if let Ok(analysis) =
+        retina_filter::analyze_union(&srcs, &config.filter_registry, Some(&config.device.caps))
+    {
+        if analysis.has_errors() {
+            let msg = analysis
+                .errors()
+                .map(retina_filter::Diagnostic::summary)
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(SwapError::Filter(msg));
+        }
+        warnings = analysis
+            .warnings()
+            .map(retina_filter::Diagnostic::summary)
+            .collect();
+    }
+    let filter = CompiledFilter::build_union(&srcs, &config.filter_registry)
+        .map_err(|e| SwapError::Filter(e.to_string()))?;
+    if filter.num_subscriptions() != spec.subs.len() {
+        return Err(SwapError::Spec(format!(
+            "{} subscriptions registered but the filter decides {}",
+            spec.subs.len(),
+            filter.num_subscriptions(),
+        )));
+    }
+    let remap = old_subs
+        .iter()
+        .map(|old| spec.subs.iter().position(|new| new.name() == old.name()))
+        .collect();
+    let default_mode = DispatchMode::from_callback_mode(config.callback_mode);
+    let modes = spec
+        .modes
+        .iter()
+        .map(|m| m.unwrap_or(default_mode))
+        .collect();
+    Ok(PreparedSwap {
+        filter: Arc::new(filter),
+        subs: spec.subs.clone(),
+        modes,
+        remap,
+        warnings,
+    })
+}
+
+/// Per-core staged inline sink sets: slot `core` holds `Some` until
+/// that worker claims (takes) it.
+pub(crate) type StagedSinks = Vec<Option<Vec<Box<dyn ErasedSink>>>>;
+
+/// One immutable configuration generation: everything a worker needs to
+/// process a burst, bundled so adoption is a single `Arc` swap.
+pub(crate) struct ConfigEpoch<F: FilterFns + 'static> {
+    pub(crate) generation: u64,
+    pub(crate) filter: Arc<F>,
+    pub(crate) subs: Vec<Arc<dyn ErasedSubscription>>,
+    /// Previous epoch's subscription index -> this epoch's (empty for
+    /// a run's first epoch). Valid because grace-period serialization
+    /// guarantees no worker ever skips a generation.
+    pub(crate) remap: Vec<Option<usize>>,
+    /// Packet-level subscriptions (callback straight off the packet
+    /// filter).
+    pub(crate) packet_mask: SubscriptionSet,
+    /// Per-core sink sets, each claimed (taken) exactly once by its
+    /// worker. Sets left unclaimed when the epoch retires are dropped
+    /// by the retirer so the dispatch rings disconnect.
+    pub(crate) sinks: Mutex<StagedSinks>,
+    /// Dispatch counters, one per subscription; survivors share their
+    /// `DispatchStats` with the previous epoch so per-name accounting
+    /// spans the whole run.
+    pub(crate) hub: Arc<DispatchHub>,
+    /// The epoch's dispatch worker threads, joined at retirement.
+    pub(crate) dispatcher: Mutex<Option<Dispatcher>>,
+}
+
+/// Shared swap state between a [`MultiRuntime`](crate::MultiRuntime),
+/// its workers, and any [`SwapController`].
+pub(crate) struct EpochState<F: FilterFns + 'static> {
+    /// The published generation. Workers poll this once per burst.
+    pub(crate) generation: AtomicU64,
+    /// The current epoch (`None` between runs).
+    pub(crate) current: RwLock<Option<Arc<ConfigEpoch<F>>>>,
+    /// Per-core acknowledgment: the highest generation each worker has
+    /// adopted, or [`EXITED`].
+    pub(crate) acks: Vec<AtomicU64>,
+    /// Ledger of completed swaps, oldest first.
+    pub(crate) events: Mutex<Vec<SwapEvent>>,
+    /// Dispatch counters of removed subscriptions, banked at
+    /// retirement and folded into the final report by name.
+    pub(crate) retired: Mutex<Vec<(String, Arc<DispatchStats>)>>,
+    /// Time base for all `SwapEvent` timestamps.
+    pub(crate) base: Instant,
+    /// Serializes swaps (and run start/end epoch installation).
+    pub(crate) swap_lock: Mutex<()>,
+}
+
+impl<F: FilterFns + 'static> EpochState<F> {
+    pub(crate) fn new(cores: usize) -> Self {
+        EpochState {
+            generation: AtomicU64::new(0),
+            current: RwLock::new(None),
+            acks: (0..cores.max(1)).map(|_| AtomicU64::new(EXITED)).collect(),
+            events: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            base: Instant::now(),
+            swap_lock: Mutex::new(()),
+        }
+    }
+
+    /// Records one core's adoption of `generation` into the matching
+    /// ledger event, returning the lag in microseconds (also mirrored
+    /// into `gauges` by the caller).
+    pub(crate) fn note_pickup(&self, core: usize, generation: u64) -> Option<u64> {
+        let now = self.base.elapsed();
+        let mut events = self.events.lock().unwrap();
+        let ev = events
+            .iter_mut()
+            .rev()
+            .find(|e| e.generation == generation)?;
+        let lag = now.saturating_sub(ev.published_at);
+        let us = u64::try_from(lag.as_micros()).unwrap_or(u64::MAX);
+        if let Some(slot) = ev.pickup_lag_us.get_mut(core) {
+            *slot = us;
+        }
+        Some(us)
+    }
+
+    /// Snapshot of the swap ledger.
+    pub(crate) fn events_snapshot(&self) -> Vec<SwapEvent> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+/// A handle for swapping subscriptions on a live run. Obtained from
+/// [`MultiRuntime::swap_controller`](crate::MultiRuntime::swap_controller)
+/// before the run starts; it holds only shared state, so it works from
+/// any thread while `run()` owns the runtime.
+pub struct SwapController {
+    pub(crate) epochs: Arc<EpochState<CompiledFilter>>,
+    pub(crate) nic: Arc<VirtualNic>,
+    pub(crate) gauges: Arc<RuntimeGauges>,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) trace: TraceHandle,
+}
+
+impl SwapController {
+    /// The currently published configuration generation.
+    pub fn generation(&self) -> u64 {
+        self.epochs.generation.load(Ordering::Acquire)
+    }
+
+    /// The swap ledger so far (completed swaps, oldest first).
+    pub fn events(&self) -> Vec<SwapEvent> {
+        self.epochs.events_snapshot()
+    }
+
+    /// Fires the flight recorder on a rejected swap, so the moments
+    /// around the failure are preserved for diagnosis.
+    fn fire_failed(&self, detail: u64) {
+        if let Ok(guard) = self.trace.read() {
+            if let Some(t) = guard.as_ref() {
+                t.trigger(TriggerReason::SwapFailed, detail);
+            }
+        }
+    }
+
+    /// Swaps the running configuration for `spec`: prepare, stage the
+    /// NIC rule diff, publish the new epoch, wait out the grace period,
+    /// retire the old epoch. Returns the completed [`SwapEvent`].
+    ///
+    /// Blocks until every RX core has adopted the new generation; on
+    /// any error the running configuration is unchanged (the NIC diff
+    /// is applied only after every software-side check has passed, and
+    /// is itself transactional).
+    ///
+    /// # Panics
+    /// Panics if the epoch state's internal locks are poisoned (a
+    /// worker panicked mid-swap).
+    pub fn swap(&self, spec: &SwapSpec) -> Result<SwapEvent, SwapError> {
+        let _serial = self.epochs.swap_lock.lock().unwrap();
+        let requested_at = self.epochs.base.elapsed();
+        let Some(old) = self.epochs.current.read().unwrap().clone() else {
+            return Err(SwapError::NotRunning);
+        };
+        if self
+            .epochs
+            .acks
+            .iter()
+            .all(|a| a.load(Ordering::Acquire) == EXITED)
+        {
+            // Every worker already exited: the run is shutting down.
+            return Err(SwapError::NotRunning);
+        }
+
+        let prepared = match prepare(spec, &old.subs, &self.config) {
+            Ok(p) => p,
+            Err(e) => {
+                self.fire_failed(old.generation);
+                return Err(e);
+            }
+        };
+
+        // Stage: recompute the hardware rule union and apply the diff.
+        let mut rules_added = 0;
+        let mut rules_removed = 0;
+        if self.config.hw_filtering {
+            let new_rules = prepared
+                .filter
+                .hw_rules(self.config.device.caps, &self.config.filter_registry)
+                .map_err(|e| {
+                    self.fire_failed(old.generation);
+                    SwapError::HwFilter(e.to_string())
+                })?;
+            let old_rules = self.nic.rules_snapshot();
+            let adds: Vec<_> = new_rules
+                .iter()
+                .filter(|r| !old_rules.contains(r))
+                .cloned()
+                .collect();
+            let removes: Vec<_> = old_rules
+                .iter()
+                .filter(|r| !new_rules.contains(r))
+                .cloned()
+                .collect();
+            rules_added = adds.len();
+            rules_removed = removes.len();
+            self.nic.apply_rule_diff(adds, &removes).map_err(|e| {
+                self.fire_failed(old.generation);
+                SwapError::HwFilter(e.to_string())
+            })?;
+        }
+        let staged_at = self.epochs.base.elapsed();
+
+        // Build the new dispatch fabric. Survivors keep their
+        // DispatchStats (per-name delivery accounting spans the swap);
+        // added subscriptions get fresh counters.
+        let cores = self.epochs.acks.len();
+        let mut stats: Vec<Arc<DispatchStats>> = Vec::with_capacity(prepared.subs.len());
+        for (j, (sub, mode)) in prepared.subs.iter().zip(&prepared.modes).enumerate() {
+            let survivor = prepared.remap.iter().position(|m| *m == Some(j));
+            match survivor {
+                Some(i) => stats.push(old.hub.get(i)),
+                None => {
+                    let cap = if sub.has_callback() {
+                        (mode.depth() * cores) as u64
+                    } else {
+                        0
+                    };
+                    stats.push(Arc::new(DispatchStats::with_capacity(cap)));
+                }
+            }
+        }
+        let hub = Arc::new(DispatchHub::from_stats(stats));
+        let delay: CallbackDelayFn = {
+            let nic = Arc::clone(&self.nic);
+            Arc::new(move |sub, seq| nic.fault_callback_delay(sub, seq))
+        };
+        // Known limitation: dispatch fabrics built mid-run do not carry
+        // the run's tracer (its lanes were sized for the initial
+        // subscription count); RX-side tracing is unaffected.
+        let (per_core_sinks, dispatcher) = channel_dispatcher(
+            &prepared.subs,
+            &prepared.modes,
+            cores,
+            self.config.shared_workers,
+            &hub,
+            &delay,
+            None,
+        );
+        let mut packet_mask = SubscriptionSet::empty();
+        for (j, sub) in prepared.subs.iter().enumerate() {
+            if sub.level() == Level::Packet {
+                packet_mask.insert(j);
+            }
+        }
+        let generation = old.generation + 1;
+        let epoch = Arc::new(ConfigEpoch {
+            generation,
+            filter: prepared.filter,
+            subs: prepared.subs,
+            remap: prepared.remap.clone(),
+            packet_mask,
+            sinks: Mutex::new(per_core_sinks.into_iter().map(Some).collect()),
+            hub,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        });
+
+        let added = epoch
+            .subs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !prepared.remap.contains(&Some(*j)))
+            .map(|(_, s)| s.name().to_string())
+            .collect();
+        let removed: Vec<String> = prepared
+            .remap
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_none())
+            .map(|(i, _)| old.subs[i].name().to_string())
+            .collect();
+        // Push the event skeleton before publishing so workers can
+        // record their pickup lag against it.
+        self.epochs.events.lock().unwrap().push(SwapEvent {
+            generation,
+            requested_at,
+            staged_at,
+            published_at: staged_at,
+            retired_at: staged_at,
+            pickup_lag_us: vec![0; cores],
+            added,
+            removed,
+            rules_added,
+            rules_removed,
+            warnings: prepared.warnings,
+        });
+
+        // Publish.
+        let weak_old = Arc::downgrade(&old);
+        *self.epochs.current.write().unwrap() = Some(Arc::clone(&epoch));
+        let published_at = self.epochs.base.elapsed();
+        if let Some(ev) = self
+            .epochs
+            .events
+            .lock()
+            .unwrap()
+            .iter_mut()
+            .rev()
+            .find(|e| e.generation == generation)
+        {
+            ev.published_at = published_at;
+        }
+        self.epochs.generation.store(generation, Ordering::Release);
+        self.gauges.note_config_epoch(generation);
+
+        // Grace period: every worker adopts the new generation (or
+        // exits) before the old epoch can be retired.
+        for ack in &self.epochs.acks {
+            loop {
+                let v = ack.load(Ordering::Acquire);
+                if v == EXITED || v >= generation {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+
+        // Retire: drop unclaimed sink sets (they keep SPSC producers
+        // alive), join the old dispatch fabric, bank removed
+        // subscriptions' counters.
+        {
+            let mut sinks = old.sinks.lock().unwrap();
+            for s in sinks.iter_mut() {
+                s.take();
+            }
+        }
+        let old_dispatcher = old.dispatcher.lock().unwrap().take();
+        if let Some(d) = old_dispatcher {
+            let _ = d.join();
+        }
+        {
+            let mut retired = self.epochs.retired.lock().unwrap();
+            for (i, m) in epoch.remap.iter().enumerate() {
+                if m.is_none() {
+                    retired.push((old.subs[i].name().to_string(), old.hub.get(i)));
+                }
+            }
+        }
+        drop(old);
+        // Every strong reference is accounted for (workers swapped
+        // theirs during grace); upgrade failure proves retirement.
+        while weak_old.upgrade().is_some() {
+            std::thread::yield_now();
+        }
+        let retired_at = self.epochs.base.elapsed();
+
+        let mut events = self.epochs.events.lock().unwrap();
+        let ev = events
+            .iter_mut()
+            .rev()
+            .find(|e| e.generation == generation)
+            .expect("event pushed above");
+        ev.retired_at = retired_at;
+        Ok(ev.clone())
+    }
+}
+
+/// A swap scheduled inside a deterministic stepped run (see
+/// [`MultiRuntime::run_stepped_with_swap`](crate::MultiRuntime::run_stepped_with_swap)):
+/// the prepared configuration plus the packet index to apply it at.
+pub(crate) struct StepSwap<F: FilterFns + 'static> {
+    pub(crate) at_packet: u64,
+    pub(crate) filter: Arc<F>,
+    pub(crate) subs: Vec<Arc<dyn ErasedSubscription>>,
+    pub(crate) modes: Vec<DispatchMode>,
+    pub(crate) remap: Vec<Option<usize>>,
+}

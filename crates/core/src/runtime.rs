@@ -36,8 +36,9 @@
 // Narrowing casts in this file are intentional: tick, index, and counter arithmetic narrows to compact fields by design.
 #![allow(clippy::cast_possible_truncation)]
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use retina_filter::{CompiledFilter, FilterFns, PacketVerdict, SubscriptionSet};
@@ -50,9 +51,10 @@ use retina_telemetry::{
 use retina_wire::ParsedPacket;
 
 use crate::config::RuntimeConfig;
-use crate::erased::{ErasedSink, ErasedSubscription, TypedSubscription};
+use crate::erased::{ErasedSubscription, TypedSubscription};
 use crate::executor::{channel_dispatcher, CallbackDelayFn, DispatchMode};
 use crate::governor::{Governor, GovernorConfig, ShedState};
+use crate::reconfig::{ConfigEpoch, EpochState, SwapController, EXITED};
 use crate::stats::CoreStats;
 use crate::subscription::{Level, Subscribable};
 use crate::tracker::{ConnTracker, SubTally};
@@ -91,6 +93,8 @@ pub struct RuntimeGauges {
     conn_arena_bytes: GaugeId,
     sim_clock_ns: GaugeId,
     mbuf_high_water: GaugeId,
+    config_epoch: GaugeId,
+    swap_pickup_lag_us: GaugeId,
     parse_failures: CounterId,
     rx_packets: CounterId,
 }
@@ -104,6 +108,8 @@ impl RuntimeGauges {
         let conn_arena_bytes = registry.gauge("conn_arena_bytes", GaugeMerge::Sum);
         let sim_clock_ns = registry.gauge("sim_clock_ns", GaugeMerge::Max);
         let mbuf_high_water = registry.gauge("mbuf_high_water", GaugeMerge::Max);
+        let config_epoch = registry.gauge("config_epoch", GaugeMerge::Max);
+        let swap_pickup_lag_us = registry.gauge("swap_pickup_lag_us", GaugeMerge::Max);
         let parse_failures = registry.counter("parse_failures");
         let rx_packets = registry.counter("rx_packets");
         RuntimeGauges {
@@ -113,6 +119,8 @@ impl RuntimeGauges {
             conn_arena_bytes,
             sim_clock_ns,
             mbuf_high_water,
+            config_epoch,
+            swap_pickup_lag_us,
             parse_failures,
             rx_packets,
         }
@@ -160,6 +168,32 @@ impl RuntimeGauges {
     /// Packets received by the workers so far.
     pub fn rx_packets(&self) -> u64 {
         self.registry.counter_total(self.rx_packets)
+    }
+
+    /// The configuration generation currently published to the workers
+    /// (0 before the first run; bumped by each live swap).
+    pub fn config_epoch(&self) -> u64 {
+        self.registry.gauge_value(self.config_epoch)
+    }
+
+    /// Worst per-core epoch-pickup lag observed so far, in
+    /// microseconds: the time from a swap's publish to the slowest
+    /// core's acknowledgment at its between-bursts safe point.
+    pub fn swap_pickup_lag_us(&self) -> u64 {
+        self.registry.gauge_value(self.swap_pickup_lag_us)
+    }
+
+    /// Records a newly published configuration generation (`Max` merge
+    /// makes this safe from any thread, including the swap publisher).
+    pub fn note_config_epoch(&self, generation: u64) {
+        self.registry.shard(0).max(self.config_epoch, generation);
+    }
+
+    /// Records one core's epoch-pickup lag for the swap just observed.
+    pub fn note_swap_pickup_lag(&self, core: usize, lag_us: u64) {
+        self.registry
+            .shard(core)
+            .max(self.swap_pickup_lag_us, lag_us);
     }
 
     /// Mirrors the mempool's high-water mark into the registry (called
@@ -467,6 +501,7 @@ impl RunReport {
                 "core.conns_retired",
                 self.cores.conns_expired + self.cores.conns_drained,
             ),
+            ("core.conns_swapped", self.cores.conns_swapped),
             ("core.ooo_buffered", self.cores.ooo_buffered),
         ];
         let mut out = String::new();
@@ -483,6 +518,19 @@ impl RunReport {
             ));
         }
         out
+    }
+
+    /// Per-subscription digest, keyed by name instead of index: the
+    /// delivery counts for subscription `name`, or `None` if the run
+    /// had no such subscription. Runs with different subscription
+    /// orders (e.g. a swap run vs. a no-swap control) compare
+    /// untouched subscriptions with this.
+    pub fn sub_digest(&self, name: &str) -> Option<String> {
+        let sub = self.subs.iter().find(|s| s.name == name)?;
+        Some(format!(
+            "delivered={}\ndiscarded={}\n",
+            sub.delivered, sub.discarded
+        ))
     }
 
     /// Verifies the run's accounting invariants: every ingress frame and
@@ -692,6 +740,7 @@ pub struct MultiRuntime<F: FilterFns + 'static> {
     gauges: Arc<RuntimeGauges>,
     shed: Arc<ShedState>,
     hub: Arc<DispatchHub>,
+    epochs: Arc<EpochState<F>>,
     filter_warnings: Vec<String>,
     pub(crate) trace_config: Option<TraceConfig>,
     trace_handle: TraceHandle,
@@ -742,6 +791,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
         let gauges = Arc::new(RuntimeGauges::new(config.cores as usize));
         let modes = vec![DispatchMode::from_callback_mode(config.callback_mode); subs.len()];
         let hub = Arc::new(DispatchHub::new(&vec![0u64; subs.len()]));
+        let epochs = Arc::new(EpochState::new(config.cores.max(1) as usize));
         Ok(MultiRuntime {
             config,
             filter: Arc::new(filter),
@@ -751,10 +801,17 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             gauges,
             shed: Arc::new(ShedState::new()),
             hub,
+            epochs,
             filter_warnings: Vec::new(),
             trace_config: None,
             trace_handle: Arc::new(std::sync::RwLock::new(None)),
         })
+    }
+
+    /// The swap ledger: one [`crate::SwapEvent`] per completed live
+    /// reconfiguration, oldest first.
+    pub fn swap_events(&self) -> Vec<crate::SwapEvent> {
+        self.epochs.events_snapshot()
     }
 
     /// Enables (or reconfigures) per-flow tracing for subsequent runs.
@@ -922,15 +979,41 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             }
         }
 
-        // Worker threads: one per core, each owning its own sink set
-        // (SPSC producers must never be shared between cores).
+        // Epoch 0: bundle this run's initial configuration and publish
+        // it, so workers and any SwapController share one view. The
+        // generation counter persists across runs (and swaps), so a
+        // second run continues where the last one left off.
+        let gen0 = self.epochs.generation.load(Ordering::Acquire);
+        let epoch0: Arc<ConfigEpoch<F>> = Arc::new(ConfigEpoch {
+            generation: gen0,
+            filter: Arc::clone(&self.filter),
+            subs: self.subs.clone(),
+            remap: Vec::new(),
+            packet_mask,
+            sinks: Mutex::new(per_core_sinks.into_iter().map(Some).collect()),
+            hub: Arc::clone(&self.hub),
+            dispatcher: Mutex::new(Some(dispatcher)),
+        });
+        {
+            let _serial = self.epochs.swap_lock.lock().unwrap();
+            *self.epochs.current.write().unwrap() = Some(epoch0);
+            // Ack slots start at gen0 (not EXITED) so a swap issued
+            // before a worker's first poll still waits for it.
+            for ack in &self.epochs.acks {
+                ack.store(gen0, Ordering::Release);
+            }
+        }
+        self.gauges.note_config_epoch(gen0);
+
+        // Worker threads: one per core, each claiming its own sink set
+        // from the epoch (SPSC producers must never be shared between
+        // cores).
         let mut workers = Vec::new();
-        for (core, sinks) in per_core_sinks.into_iter().enumerate() {
+        for core in 0..cores {
             let core_trace = tracer.as_ref().map(|t| (Arc::clone(t), t.rx_lane(core)));
             let core = core as u16;
             let nic = Arc::clone(&self.nic);
-            let filter = Arc::clone(&self.filter);
-            let subs = self.subs.clone();
+            let epochs = Arc::clone(&self.epochs);
             let done = Arc::clone(&ingest_done);
             let gauges = Arc::clone(&self.gauges);
             let shed = Arc::clone(&self.shed);
@@ -939,10 +1022,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                 worker_loop::<F>(
                     core,
                     &nic,
-                    &filter,
-                    &subs,
-                    &sinks,
-                    packet_mask,
+                    &epochs,
                     &done,
                     &gauges,
                     &shed,
@@ -954,25 +1034,53 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
 
         let sim_duration_ns = ingest.join().expect("ingest thread panicked");
         let mut cores = CoreStats::default();
-        let mut tallies = vec![SubTally::default(); self.subs.len()];
+        let mut tally_map: BTreeMap<String, SubTally> = BTreeMap::new();
         for w in workers {
-            let (stats, worker_tallies) = w.join().expect("worker thread panicked");
+            let (stats, named) = w.join().expect("worker thread panicked");
             cores.merge(&stats);
-            for (total, t) in tallies.iter_mut().zip(&worker_tallies) {
-                total.merge(t);
+            for (name, t) in named {
+                tally_map.entry(name).or_default().merge(&t);
             }
         }
-        // Workers dropped their sinks on exit, disconnecting every
-        // dispatch ring: each worker drains its backlog and exits.
-        let _ = dispatcher.join();
-        let dispatch = self.hub.snapshots();
-        let subs = self
-            .subs
-            .iter()
-            .zip(&tallies)
-            .zip(&dispatch)
-            .map(|((sub, t), d)| SubReport {
-                name: sub.name().to_string(),
+        // Take the final epoch (whatever generation was current when
+        // the run drained) under the swap lock, so a racing swap either
+        // completed before shutdown or sees NotRunning.
+        let final_epoch = {
+            let _serial = self.epochs.swap_lock.lock().unwrap();
+            self.epochs.current.write().unwrap().take()
+        }
+        .expect("epoch 0 was published at run start");
+        // Unclaimed sink sets keep SPSC producers alive: drop them, then
+        // join the final dispatch fabric (workers dropped their claimed
+        // sinks on exit, disconnecting the remaining rings).
+        {
+            let mut sinks = final_epoch.sinks.lock().unwrap();
+            for s in sinks.iter_mut() {
+                s.take();
+            }
+        }
+        if let Some(d) = final_epoch.dispatcher.lock().unwrap().take() {
+            let _ = d.join();
+        }
+        let dispatch = final_epoch.hub.snapshots();
+        // Dispatch counters of subscriptions removed by swaps, folded
+        // back in by name (a name removed and re-added reports one
+        // whole-run row).
+        let retired: Vec<(String, retina_telemetry::DispatchSnapshot)> = self
+            .epochs
+            .retired
+            .lock()
+            .unwrap()
+            .drain(..)
+            .map(|(name, stats)| (name, stats.snapshot()))
+            .collect();
+        let mut subs: Vec<SubReport> = Vec::with_capacity(final_epoch.subs.len());
+        for (i, sub) in final_epoch.subs.iter().enumerate() {
+            let name = sub.name().to_string();
+            let t = tally_map.remove(&name).unwrap_or_default();
+            let d = &dispatch[i];
+            let mut report = SubReport {
+                name,
                 delivered: t.delivered,
                 discarded: t.discarded,
                 cb_executed: d.executed,
@@ -980,8 +1088,42 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                 cb_dropped_disconnected: d.dropped_disconnected,
                 queue_depth_peak: d.depth_peak,
                 queue_capacity: d.capacity,
-            })
-            .collect();
+            };
+            for (rname, rs) in &retired {
+                if *rname == report.name {
+                    report.cb_executed += rs.executed;
+                    report.cb_dropped_full += rs.dropped_full;
+                    report.cb_dropped_disconnected += rs.dropped_disconnected;
+                    report.queue_depth_peak = report.queue_depth_peak.max(rs.depth_peak);
+                }
+            }
+            subs.push(report);
+        }
+        // Subscriptions removed by a swap and never re-added: report
+        // their tallies plus banked dispatch counters (sorted by name —
+        // BTreeMap iteration order).
+        for (name, t) in tally_map {
+            let mut report = SubReport {
+                name,
+                delivered: t.delivered,
+                discarded: t.discarded,
+                cb_executed: 0,
+                cb_dropped_full: 0,
+                cb_dropped_disconnected: 0,
+                queue_depth_peak: 0,
+                queue_capacity: 0,
+            };
+            for (rname, rs) in &retired {
+                if *rname == report.name {
+                    report.cb_executed += rs.executed;
+                    report.cb_dropped_full += rs.dropped_full;
+                    report.cb_dropped_disconnected += rs.dropped_disconnected;
+                    report.queue_depth_peak = report.queue_depth_peak.max(rs.depth_peak);
+                    report.queue_capacity = report.queue_capacity.max(rs.capacity);
+                }
+            }
+            subs.push(report);
+        }
         let mbuf_high_water = self.nic.mempool().high_water();
         self.gauges.note_mbuf_high_water(mbuf_high_water);
         let mut report = RunReport {
@@ -1004,6 +1146,26 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             *self.trace_handle.write().unwrap() = None;
         }
         report
+    }
+}
+
+impl MultiRuntime<CompiledFilter> {
+    /// A handle for live-swapping subscriptions while
+    /// [`MultiRuntime::run`] is in flight (see [`crate::reconfig`]).
+    ///
+    /// Obtain it *before* calling `run()` — the controller holds only
+    /// shared state, so it works from any thread while `run()` borrows
+    /// the runtime. Swapping requires the compiled (interpreted)
+    /// filter because the new subscription set's sources are compiled
+    /// at swap time.
+    pub fn swap_controller(&self) -> SwapController {
+        SwapController {
+            epochs: Arc::clone(&self.epochs),
+            nic: Arc::clone(&self.nic),
+            gauges: Arc::clone(&self.gauges),
+            config: self.config.clone(),
+            trace: Arc::clone(&self.trace_handle),
+        }
     }
 }
 
@@ -1072,19 +1234,35 @@ impl<S: Subscribable, F: FilterFns + 'static> Runtime<S, F> {
 fn worker_loop<F: FilterFns>(
     core: u16,
     nic: &VirtualNic,
-    filter: &Arc<F>,
-    subs: &[Arc<dyn ErasedSubscription>],
-    sinks: &[Box<dyn ErasedSink>],
-    packet_mask: SubscriptionSet,
+    epochs: &EpochState<F>,
     ingest_done: &AtomicBool,
     gauges: &RuntimeGauges,
     shed: &ShedState,
     config: &RuntimeConfig,
     trace: Option<&(Arc<Tracer>, usize)>,
-) -> (CoreStats, Vec<SubTally>) {
+) -> (CoreStats, Vec<(String, SubTally)>) {
+    // Claim the current epoch and this core's sink set. run() publishes
+    // epoch 0 before spawning workers, but a swap may already have
+    // advanced the generation — claiming whatever is current (and
+    // acking it) keeps the grace-period protocol consistent either way.
+    let mut epoch = epochs
+        .current
+        .read()
+        .unwrap()
+        .clone()
+        .expect("run() publishes epoch 0 before spawning workers");
+    let mut cur_gen = epoch.generation;
+    let mut sinks = epoch.sinks.lock().unwrap()[core as usize]
+        .take()
+        .expect("each worker claims its sink set exactly once");
+    let mut filter = Arc::clone(&epoch.filter);
+    let mut packet_mask = epoch.packet_mask;
+    // (name, tally) pairs of subscriptions removed by swaps this worker
+    // observed, reported alongside the final epoch's tallies.
+    let mut removed_tallies: Vec<(String, SubTally)> = Vec::new();
     let mut tracker: ConnTracker<F> = ConnTracker::with_registry(
-        Arc::clone(filter),
-        subs,
+        Arc::clone(&filter),
+        &epoch.subs,
         config.timeouts,
         config.ooo_capacity,
         config.profile_stages,
@@ -1093,6 +1271,7 @@ fn worker_loop<F: FilterFns>(
     if let Some((t, lane)) = trace {
         tracker.set_tracer(Arc::clone(t), *lane);
     }
+    epochs.acks[core as usize].store(cur_gen, Ordering::Release);
     let mut burst = Vec::with_capacity(config.burst);
     let mut max_ts = 0u64;
     let mut since_advance = 0usize;
@@ -1114,6 +1293,45 @@ fn worker_loop<F: FilterFns>(
     }
 
     loop {
+        // Epoch pickup: one Acquire load per burst. On a generation
+        // change, adopt the new configuration at this safe point —
+        // drain removed subscriptions (their data still routes through
+        // the OLD sinks), rebind surviving per-connection state, claim
+        // the new sink set, then acknowledge so the publisher's grace
+        // period can end. Swaps are serialized and each waits out its
+        // grace period, so the generation is never more than one ahead.
+        let published = epochs.generation.load(Ordering::Acquire);
+        if published != cur_gen {
+            if let Some(delay) = nic.fault_swap_pickup_delay(core) {
+                std::thread::sleep(delay);
+            }
+            let new_epoch = epochs
+                .current
+                .read()
+                .unwrap()
+                .clone()
+                .expect("a published generation always has an epoch");
+            let banked = tracker.rebind(
+                Arc::clone(&new_epoch.filter),
+                &new_epoch.subs,
+                &new_epoch.remap,
+            );
+            for (idx, tid, out) in tracker.take_outputs() {
+                deliver!(idx as usize, tid, out);
+            }
+            removed_tallies.extend(banked);
+            epoch = new_epoch;
+            sinks = epoch.sinks.lock().unwrap()[core as usize]
+                .take()
+                .expect("each worker claims its sink set exactly once");
+            filter = Arc::clone(&epoch.filter);
+            packet_mask = epoch.packet_mask;
+            cur_gen = epoch.generation;
+            if let Some(us) = epochs.note_pickup(core as usize, cur_gen) {
+                gauges.note_swap_pickup_lag(core as usize, us);
+            }
+            epochs.acks[core as usize].store(cur_gen, Ordering::Release);
+        }
         // Injected worker-core slowdown (fault layer): stall before
         // polling, as a scheduling hiccup would.
         if let Some(delay) = nic.fault_worker_delay(core) {
@@ -1253,5 +1471,15 @@ fn worker_loop<F: FilterFns>(
         tracker.arena_bytes(),
         max_ts,
     );
-    (tracker.stats, tracker.sub_tallies)
+    // Exited: any in-flight (or future) grace period treats this core
+    // as having acknowledged every generation.
+    epochs.acks[core as usize].store(EXITED, Ordering::Release);
+    let mut named: Vec<(String, SubTally)> = epoch
+        .subs
+        .iter()
+        .zip(&tracker.sub_tallies)
+        .map(|(s, t)| (s.name().to_string(), *t))
+        .collect();
+    named.extend(removed_tallies);
+    (tracker.stats, named)
 }

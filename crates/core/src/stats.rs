@@ -112,6 +112,12 @@ pub struct CoreStats {
     pub conns_drained: u64,
     /// Connections that terminated naturally (FIN/RST).
     pub conns_terminated: u64,
+    /// Connections terminated at a live-reconfiguration swap because no
+    /// subscription in the new epoch watches them (their removed
+    /// subscriptions' state was drained and delivered first). A fifth
+    /// outcome in the conn identity, so swap-time evictions are exactly
+    /// attributed rather than folded into discards.
+    pub conns_swapped: u64,
     /// Peak number of simultaneously-tracked connections on this core
     /// (sampled at insert). Merging across cores sums the per-core
     /// peaks: an upper bound on the true global peak (per-core peaks
@@ -143,6 +149,7 @@ impl CoreStats {
         self.conns_expired += other.conns_expired;
         self.conns_drained += other.conns_drained;
         self.conns_terminated += other.conns_terminated;
+        self.conns_swapped += other.conns_swapped;
         self.conns_peak += other.conns_peak;
         self.ooo_buffered += other.ooo_buffered;
     }
@@ -151,17 +158,21 @@ impl CoreStats {
     /// outcome, and every discard to exactly one cause. Returns the
     /// violated invariant on failure.
     pub fn check_conn_accounting(&self) -> Result<(), String> {
-        let outcomes =
-            self.conns_discarded + self.conns_terminated + self.conns_expired + self.conns_drained;
+        let outcomes = self.conns_discarded
+            + self.conns_terminated
+            + self.conns_expired
+            + self.conns_drained
+            + self.conns_swapped;
         if self.conns_created != outcomes {
             return Err(format!(
                 "conns_created ({}) != discarded ({}) + terminated ({}) + expired ({}) + \
-                 drained ({})",
+                 drained ({}) + swapped ({})",
                 self.conns_created,
                 self.conns_discarded,
                 self.conns_terminated,
                 self.conns_expired,
                 self.conns_drained,
+                self.conns_swapped,
             ));
         }
         let causes =
@@ -252,5 +263,10 @@ mod tests {
         s.conns_created = 10;
         s.discard_conn_filter = 3; // causes exceed discards
         assert!(s.check_conn_accounting().is_err());
+        s.discard_conn_filter = 2;
+        // A swap-time eviction joins the outcome identity.
+        s.conns_created = 11;
+        s.conns_swapped = 1;
+        assert_eq!(s.check_conn_accounting(), Ok(()));
     }
 }

@@ -36,11 +36,11 @@
 // subscription indices narrow to compact counter fields by design.
 #![allow(clippy::cast_possible_truncation)]
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-use retina_filter::{FilterFns, PacketVerdict, SubscriptionSet};
+use retina_filter::{CompiledFilter, FilterFns, PacketVerdict, SubscriptionSet};
 use retina_nic::{Mbuf, PortStatsSnapshot, RssHasher};
 use retina_support::bytes::Bytes;
 use retina_support::rand::{RngExt, SeedableRng, SmallRng};
@@ -50,9 +50,10 @@ use retina_wire::ParsedPacket;
 
 use crate::erased::{ErasedOutput, ErasedSink};
 use crate::executor::QueuePolicy;
+use crate::reconfig::{StepSwap, SwapError, SwapSpec};
 use crate::runtime::{MultiRuntime, RunReport, SubReport};
 use crate::subscription::Level;
-use crate::tracker::ConnTracker;
+use crate::tracker::{ConnTracker, SubTally};
 
 /// Freezes one subscription's virtual worker for a window of steps:
 /// while `step ∈ [from_step, from_step + steps)` the worker pops
@@ -148,13 +149,24 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
     /// # Panics
     /// Panics if the schedule deadlocks, which is impossible unless the
     /// dispatch invariants are broken (that is the point of the assert).
-    #[allow(clippy::too_many_lines)]
     pub fn run_stepped(&self, packets: &[(Bytes, u64)], cfg: &StepConfig) -> RunReport {
-        let subs = &self.subs;
-        let n = subs.len();
+        self.run_stepped_inner(packets, cfg, None)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn run_stepped_inner(
+        &self,
+        packets: &[(Bytes, u64)],
+        cfg: &StepConfig,
+        mut swap: Option<StepSwap<F>>,
+    ) -> RunReport {
+        let mut subs: Vec<_> = self.subs.clone();
+        let mut modes = self.modes.clone();
+        let mut filter = Arc::clone(&self.filter);
+        let mut n = subs.len();
         let mut tracker: ConnTracker<F> = ConnTracker::with_registry(
-            Arc::clone(&self.filter),
-            subs,
+            Arc::clone(&filter),
+            &subs,
             self.config.timeouts,
             self.config.ooo_capacity,
             self.config.profile_stages,
@@ -175,23 +187,17 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
         // Spec-only subscriptions stay inline in every mode (exactly as
         // channel_dispatcher forces them), so stepped accounting matches
         // the threaded runtime's.
-        let dispatched: Vec<bool> = (0..n)
-            .map(|i| self.modes[i].is_dispatched() && subs[i].has_callback())
+        let mut dispatched: Vec<bool> = (0..n)
+            .map(|i| modes[i].is_dispatched() && subs[i].has_callback())
             .collect();
-        let caps: Vec<usize> = (0..n)
-            .map(|i| {
-                if dispatched[i] {
-                    self.modes[i].depth()
-                } else {
-                    0
-                }
-            })
+        let mut caps: Vec<usize> = (0..n)
+            .map(|i| if dispatched[i] { modes[i].depth() } else { 0 })
             .collect();
-        let stats: Vec<DispatchStats> = caps
+        let mut stats: Vec<DispatchStats> = caps
             .iter()
             .map(|&c| DispatchStats::with_capacity(c as u64))
             .collect();
-        let sinks: Vec<Box<dyn ErasedSink>> = subs.iter().map(|s| s.inline_sink()).collect();
+        let mut sinks: Vec<Box<dyn ErasedSink>> = subs.iter().map(|s| s.inline_sink()).collect();
         let mut queues: Vec<VecDeque<(u64, ErasedOutput)>> =
             caps.iter().map(|&c| VecDeque::with_capacity(c)).collect();
         // The blocked-RX holding buffer: results a real RX core would be
@@ -199,18 +205,34 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
         // blocked-send order; while non-empty the RX actor reads nothing.
         let mut pending: VecDeque<(usize, u64, ErasedOutput)> = VecDeque::new();
 
-        let worker_subs: Vec<usize> = (0..n).filter(|&i| dispatched[i]).collect();
-        let n_actors = 1 + worker_subs.len();
+        let mut worker_subs: Vec<usize> = (0..n).filter(|&i| dispatched[i]).collect();
+        let mut n_actors = 1 + worker_subs.len();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // Tallies and dispatch counters of subscriptions removed by a
+        // mid-run swap, banked at the swap point and folded back into
+        // the final report by name (same assembly as the threaded run).
+        let mut banked: Vec<(String, SubTally)> = Vec::new();
+        let mut retired: Vec<(String, DispatchSnapshot)> = Vec::new();
 
         // Virtual-clock tracer: lane layout mirrors the threaded run
         // (ingest, one RX core, one lane per virtual worker), timestamps
         // are the step counter, so a (frames, config) pair fully
-        // determines every recorded event.
+        // determines every recorded event. Lane count covers the larger
+        // of the pre- and post-swap worker sets so a swap that adds
+        // dispatched subscriptions never runs out of lanes.
+        let max_workers = {
+            let post = swap.as_ref().map_or(0, |sw| {
+                (0..sw.subs.len())
+                    .filter(|&j| sw.modes[j].is_dispatched() && sw.subs[j].has_callback())
+                    .count()
+            });
+            worker_subs.len().max(post).max(1)
+        };
         let tracer = self
             .trace_config
             .clone()
-            .map(|tc| Arc::new(Tracer::new_virtual(tc, 1, worker_subs.len().max(1))));
+            .map(|tc| Arc::new(Tracer::new_virtual(tc, 1, max_workers)));
         if let Some(t) = &tracer {
             tracker.set_tracer(Arc::clone(t), t.rx_lane(0));
         }
@@ -269,7 +291,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                             }
                         }
                     } else {
-                        match self.modes[i].policy() {
+                        match modes[i].policy() {
                             QueuePolicy::Shed => {
                                 stats[i].note_dropped_full();
                                 if let Some(t) = &tracer {
@@ -325,6 +347,29 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             }};
         }
 
+        // Swap-time quiescence: run every virtual worker to empty and
+        // flush every parked send before the configuration changes —
+        // the single-threaded mirror of the threaded runtime's grace
+        // period (every core acknowledges the new generation before the
+        // old epoch retires). Terminates because each pass first frees
+        // queue slots, which lets flush_pending! move parked sends.
+        macro_rules! drain_all {
+            () => {{
+                loop {
+                    flush_pending!();
+                    for i in 0..n {
+                        while let Some((_tid, out)) = queues[i].pop_front() {
+                            subs[i].invoke(out);
+                            stats[i].note_executed();
+                        }
+                    }
+                    if pending.is_empty() && queues.iter().all(VecDeque::is_empty) {
+                        break;
+                    }
+                }
+            }};
+        }
+
         loop {
             if next_pkt >= packets.len()
                 && drained
@@ -337,18 +382,99 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             if let Some(t) = &tracer {
                 t.set_virtual_time(step);
             }
-            let choice = rng.random_range(0..n_actors);
+            // Snapshot the actor count: a swap inside the RX actor may
+            // rebuild the worker set (and `n_actors`), but it always
+            // reports progress, breaking this sweep before the stale
+            // bound could be used.
+            let actors = n_actors;
+            let choice = rng.random_range(0..actors);
             let mut progressed = false;
             // Try the scheduled actor first; fall back through the rest
             // so a blocked actor never masks available progress (the
             // schedule stays a pure function of the seed either way).
-            for k in 0..n_actors {
-                let actor = (choice + k) % n_actors;
+            for k in 0..actors {
+                let actor = (choice + k) % actors;
                 let p = if actor == 0 {
                     // RX actor: flush parked sends, then read frames only
                     // if nothing is parked (a blocked send stalls the
                     // whole RX core, exactly like the threaded runtime).
                     let mut p = flush_pending!();
+                    // A scheduled swap fires once the RX cursor reaches
+                    // its packet index (clamped so a swap "after the
+                    // last packet" still lands before the final drain),
+                    // but never while a parked send is outstanding: a
+                    // blocked RX core cannot pick up a new epoch
+                    // mid-send in the threaded runtime either.
+                    if pending.is_empty()
+                        && swap.as_ref().is_some_and(|sw| {
+                            next_pkt as u64 >= sw.at_packet.min(packets.len() as u64)
+                        })
+                    {
+                        let StepSwap {
+                            at_packet: _,
+                            filter: new_filter,
+                            subs: new_subs,
+                            modes: new_modes,
+                            remap,
+                        } = swap.take().expect("checked above");
+                        // Quiesce the old configuration: every queued
+                        // result executes under the epoch that produced
+                        // it before the table changes.
+                        drain_all!();
+                        // Rebind live connection state under the new
+                        // trie. Drains of removed subscriptions route
+                        // through the OLD arrays — their sinks, their
+                        // queues, their counters — then quiesce again.
+                        let banked_now = tracker.rebind(Arc::clone(&new_filter), &new_subs, &remap);
+                        for (idx, tid, out) in tracker.take_outputs() {
+                            route!(idx as usize, tid, out);
+                        }
+                        drain_all!();
+                        // Bank removed subscriptions' counters by name.
+                        for (i, m) in remap.iter().enumerate() {
+                            if m.is_none() {
+                                retired.push((subs[i].name().to_string(), stats[i].snapshot()));
+                            }
+                        }
+                        banked.extend(banked_now);
+                        // Rebuild the per-subscription arrays under the
+                        // new table. Survivors carry their DispatchStats
+                        // across the swap (exactly as the threaded hub
+                        // shares them), so per-name counters span the
+                        // whole run.
+                        let mut carried: Vec<Option<DispatchStats>> =
+                            std::mem::take(&mut stats).into_iter().map(Some).collect();
+                        subs = new_subs;
+                        modes = new_modes;
+                        filter = new_filter;
+                        n = subs.len();
+                        packet_mask = SubscriptionSet::empty();
+                        for (j, sub) in subs.iter().enumerate() {
+                            if sub.level() == Level::Packet {
+                                packet_mask.insert(j);
+                            }
+                        }
+                        dispatched = (0..n)
+                            .map(|j| modes[j].is_dispatched() && subs[j].has_callback())
+                            .collect();
+                        caps = (0..n)
+                            .map(|j| if dispatched[j] { modes[j].depth() } else { 0 })
+                            .collect();
+                        stats = (0..n)
+                            .map(|j| {
+                                remap
+                                    .iter()
+                                    .position(|m| *m == Some(j))
+                                    .and_then(|i| carried[i].take())
+                                    .unwrap_or_else(|| DispatchStats::with_capacity(caps[j] as u64))
+                            })
+                            .collect();
+                        sinks = subs.iter().map(|s| s.inline_sink()).collect();
+                        queues = caps.iter().map(|&c| VecDeque::with_capacity(c)).collect();
+                        worker_subs = (0..n).filter(|&i| dispatched[i]).collect();
+                        n_actors = 1 + worker_subs.len();
+                        p = true;
+                    }
                     if pending.is_empty() {
                         if next_pkt < packets.len() {
                             tracker.set_shed_parsing(shed.parsing_shed());
@@ -399,7 +525,7 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                                     }
                                     None => 0,
                                 };
-                                let verdict = self.filter.packet_filter_set(&pkt);
+                                let verdict = filter.packet_filter_set(&pkt);
                                 tracker.stats.packet_filter.runs += 1;
                                 if tid != 0 {
                                     if let Some(t) = &tracer {
@@ -565,11 +691,16 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             ..PortStatsSnapshot::default()
         };
         let dispatch: Vec<DispatchSnapshot> = stats.iter().map(DispatchStats::snapshot).collect();
-        let subs = subs
-            .iter()
-            .zip(&tracker.sub_tallies)
-            .zip(&dispatch)
-            .map(|((sub, t), d)| SubReport {
+        // Same assembly as the threaded run: final-configuration rows in
+        // registration order (folding in same-name counters banked at
+        // the swap point), then never-re-added removed names sorted.
+        let mut tally_map: BTreeMap<String, SubTally> = BTreeMap::new();
+        for (name, t) in banked {
+            tally_map.entry(name).or_default().merge(&t);
+        }
+        let mut sub_reports: Vec<SubReport> = Vec::with_capacity(n);
+        for ((sub, t), d) in subs.iter().zip(&tracker.sub_tallies).zip(&dispatch) {
+            let mut report = SubReport {
                 name: sub.name().to_string(),
                 delivered: t.delivered,
                 discarded: t.discarded,
@@ -578,14 +709,49 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
                 cb_dropped_disconnected: d.dropped_disconnected,
                 queue_depth_peak: d.depth_peak,
                 queue_capacity: d.capacity,
-            })
-            .collect();
+            };
+            if let Some(bt) = tally_map.remove(&report.name) {
+                report.delivered += bt.delivered;
+                report.discarded += bt.discarded;
+            }
+            for (rname, rs) in &retired {
+                if *rname == report.name {
+                    report.cb_executed += rs.executed;
+                    report.cb_dropped_full += rs.dropped_full;
+                    report.cb_dropped_disconnected += rs.dropped_disconnected;
+                    report.queue_depth_peak = report.queue_depth_peak.max(rs.depth_peak);
+                }
+            }
+            sub_reports.push(report);
+        }
+        for (name, t) in tally_map {
+            let mut report = SubReport {
+                name,
+                delivered: t.delivered,
+                discarded: t.discarded,
+                cb_executed: 0,
+                cb_dropped_full: 0,
+                cb_dropped_disconnected: 0,
+                queue_depth_peak: 0,
+                queue_capacity: 0,
+            };
+            for (rname, rs) in &retired {
+                if *rname == report.name {
+                    report.cb_executed += rs.executed;
+                    report.cb_dropped_full += rs.dropped_full;
+                    report.cb_dropped_disconnected += rs.dropped_disconnected;
+                    report.queue_depth_peak = report.queue_depth_peak.max(rs.depth_peak);
+                    report.queue_capacity = report.queue_capacity.max(rs.capacity);
+                }
+            }
+            sub_reports.push(report);
+        }
         let mut report = RunReport {
             // Virtual time: wall-clock metrics are meaningless here.
             elapsed: Duration::ZERO,
             nic,
             cores: tracker.stats,
-            subs,
+            subs: sub_reports,
             sim_duration_ns: max_ts,
             mbuf_high_water: 0,
             conn_arena_bytes: arena_bytes,
@@ -599,6 +765,52 @@ impl<F: FilterFns + 'static> MultiRuntime<F> {
             report.trace = Some(t.report());
         }
         report
+    }
+}
+
+impl MultiRuntime<CompiledFilter> {
+    /// Runs a stepped schedule with one live reconfiguration applied
+    /// mid-run: when the RX cursor reaches `at_packet` (clamped to the
+    /// frame count, so a large index swaps just before the final
+    /// drain), the old configuration is quiesced, connection state is
+    /// rebound under `spec`'s freshly compiled filter, and the run
+    /// continues under the new subscription table — the deterministic
+    /// mirror of [`crate::SwapController::swap`] on a threaded run.
+    ///
+    /// Validation is identical to the threaded path: `spec` compiles
+    /// through the filter analyzer (E-codes reject the swap before
+    /// anything changes; W-codes surface in the report's
+    /// [`RunReport::filter_warnings`]), and survivors are matched to the
+    /// running table by name.
+    ///
+    /// # Errors
+    /// Returns the same [`SwapError`]s as [`crate::SwapController::swap`]:
+    /// rejected filter sources, spec violations (empty table, duplicate
+    /// names). `NotRunning` and `HwFilter` cannot occur (a stepped run
+    /// has no epoch machinery and no device in front of it).
+    ///
+    /// # Panics
+    /// Panics if the schedule deadlocks, exactly as
+    /// [`MultiRuntime::run_stepped`] does.
+    pub fn run_stepped_with_swap(
+        &self,
+        packets: &[(Bytes, u64)],
+        cfg: &StepConfig,
+        at_packet: u64,
+        spec: &SwapSpec,
+    ) -> Result<RunReport, SwapError> {
+        let prepared = crate::reconfig::prepare(spec, &self.subs, &self.config)?;
+        let warnings = prepared.warnings;
+        let sw = StepSwap {
+            at_packet,
+            filter: prepared.filter,
+            subs: prepared.subs,
+            modes: prepared.modes,
+            remap: prepared.remap,
+        };
+        let mut report = self.run_stepped_inner(packets, cfg, Some(sw));
+        report.filter_warnings.extend(warnings);
+        Ok(report)
     }
 }
 

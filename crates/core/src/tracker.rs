@@ -1104,4 +1104,259 @@ impl<F: FilterFns> ConnTracker<F> {
             self.finalize(entry, FinalizeReason::Drained);
         }
     }
+
+    /// Rebinds the tracker to a new configuration epoch at a live-swap
+    /// safe point, preserving surviving subscriptions' per-connection
+    /// state.
+    ///
+    /// `remap` maps each current subscription index to its index in
+    /// `subs` (`None` = removed). For every tracked connection:
+    ///
+    /// * removed subscriptions are drained — matched ones deliver their
+    ///   `on_terminate` data (queued in the output buffer, indexed by
+    ///   the **old** subscription index so the caller routes it through
+    ///   the old sinks), undecided ones are charged a discard;
+    /// * surviving state is re-indexed to the new subscription order;
+    /// * still-undecided survivors get their packet-filter frontiers
+    ///   recomputed under the new trie by replaying a synthetic first
+    ///   packet of the connection's five-tuple (survivors the new
+    ///   filter cannot match are dropped, ones it decides terminally
+    ///   are promoted and delivered);
+    /// * connections left with no active subscription are removed and
+    ///   counted `conns_swapped` (a distinct outcome in the connection
+    ///   identity); the rest keep their phase, with probe/parse demoted
+    ///   to plain tracking when nobody needs sessions anymore.
+    ///
+    /// Returns the removed subscriptions' `(name, tally)` pairs —
+    /// including the drains just charged — for the caller to bank.
+    pub(crate) fn rebind(
+        &mut self,
+        filter: Arc<F>,
+        subs: &[Arc<dyn ErasedSubscription>],
+        remap: &[Option<usize>],
+    ) -> Vec<(String, SubTally)> {
+        assert_eq!(remap.len(), self.subs.len(), "remap covers the old table");
+        let new_len = subs.len();
+        let new_all = SubscriptionSet::first_n(new_len);
+        let mut session_mask = SubscriptionSet::empty();
+        let mut stream_mask = SubscriptionSet::empty();
+        let mut post_mask = SubscriptionSet::empty();
+        let mut specs = Vec::with_capacity(new_len);
+        for (j, sub) in subs.iter().enumerate() {
+            if sub.level() == Level::Session {
+                session_mask.insert(j);
+            }
+            if sub.needs_stream() {
+                stream_mask.insert(j);
+            }
+            if sub.needs_packets_post_match() {
+                post_mask.insert(j);
+            }
+            let mut probe_protos = filter.conn_protocols_for(j);
+            for p in sub.parsers() {
+                if !probe_protos.iter().any(|x| x == p) {
+                    probe_protos.push(p.to_string());
+                }
+            }
+            specs.push(SubSpec {
+                erased: Arc::clone(sub),
+                probe_protos,
+            });
+        }
+
+        // Survivors carry their tallies to their new index; removed
+        // subscriptions keep accumulating on the old vector until it is
+        // banked below.
+        let mut new_tallies = vec![SubTally::default(); new_len];
+        for (i, m) in remap.iter().enumerate() {
+            if let Some(j) = *m {
+                new_tallies[j] = self.sub_tallies[i];
+            }
+        }
+
+        let mut swapped = 0u64;
+        {
+            let table = &mut self.table;
+            let outputs = &mut self.outputs;
+            let old_tallies = &mut self.sub_tallies;
+            let closed = &mut self.closed;
+            let old_len = remap.len();
+            table.retain_mut(
+                |_key, entry| {
+                    let conn = &mut entry.value;
+                    if matches!(conn.phase, Phase::Dropped) {
+                        // Tombstones keep suppressing trailing packets;
+                        // just resize their (empty) per-sub state.
+                        conn.matched = SubscriptionSet::empty();
+                        conn.live = SubscriptionSet::empty();
+                        conn.want_parse = SubscriptionSet::empty();
+                        conn.tracked = (0..new_len).map(|_| None).collect();
+                        return true;
+                    }
+                    // Removed subscriptions drain: matched ones deliver
+                    // their connection-level data (old index — routed
+                    // through the old sinks), live ones are discarded.
+                    for i in 0..old_len {
+                        if remap[i].is_some() {
+                            continue;
+                        }
+                        if conn.matched.contains(i) {
+                            let mut tmp = Vec::new();
+                            if let Some(t) = conn.tracked[i].as_mut() {
+                                t.on_terminate(&conn.flow, &mut tmp);
+                            }
+                            for o in tmp {
+                                outputs.push((i as u32, conn.trace_id, o));
+                                old_tallies[i].delivered += 1;
+                            }
+                            conn.tracked[i] = None;
+                        } else if conn.live.contains(i) && conn.tracked[i].take().is_some() {
+                            old_tallies[i].discarded += 1;
+                        }
+                    }
+                    // Re-index surviving per-subscription state.
+                    let mut new_tracked: Vec<Option<Box<dyn ErasedTracked>>> =
+                        (0..new_len).map(|_| None).collect();
+                    let mut new_matched = SubscriptionSet::empty();
+                    let mut new_live = SubscriptionSet::empty();
+                    for (i, m) in remap.iter().enumerate() {
+                        let Some(j) = *m else { continue };
+                        if conn.matched.contains(i) {
+                            new_matched.insert(j);
+                        }
+                        if conn.live.contains(i) {
+                            new_live.insert(j);
+                        }
+                        new_tracked[j] = conn.tracked[i].take();
+                    }
+                    conn.tracked = new_tracked;
+                    conn.matched = new_matched;
+                    conn.live = new_live;
+                    // Still-undecided survivors hold frontiers minted by
+                    // the old trie; replay a synthetic first packet of
+                    // this five-tuple through the new one to re-derive
+                    // them (and the packet-layer verdict).
+                    if !conn.live.is_empty() {
+                        match synth_first_packet(&entry.tuple) {
+                            Some(frame) => match ParsedPacket::parse(&frame) {
+                                Ok(pkt) => {
+                                    let verdict = filter.packet_filter_set(&pkt);
+                                    conn.frontiers = verdict.frontiers;
+                                    let vm = verdict.matched & new_all;
+                                    let vl = verdict.live & new_all;
+                                    let still_live = conn.live & vl;
+                                    let promoted = (conn.live - vl) & vm;
+                                    let dead = conn.live - vl - vm;
+                                    for j in dead.iter() {
+                                        if conn.tracked[j].take().is_some() {
+                                            new_tallies[j].discarded += 1;
+                                        }
+                                    }
+                                    for j in promoted.iter() {
+                                        conn.matched.insert(j);
+                                        if !session_mask.contains(j) {
+                                            let mut tmp = Vec::new();
+                                            if let Some(t) = conn.tracked[j].as_mut() {
+                                                t.on_match(None, None, &conn.flow, &mut tmp);
+                                            }
+                                            for o in tmp {
+                                                outputs.push((j as u32, conn.trace_id, o));
+                                                new_tallies[j].delivered += 1;
+                                            }
+                                        }
+                                    }
+                                    conn.live = still_live;
+                                }
+                                Err(_) => {
+                                    for j in conn.live.iter() {
+                                        if conn.tracked[j].take().is_some() {
+                                            new_tallies[j].discarded += 1;
+                                        }
+                                    }
+                                    conn.live = SubscriptionSet::empty();
+                                }
+                            },
+                            None => {
+                                // Non-TCP/UDP flow: no synthetic replay;
+                                // conservatively drop undecided survivors
+                                // (their frontiers cannot be re-derived).
+                                for j in conn.live.iter() {
+                                    if conn.tracked[j].take().is_some() {
+                                        new_tallies[j].discarded += 1;
+                                    }
+                                }
+                                conn.live = SubscriptionSet::empty();
+                            }
+                        }
+                    }
+                    conn.want_parse = conn.live | (conn.matched & session_mask);
+                    if conn.want_parse.is_empty()
+                        && matches!(conn.phase, Phase::Probing(_) | Phase::Parsing { .. })
+                    {
+                        // Nobody needs sessions anymore. (A kept probe
+                        // state would only hold a superset of parser
+                        // candidates — harmless, but pointless work.)
+                        conn.phase = Phase::Tracking;
+                    }
+                    !conn.active().is_empty()
+                },
+                |key, entry| {
+                    // No surviving subscription watches this connection:
+                    // a swap-time eviction, attributed `conns_swapped`.
+                    swapped += 1;
+                    closed.insert(key, entry.last_seen_ns);
+                },
+            );
+        }
+        self.stats.conns_swapped += swapped;
+
+        let mut banked = Vec::with_capacity(remap.len() - new_len.min(remap.len()));
+        for (i, m) in remap.iter().enumerate() {
+            if m.is_none() {
+                banked.push((self.subs[i].erased.name().to_string(), self.sub_tallies[i]));
+            }
+        }
+        self.subs = specs;
+        self.all_mask = new_all;
+        self.session_mask = session_mask;
+        self.stream_mask = stream_mask;
+        self.post_mask = post_mask;
+        self.filter = filter;
+        self.sub_tallies = new_tallies;
+        // Memoized probe unions are keyed by want-parse bitmaps of the
+        // old subscription order: all stale now.
+        self.probe_cache.clear();
+        banked
+    }
+}
+
+/// Builds a synthetic first packet (SYN / empty datagram) for a tracked
+/// five-tuple, used to replay the packet filter when a swap installs a
+/// new trie. Only the connection-invariant header fields matter: the
+/// packet filter reads addresses, ports, and protocol, never payload or
+/// flags-dependent state.
+fn synth_first_packet(tuple: &FiveTuple) -> Option<Vec<u8>> {
+    match tuple.proto {
+        6 => Some(retina_wire::build::build_tcp(
+            &retina_wire::build::TcpSpec {
+                src: tuple.orig,
+                dst: tuple.resp,
+                seq: 1,
+                ack: 0,
+                flags: retina_wire::TcpFlags::SYN,
+                window: 65535,
+                ttl: 64,
+                payload: &[],
+            },
+        )),
+        17 => Some(retina_wire::build::build_udp(
+            &retina_wire::build::UdpSpec {
+                src: tuple.orig,
+                dst: tuple.resp,
+                ttl: 64,
+                payload: &[],
+            },
+        )),
+        _ => None,
+    }
 }

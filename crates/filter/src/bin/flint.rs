@@ -9,6 +9,7 @@
 //! ```text
 //! retina-flint [--json] [--union] [--caps basic|connectx5|full|none] \
 //!              [--expr FILTER]... [FILE]...
+//! retina-flint --swap OLD.flt NEW.flt [--json] [--caps PROFILE]
 //! ```
 //!
 //! Each input file holds one filter per line; blank lines and lines
@@ -16,6 +17,14 @@
 //! are analyzed as one multi-subscription union (enabling the W004/W005
 //! duplicate/containment checks); by default each line is analyzed
 //! independently.
+//!
+//! With `--swap`, both files are analyzed as unions and the tool
+//! previews what a live reconfiguration from OLD to NEW would do:
+//! which subscriptions are added/removed and the hardware flow-rule
+//! diff (adds = new ∖ old, removes = old ∖ new — the same set logic
+//! `SwapController::swap` applies on a running pipeline). Any E-code
+//! in either file rejects the swap with a non-zero exit, exactly as
+//! the runtime rejects it before staging.
 
 use std::process::ExitCode;
 
@@ -23,7 +32,8 @@ use retina_filter::analysis::{analyze, analyze_union, Analysis};
 use retina_filter::ast::Span;
 use retina_filter::diag::{json_escape, render_filter_error, Diagnostic, Severity};
 use retina_filter::registry::ProtocolRegistry;
-use retina_nic::flow::DeviceCaps;
+use retina_filter::{CompiledFilter, FilterFns};
+use retina_nic::flow::{DeviceCaps, FlowRule};
 
 /// One filter queued for analysis, with its provenance.
 struct Entry {
@@ -56,6 +66,9 @@ fn usage() -> &'static str {
        --expr FILTER   lint FILTER directly (repeatable)\n\
        --json          emit machine-readable JSON instead of caret diagnostics\n\
        --union         analyze each file's filters as one subscription union\n\
+       --swap OLD NEW  preview a live reconfiguration: analyze both files as\n\
+                       unions, print the subscription and hardware-rule diff;\n\
+                       E-codes in either file reject the swap (exit 1)\n\
        --caps PROFILE  DeviceCaps for offload warnings: basic | connectx5\n\
                        | full | none (default: connectx5)\n\
        -h, --help      show this help\n\
@@ -68,6 +81,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut union = false;
+    let mut swap: Option<(String, String)> = None;
     let mut caps: Option<DeviceCaps> = Some(DeviceCaps::connectx5());
     let mut files: Vec<String> = Vec::new();
     let mut exprs: Vec<String> = Vec::new();
@@ -77,6 +91,17 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--json" => json = true,
             "--union" => union = true,
+            "--swap" => {
+                let (Some(old), Some(new)) = (args.get(i + 1), args.get(i + 2)) else {
+                    eprintln!(
+                        "error: --swap needs OLD and NEW filter files\n\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                };
+                swap = Some((old.clone(), new.clone()));
+                i += 2;
+            }
             "--caps" => {
                 i += 1;
                 let Some(profile) = args.get(i) else {
@@ -113,6 +138,16 @@ fn main() -> ExitCode {
             file => files.push(file.to_string()),
         }
         i += 1;
+    }
+    if let Some((old, new)) = swap {
+        if !files.is_empty() || !exprs.is_empty() || union {
+            eprintln!(
+                "error: --swap takes exactly two files and no other inputs\n\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        return run_swap(&old, &new, caps.as_ref(), json);
     }
     if files.is_empty() && exprs.is_empty() {
         eprintln!("error: no input\n\n{}", usage());
@@ -308,6 +343,12 @@ fn shift_error(err: retina_filter::FilterError, pad: usize) -> retina_filter::Fi
 }
 
 fn print_json(findings: &[Finding]) {
+    println!("{}", findings_json(findings));
+}
+
+/// Renders the findings array as a JSON string (shared between the
+/// plain `--json` mode and the `--swap --json` report envelope).
+fn findings_json(findings: &[Finding]) -> String {
     let mut out = String::from("[\n");
     for (i, f) in findings.iter().enumerate() {
         let span = match f.span {
@@ -333,5 +374,235 @@ fn print_json(findings: &[Finding]) {
         ));
     }
     out.push(']');
-    println!("{out}");
+    out
+}
+
+/// Reads a filter file into entries (one filter per line, `#` comments
+/// and blank lines skipped).
+fn read_entries(file: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    Ok(text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(idx, l)| Entry {
+            origin: file.to_string(),
+            line: idx + 1,
+            filter: l.trim().to_string(),
+        })
+        .collect())
+}
+
+/// Analyzes one side of a swap as a subscription union, appending its
+/// findings. Returns `true` when the side failed to parse at all.
+fn analyze_side(
+    entries: &[Entry],
+    registry: &ProtocolRegistry,
+    caps: Option<&DeviceCaps>,
+    findings: &mut Vec<Finding>,
+) -> bool {
+    if entries.is_empty() {
+        return false;
+    }
+    let srcs: Vec<&str> = entries.iter().map(|e| e.filter.as_str()).collect();
+    match analyze_union(&srcs, registry, caps) {
+        Ok(analysis) => {
+            collect(&analysis, entries, findings);
+            false
+        }
+        Err(e) => {
+            let mut attributed = false;
+            for entry in entries {
+                if let Err(err) = retina_filter::parser::parse(&entry.filter) {
+                    report_parse_error(entry, &err, false, findings);
+                    attributed = true;
+                }
+            }
+            if !attributed {
+                // The union failed even though every member parses
+                // (e.g. a cross-subscription merge error): attribute it
+                // to the file as a whole.
+                findings.push(Finding {
+                    origin: entries[0].origin.clone(),
+                    line: entries[0].line,
+                    filter: entries[0].filter.clone(),
+                    code: "E000".to_string(),
+                    severity: Severity::Error,
+                    message: e.to_string(),
+                    span: None,
+                    note: None,
+                });
+            }
+            true
+        }
+    }
+}
+
+/// Compiles one side's union and synthesizes its hardware flow rules.
+/// An empty side (no subscriptions) has no rules.
+fn side_rules(
+    entries: &[Entry],
+    registry: &ProtocolRegistry,
+    caps: DeviceCaps,
+) -> Result<Vec<FlowRule>, retina_filter::FilterError> {
+    if entries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let srcs: Vec<&str> = entries.iter().map(|e| e.filter.as_str()).collect();
+    let filter = CompiledFilter::build_union(&srcs, registry)?;
+    filter.hw_rules(caps, registry)
+}
+
+/// `--swap OLD NEW`: previews a live reconfiguration. Both files are
+/// analyzed as unions; any E-code rejects the swap (exit 1), matching
+/// the runtime's reject-before-staging contract. On a clean pair the
+/// subscription diff and the hardware rule diff (adds = new ∖ old,
+/// removes = old ∖ new, the same set logic `SwapController::swap`
+/// applies) are printed.
+fn run_swap(old_file: &str, new_file: &str, caps: Option<&DeviceCaps>, json: bool) -> ExitCode {
+    let registry = ProtocolRegistry::default();
+    let (old_entries, new_entries) = match (read_entries(old_file), read_entries(new_file)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(msg), _) | (_, Err(msg)) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut broken = analyze_side(&old_entries, &registry, caps, &mut findings);
+    broken |= analyze_side(&new_entries, &registry, caps, &mut findings);
+
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    let rejected = errors > 0 || broken;
+
+    if rejected {
+        if json {
+            println!(
+                "{{\"swap\":null,\"rejected\":true,\"findings\":{}}}",
+                findings_json(&findings)
+            );
+        } else {
+            for f in &findings {
+                print!("{}", render_finding(f));
+            }
+            eprintln!(
+                "retina-flint: swap {old_file} -> {new_file} REJECTED: \
+                 {errors} error{}, {warnings} warning{}",
+                if errors == 1 { "" } else { "s" },
+                if warnings == 1 { "" } else { "s" }
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Subscription diff by source text (order-preserving, deduplicated).
+    let old_srcs: Vec<&str> = old_entries.iter().map(|e| e.filter.as_str()).collect();
+    let new_srcs: Vec<&str> = new_entries.iter().map(|e| e.filter.as_str()).collect();
+    let mut subs_added: Vec<&str> = Vec::new();
+    for s in &new_srcs {
+        if !old_srcs.contains(s) && !subs_added.contains(s) {
+            subs_added.push(s);
+        }
+    }
+    let mut subs_removed: Vec<&str> = Vec::new();
+    for s in &old_srcs {
+        if !new_srcs.contains(s) && !subs_removed.contains(s) {
+            subs_removed.push(s);
+        }
+    }
+
+    // Hardware rule diff, when a device profile is in play.
+    let (rule_adds, rule_removes) = if let Some(&caps) = caps {
+        let old_rules = match side_rules(&old_entries, &registry, caps) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {old_file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let new_rules = match side_rules(&new_entries, &registry, caps) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {new_file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let adds: Vec<FlowRule> = new_rules
+            .iter()
+            .filter(|r| !old_rules.contains(r))
+            .cloned()
+            .collect();
+        let removes: Vec<FlowRule> = old_rules
+            .iter()
+            .filter(|r| !new_rules.contains(r))
+            .cloned()
+            .collect();
+        (adds, removes)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    if json {
+        let list = |items: &[&str]| -> String {
+            let quoted: Vec<String> = items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
+            format!("[{}]", quoted.join(","))
+        };
+        println!(
+            "{{\"swap\":{{\"old\":\"{}\",\"new\":\"{}\",\
+             \"subs_added\":{},\"subs_removed\":{},\
+             \"rules_added\":{},\"rules_removed\":{}}},\
+             \"rejected\":false,\"findings\":{}}}",
+            json_escape(old_file),
+            json_escape(new_file),
+            list(&subs_added),
+            list(&subs_removed),
+            rule_adds.len(),
+            rule_removes.len(),
+            findings_json(&findings)
+        );
+    } else {
+        for f in &findings {
+            print!("{}", render_finding(f));
+        }
+        println!("swap preview: {old_file} -> {new_file}");
+        println!(
+            "  subscriptions: +{} -{}",
+            subs_added.len(),
+            subs_removed.len()
+        );
+        for s in &subs_added {
+            println!("    + {s}");
+        }
+        for s in &subs_removed {
+            println!("    - {s}");
+        }
+        if caps.is_some() {
+            println!("  hw rules: +{} -{}", rule_adds.len(), rule_removes.len());
+            for r in &rule_adds {
+                println!("    + {r:?}");
+            }
+            for r in &rule_removes {
+                println!("    - {r:?}");
+            }
+        } else {
+            println!("  hw rules: skipped (--caps none)");
+        }
+        eprintln!(
+            "retina-flint: swap ok: {errors} error{}, {warnings} warning{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" }
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -203,6 +203,13 @@ impl VirtualNic {
         self.faults.read().as_ref()?.callback_delay(sub, seq)
     }
 
+    /// Extra latency the installed fault layer wants to inject before
+    /// worker core `core` picks up a newly published configuration
+    /// epoch (`None` when unfaulted).
+    pub fn fault_swap_pickup_delay(&self, core: u16) -> Option<std::time::Duration> {
+        self.faults.read().as_ref()?.swap_pickup_delay(core)
+    }
+
     /// Frames currently held in flight by the fault layer (0 when
     /// unfaulted). The runtime's final drain waits for this to reach
     /// zero so injected delay lines cannot strand frames.
@@ -236,6 +243,34 @@ impl VirtualNic {
     /// Removes all hardware flow rules.
     pub fn clear_rules(&self) {
         self.engine.write().clear();
+    }
+
+    /// Removes one installed rule equal to `rule` (the decrement half
+    /// of a reconfiguration diff), returning whether it was found.
+    pub fn remove_rule(&self, rule: &FlowRule) -> bool {
+        self.engine.write().remove(rule)
+    }
+
+    /// Snapshot of the installed rule table, in match order. A live
+    /// reconfiguration diffs this against the new union to compute the
+    /// minimal add/remove set.
+    pub fn rules_snapshot(&self) -> Vec<FlowRule> {
+        self.engine.read().rules().to_vec()
+    }
+
+    /// Applies a reconfiguration rule diff under one engine write lock:
+    /// every add installs (validated against device caps) and every
+    /// remove unlinks before any reader sees the table again. Atomicity
+    /// matters at the empty/non-empty boundary — an empty table means
+    /// "deliver everything via RSS", so installing the first add before
+    /// removing stale rules (rather than the reverse) can only ever
+    /// widen what the hardware delivers, never narrow it mid-swap.
+    pub fn apply_rule_diff(
+        &self,
+        adds: Vec<FlowRule>,
+        removes: &[FlowRule],
+    ) -> Result<(), crate::flow::FlowError> {
+        self.engine.write().apply_diff(adds, removes)
     }
 
     /// Number of installed rules.

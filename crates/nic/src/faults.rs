@@ -58,6 +58,17 @@ pub trait FaultHooks: Send + Sync {
         None
     }
 
+    /// Extra latency to inject before worker core `core` picks up a
+    /// newly published configuration epoch (modeling a core that is
+    /// slow to reach its between-bursts safe point during a live
+    /// reconfiguration). The swap's grace period must tolerate the
+    /// laggard: the old epoch stays referenced — and therefore alive —
+    /// until every core has acknowledged the new generation.
+    fn swap_pickup_delay(&self, core: u16) -> Option<Duration> {
+        let _ = core;
+        None
+    }
+
     /// Frames the injector is currently holding outside the device
     /// (e.g. a delay line). Non-zero keeps the runtime's final drain
     /// alive: workers must not exit while injected frames are still
@@ -84,6 +95,7 @@ mod tests {
         assert!(!h.ring_stalled(3));
         assert_eq!(h.worker_delay(1), None);
         assert_eq!(h.callback_delay(0, 7), None);
+        assert_eq!(h.swap_pickup_delay(2), None);
         assert_eq!(h.in_flight(), 0);
     }
 }

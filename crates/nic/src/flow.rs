@@ -317,6 +317,56 @@ impl FlowRuleEngine {
         self.rules.clear();
     }
 
+    /// Applies a reconfiguration diff as one transaction: every add is
+    /// validated and the post-diff table size checked before anything
+    /// changes, so the diff either applies in full or leaves the table
+    /// untouched. Adds land before removes — the table never
+    /// transiently narrows, and in particular never transiently
+    /// empties (an empty table means "deliver everything via RSS").
+    pub fn apply_diff(
+        &mut self,
+        adds: Vec<FlowRule>,
+        removes: &[FlowRule],
+    ) -> Result<(), FlowError> {
+        for rule in &adds {
+            self.validate(rule)?;
+        }
+        // Exact multiset count of removes that will actually unlink.
+        let mut remaining: Vec<&FlowRule> = self.rules.iter().collect();
+        let mut removed = 0usize;
+        for rule in removes {
+            if let Some(i) = remaining.iter().position(|r| *r == rule) {
+                remaining.swap_remove(i);
+                removed += 1;
+            }
+        }
+        if self.rules.len() + adds.len() - removed > self.caps.max_rules {
+            return Err(FlowError::TableFull);
+        }
+        drop(remaining);
+        self.rules.extend(adds);
+        for rule in removes {
+            self.remove(rule);
+        }
+        Ok(())
+    }
+
+    /// Removes the first installed rule equal to `rule`, returning
+    /// whether one was found. This is the decrement half of a
+    /// reconfiguration diff: a swap applies only the adds and removes
+    /// between two rule unions instead of a full reprogram, so the
+    /// table is never transiently empty (an empty table means "deliver
+    /// everything via RSS", which would stampede the software filter).
+    pub fn remove(&mut self, rule: &FlowRule) -> bool {
+        match self.rules.iter().position(|r| r == rule) {
+            Some(i) => {
+                self.rules.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Applies the table to a parsed packet.
     pub fn apply(&self, pkt: &ParsedPacket) -> FlowAction {
         if self.rules.is_empty() {

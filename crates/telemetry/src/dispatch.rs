@@ -208,6 +208,17 @@ impl DispatchHub {
         }
     }
 
+    /// A hub wrapping pre-existing stats blocks. A live
+    /// reconfiguration builds each epoch's hub this way: surviving
+    /// subscriptions keep the *same* `Arc<DispatchStats>` across the
+    /// swap (so `delivered == executed + dropped` stays a single
+    /// whole-run identity per subscription name), while added
+    /// subscriptions get fresh blocks.
+    #[must_use]
+    pub fn from_stats(subs: Vec<Arc<DispatchStats>>) -> Self {
+        Self { subs }
+    }
+
     /// Number of subscriptions tracked.
     #[must_use]
     pub fn len(&self) -> usize {

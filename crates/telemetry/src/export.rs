@@ -47,6 +47,13 @@ pub struct Sample {
     /// backing-store footprint of the connection tables; monotonic over
     /// a run).
     pub conn_arena_bytes: u64,
+    /// Generation of the configuration epoch the runtime is executing
+    /// (0 for the boot configuration; bumped by every live swap).
+    pub config_epoch: u64,
+    /// Worst per-core pickup lag of the most recent live swap
+    /// (microseconds between epoch publication and the last core's
+    /// acknowledgement; 0 when no swap has happened).
+    pub swap_pickup_lag_us: u64,
 }
 
 impl Sample {
@@ -56,7 +63,7 @@ impl Sample {
     /// append new columns at the end, never reorder.
     pub const CSV_HEADER: &'static str = "elapsed_secs,gbps,lost,lost_per_sec,hw_dropped,\
 hw_dropped_per_sec,parse_failures,connections,state_bytes,mbufs_in_use,mbuf_high_water,\
-sim_clock_ns,dispatch_depth,conn_arena_bytes";
+sim_clock_ns,dispatch_depth,conn_arena_bytes,config_epoch,swap_pickup_lag_us";
 
     /// Loss rate over the sample interval (packets/second).
     pub fn lost_per_sec(&self) -> f64 {
@@ -71,7 +78,7 @@ sim_clock_ns,dispatch_depth,conn_arena_bytes";
     /// One CSV row matching [`Sample::CSV_HEADER`].
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{:.3},{:.4},{},{:.2},{},{:.2},{},{},{},{},{},{},{},{}",
+            "{:.3},{:.4},{},{:.2},{},{:.2},{},{},{},{},{},{},{},{},{},{}",
             self.elapsed_secs,
             self.gbps,
             self.lost,
@@ -86,6 +93,8 @@ sim_clock_ns,dispatch_depth,conn_arena_bytes";
             self.sim_clock_ns,
             self.dispatch_depth,
             self.conn_arena_bytes,
+            self.config_epoch,
+            self.swap_pickup_lag_us,
         )
     }
 
@@ -114,7 +123,8 @@ sim_clock_ns,dispatch_depth,conn_arena_bytes";
             "{{\"elapsed_secs\": {:.3}, \"gbps\": {:.4}, \"lost\": {}, \"hw_dropped\": {}, \
              \"parse_failures\": {}, \"connections\": {}, \"state_bytes\": {}, \
              \"mbufs_in_use\": {}, \"mbuf_high_water\": {}, \"sim_clock_ns\": {}, \
-             \"dispatch_depth\": {}, \"conn_arena_bytes\": {}}}",
+             \"dispatch_depth\": {}, \"conn_arena_bytes\": {}, \"config_epoch\": {}, \
+             \"swap_pickup_lag_us\": {}}}",
             self.elapsed_secs,
             self.gbps,
             self.lost,
@@ -127,6 +137,8 @@ sim_clock_ns,dispatch_depth,conn_arena_bytes";
             self.sim_clock_ns,
             self.dispatch_depth,
             self.conn_arena_bytes,
+            self.config_epoch,
+            self.swap_pickup_lag_us,
         )
     }
 }
@@ -359,6 +371,8 @@ mod tests {
             sim_clock_ns: 1,
             dispatch_depth: 9,
             conn_arena_bytes: 4096,
+            config_epoch: 2,
+            swap_pickup_lag_us: 350,
         }
     }
 
@@ -381,9 +395,15 @@ mod tests {
             Sample::CSV_HEADER,
             "elapsed_secs,gbps,lost,lost_per_sec,hw_dropped,hw_dropped_per_sec,\
              parse_failures,connections,state_bytes,mbufs_in_use,mbuf_high_water,sim_clock_ns,\
-             dispatch_depth,conn_arena_bytes"
+             dispatch_depth,conn_arena_bytes,config_epoch,swap_pickup_lag_us"
                 .replace(" ", "")
         );
+        // Append-only audit: every pre-reconfiguration column keeps its
+        // position; the epoch columns only ever extend the row.
+        let cols: Vec<&str> = Sample::CSV_HEADER.split(',').collect();
+        assert_eq!(cols[13], "conn_arena_bytes");
+        assert_eq!(cols[14], "config_epoch");
+        assert_eq!(cols[15], "swap_pickup_lag_us");
     }
 
     #[test]
@@ -440,6 +460,11 @@ mod tests {
         assert_eq!(
             samples[0].get("conn_arena_bytes").unwrap().as_u64(),
             Some(4096)
+        );
+        assert_eq!(samples[0].get("config_epoch").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            samples[0].get("swap_pickup_lag_us").unwrap().as_u64(),
+            Some(350)
         );
         let final_ = doc.get("final").unwrap();
         assert_eq!(

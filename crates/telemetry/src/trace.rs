@@ -313,6 +313,9 @@ pub enum TriggerReason {
     ChaosFault,
     /// A dispatch ring shed a result (`dropped_full`).
     DispatchShed,
+    /// A live reconfiguration swap failed (rejected by the analyzer or
+    /// aborted mid-stage), freezing the recorder around the attempt.
+    SwapFailed,
 }
 
 impl TriggerReason {
@@ -325,6 +328,7 @@ impl TriggerReason {
             TriggerReason::AccountingFailure => "accounting-failure",
             TriggerReason::ChaosFault => "chaos-fault",
             TriggerReason::DispatchShed => "dispatch-shed",
+            TriggerReason::SwapFailed => "swap-failed",
         }
     }
 
@@ -335,6 +339,7 @@ impl TriggerReason {
             TriggerReason::AccountingFailure => 3,
             TriggerReason::ChaosFault => 4,
             TriggerReason::DispatchShed => 5,
+            TriggerReason::SwapFailed => 6,
         }
     }
 }

@@ -26,11 +26,16 @@
 #   churn         churn_storm (--quick): scan-heavy conn-table churn
 #                 with exact accounting, merging conns_peak and the
 #                 arena memory high-water into results/BENCH_ci.json
+#   reconfig      reconfig_storm (--quick): live hot-swap storm — stepped
+#                 survivor-digest equivalence, conns_swapped orphan
+#                 drain, and a threaded back-and-forth swap sequence
+#                 with zero loss, merging its pass/fail keys into
+#                 results/BENCH_ci.json
 #   bench-gate    scripts/bench_gate.sh vs results/BENCH_baseline.json
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy pedantic safety lint-filters build doc test smoke trace-overhead churn bench-gate)
+ALL_STAGES=(fmt clippy pedantic safety lint-filters build doc test smoke trace-overhead churn reconfig bench-gate)
 if [ "$#" -gt 0 ]; then STAGES=("$@"); else STAGES=("${ALL_STAGES[@]}"); fi
 
 FAILED=()
@@ -125,6 +130,16 @@ stage_churn() {
         --quick --json-out results/BENCH_ci.json
 }
 
+# Reconfiguration gate: live hot-swap of the subscription set on a
+# running pipeline. The bin enforces the swap contract itself (stepped
+# survivor-digest equivalence, orphan drain through conns_swapped,
+# zero-loss threaded storm with per-core epoch pickups); the merged
+# pass/fail keys are additionally tracked by the bench gate.
+stage_reconfig() {
+    cargo run --release --offline -q -p retina-bench --bin reconfig_storm -- \
+        --quick --json-out results/BENCH_ci.json
+}
+
 stage_bench_gate() { scripts/bench_gate.sh; }
 
 for stage in "${STAGES[@]}"; do
@@ -140,6 +155,7 @@ for stage in "${STAGES[@]}"; do
     smoke) run_stage smoke stage_smoke ;;
     trace-overhead) run_stage trace-overhead stage_trace_overhead ;;
     churn) run_stage churn stage_churn ;;
+    reconfig) run_stage reconfig stage_reconfig ;;
     bench-gate) run_stage bench-gate stage_bench_gate ;;
     *)
         echo "unknown CI stage: ${stage} (known: ${ALL_STAGES[*]})" >&2

@@ -82,3 +82,12 @@ cargo run --release --offline -q -p retina-filter --bin retina-flint -- \
 # non-zero on any violation. (~40 s: generates and replays ~2M
 # packets; the quick CI variant lives in the `churn` stage.)
 cargo run --release --offline -q -p retina-bench --bin churn_storm
+
+# Reconfig storm, full size: live hot-swap of the subscription set on
+# a running pipeline. Stepped survivor digests must match a no-swap
+# control byte-for-byte across seeded schedules, connections orphaned
+# by a swap must drain through the conns_swapped accounting lane, and
+# a threaded back-and-forth swap sequence must finish with zero loss
+# and one epoch pickup per core per swap. Exits non-zero on any
+# violation. (The quick CI variant lives in the `reconfig` stage.)
+cargo run --release --offline -q -p retina-bench --bin reconfig_storm

@@ -340,3 +340,186 @@ fn filter_union_drives_multi_runtime() {
     assert_eq!(report.subs.len(), 2);
     assert_eq!(report.subs[0].delivered, 25);
 }
+
+// --- live-swap differential: both sides of a reconfiguration ---------
+//
+// A live swap compiles its new subscription set through
+// `CompiledFilter::build_union` at runtime, while ahead-of-time users
+// compile the same set with `filter_union!`. The two engines must agree
+// on *every* layer a swap touches: the packet verdict sets, the
+// connection verdicts, the session verdicts, and the hardware rule
+// union whose diff the swap pushes to the NIC. Frontier node ids are
+// deliberately NOT compared — they are an engine-internal encoding.
+retina_filtergen::filter_union!(
+    swap_old_union,
+    "ipv4 and tcp",
+    "ipv4 and tcp.port = 443",
+    "tls.sni ~ 'netflix'"
+);
+retina_filtergen::filter_union!(swap_new_union, "ipv4 and tcp", "udp", "tls.sni ~ 'netflix'");
+
+#[test]
+fn swap_unions_agree_on_all_four_layers() {
+    use retina_nic::DeviceCaps;
+    use retina_support::rand::{RngExt, SeedableRng, SmallRng};
+    use retina_wire::build::{build_tcp, build_udp, TcpSpec, UdpSpec};
+
+    const OLD: [&str; 3] = [
+        "ipv4 and tcp",
+        "ipv4 and tcp.port = 443",
+        "tls.sni ~ 'netflix'",
+    ];
+    const NEW: [&str; 3] = ["ipv4 and tcp", "udp", "tls.sni ~ 'netflix'"];
+    let registry = ProtocolRegistry::default();
+    let cases: [(&dyn FilterFns, CompiledFilter); 2] = [
+        (
+            &swap_old_union(),
+            CompiledFilter::build_union(&OLD, &registry).unwrap(),
+        ),
+        (
+            &swap_new_union(),
+            CompiledFilter::build_union(&NEW, &registry).unwrap(),
+        ),
+    ];
+
+    // Seeded frames biased to the decision boundaries: ports hugging
+    // 443, TCP vs UDP, v4 vs v6 — the exact edges a swap's rule diff
+    // pivots on — plus a campus slice for breadth.
+    let mut rng = SmallRng::seed_from_u64(0x5F4B);
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..400 {
+        let sport: u16 = rng.random_range(40_000u16..60_000);
+        let dport: u16 = [80u16, 442, 443, 444, 8443, 53][rng.random_range(0usize..6)];
+        let src: std::net::SocketAddr = format!("10.1.{}.{}:{sport}", rng.random_range(0u32..4), 1)
+            .parse()
+            .unwrap();
+        let dst: std::net::SocketAddr = format!("192.0.2.7:{dport}").parse().unwrap();
+        if rng.random_range(0u32..3) == 0 {
+            frames.push(build_udp(&UdpSpec {
+                src,
+                dst,
+                ttl: 64,
+                payload: b"q",
+            }));
+        } else {
+            frames.push(build_tcp(&TcpSpec {
+                src,
+                dst,
+                seq: 1,
+                ack: 0,
+                flags: retina_wire::TcpFlags::SYN,
+                window: 4096,
+                ttl: 64,
+                payload: b"",
+            }));
+        }
+    }
+    let campus = generate(&CampusConfig::small(0x5F4C));
+    frames.extend(campus.iter().take(4_000).map(|(f, _)| f.to_vec()));
+
+    let sessions = [
+        FakeTls {
+            sni: "api.netflix.com",
+            cipher: "TLS_AES_128_GCM_SHA256",
+        },
+        FakeTls {
+            sni: "example.org",
+            cipher: "TLS_AES_128_GCM_SHA256",
+        },
+    ];
+
+    for (static_u, interp_u) in &cases {
+        assert_eq!(static_u.num_subscriptions(), interp_u.num_subscriptions());
+        let mut decided = 0usize;
+        for frame in &frames {
+            let Ok(pkt) = ParsedPacket::parse(frame) else {
+                continue;
+            };
+            // Layer 1: packet verdict sets.
+            let a = static_u.packet_filter_set(&pkt);
+            let b = interp_u.packet_filter_set(&pkt);
+            assert_eq!(a.matched, b.matched, "packet matched diverge on {pkt:?}");
+            assert_eq!(a.live, b.live, "packet live diverge on {pkt:?}");
+            if !a.matched.is_empty() || !a.live.is_empty() {
+                decided += 1;
+            }
+            if a.live.is_empty() {
+                continue;
+            }
+            // Layer 2: connection verdicts, each engine fed its own
+            // frontiers (ids are private; the verdict sets are not).
+            for service in [Some("tls"), Some("http"), None] {
+                let ca = static_u.conn_filter_set(service, &a.frontiers, a.live);
+                let cb = interp_u.conn_filter_set(service, &b.frontiers, b.live);
+                assert_eq!(ca.matched, cb.matched, "conn matched diverge ({service:?})");
+                assert_eq!(ca.live, cb.live, "conn live diverge ({service:?})");
+                // Layer 3: session verdicts for subscriptions still live
+                // after the connection layer.
+                if !ca.live.is_empty() {
+                    for s in &sessions {
+                        assert_eq!(
+                            static_u.session_filter_set(s, &a.frontiers, ca.live),
+                            interp_u.session_filter_set(s, &b.frontiers, cb.live),
+                            "session verdict diverge (sni {:?})",
+                            s.sni
+                        );
+                    }
+                }
+            }
+        }
+        assert!(decided > 0, "boundary frames never exercised the union");
+
+        // Layer 4: hardware rule unions (multiset equality — installation
+        // order is not part of the contract).
+        for caps in [
+            DeviceCaps::connectx5(),
+            DeviceCaps::basic(),
+            DeviceCaps::full(),
+        ] {
+            let mut hw_a: Vec<String> = static_u
+                .hw_rules(caps, &registry)
+                .unwrap()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            let mut hw_b: Vec<String> = interp_u
+                .hw_rules(caps, &registry)
+                .unwrap()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            hw_a.sort();
+            hw_b.sort();
+            assert_eq!(hw_a, hw_b, "hardware rule unions diverge under {caps:?}");
+        }
+    }
+
+    // The swap's own rule diff (adds = new \ old, removes = old \ new)
+    // is therefore engine-independent too: compute it from both engines
+    // and compare.
+    let caps = DeviceCaps::connectx5();
+    let diff = |old: &dyn FilterFns, new: &dyn FilterFns| -> (Vec<String>, Vec<String>) {
+        let old_rules = old.hw_rules(caps, &registry).unwrap();
+        let new_rules = new.hw_rules(caps, &registry).unwrap();
+        let mut adds: Vec<String> = new_rules
+            .iter()
+            .filter(|r| !old_rules.contains(r))
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let mut removes: Vec<String> = old_rules
+            .iter()
+            .filter(|r| !new_rules.contains(r))
+            .map(|r| format!("{r:?}"))
+            .collect();
+        adds.sort();
+        removes.sort();
+        (adds, removes)
+    };
+    let static_diff = diff(cases[0].0, cases[1].0);
+    let interp_diff = diff(&cases[0].1, &cases[1].1);
+    assert_eq!(static_diff, interp_diff, "swap rule diffs diverge");
+    assert!(
+        !static_diff.0.is_empty() || !static_diff.1.is_empty(),
+        "removing the 443 filter and adding udp must change the rule union"
+    );
+}

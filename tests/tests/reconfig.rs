@@ -1,0 +1,473 @@
+//! Live-reconfiguration tests: epoch-based RCU hot swap of the
+//! subscription set on a running pipeline.
+//!
+//! The contract under test (the PR 9 tentpole):
+//!
+//! * **Zero loss, exact accounting** — a swap in the middle of a run
+//!   never loses a frame or a connection outcome:
+//!   [`RunReport::check_accounting`] stays green, including the new
+//!   `conns_swapped` identity for connections whose last subscription
+//!   was removed.
+//! * **Untouched subscriptions are untouched** — a subscription that
+//!   survives the swap delivers byte-for-byte what it delivers in a
+//!   no-swap run over the same traffic ([`RunReport::sub_digest`]).
+//! * **Removed subscriptions drain** — matched connections get their
+//!   final delivery at the swap point; nothing vanishes silently.
+//! * **Both execution modes** — the same invariants hold on the
+//!   threaded runtime (via [`SwapController`]) and under the
+//!   deterministic stepped harness (via
+//!   `MultiRuntime::run_stepped_with_swap`), with and without injected
+//!   chaos faults.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use retina_chaos::{ChaosSource, Fault, FaultPlan};
+use retina_core::subscribables::ConnRecord;
+use retina_core::{
+    DispatchMode, MultiRuntime, RunReport, RuntimeBuilder, RuntimeConfig, StepConfig, SwapError,
+    SwapSpec, TrafficSource, WorkerStall,
+};
+use retina_filter::CompiledFilter;
+use retina_support::bytes::Bytes;
+use retina_trafficgen::campus::{generate, CampusConfig};
+
+/// A shared medium campus mix (TCP + UDP, so swaps can add/remove
+/// protocol-disjoint subscriptions).
+fn workload() -> Vec<(Bytes, u64)> {
+    generate(&CampusConfig {
+        seed: 0x5AFE,
+        target_packets: 6_000,
+        duration_secs: 5.0,
+        ..CampusConfig::default()
+    })
+}
+
+/// Original configuration: an all-TCP connection log (the subscription
+/// every test keeps across the swap) plus a port-443 log (the one swaps
+/// remove).
+fn build_runtime(counter: &Arc<AtomicU64>) -> MultiRuntime<CompiledFilter> {
+    let c = Arc::clone(counter);
+    RuntimeBuilder::new(RuntimeConfig::with_cores(2))
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        })
+        .subscribe_named::<ConnRecord>("tls443", "ipv4 and tcp.port = 443", |_| {})
+        .build()
+        .expect("runtime builds")
+}
+
+/// The swap target: keep `conns` (same name, same source), drop
+/// `tls443`, add a UDP connection log. The swap installs the *new*
+/// spec's callbacks — a survivor keeps its state and counters, not its
+/// closure — so the counting hook must be re-registered to keep
+/// counting across the swap.
+fn swap_spec(counter: &Arc<AtomicU64>) -> SwapSpec {
+    let c = Arc::clone(counter);
+    SwapSpec::new()
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        })
+        .subscribe_named::<ConnRecord>("udp-conns", "udp", |_| {})
+}
+
+fn sub<'a>(report: &'a RunReport, name: &str) -> &'a retina_core::SubReport {
+    report
+        .subs
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no report row for {name}"))
+}
+
+/// A [`TrafficSource`] that yields `first`, then blocks until the gate
+/// fires, then yields `second` — so a test can freeze the wire
+/// mid-run, perform a swap against a live (but quiescent) pipeline,
+/// and prove post-swap traffic lands under the new configuration.
+struct GatedSource {
+    first: Vec<(Bytes, u64)>,
+    second: Vec<(Bytes, u64)>,
+    gate: Option<mpsc::Receiver<()>>,
+    cursor: usize,
+}
+
+impl GatedSource {
+    /// Splits `packets` at `at`; returns the source and the gate sender.
+    fn new(mut packets: Vec<(Bytes, u64)>, at: usize) -> (Self, mpsc::Sender<()>) {
+        let second = packets.split_off(at.min(packets.len()));
+        let (tx, rx) = mpsc::channel();
+        (
+            GatedSource {
+                first: packets,
+                second,
+                gate: Some(rx),
+                cursor: 0,
+            },
+            tx,
+        )
+    }
+}
+
+impl TrafficSource for GatedSource {
+    fn next_batch(&mut self, out: &mut Vec<(Bytes, u64)>) -> bool {
+        const BATCH: usize = 256;
+        if self.cursor < self.first.len() {
+            let end = (self.cursor + BATCH).min(self.first.len());
+            out.extend(self.first[self.cursor..end].iter().cloned());
+            self.cursor = end;
+            return true;
+        }
+        if let Some(gate) = self.gate.take() {
+            // First half done: park the wire until the test releases it.
+            let _ = gate.recv();
+            self.cursor = self.first.len();
+        }
+        let off = self.cursor - self.first.len();
+        if off >= self.second.len() {
+            return false;
+        }
+        let end = (off + BATCH).min(self.second.len());
+        out.extend(self.second[off..end].iter().cloned());
+        self.cursor += end - off;
+        true
+    }
+}
+
+/// Runs the threaded runtime over a gated source, swapping to `spec`
+/// while the wire is parked at the midpoint. Returns the report and
+/// the swap's ledger entry.
+fn threaded_swap_run(
+    packets: Vec<(Bytes, u64)>,
+    spec: &SwapSpec,
+    plan: Option<&FaultPlan>,
+    counter: &Arc<AtomicU64>,
+) -> (RunReport, retina_core::SwapEvent) {
+    let mid = packets.len() / 2;
+    let mut rt = build_runtime(counter);
+    let controller = rt.swap_controller();
+    let nic = Arc::clone(rt.nic());
+    let plan = plan.cloned();
+    if let Some(plan) = &plan {
+        retina_chaos::install(rt.nic(), plan);
+    }
+    let (source, gate) = GatedSource::new(packets, mid);
+    let handle = std::thread::spawn(move || {
+        let report = match &plan {
+            Some(plan) => rt.run(ChaosSource::new(source, plan)),
+            None => rt.run(source),
+        };
+        rt.nic().clear_fault_hooks();
+        report
+    });
+    // Wait for the first half to be fully ingested (the source parks on
+    // the gate once it has handed the midpoint batch over).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while nic.stats().rx_offered < mid as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "first half never reached the port: rx_offered = {}",
+            nic.stats().rx_offered
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let event = controller.swap(spec).expect("swap succeeds mid-run");
+    gate.send(()).expect("run thread alive");
+    let report = handle.join().expect("run thread panicked");
+    (report, event)
+}
+
+#[test]
+fn stepped_swap_exact_accounting_and_untouched_digest() {
+    let packets = workload();
+    let at = (packets.len() / 2) as u64;
+    let cfg = StepConfig::seeded(0x1CE);
+
+    let hits = Arc::new(AtomicU64::new(0));
+    let report = build_runtime(&hits)
+        .run_stepped_with_swap(&packets, &cfg, at, &swap_spec(&hits))
+        .expect("swap accepted");
+    report
+        .check_accounting()
+        .expect("accounting exact across swap");
+
+    // Control: the same runtime, same schedule, no swap.
+    let control_hits = Arc::new(AtomicU64::new(0));
+    let control = build_runtime(&control_hits).run_stepped(&packets, &cfg);
+    control.check_accounting().expect("control accounting");
+
+    // The untouched subscription is byte-identical to the no-swap run —
+    // same deliveries, same discards, same callback count.
+    assert_eq!(
+        report.sub_digest("conns").expect("conns row"),
+        control.sub_digest("conns").expect("control conns row"),
+        "surviving subscription diverged from the no-swap run"
+    );
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        control_hits.load(Ordering::Relaxed)
+    );
+
+    // The added subscription saw the second half's UDP traffic; the
+    // removed one saw (only) the first half's 443 traffic.
+    assert!(sub(&report, "udp-conns").delivered > 0, "added sub silent");
+    assert!(
+        sub(&report, "tls443").delivered > 0,
+        "removed sub never delivered"
+    );
+    assert!(
+        control.sub_digest("udp-conns").is_none(),
+        "control has no udp row"
+    );
+}
+
+#[test]
+fn stepped_swap_drains_orphaned_connections() {
+    // Remove the *only* subscription covering UDP mid-run: every UDP
+    // connection alive at the swap loses its last subscriber and must
+    // be counted `conns_swapped` — a distinct outcome in the identity
+    // created == discarded + terminated + expired + drained + swapped.
+    let packets = workload();
+    let rt = RuntimeBuilder::new(RuntimeConfig::with_cores(2))
+        .subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", |_| {})
+        .subscribe_named::<ConnRecord>("udp-conns", "udp", |_| {})
+        .build()
+        .unwrap();
+    let spec = SwapSpec::new().subscribe_named::<ConnRecord>("conns", "ipv4 and tcp", |_| {});
+    let report = rt
+        .run_stepped_with_swap(
+            &packets,
+            &StepConfig::seeded(9),
+            (packets.len() / 2) as u64,
+            &spec,
+        )
+        .expect("swap accepted");
+    report.check_accounting().expect("accounting exact");
+    assert!(
+        report.cores.conns_swapped > 0,
+        "no connection was orphaned by removing its only subscription"
+    );
+    // Post-swap UDP packets must not resurrect the removed subscription.
+    let udp = sub(&report, "udp-conns");
+    assert_eq!(
+        udp.delivered,
+        udp.cb_executed + udp.cb_dropped_full + udp.cb_dropped_disconnected
+    );
+}
+
+#[test]
+fn stepped_swap_under_worker_stall_stays_exact() {
+    // Chaos variant of the stepped proof: a frozen virtual worker
+    // overlapping the swap point must not break quiescence or
+    // accounting, and the untouched subscription still matches the
+    // no-swap run under the *same* stall schedule.
+    let packets = workload();
+    let cfg = StepConfig::seeded(0xC4A05).with_stall(WorkerStall {
+        sub: 0,
+        from_step: 50,
+        steps: 600,
+    });
+    let hits = Arc::new(AtomicU64::new(0));
+    let rt = {
+        let c = Arc::clone(&hits);
+        RuntimeBuilder::new(RuntimeConfig::with_cores(2))
+            .subscribe_dispatched::<ConnRecord>(
+                "conns",
+                "ipv4 and tcp",
+                DispatchMode::dedicated(4),
+                move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .subscribe_named::<ConnRecord>("tls443", "ipv4 and tcp.port = 443", |_| {})
+            .build()
+            .unwrap()
+    };
+    let report = rt
+        .run_stepped_with_swap(
+            &packets,
+            &cfg,
+            (packets.len() / 3) as u64,
+            &swap_spec(&Arc::new(AtomicU64::new(0))),
+        )
+        .expect("swap accepted");
+    report
+        .check_accounting()
+        .expect("accounting exact under stall");
+
+    let control_hits = Arc::new(AtomicU64::new(0));
+    let control = {
+        let c = Arc::clone(&control_hits);
+        RuntimeBuilder::new(RuntimeConfig::with_cores(2))
+            .subscribe_dispatched::<ConnRecord>(
+                "conns",
+                "ipv4 and tcp",
+                DispatchMode::dedicated(4),
+                move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .subscribe_named::<ConnRecord>("tls443", "ipv4 and tcp.port = 443", |_| {})
+            .build()
+            .unwrap()
+    }
+    .run_stepped(&packets, &cfg);
+    control.check_accounting().expect("control accounting");
+    assert_eq!(
+        report.sub_digest("conns").unwrap(),
+        control.sub_digest("conns").unwrap(),
+        "stalled survivor diverged from the no-swap run"
+    );
+}
+
+#[test]
+fn threaded_swap_zero_loss_and_untouched_digest() {
+    let packets = workload();
+    let hits = Arc::new(AtomicU64::new(0));
+    let (report, event) = threaded_swap_run(packets.clone(), &swap_spec(&hits), None, &hits);
+    report
+        .check_accounting()
+        .expect("accounting exact across swap");
+    assert!(report.zero_loss(), "swap must not drop a single frame");
+
+    // Ledger entry describes exactly what changed, in order.
+    assert_eq!(event.generation, 1);
+    assert_eq!(event.added, vec!["udp-conns".to_string()]);
+    assert_eq!(event.removed, vec!["tls443".to_string()]);
+    assert!(event.staged_at >= event.requested_at);
+    assert!(event.published_at >= event.staged_at);
+    assert!(event.retired_at >= event.published_at);
+
+    // Untouched subscription: byte-identical to a no-swap threaded run.
+    let control_hits = Arc::new(AtomicU64::new(0));
+    let mut control_rt = build_runtime(&control_hits);
+    let control = control_rt.run(retina_trafficgen::PreloadedSource::new(packets));
+    control.check_accounting().expect("control accounting");
+    assert_eq!(
+        report.sub_digest("conns").unwrap(),
+        control.sub_digest("conns").unwrap(),
+        "surviving subscription diverged from the no-swap threaded run"
+    );
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        control_hits.load(Ordering::Relaxed)
+    );
+    assert!(sub(&report, "udp-conns").delivered > 0, "added sub silent");
+}
+
+#[test]
+fn threaded_swap_under_chaos_keeps_accounting() {
+    // The full tentpole proof: mempool pressure + a slow worker + a
+    // stalled epoch pickup, all while the subscription set is swapped
+    // under live (gated) traffic. Every frame and connection outcome
+    // must still be attributed exactly.
+    let packets = workload();
+    let plan = FaultPlan {
+        seed: 0xBAD5EED,
+        faults: vec![
+            Fault::WorkerSlowdown {
+                core: 1,
+                start_poll: 10,
+                polls: 40,
+                delay: Duration::from_micros(200),
+            },
+            Fault::SwapStall {
+                core: 1,
+                pickups: 4,
+                delay: Duration::from_millis(20),
+            },
+        ],
+    };
+    let hits = Arc::new(AtomicU64::new(0));
+    let (report, event) = threaded_swap_run(packets, &swap_spec(&hits), Some(&plan), &hits);
+    report
+        .check_accounting()
+        .expect("accounting exact under chaos + swap");
+    assert_eq!(event.generation, 1);
+    // The stalled core still adopted the epoch (grace period completed).
+    assert_eq!(event.pickup_lag_us.len(), 2);
+}
+
+#[test]
+fn swap_stall_is_visible_in_pickup_lag() {
+    // Satellite: Fault::SwapStall delays one core's epoch pickup; the
+    // swap event's per-core lag must expose it, and the grace period
+    // must outlast the slowest core.
+    let packets = workload();
+    let plan = FaultPlan {
+        seed: 7,
+        faults: vec![Fault::SwapStall {
+            core: 1,
+            pickups: 8,
+            delay: Duration::from_millis(50),
+        }],
+    };
+    let hits = Arc::new(AtomicU64::new(0));
+    let (report, event) = threaded_swap_run(packets, &swap_spec(&hits), Some(&plan), &hits);
+    report.check_accounting().expect("accounting exact");
+    assert_eq!(event.pickup_lag_us.len(), 2);
+    assert!(
+        event.pickup_lag_us[1] >= 10_000,
+        "stalled core's pickup lag ({}) must show the 50ms injected delay",
+        event.pickup_lag_us[1]
+    );
+    assert!(
+        event.pickup_lag_us[0] < event.pickup_lag_us[1],
+        "unstalled core ({}) should adopt faster than the stalled one ({})",
+        event.pickup_lag_us[0],
+        event.pickup_lag_us[1]
+    );
+    // Retirement (grace end) cannot precede the slowest pickup.
+    assert!(event.retired_at >= event.published_at + Duration::from_micros(event.pickup_lag_us[1]));
+}
+
+#[test]
+fn swap_rejections_leave_the_run_untouched() {
+    let packets = workload();
+    let mid = packets.len() / 2;
+    let hits = Arc::new(AtomicU64::new(0));
+    let mut rt = build_runtime(&hits);
+    let controller = rt.swap_controller();
+
+    // Before the run starts there is nothing to reconfigure.
+    assert!(matches!(
+        controller.swap(&swap_spec(&Arc::new(AtomicU64::new(0)))),
+        Err(SwapError::NotRunning)
+    ));
+
+    let nic = Arc::clone(rt.nic());
+    let (source, gate) = GatedSource::new(packets.clone(), mid);
+    let handle = std::thread::spawn(move || rt.run(source));
+    while nic.stats().rx_offered < mid as u64 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // A filter that fails analysis (E-code) rejects before staging.
+    let bad_filter = SwapSpec::new().subscribe_named::<ConnRecord>("conns", "ipv4 and and", |_| {});
+    assert!(matches!(
+        controller.swap(&bad_filter),
+        Err(SwapError::Filter(_))
+    ));
+    // Duplicate names are a spec error.
+    let dup = SwapSpec::new()
+        .subscribe_named::<ConnRecord>("x", "tcp", |_| {})
+        .subscribe_named::<ConnRecord>("x", "udp", |_| {});
+    assert!(matches!(controller.swap(&dup), Err(SwapError::Spec(_))));
+    // An empty spec is a spec error.
+    assert!(matches!(
+        controller.swap(&SwapSpec::new()),
+        Err(SwapError::Spec(_))
+    ));
+    assert_eq!(controller.generation(), 0, "failed swaps publish nothing");
+
+    gate.send(()).unwrap();
+    let report = handle.join().unwrap();
+    report.check_accounting().expect("accounting exact");
+    assert!(report.zero_loss());
+
+    // Stepped rejection surfaces identically, before any packet runs.
+    let rt2 = build_runtime(&Arc::new(AtomicU64::new(0)));
+    assert!(matches!(
+        rt2.run_stepped_with_swap(&packets, &StepConfig::seeded(1), 0, &SwapSpec::new()),
+        Err(SwapError::Spec(_))
+    ));
+}
